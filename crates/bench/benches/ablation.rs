@@ -1,0 +1,210 @@
+//! **Ablations** — isolating the design choices DESIGN.md calls out:
+//!
+//! 1. Flink network-buffer timeout (latency of unchained pipelines);
+//! 2. kernel fusion (the fused ONNX-style executor vs the direct one);
+//! 3. wire protocol (gRPC-like binary vs HTTP+JSON) on the same model;
+//! 4. the calibrated JVM framework cost vs the bare Rust substrate;
+//! 5. asynchronous scoring I/O — the Flink feature the paper declined for
+//!    fairness (§4.3) — against blocking external calls.
+
+use std::time::Duration;
+
+use crayfish::prelude::*;
+use crayfish::runtime::exec::{FusedExec, UnfusedExec};
+use crayfish::serving::ServingConfig;
+use std::sync::Arc;
+
+use crayfish::sim::{Cost, Stopwatch};
+use crayfish::tensor::Tensor;
+use crayfish_bench::*;
+
+fn buffer_timeout_ablation(table: &mut Table) {
+    for timeout_ms in [0u64, 10, 100] {
+        let mut options = FlinkOptions::operator_level(4, 4);
+        options.buffer_timeout = Duration::from_millis(timeout_ms);
+        let processor = FlinkProcessor::with_options(options);
+        let mut spec = base_spec(ModelSpec::Ffnn, ServingChoice::Embedded {
+            lib: EmbeddedLib::Onnx,
+            device: Device::Cpu,
+        });
+        spec.workload = Workload::Constant { rate: 20.0 };
+        let result = run(&format!("ablation/buffer-timeout/{timeout_ms}ms"), &processor, &spec);
+        table.row(vec![
+            "flink buffer timeout".into(),
+            format!("{timeout_ms} ms"),
+            format!("p50 {:.1} ms", result.latency.p50),
+        ]);
+    }
+}
+
+/// A ResNet-block-scale CNN: fusion's win is the batch-norm and ReLU
+/// passes it eliminates, which is *memory traffic* — it only shows at
+/// realistic activation sizes (here ~0.8 MB per activation pass), not on
+/// toy 8×8 planes.
+fn block_scale_cnn(channels: usize, hw: usize) -> crayfish::tensor::NnGraph {
+    use crayfish::tensor::kernels::conv::Conv2dParams;
+    use crayfish::tensor::kernels::norm::BnParams;
+    use crayfish::tensor::{NnGraph, Op, Shape};
+    let mut g = NnGraph::new("block-scale");
+    let input = g.add("input", Op::Input { shape: Shape::from([3, hw, hw]) }, vec![]);
+    let mut x = input;
+    let mut in_c = 3;
+    for layer in 0..3 {
+        let w = Arc::new(Tensor::seeded_he(
+            [channels, in_c, 3, 3],
+            layer as u64 + 1,
+            in_c * 9,
+        ));
+        let conv = g.add(
+            format!("conv{layer}"),
+            Op::Conv2d {
+                w,
+                b: None,
+                params: Conv2dParams { in_c, out_c: channels, kernel: 3, stride: 1, pad: 1 },
+            },
+            vec![x],
+        );
+        let bn = g.add(
+            format!("bn{layer}"),
+            Op::BatchNorm {
+                params: Arc::new(BnParams {
+                    gamma: vec![1.0; channels],
+                    beta: vec![0.0; channels],
+                    mean: vec![0.0; channels],
+                    var: vec![1.0; channels],
+                    eps: 1e-5,
+                }),
+            },
+            vec![conv],
+        );
+        x = g.add(format!("relu{layer}"), Op::Relu, vec![bn]);
+        in_c = channels;
+    }
+    let gap = g.add("gap", Op::GlobalAvgPool, vec![x]);
+    let wf = Arc::new(Tensor::seeded_he([channels, 10], 77, channels));
+    let bf = Arc::new(Tensor::zeros([10]));
+    g.add("fc", Op::Dense { w: wf, b: bf }, vec![gap]);
+    g
+}
+
+fn fusion_ablation(table: &mut Table) {
+    // Conv+BN folding and ReLU fusion eliminate whole passes over the
+    // activations — measurable at ResNet-block scale.
+    let graph = block_scale_cnn(32, 56);
+    let input = Tensor::seeded_uniform([4, 3, 56, 56], 1, 0.0, 1.0);
+    let reps = 20;
+    let mut fused = FusedExec::new(&graph).expect("fused");
+    let mut plain = UnfusedExec::new(graph, true, None).expect("unfused");
+    fused.run(&input).unwrap();
+    plain.run(&input).unwrap();
+    let sw = Stopwatch::start();
+    for _ in 0..reps {
+        fused.run(&input).unwrap();
+    }
+    let fused_ms = sw.elapsed_millis() / reps as f64;
+    let sw = Stopwatch::start();
+    for _ in 0..reps {
+        plain.run(&input).unwrap();
+    }
+    let plain_ms = sw.elapsed_millis() / reps as f64;
+    table.row(vec![
+        "kernel fusion (3x conv-bn-relu, 56x56, bsz=4)".into(),
+        "fused / unfused".into(),
+        format!("{fused_ms:.2} ms vs {plain_ms:.2} ms ({:.0}% saved)",
+            100.0 * (plain_ms - fused_ms) / plain_ms.max(1e-12)),
+    ]);
+}
+
+fn protocol_ablation(table: &mut Table) {
+    // The same fused model served over both protocols at mp=1, measured
+    // client-side: the HTTP+JSON tax Ray Serve pays.
+    let graph = ModelSpec::Ffnn.build(42);
+    let input = Tensor::seeded_uniform([1, 28, 28], 1, 0.0, 1.0);
+    let grpc_server = ExternalKind::TfServing.start(&graph, ServingConfig::default()).unwrap();
+    let http_server = ExternalKind::RayServe.start(&graph, ServingConfig::default()).unwrap();
+    for (name, kind, addr) in [
+        ("grpc (tf-serving)", ExternalKind::TfServing, grpc_server.addr()),
+        ("http+json (ray serve)", ExternalKind::RayServe, http_server.addr()),
+    ] {
+        let mut client = kind.connect(addr, NetworkModel::zero()).unwrap();
+        client.infer(&input).unwrap();
+        let reps = 50;
+        let sw = Stopwatch::start();
+        for _ in 0..reps {
+            client.infer(&input).unwrap();
+        }
+        let ms = sw.elapsed_millis() / reps as f64;
+        table.row(vec![
+            "wire protocol (no LAN)".into(),
+            name.into(),
+            format!("{ms:.2} ms/call"),
+        ]);
+    }
+    grpc_server.shutdown();
+    http_server.shutdown();
+}
+
+fn framework_cost_ablation(table: &mut Table) {
+    // The calibrated JVM per-record cost vs the raw Rust substrate.
+    for (name, cost) in [
+        ("calibrated (jvm-like)", None),
+        ("zeroed (bare rust)", Some(Cost::ZERO)),
+    ] {
+        let mut options = FlinkOptions::default();
+        if let Some(c) = cost {
+            options.record_overhead = c;
+        }
+        let processor = FlinkProcessor::with_options(options);
+        let mut spec = base_spec(ModelSpec::Ffnn, ServingChoice::Embedded {
+            lib: EmbeddedLib::Onnx,
+            device: Device::Cpu,
+        });
+        spec.workload = Workload::Constant { rate: OVERLOAD_FFNN };
+        let result = run(&format!("ablation/framework-cost/{name}"), &processor, &spec);
+        table.row(vec![
+            "per-record framework cost".into(),
+            name.into(),
+            format!("{:.0} events/s", result.throughput_eps),
+        ]);
+    }
+}
+
+fn async_io_ablation(table: &mut Table) {
+    // Blocking vs async external calls at mp=1: what the paper's
+    // evaluation left on the table by keeping calls blocking.
+    for async_io in [0usize, 8] {
+        let options = FlinkOptions { async_io, ..Default::default() };
+        let processor = FlinkProcessor::with_options(options);
+        let mut spec = base_spec(ModelSpec::Ffnn, ServingChoice::External {
+            kind: ExternalKind::TfServing,
+            device: Device::Cpu,
+        });
+        spec.workload = Workload::Constant { rate: OVERLOAD_FFNN };
+        let label = if async_io == 0 { "blocking" } else { "async_io=8" };
+        let result = run(&format!("ablation/async-io/{label}"), &processor, &spec);
+        table.row(vec![
+            "flink external calls".into(),
+            label.into(),
+            format!("{:.0} events/s", result.throughput_eps),
+        ]);
+    }
+}
+
+fn main() {
+    let mut table = Table::new("Ablations", &["dimension", "variant", "result"]);
+    eprintln!("ablation 1/5: flink buffer timeout");
+    buffer_timeout_ablation(&mut table);
+    eprintln!("ablation 2/5: kernel fusion");
+    fusion_ablation(&mut table);
+    eprintln!("ablation 3/5: wire protocol");
+    protocol_ablation(&mut table);
+    eprintln!("ablation 4/5: framework cost");
+    framework_cost_ablation(&mut table);
+    eprintln!("ablation 5/5: async scoring I/O");
+    async_io_ablation(&mut table);
+    table.print();
+    println!("\nThese isolate the mechanisms behind the headline results: buffering");
+    println!("drives Flink's low-rate latency, fusion drives ONNX's embedded win, the");
+    println!("HTTP+JSON path drives Ray Serve's deficit, and the calibrated JVM cost is");
+    println!("what scales the Rust substrate to the paper's absolute numbers.");
+}

@@ -1,0 +1,62 @@
+//! **Figure 10** — end-to-end latency vs batch size across the four stream
+//! processors, with embedded ONNX and external TF-Serving (FFNN, closed
+//! loop, `mp = 1`).
+
+use crayfish::prelude::*;
+use crayfish_bench::*;
+
+/// Paper reference point: serving 128-point events with TF-Serving.
+fn paper_bsz128(engine: &str) -> Option<f64> {
+    match engine {
+        "flink" => Some(167.44),
+        "ray" => Some(169.7),
+        _ => None,
+    }
+}
+
+fn main() {
+    let tools = [
+        ("onnx (e)", ServingChoice::Embedded { lib: EmbeddedLib::Onnx, device: Device::Cpu }),
+        (
+            "tf-serving (x)",
+            ServingChoice::External { kind: ExternalKind::TfServing, device: Device::Cpu },
+        ),
+    ];
+    let rate = match profile() {
+        Profile::Quick => 4.0,
+        Profile::Paper => 1.0,
+    };
+    let mut table = Table::new(
+        "Figure 10: latency vs batch size across SPSs (ms/batch, FFNN, closed loop, mp=1)",
+        &["engine", "serving tool", "bsz", "latency (mean ± std)", "paper tf@128"],
+    );
+    let mut dump = Vec::new();
+    for (engine, processor) in registry::all_processors() {
+        for (tool, serving) in tools {
+            for bsz in [32usize, 128, 512] {
+                let mut spec = base_spec(ModelSpec::Ffnn, serving);
+                spec.bsz = bsz;
+                spec.workload = Workload::Constant { rate };
+                spec.duration = ffnn_window().mul_f64(1.5);
+                let result = run(&format!("fig10/{engine}/{tool}/bsz{bsz}"), processor.as_ref(), &spec);
+                let paper = match (bsz, tool, paper_bsz128(engine)) {
+                    (128, "tf-serving (x)", Some(v)) => format!("{v:.0}"),
+                    _ => "-".into(),
+                };
+                table.row(vec![
+                    engine.into(),
+                    tool.into(),
+                    bsz.to_string(),
+                    ms_pm(&result.latency),
+                    paper,
+                ]);
+                dump.push(Measurement::of(format!("{engine}/{tool}/bsz{bsz}"), &result));
+            }
+        }
+    }
+    table.print();
+    println!("\nPaper shape: Flink lowest at bsz 32/128 but loses to Kafka Streams at");
+    println!("512; Spark SS highest across the board (micro-batching); Ray competitive,");
+    println!("sometimes lowest, despite HTTP serving.");
+    save_json("fig10", &dump);
+}

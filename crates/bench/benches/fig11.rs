@@ -1,0 +1,60 @@
+//! **Figure 11** — vertical scalability across the four stream processors
+//! with embedded ONNX and external TF-Serving (FFNN, offered 30 k events/s,
+//! `bsz = 1`).
+
+use crayfish::prelude::*;
+use crayfish_bench::*;
+
+/// Paper-reported peaks (events/s).
+fn paper_peak(engine: &str, tool: &str) -> f64 {
+    match (engine, tool) {
+        ("flink", "onnx (e)") => 13_000.0,
+        ("flink", "tf-serving (x)") => 9_800.0,
+        ("kstreams", "onnx (e)") => 23_000.0,
+        ("kstreams", "tf-serving (x)") => 10_000.0,
+        ("sparkss", "onnx (e)") => 23_000.0,
+        ("sparkss", "tf-serving (x)") => 10_200.0,
+        ("ray", "onnx (e)") => 1_200.0,
+        ("ray", "tf-serving (x)") => 455.44,
+        _ => 0.0,
+    }
+}
+
+fn main() {
+    let tools = [
+        ("onnx (e)", ServingChoice::Embedded { lib: EmbeddedLib::Onnx, device: Device::Cpu }),
+        (
+            "tf-serving (x)",
+            ServingChoice::External { kind: ExternalKind::TfServing, device: Device::Cpu },
+        ),
+    ];
+    let mut table = Table::new(
+        "Figure 11: vertical scaling across SPSs (events/s, FFNN, ir=30k, bsz=1)",
+        &["engine", "serving tool", "mp", "measured", "paper peak"],
+    );
+    let mut dump = Vec::new();
+    for (engine, processor) in registry::all_processors() {
+        for (tool, serving) in tools {
+            for mp in mp_sweep() {
+                let mut spec = base_spec(ModelSpec::Ffnn, serving);
+                spec.mp = mp;
+                spec.workload = Workload::Constant { rate: OVERLOAD_FFNN };
+                let result = run(&format!("fig11/{engine}/{tool}/mp{mp}"), processor.as_ref(), &spec);
+                table.row(vec![
+                    engine.into(),
+                    tool.into(),
+                    mp.to_string(),
+                    eps(result.throughput_eps),
+                    format!("{:.0}", paper_peak(engine, tool)),
+                ]);
+                dump.push(Measurement::of(format!("{engine}/{tool}/mp{mp}"), &result));
+            }
+        }
+    }
+    table.print();
+    println!("\nPaper shape: kstreams scales best (pull model, broker integration) and");
+    println!("peaks highest with onnx; flink similar but lower; sparkss starts high and");
+    println!("barely improves with mp; ray plateaus lowest, earliest (single HTTP proxy");
+    println!("for its external path).");
+    save_json("fig11", &dump);
+}

@@ -1,0 +1,59 @@
+//! **Figure 5** — end-to-end latency vs batch size for every serving tool
+//! on the Flink-style engine (closed loop, FFNN, `mp = 1`).
+//!
+//! The paper reports mean ms/batch for batch sizes up to 512 at one event
+//! per second; the quick profile raises the rate slightly so short windows
+//! still collect enough samples.
+
+use crayfish::prelude::*;
+use crayfish_bench::*;
+
+/// Paper-reported reference points (ms, FFNN, Flink): bsz 128.
+fn paper_bsz128(tool: &str) -> Option<f64> {
+    match tool {
+        "dl4j (e)" => Some(229.0),
+        "saved_model (e)" => Some(188.0),
+        "tf-serving (x)" => Some(191.0),
+        _ => None,
+    }
+}
+
+fn main() {
+    let flink = FlinkProcessor::new();
+    let batch_sizes = [32usize, 128, 512];
+    let rate = match profile() {
+        Profile::Quick => 4.0,
+        Profile::Paper => 1.0,
+    };
+    let mut table = Table::new(
+        "Figure 5: latency vs batch size on Flink (ms/batch, FFNN, closed loop, mp=1)",
+        &["serving tool", "bsz", "latency (mean ± std)", "p99", "paper"],
+    );
+    let mut dump = Vec::new();
+    for (tool, serving) in ffnn_tools() {
+        for bsz in batch_sizes {
+            let mut spec = base_spec(ModelSpec::Ffnn, serving);
+            spec.bsz = bsz;
+            spec.workload = Workload::Constant { rate };
+            spec.duration = ffnn_window().mul_f64(1.5);
+            let result = run(&format!("fig5/{tool}/bsz{bsz}"), &flink, &spec);
+            let paper = match (bsz, paper_bsz128(tool)) {
+                (128, Some(v)) => format!("{v:.0}"),
+                _ => "-".into(),
+            };
+            table.row(vec![
+                tool.into(),
+                bsz.to_string(),
+                ms_pm(&result.latency),
+                format!("{:.1}", result.latency.p99),
+                paper,
+            ]);
+            dump.push(Measurement::of(format!("{tool}/bsz{bsz}"), &result));
+        }
+    }
+    table.print();
+    println!("\nPaper shape: embedded options cluster together; TF-Serving is comparable");
+    println!("to (sometimes below) embedded latency despite the network hop; latency");
+    println!("grows with batch size and variance grows with it.");
+    save_json("fig5", &dump);
+}

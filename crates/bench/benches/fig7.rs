@@ -1,0 +1,33 @@
+//! **Figure 7** — vertical scalability for ResNet50 on the Flink-style
+//! engine (offered 256 events/s, `bsz = 1`).
+//!
+//! Note: on a single-core evaluation host the embedded CPU inference cannot
+//! physically scale with `mp`; the external servers' modelled worker
+//! concurrency still can. EXPERIMENTS.md discusses the deviation.
+
+use crayfish::prelude::*;
+use crayfish_bench::*;
+
+fn main() {
+    let flink = FlinkProcessor::new();
+    let mut table = Table::new(
+        "Figure 7: ResNet50 vertical scaling on Flink (events/s, ir=256, bsz=1)",
+        &["serving tool", "mp", "measured"],
+    );
+    let mut dump = Vec::new();
+    for (tool, serving) in resnet_tools() {
+        for mp in mp_sweep_resnet() {
+            let mut spec = base_spec(ModelSpec::Resnet50, serving);
+            spec.mp = mp;
+            spec.workload = Workload::Constant { rate: OVERLOAD_RESNET };
+            spec.duration = resnet_window_at_least(40);
+            let result = run(&format!("fig7/{tool}/mp{mp}"), &flink, &spec);
+            table.row(vec![tool.into(), mp.to_string(), eps(result.throughput_eps)]);
+            dump.push(Measurement::of(format!("{tool}/mp{mp}"), &result));
+        }
+    }
+    table.print();
+    println!("\nPaper shape: onnx and torchserve keep scaling; tf-serving shows");
+    println!("negligible gains and torchserve overtakes it past mp=8.");
+    save_json("fig7", &dump);
+}

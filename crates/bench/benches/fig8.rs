@@ -1,0 +1,101 @@
+//! **Figure 8** — periodic bursts: ONNX (embedded) vs TF-Serving
+//! (external) on the Flink-style engine, FFNN, `bsz = 1`, `mp = 1`.
+//!
+//! Procedure follows §5.1.4: measure each configuration's sustainable
+//! throughput (ST), then drive it at 110 % of ST during bursts and 70 %
+//! otherwise, and report the time latency needs to restabilise after each
+//! burst. The paper uses bd = 30 s / tbb = 120 s; the quick profile scales
+//! the cycle down while keeping the 110 %/70 % ratios.
+
+use crayfish::framework::metrics::{bucketize, recovery_time_s, summarize};
+use crayfish::prelude::*;
+use crayfish_bench::*;
+
+fn main() {
+    let flink = FlinkProcessor::new();
+    let (bd, tbb, cycles) = match profile() {
+        Profile::Quick => (3.0f64, 9.0f64, 3usize),
+        Profile::Paper => (30.0, 120.0, 3),
+    };
+    let tools = [
+        ("onnx (e)", ServingChoice::Embedded { lib: EmbeddedLib::Onnx, device: Device::Cpu }),
+        (
+            "tf-serving (x)",
+            ServingChoice::External { kind: ExternalKind::TfServing, device: Device::Cpu },
+        ),
+    ];
+    let mut table = Table::new(
+        "Figure 8: burst recovery on Flink (FFNN, bsz=1, mp=1, 110%/70% of ST)",
+        &["serving tool", "ST (ev/s)", "burst", "recovery (s)", "paper avg (s)"],
+    );
+    let mut dump = Vec::new();
+    for (tool, serving) in tools {
+        // Step 1: sustainable throughput.
+        let mut st_spec = base_spec(ModelSpec::Ffnn, serving);
+        st_spec.workload = Workload::Constant { rate: OVERLOAD_FFNN };
+        let st = run(&format!("fig8/{tool}/st"), &flink, &st_spec).throughput_eps;
+
+        // Step 2: bursty run.
+        let mut spec = base_spec(ModelSpec::Ffnn, serving);
+        spec.workload = Workload::Bursty {
+            base: 0.7 * st,
+            burst: 1.1 * st,
+            burst_secs: bd,
+            between_secs: tbb,
+        };
+        spec.warmup_fraction = 0.0;
+        spec.duration = std::time::Duration::from_secs_f64((bd + tbb) * cycles as f64 + 2.0);
+        let result = run(&format!("fig8/{tool}/bursty"), &flink, &spec);
+        let buckets = bucketize(&result.samples, 1_000.0);
+
+        // Baseline latency over the first (quiet) half-cycle.
+        let t0 = result.samples.first().map(|s| s.end_ms).unwrap_or(0.0);
+        let baseline: Vec<f64> = result
+            .samples
+            .iter()
+            .filter(|s| s.end_ms - t0 < tbb * 500.0)
+            .map(|s| s.latency_ms)
+            .collect();
+        let baseline = summarize(&baseline).p50.max(0.1);
+
+        let paper_avg = if tool.starts_with("onnx") { 46.52 } else { 56.15 };
+        let mut recoveries = Vec::new();
+        for cycle in 0..cycles {
+            let burst_end_ms = (cycle as f64 * (bd + tbb) + tbb + bd) * 1_000.0;
+            let rec = recovery_time_s(&buckets, burst_end_ms, baseline, 1.5, 2);
+            let cell = match rec {
+                Some(r) => {
+                    recoveries.push(r);
+                    format!("{r:.1}")
+                }
+                None => "n/a".into(),
+            };
+            table.row(vec![
+                tool.into(),
+                eps(st),
+                format!("#{}", cycle + 1),
+                cell,
+                format!("{paper_avg:.1}"),
+            ]);
+        }
+        let avg = if recoveries.is_empty() {
+            f64::NAN
+        } else {
+            recoveries.iter().sum::<f64>() / recoveries.len() as f64
+        };
+        eprintln!("  {tool}: avg recovery {avg:.2} s over {} bursts", recoveries.len());
+        dump.push(serde_json::json!({
+            "tool": tool,
+            "sustainable_eps": st,
+            "baseline_p50_ms": baseline,
+            "recoveries_s": recoveries,
+            "paper_avg_s": paper_avg,
+        }));
+    }
+    table.print();
+    println!("\nPaper shape: TF-Serving recovers faster on its best burst but with higher");
+    println!("variation between bursts; ONNX is slower but steadier. (Paper cycle is");
+    println!("30 s/120 s; the quick profile scales the cycle, so absolute recovery");
+    println!("times scale with it.)");
+    save_json("fig8", &dump);
+}

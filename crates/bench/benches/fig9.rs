@@ -1,0 +1,83 @@
+//! **Figure 9** — GPU acceleration: ResNet50 latency per batch for ONNX
+//! and TF-Serving, CPU vs (simulated) GPU, on the Flink-style engine
+//! (closed loop, ir = 0.2 events/s, `bsz = 8`, `mp = 1`).
+
+use crayfish::prelude::*;
+use crayfish_bench::*;
+
+fn paper_ms(config: &str) -> f64 {
+    match config {
+        "onnx-cpu" => 3_698.0,
+        "onnx-gpu" => 3_089.0,
+        "tf-serving-cpu" => 3_974.0,
+        "tf-serving-gpu" => 3_016.0,
+        _ => 0.0,
+    }
+}
+
+fn main() {
+    let flink = FlinkProcessor::new();
+    let configs: Vec<(&str, ServingChoice)> = vec![
+        ("onnx-cpu", ServingChoice::Embedded { lib: EmbeddedLib::Onnx, device: Device::Cpu }),
+        ("onnx-gpu", ServingChoice::Embedded { lib: EmbeddedLib::Onnx, device: Device::gpu() }),
+        (
+            "tf-serving-cpu",
+            ServingChoice::External { kind: ExternalKind::TfServing, device: Device::Cpu },
+        ),
+        (
+            "tf-serving-gpu",
+            ServingChoice::External { kind: ExternalKind::TfServing, device: Device::gpu() },
+        ),
+    ];
+    // The paper emits one 8-image batch every 5 s (ir = 0.2) against a
+    // ~3.5 s inference; this host's single-core inference of the same batch
+    // takes ~5-8 s, so the quick profile paces at one batch every 12 s to
+    // keep the closed loop stable (latency dominated by inference, §4.1).
+    let rate = match profile() {
+        Profile::Quick => 1.0 / 12.0,
+        Profile::Paper => 0.1,
+    };
+    let mut table = Table::new(
+        "Figure 9: ResNet50 latency per batch on Flink (ms, closed loop, bsz=8, mp=1)",
+        &["config", "measured (mean ± std)", "paper", "vs cpu"],
+    );
+    let mut dump = Vec::new();
+    let mut cpu_means = std::collections::HashMap::new();
+    for (config, serving) in configs {
+        let mut spec = base_spec(ModelSpec::Resnet50, serving);
+        spec.bsz = 8;
+        spec.workload = Workload::Constant { rate };
+        // CPU inference of an 8-image ResNet batch takes several seconds on
+        // the evaluation host; stretch the window so enough batches finish.
+        spec.duration = resnet_window_at_least(if config.ends_with("cpu") { 75 } else { 35 });
+        let result = run(&format!("fig9/{config}"), &flink, &spec);
+        let mean = result.latency.mean;
+        let family = config.rsplit_once('-').map(|(f, _)| f.to_string()).unwrap_or_default();
+        let improvement = if config.ends_with("gpu") {
+            cpu_means
+                .get(&family)
+                .map(|cpu: &f64| format!("-{:.1}%", 100.0 * (1.0 - mean / cpu)))
+                .unwrap_or_else(|| "-".into())
+        } else {
+            cpu_means.insert(family, mean);
+            "baseline".into()
+        };
+        table.row(vec![
+            config.into(),
+            ms_pm(&result.latency),
+            format!("{:.0}", paper_ms(config)),
+            improvement,
+        ]);
+        dump.push(Measurement::of(config, &result));
+    }
+    table.print();
+    println!("\nPaper shape: GPU helps both (onnx -16.4%, tf-serving -24.1%); the");
+    println!("specialised external server benefits more, and tf-serving-gpu edges out");
+    println!("onnx-gpu while also beating onnx-cpu despite the network hops.");
+    println!("NOTE: the magnitude differs here by construction — this host's CPU");
+    println!("inference is ~8x the paper's while the simulated T4 is calibrated to");
+    println!("the real card, so the CPU->GPU gap is far larger than the paper's");
+    println!("16-24%. The orderings (both gpu < both cpu; gpu amortises the external");
+    println!("network hops) are the reproducible claims. See EXPERIMENTS.md.");
+    save_json("fig9", &dump);
+}

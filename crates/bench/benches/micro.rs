@@ -1,0 +1,150 @@
+//! Criterion microbenchmarks of the substrates: the GEMM and convolution
+//! kernels, the JSON wire codec, the binary serving protocol, and broker
+//! produce/fetch round trips. These are the primitives whose costs compose
+//! into every table and figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bytes::Bytes;
+use crayfish_broker::{Broker, PartitionConsumer, Producer, ProducerConfig};
+use crayfish_core::batch::CrayfishDataBatch;
+use crayfish_models::{ffnn, tiny};
+use crayfish_runtime::exec::FusedExec;
+use crayfish_serving::protocol::{decode_tensor_binary, encode_tensor_binary};
+use crayfish_sim::NetworkModel;
+use crayfish_tensor::kernels::conv::{conv2d_im2col, Conv2dParams};
+use crayfish_tensor::kernels::gemm::gemm;
+use crayfish_tensor::Tensor;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(20);
+    for n in [64usize, 256] {
+        let a = Tensor::seeded_uniform([n, n], 1, -1.0, 1.0);
+        let b = Tensor::seeded_uniform([n, n], 2, -1.0, 1.0);
+        group.bench_function(format!("{n}x{n}x{n}"), |bench| {
+            bench.iter(|| {
+                let mut out = vec![0.0f32; n * n];
+                gemm(black_box(a.data()), black_box(b.data()), &mut out, n, n, n);
+                black_box(out);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d");
+    group.sample_size(20);
+    // A ResNet50 layer-2 shape: 128 channels, 28x28, 3x3.
+    let p = Conv2dParams { in_c: 128, out_c: 128, kernel: 3, stride: 1, pad: 1 };
+    let input = Tensor::seeded_uniform([1, 128, 28, 28], 1, -1.0, 1.0);
+    let weight = Tensor::seeded_uniform([128, 128, 3, 3], 2, -0.1, 0.1);
+    group.bench_function("resnet_layer2_3x3", |bench| {
+        let mut scratch = Vec::new();
+        bench.iter(|| {
+            black_box(conv2d_im2col(
+                black_box(input.data()),
+                1,
+                28,
+                28,
+                weight.data(),
+                &[],
+                &p,
+                &mut scratch,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference");
+    group.sample_size(30);
+    let g = ffnn::build(1);
+    let mut exec = FusedExec::new(&g).unwrap();
+    for bsz in [1usize, 128] {
+        let input = Tensor::seeded_uniform([bsz, 28, 28], 1, 0.0, 1.0);
+        group.bench_function(format!("ffnn_fused_bsz{bsz}"), |bench| {
+            bench.iter(|| black_box(exec.run(black_box(&input)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_json_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("json_codec");
+    group.sample_size(30);
+    let t = Tensor::seeded_uniform([1, 28, 28], 1, 0.0, 255.0);
+    let batch = CrayfishDataBatch::from_tensor(1, 0.0, &t);
+    let bytes = batch.encode().unwrap();
+    group.bench_function("encode_ffnn_point", |bench| {
+        bench.iter(|| black_box(batch.encode().unwrap()))
+    });
+    group.bench_function("decode_ffnn_point", |bench| {
+        bench.iter(|| black_box(CrayfishDataBatch::decode(black_box(&bytes)).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_binary_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binary_protocol");
+    group.sample_size(30);
+    let t = Tensor::seeded_uniform([1, 28, 28], 1, 0.0, 1.0);
+    let enc = encode_tensor_binary(&t);
+    group.bench_function("encode", |bench| bench.iter(|| black_box(encode_tensor_binary(&t))));
+    group.bench_function("decode", |bench| {
+        bench.iter(|| black_box(decode_tensor_binary(black_box(&enc)).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_broker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broker");
+    group.sample_size(20);
+    let broker = Broker::new(NetworkModel::zero());
+    broker.create_topic("bench", 4).unwrap();
+    let payload = Bytes::from(vec![0u8; 3 * 1024]);
+    group.bench_function("append_3kb", |bench| {
+        bench.iter(|| {
+            black_box(broker.append("bench", 0, vec![(payload.clone(), 0.0)]).unwrap())
+        })
+    });
+    group.bench_function("produce_fetch_roundtrip_3kb", |bench| {
+        broker.create_topic("rt", 1).ok();
+        let mut producer = Producer::new(broker.clone(), "rt", ProducerConfig::default()).unwrap();
+        let mut consumer = PartitionConsumer::new(broker.clone(), "rt", "g", vec![0]).unwrap();
+        bench.iter(|| {
+            producer.send(Some(0), payload.clone()).unwrap();
+            producer.flush();
+            let recs = consumer.poll(std::time::Duration::from_millis(100)).unwrap();
+            black_box(recs);
+        })
+    });
+    group.finish();
+}
+
+fn bench_tiny_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tiny_models");
+    group.sample_size(30);
+    let g = tiny::tiny_cnn(1);
+    let mut exec = FusedExec::new(&g).unwrap();
+    let input = Tensor::seeded_uniform([4, 3, 8, 8], 1, 0.0, 1.0);
+    group.bench_function("tiny_cnn_fused_bsz4", |bench| {
+        bench.iter(|| black_box(exec.run(black_box(&input)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_conv,
+    bench_inference,
+    bench_json_codec,
+    bench_binary_protocol,
+    bench_broker,
+    bench_tiny_models
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! **Table 2** — pre-trained model statistics: input/output shapes,
+//! parameter counts, and serialized size in each of the four formats.
+
+use crayfish_bench::{save_json, Table};
+use crayfish_models::{formats, ModelFormat, ModelSpec};
+
+/// Paper-reported sizes in KB, per (model, format).
+fn paper_size_kb(model: ModelSpec, format: ModelFormat) -> f64 {
+    match (model, format) {
+        (ModelSpec::Ffnn, ModelFormat::Onnx) => 113.0,
+        (ModelSpec::Ffnn, ModelFormat::SavedModel) => 508.0,
+        (ModelSpec::Ffnn, ModelFormat::Torch) => 115.0,
+        (ModelSpec::Ffnn, ModelFormat::H5) => 133.0,
+        (ModelSpec::Resnet50, ModelFormat::Onnx) => 97.0 * 1024.0,
+        (ModelSpec::Resnet50, ModelFormat::SavedModel) => 101.0 * 1024.0,
+        (ModelSpec::Resnet50, ModelFormat::Torch) => 98.0 * 1024.0,
+        (ModelSpec::Resnet50, ModelFormat::H5) => 98.0 * 1024.0,
+        _ => 0.0,
+    }
+}
+
+fn fmt_kb(bytes: usize) -> String {
+    let kb = bytes as f64 / 1024.0;
+    if kb >= 1024.0 {
+        format!("{:.1} MB", kb / 1024.0)
+    } else {
+        format!("{kb:.0} KB")
+    }
+}
+
+fn main() {
+    let mut table = Table::new(
+        "Table 2: model statistics (paper value in parentheses)",
+        &["model", "input", "output", "params", "format", "size", "(paper)"],
+    );
+    let mut dump = Vec::new();
+    for model in [ModelSpec::Ffnn, ModelSpec::Resnet50] {
+        eprintln!("building {} ...", model.name());
+        let graph = model.build(42);
+        let params = graph.param_count();
+        for format in ModelFormat::ALL {
+            let bytes = formats::encode(&graph, format).expect("encode").len();
+            table.row(vec![
+                model.name().to_string(),
+                format!("{}", model.input_shape()),
+                format!("{}x1", model.classes()),
+                if params >= 1_000_000 {
+                    format!("{:.1}M", params as f64 / 1e6)
+                } else {
+                    format!("{:.1}K", params as f64 / 1e3)
+                },
+                format.name().to_string(),
+                fmt_kb(bytes),
+                format!("({})", fmt_kb((paper_size_kb(model, format) * 1024.0) as usize)),
+            ]);
+            dump.push(serde_json::json!({
+                "model": model.name(),
+                "format": format.name(),
+                "params": params,
+                "bytes": bytes,
+                "paper_kb": paper_size_kb(model, format),
+            }));
+        }
+    }
+    table.print();
+    println!("\nPaper (Table 2): FFNN 28K params; ResNet50 23M params (canonical 25.6M);");
+    println!("ONNX most compact, SavedModel carries a large fixed metadata overhead.");
+    save_json("table2", &dump);
+}

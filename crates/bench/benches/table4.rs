@@ -1,0 +1,69 @@
+//! **Table 4** — sustainable throughput of every serving tool on the
+//! Flink-style engine (`bsz = 1`, `mp = 1`), for FFNN and ResNet50.
+//!
+//! The open-loop scenario: the producer offers load far above capacity and
+//! the measured output rate is the sustainable throughput.
+
+use crayfish::prelude::*;
+use crayfish_bench::*;
+
+fn paper_ffnn(tool: &str) -> f64 {
+    match tool {
+        "dl4j (e)" => 787.53,
+        "onnx (e)" => 1373.07,
+        "saved_model (e)" => 1289.68,
+        "torchserve (x)" => 225.09,
+        "tf-serving (x)" => 617.2,
+        _ => 0.0,
+    }
+}
+
+fn paper_resnet(tool: &str) -> f64 {
+    match tool {
+        "onnx (e)" => 2.85,
+        "torchserve (x)" => 0.91,
+        "tf-serving (x)" => 2.62,
+        _ => 0.0,
+    }
+}
+
+fn main() {
+    let flink = FlinkProcessor::new();
+    let mut table = Table::new(
+        "Table 4: throughput on Flink (events/s, bsz=1, mp=1)",
+        &["model", "serving tool", "measured", "paper"],
+    );
+    let mut dump = Vec::new();
+
+    for (tool, serving) in ffnn_tools() {
+        let mut spec = base_spec(ModelSpec::Ffnn, serving);
+        spec.workload = Workload::Constant { rate: OVERLOAD_FFNN };
+        let result = run(&format!("table4/ffnn/{tool}"), &flink, &spec);
+        table.row(vec![
+            "FFNN".into(),
+            tool.into(),
+            eps(result.throughput_eps),
+            eps(paper_ffnn(tool)),
+        ]);
+        dump.push(Measurement::of(format!("ffnn/{tool}"), &result));
+    }
+
+    for (tool, serving) in resnet_tools() {
+        let mut spec = base_spec(ModelSpec::Resnet50, serving);
+        spec.workload = Workload::Constant { rate: OVERLOAD_RESNET };
+        spec.duration = resnet_window_at_least(40);
+        let result = run(&format!("table4/resnet50/{tool}"), &flink, &spec);
+        table.row(vec![
+            "ResNet50".into(),
+            tool.into(),
+            eps(result.throughput_eps),
+            eps(paper_resnet(tool)),
+        ]);
+        dump.push(Measurement::of(format!("resnet50/{tool}"), &result));
+    }
+
+    table.print();
+    println!("\nPaper shape: embedded > external for FFNN (onnx ≈ saved_model > dl4j >");
+    println!("tf-serving >> torchserve); for ResNet50 the gap collapses (onnx ≈ tf-serving).");
+    save_json("table4", &dump);
+}

@@ -1,0 +1,16 @@
+use std::time::Instant;
+fn main() {
+    let t0 = Instant::now();
+    let g = crayfish_models::resnet::build(1);
+    eprintln!("build: {:?}", t0.elapsed());
+    let t0 = Instant::now();
+    let mut exec = crayfish_runtime::exec::FusedExec::new(&g).unwrap();
+    eprintln!("compile: {:?}", t0.elapsed());
+    let input = crayfish_tensor::Tensor::seeded_uniform([1, 3, 224, 224], 1, 0.0, 1.0);
+    let t0 = Instant::now();
+    let _ = exec.run(&input).unwrap();
+    eprintln!("first inference: {:?}", t0.elapsed());
+    let t0 = Instant::now();
+    let _ = exec.run(&input).unwrap();
+    eprintln!("second inference: {:?}", t0.elapsed());
+}

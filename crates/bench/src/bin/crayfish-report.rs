@@ -1,0 +1,95 @@
+//! `crayfish-report` — the paper's *metrics analyzer* component: consolidate
+//! the JSON measurements the bench harness wrote under `bench_results/`
+//! into one report.
+//!
+//! ```sh
+//! cargo bench --workspace              # produce bench_results/*.json
+//! cargo run -p crayfish-bench --bin crayfish-report
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use serde_json::Value;
+
+fn results_dir() -> PathBuf {
+    // Anchored at the workspace root, like the harness's save_json.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench_results")
+}
+
+fn fmt_num(v: &Value) -> String {
+    match v.as_f64() {
+        Some(f) if f >= 100.0 => format!("{f:.0}"),
+        Some(f) => format!("{f:.2}"),
+        None => "-".into(),
+    }
+}
+
+/// Render one measurement object (the common `Measurement` shape).
+fn render_measurement(m: &Value) -> Option<String> {
+    let config = m.get("config")?.as_str()?;
+    let eps = m.get("throughput_eps")?;
+    let lat = m.get("latency")?;
+    Some(format!(
+        "  {config:<44} {:>10} ev/s   p50 {:>8} ms   p99 {:>8} ms   n={}",
+        fmt_num(eps),
+        fmt_num(lat.get("p50")?),
+        fmt_num(lat.get("p99")?),
+        lat.get("count").and_then(Value::as_u64).unwrap_or(0),
+    ))
+}
+
+fn main() {
+    let dir = results_dir();
+    let mut files: BTreeMap<String, PathBuf> = BTreeMap::new();
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        eprintln!(
+            "no results at {} — run `cargo bench --workspace` first",
+            dir.display()
+        );
+        std::process::exit(1);
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) == Some("json") {
+            if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                files.insert(stem.to_string(), path);
+            }
+        }
+    }
+    if files.is_empty() {
+        eprintln!("no .json results in {}", dir.display());
+        std::process::exit(1);
+    }
+
+    println!("Crayfish benchmark report ({} experiments)", files.len());
+    for (name, path) in files {
+        let Ok(raw) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let Ok(value) = serde_json::from_str::<Value>(&raw) else {
+            println!("\n== {name}: unreadable JSON ==");
+            continue;
+        };
+        println!("\n== {name} ==");
+        match &value {
+            Value::Array(items) => {
+                let mut rendered = 0;
+                for item in items {
+                    if let Some(line) = render_measurement(item) {
+                        println!("{line}");
+                        rendered += 1;
+                    }
+                }
+                if rendered == 0 {
+                    // Experiment-specific shapes (table2, fig8, fig13):
+                    // print them compactly.
+                    for item in items {
+                        println!("  {}", serde_json::to_string(item).unwrap_or_default());
+                    }
+                }
+            }
+            other => println!("  {}", serde_json::to_string(other).unwrap_or_default()),
+        }
+    }
+}

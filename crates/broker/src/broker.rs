@@ -1,0 +1,295 @@
+//! The broker "cluster": topic registry, direct append/read, committed
+//! offsets.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+use crayfish_sim::NetworkModel;
+
+use crate::error::BrokerError;
+use crate::topic::{FetchedRecord, Topic};
+use crate::Result;
+
+/// The in-process broker. Shared between all clients via [`Arc`].
+///
+/// Methods on `Broker` itself are *broker-side* and carry no network cost;
+/// the client abstractions ([`crate::Producer`],
+/// [`crate::PartitionConsumer`]) apply the [`NetworkModel`] per request, as
+/// a remote client would experience it.
+#[derive(Debug)]
+pub struct Broker {
+    topics: RwLock<HashMap<String, Arc<Topic>>>,
+    /// Committed offsets: (group, topic, partition) → next offset to read.
+    offsets: RwLock<HashMap<(String, String, u32), u64>>,
+    network: NetworkModel,
+}
+
+impl Broker {
+    /// Create a broker whose clients experience `network` per request.
+    pub fn new(network: NetworkModel) -> Arc<Broker> {
+        Arc::new(Broker {
+            topics: RwLock::new(HashMap::new()),
+            offsets: RwLock::new(HashMap::new()),
+            network,
+        })
+    }
+
+    /// The network model clients of this broker should apply.
+    pub fn network(&self) -> NetworkModel {
+        self.network
+    }
+
+    /// Create a topic with `partitions` partitions and default retention.
+    pub fn create_topic(&self, name: &str, partitions: u32) -> Result<()> {
+        self.create_topic_with_retention(name, partitions, crate::topic::DEFAULT_RETENTION_BYTES)
+    }
+
+    /// Offset of the earliest retained record of a partition (moves forward
+    /// as size-based retention evicts old records).
+    pub fn earliest_offset(&self, topic: &str, partition: u32) -> Result<u64> {
+        let t = self.topic(topic)?;
+        let p = partition as usize;
+        if p >= t.partitions.len() {
+            return Err(BrokerError::UnknownPartition {
+                topic: topic.to_string(),
+                partition,
+            });
+        }
+        Ok(t.start_offset(p))
+    }
+
+    /// Create a topic with an explicit per-partition size-retention cap.
+    pub fn create_topic_with_retention(
+        &self,
+        name: &str,
+        partitions: u32,
+        retention_bytes: usize,
+    ) -> Result<()> {
+        if partitions == 0 {
+            return Err(BrokerError::UnknownPartition {
+                topic: name.to_string(),
+                partition: 0,
+            });
+        }
+        let mut topics = self.topics.write();
+        if topics.contains_key(name) {
+            return Err(BrokerError::TopicExists(name.to_string()));
+        }
+        topics.insert(
+            name.to_string(),
+            Arc::new(Topic::with_retention(partitions, retention_bytes)),
+        );
+        Ok(())
+    }
+
+    /// Delete a topic (used by failure-injection tests; consumers see
+    /// `UnknownTopic` afterwards).
+    pub fn delete_topic(&self, name: &str) -> Result<()> {
+        self.topics
+            .write()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| BrokerError::UnknownTopic(name.to_string()))
+    }
+
+    pub(crate) fn topic(&self, name: &str) -> Result<Arc<Topic>> {
+        self.topics
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| BrokerError::UnknownTopic(name.to_string()))
+    }
+
+    /// Number of partitions of a topic.
+    pub fn partitions(&self, name: &str) -> Result<u32> {
+        Ok(self.topic(name)?.partitions.len() as u32)
+    }
+
+    /// Broker-side append (no client network cost). Returns the first
+    /// assigned offset and the `LogAppendTime` stamp.
+    pub fn append(
+        &self,
+        topic: &str,
+        partition: u32,
+        values: Vec<(Bytes, f64)>,
+    ) -> Result<(u64, f64)> {
+        let t = self.topic(topic)?;
+        let p = partition as usize;
+        if p >= t.partitions.len() {
+            return Err(BrokerError::UnknownPartition {
+                topic: topic.to_string(),
+                partition,
+            });
+        }
+        Ok(t.append(p, values))
+    }
+
+    /// Broker-side read (no client network cost).
+    pub fn read(
+        &self,
+        topic: &str,
+        partition: u32,
+        offset: u64,
+        max_records: usize,
+        max_bytes: usize,
+    ) -> Result<Vec<FetchedRecord>> {
+        let t = self.topic(topic)?;
+        let p = partition as usize;
+        if p >= t.partitions.len() {
+            return Err(BrokerError::UnknownPartition {
+                topic: topic.to_string(),
+                partition,
+            });
+        }
+        Ok(t.read(p, offset, max_records, max_bytes))
+    }
+
+    /// Log-end offset of one partition.
+    pub fn end_offset(&self, topic: &str, partition: u32) -> Result<u64> {
+        let t = self.topic(topic)?;
+        let p = partition as usize;
+        if p >= t.partitions.len() {
+            return Err(BrokerError::UnknownPartition {
+                topic: topic.to_string(),
+                partition,
+            });
+        }
+        Ok(t.end_offset(p))
+    }
+
+    /// Sum of log-end offsets across all partitions — total records in the
+    /// topic.
+    pub fn total_records(&self, topic: &str) -> Result<u64> {
+        let t = self.topic(topic)?;
+        Ok((0..t.partitions.len()).map(|p| t.end_offset(p)).sum())
+    }
+
+    /// Commit a consumer group's next-offset for a partition.
+    pub fn commit_offset(&self, group: &str, topic: &str, partition: u32, next: u64) {
+        self.offsets
+            .write()
+            .insert((group.to_string(), topic.to_string(), partition), next);
+    }
+
+    /// The committed next-offset for a group/partition (0 if none).
+    pub fn committed_offset(&self, group: &str, topic: &str, partition: u32) -> u64 {
+        self.offsets
+            .read()
+            .get(&(group.to_string(), topic.to_string(), partition))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total consumer lag of a group over a topic: log end minus committed,
+    /// summed over partitions.
+    pub fn group_lag(&self, group: &str, topic: &str) -> Result<u64> {
+        let partitions = self.partitions(topic)?;
+        let mut lag = 0u64;
+        for p in 0..partitions {
+            let end = self.end_offset(topic, p)?;
+            let committed = self.committed_offset(group, topic, p);
+            lag += end.saturating_sub(committed);
+        }
+        Ok(lag)
+    }
+
+    /// Static range assignment of `partitions` to `members` (the paper's
+    /// engines assign partitions to parallel tasks this way).
+    pub fn range_assignment(partitions: u32, members: usize) -> Vec<Vec<u32>> {
+        let mut out = vec![Vec::new(); members.max(1)];
+        for p in 0..partitions {
+            out[(p as usize) % members.max(1)].push(p);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn broker() -> Arc<Broker> {
+        Broker::new(NetworkModel::zero())
+    }
+
+    #[test]
+    fn create_append_read() {
+        let b = broker();
+        b.create_topic("in", 4).unwrap();
+        assert_eq!(b.partitions("in").unwrap(), 4);
+        let (off, ts) = b
+            .append("in", 2, vec![(Bytes::from_static(b"hello"), 1.0)])
+            .unwrap();
+        assert_eq!(off, 0);
+        assert!(ts > 0.0);
+        let recs = b.read("in", 2, 0, 10, usize::MAX).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(&recs[0].value[..], b"hello");
+    }
+
+    #[test]
+    fn unknown_topic_and_partition_errors() {
+        let b = broker();
+        assert!(matches!(
+            b.append("nope", 0, vec![]),
+            Err(BrokerError::UnknownTopic(_))
+        ));
+        b.create_topic("t", 2).unwrap();
+        assert!(matches!(
+            b.append("t", 5, vec![]),
+            Err(BrokerError::UnknownPartition { .. })
+        ));
+        assert!(matches!(
+            b.create_topic("t", 2),
+            Err(BrokerError::TopicExists(_))
+        ));
+    }
+
+    #[test]
+    fn delete_topic_breaks_clients() {
+        let b = broker();
+        b.create_topic("t", 1).unwrap();
+        b.delete_topic("t").unwrap();
+        assert!(b.read("t", 0, 0, 1, 1).is_err());
+        assert!(b.delete_topic("t").is_err());
+    }
+
+    #[test]
+    fn committed_offsets_and_lag() {
+        let b = broker();
+        b.create_topic("t", 2).unwrap();
+        b.append("t", 0, vec![(Bytes::from_static(b"a"), 0.0), (Bytes::from_static(b"b"), 0.0)])
+            .unwrap();
+        b.append("t", 1, vec![(Bytes::from_static(b"c"), 0.0)]).unwrap();
+        assert_eq!(b.group_lag("g", "t").unwrap(), 3);
+        b.commit_offset("g", "t", 0, 2);
+        assert_eq!(b.group_lag("g", "t").unwrap(), 1);
+        assert_eq!(b.committed_offset("g", "t", 0), 2);
+        assert_eq!(b.committed_offset("g", "t", 1), 0);
+    }
+
+    #[test]
+    fn range_assignment_covers_all_partitions() {
+        let assign = Broker::range_assignment(32, 3);
+        assert_eq!(assign.len(), 3);
+        let mut all: Vec<u32> = assign.concat();
+        all.sort_unstable();
+        assert_eq!(all, (0..32).collect::<Vec<_>>());
+        // Balanced within one.
+        let sizes: Vec<usize> = assign.iter().map(|a| a.len()).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn total_records_sums_partitions() {
+        let b = broker();
+        b.create_topic("t", 3).unwrap();
+        for p in 0..3 {
+            b.append("t", p, vec![(Bytes::from_static(b"x"), 0.0)]).unwrap();
+        }
+        assert_eq!(b.total_records("t").unwrap(), 3);
+    }
+}

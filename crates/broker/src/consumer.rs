@@ -1,0 +1,254 @@
+//! The partition consumer client.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::broker::Broker;
+use crate::topic::FetchedRecord;
+use crate::Result;
+
+/// A consumer with a static partition assignment (the engines assign
+/// partitions to parallel tasks themselves, see
+/// [`Broker::range_assignment`]). Fetches long-poll: a `poll` with no data
+/// available blocks on the topic's notifier until the deadline.
+#[derive(Debug)]
+pub struct PartitionConsumer {
+    broker: Arc<Broker>,
+    topic: String,
+    group: String,
+    assigned: Vec<u32>,
+    positions: HashMap<u32, u64>,
+    next_idx: usize,
+    /// Kafka's `max.poll.records`.
+    pub max_poll_records: usize,
+    /// Fetch response size cap (the paper raises it to 50 MB).
+    pub max_fetch_bytes: usize,
+}
+
+impl PartitionConsumer {
+    /// Create a consumer over `assigned` partitions of `topic`, starting
+    /// from the group's committed offsets (0 if none).
+    pub fn new(
+        broker: Arc<Broker>,
+        topic: &str,
+        group: &str,
+        assigned: Vec<u32>,
+    ) -> Result<PartitionConsumer> {
+        let total = broker.partitions(topic)?;
+        let mut positions = HashMap::new();
+        for &p in &assigned {
+            if p >= total {
+                return Err(crate::BrokerError::UnknownPartition {
+                    topic: topic.to_string(),
+                    partition: p,
+                });
+            }
+            positions.insert(p, broker.committed_offset(group, topic, p));
+        }
+        Ok(PartitionConsumer {
+            broker,
+            topic: topic.to_string(),
+            group: group.to_string(),
+            assigned,
+            positions,
+            next_idx: 0,
+            max_poll_records: 500,
+            max_fetch_bytes: 50 * 1024 * 1024,
+        })
+    }
+
+    /// The assigned partitions.
+    pub fn assignment(&self) -> &[u32] {
+        &self.assigned
+    }
+
+    /// Fetch available records, blocking up to `max_wait` when none are
+    /// available. Returns an empty vector on timeout. One modelled network
+    /// hop is paid per non-empty response.
+    pub fn poll(&mut self, max_wait: Duration) -> Result<Vec<FetchedRecord>> {
+        let deadline = Instant::now() + max_wait;
+        loop {
+            let topic = self.broker.topic(&self.topic)?;
+            let seen = topic.current_version();
+            let mut out: Vec<FetchedRecord> = Vec::new();
+            let mut bytes = 0usize;
+            // Start at a rotating index for fairness across partitions.
+            for k in 0..self.assigned.len() {
+                if out.len() >= self.max_poll_records || bytes >= self.max_fetch_bytes {
+                    break;
+                }
+                let p = self.assigned[(self.next_idx + k) % self.assigned.len()];
+                let offset = self.positions[&p];
+                let recs = topic.read(
+                    p as usize,
+                    offset,
+                    self.max_poll_records - out.len(),
+                    self.max_fetch_bytes - bytes,
+                );
+                if let Some(last) = recs.last() {
+                    self.positions.insert(p, last.offset + 1);
+                }
+                for r in recs {
+                    bytes += r.value.len();
+                    out.push(r);
+                }
+            }
+            if !self.assigned.is_empty() {
+                self.next_idx = (self.next_idx + 1) % self.assigned.len();
+            }
+            if !out.is_empty() {
+                // One fetch response over the wire.
+                self.broker.network().transfer(bytes);
+                return Ok(out);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(Vec::new());
+            }
+            topic.wait_for_data(seen, deadline - now);
+        }
+    }
+
+    /// Commit current positions for this consumer's group.
+    pub fn commit(&self) {
+        for (&p, &next) in &self.positions {
+            self.broker.commit_offset(&self.group, &self.topic, p, next);
+        }
+    }
+
+    /// Current position (next offset to read) of a partition.
+    pub fn position(&self, partition: u32) -> Option<u64> {
+        self.positions.get(&partition).copied()
+    }
+
+    /// Reset a partition's position.
+    pub fn seek(&mut self, partition: u32, offset: u64) {
+        self.positions.insert(partition, offset);
+    }
+
+    /// Lag of this consumer over its assigned partitions.
+    pub fn lag(&self) -> Result<u64> {
+        let mut lag = 0u64;
+        for (&p, &pos) in &self.positions {
+            lag += self.broker.end_offset(&self.topic, p)?.saturating_sub(pos);
+        }
+        Ok(lag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use crayfish_sim::NetworkModel;
+
+    fn setup() -> (Arc<Broker>, PartitionConsumer) {
+        let b = Broker::new(NetworkModel::zero());
+        b.create_topic("t", 4).unwrap();
+        let c = PartitionConsumer::new(b.clone(), "t", "g", vec![0, 1, 2, 3]).unwrap();
+        (b, c)
+    }
+
+    #[test]
+    fn polls_across_partitions() {
+        let (b, mut c) = setup();
+        for p in 0..4 {
+            b.append("t", p, vec![(Bytes::from(vec![p as u8]), 0.0)]).unwrap();
+        }
+        let mut got = Vec::new();
+        while got.len() < 4 {
+            let recs = c.poll(Duration::from_millis(100)).unwrap();
+            assert!(!recs.is_empty(), "timed out with {} records", got.len());
+            got.extend(recs);
+        }
+        let mut parts: Vec<u32> = got.iter().map(|r| r.partition).collect();
+        parts.sort_unstable();
+        assert_eq!(parts, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn poll_times_out_empty() {
+        let (_b, mut c) = setup();
+        let sw = crayfish_sim::Stopwatch::start();
+        let recs = c.poll(Duration::from_millis(30)).unwrap();
+        assert!(recs.is_empty());
+        assert!(sw.elapsed_millis() >= 25.0);
+    }
+
+    #[test]
+    fn long_poll_wakes_on_new_data() {
+        let (b, mut c) = setup();
+        let b2 = b.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            b2.append("t", 1, vec![(Bytes::from_static(b"x"), 0.0)]).unwrap();
+        });
+        let recs = c.poll(Duration::from_secs(5)).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].partition, 1);
+    }
+
+    #[test]
+    fn positions_advance_without_rereads() {
+        let (b, mut c) = setup();
+        b.append("t", 0, vec![(Bytes::from_static(b"a"), 0.0), (Bytes::from_static(b"b"), 0.0)])
+            .unwrap();
+        let first = c.poll(Duration::from_millis(50)).unwrap();
+        assert_eq!(first.len(), 2);
+        let again = c.poll(Duration::from_millis(30)).unwrap();
+        assert!(again.is_empty(), "re-read already-consumed records");
+        assert_eq!(c.position(0), Some(2));
+    }
+
+    #[test]
+    fn commit_and_resume_from_committed() {
+        let (b, mut c) = setup();
+        b.append("t", 0, vec![(Bytes::from_static(b"a"), 0.0)]).unwrap();
+        c.poll(Duration::from_millis(50)).unwrap();
+        c.commit();
+        drop(c);
+        // A new consumer in the same group resumes after the commit.
+        let mut c2 = PartitionConsumer::new(b.clone(), "t", "g", vec![0]).unwrap();
+        b.append("t", 0, vec![(Bytes::from_static(b"b"), 0.0)]).unwrap();
+        let recs = c2.poll(Duration::from_millis(50)).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(&recs[0].value[..], b"b");
+    }
+
+    #[test]
+    fn lag_reflects_unread_records() {
+        let (b, mut c) = setup();
+        assert_eq!(c.lag().unwrap(), 0);
+        for _ in 0..5 {
+            b.append("t", 2, vec![(Bytes::from_static(b"x"), 0.0)]).unwrap();
+        }
+        assert_eq!(c.lag().unwrap(), 5);
+        c.poll(Duration::from_millis(50)).unwrap();
+        assert_eq!(c.lag().unwrap(), 0);
+    }
+
+    #[test]
+    fn seek_rewinds() {
+        let (b, mut c) = setup();
+        b.append("t", 0, vec![(Bytes::from_static(b"a"), 0.0)]).unwrap();
+        c.poll(Duration::from_millis(50)).unwrap();
+        c.seek(0, 0);
+        let recs = c.poll(Duration::from_millis(50)).unwrap();
+        assert_eq!(recs.len(), 1, "seek should allow re-reading");
+    }
+
+    #[test]
+    fn rejects_invalid_assignment() {
+        let b = Broker::new(NetworkModel::zero());
+        b.create_topic("t", 2).unwrap();
+        assert!(PartitionConsumer::new(b, "t", "g", vec![0, 5]).is_err());
+    }
+
+    #[test]
+    fn deleted_topic_surfaces_error() {
+        let (b, mut c) = setup();
+        b.delete_topic("t").unwrap();
+        assert!(c.poll(Duration::from_millis(10)).is_err());
+    }
+}

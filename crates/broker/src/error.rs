@@ -1,0 +1,62 @@
+//! Broker error type.
+
+use std::fmt;
+
+/// Errors returned by broker operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BrokerError {
+    /// The topic does not exist.
+    UnknownTopic(String),
+    /// The partition index is out of range for the topic.
+    UnknownPartition {
+        /// Topic name.
+        topic: String,
+        /// Requested partition.
+        partition: u32,
+    },
+    /// A topic with this name already exists.
+    TopicExists(String),
+    /// The producer has been closed.
+    ProducerClosed,
+    /// A fetch referenced an offset beyond the log end (only possible with
+    /// explicit seeks).
+    OffsetOutOfRange {
+        /// Topic name.
+        topic: String,
+        /// Partition.
+        partition: u32,
+        /// Requested offset.
+        offset: u64,
+        /// Current log end.
+        end: u64,
+    },
+}
+
+impl fmt::Display for BrokerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BrokerError::UnknownTopic(t) => write!(f, "unknown topic: {t}"),
+            BrokerError::UnknownPartition { topic, partition } => {
+                write!(f, "unknown partition {partition} of topic {topic}")
+            }
+            BrokerError::TopicExists(t) => write!(f, "topic already exists: {t}"),
+            BrokerError::ProducerClosed => write!(f, "producer closed"),
+            BrokerError::OffsetOutOfRange { topic, partition, offset, end } => write!(
+                f,
+                "offset {offset} out of range for {topic}/{partition} (log end {end})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BrokerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_topic() {
+        assert!(BrokerError::UnknownTopic("in".into()).to_string().contains("in"));
+    }
+}

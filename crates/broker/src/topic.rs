@@ -1,0 +1,271 @@
+//! Topics and partition logs.
+
+use std::collections::VecDeque;
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+
+use crayfish_sim::now_millis_f64;
+
+/// Default per-partition retention. Old records are evicted once a
+/// partition exceeds this many bytes — the analog of Kafka's size-based log
+/// retention, and what keeps hours of offered load from exhausting memory.
+pub const DEFAULT_RETENTION_BYTES: usize = 32 * 1024 * 1024;
+
+#[derive(Debug, Default)]
+pub(crate) struct PartitionLog {
+    /// Offset of the first retained record.
+    base: u64,
+    bytes: usize,
+    records: VecDeque<StoredRecord>,
+}
+
+/// One record as stored in a partition log.
+#[derive(Debug, Clone)]
+pub(crate) struct StoredRecord {
+    pub value: Bytes,
+    /// Client-side send time (informational).
+    pub produce_time_ms: f64,
+    /// Broker-side `LogAppendTime` — the paper's *end* timestamp authority.
+    pub append_time_ms: f64,
+}
+
+/// One record as returned by a fetch.
+#[derive(Debug, Clone)]
+pub struct FetchedRecord {
+    /// Partition the record came from.
+    pub partition: u32,
+    /// Offset within the partition.
+    pub offset: u64,
+    /// Record payload.
+    pub value: Bytes,
+    /// Client-side send time.
+    pub produce_time_ms: f64,
+    /// Broker-side `LogAppendTime`.
+    pub append_time_ms: f64,
+}
+
+/// A topic: a fixed set of partition logs plus a notifier for long-polls.
+#[derive(Debug)]
+pub(crate) struct Topic {
+    pub partitions: Vec<Mutex<PartitionLog>>,
+    pub retention_bytes: usize,
+    /// Bumped on every append; long-polling fetches wait on it.
+    pub version: Mutex<u64>,
+    pub data_cond: Condvar,
+}
+
+impl Topic {
+    /// Default-retention constructor (test convenience; the broker always
+    /// passes an explicit retention).
+    #[cfg(test)]
+    pub fn new(partitions: u32) -> Self {
+        Self::with_retention(partitions, DEFAULT_RETENTION_BYTES)
+    }
+
+    pub fn with_retention(partitions: u32, retention_bytes: usize) -> Self {
+        Topic {
+            partitions: (0..partitions).map(|_| Mutex::new(PartitionLog::default())).collect(),
+            retention_bytes: retention_bytes.max(1),
+            version: Mutex::new(0),
+            data_cond: Condvar::new(),
+        }
+    }
+
+    /// Append records to one partition, stamping `LogAppendTime` under the
+    /// partition lock. Returns the first assigned offset and the stamp.
+    pub fn append(&self, partition: usize, values: Vec<(Bytes, f64)>) -> (u64, f64) {
+        let mut log = self.partitions[partition].lock();
+        let first_offset = log.base + log.records.len() as u64;
+        let append_time_ms = now_millis_f64();
+        for (value, produce_time_ms) in values {
+            log.bytes += value.len();
+            log.records.push_back(StoredRecord {
+                value,
+                produce_time_ms,
+                append_time_ms,
+            });
+        }
+        // Size-based retention: evict from the head, never the last record.
+        while log.bytes > self.retention_bytes && log.records.len() > 1 {
+            if let Some(evicted) = log.records.pop_front() {
+                log.bytes -= evicted.value.len();
+                log.base += 1;
+            }
+        }
+        drop(log);
+        // Wake long-polling fetchers.
+        let mut v = self.version.lock();
+        *v += 1;
+        self.data_cond.notify_all();
+        (first_offset, append_time_ms)
+    }
+
+    /// Log-end offset of a partition.
+    pub fn end_offset(&self, partition: usize) -> u64 {
+        let log = self.partitions[partition].lock();
+        log.base + log.records.len() as u64
+    }
+
+    /// Offset of the earliest retained record.
+    pub fn start_offset(&self, partition: usize) -> u64 {
+        self.partitions[partition].lock().base
+    }
+
+    /// Read up to `max_records`/`max_bytes` records from `partition`
+    /// starting at `offset`. Returns an empty vector when nothing is
+    /// available.
+    pub fn read(
+        &self,
+        partition: usize,
+        offset: u64,
+        max_records: usize,
+        max_bytes: usize,
+    ) -> Vec<FetchedRecord> {
+        let log = self.partitions[partition].lock();
+        // Offsets below the retention horizon resume at the earliest
+        // retained record (Kafka's earliest-offset reset).
+        let start = (offset.max(log.base) - log.base) as usize;
+        if start >= log.records.len() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut bytes = 0usize;
+        for (i, rec) in log.records.iter().skip(start).enumerate() {
+            if out.len() >= max_records {
+                break;
+            }
+            // Always deliver at least one record, as Kafka does even when a
+            // single record exceeds the fetch size.
+            if !out.is_empty() && bytes + rec.value.len() > max_bytes {
+                break;
+            }
+            bytes += rec.value.len();
+            out.push(FetchedRecord {
+                partition: partition as u32,
+                offset: log.base + (start + i) as u64,
+                value: rec.value.clone(),
+                produce_time_ms: rec.produce_time_ms,
+                append_time_ms: rec.append_time_ms,
+            });
+        }
+        out
+    }
+
+    /// Block until the topic's version exceeds `seen` or the deadline
+    /// passes; returns the current version.
+    pub fn wait_for_data(&self, seen: u64, timeout: std::time::Duration) -> u64 {
+        let mut v = self.version.lock();
+        if *v > seen {
+            return *v;
+        }
+        self.data_cond.wait_for(&mut v, timeout);
+        *v
+    }
+
+    /// Current version counter.
+    pub fn current_version(&self) -> u64 {
+        *self.version.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_assigns_contiguous_offsets() {
+        let t = Topic::new(2);
+        let (o1, _) = t.append(0, vec![(Bytes::from_static(b"a"), 1.0)]);
+        let (o2, _) = t.append(0, vec![(Bytes::from_static(b"b"), 2.0), (Bytes::from_static(b"c"), 3.0)]);
+        assert_eq!(o1, 0);
+        assert_eq!(o2, 1);
+        assert_eq!(t.end_offset(0), 3);
+        assert_eq!(t.end_offset(1), 0);
+    }
+
+    #[test]
+    fn append_time_is_monotonic_per_partition() {
+        let t = Topic::new(1);
+        let (_, t1) = t.append(0, vec![(Bytes::from_static(b"a"), 0.0)]);
+        let (_, t2) = t.append(0, vec![(Bytes::from_static(b"b"), 0.0)]);
+        assert!(t2 >= t1);
+    }
+
+    #[test]
+    fn read_respects_limits_but_always_progresses() {
+        let t = Topic::new(1);
+        let big = Bytes::from(vec![0u8; 1000]);
+        t.append(0, vec![(big.clone(), 0.0), (big.clone(), 0.0), (big, 0.0)]);
+        // max_bytes smaller than one record: still returns one.
+        let r = t.read(0, 0, 10, 10);
+        assert_eq!(r.len(), 1);
+        // max_bytes fits two.
+        let r = t.read(0, 0, 10, 2000);
+        assert_eq!(r.len(), 2);
+        // max_records caps.
+        let r = t.read(0, 0, 1, usize::MAX);
+        assert_eq!(r.len(), 1);
+        // Reading past the end yields nothing.
+        assert!(t.read(0, 3, 10, usize::MAX).is_empty());
+    }
+
+    #[test]
+    fn offsets_in_fetched_records_are_correct() {
+        let t = Topic::new(1);
+        t.append(0, vec![(Bytes::from_static(b"a"), 0.0), (Bytes::from_static(b"b"), 0.0)]);
+        let r = t.read(0, 1, 10, usize::MAX);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].offset, 1);
+        assert_eq!(&r[0].value[..], b"b");
+    }
+
+    #[test]
+    fn wait_for_data_wakes_on_append() {
+        use std::sync::Arc;
+        let t = Arc::new(Topic::new(1));
+        let seen = t.current_version();
+        let t2 = t.clone();
+        let h = std::thread::spawn(move || t2.wait_for_data(seen, std::time::Duration::from_secs(5)));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        t.append(0, vec![(Bytes::from_static(b"x"), 0.0)]);
+        let v = h.join().unwrap();
+        assert!(v > seen);
+    }
+
+    #[test]
+    fn retention_evicts_old_records_and_offsets_survive() {
+        let t = Topic::with_retention(1, 2500);
+        let rec = Bytes::from(vec![0u8; 1000]);
+        for _ in 0..5 {
+            t.append(0, vec![(rec.clone(), 0.0)]);
+        }
+        // Cap is 2500 bytes -> at most 2 retained records.
+        assert_eq!(t.end_offset(0), 5);
+        assert_eq!(t.start_offset(0), 3);
+        // Reading from an evicted offset resumes at the horizon.
+        let r = t.read(0, 0, 10, usize::MAX);
+        assert_eq!(r.first().unwrap().offset, 3);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn retention_never_evicts_the_last_record() {
+        let t = Topic::with_retention(1, 10);
+        t.append(0, vec![(Bytes::from(vec![0u8; 1000]), 0.0)]);
+        assert_eq!(t.end_offset(0), 1);
+        assert_eq!(t.start_offset(0), 0);
+        let r = t.read(0, 0, 10, usize::MAX);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn wait_for_data_times_out() {
+        let t = Topic::new(1);
+        let v0 = t.current_version();
+        let sw = crayfish_sim::Stopwatch::start();
+        let v = t.wait_for_data(v0, std::time::Duration::from_millis(30));
+        assert_eq!(v, v0);
+        assert!(sw.elapsed_millis() >= 25.0);
+    }
+}

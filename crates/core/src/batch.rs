@@ -1,0 +1,162 @@
+//! The `CrayfishDataBatch` unit of computation and its JSON wire form.
+//!
+//! §3.1 of the paper: "A CrayfishDataBatch contains a batch of data points
+//! alongside the creation timestamp, which is used in computing end-to-end
+//! latencies. Crayfish uses JSON serialization throughout the data pipeline
+//! for simplicity and flexibility." The JSON cost is real and intentional —
+//! it dominates transfer sizes for large inputs, which is why the paper's
+//! GPU gains are modest.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crayfish_tensor::{Shape, Tensor};
+
+use crate::error::CoreError;
+use crate::Result;
+
+/// A batch of `bsz` data points travelling through the pipeline as one
+/// event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrayfishDataBatch {
+    /// Monotonic batch id assigned by the producer.
+    pub id: u64,
+    /// Producer-side creation timestamp (UNIX ms) — the *start* time of the
+    /// end-to-end latency measurement (§3.3, step 1).
+    pub created_ms: f64,
+    /// Per-item shape (e.g. `[28, 28]`).
+    pub shape: Vec<usize>,
+    /// Number of data points in the batch (`bsz`).
+    pub bsz: usize,
+    /// Row-major data of all `bsz` items.
+    pub data: Vec<f32>,
+}
+
+impl CrayfishDataBatch {
+    /// Build a batch from a `[bsz, ..item]` tensor.
+    pub fn from_tensor(id: u64, created_ms: f64, t: &Tensor) -> CrayfishDataBatch {
+        CrayfishDataBatch {
+            id,
+            created_ms,
+            shape: t.shape().per_item().dims().to_vec(),
+            bsz: t.batch(),
+            data: t.data().to_vec(),
+        }
+    }
+
+    /// Reassemble the `[bsz, ..item]` tensor.
+    pub fn to_tensor(&self) -> Result<Tensor> {
+        let mut dims = vec![self.bsz];
+        dims.extend_from_slice(&self.shape);
+        Tensor::from_vec(Shape::new(dims), self.data.clone())
+            .map_err(|e| CoreError::Codec(format!("batch {}: {e}", self.id)))
+    }
+
+    /// JSON-encode for the wire.
+    pub fn encode(&self) -> Result<Bytes> {
+        serde_json::to_vec(self)
+            .map(Bytes::from)
+            .map_err(|e| CoreError::Codec(format!("batch encode: {e}")))
+    }
+
+    /// Parse from the wire.
+    pub fn decode(bytes: &[u8]) -> Result<CrayfishDataBatch> {
+        let batch: CrayfishDataBatch = serde_json::from_slice(bytes)
+            .map_err(|e| CoreError::Codec(format!("batch decode: {e}")))?;
+        let expect: usize = batch.shape.iter().product::<usize>() * batch.bsz;
+        if batch.data.len() != expect {
+            return Err(CoreError::Codec(format!(
+                "batch {}: {} values for bsz {} of shape {:?}",
+                batch.id,
+                batch.data.len(),
+                batch.bsz,
+                batch.shape
+            )));
+        }
+        Ok(batch)
+    }
+}
+
+/// A scored batch on its way to the output topic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoredBatch {
+    /// The originating batch id.
+    pub id: u64,
+    /// Creation timestamp carried through from the input batch.
+    pub created_ms: f64,
+    /// Number of scored data points.
+    pub bsz: usize,
+    /// Classes per prediction.
+    pub classes: usize,
+    /// `bsz × classes` probabilities, row-major.
+    pub scores: Vec<f32>,
+}
+
+impl ScoredBatch {
+    /// Build from the scoring operator's output tensor.
+    pub fn from_output(input: &CrayfishDataBatch, output: &Tensor) -> ScoredBatch {
+        ScoredBatch {
+            id: input.id,
+            created_ms: input.created_ms,
+            bsz: output.batch(),
+            classes: output.shape().per_item().numel(),
+            scores: output.data().to_vec(),
+        }
+    }
+
+    /// JSON-encode for the wire.
+    pub fn encode(&self) -> Result<Bytes> {
+        serde_json::to_vec(self)
+            .map(Bytes::from)
+            .map_err(|e| CoreError::Codec(format!("scored encode: {e}")))
+    }
+
+    /// Parse from the wire.
+    pub fn decode(bytes: &[u8]) -> Result<ScoredBatch> {
+        serde_json::from_slice(bytes).map_err(|e| CoreError::Codec(format!("scored decode: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_json_roundtrip() {
+        let t = Tensor::seeded_uniform([4, 3, 3], 1, 0.0, 1.0);
+        let batch = CrayfishDataBatch::from_tensor(7, 123.5, &t);
+        let bytes = batch.encode().unwrap();
+        let back = CrayfishDataBatch::decode(&bytes).unwrap();
+        assert_eq!(back.id, 7);
+        assert_eq!(back.bsz, 4);
+        assert_eq!(back.to_tensor().unwrap(), t);
+    }
+
+    #[test]
+    fn decode_rejects_inconsistent_sizes() {
+        let json = br#"{"id":1,"created_ms":0.0,"shape":[2,2],"bsz":2,"data":[1.0,2.0]}"#;
+        assert!(CrayfishDataBatch::decode(json).is_err());
+        assert!(CrayfishDataBatch::decode(b"not json").is_err());
+    }
+
+    #[test]
+    fn scored_batch_carries_timestamps() {
+        let t = Tensor::seeded_uniform([2, 4], 1, 0.0, 1.0);
+        let input = CrayfishDataBatch::from_tensor(3, 55.5, &Tensor::zeros([2, 8, 8]));
+        let scored = ScoredBatch::from_output(&input, &t);
+        assert_eq!(scored.id, 3);
+        assert_eq!(scored.created_ms, 55.5);
+        assert_eq!(scored.classes, 4);
+        let back = ScoredBatch::decode(&scored.encode().unwrap()).unwrap();
+        assert_eq!(back, scored);
+    }
+
+    #[test]
+    fn json_payload_sizes_are_realistic() {
+        // One FFNN input point is ~3 KB on the paper's wire; our JSON is the
+        // same order of magnitude.
+        let t = Tensor::seeded_uniform([1, 28, 28], 1, 0.0, 1.0);
+        let bytes = CrayfishDataBatch::from_tensor(1, 0.0, &t).encode().unwrap();
+        assert!(bytes.len() > 2_000 && bytes.len() < 15_000, "{} bytes", bytes.len());
+    }
+}

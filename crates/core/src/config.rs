@@ -1,0 +1,307 @@
+//! Declarative experiment configuration.
+//!
+//! The paper's Crayfish is driven by configuration files naming the stream
+//! processor, the serving tool, the model, and the workload parameters of
+//! Table 1. This module is that surface: a serde-friendly
+//! [`ExperimentConfig`] that resolves names into an
+//! [`ExperimentSpec`]. The engine itself is looked
+//! up by the caller (the `crayfish` facade crate owns the engine registry).
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crayfish_models::ModelSpec;
+use crayfish_runtime::{embedded_by_name, Device};
+use crayfish_serving::ExternalKind;
+use crayfish_sim::NetworkModel;
+
+use crate::error::CoreError;
+use crate::runner::{ExperimentSpec, ServingChoice};
+use crate::workload::Workload;
+use crate::Result;
+
+/// Serving-tool selection by name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "mode", rename_all = "snake_case")]
+pub enum ServingDef {
+    /// Embedded library inside the scoring operator.
+    Embedded {
+        /// `"onnx"`, `"saved_model"`, or `"dl4j"`.
+        library: String,
+        /// `"cpu"` (default) or `"gpu"`.
+        #[serde(default)]
+        device: DeviceDef,
+    },
+    /// External serving service.
+    External {
+        /// `"tf_serving"`, `"torch_serve"`, or `"ray_serve"`.
+        server: String,
+        /// `"cpu"` (default) or `"gpu"`.
+        #[serde(default)]
+        device: DeviceDef,
+    },
+}
+
+/// Device selection by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum DeviceDef {
+    /// Host CPU.
+    #[default]
+    Cpu,
+    /// The simulated T4.
+    Gpu,
+}
+
+impl DeviceDef {
+    fn to_device(self) -> Device {
+        match self {
+            DeviceDef::Cpu => Device::Cpu,
+            DeviceDef::Gpu => Device::gpu(),
+        }
+    }
+}
+
+/// Workload selection (Table 1's `ir` / `bd` / `tbb`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum WorkloadDef {
+    /// Constant input rate.
+    Constant {
+        /// Events per second.
+        rate: f64,
+    },
+    /// Periodic bursts.
+    Bursty {
+        /// Baseline rate between bursts.
+        base: f64,
+        /// Rate during bursts.
+        burst: f64,
+        /// Burst duration (`bd`), seconds.
+        bd: f64,
+        /// Time between bursts (`tbb`), seconds.
+        tbb: f64,
+    },
+}
+
+/// Network selection by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum NetworkDef {
+    /// The paper's calibrated 1 Gbps LAN.
+    #[default]
+    #[serde(rename = "lan-1gbps")]
+    Lan1gbps,
+    /// A fast same-rack link.
+    Localhost,
+    /// No modelled network (everything co-located).
+    Zero,
+}
+
+impl NetworkDef {
+    fn to_model(self) -> NetworkModel {
+        match self {
+            NetworkDef::Lan1gbps => NetworkModel::lan_1gbps(),
+            NetworkDef::Localhost => NetworkModel::localhost(),
+            NetworkDef::Zero => NetworkModel::zero(),
+        }
+    }
+}
+
+fn default_bsz() -> usize {
+    1
+}
+fn default_mp() -> usize {
+    1
+}
+fn default_partitions() -> u32 {
+    32
+}
+fn default_duration() -> f64 {
+    15.0
+}
+fn default_warmup() -> f64 {
+    0.25
+}
+fn default_seed() -> u64 {
+    42
+}
+
+/// A complete experiment description, loadable from JSON.
+///
+/// ```json
+/// {
+///   "processor": "flink",
+///   "model": "ffnn",
+///   "serving": { "mode": "embedded", "library": "onnx" },
+///   "workload": { "type": "constant", "rate": 1000.0 },
+///   "bsz": 1, "mp": 4, "duration_secs": 30.0
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Engine name: `"flink"`, `"kstreams"`, `"sparkss"`, or `"ray"`.
+    pub processor: String,
+    /// Model name (see `crayfish_models::ModelSpec`).
+    pub model: String,
+    /// Serving tool.
+    pub serving: ServingDef,
+    /// Input workload.
+    pub workload: WorkloadDef,
+    /// Data points per batch (`bsz`).
+    #[serde(default = "default_bsz")]
+    pub bsz: usize,
+    /// Parallelism (`mp`).
+    #[serde(default = "default_mp")]
+    pub mp: usize,
+    /// Partitions per topic.
+    #[serde(default = "default_partitions")]
+    pub partitions: u32,
+    /// Measurement window in seconds.
+    #[serde(default = "default_duration")]
+    pub duration_secs: f64,
+    /// Warmup fraction discarded from the front of the run.
+    #[serde(default = "default_warmup")]
+    pub warmup_fraction: f64,
+    /// Weight/data seed.
+    #[serde(default = "default_seed")]
+    pub seed: u64,
+    /// Modelled network between components.
+    #[serde(default)]
+    pub network: NetworkDef,
+}
+
+impl ExperimentConfig {
+    /// Parse from a JSON string.
+    pub fn from_json(json: &str) -> Result<ExperimentConfig> {
+        serde_json::from_str(json).map_err(|e| CoreError::Config(format!("config parse: {e}")))
+    }
+
+    /// Read and parse a JSON config file.
+    pub fn from_file(path: &std::path::Path) -> Result<ExperimentConfig> {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| CoreError::Config(format!("read {}: {e}", path.display())))?;
+        Self::from_json(&json)
+    }
+
+    /// Resolve names into a runnable [`ExperimentSpec`]. The processor name
+    /// is *not* resolved here — the caller owns the engine registry.
+    pub fn to_spec(&self) -> Result<ExperimentSpec> {
+        let model = ModelSpec::by_name(&self.model)?;
+        let serving = match &self.serving {
+            ServingDef::Embedded { library, device } => ServingChoice::Embedded {
+                lib: embedded_by_name(library)?,
+                device: device.to_device(),
+            },
+            ServingDef::External { server, device } => ServingChoice::External {
+                kind: ExternalKind::by_name(server)?,
+                device: device.to_device(),
+            },
+        };
+        let workload = match self.workload {
+            WorkloadDef::Constant { rate } => Workload::Constant { rate },
+            WorkloadDef::Bursty { base, burst, bd, tbb } => Workload::Bursty {
+                base,
+                burst,
+                burst_secs: bd,
+                between_secs: tbb,
+            },
+        };
+        if self.duration_secs <= 0.0 {
+            return Err(CoreError::Config("duration_secs must be positive".into()));
+        }
+        Ok(ExperimentSpec {
+            model,
+            seed: self.seed,
+            serving,
+            workload,
+            bsz: self.bsz.max(1),
+            mp: self.mp,
+            partitions: self.partitions,
+            duration: Duration::from_secs_f64(self.duration_secs),
+            warmup_fraction: self.warmup_fraction,
+            network: self.network.to_model(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crayfish_runtime::EmbeddedLib;
+
+    const MINIMAL: &str = r#"{
+        "processor": "flink",
+        "model": "ffnn",
+        "serving": { "mode": "embedded", "library": "onnx" },
+        "workload": { "type": "constant", "rate": 100.0 }
+    }"#;
+
+    #[test]
+    fn minimal_config_resolves_with_defaults() {
+        let cfg = ExperimentConfig::from_json(MINIMAL).unwrap();
+        assert_eq!(cfg.processor, "flink");
+        let spec = cfg.to_spec().unwrap();
+        assert_eq!(spec.model, ModelSpec::Ffnn);
+        assert_eq!(spec.bsz, 1);
+        assert_eq!(spec.mp, 1);
+        assert_eq!(spec.partitions, 32);
+        assert!(matches!(
+            spec.serving,
+            ServingChoice::Embedded { lib: EmbeddedLib::Onnx, device: Device::Cpu }
+        ));
+    }
+
+    #[test]
+    fn external_gpu_and_bursty_config() {
+        let json = r#"{
+            "processor": "sparkss",
+            "model": "resnet50",
+            "serving": { "mode": "external", "server": "tf_serving", "device": "gpu" },
+            "workload": { "type": "bursty", "base": 70.0, "burst": 110.0, "bd": 30.0, "tbb": 120.0 },
+            "bsz": 8, "mp": 4, "network": "zero"
+        }"#;
+        let spec = ExperimentConfig::from_json(json).unwrap().to_spec().unwrap();
+        assert_eq!(spec.model, ModelSpec::Resnet50);
+        assert_eq!(spec.bsz, 8);
+        assert_eq!(spec.network, NetworkModel::zero());
+        match spec.serving {
+            ServingChoice::External { kind, device } => {
+                assert_eq!(kind, ExternalKind::TfServing);
+                assert!(device.is_gpu());
+            }
+            other => panic!("unexpected serving {other:?}"),
+        }
+        match spec.workload {
+            Workload::Bursty { burst_secs, between_secs, .. } => {
+                assert_eq!(burst_secs, 30.0);
+                assert_eq!(between_secs, 120.0);
+            }
+            other => panic!("unexpected workload {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_names_are_rejected() {
+        let bad_model = MINIMAL.replace("\"ffnn\"", "\"bert\"");
+        assert!(ExperimentConfig::from_json(&bad_model).unwrap().to_spec().is_err());
+        let bad_lib = MINIMAL.replace("\"onnx\"", "\"tvm\"");
+        assert!(ExperimentConfig::from_json(&bad_lib).unwrap().to_spec().is_err());
+        assert!(ExperimentConfig::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn config_roundtrips_through_serde() {
+        let cfg = ExperimentConfig::from_json(MINIMAL).unwrap();
+        let json = serde_json::to_string(&cfg).unwrap();
+        assert_eq!(ExperimentConfig::from_json(&json).unwrap(), cfg);
+    }
+
+    #[test]
+    fn zero_duration_is_rejected() {
+        let mut cfg = ExperimentConfig::from_json(MINIMAL).unwrap();
+        cfg.duration_secs = 0.0;
+        assert!(cfg.to_spec().is_err());
+    }
+}

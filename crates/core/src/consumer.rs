@@ -1,0 +1,121 @@
+//! The output consumer (the paper's metrics-collection tail, §3.3).
+//!
+//! Reads `ScoredBatch` records from the output topic and derives one
+//! end-to-end latency sample per record:
+//! `latency = LogAppendTime(output record) − created_ms(batch)` — both
+//! timestamps taken *outside* the system under test (SUT separation, §3.5).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crayfish_broker::{Broker, PartitionConsumer};
+
+use crate::batch::ScoredBatch;
+use crate::Result;
+
+/// One end-to-end measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySample {
+    /// Originating batch id.
+    pub id: u64,
+    /// Output-topic `LogAppendTime` (UNIX ms) — when the batch finished.
+    pub end_ms: f64,
+    /// End-to-end latency in milliseconds.
+    pub latency_ms: f64,
+}
+
+/// Collects latency samples from the output topic.
+#[derive(Debug)]
+pub struct OutputConsumer {
+    consumer: PartitionConsumer,
+}
+
+impl OutputConsumer {
+    /// Subscribe to every partition of `topic` under a metrics-only group.
+    pub fn new(broker: Arc<Broker>, topic: &str) -> Result<OutputConsumer> {
+        let partitions = broker.partitions(topic)?;
+        let consumer = PartitionConsumer::new(
+            broker,
+            topic,
+            "crayfish-metrics",
+            (0..partitions).collect(),
+        )?;
+        Ok(OutputConsumer { consumer })
+    }
+
+    /// Poll once (blocking up to `max_wait`) and append the resulting
+    /// samples. Returns how many records arrived. Undecodable records are
+    /// counted as zero-latency-free errors and skipped.
+    pub fn poll_into(&mut self, max_wait: Duration, sink: &mut Vec<LatencySample>) -> Result<usize> {
+        let records = self.consumer.poll(max_wait)?;
+        let n = records.len();
+        for rec in records {
+            let Ok(scored) = ScoredBatch::decode(&rec.value) else {
+                continue;
+            };
+            sink.push(LatencySample {
+                id: scored.id,
+                end_ms: rec.append_time_ms,
+                latency_ms: rec.append_time_ms - scored.created_ms,
+            });
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crayfish_sim::{now_millis_f64, NetworkModel};
+    use crayfish_tensor::Tensor;
+
+    #[test]
+    fn derives_latencies_from_append_time() {
+        let broker = Broker::new(NetworkModel::zero());
+        broker.create_topic("out", 2).unwrap();
+        let created = now_millis_f64() - 50.0; // batch "created" 50 ms ago
+        let scored = ScoredBatch {
+            id: 1,
+            created_ms: created,
+            bsz: 1,
+            classes: 2,
+            scores: vec![0.5, 0.5],
+        };
+        broker
+            .append("out", 0, vec![(scored.encode().unwrap(), 0.0)])
+            .unwrap();
+        let mut c = OutputConsumer::new(broker, "out").unwrap();
+        let mut samples = Vec::new();
+        let n = c.poll_into(Duration::from_millis(100), &mut samples).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(samples.len(), 1);
+        assert!(samples[0].latency_ms >= 50.0, "{}", samples[0].latency_ms);
+        assert!(samples[0].latency_ms < 1_000.0);
+    }
+
+    #[test]
+    fn skips_undecodable_records() {
+        let broker = Broker::new(NetworkModel::zero());
+        broker.create_topic("out", 1).unwrap();
+        broker
+            .append("out", 0, vec![(bytes::Bytes::from_static(b"junk"), 0.0)])
+            .unwrap();
+        let t = Tensor::zeros([1, 2]);
+        let scored = ScoredBatch {
+            id: 2,
+            created_ms: now_millis_f64(),
+            bsz: 1,
+            classes: 2,
+            scores: t.data().to_vec(),
+        };
+        broker
+            .append("out", 0, vec![(scored.encode().unwrap(), 0.0)])
+            .unwrap();
+        let mut c = OutputConsumer::new(broker, "out").unwrap();
+        let mut samples = Vec::new();
+        let n = c.poll_into(Duration::from_millis(100), &mut samples).unwrap();
+        assert_eq!(n, 2, "both records fetched");
+        assert_eq!(samples.len(), 1, "only the valid one sampled");
+        assert_eq!(samples[0].id, 2);
+    }
+}

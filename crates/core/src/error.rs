@@ -1,0 +1,83 @@
+//! Framework error type.
+
+use std::fmt;
+
+/// Errors from the benchmark framework and the engines built on it.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Broker failure.
+    Broker(crayfish_broker::BrokerError),
+    /// External serving failure.
+    Serving(crayfish_serving::ServingError),
+    /// Embedded runtime failure.
+    Runtime(crayfish_runtime::RuntimeError),
+    /// Model construction/loading failure.
+    Model(crayfish_models::ModelError),
+    /// Malformed batch payload.
+    Codec(String),
+    /// Invalid experiment or processor configuration.
+    Config(String),
+    /// A worker thread died.
+    WorkerPanic(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Broker(e) => write!(f, "broker: {e}"),
+            CoreError::Serving(e) => write!(f, "serving: {e}"),
+            CoreError::Runtime(e) => write!(f, "runtime: {e}"),
+            CoreError::Model(e) => write!(f, "model: {e}"),
+            CoreError::Codec(msg) => write!(f, "codec: {msg}"),
+            CoreError::Config(msg) => write!(f, "config: {msg}"),
+            CoreError::WorkerPanic(msg) => write!(f, "worker panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Broker(e) => Some(e),
+            CoreError::Serving(e) => Some(e),
+            CoreError::Runtime(e) => Some(e),
+            CoreError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<crayfish_broker::BrokerError> for CoreError {
+    fn from(e: crayfish_broker::BrokerError) -> Self {
+        CoreError::Broker(e)
+    }
+}
+
+impl From<crayfish_serving::ServingError> for CoreError {
+    fn from(e: crayfish_serving::ServingError) -> Self {
+        CoreError::Serving(e)
+    }
+}
+
+impl From<crayfish_runtime::RuntimeError> for CoreError {
+    fn from(e: crayfish_runtime::RuntimeError) -> Self {
+        CoreError::Runtime(e)
+    }
+}
+
+impl From<crayfish_models::ModelError> for CoreError {
+    fn from(e: crayfish_models::ModelError) -> Self {
+        CoreError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_context() {
+        let e = CoreError::Config("mp must be >= 1".into());
+        assert!(e.to_string().contains("mp"));
+    }
+}

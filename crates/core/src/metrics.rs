@@ -1,0 +1,284 @@
+//! Metrics analysis: summaries, time series, and burst-recovery detection
+//! (the paper's *metrics analyzer* component).
+
+use serde::{Deserialize, Serialize};
+
+use crate::consumer::LatencySample;
+
+/// One probe of the SUT's input-topic consumer lag.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LagSample {
+    /// Milliseconds since the measurement window opened.
+    pub t_ms: f64,
+    /// Unread input events at probe time.
+    pub lag: u64,
+}
+
+/// Summary statistics over a set of latency samples.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean (ms).
+    pub mean: f64,
+    /// Population standard deviation (ms).
+    pub std: f64,
+    /// Minimum (ms).
+    pub min: f64,
+    /// Maximum (ms).
+    pub max: f64,
+    /// Median (ms).
+    pub p50: f64,
+    /// 95th percentile (ms).
+    pub p95: f64,
+    /// 99th percentile (ms).
+    pub p99: f64,
+}
+
+impl Summary {
+    /// The all-zero summary for an empty sample set.
+    pub fn empty() -> Summary {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            std: 0.0,
+            min: 0.0,
+            max: 0.0,
+            p50: 0.0,
+            p95: 0.0,
+            p99: 0.0,
+        }
+    }
+}
+
+/// Nearest-rank percentile over a **sorted** slice.
+fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Summarise a set of latency values (order irrelevant).
+pub fn summarize(values: &[f64]) -> Summary {
+    if values.is_empty() {
+        return Summary::empty();
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len() as f64;
+    let mean = sorted.iter().sum::<f64>() / n;
+    let var = sorted.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+    Summary {
+        count: sorted.len(),
+        mean,
+        std: var.sqrt(),
+        min: sorted[0],
+        max: *sorted.last().expect("non-empty"),
+        p50: percentile_sorted(&sorted, 0.50),
+        p95: percentile_sorted(&sorted, 0.95),
+        p99: percentile_sorted(&sorted, 0.99),
+    }
+}
+
+/// One time bucket of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bucket {
+    /// Bucket start, in ms since the first sample.
+    pub start_ms: f64,
+    /// Completed events in the bucket.
+    pub count: usize,
+    /// Throughput over the bucket (events/s).
+    pub throughput_eps: f64,
+    /// Mean latency of events completing in the bucket (ms).
+    pub mean_latency_ms: f64,
+    /// Max latency in the bucket (ms).
+    pub max_latency_ms: f64,
+}
+
+/// Bucket samples by completion time into fixed windows.
+pub fn bucketize(samples: &[LatencySample], window_ms: f64) -> Vec<Bucket> {
+    if samples.is_empty() || window_ms <= 0.0 {
+        return Vec::new();
+    }
+    let t0 = samples.iter().map(|s| s.end_ms).fold(f64::INFINITY, f64::min);
+    let t1 = samples.iter().map(|s| s.end_ms).fold(f64::NEG_INFINITY, f64::max);
+    let n_buckets = ((t1 - t0) / window_ms).floor() as usize + 1;
+    let mut counts = vec![0usize; n_buckets];
+    let mut sums = vec![0.0f64; n_buckets];
+    let mut maxes = vec![0.0f64; n_buckets];
+    for s in samples {
+        let i = (((s.end_ms - t0) / window_ms) as usize).min(n_buckets - 1);
+        counts[i] += 1;
+        sums[i] += s.latency_ms;
+        maxes[i] = maxes[i].max(s.latency_ms);
+    }
+    (0..n_buckets)
+        .map(|i| Bucket {
+            start_ms: i as f64 * window_ms,
+            count: counts[i],
+            throughput_eps: counts[i] as f64 / (window_ms / 1e3),
+            mean_latency_ms: if counts[i] > 0 { sums[i] / counts[i] as f64 } else { 0.0 },
+            max_latency_ms: maxes[i],
+        })
+        .collect()
+}
+
+/// Throughput over a sample window: completed events divided by the span of
+/// completion times.
+pub fn throughput_eps(samples: &[LatencySample]) -> f64 {
+    if samples.len() < 2 {
+        return 0.0;
+    }
+    let t0 = samples.iter().map(|s| s.end_ms).fold(f64::INFINITY, f64::min);
+    let t1 = samples.iter().map(|s| s.end_ms).fold(f64::NEG_INFINITY, f64::max);
+    if t1 <= t0 {
+        return 0.0;
+    }
+    (samples.len() - 1) as f64 / ((t1 - t0) / 1e3)
+}
+
+/// Time for the SUT to recover after a burst (§5.1.4): the interval between
+/// the burst's end and the start of the first bucket whose mean latency is
+/// back within `factor ×` the pre-burst baseline and stays there for
+/// `stable_buckets` consecutive buckets. `None` if it never recovers within
+/// the sampled window.
+pub fn recovery_time_s(
+    buckets: &[Bucket],
+    burst_end_ms: f64,
+    baseline_latency_ms: f64,
+    factor: f64,
+    stable_buckets: usize,
+) -> Option<f64> {
+    let threshold = baseline_latency_ms * factor;
+    let window = stable_buckets.max(1);
+    let after: Vec<&Bucket> = buckets.iter().filter(|b| b.start_ms >= burst_end_ms).collect();
+    for i in 0..after.len() {
+        if i + window > after.len() {
+            break;
+        }
+        if after[i..i + window]
+            .iter()
+            .all(|b| b.count == 0 || b.mean_latency_ms <= threshold)
+        {
+            return Some((after[i].start_ms - burst_end_ms) / 1e3);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample(end_ms: f64, latency_ms: f64) -> LatencySample {
+        LatencySample { id: 0, end_ms, latency_ms }
+    }
+
+    #[test]
+    fn summary_of_known_values() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 3.0).abs() < 1e-9);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(s.p99, 5.0);
+        assert!((s.std - 2.0f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_of_empty_is_zeroes() {
+        assert_eq!(summarize(&[]).count, 0);
+    }
+
+    #[test]
+    fn bucketize_counts_and_rates() {
+        let samples = vec![
+            sample(1000.0, 10.0),
+            sample(1100.0, 20.0),
+            sample(2500.0, 30.0),
+        ];
+        let buckets = bucketize(&samples, 1000.0);
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].count, 2);
+        assert!((buckets[0].mean_latency_ms - 15.0).abs() < 1e-9);
+        assert!((buckets[0].throughput_eps - 2.0).abs() < 1e-9);
+        assert_eq!(buckets[1].count, 1);
+        assert_eq!(buckets[1].max_latency_ms, 30.0);
+    }
+
+    #[test]
+    fn throughput_from_span() {
+        let samples: Vec<LatencySample> =
+            (0..101).map(|i| sample(1000.0 + i as f64 * 10.0, 1.0)).collect();
+        // 100 intervals over 1 second.
+        assert!((throughput_eps(&samples) - 100.0).abs() < 1e-6);
+        assert_eq!(throughput_eps(&samples[..1]), 0.0);
+    }
+
+    #[test]
+    fn recovery_detected_after_burst() {
+        // Latency spikes during the burst (ends at 3000 ms) and decays.
+        let mut buckets = Vec::new();
+        for (i, lat) in [10.0, 10.0, 200.0, 150.0, 80.0, 12.0, 11.0, 10.0].iter().enumerate() {
+            buckets.push(Bucket {
+                start_ms: i as f64 * 1000.0,
+                count: 5,
+                throughput_eps: 5.0,
+                mean_latency_ms: *lat,
+                max_latency_ms: *lat,
+            });
+        }
+        let rec = recovery_time_s(&buckets, 3000.0, 10.0, 1.5, 2).unwrap();
+        // First stable bucket starts at 5000 ms → 2 s after burst end.
+        assert!((rec - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovery_none_when_latency_stays_high() {
+        let buckets: Vec<Bucket> = (0..5)
+            .map(|i| Bucket {
+                start_ms: i as f64 * 1000.0,
+                count: 1,
+                throughput_eps: 1.0,
+                mean_latency_ms: 500.0,
+                max_latency_ms: 500.0,
+            })
+            .collect();
+        assert!(recovery_time_s(&buckets, 0.0, 10.0, 1.5, 2).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn percentiles_match_sorted_reference(
+            values in proptest::collection::vec(0.0f64..1e6, 1..200),
+        ) {
+            let s = summarize(&values);
+            let mut sorted = values.clone();
+            sorted.sort_by(f64::total_cmp);
+            prop_assert_eq!(s.min, sorted[0]);
+            prop_assert_eq!(s.max, *sorted.last().unwrap());
+            // p50 must be an actual sample and at least half the samples lie
+            // at or below it.
+            prop_assert!(sorted.contains(&s.p50));
+            let at_or_below = sorted.iter().filter(|&&v| v <= s.p50).count();
+            prop_assert!(at_or_below * 2 >= sorted.len());
+            // Ordering of the quantiles.
+            prop_assert!(s.min <= s.p50 && s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+        }
+
+        #[test]
+        fn bucket_counts_sum_to_sample_count(
+            times in proptest::collection::vec(0.0f64..10_000.0, 1..100),
+        ) {
+            let samples: Vec<LatencySample> =
+                times.iter().map(|&t| sample(t, 1.0)).collect();
+            let buckets = bucketize(&samples, 500.0);
+            let total: usize = buckets.iter().map(|b| b.count).sum();
+            prop_assert_eq!(total, samples.len());
+        }
+    }
+}

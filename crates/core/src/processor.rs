@@ -1,0 +1,99 @@
+//! The data-processor abstraction engines implement.
+//!
+//! §3.2 of the paper: any event-based system that can express its
+//! computation as a DAG of an input operator, a scoring operator, and an
+//! output operator qualifies. Engines receive a [`ProcessorContext`] naming
+//! the broker, the topics, the serving tool, and the parallelism (`mp`),
+//! and return a [`RunningJob`] the runner stops when the experiment ends.
+
+use std::sync::Arc;
+
+use crayfish_broker::Broker;
+
+use crate::scoring::ScorerSpec;
+use crate::Result;
+
+/// Everything an engine needs to run the Crayfish pipeline.
+#[derive(Debug, Clone)]
+pub struct ProcessorContext {
+    /// The shared broker "cluster".
+    pub broker: Arc<Broker>,
+    /// Topic carrying `CrayfishDataBatch` payloads.
+    pub input_topic: String,
+    /// Topic receiving `ScoredBatch` payloads.
+    pub output_topic: String,
+    /// Consumer group of the engine's sources.
+    pub group: String,
+    /// The serving alternative under test.
+    pub scorer: ScorerSpec,
+    /// Degree of parallelism (`mp` in Table 1).
+    pub mp: usize,
+}
+
+impl ProcessorContext {
+    /// Validate common invariants before an engine starts.
+    pub fn validate(&self) -> Result<()> {
+        if self.mp == 0 {
+            return Err(crate::CoreError::Config("mp must be >= 1".into()));
+        }
+        self.broker.partitions(&self.input_topic)?;
+        self.broker.partitions(&self.output_topic)?;
+        Ok(())
+    }
+}
+
+/// A started streaming job.
+pub trait RunningJob: Send {
+    /// Gracefully stop all tasks and join their threads. Records already
+    /// fetched may finish processing; nothing new is fetched afterwards.
+    fn stop(self: Box<Self>);
+}
+
+/// A stream processing system adapter (the paper's SUT data processor).
+pub trait DataProcessor: Send + Sync {
+    /// Engine name as used in configurations ("flink", "kstreams",
+    /// "sparkss", "ray").
+    fn name(&self) -> &'static str;
+    /// Deploy the input→scoring→output pipeline and start processing.
+    fn start(&self, ctx: ProcessorContext) -> Result<Box<dyn RunningJob>>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crayfish_models::tiny;
+    use crayfish_runtime::{Device, EmbeddedLib};
+    use crayfish_sim::NetworkModel;
+
+    fn ctx(mp: usize) -> ProcessorContext {
+        let broker = Broker::new(NetworkModel::zero());
+        broker.create_topic("in", 4).unwrap();
+        broker.create_topic("out", 4).unwrap();
+        ProcessorContext {
+            broker,
+            input_topic: "in".into(),
+            output_topic: "out".into(),
+            group: "sut".into(),
+            scorer: ScorerSpec::Embedded {
+                lib: EmbeddedLib::Onnx,
+                graph: Arc::new(tiny::tiny_mlp(1)),
+                device: Device::Cpu,
+            },
+            mp,
+        }
+    }
+
+    #[test]
+    fn validate_accepts_sane_contexts() {
+        assert!(ctx(1).validate().is_ok());
+        assert!(ctx(16).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_parallelism_and_missing_topics() {
+        assert!(ctx(0).validate().is_err());
+        let mut c = ctx(1);
+        c.input_topic = "missing".into();
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,519 @@
+//! The experiment runner: orchestrates producer → SUT → consumer for one
+//! configuration and reduces the measurements (§4.1's per-experiment
+//! process, with the warmup discard of §4.2).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crayfish_broker::Broker;
+use crayfish_models::ModelSpec;
+use crayfish_runtime::{Device, EmbeddedLib};
+use crayfish_serving::{ExternalKind, ServingConfig};
+use crayfish_sim::NetworkModel;
+use crayfish_tensor::NnGraph;
+
+use crate::consumer::{LatencySample, OutputConsumer};
+use crate::metrics::LagSample;
+use crate::metrics::{summarize, Summary};
+use crate::processor::{DataProcessor, ProcessorContext};
+use crate::scoring::ScorerSpec;
+use crate::workload::{start_producer, Workload};
+use crate::Result;
+
+pub use crate::workload::Workload as WorkloadSpec;
+
+/// Which serving alternative an experiment tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServingChoice {
+    /// Embedded serving via an interoperability library.
+    Embedded {
+        /// The library.
+        lib: EmbeddedLib,
+        /// CPU or simulated GPU.
+        device: Device,
+    },
+    /// External serving via a dedicated inference service.
+    External {
+        /// The framework.
+        kind: ExternalKind,
+        /// Device of the *server's* workers.
+        device: Device,
+    },
+}
+
+impl ServingChoice {
+    /// Paper-style label, e.g. `"onnx (e)"` or `"tf_serving (x)"`, with a
+    /// `-gpu` suffix on accelerated configurations.
+    pub fn label(&self) -> String {
+        let (name, kind, device) = match self {
+            ServingChoice::Embedded { lib, device } => (lib.name(), "e", device),
+            ServingChoice::External { kind, device } => (kind.name(), "x", device),
+        };
+        if device.is_gpu() {
+            format!("{name}-gpu ({kind})")
+        } else {
+            format!("{name} ({kind})")
+        }
+    }
+}
+
+/// One experiment configuration (Table 1's parameters plus the SUT choice).
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    /// The pre-trained model.
+    pub model: ModelSpec,
+    /// Weight/data seed.
+    pub seed: u64,
+    /// Serving alternative.
+    pub serving: ServingChoice,
+    /// Input-rate scenario (`ir` / `bd` / `tbb`).
+    pub workload: Workload,
+    /// Data points per batch (`bsz`).
+    pub bsz: usize,
+    /// Parallelism (`mp`).
+    pub mp: usize,
+    /// Partitions per topic (the paper uses 32).
+    pub partitions: u32,
+    /// Measurement window.
+    pub duration: Duration,
+    /// Leading fraction of samples discarded as warmup (paper: 25 %).
+    pub warmup_fraction: f64,
+    /// The modelled LAN between components.
+    pub network: NetworkModel,
+}
+
+impl ExperimentSpec {
+    /// A short, quick-running spec with the paper's structural defaults.
+    pub fn quick(model: ModelSpec, serving: ServingChoice) -> ExperimentSpec {
+        ExperimentSpec {
+            model,
+            seed: 42,
+            serving,
+            workload: Workload::Constant { rate: 100.0 },
+            bsz: 1,
+            mp: 1,
+            partitions: 8,
+            duration: Duration::from_secs(2),
+            warmup_fraction: 0.25,
+            network: NetworkModel::zero(),
+        }
+    }
+}
+
+/// The reduced outcome of one experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Events the producer generated.
+    pub produced: u64,
+    /// Scored events observed on the output topic.
+    pub consumed: usize,
+    /// Post-warmup throughput in events/s.
+    pub throughput_eps: f64,
+    /// Post-warmup end-to-end latency summary (ms).
+    pub latency: Summary,
+    /// All samples (including warmup), ordered by completion time.
+    pub samples: Vec<LatencySample>,
+    /// Input-topic consumer lag of the SUT over the run, sampled ~4×/s —
+    /// the sustainability signal (bounded lag ⇔ the SUT keeps up).
+    pub lag_samples: Vec<LagSample>,
+    /// Warmup cutoff (ms since first completion) used for the summaries.
+    pub warmup_cutoff_ms: f64,
+}
+
+impl ExperimentResult {
+    /// True when consumer lag stayed bounded over the second half of the
+    /// run: the maximum late-run lag is no more than `max_lag` events.
+    pub fn lag_bounded(&self, max_lag: u64) -> bool {
+        let n = self.lag_samples.len();
+        if n < 2 {
+            return true;
+        }
+        self.lag_samples[n / 2..].iter().all(|s| s.lag <= max_lag)
+    }
+}
+
+static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Run one experiment: build the model, deploy the serving tool and the
+/// processor, generate load for `spec.duration`, and reduce the output
+/// samples.
+pub fn run_experiment(processor: &dyn DataProcessor, spec: &ExperimentSpec) -> Result<ExperimentResult> {
+    let graph = Arc::new(spec.model.build(spec.seed));
+    run_experiment_with_graph(processor, spec, graph)
+}
+
+/// [`run_experiment`] with a pre-built model graph (benchmarks reuse one
+/// ResNet50 across dozens of configurations).
+pub fn run_experiment_with_graph(
+    processor: &dyn DataProcessor,
+    spec: &ExperimentSpec,
+    graph: Arc<NnGraph>,
+) -> Result<ExperimentResult> {
+    if spec.mp == 0 {
+        return Err(crate::CoreError::Config("mp must be >= 1".into()));
+    }
+    if !(0.0..1.0).contains(&spec.warmup_fraction) {
+        return Err(crate::CoreError::Config("warmup_fraction must be in [0, 1)".into()));
+    }
+    let run = RUN_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let input_topic = format!("crayfish-in-{run}");
+    let output_topic = format!("crayfish-out-{run}");
+
+    let broker = Broker::new(spec.network);
+    broker.create_topic(&input_topic, spec.partitions)?;
+    broker.create_topic(&output_topic, spec.partitions)?;
+
+    // External serving runs as a separate service sized to mp (§4.3).
+    let (scorer, server) = match spec.serving {
+        ServingChoice::Embedded { lib, device } => (
+            ScorerSpec::Embedded { lib, graph: graph.clone(), device },
+            None,
+        ),
+        ServingChoice::External { kind, device } => {
+            let server = kind.start(
+                &graph,
+                ServingConfig { workers: spec.mp, device, ..Default::default() },
+            )?;
+            let scorer = ScorerSpec::External {
+                kind,
+                addr: server.addr(),
+                network: spec.network,
+            };
+            (scorer, Some(server))
+        }
+    };
+
+    let ctx = ProcessorContext {
+        broker: broker.clone(),
+        input_topic: input_topic.clone(),
+        output_topic: output_topic.clone(),
+        group: "crayfish-sut".into(),
+        scorer,
+        mp: spec.mp,
+    };
+    ctx.validate()?;
+    let job = processor.start(ctx)?;
+
+    let mut output = OutputConsumer::new(broker.clone(), &output_topic)?;
+    let producer = start_producer(
+        broker.clone(),
+        &input_topic,
+        spec.model.input_shape(),
+        spec.bsz,
+        spec.workload,
+        spec.seed,
+    )?;
+
+    // Measurement window, with periodic SUT-lag sampling.
+    let mut samples: Vec<LatencySample> = Vec::new();
+    let mut lag_samples: Vec<LagSample> = Vec::new();
+    let started = Instant::now();
+    let deadline = started + spec.duration;
+    let mut next_lag_probe = started;
+    while Instant::now() < deadline {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        output.poll_into(remaining.min(Duration::from_millis(100)), &mut samples)?;
+        let now = Instant::now();
+        if now >= next_lag_probe {
+            if let Ok(lag) = broker.group_lag("crayfish-sut", &input_topic) {
+                lag_samples.push(LagSample {
+                    t_ms: now.duration_since(started).as_secs_f64() * 1e3,
+                    lag,
+                });
+            }
+            next_lag_probe = now + Duration::from_millis(250);
+        }
+    }
+    let produced = producer.stop();
+
+    // Short drain so in-flight batches do not distort shutdown, then stop.
+    let drain_deadline = Instant::now() + Duration::from_millis(300);
+    while Instant::now() < drain_deadline {
+        if output.poll_into(Duration::from_millis(50), &mut samples)? == 0 {
+            break;
+        }
+    }
+    job.stop();
+    if let Some(server) = server {
+        server.shutdown();
+    }
+
+    let mut result = reduce(spec, produced, samples);
+    result.lag_samples = lag_samples;
+    Ok(result)
+}
+
+/// Options for the sustainable-throughput search.
+#[derive(Debug, Clone, Copy)]
+pub struct StSearchOptions {
+    /// Duration of every probe run.
+    pub probe: Duration,
+    /// Binary-search refinement steps after the capacity probe.
+    pub iterations: usize,
+    /// A rate is sustainable when the achieved output rate is at least
+    /// `(1 - tolerance) *` the offered rate (Karimov-style definition).
+    pub tolerance: f64,
+}
+
+impl Default for StSearchOptions {
+    fn default() -> Self {
+        StSearchOptions {
+            probe: Duration::from_secs(3),
+            iterations: 4,
+            tolerance: 0.05,
+        }
+    }
+}
+
+/// Find a configuration's sustainable throughput (§4.1: "the maximum rate
+/// that can be handled by the processor").
+///
+/// Procedure: one overload probe estimates capacity, then a binary search
+/// over offered rates finds the highest rate the SUT keeps up with (output
+/// rate within `tolerance` of the offered rate). Returns events/second.
+pub fn find_sustainable_rate(
+    processor: &dyn DataProcessor,
+    base: &ExperimentSpec,
+    opts: StSearchOptions,
+) -> Result<f64> {
+    let graph = Arc::new(base.model.build(base.seed));
+    let probe = |rate: f64| -> Result<f64> {
+        let mut spec = base.clone();
+        spec.workload = Workload::Constant { rate };
+        spec.duration = opts.probe;
+        let result = run_experiment_with_graph(processor, &spec, graph.clone())?;
+        // Sustainable means both: output keeps pace AND the SUT's input lag
+        // stays bounded (half a second of backlog at the offered rate).
+        let bounded = result.lag_bounded(((rate * 0.5) as u64).max(64));
+        Ok(if bounded { result.throughput_eps } else { result.throughput_eps.min(rate * 0.8) })
+    };
+    // Capacity estimate under heavy overload.
+    let capacity = probe(1.0e9)?;
+    if capacity <= 0.0 {
+        return Ok(0.0);
+    }
+    let mut lo = 0.0f64;
+    let mut hi = capacity * 1.5;
+    let mut best = capacity;
+    for _ in 0..opts.iterations {
+        let mid = (lo + hi) / 2.0;
+        let achieved = probe(mid)?;
+        if achieved >= mid * (1.0 - opts.tolerance) {
+            best = best.max(achieved);
+            lo = mid;
+        } else {
+            best = best.max(achieved);
+            hi = mid;
+        }
+    }
+    Ok(best)
+}
+
+fn reduce(spec: &ExperimentSpec, produced: u64, mut samples: Vec<LatencySample>) -> ExperimentResult {
+    samples.sort_by(|a, b| a.end_ms.total_cmp(&b.end_ms));
+    let consumed = samples.len();
+    if samples.is_empty() {
+        return ExperimentResult {
+            produced,
+            consumed,
+            throughput_eps: 0.0,
+            latency: Summary::empty(),
+            samples,
+            lag_samples: Vec::new(),
+            warmup_cutoff_ms: 0.0,
+        };
+    }
+    let t0 = samples.first().expect("non-empty").end_ms;
+    let t1 = samples.last().expect("non-empty").end_ms;
+    let cutoff = t0 + spec.warmup_fraction * (t1 - t0);
+    let steady: Vec<&LatencySample> = samples.iter().filter(|s| s.end_ms >= cutoff).collect();
+    let latencies: Vec<f64> = steady.iter().map(|s| s.latency_ms).collect();
+    let span_s = (t1 - cutoff).max(f64::EPSILON) / 1e3;
+    let throughput = if steady.len() > 1 {
+        (steady.len() - 1) as f64 / span_s
+    } else {
+        0.0
+    };
+    ExperimentResult {
+        produced,
+        consumed,
+        throughput_eps: throughput,
+        latency: summarize(&latencies),
+        samples,
+        lag_samples: Vec::new(),
+        warmup_cutoff_ms: cutoff - t0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::processor::RunningJob;
+    use crate::scoring::score_payload;
+    use crayfish_broker::{PartitionConsumer, Producer, ProducerConfig};
+    use std::sync::atomic::AtomicBool;
+
+    /// A minimal single-threaded reference processor used to test the
+    /// runner without any engine crate.
+    struct InlineProcessor;
+
+    struct InlineJob {
+        stop: Arc<AtomicBool>,
+        thread: Option<std::thread::JoinHandle<()>>,
+    }
+
+    impl RunningJob for InlineJob {
+        fn stop(mut self: Box<Self>) {
+            self.stop.store(true, Ordering::SeqCst);
+            if let Some(h) = self.thread.take() {
+                let _ = h.join();
+            }
+        }
+    }
+
+    impl DataProcessor for InlineProcessor {
+        fn name(&self) -> &'static str {
+            "inline"
+        }
+        fn start(&self, ctx: ProcessorContext) -> Result<Box<dyn RunningJob>> {
+            let stop = Arc::new(AtomicBool::new(false));
+            let flag = stop.clone();
+            let partitions = ctx.broker.partitions(&ctx.input_topic)?;
+            let mut consumer = PartitionConsumer::new(
+                ctx.broker.clone(),
+                &ctx.input_topic,
+                &ctx.group,
+                (0..partitions).collect(),
+            )?;
+            let mut producer =
+                Producer::new(ctx.broker.clone(), &ctx.output_topic, ProducerConfig::default())?;
+            let mut scorer = ctx.scorer.build()?;
+            let thread = std::thread::spawn(move || {
+                while !flag.load(Ordering::SeqCst) {
+                    let records = match consumer.poll(Duration::from_millis(50)) {
+                        Ok(r) => r,
+                        Err(_) => break,
+                    };
+                    for rec in records {
+                        if let Ok(out) = score_payload(scorer.as_mut(), &rec.value) {
+                            let _ = producer.send(None, out);
+                        }
+                    }
+                    consumer.commit();
+                }
+            });
+            Ok(Box::new(InlineJob { stop, thread: Some(thread) }))
+        }
+    }
+
+    #[test]
+    fn end_to_end_experiment_produces_sane_results() {
+        let spec = ExperimentSpec::quick(
+            ModelSpec::TinyMlp,
+            ServingChoice::Embedded { lib: EmbeddedLib::Onnx, device: Device::Cpu },
+        );
+        let result = run_experiment(&InlineProcessor, &spec).unwrap();
+        assert!(result.produced > 50, "produced {}", result.produced);
+        assert!(result.consumed > 50, "consumed {}", result.consumed);
+        // Everything consumed was produced.
+        assert!(result.consumed as u64 <= result.produced + 5);
+        assert!(result.throughput_eps > 10.0, "{} eps", result.throughput_eps);
+        assert!(result.latency.count > 0);
+        assert!(result.latency.mean > 0.0 && result.latency.mean < 1_000.0);
+        assert!(result.latency.p99 >= result.latency.p50);
+        // Samples are time-ordered.
+        for pair in result.samples.windows(2) {
+            assert!(pair[0].end_ms <= pair[1].end_ms);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_specs() {
+        let mut spec = ExperimentSpec::quick(
+            ModelSpec::TinyMlp,
+            ServingChoice::Embedded { lib: EmbeddedLib::Onnx, device: Device::Cpu },
+        );
+        spec.mp = 0;
+        assert!(run_experiment(&InlineProcessor, &spec).is_err());
+        let mut spec = ExperimentSpec::quick(
+            ModelSpec::TinyMlp,
+            ServingChoice::Embedded { lib: EmbeddedLib::Onnx, device: Device::Cpu },
+        );
+        spec.warmup_fraction = 1.5;
+        assert!(run_experiment(&InlineProcessor, &spec).is_err());
+    }
+
+    #[test]
+    fn external_serving_runs_end_to_end() {
+        let mut spec = ExperimentSpec::quick(
+            ModelSpec::TinyMlp,
+            ServingChoice::External { kind: ExternalKind::TfServing, device: Device::Cpu },
+        );
+        spec.duration = Duration::from_millis(1500);
+        let result = run_experiment(&InlineProcessor, &spec).unwrap();
+        assert!(result.consumed > 20, "consumed {}", result.consumed);
+        assert!(result.latency.mean > 0.0);
+    }
+
+    #[test]
+    fn serving_choice_labels() {
+        let e = ServingChoice::Embedded { lib: EmbeddedLib::Onnx, device: Device::Cpu };
+        assert_eq!(e.label(), "onnx (e)");
+        let xg = ServingChoice::External { kind: ExternalKind::TfServing, device: Device::gpu() };
+        assert_eq!(xg.label(), "tf_serving-gpu (x)");
+    }
+
+    #[test]
+    fn lag_is_sampled_and_bounded_when_underloaded() {
+        let spec = ExperimentSpec::quick(
+            ModelSpec::TinyMlp,
+            ServingChoice::Embedded { lib: EmbeddedLib::Onnx, device: Device::Cpu },
+        );
+        let result = run_experiment(&InlineProcessor, &spec).unwrap();
+        assert!(result.lag_samples.len() >= 4, "{} lag probes", result.lag_samples.len());
+        assert!(result.lag_bounded(100), "lag grew under light load");
+        // Probes are time-ordered.
+        for pair in result.lag_samples.windows(2) {
+            assert!(pair[1].t_ms >= pair[0].t_ms);
+        }
+    }
+
+    #[test]
+    fn sustainable_rate_search_converges() {
+        let mut spec = ExperimentSpec::quick(
+            ModelSpec::TinyMlp,
+            ServingChoice::Embedded { lib: EmbeddedLib::Onnx, device: Device::Cpu },
+        );
+        spec.partitions = 4;
+        let opts = StSearchOptions {
+            probe: Duration::from_millis(700),
+            iterations: 2,
+            tolerance: 0.1,
+        };
+        let st = find_sustainable_rate(&InlineProcessor, &spec, opts).unwrap();
+        // The inline processor on a tiny model sustains thousands/s; the
+        // search must land on something positive and finite.
+        assert!(st > 100.0, "st = {st}");
+        assert!(st.is_finite());
+    }
+
+    #[test]
+    fn reduce_discards_warmup() {
+        let spec = ExperimentSpec::quick(
+            ModelSpec::TinyMlp,
+            ServingChoice::Embedded { lib: EmbeddedLib::Onnx, device: Device::Cpu },
+        );
+        // 100 samples over 10 s; first quarter has huge latencies.
+        let samples: Vec<LatencySample> = (0..100)
+            .map(|i| LatencySample {
+                id: i as u64,
+                end_ms: 1000.0 + i as f64 * 100.0,
+                latency_ms: if i < 25 { 10_000.0 } else { 10.0 },
+            })
+            .collect();
+        let result = reduce(&spec, 100, samples);
+        assert!(result.latency.max < 11_000.0);
+        assert!(result.latency.mean < 200.0, "warmup not discarded: {}", result.latency.mean);
+    }
+}

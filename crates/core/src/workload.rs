@@ -1,0 +1,412 @@
+//! The input-workload producer (the paper's *input producer* component).
+//!
+//! Generates synthetic `CrayfishDataBatch` events at a configured rate —
+//! constant ("open loop" / "closed loop" scenarios) or with periodic bursts
+//! (`bd` / `tbb` in Table 1) — stamps each batch's creation time immediately
+//! before handing it to the broker producer (§3.3 step 1), and writes it to
+//! the input topic.
+//!
+//! Synthetic inputs are image-like: integer pixel values in `[0, 255]`,
+//! which makes one FFNN data point ~3 KB on the JSON wire, matching the
+//! paper's measured packet size (§4.2). Data content is irrelevant to the
+//! measured quantities (§4.1), so each event reuses one of a small pool of
+//! pre-rendered payload bodies; the id and timestamp are stamped per event.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use bytes::Bytes;
+
+use crayfish_broker::{Broker, Producer, ProducerConfig};
+use crayfish_sim::{now_millis_f64, RatePacer, Stopwatch};
+use crayfish_tensor::Shape;
+
+use crate::dataset::Dataset;
+use crate::Result;
+
+/// Where the producer's payload bodies come from.
+#[derive(Debug, Clone)]
+pub enum InputSource {
+    /// Synthetic image-like data, seeded.
+    Synthetic {
+        /// Data seed.
+        seed: u64,
+    },
+    /// Items replayed cyclically from a loaded dataset file (§3.1 option 2).
+    Dataset(Dataset),
+}
+
+/// The input-rate scenario (§4.1 "Workload Design").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Workload {
+    /// Constant rate in events/second (`ir`). Covers both the open-loop
+    /// (high rate) and closed-loop (low rate) scenarios.
+    Constant {
+        /// Events per second.
+        rate: f64,
+    },
+    /// Periodic bursts: `burst` events/s for `burst_secs`, then `base`
+    /// events/s for `between_secs`, repeating. The paper generates 110 % of
+    /// sustainable throughput during bursts and 70 % otherwise.
+    Bursty {
+        /// Baseline rate between bursts.
+        base: f64,
+        /// Rate during bursts.
+        burst: f64,
+        /// Burst duration in seconds (`bd`).
+        burst_secs: f64,
+        /// Time between bursts in seconds (`tbb`).
+        between_secs: f64,
+    },
+}
+
+impl Workload {
+    /// The target rate at `elapsed` seconds into the run. Bursty runs start
+    /// with a quiet period, then burst (so warmup discards quiet data).
+    pub fn rate_at(&self, elapsed_secs: f64) -> f64 {
+        match *self {
+            Workload::Constant { rate } => rate,
+            Workload::Bursty { base, burst, burst_secs, between_secs } => {
+                let cycle = burst_secs + between_secs;
+                let phase = elapsed_secs % cycle;
+                if phase < between_secs {
+                    base
+                } else {
+                    burst
+                }
+            }
+        }
+    }
+
+    /// True while a bursty workload is inside a burst at `elapsed` seconds.
+    pub fn in_burst(&self, elapsed_secs: f64) -> bool {
+        match *self {
+            Workload::Constant { .. } => false,
+            Workload::Bursty { burst_secs, between_secs, .. } => {
+                (elapsed_secs % (burst_secs + between_secs)) >= between_secs
+            }
+        }
+    }
+}
+
+/// Handle to the generator thread.
+#[derive(Debug)]
+pub struct InputProducerHandle {
+    stop: Arc<AtomicBool>,
+    produced: Arc<AtomicU64>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl InputProducerHandle {
+    /// Events produced so far.
+    pub fn produced(&self) -> u64 {
+        self.produced.load(Ordering::Relaxed)
+    }
+
+    /// Stop generating and join the thread. Returns the final count.
+    pub fn stop(mut self) -> u64 {
+        self.halt();
+        self.produced()
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for InputProducerHandle {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+/// Pre-render `variants` JSON payload bodies (everything after the
+/// timestamp fields) for an `item_shape` batch of `bsz` points.
+fn render_bodies(item_shape: &Shape, bsz: usize, variants: usize, seed: u64) -> Vec<String> {
+    let numel = item_shape.numel() * bsz;
+    let shape_json = serde_json::to_string(item_shape.dims()).expect("shape to json");
+    (0..variants)
+        .map(|v| {
+            // Image-like integer pixels, deterministic per variant.
+            let mut state = seed.wrapping_add(v as u64).wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            let mut body = String::with_capacity(numel * 4 + shape_json.len() + 64);
+            write!(body, "\"shape\":{shape_json},\"bsz\":{bsz},\"data\":[").expect("write to string");
+            for i in 0..numel {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                if i > 0 {
+                    body.push(',');
+                }
+                write!(body, "{}", state % 256).expect("write to string");
+            }
+            body.push_str("]}");
+            body
+        })
+        .collect()
+}
+
+/// Render payload bodies from a dataset: each body packs `bsz` consecutive
+/// dataset items (cyclic), serialized with exact float values.
+fn render_dataset_bodies(ds: &Dataset, bsz: usize, variants: usize) -> Result<Vec<String>> {
+    let shape_json = serde_json::to_string(ds.shape().dims())
+        .map_err(|e| crate::CoreError::Codec(format!("shape to json: {e}")))?;
+    let mut bodies = Vec::with_capacity(variants);
+    for v in 0..variants {
+        let mut data: Vec<f32> = Vec::with_capacity(ds.shape().numel() * bsz);
+        for b in 0..bsz {
+            data.extend_from_slice(ds.item(v * bsz + b));
+        }
+        let data_json = serde_json::to_string(&data)
+            .map_err(|e| crate::CoreError::Codec(format!("data to json: {e}")))?;
+        bodies.push(format!("\"shape\":{shape_json},\"bsz\":{bsz},\"data\":{data_json}}}"));
+    }
+    Ok(bodies)
+}
+
+/// Start the input producer: generates batches of `bsz` items of
+/// `item_shape` at the rate `workload` dictates, into `topic`.
+pub fn start_producer(
+    broker: Arc<Broker>,
+    topic: &str,
+    item_shape: Shape,
+    bsz: usize,
+    workload: Workload,
+    seed: u64,
+) -> Result<InputProducerHandle> {
+    start_producer_with_source(broker, topic, item_shape, bsz, workload, InputSource::Synthetic { seed })
+}
+
+/// [`start_producer`] with an explicit input source (synthetic or a real
+/// dataset).
+pub fn start_producer_with_source(
+    broker: Arc<Broker>,
+    topic: &str,
+    item_shape: Shape,
+    bsz: usize,
+    workload: Workload,
+    source: InputSource,
+) -> Result<InputProducerHandle> {
+    let mut producer = Producer::new(broker, topic, ProducerConfig::default())?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let produced = Arc::new(AtomicU64::new(0));
+    let bodies = match &source {
+        InputSource::Synthetic { seed } => render_bodies(&item_shape, bsz.max(1), 4, *seed),
+        InputSource::Dataset(ds) => {
+            if *ds.shape() != item_shape {
+                return Err(crate::CoreError::Config(format!(
+                    "dataset items of shape {} for a model expecting {item_shape}",
+                    ds.shape()
+                )));
+            }
+            let variants = ds.len().div_ceil(bsz.max(1)).clamp(1, 8);
+            render_dataset_bodies(ds, bsz.max(1), variants)?
+        }
+    };
+
+    let stop_flag = stop.clone();
+    let counter = produced.clone();
+    let thread = std::thread::Builder::new()
+        .name("crayfish-input-producer".into())
+        .spawn(move || {
+            let sw = Stopwatch::start();
+            let mut pacer = RatePacer::new(workload.rate_at(0.0));
+            let mut id = 0u64;
+            while !stop_flag.load(Ordering::SeqCst) {
+                pacer.set_rate(workload.rate_at(sw.elapsed().as_secs_f64()));
+                pacer.pace();
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let body = &bodies[(id % bodies.len() as u64) as usize];
+                let mut payload = String::with_capacity(body.len() + 48);
+                // The *start* timestamp, recorded prior to the broker write.
+                write!(payload, "{{\"id\":{id},\"created_ms\":{:.3},", now_millis_f64())
+                    .expect("write to string");
+                payload.push_str(body);
+                if producer.send(None, Bytes::from(payload)).is_err() {
+                    break;
+                }
+                id += 1;
+                counter.store(id, Ordering::Relaxed);
+            }
+            producer.flush();
+        })
+        .map_err(|e| crate::CoreError::Config(format!("spawn producer: {e}")))?;
+
+    Ok(InputProducerHandle {
+        stop,
+        produced,
+        thread: Some(thread),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::CrayfishDataBatch;
+    use crayfish_sim::NetworkModel;
+    use std::time::Duration;
+
+    #[test]
+    fn constant_workload_rate() {
+        let w = Workload::Constant { rate: 100.0 };
+        assert_eq!(w.rate_at(0.0), 100.0);
+        assert_eq!(w.rate_at(1e6), 100.0);
+        assert!(!w.in_burst(5.0));
+    }
+
+    #[test]
+    fn bursty_workload_phases() {
+        let w = Workload::Bursty { base: 70.0, burst: 110.0, burst_secs: 30.0, between_secs: 120.0 };
+        assert_eq!(w.rate_at(0.0), 70.0);
+        assert_eq!(w.rate_at(119.0), 70.0);
+        assert_eq!(w.rate_at(121.0), 110.0);
+        assert!(w.in_burst(125.0));
+        // Next cycle repeats.
+        assert_eq!(w.rate_at(151.0), 70.0);
+        assert!(w.in_burst(150.0 + 125.0));
+    }
+
+    #[test]
+    fn produced_payloads_are_valid_batches() {
+        let broker = Broker::new(NetworkModel::zero());
+        broker.create_topic("in", 4).unwrap();
+        let handle = start_producer(
+            broker.clone(),
+            "in",
+            Shape::from([28, 28]),
+            2,
+            Workload::Constant { rate: 500.0 },
+            7,
+        )
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        let produced = handle.stop();
+        assert!(produced > 10, "only {produced} produced");
+        let recs = broker.read("in", 0, 0, 10, usize::MAX).unwrap();
+        assert!(!recs.is_empty());
+        let batch = CrayfishDataBatch::decode(&recs[0].value).unwrap();
+        assert_eq!(batch.bsz, 2);
+        assert_eq!(batch.shape, vec![28, 28]);
+        assert!(batch.created_ms > 0.0);
+        // Pixel-valued data.
+        assert!(batch.data.iter().all(|&v| (0.0..256.0).contains(&v)));
+        // The tensor reassembles.
+        assert_eq!(batch.to_tensor().unwrap().shape().dims(), &[2, 28, 28]);
+    }
+
+    #[test]
+    fn wire_size_matches_paper_3kb_per_ffnn_point() {
+        let bodies = render_bodies(&Shape::from([28, 28]), 1, 1, 1);
+        let size = bodies[0].len();
+        assert!((2_000..4_500).contains(&size), "body is {size} bytes");
+    }
+
+    #[test]
+    fn rate_is_approximately_honoured() {
+        let broker = Broker::new(NetworkModel::zero());
+        broker.create_topic("in", 2).unwrap();
+        let handle = start_producer(
+            broker,
+            "in",
+            Shape::from([4]),
+            1,
+            Workload::Constant { rate: 1000.0 },
+            1,
+        )
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(300));
+        let produced = handle.stop() as f64;
+        // 300 ms at 1 kHz ≈ 300 events; allow wide scheduling noise but not
+        // unpaced generation.
+        assert!(produced > 100.0 && produced < 400.0, "{produced} events");
+    }
+
+    #[test]
+    fn dataset_sourced_payloads_replay_real_items() {
+        use crate::dataset::{write_dataset, Dataset};
+        let dir = std::env::temp_dir().join("crayfish-workload-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("producer.crfd");
+        let shape = Shape::from([2, 2]);
+        let items: Vec<crayfish_tensor::Tensor> = (0..3)
+            .map(|i| crayfish_tensor::Tensor::seeded_uniform([2, 2], i, 0.0, 9.0))
+            .collect();
+        write_dataset(&path, &shape, &items).unwrap();
+        let ds = Dataset::load(&path).unwrap();
+
+        let broker = Broker::new(NetworkModel::zero());
+        broker.create_topic("in", 1).unwrap();
+        let handle = start_producer_with_source(
+            broker.clone(),
+            "in",
+            shape,
+            1,
+            Workload::Constant { rate: 500.0 },
+            InputSource::Dataset(ds),
+        )
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        handle.stop();
+        let recs = broker.read("in", 0, 0, 10, usize::MAX).unwrap();
+        assert!(!recs.is_empty());
+        let batch = CrayfishDataBatch::decode(&recs[0].value).unwrap();
+        // Payload data comes from the dataset, not the synthetic generator.
+        assert_eq!(batch.data, items[0].data());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dataset_shape_mismatch_is_rejected() {
+        use crate::dataset::{write_dataset, Dataset};
+        let dir = std::env::temp_dir().join("crayfish-workload-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mismatch.crfd");
+        write_dataset(&path, &Shape::from([3]), &[crayfish_tensor::Tensor::zeros([3])]).unwrap();
+        let ds = Dataset::load(&path).unwrap();
+        let broker = Broker::new(NetworkModel::zero());
+        broker.create_topic("in", 1).unwrap();
+        let res = start_producer_with_source(
+            broker,
+            "in",
+            Shape::from([4]),
+            1,
+            Workload::Constant { rate: 10.0 },
+            InputSource::Dataset(ds),
+        );
+        assert!(res.is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ids_are_monotonic_from_zero() {
+        let broker = Broker::new(NetworkModel::zero());
+        broker.create_topic("in", 1).unwrap();
+        let handle = start_producer(
+            broker.clone(),
+            "in",
+            Shape::from([4]),
+            1,
+            Workload::Constant { rate: 2000.0 },
+            1,
+        )
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        handle.stop();
+        let recs = broker.read("in", 0, 0, 1000, usize::MAX).unwrap();
+        let ids: Vec<u64> = recs
+            .iter()
+            .map(|r| CrayfishDataBatch::decode(&r.value).unwrap().id)
+            .collect();
+        for pair in ids.windows(2) {
+            assert_eq!(pair[1], pair[0] + 1);
+        }
+        assert_eq!(ids.first(), Some(&0));
+    }
+}

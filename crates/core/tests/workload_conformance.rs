@@ -1,0 +1,86 @@
+//! Statistical conformance of the workload generator: the bursty producer
+//! must actually emit at two distinguishable rates with the configured
+//! phase lengths.
+
+use std::time::Duration;
+
+use crayfish_broker::Broker;
+use crayfish_core::workload::{start_producer, Workload};
+use crayfish_sim::NetworkModel;
+use crayfish_tensor::Shape;
+
+#[test]
+fn bursty_producer_emits_two_rates() {
+    let broker = Broker::new(NetworkModel::zero());
+    broker.create_topic("in", 1).unwrap();
+    // 1 s quiet at 200/s, 1 s burst at 1200/s, repeating.
+    let handle = start_producer(
+        broker.clone(),
+        "in",
+        Shape::from([4]),
+        1,
+        Workload::Bursty {
+            base: 200.0,
+            burst: 1200.0,
+            burst_secs: 1.0,
+            between_secs: 1.0,
+        },
+        7,
+    )
+    .unwrap();
+    std::thread::sleep(Duration::from_millis(4200));
+    handle.stop();
+
+    // Bucket the broker's append times into 250 ms windows.
+    let recs = broker.read("in", 0, 0, usize::MAX, usize::MAX).unwrap();
+    assert!(recs.len() > 1000, "only {} records", recs.len());
+    let t0 = recs.first().unwrap().append_time_ms;
+    let mut buckets = vec![0usize; 18];
+    for r in &recs {
+        let i = ((r.append_time_ms - t0) / 250.0) as usize;
+        if i < buckets.len() {
+            buckets[i] += 1;
+        }
+    }
+    // Drop edge buckets; classify the rest by rate.
+    let mid = &buckets[1..16];
+    let quiet = mid.iter().filter(|&&c| c < 100).count();
+    let bursty = mid.iter().filter(|&&c| c > 200).count();
+    assert!(
+        quiet >= 3 && bursty >= 3,
+        "phases indistinct: buckets (events/250ms) = {mid:?}"
+    );
+}
+
+#[test]
+fn constant_producer_rate_is_steady() {
+    let broker = Broker::new(NetworkModel::zero());
+    broker.create_topic("in", 1).unwrap();
+    let handle = start_producer(
+        broker.clone(),
+        "in",
+        Shape::from([4]),
+        1,
+        Workload::Constant { rate: 1000.0 },
+        3,
+    )
+    .unwrap();
+    std::thread::sleep(Duration::from_millis(1500));
+    handle.stop();
+    let recs = broker.read("in", 0, 0, usize::MAX, usize::MAX).unwrap();
+    let t0 = recs.first().unwrap().append_time_ms;
+    let mut buckets = vec![0usize; 6];
+    for r in &recs {
+        let i = ((r.append_time_ms - t0) / 250.0) as usize;
+        if i < buckets.len() {
+            buckets[i] += 1;
+        }
+    }
+    // Every interior 250 ms window carries roughly 250 events.
+    for (i, &c) in buckets[1..5].iter().enumerate() {
+        assert!(
+            (150..400).contains(&c),
+            "bucket {i} has {c} events: {buckets:?}"
+        );
+    }
+}

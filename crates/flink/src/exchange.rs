@@ -1,0 +1,185 @@
+//! Network-buffer exchanges between unchained operators.
+//!
+//! Flink serializes records into fixed-size network buffers (32 KB by
+//! default) that are shipped downstream when full or when the *buffer
+//! timeout* expires (100 ms by default in the Flink 1.13 line the paper
+//! uses). Records larger than a buffer ship immediately. Channels are
+//! bounded, so a full downstream exerts backpressure on the producer —
+//! both effects shape the paper's Flink results.
+
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, SendError, Sender};
+
+/// A shipped network buffer: a group of serialized records.
+pub type NetBuffer = Vec<Bytes>;
+
+/// Build an exchange from one upstream task to `downstream` tasks.
+/// Returns the per-task receivers; each upstream task creates its own
+/// [`ExchangeSender`] over clones of the senders.
+pub fn channels(downstream: usize, capacity: usize) -> (Vec<Sender<NetBuffer>>, Vec<Receiver<NetBuffer>>) {
+    let mut txs = Vec::with_capacity(downstream);
+    let mut rxs = Vec::with_capacity(downstream);
+    for _ in 0..downstream {
+        let (tx, rx) = bounded(capacity.max(1));
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    (txs, rxs)
+}
+
+/// The upstream half of an exchange for one producing task: accumulates
+/// records into a buffer and rebalances full buffers round-robin across
+/// downstream tasks.
+pub struct ExchangeSender {
+    outputs: Vec<Sender<NetBuffer>>,
+    buffer: NetBuffer,
+    buffered_bytes: usize,
+    buffer_bytes: usize,
+    timeout: Duration,
+    last_flush: Instant,
+    rr: usize,
+}
+
+impl ExchangeSender {
+    /// Create a sender over the downstream channels.
+    pub fn new(outputs: Vec<Sender<NetBuffer>>, buffer_bytes: usize, timeout: Duration) -> Self {
+        ExchangeSender {
+            outputs,
+            buffer: Vec::new(),
+            buffered_bytes: 0,
+            buffer_bytes: buffer_bytes.max(1),
+            timeout,
+            last_flush: Instant::now(),
+            rr: 0,
+        }
+    }
+
+    /// Push one record; ships the current buffer if it is full. Blocks on
+    /// backpressure. Errors when every downstream task is gone.
+    pub fn push(&mut self, record: Bytes) -> Result<(), SendError<NetBuffer>> {
+        self.buffered_bytes += record.len();
+        self.buffer.push(record);
+        if self.buffered_bytes >= self.buffer_bytes {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Ship the buffer if the buffer timeout has expired. Call regularly
+    /// from the task loop (Flink's output flusher thread).
+    pub fn maybe_flush(&mut self) -> Result<(), SendError<NetBuffer>> {
+        if !self.buffer.is_empty() && self.last_flush.elapsed() >= self.timeout {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Ship whatever is buffered now.
+    pub fn flush(&mut self) -> Result<(), SendError<NetBuffer>> {
+        self.last_flush = Instant::now();
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        let buf = std::mem::take(&mut self.buffer);
+        self.buffered_bytes = 0;
+        let n = self.outputs.len();
+        let target = &self.outputs[self.rr % n];
+        self.rr = (self.rr + 1) % n;
+        target.send(buf)
+    }
+}
+
+/// All upstream tasks of an exchange have terminated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EndOfStream;
+
+/// Receive the next buffer, waiting up to `timeout`. `Ok(None)` on timeout,
+/// `Err(EndOfStream)` when all upstream tasks are gone.
+pub fn recv_buffer(
+    rx: &Receiver<NetBuffer>,
+    timeout: Duration,
+) -> Result<Option<NetBuffer>, EndOfStream> {
+    match rx.recv_timeout(timeout) {
+        Ok(buf) => Ok(Some(buf)),
+        Err(RecvTimeoutError::Timeout) => Ok(None),
+        Err(RecvTimeoutError::Disconnected) => Err(EndOfStream),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_records_accumulate_until_full() {
+        let (txs, rxs) = channels(1, 4);
+        let mut sender = ExchangeSender::new(txs, 100, Duration::from_secs(60));
+        for _ in 0..9 {
+            sender.push(Bytes::from(vec![0u8; 10])).unwrap();
+        }
+        // 90 bytes buffered, nothing shipped yet.
+        assert!(rxs[0].try_recv().is_err());
+        sender.push(Bytes::from(vec![0u8; 10])).unwrap();
+        // 100 bytes -> shipped as one buffer of 10 records.
+        let buf = rxs[0].try_recv().unwrap();
+        assert_eq!(buf.len(), 10);
+    }
+
+    #[test]
+    fn oversized_records_ship_immediately() {
+        let (txs, rxs) = channels(1, 4);
+        let mut sender = ExchangeSender::new(txs, 100, Duration::from_secs(60));
+        sender.push(Bytes::from(vec![0u8; 5000])).unwrap();
+        assert_eq!(rxs[0].try_recv().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn timeout_flushes_partial_buffers() {
+        let (txs, rxs) = channels(1, 4);
+        let mut sender = ExchangeSender::new(txs, 1 << 20, Duration::from_millis(20));
+        sender.push(Bytes::from_static(b"x")).unwrap();
+        sender.maybe_flush().unwrap();
+        assert!(rxs[0].try_recv().is_err(), "flushed before timeout");
+        std::thread::sleep(Duration::from_millis(25));
+        sender.maybe_flush().unwrap();
+        assert_eq!(rxs[0].try_recv().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn rebalances_round_robin() {
+        let (txs, rxs) = channels(3, 4);
+        let mut sender = ExchangeSender::new(txs, 1, Duration::ZERO);
+        for _ in 0..6 {
+            sender.push(Bytes::from_static(b"abc")).unwrap();
+        }
+        for rx in &rxs {
+            assert_eq!(rx.try_iter().count(), 2);
+        }
+    }
+
+    #[test]
+    fn bounded_channels_backpressure() {
+        let (txs, rxs) = channels(1, 1);
+        let mut sender = ExchangeSender::new(txs, 1, Duration::ZERO);
+        sender.push(Bytes::from_static(b"a")).unwrap();
+        // Channel now full; the next push must block until we drain.
+        let h = std::thread::spawn(move || {
+            sender.push(Bytes::from_static(b"b")).unwrap();
+            sender
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!h.is_finished(), "no backpressure on full channel");
+        rxs[0].recv().unwrap();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn recv_buffer_distinguishes_timeout_and_eos() {
+        let (txs, rxs) = channels(1, 1);
+        assert_eq!(recv_buffer(&rxs[0], Duration::from_millis(10)), Ok(None));
+        drop(txs);
+        assert_eq!(recv_buffer(&rxs[0], Duration::from_millis(10)), Err(EndOfStream));
+    }
+}

@@ -1,0 +1,570 @@
+//! The Flink-style job: topology construction and task threads.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crayfish_broker::{Broker, PartitionConsumer, Producer, ProducerConfig};
+use crayfish_core::scoring::score_payload;
+use crayfish_core::{CoreError, DataProcessor, ProcessorContext, Result, RunningJob};
+use crayfish_sim::{calibration, Cost};
+
+use crate::exchange::{channels, recv_buffer, ExchangeSender};
+
+/// Explicit operator-level parallelism (`flink[source-N-sink]`, Fig. 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OperatorParallelism {
+    /// Source task count (the paper matches it to the partition count, 32).
+    pub source: usize,
+    /// Sink task count.
+    pub sink: usize,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FlinkOptions {
+    /// Chain source → scoring → sink into one task (Flink's default). The
+    /// paper's `flink[N-N-N]` runs chained; `flink[32-N-32]` disables
+    /// chaining.
+    pub chaining: bool,
+    /// Source/sink parallelism when unchained; scoring always runs at `mp`.
+    /// `None` uses `mp` for all three operators.
+    pub operator_parallelism: Option<OperatorParallelism>,
+    /// Network-buffer size between unchained operators.
+    pub buffer_bytes: usize,
+    /// Buffer timeout (Flink 1.13 default: 100 ms).
+    pub buffer_timeout: Duration,
+    /// Buffers in flight per exchange channel before backpressure.
+    pub channel_capacity: usize,
+    /// Calibrated per-record framework cost of the JVM task chain (see
+    /// [`calibration::RECORD_OVERHEAD_FLINK`]); ablations set it to
+    /// [`Cost::ZERO`] to measure the bare Rust substrate.
+    pub record_overhead: Cost,
+    /// Asynchronous-I/O capacity of the scoring operator (Flink's
+    /// `AsyncDataStream`, which the paper deliberately did *not* use for
+    /// fairness, §4.3). `0` keeps scoring calls blocking; `k > 0` lets each
+    /// chained subtask keep up to `k` scoring calls in flight — the main
+    /// lever real deployments have against external-serving round trips.
+    pub async_io: usize,
+}
+
+impl Default for FlinkOptions {
+    fn default() -> Self {
+        FlinkOptions {
+            chaining: true,
+            operator_parallelism: None,
+            buffer_bytes: 32 * 1024,
+            buffer_timeout: Duration::from_millis(100),
+            channel_capacity: 8,
+            record_overhead: calibration::RECORD_OVERHEAD_FLINK,
+            async_io: 0,
+        }
+    }
+}
+
+impl FlinkOptions {
+    /// The paper's `flink[32-N-32]` configuration: operator-level
+    /// parallelism with chaining disabled.
+    pub fn operator_level(source: usize, sink: usize) -> FlinkOptions {
+        FlinkOptions {
+            chaining: false,
+            operator_parallelism: Some(OperatorParallelism { source, sink }),
+            ..Default::default()
+        }
+    }
+}
+
+/// The Flink-style `DataProcessor`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FlinkProcessor {
+    /// Engine options.
+    pub options: FlinkOptions,
+}
+
+impl FlinkProcessor {
+    /// Engine with default (chained) options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Engine with explicit options.
+    pub fn with_options(options: FlinkOptions) -> Self {
+        FlinkProcessor { options }
+    }
+}
+
+struct FlinkJob {
+    stop: Arc<AtomicBool>,
+    /// Threads in upstream-to-downstream order; joined in that order so
+    /// exchanges drain before downstream tasks observe disconnection.
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl RunningJob for FlinkJob {
+    fn stop(mut self: Box<Self>) {
+        self.stop.store(true, Ordering::SeqCst);
+        for h in self.threads.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl DataProcessor for FlinkProcessor {
+    fn name(&self) -> &'static str {
+        "flink"
+    }
+
+    fn start(&self, ctx: ProcessorContext) -> Result<Box<dyn RunningJob>> {
+        ctx.validate()?;
+        if self.options.async_io > 0 {
+            start_async_chained(&ctx, self.options)
+        } else if self.options.chaining {
+            start_chained(&ctx, self.options)
+        } else {
+            start_unchained(&ctx, self.options)
+        }
+    }
+}
+
+/// Chained topology with asynchronous scoring I/O: each of the `mp`
+/// subtasks keeps up to `async_io` scoring calls in flight on a pool of
+/// async workers, so a slow external server no longer serialises the chain.
+fn start_async_chained(ctx: &ProcessorContext, options: FlinkOptions) -> Result<Box<dyn RunningJob>> {
+    use crossbeam::channel::bounded;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let partitions = ctx.broker.partitions(&ctx.input_topic)?;
+    let assignment = Broker::range_assignment(partitions, ctx.mp);
+    let capacity = options.async_io.max(1);
+    let mut threads = Vec::new();
+    for (i, assigned) in assignment.into_iter().enumerate() {
+        // The bounded queue is the async operator's in-flight capacity:
+        // the subtask blocks once `capacity` requests are outstanding.
+        let (work_tx, work_rx) = bounded::<bytes::Bytes>(capacity);
+        // Async scoring workers (Flink runs the callbacks on a pool).
+        for w in 0..capacity {
+            let rx = work_rx.clone();
+            let mut scorer = ctx.scorer.build()?;
+            let mut producer =
+                Producer::new(ctx.broker.clone(), &ctx.output_topic, ProducerConfig::default())?;
+            threads.push(spawn_task(format!("flink-async-{i}-{w}"), move || {
+                while let Ok(rec) = rx.recv() {
+                    if let Ok(out) = score_payload(scorer.as_mut(), &rec) {
+                        if producer.send(None, out).is_err() {
+                            return;
+                        }
+                    }
+                }
+            })?);
+        }
+        drop(work_rx);
+        // The chain itself: source + record overhead + async dispatch.
+        // Inserted at index `i` so all chain threads precede all worker
+        // threads in the join order: stopping joins the chains first, their
+        // `work_tx` drops, and the workers exit on disconnect.
+        let mut consumer =
+            PartitionConsumer::new(ctx.broker.clone(), &ctx.input_topic, &ctx.group, assigned)?;
+        let flag = stop.clone();
+        threads.insert(
+            i,
+            spawn_task(format!("flink-chain-async-{i}"), move || {
+                while !flag.load(Ordering::SeqCst) {
+                    let records = match consumer.poll(Duration::from_millis(50)) {
+                        Ok(r) => r,
+                        Err(_) => return,
+                    };
+                    for rec in records {
+                        options.record_overhead.spend(rec.value.len());
+                        if work_tx.send(rec.value).is_err() {
+                            return;
+                        }
+                    }
+                    consumer.commit();
+                }
+            })?,
+        );
+    }
+    Ok(Box::new(FlinkJob { stop, threads }))
+}
+
+/// Chained topology: `mp` subtasks each running the whole pipeline.
+fn start_chained(ctx: &ProcessorContext, options: FlinkOptions) -> Result<Box<dyn RunningJob>> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let partitions = ctx.broker.partitions(&ctx.input_topic)?;
+    let assignment = Broker::range_assignment(partitions, ctx.mp);
+    let mut threads = Vec::with_capacity(ctx.mp);
+    for (i, assigned) in assignment.into_iter().enumerate() {
+        let mut consumer =
+            PartitionConsumer::new(ctx.broker.clone(), &ctx.input_topic, &ctx.group, assigned)?;
+        let mut producer =
+            Producer::new(ctx.broker.clone(), &ctx.output_topic, ProducerConfig::default())?;
+        let mut scorer = ctx.scorer.build()?;
+        let flag = stop.clone();
+        threads.push(spawn_task(format!("flink-chain-{i}"), move || {
+            while !flag.load(Ordering::SeqCst) {
+                let records = match consumer.poll(Duration::from_millis(50)) {
+                    Ok(r) => r,
+                    Err(_) => return,
+                };
+                for rec in records {
+                    // JVM task-chain framework cost per record.
+                    options.record_overhead.spend(rec.value.len());
+                    match score_payload(scorer.as_mut(), &rec.value) {
+                        Ok(out) => {
+                            if producer.send(None, out).is_err() {
+                                return;
+                            }
+                        }
+                        Err(_) => continue,
+                    }
+                }
+                // Checkpoint-style offset commit after each fetch.
+                consumer.commit();
+            }
+        })?);
+    }
+    Ok(Box::new(FlinkJob { stop, threads }))
+}
+
+/// Unchained topology: source tasks → exchange → scoring tasks → exchange →
+/// sink tasks.
+fn start_unchained(ctx: &ProcessorContext, options: FlinkOptions) -> Result<Box<dyn RunningJob>> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let partitions = ctx.broker.partitions(&ctx.input_topic)?;
+    let op = options
+        .operator_parallelism
+        .unwrap_or(OperatorParallelism { source: ctx.mp, sink: ctx.mp });
+    let sources = op.source.max(1);
+    let sinks = op.sink.max(1);
+    let scorers = ctx.mp;
+
+    let (score_txs, score_rxs) = channels(scorers, options.channel_capacity);
+    let (sink_txs, sink_rxs) = channels(sinks, options.channel_capacity);
+
+    let mut threads = Vec::new();
+
+    // The chain's framework cost splits across the now-independent
+    // operators (see `calibration::FLINK_SOURCE_SHARE` and friends).
+    let source_cost = options.record_overhead.scaled(calibration::FLINK_SOURCE_SHARE);
+    let scoring_cost = options.record_overhead.scaled(calibration::FLINK_SCORING_SHARE);
+    let sink_cost = options.record_overhead.scaled(calibration::FLINK_SINK_SHARE);
+
+    // Source tasks.
+    let assignment = Broker::range_assignment(partitions, sources);
+    for (i, assigned) in assignment.into_iter().enumerate() {
+        let mut consumer =
+            PartitionConsumer::new(ctx.broker.clone(), &ctx.input_topic, &ctx.group, assigned)?;
+        let mut out = ExchangeSender::new(
+            score_txs.clone(),
+            options.buffer_bytes,
+            options.buffer_timeout,
+        );
+        let flag = stop.clone();
+        threads.push(spawn_task(format!("flink-source-{i}"), move || {
+            while !flag.load(Ordering::SeqCst) {
+                let records = match consumer.poll(Duration::from_millis(10)) {
+                    Ok(r) => r,
+                    Err(_) => return,
+                };
+                for rec in records {
+                    source_cost.spend(rec.value.len());
+                    if out.push(rec.value).is_err() {
+                        return;
+                    }
+                }
+                consumer.commit();
+                if out.maybe_flush().is_err() {
+                    return;
+                }
+            }
+            let _ = out.flush();
+        })?);
+    }
+    drop(score_txs);
+
+    // Scoring tasks.
+    for (i, rx) in score_rxs.into_iter().enumerate() {
+        let mut scorer = ctx.scorer.build()?;
+        let mut out = ExchangeSender::new(
+            sink_txs.clone(),
+            options.buffer_bytes,
+            options.buffer_timeout,
+        );
+        threads.push(spawn_task(format!("flink-score-{i}"), move || {
+            loop {
+                match recv_buffer(&rx, Duration::from_millis(10)) {
+                    Ok(Some(buffer)) => {
+                        for rec in buffer {
+                            scoring_cost.spend(rec.len());
+                            if let Ok(scored) = score_payload(scorer.as_mut(), &rec) {
+                                if out.push(scored).is_err() {
+                                    return;
+                                }
+                            }
+                        }
+                        if out.maybe_flush().is_err() {
+                            return;
+                        }
+                    }
+                    Ok(None) => {
+                        if out.maybe_flush().is_err() {
+                            return;
+                        }
+                    }
+                    // All sources gone: drain done.
+                    Err(_) => break,
+                }
+            }
+            let _ = out.flush();
+        })?);
+    }
+    drop(sink_txs);
+
+    // Sink tasks.
+    for (i, rx) in sink_rxs.into_iter().enumerate() {
+        let mut producer =
+            Producer::new(ctx.broker.clone(), &ctx.output_topic, ProducerConfig::default())?;
+        threads.push(spawn_task(format!("flink-sink-{i}"), move || loop {
+            match recv_buffer(&rx, Duration::from_millis(50)) {
+                Ok(Some(buffer)) => {
+                    for rec in buffer {
+                        sink_cost.spend(rec.len());
+                        if producer.send(None, rec).is_err() {
+                            return;
+                        }
+                    }
+                }
+                Ok(None) => {}
+                Err(_) => return,
+            }
+        })?);
+    }
+
+    Ok(Box::new(FlinkJob { stop, threads }))
+}
+
+fn spawn_task(name: String, body: impl FnOnce() + Send + 'static) -> Result<JoinHandle<()>> {
+    std::thread::Builder::new()
+        .name(name.clone())
+        .spawn(body)
+        .map_err(|e| CoreError::Config(format!("spawn {name}: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use crayfish_core::batch::{CrayfishDataBatch, ScoredBatch};
+    use crayfish_core::scoring::ScorerSpec;
+    use crayfish_models::tiny;
+    use crayfish_runtime::{Device, EmbeddedLib};
+    use crayfish_sim::{now_millis_f64, NetworkModel};
+    use crayfish_tensor::Tensor;
+
+    /// Options with the JVM framework cost zeroed, so unit tests measure
+    /// only the mechanisms they target.
+    fn bare_options() -> FlinkOptions {
+        FlinkOptions { record_overhead: Cost::ZERO, ..Default::default() }
+    }
+
+    fn make_ctx(mp: usize) -> ProcessorContext {
+        let broker = Broker::new(NetworkModel::zero());
+        broker.create_topic("in", 8).unwrap();
+        broker.create_topic("out", 8).unwrap();
+        ProcessorContext {
+            broker,
+            input_topic: "in".into(),
+            output_topic: "out".into(),
+            group: "sut".into(),
+            scorer: ScorerSpec::Embedded {
+                lib: EmbeddedLib::Onnx,
+                graph: Arc::new(tiny::tiny_mlp(1)),
+                device: Device::Cpu,
+            },
+            mp,
+        }
+    }
+
+    fn feed(broker: &Broker, n: u64) {
+        for id in 0..n {
+            let t = Tensor::seeded_uniform([1, 8, 8], id, 0.0, 1.0);
+            let payload = CrayfishDataBatch::from_tensor(id, now_millis_f64(), &t)
+                .encode()
+                .unwrap();
+            broker
+                .append("in", (id % 8) as u32, vec![(payload, now_millis_f64())])
+                .unwrap();
+        }
+    }
+
+    fn drain_scored(broker: &Broker, expect: usize) -> Vec<ScoredBatch> {
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let mut out = Vec::new();
+        let mut offsets = [0u64; 8];
+        while out.len() < expect && std::time::Instant::now() < deadline {
+            for p in 0..8u32 {
+                let recs = broker
+                    .read("out", p, offsets[p as usize], 1000, usize::MAX)
+                    .unwrap();
+                if let Some(last) = recs.last() {
+                    offsets[p as usize] = last.offset + 1;
+                }
+                for r in recs {
+                    out.push(ScoredBatch::decode(&r.value).unwrap());
+                }
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        out
+    }
+
+    fn exactly_once_ids(scored: &[ScoredBatch], n: u64) {
+        let mut ids: Vec<u64> = scored.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), n as usize, "duplicate or missing ids");
+        assert_eq!(ids.first(), Some(&0));
+        assert_eq!(ids.last(), Some(&(n - 1)));
+    }
+
+    #[test]
+    fn chained_pipeline_scores_every_batch() {
+        let ctx = make_ctx(2);
+        let broker = ctx.broker.clone();
+        let job = FlinkProcessor::with_options(bare_options()).start(ctx).unwrap();
+        feed(&broker, 40);
+        let scored = drain_scored(&broker, 40);
+        assert_eq!(scored.len(), 40);
+        exactly_once_ids(&scored, 40);
+        job.stop();
+    }
+
+    #[test]
+    fn unchained_pipeline_scores_every_batch() {
+        let ctx = make_ctx(2);
+        let broker = ctx.broker.clone();
+        let options = FlinkOptions {
+            buffer_timeout: Duration::from_millis(5),
+            record_overhead: Cost::ZERO,
+            ..FlinkOptions::operator_level(4, 3)
+        };
+        let job = FlinkProcessor::with_options(options).start(ctx).unwrap();
+        feed(&broker, 60);
+        let scored = drain_scored(&broker, 60);
+        assert_eq!(scored.len(), 60);
+        exactly_once_ids(&scored, 60);
+        job.stop();
+    }
+
+    #[test]
+    fn stop_is_graceful_and_idempotent_work() {
+        let ctx = make_ctx(1);
+        let broker = ctx.broker.clone();
+        let job = FlinkProcessor::with_options(bare_options()).start(ctx).unwrap();
+        feed(&broker, 5);
+        drain_scored(&broker, 5);
+        job.stop();
+        // Feeding after stop produces nothing new.
+        feed(&broker, 5);
+        std::thread::sleep(Duration::from_millis(100));
+        let total = broker.total_records("out").unwrap();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn malformed_records_are_skipped_not_fatal() {
+        let ctx = make_ctx(1);
+        let broker = ctx.broker.clone();
+        let job = FlinkProcessor::with_options(bare_options()).start(ctx).unwrap();
+        broker
+            .append("in", 0, vec![(Bytes::from_static(b"not json"), 0.0)])
+            .unwrap();
+        feed(&broker, 3);
+        let scored = drain_scored(&broker, 3);
+        assert_eq!(scored.len(), 3);
+        job.stop();
+    }
+
+    #[test]
+    fn async_io_scores_everything_exactly_once() {
+        let ctx = make_ctx(2);
+        let broker = ctx.broker.clone();
+        let options = FlinkOptions { async_io: 4, ..bare_options() };
+        let job = FlinkProcessor::with_options(options).start(ctx).unwrap();
+        feed(&broker, 50);
+        let scored = drain_scored(&broker, 50);
+        assert_eq!(scored.len(), 50);
+        exactly_once_ids(&scored, 50);
+        job.stop();
+    }
+
+    #[test]
+    fn async_io_overlaps_slow_external_calls() {
+        // A server pool with 4 workers and blocking calls from one subtask
+        // serialises; async_io = 4 overlaps the calls. Compare wall time to
+        // score a fixed backlog.
+        let graph = tiny::tiny_mlp(1);
+        let server = crayfish_serving::tf_serving::start(
+            &graph,
+            crayfish_serving::ServingConfig { workers: 4, ..Default::default() },
+        )
+        .unwrap();
+        // A slow modelled LAN makes each call ~10 ms.
+        let slow_net = NetworkModel { base_latency_s: 0.005, bandwidth_bytes_per_s: f64::INFINITY };
+        let mut elapsed = Vec::new();
+        for async_io in [0usize, 4] {
+            let broker = Broker::new(NetworkModel::zero());
+            broker.create_topic("in", 8).unwrap();
+            broker.create_topic("out", 8).unwrap();
+            let ctx = ProcessorContext {
+                broker: broker.clone(),
+                input_topic: "in".into(),
+                output_topic: "out".into(),
+                group: "sut".into(),
+                scorer: ScorerSpec::External {
+                    kind: crayfish_serving::ExternalKind::TfServing,
+                    addr: server.addr(),
+                    network: slow_net,
+                },
+                mp: 1,
+            };
+            let options = FlinkOptions { async_io, ..bare_options() };
+            let job = FlinkProcessor::with_options(options).start(ctx).unwrap();
+            let sw = crayfish_sim::Stopwatch::start();
+            feed(&broker, 40);
+            let scored = drain_scored(&broker, 40);
+            assert_eq!(scored.len(), 40, "async_io={async_io}");
+            elapsed.push(sw.elapsed_millis());
+            job.stop();
+        }
+        assert!(
+            elapsed[1] < elapsed[0] / 2.0,
+            "async {} ms not faster than blocking {} ms",
+            elapsed[1],
+            elapsed[0]
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn buffer_timeout_shapes_unchained_latency() {
+        // With a long buffer timeout and small records, unchained latency
+        // must include the buffering delay.
+        let ctx = make_ctx(1);
+        let broker = ctx.broker.clone();
+        let options = FlinkOptions {
+            buffer_timeout: Duration::from_millis(120),
+            record_overhead: Cost::ZERO,
+            ..FlinkOptions::operator_level(1, 1)
+        };
+        let job = FlinkProcessor::with_options(options).start(ctx).unwrap();
+        let start = now_millis_f64();
+        feed(&broker, 1);
+        let scored = drain_scored(&broker, 1);
+        let elapsed = now_millis_f64() - start;
+        assert_eq!(scored.len(), 1);
+        assert!(elapsed >= 100.0, "buffered latency only {elapsed} ms");
+        job.stop();
+    }
+}

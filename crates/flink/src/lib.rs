@@ -1,0 +1,25 @@
+//! # crayfish-flink
+//!
+//! A push-based, pipelined dataflow engine in the style of Apache Flink
+//! (§3.4.1 of the paper), implementing the Crayfish `DataProcessor`
+//! interface.
+//!
+//! Mechanisms reproduced:
+//!
+//! * **Operator chaining** (the default): source → scoring → sink fuse into
+//!   one task per parallel subtask — no intermediate buffers, the
+//!   configuration behind the paper's `flink[N-N-N]`.
+//! * **Operator-level parallelism** with chaining disabled
+//!   (`flink[32-N-32]`, §6.1): independent source/scoring/sink task counts
+//!   connected by network-buffer exchanges.
+//! * **Network buffers**: records between unchained operators accumulate
+//!   into fixed-size buffers flushed when full or when the buffer timeout
+//!   expires — the buffering the paper blames for Flink's latency on large
+//!   records (§5.3.2).
+//! * **Backpressure**: exchanges are bounded; a slow downstream blocks the
+//!   upstream push.
+
+pub mod exchange;
+pub mod job;
+
+pub use job::{FlinkOptions, FlinkProcessor, OperatorParallelism};

@@ -1,0 +1,60 @@
+//! Error type for model construction and (de)serialization.
+
+use std::fmt;
+
+/// Errors from model building, format encoding/decoding, and the zoo.
+#[derive(Debug)]
+pub enum ModelError {
+    /// Underlying tensor/graph error.
+    Tensor(crayfish_tensor::TensorError),
+    /// Malformed serialized model.
+    Format(String),
+    /// I/O failure while reading or writing a model file.
+    Io(std::io::Error),
+    /// Unknown model or format name.
+    Unknown(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Tensor(e) => write!(f, "tensor error: {e}"),
+            ModelError::Format(msg) => write!(f, "model format error: {msg}"),
+            ModelError::Io(e) => write!(f, "model i/o error: {e}"),
+            ModelError::Unknown(name) => write!(f, "unknown model or format: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Tensor(e) => Some(e),
+            ModelError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<crayfish_tensor::TensorError> for ModelError {
+    fn from(e: crayfish_tensor::TensorError) -> Self {
+        ModelError::Tensor(e)
+    }
+}
+
+impl From<std::io::Error> for ModelError {
+    fn from(e: std::io::Error) -> Self {
+        ModelError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_variant_context() {
+        let e = ModelError::Unknown("resnet99".into());
+        assert!(e.to_string().contains("resnet99"));
+    }
+}

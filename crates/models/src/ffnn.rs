@@ -1,0 +1,98 @@
+//! The paper's FFNN: a Fashion-MNIST-scale fully connected classifier.
+//!
+//! Architecture (§4.1 "Pre-trained Models"): 28×28 input, three hidden
+//! layers of 32 ReLU neurons, 10-way softmax output; ~28 K parameters.
+
+use std::sync::Arc;
+
+use crayfish_tensor::{NnGraph, Op, Shape, Tensor};
+
+/// Input image side length.
+pub const INPUT_SIDE: usize = 28;
+/// Hidden-layer width.
+pub const HIDDEN: usize = 32;
+/// Number of output classes.
+pub const CLASSES: usize = 10;
+
+/// Build the FFNN with weights seeded from `seed`.
+pub fn build(seed: u64) -> NnGraph {
+    let mut g = NnGraph::new("ffnn");
+    let input = g.add(
+        "input",
+        Op::Input {
+            shape: Shape::from([INPUT_SIDE, INPUT_SIDE]),
+        },
+        vec![],
+    );
+    let mut x = g.add("flatten", Op::Flatten, vec![input]);
+    let mut in_f = INPUT_SIDE * INPUT_SIDE;
+    for layer in 0..3 {
+        let w = Arc::new(Tensor::seeded_he(
+            [in_f, HIDDEN],
+            seed.wrapping_add(layer as u64 * 2 + 1),
+            in_f,
+        ));
+        let b = Arc::new(Tensor::zeros([HIDDEN]));
+        let d = g.add(format!("fc{layer}"), Op::Dense { w, b }, vec![x]);
+        x = g.add(format!("relu{layer}"), Op::Relu, vec![d]);
+        in_f = HIDDEN;
+    }
+    let w = Arc::new(Tensor::seeded_he([HIDDEN, CLASSES], seed.wrapping_add(100), HIDDEN));
+    let b = Arc::new(Tensor::zeros([CLASSES]));
+    let logits = g.add("fc_out", Op::Dense { w, b }, vec![x]);
+    g.add("softmax", Op::Softmax, vec![logits]);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_table2_shapes() {
+        let g = build(7);
+        assert_eq!(g.input_shape().unwrap().dims(), &[28, 28]);
+        assert_eq!(g.output_shape(1).unwrap().dims(), &[1, 10]);
+    }
+
+    #[test]
+    fn parameter_count_is_about_28k() {
+        let g = build(7);
+        let params = g.param_count();
+        // 784*32+32 + 32*32+32 + 32*32+32 + 32*10+10 = 27,562
+        assert_eq!(params, 27_562);
+        assert!((27_000..29_000).contains(&params), "Table 2 says ~28 K");
+    }
+
+    #[test]
+    fn builds_deterministically_from_seed() {
+        let a = build(42);
+        let b = build(42);
+        assert_eq!(a.param_count(), b.param_count());
+        // Compare one weight tensor bit-for-bit.
+        let wa = match &a.nodes()[2].op {
+            Op::Dense { w, .. } => w.clone(),
+            other => panic!("unexpected op {}", other.kind()),
+        };
+        let wb = match &b.nodes()[2].op {
+            Op::Dense { w, .. } => w.clone(),
+            other => panic!("unexpected op {}", other.kind()),
+        };
+        assert_eq!(wa.data(), wb.data());
+    }
+
+    #[test]
+    fn batch_shape_inference_scales() {
+        let g = build(7);
+        assert_eq!(g.output_shape(512).unwrap().dims(), &[512, 10]);
+    }
+
+    #[test]
+    fn flops_are_dense_dominated() {
+        let g = build(7);
+        let flops = g.flops(1).unwrap();
+        // 2*(784*32 + 32*32 + 32*32 + 32*10) = 54,784 MAC FLOPs, plus
+        // activations. Must be within a few percent of that.
+        assert!(flops > 54_000 && flops < 56_000, "flops = {flops}");
+    }
+}

@@ -1,0 +1,29 @@
+//! # crayfish-models
+//!
+//! The "pre-trained models" of the Crayfish reproduction.
+//!
+//! The paper evaluates two image-classification models (Table 2): a small
+//! fully connected network trained on Fashion-MNIST (**FFNN**, ~28 K
+//! parameters) and **ResNet50** (~23 M parameters, ImageNet). The paper
+//! notes that inference latency depends on input/model *sizes* only, with
+//! data content irrelevant — so this crate builds the same architectures
+//! with seeded random weights and executes them for real.
+//!
+//! The crate also implements the four on-disk model formats of Table 2
+//! (`onnx`, `saved_model`, `torch`, `h5`) as distinct binary encodings whose
+//! relative sizes reproduce the paper's, plus a [`zoo`] for looking models
+//! up by name as the benchmark configuration does.
+
+pub mod error;
+pub mod ffnn;
+pub mod formats;
+pub mod resnet;
+pub mod tiny;
+pub mod zoo;
+
+pub use error::ModelError;
+pub use formats::ModelFormat;
+pub use zoo::{ModelSpec, ModelZoo};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ModelError>;

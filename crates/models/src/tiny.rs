@@ -1,0 +1,97 @@
+//! Miniature models for fast tests and examples.
+//!
+//! These are not part of the paper's evaluation; they let the test suite and
+//! quickstart examples exercise every code path (including convolutions and
+//! residual connections) in microseconds.
+
+use std::sync::Arc;
+
+use crayfish_tensor::kernels::conv::Conv2dParams;
+use crayfish_tensor::kernels::norm::BnParams;
+use crayfish_tensor::{NnGraph, Op, Shape, Tensor};
+
+/// A 2-layer MLP over an 8×8 input with 4 output classes.
+pub fn tiny_mlp(seed: u64) -> NnGraph {
+    let mut g = NnGraph::new("tiny-mlp");
+    let input = g.add("input", Op::Input { shape: Shape::from([8, 8]) }, vec![]);
+    let flat = g.add("flatten", Op::Flatten, vec![input]);
+    let w1 = Arc::new(Tensor::seeded_he([64, 16], seed, 64));
+    let b1 = Arc::new(Tensor::zeros([16]));
+    let d1 = g.add("fc1", Op::Dense { w: w1, b: b1 }, vec![flat]);
+    let r1 = g.add("relu1", Op::Relu, vec![d1]);
+    let w2 = Arc::new(Tensor::seeded_he([16, 4], seed.wrapping_add(1), 16));
+    let b2 = Arc::new(Tensor::zeros([4]));
+    let d2 = g.add("fc2", Op::Dense { w: w2, b: b2 }, vec![r1]);
+    g.add("softmax", Op::Softmax, vec![d2]);
+    g
+}
+
+/// A small CNN with one residual connection over an 8×8 RGB input —
+/// exercises conv, batch-norm, pooling, add, and the classifier head.
+pub fn tiny_cnn(seed: u64) -> NnGraph {
+    let mut g = NnGraph::new("tiny-cnn");
+    let input = g.add("input", Op::Input { shape: Shape::from([3, 8, 8]) }, vec![]);
+    let w1 = Arc::new(Tensor::seeded_he([8, 3, 3, 3], seed, 27));
+    let c1 = g.add(
+        "conv1",
+        Op::Conv2d {
+            w: w1,
+            b: None,
+            params: Conv2dParams { in_c: 3, out_c: 8, kernel: 3, stride: 1, pad: 1 },
+        },
+        vec![input],
+    );
+    let bn1 = g.add(
+        "bn1",
+        Op::BatchNorm {
+            params: Arc::new(BnParams {
+                gamma: vec![1.0; 8],
+                beta: vec![0.0; 8],
+                mean: vec![0.0; 8],
+                var: vec![1.0; 8],
+                eps: 1e-5,
+            }),
+        },
+        vec![c1],
+    );
+    let r1 = g.add("relu1", Op::Relu, vec![bn1]);
+    let w2 = Arc::new(Tensor::seeded_he([8, 8, 3, 3], seed.wrapping_add(1), 72));
+    let c2 = g.add(
+        "conv2",
+        Op::Conv2d {
+            w: w2,
+            b: None,
+            params: Conv2dParams { in_c: 8, out_c: 8, kernel: 3, stride: 1, pad: 1 },
+        },
+        vec![r1],
+    );
+    let res = g.add("residual", Op::Add, vec![c2, r1]);
+    let r2 = g.add("relu2", Op::Relu, vec![res]);
+    let gap = g.add("gap", Op::GlobalAvgPool, vec![r2]);
+    let w3 = Arc::new(Tensor::seeded_he([8, 4], seed.wrapping_add(2), 8));
+    let b3 = Arc::new(Tensor::zeros([4]));
+    let fc = g.add("fc", Op::Dense { w: w3, b: b3 }, vec![gap]);
+    g.add("softmax", Op::Softmax, vec![fc]);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_mlp_shapes() {
+        let g = tiny_mlp(1);
+        assert_eq!(g.output_shape(3).unwrap().dims(), &[3, 4]);
+        assert!(g.param_count() < 2000);
+    }
+
+    #[test]
+    fn tiny_cnn_shapes() {
+        let g = tiny_cnn(1);
+        assert_eq!(g.output_shape(2).unwrap().dims(), &[2, 4]);
+        // Exercises conv/bn/add ops.
+        assert!(g.nodes().iter().any(|n| matches!(n.op, Op::Add)));
+        assert!(g.nodes().iter().any(|n| matches!(n.op, Op::BatchNorm { .. })));
+    }
+}

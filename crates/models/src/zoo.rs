@@ -1,0 +1,150 @@
+//! The model zoo: name-based lookup used by benchmark configurations.
+
+use serde::{Deserialize, Serialize};
+
+use crayfish_tensor::{NnGraph, Shape};
+
+use crate::error::ModelError;
+use crate::{ffnn, resnet, tiny, Result};
+
+/// Identifies one of the models shipped with Crayfish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum ModelSpec {
+    /// The paper's small model: Fashion-MNIST FFNN (~28 K params).
+    Ffnn,
+    /// The paper's large model: ResNet50 (~25 M params).
+    Resnet50,
+    /// Test-scale MLP (not part of the paper's evaluation).
+    TinyMlp,
+    /// Test-scale CNN with a residual connection.
+    TinyCnn,
+}
+
+impl ModelSpec {
+    /// All models, paper models first.
+    pub const ALL: [ModelSpec; 4] = [
+        ModelSpec::Ffnn,
+        ModelSpec::Resnet50,
+        ModelSpec::TinyMlp,
+        ModelSpec::TinyCnn,
+    ];
+
+    /// Canonical name used in configuration files.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelSpec::Ffnn => "ffnn",
+            ModelSpec::Resnet50 => "resnet50",
+            ModelSpec::TinyMlp => "tiny-mlp",
+            ModelSpec::TinyCnn => "tiny-cnn",
+        }
+    }
+
+    /// Look a model up by name.
+    pub fn by_name(name: &str) -> Result<ModelSpec> {
+        Self::ALL
+            .into_iter()
+            .find(|m| m.name() == name)
+            .ok_or_else(|| ModelError::Unknown(name.to_string()))
+    }
+
+    /// Per-item input shape (no batch dimension).
+    pub fn input_shape(&self) -> Shape {
+        match self {
+            ModelSpec::Ffnn => Shape::from([28, 28]),
+            ModelSpec::Resnet50 => Shape::from(resnet::INPUT_SHAPE),
+            ModelSpec::TinyMlp => Shape::from([8, 8]),
+            ModelSpec::TinyCnn => Shape::from([3, 8, 8]),
+        }
+    }
+
+    /// Number of output classes.
+    pub fn classes(&self) -> usize {
+        match self {
+            ModelSpec::Ffnn => ffnn::CLASSES,
+            ModelSpec::Resnet50 => resnet::CLASSES,
+            ModelSpec::TinyMlp | ModelSpec::TinyCnn => 4,
+        }
+    }
+
+    /// Build the model graph with seeded weights.
+    pub fn build(&self, seed: u64) -> NnGraph {
+        match self {
+            ModelSpec::Ffnn => ffnn::build(seed),
+            ModelSpec::Resnet50 => resnet::build(seed),
+            ModelSpec::TinyMlp => tiny::tiny_mlp(seed),
+            ModelSpec::TinyCnn => tiny::tiny_cnn(seed),
+        }
+    }
+}
+
+/// A small cache so repeated lookups of the same `(model, seed)` share one
+/// built graph (ResNet50 takes ~100 ms and ~100 MB to materialise; workers
+/// clone the `Arc`'d weights cheaply).
+#[derive(Debug, Default)]
+pub struct ModelZoo {
+    cache: std::sync::Mutex<Vec<((ModelSpec, u64), NnGraph)>>,
+}
+
+impl ModelZoo {
+    /// An empty zoo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get (building and caching if needed) the graph for `spec`/`seed`.
+    pub fn get(&self, spec: ModelSpec, seed: u64) -> NnGraph {
+        let mut cache = self.cache.lock().expect("zoo lock poisoned");
+        if let Some((_, g)) = cache.iter().find(|(k, _)| *k == (spec, seed)) {
+            return g.clone();
+        }
+        let g = spec.build(seed);
+        cache.push(((spec, seed), g.clone()));
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for m in ModelSpec::ALL {
+            assert_eq!(ModelSpec::by_name(m.name()).unwrap(), m);
+        }
+        assert!(ModelSpec::by_name("gpt5").is_err());
+    }
+
+    #[test]
+    fn shapes_and_classes_match_models() {
+        for m in ModelSpec::ALL {
+            if matches!(m, ModelSpec::Resnet50) {
+                continue; // built in its own test; too slow to rebuild here
+            }
+            let g = m.build(1);
+            assert_eq!(g.input_shape().unwrap(), m.input_shape());
+            assert_eq!(g.output_shape(1).unwrap().dims()[1], m.classes());
+        }
+    }
+
+    #[test]
+    fn zoo_caches_and_clones() {
+        let zoo = ModelZoo::new();
+        let a = zoo.get(ModelSpec::TinyMlp, 3);
+        let b = zoo.get(ModelSpec::TinyMlp, 3);
+        assert_eq!(a.param_count(), b.param_count());
+        let c = zoo.get(ModelSpec::TinyMlp, 4);
+        assert_eq!(a.nodes().len(), c.nodes().len());
+    }
+
+    #[test]
+    fn serde_spec_roundtrip() {
+        let json = serde_json::to_string(&ModelSpec::Resnet50).unwrap();
+        assert_eq!(json, "\"resnet50\"");
+        assert_eq!(
+            serde_json::from_str::<ModelSpec>(&json).unwrap(),
+            ModelSpec::Resnet50
+        );
+    }
+}

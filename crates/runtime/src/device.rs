@@ -1,0 +1,114 @@
+//! Inference devices: the real CPU and the simulated GPU.
+
+use serde::{Deserialize, Serialize};
+
+use crayfish_sim::calibration;
+use crayfish_sim::{Cost, OverheadModel};
+
+/// Performance envelope of the simulated accelerator.
+///
+/// Defaults model the paper's NVIDIA T4 (§4.2): PCIe 3.0 x16 transfers,
+/// ~10 µs kernel launches, and ~2.8 TFLOPS achieved fp32 throughput. All
+/// constants come from [`crayfish_sim::calibration`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Achieved fp32 FLOPs per second for conv/GEMM work.
+    pub flops_per_s: f64,
+    /// Per-kernel launch cost.
+    pub kernel_launch: Cost,
+    /// Host↔device transfer cost (per byte each way).
+    pub pcie: Cost,
+}
+
+impl GpuSpec {
+    /// The calibrated T4-like accelerator.
+    pub fn t4() -> Self {
+        let m = OverheadModel::calibrated();
+        GpuSpec {
+            flops_per_s: calibration::GPU_FP32_FLOPS,
+            kernel_launch: m.gpu_kernel_launch,
+            pcie: m.pcie_transfer,
+        }
+    }
+
+    /// Modelled execution time for a forward pass, in seconds.
+    ///
+    /// First-order additive model: input upload + one launch per fused
+    /// kernel + compute at the achieved FLOP rate + output download.
+    pub fn forward_seconds(&self, flops: u64, kernels: usize, in_bytes: usize, out_bytes: usize) -> f64 {
+        let upload = self.pcie.duration(in_bytes).as_secs_f64();
+        let download = self.pcie.duration(out_bytes).as_secs_f64();
+        let launches = self.kernel_launch.duration(0).as_secs_f64() * kernels as f64;
+        let compute = flops as f64 / self.flops_per_s;
+        upload + launches + compute + download
+    }
+}
+
+impl Default for GpuSpec {
+    fn default() -> Self {
+        Self::t4()
+    }
+}
+
+/// Where a loaded model executes.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum Device {
+    /// Execute kernels for real on the host CPU (single intra-op thread).
+    #[default]
+    Cpu,
+    /// Simulate execution on an accelerator: wall time follows the
+    /// [`GpuSpec`] cost model; outputs come from a cheap deterministic
+    /// surrogate (see `exec::gpu`).
+    Gpu(GpuSpec),
+}
+
+impl Device {
+    /// The default simulated GPU.
+    pub fn gpu() -> Self {
+        Device::Gpu(GpuSpec::t4())
+    }
+
+    /// True if this is the (simulated) accelerator.
+    pub fn is_gpu(&self) -> bool {
+        matches!(self, Device::Gpu(_))
+    }
+
+    /// Short name for configs and reports ("cpu" / "gpu").
+    pub fn name(&self) -> &'static str {
+        match self {
+            Device::Cpu => "cpu",
+            Device::Gpu(_) => "gpu",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t4_resnet_forward_is_a_few_milliseconds() {
+        let gpu = GpuSpec::t4();
+        // ResNet50, batch 8: ~8.2 GFLOPs/image, ~60 fused kernels,
+        // 8 * 3*224*224*4 bytes in, 8 * 1000 * 4 bytes out.
+        let secs = gpu.forward_seconds(8 * 8_200_000_000, 60, 8 * 602_112, 8 * 4_000);
+        assert!(secs > 0.01 && secs < 0.2, "forward = {secs}s");
+    }
+
+    #[test]
+    fn transfer_dominates_for_tiny_models() {
+        let gpu = GpuSpec::t4();
+        // FFNN: 55 KFLOPs, 5 kernels, 3 KB in — launches+transfer dominate.
+        let total = gpu.forward_seconds(55_000, 5, 3_136, 40);
+        let compute = 55_000.0 / gpu.flops_per_s;
+        assert!(total > 10.0 * compute);
+    }
+
+    #[test]
+    fn device_names() {
+        assert_eq!(Device::Cpu.name(), "cpu");
+        assert_eq!(Device::gpu().name(), "gpu");
+        assert!(Device::gpu().is_gpu());
+        assert!(!Device::Cpu.is_gpu());
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type for model runtimes.
+
+use std::fmt;
+
+/// Errors from loading or applying a model.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// Tensor/graph-level failure.
+    Tensor(crayfish_tensor::TensorError),
+    /// Model deserialization failure.
+    Model(crayfish_models::ModelError),
+    /// The input tensor does not match the model's expected shape.
+    BadInput(String),
+    /// The requested device or configuration is not supported.
+    Unsupported(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Tensor(e) => write!(f, "tensor error: {e}"),
+            RuntimeError::Model(e) => write!(f, "model error: {e}"),
+            RuntimeError::BadInput(msg) => write!(f, "bad input: {msg}"),
+            RuntimeError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Tensor(e) => Some(e),
+            RuntimeError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<crayfish_tensor::TensorError> for RuntimeError {
+    fn from(e: crayfish_tensor::TensorError) -> Self {
+        RuntimeError::Tensor(e)
+    }
+}
+
+impl From<crayfish_models::ModelError> for RuntimeError {
+    fn from(e: crayfish_models::ModelError) -> Self {
+        RuntimeError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_context() {
+        let e = RuntimeError::BadInput("expected [1, 28, 28]".into());
+        assert!(e.to_string().contains("28"));
+    }
+}

@@ -1,0 +1,451 @@
+//! The graph-optimised executor (ONNX-Runtime-style).
+//!
+//! At load time the graph is compiled into a plan:
+//!
+//! * **Conv + BatchNorm folding** — a batch-norm that solely consumes a
+//!   convolution is folded into the convolution's weights and bias, removing
+//!   an entire pass over the activation.
+//! * **ReLU fusion** — a ReLU that solely consumes a conv/dense/add/bn step
+//!   is applied in that step's output loop instead of a separate pass.
+//! * **Arena reuse** — per-step output buffers and the `im2col` scratch are
+//!   allocated once and reused across calls.
+//!
+//! These are the real optimisations ONNX Runtime's graph optimiser performs,
+//! and they are why the paper measures ONNX as the fastest embedded option.
+
+use crayfish_tensor::kernels::conv::{im2col, Conv2dParams};
+use crayfish_tensor::kernels::gemm::gemm;
+use crayfish_tensor::kernels::{activation, add_inplace, pool};
+use crayfish_tensor::{NnGraph, Op, Shape, Tensor};
+
+use crate::error::RuntimeError;
+use crate::exec::check_batched_input;
+use crate::Result;
+
+/// A compiled step's operation.
+#[derive(Debug, Clone)]
+enum FusedOp {
+    Input,
+    Conv {
+        w: Vec<f32>,
+        bias: Vec<f32>,
+        params: Conv2dParams,
+        relu: bool,
+    },
+    Dense {
+        w: Vec<f32>,
+        bias: Vec<f32>,
+        inf: usize,
+        outf: usize,
+        relu: bool,
+    },
+    BatchNorm {
+        scale: Vec<f32>,
+        shift: Vec<f32>,
+        relu: bool,
+    },
+    MaxPool {
+        k: usize,
+        s: usize,
+        pad: usize,
+    },
+    Gap,
+    Add {
+        relu: bool,
+    },
+    Flatten,
+    Relu,
+    Softmax,
+}
+
+impl FusedOp {
+    /// Whether this step launches a compute kernel (used by the GPU model).
+    fn is_kernel(&self) -> bool {
+        !matches!(self, FusedOp::Input | FusedOp::Flatten)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Step {
+    name: String,
+    op: FusedOp,
+    inputs: Vec<usize>,
+    /// Per-item output shape (batch dimension stripped).
+    item_shape: Shape,
+}
+
+/// The compiled, arena-backed executor.
+#[derive(Debug)]
+pub struct FusedExec {
+    steps: Vec<Step>,
+    output_step: usize,
+    input_shape: Shape,
+    per_item_flops: u64,
+    buffers: Vec<Vec<f32>>,
+    col_scratch: Vec<f32>,
+}
+
+impl FusedExec {
+    /// Compile `graph` into a fused plan.
+    pub fn new(graph: &NnGraph) -> Result<Self> {
+        let shapes = graph.infer_shapes(1)?;
+        let input_shape = graph.input_shape()?;
+        let per_item_flops = graph.flops(1)?;
+
+        // How many nodes consume each node's output (the graph output
+        // counts as one extra consumer so it is never fused away invisibly).
+        let mut consumers = vec![0usize; graph.nodes().len()];
+        for node in graph.nodes() {
+            for &i in &node.inputs {
+                consumers[i] += 1;
+            }
+        }
+        consumers[graph.output()] += 1;
+
+        let mut steps: Vec<Step> = Vec::with_capacity(graph.nodes().len());
+        // node id -> step id
+        let mut map: Vec<usize> = Vec::with_capacity(graph.nodes().len());
+
+        for node in graph.nodes() {
+            let step_inputs: Vec<usize> = node.inputs.iter().map(|&i| map[i]).collect();
+            let item_shape = shapes[node.id].per_item();
+            match &node.op {
+                Op::Input { .. } => {
+                    map.push(push(&mut steps, node.name.clone(), FusedOp::Input, step_inputs, item_shape));
+                }
+                Op::Conv2d { w, b, params } => {
+                    let bias = b.as_ref().map(|t| t.data().to_vec()).unwrap_or_default();
+                    let op = FusedOp::Conv {
+                        w: w.data().to_vec(),
+                        bias,
+                        params: *params,
+                        relu: false,
+                    };
+                    map.push(push(&mut steps, node.name.clone(), op, step_inputs, item_shape));
+                }
+                Op::Dense { w, b } => {
+                    let op = FusedOp::Dense {
+                        w: w.data().to_vec(),
+                        bias: b.data().to_vec(),
+                        inf: w.shape().dim(0),
+                        outf: w.shape().dim(1),
+                        relu: false,
+                    };
+                    map.push(push(&mut steps, node.name.clone(), op, step_inputs, item_shape));
+                }
+                Op::BatchNorm { params } => {
+                    let (scale, shift) = params.fold();
+                    let producer = node.inputs[0];
+                    let target = map[producer];
+                    let foldable = consumers[producer] == 1
+                        && matches!(steps[target].op, FusedOp::Conv { .. });
+                    if foldable {
+                        // Fold into the convolution's weights and bias.
+                        if let FusedOp::Conv { w, bias, params: cp, .. } = &mut steps[target].op {
+                            let per_oc = w.len() / cp.out_c;
+                            for oc in 0..cp.out_c {
+                                for v in &mut w[oc * per_oc..(oc + 1) * per_oc] {
+                                    *v *= scale[oc];
+                                }
+                            }
+                            if bias.is_empty() {
+                                *bias = shift.clone();
+                            } else {
+                                for (bv, (&s, &t)) in
+                                    bias.iter_mut().zip(scale.iter().zip(&shift))
+                                {
+                                    *bv = *bv * s + t;
+                                }
+                            }
+                        }
+                        map.push(target);
+                    } else {
+                        let op = FusedOp::BatchNorm { scale, shift, relu: false };
+                        map.push(push(&mut steps, node.name.clone(), op, step_inputs, item_shape));
+                    }
+                }
+                Op::Relu => {
+                    let producer = node.inputs[0];
+                    let target = map[producer];
+                    let fusable = consumers[producer] == 1
+                        && match &steps[target].op {
+                            FusedOp::Conv { relu, .. }
+                            | FusedOp::Dense { relu, .. }
+                            | FusedOp::BatchNorm { relu, .. }
+                            | FusedOp::Add { relu } => !relu,
+                            _ => false,
+                        };
+                    if fusable {
+                        match &mut steps[target].op {
+                            FusedOp::Conv { relu, .. }
+                            | FusedOp::Dense { relu, .. }
+                            | FusedOp::BatchNorm { relu, .. }
+                            | FusedOp::Add { relu } => *relu = true,
+                            _ => unreachable!("fusable checked above"),
+                        }
+                        map.push(target);
+                    } else {
+                        map.push(push(&mut steps, node.name.clone(), FusedOp::Relu, step_inputs, item_shape));
+                    }
+                }
+                Op::MaxPool { k, s, pad } => {
+                    let op = FusedOp::MaxPool { k: *k, s: *s, pad: *pad };
+                    map.push(push(&mut steps, node.name.clone(), op, step_inputs, item_shape));
+                }
+                Op::GlobalAvgPool => {
+                    map.push(push(&mut steps, node.name.clone(), FusedOp::Gap, step_inputs, item_shape));
+                }
+                Op::Add => {
+                    map.push(push(&mut steps, node.name.clone(), FusedOp::Add { relu: false }, step_inputs, item_shape));
+                }
+                Op::Flatten => {
+                    map.push(push(&mut steps, node.name.clone(), FusedOp::Flatten, step_inputs, item_shape));
+                }
+                Op::Softmax => {
+                    map.push(push(&mut steps, node.name.clone(), FusedOp::Softmax, step_inputs, item_shape));
+                }
+            }
+        }
+
+        let output_step = map[graph.output()];
+        let n = steps.len();
+        Ok(FusedExec {
+            steps,
+            output_step,
+            input_shape,
+            per_item_flops,
+            buffers: (0..n).map(|_| Vec::new()).collect(),
+            col_scratch: Vec::new(),
+        })
+    }
+
+    /// Number of compiled steps (after fusion).
+    pub fn step_count(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Number of compute-kernel steps — the launches a GPU would perform.
+    pub fn kernel_count(&self) -> usize {
+        self.steps.iter().filter(|s| s.op.is_kernel()).count()
+    }
+
+    /// Forward FLOPs per batch item.
+    pub fn per_item_flops(&self) -> u64 {
+        self.per_item_flops
+    }
+
+    /// The model's per-item input shape.
+    pub fn input_shape(&self) -> &Shape {
+        &self.input_shape
+    }
+
+    /// The model's per-item output shape.
+    pub fn output_item_shape(&self) -> &Shape {
+        &self.steps[self.output_step].item_shape
+    }
+
+    /// Run a forward pass over a `[batch, ..input]` tensor.
+    pub fn run(&mut self, input: &Tensor) -> Result<Tensor> {
+        let batch = check_batched_input(input, &self.input_shape)?;
+        for si in 0..self.steps.len() {
+            let (before, rest) = self.buffers.split_at_mut(si);
+            let out = &mut rest[0];
+            // Clone step metadata borrows: split the steps slice the same way.
+            let (steps_before, steps_rest) = self.steps.split_at(si);
+            let step = &steps_rest[0];
+            let in_buf = |i: usize| -> &[f32] { &before[step.inputs[i]] };
+            let in_item = |i: usize| -> &Shape { &steps_before[step.inputs[i]].item_shape };
+            let out_numel = batch * step.item_shape.numel();
+
+            match &step.op {
+                FusedOp::Input => {
+                    out.clear();
+                    out.extend_from_slice(input.data());
+                }
+                FusedOp::Conv { w, bias, params, relu } => {
+                    let s = in_item(0);
+                    let (h, wd) = (s.dim(1), s.dim(2));
+                    let (oh, ow) = params.out_hw(h, wd);
+                    let cols = oh * ow;
+                    let krows = params.in_c * params.kernel * params.kernel;
+                    self.col_scratch.resize(krows * cols, 0.0);
+                    out.resize(out_numel, 0.0);
+                    let in_stride = params.in_c * h * wd;
+                    let out_stride = params.out_c * cols;
+                    for b in 0..batch {
+                        let img = &in_buf(0)[b * in_stride..(b + 1) * in_stride];
+                        im2col(img, h, wd, params, &mut self.col_scratch);
+                        let out_img = &mut out[b * out_stride..(b + 1) * out_stride];
+                        if bias.is_empty() {
+                            out_img.fill(0.0);
+                        } else {
+                            for (oc, &bv) in bias.iter().enumerate() {
+                                out_img[oc * cols..(oc + 1) * cols].fill(bv);
+                            }
+                        }
+                        gemm(w, &self.col_scratch, out_img, params.out_c, krows, cols);
+                        if *relu {
+                            activation::relu_inplace(out_img);
+                        }
+                    }
+                }
+                FusedOp::Dense { w, bias, inf, outf, relu } => {
+                    out.resize(batch * outf, 0.0);
+                    for b in 0..batch {
+                        out[b * outf..(b + 1) * outf].copy_from_slice(bias);
+                    }
+                    gemm(in_buf(0), w, out, batch, *inf, *outf);
+                    if *relu {
+                        activation::relu_inplace(out);
+                    }
+                }
+                FusedOp::BatchNorm { scale, shift, relu } => {
+                    let s = in_item(0);
+                    let c = s.dim(0);
+                    let plane: usize = s.dims()[1..].iter().product();
+                    out.clear();
+                    out.extend_from_slice(in_buf(0));
+                    for b in 0..batch {
+                        for ch in 0..c {
+                            let start = (b * c + ch) * plane;
+                            let (sc, sh) = (scale[ch], shift[ch]);
+                            for v in &mut out[start..start + plane] {
+                                *v = sc * *v + sh;
+                            }
+                        }
+                    }
+                    if *relu {
+                        activation::relu_inplace(out);
+                    }
+                }
+                FusedOp::MaxPool { k, s, pad } => {
+                    let sh = in_item(0);
+                    let (data, _) = pool::maxpool2d(
+                        in_buf(0),
+                        batch,
+                        sh.dim(0),
+                        sh.dim(1),
+                        sh.dim(2),
+                        *k,
+                        *s,
+                        *pad,
+                    );
+                    *out = data;
+                }
+                FusedOp::Gap => {
+                    let s = in_item(0);
+                    *out = pool::avgpool_global(in_buf(0), batch, s.dim(0), s.dim(1), s.dim(2));
+                }
+                FusedOp::Add { relu } => {
+                    out.clear();
+                    out.extend_from_slice(in_buf(0));
+                    add_inplace(out, in_buf(1));
+                    if *relu {
+                        activation::relu_inplace(out);
+                    }
+                }
+                FusedOp::Flatten => {
+                    out.clear();
+                    out.extend_from_slice(in_buf(0));
+                }
+                FusedOp::Relu => {
+                    out.clear();
+                    out.extend_from_slice(in_buf(0));
+                    activation::relu_inplace(out);
+                }
+                FusedOp::Softmax => {
+                    let cols = step.item_shape.numel();
+                    out.clear();
+                    out.extend_from_slice(in_buf(0));
+                    activation::softmax_rows(out, batch, cols);
+                }
+            }
+            debug_assert_eq!(out.len(), out_numel, "step {} output size", step.name);
+        }
+
+        let out_step = &self.steps[self.output_step];
+        let shape = out_step.item_shape.clone();
+        let mut dims = vec![batch];
+        dims.extend_from_slice(shape.dims());
+        Tensor::from_vec(Shape::new(dims), self.buffers[self.output_step].clone())
+            .map_err(RuntimeError::from)
+    }
+}
+
+fn push(steps: &mut Vec<Step>, name: String, op: FusedOp, inputs: Vec<usize>, item_shape: Shape) -> usize {
+    steps.push(Step { name, op, inputs, item_shape });
+    steps.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::unfused::UnfusedExec;
+    use crayfish_models::{ffnn, tiny};
+
+    #[test]
+    fn fusion_reduces_step_count() {
+        let g = tiny::tiny_cnn(4);
+        let exec = FusedExec::new(&g).unwrap();
+        // conv1+bn1+relu1 fuse to 1 step; conv2 stays (its output feeds the
+        // add); residual add fuses relu2.
+        assert!(exec.step_count() < g.nodes().len(), "{} steps", exec.step_count());
+    }
+
+    #[test]
+    fn fused_matches_unfused_cnn() {
+        let g = tiny::tiny_cnn(4);
+        let mut fused = FusedExec::new(&g).unwrap();
+        let mut plain = UnfusedExec::new(g, true, None).unwrap();
+        for batch in [1usize, 3] {
+            let input = Tensor::seeded_uniform([batch, 3, 8, 8], batch as u64, -1.0, 1.0);
+            let a = fused.run(&input).unwrap();
+            let b = plain.run(&input).unwrap();
+            assert!(a.max_abs_diff(&b).unwrap() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn fused_matches_unfused_ffnn() {
+        let g = ffnn::build(6);
+        let mut fused = FusedExec::new(&g).unwrap();
+        let mut plain = UnfusedExec::new(g, true, None).unwrap();
+        let input = Tensor::seeded_uniform([4, 28, 28], 3, 0.0, 1.0);
+        let a = fused.run(&input).unwrap();
+        let b = plain.run(&input).unwrap();
+        assert_eq!(a.shape().dims(), &[4, 10]);
+        assert!(a.max_abs_diff(&b).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn repeated_calls_reuse_buffers_and_stay_correct() {
+        let g = tiny::tiny_cnn(1);
+        let mut fused = FusedExec::new(&g).unwrap();
+        let input = Tensor::seeded_uniform([2, 3, 8, 8], 1, -1.0, 1.0);
+        let first = fused.run(&input).unwrap();
+        for _ in 0..5 {
+            let again = fused.run(&input).unwrap();
+            assert_eq!(first, again);
+        }
+        // Changing batch size mid-stream must also work.
+        let big = Tensor::seeded_uniform([5, 3, 8, 8], 2, -1.0, 1.0);
+        assert_eq!(fused.run(&big).unwrap().shape().dims(), &[5, 4]);
+    }
+
+    #[test]
+    fn kernel_count_excludes_data_movement() {
+        let g = tiny::tiny_mlp(1);
+        let exec = FusedExec::new(&g).unwrap();
+        assert!(exec.kernel_count() < exec.step_count());
+        assert!(exec.kernel_count() >= 2, "at least the two dense layers");
+    }
+
+    #[test]
+    fn exposes_shapes_and_flops() {
+        let g = ffnn::build(2);
+        let exec = FusedExec::new(&g).unwrap();
+        assert_eq!(exec.input_shape().dims(), &[28, 28]);
+        assert_eq!(exec.output_item_shape().dims(), &[10]);
+        assert_eq!(exec.per_item_flops(), g.flops(1).unwrap());
+    }
+}

@@ -1,0 +1,306 @@
+//! The direct (one-kernel-per-node) graph executor.
+
+use std::time::Duration;
+
+use crayfish_sim::Cost;
+use crayfish_tensor::kernels::{
+    activation, add_inplace,
+    conv::{conv2d_direct, conv2d_im2col},
+    gemm::dense,
+    norm, pool,
+};
+use crayfish_tensor::{NnGraph, Op, Shape, Tensor};
+
+use crate::error::RuntimeError;
+use crate::exec::check_batched_input;
+use crate::Result;
+
+/// Simulated foreign-function boundary configuration for DL4J-style
+/// execution: every op crossing pays a real marshalling copy
+/// (`f32 → f64 → f32` of its input activation, as a JVM binding converting
+/// to/from `INDArray` storage does) plus the calibrated per-call cost.
+#[derive(Debug, Clone, Copy)]
+pub struct JniBoundary {
+    /// Per-call fixed + per-byte cost (see `crayfish_sim::calibration`).
+    pub cost: Cost,
+}
+
+/// Executes the graph node by node with no cross-op optimisation.
+///
+/// With `reuse_buffers = true` (SavedModel-style) per-node output buffers
+/// persist across calls; with `false` (DL4J-style) every call allocates
+/// fresh buffers, as a binding materialising new host arrays would.
+#[derive(Debug)]
+pub struct UnfusedExec {
+    graph: NnGraph,
+    input_shape: Shape,
+    reuse_buffers: bool,
+    /// Use the textbook sliding-window convolution instead of
+    /// `im2col`+GEMM — the "eager kernels without off-the-shelf CPU
+    /// optimisations" the paper blames for TorchServe's deficit (§5.1.1).
+    naive_conv: bool,
+    jni: Option<JniBoundary>,
+    /// Per-node activation buffers (kept across calls when reusing).
+    buffers: Vec<Vec<f32>>,
+    /// Cached shape inference for the last-seen batch size.
+    shapes: Option<(usize, Vec<Shape>)>,
+    col_scratch: Vec<f32>,
+}
+
+impl UnfusedExec {
+    /// Build an executor, validating the graph.
+    pub fn new(graph: NnGraph, reuse_buffers: bool, jni: Option<JniBoundary>) -> Result<Self> {
+        graph.infer_shapes(1)?;
+        let input_shape = graph.input_shape()?;
+        let n = graph.nodes().len();
+        Ok(UnfusedExec {
+            graph,
+            input_shape,
+            reuse_buffers,
+            naive_conv: false,
+            jni,
+            buffers: (0..n).map(|_| Vec::new()).collect(),
+            shapes: None,
+            col_scratch: Vec::new(),
+        })
+    }
+
+    /// The wrapped graph.
+    pub fn graph(&self) -> &NnGraph {
+        &self.graph
+    }
+
+    /// Switch convolutions to the direct (unoptimised) kernel.
+    pub fn with_naive_conv(mut self) -> Self {
+        self.naive_conv = true;
+        self
+    }
+
+    /// Run a forward pass over a `[batch, ..input]` tensor.
+    pub fn run(&mut self, input: &Tensor) -> Result<Tensor> {
+        let batch = check_batched_input(input, &self.input_shape)?;
+        if self.shapes.as_ref().map(|(b, _)| *b) != Some(batch) {
+            self.shapes = Some((batch, self.graph.infer_shapes(batch)?));
+        }
+        let shapes = &self.shapes.as_ref().expect("shapes cached").1;
+        if !self.reuse_buffers {
+            // A fresh binding call: drop all retained activations.
+            for b in &mut self.buffers {
+                *b = Vec::new();
+            }
+            self.col_scratch = Vec::new();
+        }
+
+        for node in self.graph.nodes() {
+            // Split borrows: the output buffer vs. the input buffers.
+            let (before, rest) = self.buffers.split_at_mut(node.id);
+            let out = &mut rest[0];
+            let in_buf = |i: usize| -> &[f32] { &before[node.inputs[i]] };
+            let in_shape = |i: usize| -> &Shape { &shapes[node.inputs[i]] };
+            let out_numel = shapes[node.id].numel();
+
+            if let Some(jni) = self.jni {
+                // Real marshalling work for the op's inputs: the JVM binding
+                // copies the array into foreign storage and back.
+                let mut marshalled_bytes = 0usize;
+                for i in 0..node.inputs.len() {
+                    let src = in_buf(i);
+                    let as_f64: Vec<f64> = src.iter().map(|&v| v as f64).collect();
+                    let back: Vec<f32> = as_f64.iter().map(|&v| v as f32).collect();
+                    // Keep the optimiser honest.
+                    debug_assert_eq!(back.len(), src.len());
+                    std::hint::black_box(&back);
+                    marshalled_bytes += src.len() * 4;
+                }
+                if !matches!(node.op, Op::Input { .. }) {
+                    // JNI/INDArray work is CPU-bound: it contends with real
+                    // compute rather than overlapping with it.
+                    jni.cost.spend_spinning(marshalled_bytes);
+                }
+            }
+
+            match &node.op {
+                Op::Input { .. } => {
+                    out.clear();
+                    out.extend_from_slice(input.data());
+                }
+                Op::Dense { w, b } => {
+                    let (inf, outf) = (w.shape().dim(0), w.shape().dim(1));
+                    *out = dense(in_buf(0), w.data(), b.data(), batch, inf, outf);
+                }
+                Op::Conv2d { w, b, params } => {
+                    let s = in_shape(0);
+                    let bias: &[f32] = b.as_ref().map(|t| t.data()).unwrap_or(&[]);
+                    *out = if self.naive_conv {
+                        conv2d_direct(in_buf(0), batch, s.dim(2), s.dim(3), w.data(), bias, params)
+                    } else {
+                        conv2d_im2col(
+                            in_buf(0),
+                            batch,
+                            s.dim(2),
+                            s.dim(3),
+                            w.data(),
+                            bias,
+                            params,
+                            &mut self.col_scratch,
+                        )
+                    };
+                }
+                Op::BatchNorm { params } => {
+                    let s = in_shape(0);
+                    out.clear();
+                    out.extend_from_slice(in_buf(0));
+                    let plane: usize = s.dims()[2..].iter().product();
+                    norm::batchnorm_inference(out, batch, s.dim(1), plane, params);
+                }
+                Op::Relu => {
+                    out.clear();
+                    out.extend_from_slice(in_buf(0));
+                    activation::relu_inplace(out);
+                }
+                Op::MaxPool { k, s: stride, pad } => {
+                    let s = in_shape(0);
+                    let (data, _) = pool::maxpool2d(
+                        in_buf(0),
+                        batch,
+                        s.dim(1),
+                        s.dim(2),
+                        s.dim(3),
+                        *k,
+                        *stride,
+                        *pad,
+                    );
+                    *out = data;
+                }
+                Op::GlobalAvgPool => {
+                    let s = in_shape(0);
+                    *out = pool::avgpool_global(in_buf(0), batch, s.dim(1), s.dim(2), s.dim(3));
+                }
+                Op::Add => {
+                    out.clear();
+                    out.extend_from_slice(in_buf(0));
+                    add_inplace(out, in_buf(1));
+                }
+                Op::Flatten => {
+                    out.clear();
+                    out.extend_from_slice(in_buf(0));
+                }
+                Op::Softmax => {
+                    let s = &shapes[node.id];
+                    out.clear();
+                    out.extend_from_slice(in_buf(0));
+                    activation::softmax_rows(out, s.dim(0), s.dim(1));
+                }
+            }
+            debug_assert_eq!(out.len(), out_numel, "node {} output size", node.name);
+        }
+
+        let out_id = self.graph.output();
+        Tensor::from_vec(shapes[out_id].clone(), self.buffers[out_id].clone())
+            .map_err(RuntimeError::from)
+    }
+
+    /// Total modelled JNI time for one forward pass of `batch` items —
+    /// exposed for tests asserting the boundary is actually charged.
+    pub fn modelled_jni_time(&self, batch: usize) -> Result<Duration> {
+        let Some(jni) = self.jni else {
+            return Ok(Duration::ZERO);
+        };
+        let shapes = self.graph.infer_shapes(batch)?;
+        let mut total = Duration::ZERO;
+        for node in self.graph.nodes() {
+            if matches!(node.op, Op::Input { .. }) {
+                continue;
+            }
+            let bytes: usize = node
+                .inputs
+                .iter()
+                .map(|&i| shapes[i].numel() * 4)
+                .sum();
+            total += jni.cost.duration(bytes);
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crayfish_models::tiny;
+
+    #[test]
+    fn mlp_outputs_are_distributions() {
+        let mut exec = UnfusedExec::new(tiny::tiny_mlp(4), true, None).unwrap();
+        let input = Tensor::seeded_uniform([3, 8, 8], 9, 0.0, 1.0);
+        let out = exec.run(&input).unwrap();
+        assert_eq!(out.shape().dims(), &[3, 4]);
+        for i in 0..3 {
+            let sum: f32 = out.batch_item(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn cnn_runs_and_is_deterministic() {
+        let mut exec = UnfusedExec::new(tiny::tiny_cnn(4), true, None).unwrap();
+        let input = Tensor::seeded_uniform([2, 3, 8, 8], 1, 0.0, 1.0);
+        let a = exec.run(&input).unwrap();
+        let b = exec.run(&input).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fresh_buffers_match_reused_buffers() {
+        let g = tiny::tiny_cnn(4);
+        let mut reuse = UnfusedExec::new(g.clone(), true, None).unwrap();
+        let mut fresh = UnfusedExec::new(g, false, None).unwrap();
+        let input = Tensor::seeded_uniform([2, 3, 8, 8], 2, 0.0, 1.0);
+        // Run the reusing executor twice to dirty its buffers first.
+        reuse.run(&input).unwrap();
+        let a = reuse.run(&input).unwrap();
+        let b = fresh.run(&input).unwrap();
+        assert!(a.max_abs_diff(&b).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn varying_batch_sizes_work() {
+        let mut exec = UnfusedExec::new(tiny::tiny_mlp(4), true, None).unwrap();
+        for batch in [1usize, 5, 2, 8] {
+            let input = Tensor::seeded_uniform([batch, 8, 8], batch as u64, 0.0, 1.0);
+            let out = exec.run(&input).unwrap();
+            assert_eq!(out.shape().dims(), &[batch, 4]);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input_shape() {
+        let mut exec = UnfusedExec::new(tiny::tiny_mlp(4), true, None).unwrap();
+        assert!(exec.run(&Tensor::zeros([8, 8])).is_err());
+        assert!(exec.run(&Tensor::zeros([2, 8, 9])).is_err());
+    }
+
+    #[test]
+    fn naive_conv_matches_im2col_numerically() {
+        let g = tiny::tiny_cnn(9);
+        let mut fast = UnfusedExec::new(g.clone(), true, None).unwrap();
+        let mut slow = UnfusedExec::new(g, true, None).unwrap().with_naive_conv();
+        let input = Tensor::seeded_uniform([2, 3, 8, 8], 5, -1.0, 1.0);
+        let a = fast.run(&input).unwrap();
+        let b = slow.run(&input).unwrap();
+        assert!(a.max_abs_diff(&b).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn jni_boundary_charges_time() {
+        let cost = Cost::fixed_us(200.0);
+        let g = tiny::tiny_mlp(4);
+        let mut exec = UnfusedExec::new(g, false, Some(JniBoundary { cost })).unwrap();
+        let modelled = exec.modelled_jni_time(1).unwrap();
+        // 5 non-input nodes (flatten, fc1, relu1, fc2, softmax) * 200 µs.
+        assert!(modelled >= Duration::from_micros(900));
+        let input = Tensor::seeded_uniform([1, 8, 8], 1, 0.0, 1.0);
+        let sw = crayfish_sim::Stopwatch::start();
+        exec.run(&input).unwrap();
+        assert!(sw.elapsed() >= modelled, "JNI time not spent");
+    }
+}

@@ -1,0 +1,34 @@
+//! # crayfish-runtime
+//!
+//! The *embedded serving* layer of the Crayfish reproduction: the
+//! interoperability libraries a JVM stream processor would use to score a
+//! pre-trained model inside an operator (§3.4.2 of the paper), plus the
+//! execution machinery they share.
+//!
+//! Three runtimes are provided, analogs of the paper's three libraries.
+//! They differ by *mechanism*, exactly as the real libraries do:
+//!
+//! | Runtime | Analog of | Execution strategy |
+//! |---|---|---|
+//! | [`runtimes::OnnxRuntime`] | ONNX Runtime | graph-optimised: Conv+BN folding, ReLU fusion, arena buffer reuse |
+//! | [`runtimes::SavedModelRuntime`] | TF SavedModel | direct graph walk, per-node buffers reused across calls, no fusion |
+//! | [`runtimes::Dl4jRuntime`] | DeepLearning4j | direct graph walk behind a simulated JNI boundary: real `f32→f64→f32` marshalling copies per op plus a calibrated per-call cost |
+//!
+//! Every runtime implements the paper's two-method serving interface —
+//! [`EmbeddedRuntime::load_graph`] and [`LoadedModel::apply`] — and can target
+//! either the CPU or the simulated GPU ([`device::Device`]).
+
+pub mod device;
+pub mod error;
+pub mod exec;
+pub mod runtimes;
+
+pub use device::{Device, GpuSpec};
+pub use error::RuntimeError;
+pub use runtimes::{
+    embedded_by_name, Dl4jRuntime, EmbeddedLib, EmbeddedRuntime, LoadedModel, OnnxRuntime,
+    SavedModelRuntime, TorchRuntime,
+};
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, RuntimeError>;

@@ -1,0 +1,133 @@
+//! DeepLearning4j analog: the JVM-binding embedded library.
+
+use crayfish_models::ModelFormat;
+use crayfish_sim::OverheadModel;
+use crayfish_tensor::NnGraph;
+
+use crate::device::Device;
+use crate::exec::unfused::JniBoundary;
+use crate::exec::{GpuExec, UnfusedExec};
+use crate::runtimes::{EmbeddedRuntime, GpuModel, LoadedModel, UnfusedModel};
+use crate::Result;
+
+/// The DL4J-style embedded library.
+///
+/// Every op executes behind a simulated JNI boundary: the op's input
+/// activations are marshalled `f32 → f64 → f32` for real (the INDArray
+/// conversion a Keras-import DL4J deployment performs), fresh buffers are
+/// allocated per call, and the calibrated per-FFI-call cost from
+/// [`crayfish_sim::calibration::FFI_CALL`] is charged. The paper attributes
+/// DL4J's 42.6 % throughput deficit against SavedModel to these costs.
+#[derive(Debug, Clone, Copy)]
+pub struct Dl4jRuntime {
+    overheads: OverheadModel,
+}
+
+impl Dl4jRuntime {
+    /// Create the runtime with the default calibrated overheads.
+    pub fn new() -> Self {
+        Dl4jRuntime {
+            overheads: OverheadModel::calibrated(),
+        }
+    }
+
+    /// Create with explicit overheads (ablation benchmarks pass
+    /// [`OverheadModel::zero`] to isolate the real marshalling cost).
+    pub fn with_overheads(overheads: OverheadModel) -> Self {
+        Dl4jRuntime { overheads }
+    }
+}
+
+impl Default for Dl4jRuntime {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EmbeddedRuntime for Dl4jRuntime {
+    fn name(&self) -> &'static str {
+        "dl4j"
+    }
+
+    fn expected_format(&self) -> ModelFormat {
+        // DL4J's Keras import consumes H5 checkpoints (§3.4.2).
+        ModelFormat::H5
+    }
+
+    fn load_graph(&self, graph: &NnGraph, device: Device) -> Result<Box<dyn LoadedModel>> {
+        match device {
+            Device::Cpu => Ok(Box::new(UnfusedModel {
+                name: self.name(),
+                exec: UnfusedExec::new(
+                    graph.clone(),
+                    false,
+                    Some(JniBoundary {
+                        cost: self.overheads.ffi_call,
+                    }),
+                )?,
+            })),
+            Device::Gpu(spec) => Ok(Box::new(GpuModel {
+                name: self.name(),
+                exec: GpuExec::new(graph, spec)?,
+            })),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crayfish_models::tiny;
+    use crayfish_sim::Stopwatch;
+    use crayfish_tensor::Tensor;
+
+    #[test]
+    fn loads_and_scores() {
+        let rt = Dl4jRuntime::new();
+        let mut model = rt.load_graph(&tiny::tiny_mlp(1), Device::Cpu).unwrap();
+        let out = model
+            .apply(&Tensor::seeded_uniform([2, 8, 8], 3, 0.0, 1.0))
+            .unwrap();
+        assert_eq!(out.shape().dims(), &[2, 4]);
+    }
+
+    #[test]
+    fn slower_than_onnx_on_small_batches() {
+        // The defining property of the DL4J analog: the JNI boundary makes
+        // it measurably slower than the fused runtime for small events.
+        let g = tiny::tiny_mlp(1);
+        let input = Tensor::seeded_uniform([1, 8, 8], 3, 0.0, 1.0);
+        let mut dl4j = Dl4jRuntime::new().load_graph(&g, Device::Cpu).unwrap();
+        let mut onnx = crate::runtimes::OnnxRuntime::new()
+            .load_graph(&g, Device::Cpu)
+            .unwrap();
+        // Warm both.
+        dl4j.apply(&input).unwrap();
+        onnx.apply(&input).unwrap();
+        let reps = 20;
+        let sw = Stopwatch::start();
+        for _ in 0..reps {
+            dl4j.apply(&input).unwrap();
+        }
+        let t_dl4j = sw.elapsed();
+        let sw = Stopwatch::start();
+        for _ in 0..reps {
+            onnx.apply(&input).unwrap();
+        }
+        let t_onnx = sw.elapsed();
+        assert!(
+            t_dl4j > t_onnx * 2,
+            "dl4j {t_dl4j:?} should be much slower than onnx {t_onnx:?}"
+        );
+    }
+
+    #[test]
+    fn zero_overheads_still_marshal() {
+        let rt = Dl4jRuntime::with_overheads(OverheadModel::zero());
+        let mut model = rt.load_graph(&tiny::tiny_mlp(1), Device::Cpu).unwrap();
+        let out = model
+            .apply(&Tensor::seeded_uniform([1, 8, 8], 1, 0.0, 1.0))
+            .unwrap();
+        assert_eq!(out.shape().dims(), &[1, 4]);
+    }
+}

@@ -1,0 +1,70 @@
+//! ONNX Runtime analog: the graph-optimised embedded library.
+
+use crayfish_models::ModelFormat;
+use crayfish_tensor::NnGraph;
+
+use crate::device::Device;
+use crate::exec::{FusedExec, GpuExec};
+use crate::runtimes::{EmbeddedRuntime, FusedModel, GpuModel, LoadedModel};
+use crate::Result;
+
+/// The ONNX-Runtime-style embedded library.
+///
+/// `load` compiles the model with the full optimisation pipeline
+/// (Conv+BN folding, ReLU fusion, arena reuse — see
+/// [`crate::exec::fused`]); `apply` executes the compiled plan. This is the
+/// paper's fastest embedded option because of exactly these optimisations.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OnnxRuntime;
+
+impl OnnxRuntime {
+    /// Create the runtime.
+    pub fn new() -> Self {
+        OnnxRuntime
+    }
+}
+
+impl EmbeddedRuntime for OnnxRuntime {
+    fn name(&self) -> &'static str {
+        "onnx"
+    }
+
+    fn expected_format(&self) -> ModelFormat {
+        ModelFormat::Onnx
+    }
+
+    fn load_graph(&self, graph: &NnGraph, device: Device) -> Result<Box<dyn LoadedModel>> {
+        match device {
+            Device::Cpu => Ok(Box::new(FusedModel {
+                name: self.name(),
+                exec: FusedExec::new(graph)?,
+            })),
+            Device::Gpu(spec) => Ok(Box::new(GpuModel {
+                name: self.name(),
+                exec: GpuExec::new(graph, spec)?,
+            })),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crayfish_models::tiny;
+    use crayfish_tensor::Tensor;
+
+    #[test]
+    fn loads_and_scores() {
+        let rt = OnnxRuntime::new();
+        let mut model = rt.load_graph(&tiny::tiny_mlp(1), Device::Cpu).unwrap();
+        let out = model
+            .apply(&Tensor::seeded_uniform([2, 8, 8], 3, 0.0, 1.0))
+            .unwrap();
+        assert_eq!(out.shape().dims(), &[2, 4]);
+    }
+
+    #[test]
+    fn expected_format_is_onnx() {
+        assert_eq!(OnnxRuntime::new().expected_format(), ModelFormat::Onnx);
+    }
+}

@@ -1,0 +1,57 @@
+//! Properties of the simulated-GPU cost model: monotonicity in every input
+//! and sane composition of the three cost components.
+
+use proptest::prelude::*;
+
+use crayfish_runtime::GpuSpec;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn forward_time_is_monotone_in_every_argument(
+        flops in 1u64..10_000_000_000,
+        kernels in 1usize..200,
+        in_bytes in 1usize..10_000_000,
+        out_bytes in 1usize..1_000_000,
+    ) {
+        let gpu = GpuSpec::t4();
+        let base = gpu.forward_seconds(flops, kernels, in_bytes, out_bytes);
+        prop_assert!(base > 0.0);
+        prop_assert!(gpu.forward_seconds(flops * 2, kernels, in_bytes, out_bytes) >= base);
+        prop_assert!(gpu.forward_seconds(flops, kernels + 1, in_bytes, out_bytes) >= base);
+        prop_assert!(gpu.forward_seconds(flops, kernels, in_bytes * 2, out_bytes) >= base);
+        prop_assert!(gpu.forward_seconds(flops, kernels, in_bytes, out_bytes * 2) >= base);
+    }
+
+    #[test]
+    fn components_are_additive(
+        flops in 1u64..1_000_000_000,
+        kernels in 1usize..100,
+        bytes in 1usize..1_000_000,
+    ) {
+        // forward(a+b FLOPs) == forward(a) + forward(b) - fixed parts, i.e.
+        // the compute term is linear in FLOPs.
+        let gpu = GpuSpec::t4();
+        let fixed = gpu.forward_seconds(0, kernels, bytes, bytes);
+        let one = gpu.forward_seconds(flops, kernels, bytes, bytes);
+        let two = gpu.forward_seconds(flops * 2, kernels, bytes, bytes);
+        let delta1 = one - fixed;
+        let delta2 = two - fixed;
+        prop_assert!((delta2 - 2.0 * delta1).abs() < 1e-9, "{delta1} vs {delta2}");
+    }
+
+    #[test]
+    fn batch_amortises_launches(
+        kernels in 2usize..100,
+        item_bytes in 1usize..100_000,
+    ) {
+        // Doubling the batch doubles transfer+compute but not launches, so
+        // time per item strictly improves.
+        let gpu = GpuSpec::t4();
+        let flops_per_item = 1_000_000u64;
+        let one = gpu.forward_seconds(flops_per_item, kernels, item_bytes, 64);
+        let eight = gpu.forward_seconds(flops_per_item * 8, kernels, item_bytes * 8, 64 * 8);
+        prop_assert!(eight / 8.0 < one, "per-item {} vs {}", eight / 8.0, one);
+    }
+}

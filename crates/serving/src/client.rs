@@ -1,0 +1,186 @@
+//! Blocking clients used by the scoring operators.
+//!
+//! All external calls in the paper's evaluation are blocking (§4.3
+//! "Network Calls"); each parallel scoring task owns one connection. The
+//! modelled LAN hop ([`NetworkModel`]) is paid per request and per response
+//! on the client side, on top of the real localhost TCP exchange.
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use crayfish_sim::{NetworkModel, OverheadModel};
+use crayfish_tensor::Tensor;
+
+use crate::protocol::{
+    decode_tensor_binary, encode_request_binary, encode_tensor_binary, http_request_bytes,
+    read_frame, read_http_message, write_frame, JsonTensor,
+};
+use crate::{Result, ServingError};
+
+/// A blocking inference client.
+pub trait ScoringClient: Send {
+    /// Protocol name ("grpc" / "http").
+    fn protocol(&self) -> &'static str;
+    /// Score one batched tensor, blocking until the response arrives.
+    fn infer(&mut self, input: &Tensor) -> Result<Tensor>;
+}
+
+/// gRPC-like binary client (TF-Serving, TorchServe).
+#[derive(Debug)]
+pub struct GrpcClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    network: NetworkModel,
+    stack_cost: crayfish_sim::Cost,
+}
+
+impl GrpcClient {
+    /// Connect to a gRPC-like server.
+    pub fn connect(addr: SocketAddr, network: NetworkModel) -> Result<GrpcClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(GrpcClient {
+            writer: stream,
+            reader,
+            network,
+            stack_cost: OverheadModel::calibrated().grpc_stack,
+        })
+    }
+}
+
+impl GrpcClient {
+    /// Score against a named model of a multi-model server (§7.2-style
+    /// model management; see `crayfish_serving::registry`).
+    pub fn infer_named(&mut self, model: &str, input: &Tensor) -> Result<Tensor> {
+        let payload = encode_request_binary(Some(model), input);
+        self.call(payload)
+    }
+
+    fn call(&mut self, payload: Vec<u8>) -> Result<Tensor> {
+        // Combined client+server gRPC stack traversal for the call.
+        self.stack_cost.spend(payload.len());
+        // LAN hop: request out.
+        self.network.transfer(payload.len());
+        write_frame(&mut self.writer, &payload)?;
+        let reply = read_frame(&mut self.reader)?.ok_or(ServingError::Closed)?;
+        // LAN hop: response back.
+        self.network.transfer(reply.len());
+        decode_tensor_binary(&reply)
+    }
+}
+
+impl ScoringClient for GrpcClient {
+    fn protocol(&self) -> &'static str {
+        "grpc"
+    }
+
+    fn infer(&mut self, input: &Tensor) -> Result<Tensor> {
+        let payload = encode_tensor_binary(input);
+        self.call(payload)
+    }
+}
+
+/// HTTP/1.1 + JSON client (Ray Serve).
+#[derive(Debug)]
+pub struct HttpClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    network: NetworkModel,
+}
+
+impl HttpClient {
+    /// Connect to an HTTP-like server.
+    pub fn connect(addr: SocketAddr, network: NetworkModel) -> Result<HttpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(HttpClient {
+            writer: stream,
+            reader,
+            network,
+        })
+    }
+}
+
+impl ScoringClient for HttpClient {
+    fn protocol(&self) -> &'static str {
+        "http"
+    }
+
+    fn infer(&mut self, input: &Tensor) -> Result<Tensor> {
+        // Real JSON encode on the client (the HTTP protocol's tax).
+        let request = http_request_bytes(input)?;
+        self.network.transfer(request.len());
+        self.writer.write_all(&request)?;
+        self.writer.flush()?;
+        let msg = read_http_message(&mut self.reader)?.ok_or(ServingError::Closed)?;
+        self.network.transfer(msg.body.len() + 64);
+        if !msg.is_ok_response() {
+            return Err(ServingError::Remote(
+                String::from_utf8_lossy(&msg.body).into_owned(),
+            ));
+        }
+        let jt: JsonTensor = serde_json::from_slice(&msg.body)
+            .map_err(|e| ServingError::Protocol(format!("response decode: {e}")))?;
+        jt.into_tensor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServingConfig;
+    use crayfish_models::tiny;
+    use crayfish_sim::Stopwatch;
+
+    #[test]
+    fn grpc_client_pays_the_modelled_lan() {
+        let server = crate::tf_serving::start(&tiny::tiny_mlp(1), ServingConfig::default()).unwrap();
+        let slow_lan = NetworkModel {
+            base_latency_s: 0.005,
+            bandwidth_bytes_per_s: f64::INFINITY,
+        };
+        let mut fast = GrpcClient::connect(server.addr(), NetworkModel::zero()).unwrap();
+        let mut slow = GrpcClient::connect(server.addr(), slow_lan).unwrap();
+        let input = Tensor::seeded_uniform([1, 8, 8], 1, 0.0, 1.0);
+        fast.infer(&input).unwrap();
+        slow.infer(&input).unwrap();
+        let sw = Stopwatch::start();
+        slow.infer(&input).unwrap();
+        let slow_ms = sw.elapsed_millis();
+        assert!(slow_ms >= 10.0, "two 5 ms hops not paid: {slow_ms} ms");
+        server.shutdown();
+    }
+
+    #[test]
+    fn protocols_report_names() {
+        let server = crate::tf_serving::start(&tiny::tiny_mlp(1), ServingConfig::default()).unwrap();
+        let grpc = GrpcClient::connect(server.addr(), NetworkModel::zero()).unwrap();
+        assert_eq!(grpc.protocol(), "grpc");
+        server.shutdown();
+        let server = crate::ray_serve::start(&tiny::tiny_mlp(1), ServingConfig::default()).unwrap();
+        let http = HttpClient::connect(server.addr(), NetworkModel::zero()).unwrap();
+        assert_eq!(http.protocol(), "http");
+        server.shutdown();
+    }
+
+    #[test]
+    fn disconnected_server_yields_error() {
+        let server = crate::tf_serving::start(&tiny::tiny_mlp(1), ServingConfig::default()).unwrap();
+        let addr = server.addr();
+        let mut client = GrpcClient::connect(addr, NetworkModel::zero()).unwrap();
+        let input = Tensor::seeded_uniform([1, 8, 8], 1, 0.0, 1.0);
+        client.infer(&input).unwrap();
+        server.shutdown();
+        // After shutdown the connection eventually fails (closed or reset).
+        let mut saw_err = false;
+        for _ in 0..3 {
+            if client.infer(&input).is_err() {
+                saw_err = true;
+                break;
+            }
+        }
+        assert!(saw_err, "expected an error after server shutdown");
+    }
+}

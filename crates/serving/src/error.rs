@@ -1,0 +1,67 @@
+//! Serving error type.
+
+use std::fmt;
+
+/// Errors from servers, clients, and wire protocols.
+#[derive(Debug)]
+pub enum ServingError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// Malformed frame, header, or body.
+    Protocol(String),
+    /// The remote side reported an inference failure.
+    Remote(String),
+    /// Model runtime failure.
+    Runtime(crayfish_runtime::RuntimeError),
+    /// Invalid configuration.
+    Config(String),
+    /// The server has shut down.
+    Closed,
+}
+
+impl fmt::Display for ServingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServingError::Io(e) => write!(f, "i/o error: {e}"),
+            ServingError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServingError::Remote(msg) => write!(f, "remote inference error: {msg}"),
+            ServingError::Runtime(e) => write!(f, "runtime error: {e}"),
+            ServingError::Config(msg) => write!(f, "config error: {msg}"),
+            ServingError::Closed => write!(f, "server closed"),
+        }
+    }
+}
+
+impl std::error::Error for ServingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServingError::Io(e) => Some(e),
+            ServingError::Runtime(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServingError {
+    fn from(e: std::io::Error) -> Self {
+        ServingError::Io(e)
+    }
+}
+
+impl From<crayfish_runtime::RuntimeError> for ServingError {
+    fn from(e: crayfish_runtime::RuntimeError) -> Self {
+        ServingError::Runtime(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_detail() {
+        assert!(ServingError::Protocol("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
+    }
+}

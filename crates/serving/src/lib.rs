@@ -1,0 +1,114 @@
+//! # crayfish-serving
+//!
+//! The *external serving* layer of the Crayfish reproduction (§3.4.3 /
+//! §3.4.4 of the paper): standalone inference services a stream processor
+//! talks to over the network, each an analog of one of the paper's three
+//! frameworks. All three run as real TCP servers on localhost, with the
+//! paper's 1 Gbps LAN added by the calibrated network model on the client
+//! side.
+//!
+//! | Server | Analog of | Protocol | Mechanisms |
+//! |---|---|---|---|
+//! | [`tf_serving`] | TensorFlow Serving | gRPC-like binary | fused kernels, worker thread pool |
+//! | [`torch_serve`] | TorchServe | gRPC-like binary | unfused kernels, per-request Python handler (real JSON re-encode + calibrated interpreter cost) |
+//! | [`ray_serve`] | Ray Serve | HTTP/1.1 + JSON | single proxy task per node in both directions, replica pool, per-call actor dispatch cost |
+//!
+//! Scaling knob per server matches the paper's §3.4.3: TF-Serving caps
+//! concurrent processing threads, TorchServe sets worker processes, and
+//! Ray Serve sets replica counts — all expressed as `workers` in
+//! [`ServingConfig`].
+
+pub mod client;
+pub mod error;
+pub mod protocol;
+pub mod ray_serve;
+pub mod registry;
+pub mod server;
+pub mod tf_serving;
+pub mod torch_serve;
+
+pub use client::{GrpcClient, HttpClient, ScoringClient};
+pub use error::ServingError;
+pub use registry::ModelRegistry;
+pub use server::{ServerHandle, ServingConfig};
+
+use serde::{Deserialize, Serialize};
+
+use crayfish_tensor::NnGraph;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, ServingError>;
+
+/// Enumeration of the shipped external serving frameworks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ExternalKind {
+    /// TensorFlow Serving analog.
+    TfServing,
+    /// TorchServe analog.
+    TorchServe,
+    /// Ray Serve analog.
+    RayServe,
+}
+
+impl ExternalKind {
+    /// All external frameworks, in the paper's order.
+    pub const ALL: [ExternalKind; 3] = [
+        ExternalKind::TfServing,
+        ExternalKind::TorchServe,
+        ExternalKind::RayServe,
+    ];
+
+    /// Configuration name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExternalKind::TfServing => "tf_serving",
+            ExternalKind::TorchServe => "torch_serve",
+            ExternalKind::RayServe => "ray_serve",
+        }
+    }
+
+    /// Look a framework up by its configuration name.
+    pub fn by_name(name: &str) -> Result<ExternalKind> {
+        Self::ALL
+            .into_iter()
+            .find(|k| k.name() == name)
+            .ok_or_else(|| ServingError::Config(format!("unknown external server: {name}")))
+    }
+
+    /// Start a server of this kind for `graph`.
+    pub fn start(&self, graph: &NnGraph, config: ServingConfig) -> Result<ServerHandle> {
+        match self {
+            ExternalKind::TfServing => tf_serving::start(graph, config),
+            ExternalKind::TorchServe => torch_serve::start(graph, config),
+            ExternalKind::RayServe => ray_serve::start(graph, config),
+        }
+    }
+
+    /// Connect a protocol-appropriate client to a running server.
+    pub fn connect(
+        &self,
+        addr: std::net::SocketAddr,
+        network: crayfish_sim::NetworkModel,
+    ) -> Result<Box<dyn ScoringClient>> {
+        match self {
+            ExternalKind::TfServing | ExternalKind::TorchServe => {
+                Ok(Box::new(GrpcClient::connect(addr, network)?))
+            }
+            ExternalKind::RayServe => Ok(Box::new(HttpClient::connect(addr, network)?)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for k in ExternalKind::ALL {
+            assert_eq!(ExternalKind::by_name(k.name()).unwrap(), k);
+        }
+        assert!(ExternalKind::by_name("triton").is_err());
+    }
+}

@@ -1,0 +1,408 @@
+//! Wire protocols for inference requests and responses.
+//!
+//! * **gRPC-like** — length-prefixed binary frames with a compact tensor
+//!   encoding (dims + little-endian `f32` data), standing in for
+//!   protobuf-over-HTTP/2. Used by the TF-Serving and TorchServe analogs,
+//!   matching the paper's use of their gRPC APIs.
+//! * **HTTP-like** — minimal HTTP/1.1 with a JSON body
+//!   (`{"shape": [...], "data": [...]}`), standing in for Ray Serve's HTTP
+//!   ingress. The JSON encode/decode on both sides is *real* work and one of
+//!   the reasons the paper's Ray Serve numbers trail the gRPC servers.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use serde::{Deserialize, Serialize};
+
+use crayfish_tensor::Tensor;
+
+use crate::error::ServingError;
+use crate::Result;
+
+/// Maximum accepted frame/body size (mirrors the paper's 50 MB Kafka cap).
+pub const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
+
+// ---------------------------------------------------------------------------
+// gRPC-like binary frames
+// ---------------------------------------------------------------------------
+
+/// Encode a tensor into the compact binary payload.
+pub fn encode_tensor_binary(t: &Tensor) -> Vec<u8> {
+    let dims = t.shape().dims();
+    let mut out = Vec::with_capacity(2 + dims.len() * 4 + t.numel() * 4);
+    out.push(0u8); // status: ok
+    out.push(dims.len() as u8);
+    for &d in dims {
+        out.extend_from_slice(&(d as u32).to_le_bytes());
+    }
+    for &v in t.data() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Encode an error payload.
+pub fn encode_error_binary(msg: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + msg.len());
+    out.push(1u8); // status: error
+    out.extend_from_slice(msg.as_bytes());
+    out
+}
+
+/// Decode a binary payload into a tensor, or surface the remote error.
+pub fn decode_tensor_binary(payload: &[u8]) -> Result<Tensor> {
+    let (&status, rest) = payload
+        .split_first()
+        .ok_or_else(|| ServingError::Protocol("empty payload".into()))?;
+    if status == 1 {
+        return Err(ServingError::Remote(
+            String::from_utf8_lossy(rest).into_owned(),
+        ));
+    }
+    if status != 0 {
+        return Err(ServingError::Protocol(format!("bad status byte {status}")));
+    }
+    let (&ndim, mut rest) = rest
+        .split_first()
+        .ok_or_else(|| ServingError::Protocol("missing ndim".into()))?;
+    let mut dims = Vec::with_capacity(ndim as usize);
+    for _ in 0..ndim {
+        let (head, tail) = rest
+            .split_at_checked(4)
+            .ok_or_else(|| ServingError::Protocol("truncated dims".into()))?;
+        dims.push(u32::from_le_bytes(head.try_into().expect("4 bytes")) as usize);
+        rest = tail;
+    }
+    let numel: usize = dims.iter().product();
+    if rest.len() != numel * 4 {
+        return Err(ServingError::Protocol(format!(
+            "data length {} != {} elements",
+            rest.len() / 4,
+            numel
+        )));
+    }
+    let data = rest
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+        .collect();
+    Tensor::from_vec(dims, data)
+        .map_err(|e| ServingError::Protocol(format!("bad tensor: {e}")))
+}
+
+/// Marker byte for a named-model request (multi-model serving).
+const NAMED_REQUEST: u8 = 2;
+
+/// Encode a scoring request, optionally addressed to a named model of a
+/// multi-model server. `None` targets the server's sole deployed model.
+pub fn encode_request_binary(model: Option<&str>, t: &Tensor) -> Vec<u8> {
+    match model {
+        None => encode_tensor_binary(t),
+        Some(name) => {
+            let tensor = encode_tensor_binary(t);
+            let name = name.as_bytes();
+            let mut out = Vec::with_capacity(2 + name.len() + tensor.len());
+            out.push(NAMED_REQUEST);
+            out.push(name.len().min(255) as u8);
+            out.extend_from_slice(&name[..name.len().min(255)]);
+            out.extend_from_slice(&tensor);
+            out
+        }
+    }
+}
+
+/// Decode a scoring request: either a bare tensor (single-model) or a
+/// named-model request.
+pub fn decode_request_binary(payload: &[u8]) -> Result<(Option<String>, Tensor)> {
+    match payload.first() {
+        Some(&NAMED_REQUEST) => {
+            let rest = &payload[1..];
+            let (&name_len, rest) = rest
+                .split_first()
+                .ok_or_else(|| ServingError::Protocol("missing model name length".into()))?;
+            let (name, tensor_bytes) = rest
+                .split_at_checked(name_len as usize)
+                .ok_or_else(|| ServingError::Protocol("truncated model name".into()))?;
+            let name = std::str::from_utf8(name)
+                .map_err(|_| ServingError::Protocol("model name not utf-8".into()))?
+                .to_string();
+            Ok((Some(name), decode_tensor_binary(tensor_bytes)?))
+        }
+        _ => Ok((None, decode_tensor_binary(payload)?)),
+    }
+}
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(ServingError::Protocol(format!(
+            "frame of {} bytes exceeds cap",
+            payload.len()
+        )));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one length-prefixed frame. Returns `None` on clean EOF at a frame
+/// boundary.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(ServingError::Protocol(format!("frame of {len} bytes exceeds cap")));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+// ---------------------------------------------------------------------------
+// HTTP/1.1-like with JSON bodies
+// ---------------------------------------------------------------------------
+
+/// The JSON tensor body used by the HTTP protocol.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct JsonTensor {
+    /// Tensor dimensions.
+    pub shape: Vec<usize>,
+    /// Row-major data.
+    pub data: Vec<f32>,
+}
+
+impl JsonTensor {
+    /// Convert a tensor to its JSON form.
+    pub fn from_tensor(t: &Tensor) -> Self {
+        JsonTensor {
+            shape: t.shape().dims().to_vec(),
+            data: t.data().to_vec(),
+        }
+    }
+
+    /// Convert back to a tensor.
+    pub fn into_tensor(self) -> Result<Tensor> {
+        Tensor::from_vec(self.shape, self.data)
+            .map_err(|e| ServingError::Protocol(format!("bad tensor: {e}")))
+    }
+}
+
+/// Build the raw bytes of an HTTP request carrying a JSON tensor.
+pub fn http_request_bytes(t: &Tensor) -> Result<Vec<u8>> {
+    let body = serde_json::to_vec(&JsonTensor::from_tensor(t))
+        .map_err(|e| ServingError::Protocol(format!("json encode: {e}")))?;
+    let mut out = Vec::with_capacity(body.len() + 128);
+    write!(
+        out,
+        "POST /infer HTTP/1.1\r\nHost: crayfish\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )?;
+    out.extend_from_slice(&body);
+    Ok(out)
+}
+
+/// Write an HTTP request carrying a JSON tensor.
+pub fn write_http_request(w: &mut impl Write, t: &Tensor) -> Result<()> {
+    w.write_all(&http_request_bytes(t)?)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Write an HTTP response. `Ok` bodies carry the tensor JSON; errors a 500
+/// with the message.
+pub fn write_http_response(w: &mut impl Write, result: std::result::Result<&Tensor, &str>) -> Result<()> {
+    let (status, body) = match result {
+        Ok(t) => (
+            "200 OK",
+            serde_json::to_vec(&JsonTensor::from_tensor(t))
+                .map_err(|e| ServingError::Protocol(format!("json encode: {e}")))?,
+        ),
+        Err(msg) => ("500 Internal Server Error", msg.as_bytes().to_vec()),
+    };
+    write!(
+        w,
+        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )?;
+    w.write_all(&body)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// A parsed HTTP message: the start line and the raw body.
+#[derive(Debug)]
+pub struct HttpMessage {
+    /// Request or status line.
+    pub start_line: String,
+    /// Message body.
+    pub body: Vec<u8>,
+}
+
+impl HttpMessage {
+    /// True for `2xx` status lines.
+    pub fn is_ok_response(&self) -> bool {
+        self.start_line
+            .split_whitespace()
+            .nth(1)
+            .map(|code| code.starts_with('2'))
+            .unwrap_or(false)
+    }
+}
+
+/// Read one HTTP message (request or response) from a buffered reader.
+/// Returns `None` on clean EOF before any bytes.
+pub fn read_http_message(r: &mut BufReader<impl Read>) -> Result<Option<HttpMessage>> {
+    let mut start_line = String::new();
+    if r.read_line(&mut start_line)? == 0 {
+        return Ok(None);
+    }
+    let start_line = start_line.trim_end().to_string();
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut line = String::new();
+        if r.read_line(&mut line)? == 0 {
+            return Err(ServingError::Protocol("eof in headers".into()));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line
+            .split_once(':')
+            .filter(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+            .map(|(_, v)| v.trim())
+        {
+            content_length = Some(
+                v.parse()
+                    .map_err(|_| ServingError::Protocol(format!("bad content-length: {v}")))?,
+            );
+        }
+    }
+    let len = content_length.ok_or_else(|| ServingError::Protocol("missing content-length".into()))?;
+    if len > MAX_FRAME_BYTES {
+        return Err(ServingError::Protocol(format!("body of {len} bytes exceeds cap")));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(Some(HttpMessage { start_line, body }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn binary_tensor_roundtrip() {
+        let t = Tensor::seeded_uniform([2, 3, 4], 1, -5.0, 5.0);
+        let enc = encode_tensor_binary(&t);
+        let back = decode_tensor_binary(&enc).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn binary_error_roundtrip() {
+        let enc = encode_error_binary("model exploded");
+        match decode_tensor_binary(&enc) {
+            Err(ServingError::Remote(msg)) => assert_eq!(msg, "model exploded"),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let t = Tensor::zeros([4]);
+        let enc = encode_tensor_binary(&t);
+        assert!(decode_tensor_binary(&enc[..enc.len() - 1]).is_err());
+        assert!(decode_tensor_binary(&[]).is_err());
+        assert!(decode_tensor_binary(&[7]).is_err());
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(read_frame(&mut std::io::Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn http_request_roundtrip() {
+        let t = Tensor::seeded_uniform([1, 8], 2, 0.0, 1.0);
+        let mut buf = Vec::new();
+        write_http_request(&mut buf, &t).unwrap();
+        let mut r = BufReader::new(std::io::Cursor::new(buf));
+        let msg = read_http_message(&mut r).unwrap().unwrap();
+        assert!(msg.start_line.starts_with("POST /infer"));
+        let jt: JsonTensor = serde_json::from_slice(&msg.body).unwrap();
+        assert_eq!(jt.into_tensor().unwrap(), t);
+    }
+
+    #[test]
+    fn http_response_ok_and_error() {
+        let t = Tensor::zeros([2]);
+        let mut buf = Vec::new();
+        write_http_response(&mut buf, Ok(&t)).unwrap();
+        write_http_response(&mut buf, Err("boom")).unwrap();
+        let mut r = BufReader::new(std::io::Cursor::new(buf));
+        let ok = read_http_message(&mut r).unwrap().unwrap();
+        assert!(ok.is_ok_response());
+        let err = read_http_message(&mut r).unwrap().unwrap();
+        assert!(!err.is_ok_response());
+        assert_eq!(err.body, b"boom");
+    }
+
+    #[test]
+    fn http_eof_returns_none() {
+        let mut r = BufReader::new(std::io::Cursor::new(Vec::<u8>::new()));
+        assert!(read_http_message(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn named_request_roundtrip() {
+        let t = Tensor::seeded_uniform([2, 4], 3, -1.0, 1.0);
+        let enc = encode_request_binary(Some("fraud-v7"), &t);
+        let (name, back) = decode_request_binary(&enc).unwrap();
+        assert_eq!(name.as_deref(), Some("fraud-v7"));
+        assert_eq!(back, t);
+        // Unnamed requests stay backward compatible.
+        let enc = encode_request_binary(None, &t);
+        let (name, back) = decode_request_binary(&enc).unwrap();
+        assert!(name.is_none());
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn named_request_rejects_truncation() {
+        let t = Tensor::zeros([2]);
+        let enc = encode_request_binary(Some("model"), &t);
+        assert!(decode_request_binary(&enc[..3]).is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn binary_roundtrip_any_shape(
+            dims in proptest::collection::vec(1usize..5, 0..4),
+            seed in any::<u64>(),
+        ) {
+            let t = Tensor::seeded_uniform(dims, seed, -10.0, 10.0);
+            let back = decode_tensor_binary(&encode_tensor_binary(&t)).unwrap();
+            prop_assert_eq!(t, back);
+        }
+    }
+}

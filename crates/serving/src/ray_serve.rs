@@ -1,0 +1,255 @@
+//! Ray Serve analog.
+//!
+//! HTTP/1.1 ingress with JSON bodies, fronted by a **single proxy task per
+//! node** — the design the paper identifies as Ray Serve's vertical-scaling
+//! ceiling (§5.3.3): "a single HTTP Proxy can be deployed per physical node
+//! … it can potentially hinder the prospects of vertical scalability."
+//!
+//! Connection threads only do socket I/O; every request *and every
+//! response* passes through the one proxy thread, which parses/encodes the
+//! JSON bodies (real work) and pays the calibrated HTTP-stack cost.
+//! Replicas execute in parallel, each paying the per-call actor-dispatch
+//! cost of a Python deployment.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+
+use crayfish_runtime::{EmbeddedRuntime, OnnxRuntime};
+use crayfish_sim::Cost;
+use crayfish_tensor::{NnGraph, Tensor};
+
+use crate::protocol::{read_http_message, write_http_response, JsonTensor};
+use crate::server::{spawn_listener, ModelPool, ServerHandle, ServingConfig};
+use crate::Result;
+
+enum ProxyMsg {
+    /// A raw request body from a connection, to parse and dispatch.
+    Request {
+        body: Vec<u8>,
+        reply: Sender<Vec<u8>>,
+    },
+    /// A replica's result, to encode and hand back to the connection.
+    Response {
+        result: std::result::Result<Tensor, String>,
+        reply: Sender<Vec<u8>>,
+    },
+}
+
+struct ReplicaJob {
+    input: Tensor,
+    reply: Sender<Vec<u8>>,
+}
+
+/// Start a Ray Serve analog for `graph` with `config.workers` replicas.
+pub fn start(graph: &NnGraph, config: ServingConfig) -> Result<ServerHandle> {
+    let loader = OnnxRuntime::new();
+    let graph = graph.clone();
+    // Replicas share a model pool sized to the replica count; replica
+    // threads pull jobs and return results through the proxy.
+    let pool = ModelPool::new(config.workers, || loader.load_graph(&graph, config.device))?;
+
+    let (proxy_tx, proxy_rx) = unbounded::<ProxyMsg>();
+    let (replica_tx, replica_rx) = unbounded::<ReplicaJob>();
+
+    let conn_proxy_tx = proxy_tx.clone();
+    let handle = spawn_listener("ray-serve", move |stream| {
+        handle_connection(stream, &conn_proxy_tx);
+    })?;
+    let stop = handle.shutdown_flag();
+
+    spawn_proxy(
+        proxy_rx,
+        replica_tx,
+        stop.clone(),
+        config.overheads.http_stack,
+    );
+    for i in 0..config.workers.max(1) {
+        spawn_replica(
+            i,
+            replica_rx.clone(),
+            proxy_tx.clone(),
+            pool.clone(),
+            stop.clone(),
+            config.overheads.actor_dispatch,
+        );
+    }
+    Ok(handle)
+}
+
+fn handle_connection(stream: TcpStream, proxy_tx: &Sender<ProxyMsg>) {
+    use std::io::Write;
+    let mut writer = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let msg = match read_http_message(&mut reader) {
+            Ok(Some(m)) => m,
+            _ => return,
+        };
+        let (reply_tx, reply_rx) = bounded(1);
+        if proxy_tx
+            .send(ProxyMsg::Request { body: msg.body, reply: reply_tx })
+            .is_err()
+        {
+            return;
+        }
+        let Ok(response) = reply_rx.recv() else { return };
+        if writer.write_all(&response).and_then(|_| writer.flush()).is_err() {
+            return;
+        }
+    }
+}
+
+fn spawn_proxy(
+    rx: Receiver<ProxyMsg>,
+    replica_tx: Sender<ReplicaJob>,
+    stop: Arc<AtomicBool>,
+    http_cost: Cost,
+) {
+    std::thread::Builder::new()
+        .name("ray-serve-proxy".into())
+        .spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                let msg = match rx.recv_timeout(Duration::from_millis(100)) {
+                    Ok(m) => m,
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                    Err(_) => return,
+                };
+                match msg {
+                    ProxyMsg::Request { body, reply } => {
+                        // Real JSON parse + modelled HTTP stack traversal,
+                        // serialized in this single task.
+                        http_cost.spend(body.len());
+                        match serde_json::from_slice::<JsonTensor>(&body)
+                            .map_err(|e| e.to_string())
+                            .and_then(|jt| jt.into_tensor().map_err(|e| e.to_string()))
+                        {
+                            Ok(input) => {
+                                if replica_tx.send(ReplicaJob { input, reply }).is_err() {
+                                    return;
+                                }
+                            }
+                            Err(e) => {
+                                let _ = reply.send(response_bytes(Err(&e)));
+                            }
+                        }
+                    }
+                    ProxyMsg::Response { result, reply } => {
+                        // Responses flow back through the proxy too.
+                        let bytes = match &result {
+                            Ok(t) => response_bytes(Ok(t)),
+                            Err(e) => response_bytes(Err(e)),
+                        };
+                        http_cost.spend(bytes.len());
+                        let _ = reply.send(bytes);
+                    }
+                }
+            }
+        })
+        .expect("spawn ray-serve proxy");
+}
+
+fn spawn_replica(
+    index: usize,
+    rx: Receiver<ReplicaJob>,
+    proxy_tx: Sender<ProxyMsg>,
+    pool: ModelPool,
+    stop: Arc<AtomicBool>,
+    actor_cost: Cost,
+) {
+    std::thread::Builder::new()
+        .name(format!("ray-serve-replica-{index}"))
+        .spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                let job = match rx.recv_timeout(Duration::from_millis(100)) {
+                    Ok(j) => j,
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                    Err(_) => return,
+                };
+                // Actor method dispatch: object-store copy (real) plus the
+                // calibrated Python dispatch cost.
+                let staged = Tensor::from_vec(job.input.shape().clone(), job.input.data().to_vec())
+                    .expect("copying a valid tensor");
+                actor_cost.spend(staged.numel() * 4);
+                let result = pool
+                    .with_model(|m| m.apply(&staged))
+                    .map_err(|e| e.to_string());
+                if proxy_tx
+                    .send(ProxyMsg::Response { result, reply: job.reply })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+        })
+        .expect("spawn ray-serve replica");
+}
+
+fn response_bytes(result: std::result::Result<&Tensor, &str>) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_http_response(&mut buf, result).expect("writing to Vec cannot fail");
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{HttpClient, ScoringClient};
+    use crayfish_models::tiny;
+    use crayfish_sim::NetworkModel;
+
+    #[test]
+    fn serves_inference_over_http() {
+        let server = start(&tiny::tiny_mlp(1), ServingConfig::default()).unwrap();
+        let mut client = HttpClient::connect(server.addr(), NetworkModel::zero()).unwrap();
+        let out = client
+            .infer(&Tensor::seeded_uniform([2, 8, 8], 1, 0.0, 1.0))
+            .unwrap();
+        assert_eq!(out.shape().dims(), &[2, 4]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn errors_come_back_as_500() {
+        let server = start(&tiny::tiny_mlp(1), ServingConfig::default()).unwrap();
+        let mut client = HttpClient::connect(server.addr(), NetworkModel::zero()).unwrap();
+        let err = client.infer(&Tensor::zeros([1, 9, 9])).unwrap_err();
+        assert!(matches!(err, crate::ServingError::Remote(_)), "{err}");
+        // Connection still usable.
+        assert!(client
+            .infer(&Tensor::seeded_uniform([1, 8, 8], 1, 0.0, 1.0))
+            .is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn replicas_serve_concurrent_clients() {
+        let server = start(
+            &tiny::tiny_mlp(1),
+            ServingConfig { workers: 3, ..Default::default() },
+        )
+        .unwrap();
+        let addr = server.addr();
+        let mut handles = Vec::new();
+        for t in 0..3 {
+            handles.push(std::thread::spawn(move || {
+                let mut c = HttpClient::connect(addr, NetworkModel::zero()).unwrap();
+                for i in 0..5u64 {
+                    let input = Tensor::seeded_uniform([1, 8, 8], t * 31 + i, 0.0, 1.0);
+                    c.infer(&input).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        server.shutdown();
+    }
+}

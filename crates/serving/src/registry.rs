@@ -1,0 +1,150 @@
+//! Multi-model serving with hot deployment.
+//!
+//! §7.2 of the paper singles out what external serving offers that embedded
+//! designs lack: "model management, auto-scaling, state sharing,
+//! multi-model serving" for industries that "deploy and serve thousands of
+//! models ... each with different deployment time, re-deployment
+//! periodicity, and lifespan". This module implements that surface for the
+//! TF-Serving analog: a server-side registry of named models, versioned
+//! hot deployment (a new version replaces the old one without dropping
+//! connections), and per-request model selection on the wire.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crayfish_runtime::{EmbeddedRuntime, OnnxRuntime};
+use crayfish_tensor::NnGraph;
+
+use crate::server::{ModelPool, ServingConfig};
+use crate::{Result, ServingError};
+
+/// One deployed model: its worker pool and its version number.
+#[derive(Clone)]
+struct Deployment {
+    pool: ModelPool,
+    version: u32,
+}
+
+/// A shared, hot-swappable registry of named models.
+///
+/// Cloning the handle shares the registry; the serving loop resolves the
+/// target deployment per request, so a `deploy` takes effect for the very
+/// next request without restarting the server.
+#[derive(Clone, Default)]
+pub struct ModelRegistry {
+    inner: Arc<RwLock<HashMap<String, Deployment>>>,
+    config: ServingConfig,
+}
+
+impl ModelRegistry {
+    /// An empty registry whose deployments use `config` (worker count and
+    /// device per model).
+    pub fn new(config: ServingConfig) -> ModelRegistry {
+        ModelRegistry {
+            inner: Arc::new(RwLock::new(HashMap::new())),
+            config,
+        }
+    }
+
+    /// Deploy (or hot-replace) `name` with `graph`. Returns the new version
+    /// number (1 for a first deployment). In-flight requests against the
+    /// old version finish on the old pool; new requests see the new one.
+    pub fn deploy(&self, name: &str, graph: &NnGraph) -> Result<u32> {
+        // Load outside the lock: model loading is expensive.
+        let loader = OnnxRuntime::new();
+        let graph = graph.clone();
+        let config = self.config;
+        let pool = ModelPool::new(config.workers, || loader.load_graph(&graph, config.device))?;
+        let mut models = self.inner.write();
+        let version = models.get(name).map(|d| d.version + 1).unwrap_or(1);
+        models.insert(name.to_string(), Deployment { pool, version });
+        Ok(version)
+    }
+
+    /// Remove a model. Errors if it was not deployed.
+    pub fn undeploy(&self, name: &str) -> Result<()> {
+        self.inner
+            .write()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| ServingError::Config(format!("model not deployed: {name}")))
+    }
+
+    /// Deployed model names with their current versions, sorted by name.
+    pub fn deployments(&self) -> Vec<(String, u32)> {
+        let mut out: Vec<(String, u32)> = self
+            .inner
+            .read()
+            .iter()
+            .map(|(k, d)| (k.clone(), d.version))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Current version of a model, if deployed.
+    pub fn version(&self, name: &str) -> Option<u32> {
+        self.inner.read().get(name).map(|d| d.version)
+    }
+
+    /// Resolve a model's pool for one request. `None` selects the sole
+    /// deployed model (the single-model fast path); with several models
+    /// deployed the name is mandatory.
+    pub(crate) fn resolve(&self, name: Option<&str>) -> Result<ModelPool> {
+        let models = self.inner.read();
+        match name {
+            Some(n) => models
+                .get(n)
+                .map(|d| d.pool.clone())
+                .ok_or_else(|| ServingError::Config(format!("unknown model: {n}"))),
+            None => {
+                if models.len() == 1 {
+                    Ok(models.values().next().expect("len checked").pool.clone())
+                } else {
+                    Err(ServingError::Config(format!(
+                        "{} models deployed; requests must name one",
+                        models.len()
+                    )))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crayfish_models::tiny;
+
+    #[test]
+    fn deploy_versions_increment() {
+        let reg = ModelRegistry::new(ServingConfig::default());
+        assert_eq!(reg.deploy("m", &tiny::tiny_mlp(1)).unwrap(), 1);
+        assert_eq!(reg.deploy("m", &tiny::tiny_mlp(2)).unwrap(), 2);
+        assert_eq!(reg.version("m"), Some(2));
+        assert_eq!(reg.deployments(), vec![("m".to_string(), 2)]);
+    }
+
+    #[test]
+    fn undeploy_removes() {
+        let reg = ModelRegistry::new(ServingConfig::default());
+        reg.deploy("m", &tiny::tiny_mlp(1)).unwrap();
+        reg.undeploy("m").unwrap();
+        assert!(reg.undeploy("m").is_err());
+        assert!(reg.version("m").is_none());
+    }
+
+    #[test]
+    fn resolution_rules() {
+        let reg = ModelRegistry::new(ServingConfig::default());
+        assert!(reg.resolve(None).is_err(), "empty registry");
+        reg.deploy("a", &tiny::tiny_mlp(1)).unwrap();
+        assert!(reg.resolve(None).is_ok(), "single model needs no name");
+        reg.deploy("b", &tiny::tiny_cnn(1)).unwrap();
+        assert!(reg.resolve(None).is_err(), "ambiguous without a name");
+        assert!(reg.resolve(Some("a")).is_ok());
+        assert!(reg.resolve(Some("zzz")).is_err());
+    }
+}

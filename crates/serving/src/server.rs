@@ -1,0 +1,217 @@
+//! Shared server machinery: configuration, lifecycle handle, accept loop,
+//! and the worker-instance pool.
+
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use crayfish_runtime::{Device, LoadedModel};
+use crayfish_sim::OverheadModel;
+
+use crate::Result;
+
+/// Configuration of an external serving deployment.
+#[derive(Debug, Clone, Copy)]
+pub struct ServingConfig {
+    /// Degree of parallelism: concurrent processing threads (TF-Serving),
+    /// worker processes (TorchServe), or replicas (Ray Serve). The paper's
+    /// `mp` knob for external servers.
+    pub workers: usize,
+    /// Inference device for every worker.
+    pub device: Device,
+    /// Calibrated overhead model (Python handlers, actor dispatch, …).
+    pub overheads: OverheadModel,
+}
+
+impl Default for ServingConfig {
+    fn default() -> Self {
+        ServingConfig {
+            workers: 1,
+            device: Device::Cpu,
+            overheads: OverheadModel::calibrated(),
+        }
+    }
+}
+
+/// A running server. Dropping the handle shuts the listener down; live
+/// connections end when their clients disconnect.
+#[derive(Debug)]
+pub struct ServerHandle {
+    name: &'static str,
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<TcpStream>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (always a localhost ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Server kind name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Stop accepting connections and join the accept loop.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    /// The shutdown flag, observed by auxiliary server threads (e.g. the
+    /// Ray Serve proxy and replicas) so they exit when the handle drops.
+    pub(crate) fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        self.shutdown.clone()
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        // Tear down live connections so handler threads exit.
+        for conn in self.connections.lock().drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// A pool of per-worker model instances. Taking an instance when all are in
+/// use blocks — this is what bounds server concurrency to `workers`, the
+/// mechanism behind every server's `mp` knob.
+#[derive(Clone)]
+pub(crate) struct ModelPool {
+    tx: Sender<Box<dyn LoadedModel>>,
+    rx: Receiver<Box<dyn LoadedModel>>,
+}
+
+impl ModelPool {
+    /// Load `workers` independent instances of `graph` via `load`.
+    pub fn new(
+        workers: usize,
+        mut load: impl FnMut() -> crayfish_runtime::Result<Box<dyn LoadedModel>>,
+    ) -> Result<ModelPool> {
+        let workers = workers.max(1);
+        let (tx, rx) = bounded(workers);
+        for _ in 0..workers {
+            tx.send(load()?).expect("pool channel sized to workers");
+        }
+        Ok(ModelPool { tx, rx })
+    }
+
+    /// Borrow an instance (blocking) and run `f` with it.
+    pub fn with_model<T>(&self, f: impl FnOnce(&mut dyn LoadedModel) -> T) -> T {
+        let mut model = self.rx.recv().expect("model pool closed");
+        let out = f(model.as_mut());
+        self.tx.send(model).expect("model pool closed");
+        out
+    }
+}
+
+/// Spawn a localhost TCP server. `on_connection` is invoked on a fresh
+/// thread per accepted connection.
+pub(crate) fn spawn_listener(
+    name: &'static str,
+    on_connection: impl Fn(TcpStream) + Send + Sync + 'static,
+) -> Result<ServerHandle> {
+    let listener = TcpListener::bind(("127.0.0.1", 0))?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let connections: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+    let flag = shutdown.clone();
+    let conns = connections.clone();
+    let handler = Arc::new(on_connection);
+    let accept_thread = std::thread::Builder::new()
+        .name(format!("{name}-accept"))
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                stream.set_nodelay(true).ok();
+                if let Ok(clone) = stream.try_clone() {
+                    conns.lock().push(clone);
+                }
+                let h = handler.clone();
+                std::thread::Builder::new()
+                    .name(format!("{name}-conn"))
+                    .spawn(move || h(stream))
+                    .expect("spawn connection handler");
+            }
+        })
+        .expect("spawn accept thread");
+    Ok(ServerHandle {
+        name,
+        addr,
+        shutdown,
+        accept_thread: Some(accept_thread),
+        connections,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crayfish_models::tiny;
+    use crayfish_runtime::{EmbeddedRuntime, OnnxRuntime};
+    use std::io::{Read, Write};
+
+    #[test]
+    fn pool_bounds_concurrency() {
+        let g = tiny::tiny_mlp(1);
+        let pool = ModelPool::new(2, || OnnxRuntime::new().load_graph(&g, Device::Cpu)).unwrap();
+        let active = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let peak = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let pool = pool.clone();
+            let active = active.clone();
+            let peak = peak.clone();
+            handles.push(std::thread::spawn(move || {
+                pool.with_model(|_m| {
+                    let now = active.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                    active.fetch_sub(1, Ordering::SeqCst);
+                });
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= 2, "pool leaked concurrency");
+    }
+
+    #[test]
+    fn listener_echo_and_shutdown() {
+        let handle = spawn_listener("echo", |mut stream| {
+            let mut buf = [0u8; 4];
+            if stream.read_exact(&mut buf).is_ok() {
+                stream.write_all(&buf).ok();
+            }
+        })
+        .unwrap();
+        let mut c = TcpStream::connect(handle.addr()).unwrap();
+        c.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        c.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        handle.shutdown();
+    }
+}

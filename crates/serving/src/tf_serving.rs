@@ -1,0 +1,164 @@
+//! TensorFlow Serving analog.
+//!
+//! The paper's "highly optimised external server": fused kernels (the
+//! off-the-shelf CPU optimisations §5.1.1 credits for TF-Serving beating
+//! TorchServe 3×), a gRPC-like binary protocol, and a thread pool whose size
+//! is the scaling knob ("setting the maximum number of threads that can be
+//! used to process events concurrently", §3.4.3).
+
+use std::io::BufReader;
+use std::net::TcpStream;
+
+use crayfish_tensor::NnGraph;
+
+use crate::protocol::{decode_request_binary, encode_error_binary, encode_tensor_binary, read_frame, write_frame};
+use crate::registry::ModelRegistry;
+use crate::server::{spawn_listener, ServerHandle, ServingConfig};
+use crate::Result;
+
+/// Start a TF-Serving analog hosting a single model.
+///
+/// TF-Serving consumes SavedModel files but runs a fused, CPU-optimised
+/// executor internally; the fused plan (shared with the ONNX analog) is
+/// that executor.
+pub fn start(graph: &NnGraph, config: ServingConfig) -> Result<ServerHandle> {
+    let registry = ModelRegistry::new(config);
+    registry.deploy("default", graph)?;
+    start_with_registry(registry)
+}
+
+/// Start a TF-Serving analog backed by a [`ModelRegistry`]: the paper's
+/// §7.2 external-serving story — host many named models, hot-deploy new
+/// versions, and select the model per request, all without touching the
+/// stream processor.
+pub fn start_with_registry(registry: ModelRegistry) -> Result<ServerHandle> {
+    spawn_listener("tf-serving", move |stream| {
+        handle_connection(stream, &registry);
+    })
+}
+
+fn handle_connection(stream: TcpStream, registry: &ModelRegistry) {
+    let mut writer = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    while let Ok(Some(payload)) = read_frame(&mut reader) {
+        let reply = match decode_request_binary(&payload) {
+            Ok((model, input)) => match registry
+                .resolve(model.as_deref())
+                .and_then(|pool| pool.with_model(|m| m.apply(&input)).map_err(Into::into))
+            {
+                Ok(output) => encode_tensor_binary(&output),
+                Err(e) => encode_error_binary(&e.to_string()),
+            },
+            Err(e) => encode_error_binary(&e.to_string()),
+        };
+        if write_frame(&mut writer, &reply).is_err() {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{GrpcClient, ScoringClient};
+    use crayfish_models::tiny;
+    use crayfish_sim::NetworkModel;
+    use crayfish_tensor::Tensor;
+
+    #[test]
+    fn multi_model_serving_by_name() {
+        let registry = ModelRegistry::new(ServingConfig::default());
+        registry.deploy("mlp", &tiny::tiny_mlp(1)).unwrap();
+        registry.deploy("cnn", &tiny::tiny_cnn(1)).unwrap();
+        let server = start_with_registry(registry.clone()).unwrap();
+        let mut client = GrpcClient::connect(server.addr(), NetworkModel::zero()).unwrap();
+        let mlp_in = Tensor::seeded_uniform([1, 8, 8], 1, 0.0, 1.0);
+        let cnn_in = Tensor::seeded_uniform([1, 3, 8, 8], 1, 0.0, 1.0);
+        assert_eq!(
+            client.infer_named("mlp", &mlp_in).unwrap().shape().dims(),
+            &[1, 4]
+        );
+        assert_eq!(
+            client.infer_named("cnn", &cnn_in).unwrap().shape().dims(),
+            &[1, 4]
+        );
+        // Ambiguous unnamed request against two models errors.
+        assert!(client.infer(&mlp_in).is_err());
+        // Unknown model errors but keeps the connection alive.
+        assert!(client.infer_named("nope", &mlp_in).is_err());
+        assert!(client.infer_named("mlp", &mlp_in).is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn hot_deploy_swaps_versions_mid_stream() {
+        let registry = ModelRegistry::new(ServingConfig::default());
+        registry.deploy("m", &tiny::tiny_mlp(1)).unwrap();
+        let server = start_with_registry(registry.clone()).unwrap();
+        let mut client = GrpcClient::connect(server.addr(), NetworkModel::zero()).unwrap();
+        let input = Tensor::seeded_uniform([1, 8, 8], 7, 0.0, 1.0);
+        let v1_out = client.infer_named("m", &input).unwrap();
+        // Hot-swap to differently seeded weights; same connection must see
+        // the new version immediately.
+        assert_eq!(registry.deploy("m", &tiny::tiny_mlp(999)).unwrap(), 2);
+        let v2_out = client.infer_named("m", &input).unwrap();
+        assert_eq!(v2_out.shape(), v1_out.shape());
+        assert!(
+            v1_out.max_abs_diff(&v2_out).unwrap() > 1e-6,
+            "new version did not take effect"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn serves_inference_over_tcp() {
+        let server = start(&tiny::tiny_mlp(1), ServingConfig::default()).unwrap();
+        let mut client = GrpcClient::connect(server.addr(), NetworkModel::zero()).unwrap();
+        let input = Tensor::seeded_uniform([2, 8, 8], 1, 0.0, 1.0);
+        let out = client.infer(&input).unwrap();
+        assert_eq!(out.shape().dims(), &[2, 4]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn bad_input_shape_returns_remote_error() {
+        let server = start(&tiny::tiny_mlp(1), ServingConfig::default()).unwrap();
+        let mut client = GrpcClient::connect(server.addr(), NetworkModel::zero()).unwrap();
+        let err = client.infer(&Tensor::zeros([2, 9, 9])).unwrap_err();
+        assert!(matches!(err, crate::ServingError::Remote(_)), "{err}");
+        // The connection survives the error.
+        let out = client
+            .infer(&Tensor::seeded_uniform([1, 8, 8], 1, 0.0, 1.0))
+            .unwrap();
+        assert_eq!(out.shape().dims(), &[1, 4]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_are_served() {
+        let server = start(
+            &tiny::tiny_mlp(1),
+            ServingConfig { workers: 4, ..Default::default() },
+        )
+        .unwrap();
+        let addr = server.addr();
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            handles.push(std::thread::spawn(move || {
+                let mut c = GrpcClient::connect(addr, NetworkModel::zero()).unwrap();
+                for i in 0..10u64 {
+                    let input = Tensor::seeded_uniform([1, 8, 8], t * 100 + i, 0.0, 1.0);
+                    let out = c.infer(&input).unwrap();
+                    assert_eq!(out.shape().dims(), &[1, 4]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        server.shutdown();
+    }
+}

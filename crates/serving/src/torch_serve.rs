@@ -1,0 +1,127 @@
+//! TorchServe analog.
+//!
+//! Same gRPC-like protocol as the TF-Serving analog, but every request runs
+//! through a *Python handler* before reaching the model (§3.4.3:
+//! "it allows users to write additional wrapper code for the inference
+//! through Python handlers"): the handler re-encodes the input tensor as
+//! JSON and parses it back (real work — TorchServe handlers shuttle request
+//! payloads through Python objects) and pays the calibrated interpreter
+//! cost. Inference itself uses the unfused executor — the missing
+//! "off-the-shelf CPU optimisations" the paper blames for TorchServe's 3×
+//! deficit against TF-Serving (§5.1.1).
+
+use std::io::BufReader;
+use std::net::TcpStream;
+
+use crayfish_runtime::{EmbeddedRuntime, TorchRuntime};
+use crayfish_sim::Cost;
+use crayfish_tensor::{NnGraph, Tensor};
+
+use crate::protocol::{
+    decode_tensor_binary, encode_error_binary, encode_tensor_binary, read_frame, write_frame,
+    JsonTensor,
+};
+use crate::server::{spawn_listener, ModelPool, ServerHandle, ServingConfig};
+use crate::{Result, ServingError};
+
+/// Start a TorchServe analog for `graph`.
+pub fn start(graph: &NnGraph, config: ServingConfig) -> Result<ServerHandle> {
+    // Native eager-mode kernels, no graph optimiser.
+    let loader = TorchRuntime::new();
+    let graph = graph.clone();
+    let pool = ModelPool::new(config.workers, || loader.load_graph(&graph, config.device))?;
+    let py_cost = config.overheads.py_handler;
+    spawn_listener("torch-serve", move |stream| {
+        handle_connection(stream, &pool, py_cost);
+    })
+}
+
+/// The simulated Python handler: JSON round-trip plus interpreter cost.
+fn python_handler(input: &Tensor, py_cost: Cost) -> crate::Result<Tensor> {
+    let json = serde_json::to_vec(&JsonTensor::from_tensor(input))
+        .map_err(|e| ServingError::Protocol(format!("handler encode: {e}")))?;
+    py_cost.spend(json.len());
+    let parsed: JsonTensor = serde_json::from_slice(&json)
+        .map_err(|e| ServingError::Protocol(format!("handler decode: {e}")))?;
+    parsed.into_tensor()
+}
+
+fn handle_connection(stream: TcpStream, pool: &ModelPool, py_cost: Cost) {
+    let mut writer = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    while let Ok(Some(payload)) = read_frame(&mut reader) {
+        let reply = match decode_tensor_binary(&payload).and_then(|t| python_handler(&t, py_cost)) {
+            Ok(input) => match pool.with_model(|m| m.apply(&input)) {
+                Ok(output) => encode_tensor_binary(&output),
+                Err(e) => encode_error_binary(&e.to_string()),
+            },
+            Err(e) => encode_error_binary(&e.to_string()),
+        };
+        if write_frame(&mut writer, &reply).is_err() {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{GrpcClient, ScoringClient};
+    use crayfish_models::tiny;
+    use crayfish_sim::{NetworkModel, OverheadModel, Stopwatch};
+
+    #[test]
+    fn serves_inference() {
+        let server = start(&tiny::tiny_mlp(1), ServingConfig::default()).unwrap();
+        let mut client = GrpcClient::connect(server.addr(), NetworkModel::zero()).unwrap();
+        let out = client
+            .infer(&Tensor::seeded_uniform([3, 8, 8], 1, 0.0, 1.0))
+            .unwrap();
+        assert_eq!(out.shape().dims(), &[3, 4]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn python_handler_preserves_the_tensor() {
+        let t = Tensor::seeded_uniform([2, 5], 7, -3.0, 3.0);
+        let back = python_handler(&t, Cost::ZERO).unwrap();
+        // JSON float round-trips are exact for f32 via serde_json.
+        assert_eq!(t.shape(), back.shape());
+        assert!(t.max_abs_diff(&back).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn slower_than_tf_serving_per_request() {
+        // The handler cost must make TorchServe measurably slower than the
+        // TF-Serving analog for the same model — Table 4's ordering.
+        let g = tiny::tiny_mlp(1);
+        let overheads = OverheadModel::calibrated();
+        let torch = start(&g, ServingConfig { overheads, ..Default::default() }).unwrap();
+        let tf = crate::tf_serving::start(&g, ServingConfig { overheads, ..Default::default() }).unwrap();
+        let mut torch_c = GrpcClient::connect(torch.addr(), NetworkModel::zero()).unwrap();
+        let mut tf_c = GrpcClient::connect(tf.addr(), NetworkModel::zero()).unwrap();
+        let input = Tensor::seeded_uniform([1, 8, 8], 1, 0.0, 1.0);
+        torch_c.infer(&input).unwrap();
+        tf_c.infer(&input).unwrap();
+        let reps = 10;
+        let sw = Stopwatch::start();
+        for _ in 0..reps {
+            torch_c.infer(&input).unwrap();
+        }
+        let t_torch = sw.elapsed();
+        let sw = Stopwatch::start();
+        for _ in 0..reps {
+            tf_c.infer(&input).unwrap();
+        }
+        let t_tf = sw.elapsed();
+        assert!(
+            t_torch > t_tf * 2,
+            "torchserve {t_torch:?} vs tf-serving {t_tf:?}"
+        );
+        torch.shutdown();
+        tf.shutdown();
+    }
+}

@@ -1,0 +1,106 @@
+//! Robustness of the wire protocols: arbitrary bytes never panic the
+//! decoders, and live servers survive malformed traffic.
+
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+
+use proptest::prelude::*;
+
+use crayfish_models::tiny;
+use crayfish_serving::protocol::{
+    decode_tensor_binary, encode_tensor_binary, read_frame, read_http_message, write_frame,
+};
+use crayfish_serving::{GrpcClient, ScoringClient, ServingConfig};
+use crayfish_sim::NetworkModel;
+use crayfish_tensor::Tensor;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn binary_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Any outcome is fine; panicking is not.
+        let _ = decode_tensor_binary(&bytes);
+    }
+
+    #[test]
+    fn frame_reader_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut cursor = std::io::Cursor::new(bytes);
+        while let Ok(Some(_)) = read_frame(&mut cursor) {}
+    }
+
+    #[test]
+    fn http_reader_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut reader = BufReader::new(std::io::Cursor::new(bytes));
+        let _ = read_http_message(&mut reader);
+    }
+
+    #[test]
+    fn tensor_encoding_is_injective_on_shape(
+        dims_a in proptest::collection::vec(1usize..4, 1..3),
+        dims_b in proptest::collection::vec(1usize..4, 1..3),
+    ) {
+        let a = Tensor::zeros(dims_a.clone());
+        let b = Tensor::zeros(dims_b.clone());
+        let same = dims_a == dims_b;
+        prop_assert_eq!(encode_tensor_binary(&a) == encode_tensor_binary(&b), same);
+    }
+}
+
+#[test]
+fn server_survives_garbage_frames() {
+    let server =
+        crayfish_serving::tf_serving::start(&tiny::tiny_mlp(1), ServingConfig::default()).unwrap();
+    // A raw connection sends a framed garbage payload...
+    {
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+        write_frame(&mut raw, b"this is not a tensor").unwrap();
+        let mut reader = BufReader::new(raw.try_clone().unwrap());
+        // ...and gets an error payload back rather than a hang or close.
+        let reply = read_frame(&mut reader).unwrap().expect("reply frame");
+        assert!(decode_tensor_binary(&reply).is_err());
+    }
+    // The server still serves well-formed clients afterwards.
+    let mut client = GrpcClient::connect(server.addr(), NetworkModel::zero()).unwrap();
+    let out = client
+        .infer(&Tensor::seeded_uniform([1, 8, 8], 1, 0.0, 1.0))
+        .unwrap();
+    assert_eq!(out.shape().dims(), &[1, 4]);
+    server.shutdown();
+}
+
+#[test]
+fn server_survives_abrupt_disconnects() {
+    let server =
+        crayfish_serving::tf_serving::start(&tiny::tiny_mlp(1), ServingConfig::default()).unwrap();
+    for _ in 0..5 {
+        // Connect, write half a frame, slam the connection shut.
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+        raw.write_all(&[200, 0, 0, 0]).unwrap(); // length prefix, no payload
+        drop(raw);
+    }
+    let mut client = GrpcClient::connect(server.addr(), NetworkModel::zero()).unwrap();
+    assert!(client
+        .infer(&Tensor::seeded_uniform([2, 8, 8], 1, 0.0, 1.0))
+        .is_ok());
+    server.shutdown();
+}
+
+#[test]
+fn http_server_survives_bad_requests() {
+    let server =
+        crayfish_serving::ray_serve::start(&tiny::tiny_mlp(1), ServingConfig::default()).unwrap();
+    {
+        let mut raw = TcpStream::connect(server.addr()).unwrap();
+        raw.write_all(b"GET / HTTP/1.1\r\nContent-Length: 7\r\n\r\nnotjson")
+            .unwrap();
+        let mut reader = BufReader::new(raw.try_clone().unwrap());
+        let reply = read_http_message(&mut reader).unwrap().expect("reply");
+        assert!(!reply.is_ok_response());
+    }
+    let mut client = crayfish_serving::HttpClient::connect(server.addr(), NetworkModel::zero()).unwrap();
+    assert!(client
+        .infer(&Tensor::seeded_uniform([1, 8, 8], 1, 0.0, 1.0))
+        .is_ok());
+    server.shutdown();
+}

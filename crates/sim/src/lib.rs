@@ -1,0 +1,31 @@
+//! # crayfish-sim
+//!
+//! Timing primitives and calibrated cost models shared by every Crayfish
+//! substrate.
+//!
+//! The Crayfish reproduction executes everything it can for real (kernels,
+//! JSON, TCP, threads). Two classes of cost cannot be reproduced natively in
+//! Rust and are therefore *modelled*:
+//!
+//! * **Hardware we do not have** — the 1 Gbps LAN between the paper's GCP
+//!   VMs and the NVIDIA T4 GPU. See [`NetworkModel`] and the GPU constants
+//!   in [`calibration`].
+//! * **Foreign runtimes** — JVM/JNI marshalling (DeepLearning4j) and the
+//!   Python interpreter (TorchServe handlers, Ray actors). See
+//!   [`OverheadModel`].
+//!
+//! Every constant lives in [`calibration`] with a comment citing its source,
+//! and every modelled cost is *spent as wall-clock time* via
+//! [`precise_sleep`], so end-to-end measurements taken by the framework
+//! include them exactly as a real deployment would.
+
+pub mod calibration;
+pub mod network;
+pub mod overhead;
+pub mod rate;
+pub mod time;
+
+pub use network::NetworkModel;
+pub use overhead::{Cost, OverheadModel};
+pub use rate::RatePacer;
+pub use time::{now_millis_f64, precise_sleep, spend, spin_exact, Stopwatch};

@@ -1,0 +1,142 @@
+//! First-order network cost model.
+//!
+//! The paper runs each Crayfish component on a separate GCP VM connected by
+//! a 1 Gbps LAN (§4.2: 0.945 ms average ping for a 3 KB packet, 1.565 ms for
+//! 64 KB). This reproduction runs everything on one host, so the LAN is
+//! modelled: every logical **one-way** network hop costs
+//!
+//! ```text
+//! delay(bytes) = base_latency + bytes / bandwidth
+//! ```
+//!
+//! spent as real wall time via [`crate::precise_sleep`]. The defaults are
+//! fitted to the paper's two ping (round-trip) measurements, i.e.
+//! `2 * delay(n)` reproduces them exactly (see [`NetworkModel::lan_1gbps`]).
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::precise_sleep;
+
+/// Latency + bandwidth model for one network hop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// Fixed one-way latency per message/batch, in seconds.
+    pub base_latency_s: f64,
+    /// Link bandwidth in bytes per second.
+    pub bandwidth_bytes_per_s: f64,
+}
+
+impl NetworkModel {
+    /// A model with no cost (used by the `no-kafka` standalone pipeline of
+    /// Figure 13 and by unit tests).
+    pub const fn zero() -> Self {
+        Self {
+            base_latency_s: 0.0,
+            bandwidth_bytes_per_s: f64::INFINITY,
+        }
+    }
+
+    /// The paper's evaluation LAN.
+    ///
+    /// Fitted to §4.2: a ping (round trip) of 3 KB takes 0.945 ms and of
+    /// 64 KB takes 1.565 ms. Solving `2 * (base + n/bw)` for the two points
+    /// gives a one-way base latency of ~0.457 ms and an effective bandwidth
+    /// of ~201.5 MB/s. The fitted bandwidth exceeds the 1 Gbps line rate
+    /// because large pings fragment and pipeline; we keep the exact fit to
+    /// the paper's measurements rather than the nominal link speed, since
+    /// those measurements are what shaped the paper's end-to-end latencies.
+    pub const fn lan_1gbps() -> Self {
+        Self {
+            base_latency_s: 0.000_457_3,
+            bandwidth_bytes_per_s: 201.5e6,
+        }
+    }
+
+    /// A fast localhost-like link for experiments that want the broker "in
+    /// the same rack" without removing it from the picture.
+    pub const fn localhost() -> Self {
+        Self {
+            base_latency_s: 0.000_02,
+            bandwidth_bytes_per_s: 5.0e9,
+        }
+    }
+
+    /// Delay for transferring `bytes` over this hop.
+    pub fn delay(&self, bytes: usize) -> Duration {
+        let transfer = if self.bandwidth_bytes_per_s.is_finite() && self.bandwidth_bytes_per_s > 0.0
+        {
+            bytes as f64 / self.bandwidth_bytes_per_s
+        } else {
+            0.0
+        };
+        Duration::from_secs_f64(self.base_latency_s + transfer)
+    }
+
+    /// Spend the modelled transfer time for `bytes` as wall-clock time.
+    pub fn transfer(&self, bytes: usize) {
+        let d = self.delay(bytes);
+        if !d.is_zero() {
+            precise_sleep(d);
+        }
+    }
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        Self::lan_1gbps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_model_costs_nothing() {
+        let m = NetworkModel::zero();
+        assert_eq!(m.delay(0), Duration::ZERO);
+        assert_eq!(m.delay(1 << 30), Duration::ZERO);
+    }
+
+    #[test]
+    fn lan_model_matches_paper_ping_measurements() {
+        let m = NetworkModel::lan_1gbps();
+        // Ping = round trip = 2 * one-way delay.
+        let rtt3k = 2.0 * m.delay(3 * 1024).as_secs_f64() * 1e3;
+        let rtt64k = 2.0 * m.delay(64 * 1024).as_secs_f64() * 1e3;
+        assert!((rtt3k - 0.945).abs() < 0.02, "3KB ping {rtt3k} ms");
+        assert!((rtt64k - 1.565).abs() < 0.03, "64KB ping {rtt64k} ms");
+    }
+
+    #[test]
+    fn delay_is_monotonic_in_size() {
+        let m = NetworkModel::lan_1gbps();
+        let mut prev = Duration::ZERO;
+        for bytes in [0usize, 100, 10_000, 1_000_000, 10_000_000] {
+            let d = m.delay(bytes);
+            assert!(d >= prev);
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn transfer_spends_wall_time() {
+        let m = NetworkModel {
+            base_latency_s: 0.002,
+            bandwidth_bytes_per_s: 1e9,
+        };
+        let sw = crate::Stopwatch::start();
+        m.transfer(1000);
+        assert!(sw.elapsed_millis() >= 1.9);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = NetworkModel::lan_1gbps();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: NetworkModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

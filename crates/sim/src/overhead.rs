@@ -1,0 +1,200 @@
+//! Named overhead costs for foreign-runtime behaviour.
+//!
+//! A [`Cost`] is an affine model `fixed + per_byte * bytes`, spent as wall
+//! time. An [`OverheadModel`] is a set of named costs; every simulated
+//! foreign-runtime component (JNI boundary, Python handler, gRPC stack, …)
+//! draws its costs from one model instance so experiments can switch the
+//! whole calibration on/off or swap it atomically.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{precise_sleep, spin_exact};
+
+/// An affine time cost: `fixed_ns + per_byte_ns * bytes`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Cost {
+    /// Fixed cost per invocation, in nanoseconds.
+    pub fixed_ns: f64,
+    /// Marginal cost per payload byte, in nanoseconds.
+    pub per_byte_ns: f64,
+}
+
+impl Cost {
+    /// A free cost.
+    pub const ZERO: Cost = Cost {
+        fixed_ns: 0.0,
+        per_byte_ns: 0.0,
+    };
+
+    /// Construct from nanosecond components.
+    pub const fn new(fixed_ns: f64, per_byte_ns: f64) -> Self {
+        Self {
+            fixed_ns,
+            per_byte_ns,
+        }
+    }
+
+    /// A purely fixed cost given in microseconds.
+    pub const fn fixed_us(us: f64) -> Self {
+        Self {
+            fixed_ns: us * 1e3,
+            per_byte_ns: 0.0,
+        }
+    }
+
+    /// The modelled duration for a payload of `bytes`.
+    pub fn duration(&self, bytes: usize) -> Duration {
+        let ns = self.fixed_ns + self.per_byte_ns * bytes as f64;
+        if ns <= 0.0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(ns as u64)
+        }
+    }
+
+    /// Spend the modelled time for `bytes` as wall time. Long waits are OS
+    /// sleeps (they model off-CPU time or work that parallelises across the
+    /// paper's many-core hosts), so they overlap across threads.
+    pub fn spend(&self, bytes: usize) {
+        let d = self.duration(bytes);
+        if !d.is_zero() {
+            precise_sleep(d);
+        }
+    }
+
+    /// Spend the modelled time as a busy-wait, consuming CPU for the whole
+    /// duration. Use for foreign work that is CPU-bound (JNI marshalling,
+    /// interpreter loops) and therefore must contend with the benchmark's
+    /// real computation instead of overlapping with it.
+    pub fn spend_spinning(&self, bytes: usize) {
+        let d = self.duration(bytes);
+        if !d.is_zero() {
+            spin_exact(d);
+        }
+    }
+
+    /// Scale both components (used to derate costs in quick-test profiles).
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            fixed_ns: self.fixed_ns * factor,
+            per_byte_ns: self.per_byte_ns * factor,
+        }
+    }
+}
+
+/// Calibrated overhead constants for every simulated foreign runtime.
+///
+/// Defaults come from [`crate::calibration`]; see that module for the
+/// provenance of each number.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverheadModel {
+    /// One JNI/FFI call from JVM code into a native library (DL4J-style
+    /// embedded serving performs one per layer/op plus one per apply).
+    pub ffi_call: Cost,
+    /// Python interpreter work performed by a TorchServe custom handler for
+    /// one request (pre/post-processing glue, per byte of payload touched).
+    pub py_handler: Cost,
+    /// Per-message overhead of one Python actor method dispatch plus an
+    /// object-store put/get pair (Ray).
+    pub actor_dispatch: Cost,
+    /// Client+server gRPC stack traversal per request (HTTP/2 framing,
+    /// protobuf envelope), excluding the modelled network hop.
+    pub grpc_stack: Cost,
+    /// Client+server HTTP/1.1 stack traversal per request (header parse,
+    /// connection handling), excluding the network hop.
+    pub http_stack: Cost,
+    /// One GPU kernel launch (applies per fused graph op on the GPU device).
+    pub gpu_kernel_launch: Cost,
+    /// Host↔device transfer over PCIe (applies per byte moved each way).
+    pub pcie_transfer: Cost,
+    /// Micro-batch planning/scheduling work done by the Spark SS driver per
+    /// triggered batch (JVM task serialization, scheduler bookkeeping).
+    pub microbatch_schedule: Cost,
+}
+
+impl OverheadModel {
+    /// The calibrated default model (see [`crate::calibration`]).
+    pub fn calibrated() -> Self {
+        crate::calibration::default_model()
+    }
+
+    /// A model where every overhead is zero; useful for unit tests and for
+    /// ablation benchmarks isolating real-compute behaviour.
+    pub const fn zero() -> Self {
+        Self {
+            ffi_call: Cost::ZERO,
+            py_handler: Cost::ZERO,
+            actor_dispatch: Cost::ZERO,
+            grpc_stack: Cost::ZERO,
+            http_stack: Cost::ZERO,
+            gpu_kernel_launch: Cost::ZERO,
+            pcie_transfer: Cost::ZERO,
+            microbatch_schedule: Cost::ZERO,
+        }
+    }
+}
+
+impl Default for OverheadModel {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_cost_spends_nothing() {
+        let sw = crate::Stopwatch::start();
+        Cost::ZERO.spend(1 << 20);
+        assert!(sw.elapsed_millis() < 1.0);
+    }
+
+    #[test]
+    fn duration_is_affine() {
+        let c = Cost::new(1000.0, 2.0);
+        assert_eq!(c.duration(0), Duration::from_nanos(1000));
+        assert_eq!(c.duration(500), Duration::from_nanos(2000));
+    }
+
+    #[test]
+    fn negative_components_clamp_to_zero() {
+        let c = Cost::new(-50.0, 0.0);
+        assert_eq!(c.duration(10), Duration::ZERO);
+    }
+
+    #[test]
+    fn scaled_scales_both_components() {
+        let c = Cost::new(100.0, 4.0).scaled(0.5);
+        assert_eq!(c.fixed_ns, 50.0);
+        assert_eq!(c.per_byte_ns, 2.0);
+    }
+
+    #[test]
+    fn spend_takes_wall_time() {
+        let c = Cost::fixed_us(1500.0);
+        let sw = crate::Stopwatch::start();
+        c.spend(0);
+        assert!(sw.elapsed_millis() >= 1.4);
+    }
+
+    #[test]
+    fn calibrated_model_has_positive_costs() {
+        let m = OverheadModel::calibrated();
+        for c in [
+            m.ffi_call,
+            m.py_handler,
+            m.actor_dispatch,
+            m.grpc_stack,
+            m.http_stack,
+            m.gpu_kernel_launch,
+            m.pcie_transfer,
+            m.microbatch_schedule,
+        ] {
+            assert!(c.fixed_ns > 0.0 || c.per_byte_ns > 0.0);
+        }
+    }
+}

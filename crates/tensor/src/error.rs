@@ -1,0 +1,75 @@
+//! Error type for tensor and graph operations.
+
+use std::fmt;
+
+use crate::shape::Shape;
+
+/// Errors produced by tensor construction, kernels, and graph execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// The number of elements does not match the requested shape.
+    LengthMismatch {
+        /// Elements provided.
+        len: usize,
+        /// Shape requested.
+        shape: Shape,
+    },
+    /// Two shapes that must agree do not.
+    ShapeMismatch {
+        /// Description of the operation that failed.
+        op: &'static str,
+        /// Left/expected shape.
+        expected: Shape,
+        /// Right/actual shape.
+        actual: Shape,
+    },
+    /// A tensor had the wrong rank for an operation.
+    RankMismatch {
+        /// Description of the operation that failed.
+        op: &'static str,
+        /// Required rank.
+        expected: usize,
+        /// Actual rank.
+        actual: usize,
+    },
+    /// Graph validation or execution failure.
+    Graph(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { len, shape } => {
+                write!(f, "{len} elements cannot fill shape {shape}")
+            }
+            TensorError::ShapeMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(f, "{op}: shape mismatch, expected {expected}, got {actual}"),
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(f, "{op}: rank mismatch, expected rank {expected}, got {actual}"),
+            TensorError::Graph(msg) => write!(f, "graph error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TensorError::LengthMismatch {
+            len: 3,
+            shape: Shape::new(vec![2, 2]),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('3') && msg.contains("[2, 2]"), "{msg}");
+    }
+}

@@ -1,0 +1,80 @@
+//! Activation functions.
+
+/// In-place ReLU.
+pub fn relu_inplace(x: &mut [f32]) {
+    for v in x.iter_mut() {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+}
+
+/// Row-wise numerically stable softmax over a `[rows, cols]` buffer.
+pub fn softmax_rows(x: &mut [f32], rows: usize, cols: usize) {
+    assert_eq!(x.len(), rows * cols, "softmax: input length");
+    for r in 0..rows {
+        let row = &mut x[r * cols..(r + 1) * cols];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        if sum > 0.0 {
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut x = vec![-1.0, 0.0, 2.5, -0.001];
+        relu_inplace(&mut x);
+        assert_eq!(x, vec![0.0, 0.0, 2.5, 0.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut x = vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0];
+        softmax_rows(&mut x, 2, 3);
+        for r in 0..2 {
+            let sum: f32 = x[r * 3..(r + 1) * 3].iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row {r} sums to {sum}");
+        }
+        // Larger logits get larger probabilities.
+        assert!(x[2] > x[1] && x[1] > x[0]);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let mut x = vec![1000.0, 1001.0];
+        softmax_rows(&mut x, 1, 2);
+        assert!(x.iter().all(|v| v.is_finite()));
+        assert!((x[0] + x[1] - 1.0).abs() < 1e-5);
+    }
+
+    proptest! {
+        #[test]
+        fn softmax_output_is_a_distribution(
+            cols in 1usize..16,
+            seed in any::<u64>(),
+        ) {
+            let t = crate::Tensor::seeded_uniform([3, cols], seed, -50.0, 50.0);
+            let mut x = t.data().to_vec();
+            softmax_rows(&mut x, 3, cols);
+            for r in 0..3 {
+                let row = &x[r * cols..(r + 1) * cols];
+                let sum: f32 = row.iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-4);
+                prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+            }
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! 2-D convolution: the production `im2col + GEMM` path and a direct
+//! reference implementation.
+
+use crate::kernels::gemm::gemm;
+
+/// Static parameters of a conv2d op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Conv2dParams {
+    /// Input channels.
+    pub in_c: usize,
+    /// Output channels.
+    pub out_c: usize,
+    /// Kernel height/width (square kernels only — all ResNet50 kernels are).
+    pub kernel: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding on every border.
+    pub pad: usize,
+}
+
+impl Conv2dParams {
+    /// Output spatial size for an `h×w` input.
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.pad - self.kernel) / self.stride + 1;
+        let ow = (w + 2 * self.pad - self.kernel) / self.stride + 1;
+        (oh, ow)
+    }
+
+    /// Multiply-accumulate FLOPs (2 per MAC) for one image of `h×w`.
+    pub fn flops(&self, h: usize, w: usize) -> u64 {
+        let (oh, ow) = self.out_hw(h, w);
+        2 * (self.out_c * oh * ow) as u64 * (self.in_c * self.kernel * self.kernel) as u64
+    }
+}
+
+/// Unfold one NCHW image (`[in_c, h, w]`) into the `im2col` matrix with shape
+/// `[in_c * k * k, oh * ow]`, writing into `col` (which must have that many
+/// elements; it is fully overwritten).
+pub fn im2col(input: &[f32], h: usize, w: usize, p: &Conv2dParams, col: &mut [f32]) {
+    let (oh, ow) = p.out_hw(h, w);
+    let cols = oh * ow;
+    assert_eq!(input.len(), p.in_c * h * w, "im2col: input length");
+    assert_eq!(col.len(), p.in_c * p.kernel * p.kernel * cols, "im2col: col length");
+    let mut row = 0usize;
+    for c in 0..p.in_c {
+        let chan = &input[c * h * w..(c + 1) * h * w];
+        for ky in 0..p.kernel {
+            for kx in 0..p.kernel {
+                let out_row = &mut col[row * cols..(row + 1) * cols];
+                let mut idx = 0usize;
+                for oy in 0..oh {
+                    let iy = (oy * p.stride + ky) as isize - p.pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        out_row[idx..idx + ow].fill(0.0);
+                        idx += ow;
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * p.stride + kx) as isize - p.pad as isize;
+                        out_row[idx] = if ix < 0 || ix >= w as isize {
+                            0.0
+                        } else {
+                            chan[iy * w + ix as usize]
+                        };
+                        idx += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// Convolution via `im2col` + GEMM for a batch of NCHW images.
+///
+/// * `input`: `[batch, in_c, h, w]`
+/// * `weight`: `[out_c, in_c, k, k]` (used as a `[out_c, in_c*k*k]` matrix)
+/// * `bias`: `out_c` elements, or empty for no bias (ResNet convs carry the
+///   bias inside the following batch-norm)
+/// * `col_scratch`: reusable buffer; resized as needed. Runtimes that reuse
+///   arenas pass the same buffer across calls, the naive runtime passes a
+///   fresh one each time.
+///
+/// Returns `[batch, out_c, oh, ow]` data.
+#[allow(clippy::too_many_arguments)] // a BLAS-style kernel signature: dims are positional by convention
+pub fn conv2d_im2col(
+    input: &[f32],
+    batch: usize,
+    h: usize,
+    w: usize,
+    weight: &[f32],
+    bias: &[f32],
+    p: &Conv2dParams,
+    col_scratch: &mut Vec<f32>,
+) -> Vec<f32> {
+    let (oh, ow) = p.out_hw(h, w);
+    let cols = oh * ow;
+    let krows = p.in_c * p.kernel * p.kernel;
+    assert_eq!(weight.len(), p.out_c * krows, "conv2d: weight length");
+    col_scratch.resize(krows * cols, 0.0);
+    let mut out = vec![0.0f32; batch * p.out_c * cols];
+    for b in 0..batch {
+        let img = &input[b * p.in_c * h * w..(b + 1) * p.in_c * h * w];
+        im2col(img, h, w, p, col_scratch);
+        let out_img = &mut out[b * p.out_c * cols..(b + 1) * p.out_c * cols];
+        if !bias.is_empty() {
+            assert_eq!(bias.len(), p.out_c, "conv2d: bias length");
+            for (oc, &bv) in bias.iter().enumerate() {
+                out_img[oc * cols..(oc + 1) * cols].fill(bv);
+            }
+        }
+        gemm(weight, col_scratch, out_img, p.out_c, krows, cols);
+    }
+    out
+}
+
+/// Direct (sliding-window) convolution. O(out * k²) per element with no
+/// locality optimisation — used as the correctness reference for
+/// [`conv2d_im2col`] in tests.
+pub fn conv2d_direct(
+    input: &[f32],
+    batch: usize,
+    h: usize,
+    w: usize,
+    weight: &[f32],
+    bias: &[f32],
+    p: &Conv2dParams,
+) -> Vec<f32> {
+    let (oh, ow) = p.out_hw(h, w);
+    let mut out = vec![0.0f32; batch * p.out_c * oh * ow];
+    for b in 0..batch {
+        for oc in 0..p.out_c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = if bias.is_empty() { 0.0 } else { bias[oc] };
+                    for ic in 0..p.in_c {
+                        for ky in 0..p.kernel {
+                            for kx in 0..p.kernel {
+                                let iy = (oy * p.stride + ky) as isize - p.pad as isize;
+                                let ix = (ox * p.stride + kx) as isize - p.pad as isize;
+                                if iy < 0 || iy >= h as isize || ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let iv = input
+                                    [((b * p.in_c + ic) * h + iy as usize) * w + ix as usize];
+                                let wv = weight
+                                    [((oc * p.in_c + ic) * p.kernel + ky) * p.kernel + kx];
+                                acc += iv * wv;
+                            }
+                        }
+                    }
+                    out[((b * p.out_c + oc) * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor;
+    use proptest::prelude::*;
+
+    #[test]
+    fn out_hw_standard_cases() {
+        // ResNet50 stem: 224x224, k=7, s=2, p=3 -> 112x112
+        let p = Conv2dParams { in_c: 3, out_c: 64, kernel: 7, stride: 2, pad: 3 };
+        assert_eq!(p.out_hw(224, 224), (112, 112));
+        // Same-size 3x3: k=3, s=1, p=1
+        let p = Conv2dParams { in_c: 8, out_c: 8, kernel: 3, stride: 1, pad: 1 };
+        assert_eq!(p.out_hw(56, 56), (56, 56));
+    }
+
+    #[test]
+    fn identity_1x1_conv() {
+        // A 1x1 conv with identity channel mixing returns the input.
+        let p = Conv2dParams { in_c: 2, out_c: 2, kernel: 1, stride: 1, pad: 0 };
+        let input = Tensor::seeded_uniform([1, 2, 3, 3], 7, -1.0, 1.0);
+        let weight = vec![1.0, 0.0, 0.0, 1.0]; // [2,2,1,1] identity
+        let mut scratch = Vec::new();
+        let out = conv2d_im2col(input.data(), 1, 3, 3, &weight, &[], &p, &mut scratch);
+        assert_eq!(out, input.data());
+    }
+
+    #[test]
+    fn bias_is_broadcast() {
+        let p = Conv2dParams { in_c: 1, out_c: 2, kernel: 1, stride: 1, pad: 0 };
+        let input = vec![0.0; 4]; // 1x1x2x2 zeros
+        let weight = vec![1.0, 1.0];
+        let mut scratch = Vec::new();
+        let out = conv2d_im2col(&input, 1, 2, 2, &weight, &[3.0, 5.0], &p, &mut scratch);
+        assert_eq!(out, vec![3.0, 3.0, 3.0, 3.0, 5.0, 5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn strided_padded_matches_direct() {
+        let p = Conv2dParams { in_c: 3, out_c: 4, kernel: 3, stride: 2, pad: 1 };
+        let input = Tensor::seeded_uniform([2, 3, 7, 7], 11, -1.0, 1.0);
+        let weight = Tensor::seeded_uniform([4, 3, 3, 3], 12, -1.0, 1.0);
+        let bias = vec![0.5, -0.5, 0.0, 1.0];
+        let mut scratch = Vec::new();
+        let fast = conv2d_im2col(input.data(), 2, 7, 7, weight.data(), &bias, &p, &mut scratch);
+        let slow = conv2d_direct(input.data(), 2, 7, 7, weight.data(), &bias, &p);
+        assert_eq!(fast.len(), slow.len());
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn flops_counts_macs_twice() {
+        let p = Conv2dParams { in_c: 1, out_c: 1, kernel: 1, stride: 1, pad: 0 };
+        // 1 output element, 1 MAC -> 2 FLOPs, over a 1x1 image.
+        assert_eq!(p.flops(1, 1), 2);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+        #[test]
+        fn im2col_gemm_matches_direct(
+            in_c in 1usize..4,
+            out_c in 1usize..4,
+            kernel in 1usize..4,
+            stride in 1usize..3,
+            pad in 0usize..2,
+            hw in 3usize..9,
+            seed in any::<u64>(),
+        ) {
+            prop_assume!(hw + 2 * pad >= kernel);
+            let p = Conv2dParams { in_c, out_c, kernel, stride, pad };
+            let input = Tensor::seeded_uniform([1, in_c, hw, hw], seed, -1.0, 1.0);
+            let weight = Tensor::seeded_uniform([out_c, in_c, kernel, kernel], seed ^ 1, -1.0, 1.0);
+            let mut scratch = Vec::new();
+            let fast = conv2d_im2col(input.data(), 1, hw, hw, weight.data(), &[], &p, &mut scratch);
+            let slow = conv2d_direct(input.data(), 1, hw, hw, weight.data(), &[], &p);
+            prop_assert_eq!(fast.len(), slow.len());
+            for (a, b) in fast.iter().zip(&slow) {
+                prop_assert!((a - b).abs() < 1e-3, "{} vs {}", a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Neural-network compute kernels.
+//!
+//! All kernels are single-threaded (one intra-op thread, matching the
+//! paper's serving-tool configuration) and operate on the row-major layouts
+//! documented in the crate root.
+
+pub mod activation;
+pub mod conv;
+pub mod gemm;
+pub mod norm;
+pub mod pool;
+
+pub use activation::{relu_inplace, softmax_rows};
+pub use conv::{conv2d_direct, conv2d_im2col, Conv2dParams};
+pub use gemm::{dense, gemm, matmul_naive};
+pub use norm::{batchnorm_inference, BnParams};
+pub use pool::{avgpool_global, maxpool2d};
+
+/// Elementwise `a += b` for residual connections.
+///
+/// # Panics
+/// Panics if the slices differ in length (graph validation guarantees they
+/// do not).
+pub fn add_inplace(a: &mut [f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len(), "add_inplace length mismatch");
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += y;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_inplace_adds() {
+        let mut a = vec![1.0, 2.0];
+        add_inplace(&mut a, &[10.0, 20.0]);
+        assert_eq!(a, vec![11.0, 22.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn add_inplace_panics_on_mismatch() {
+        let mut a = vec![1.0];
+        add_inplace(&mut a, &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Inference-time batch normalisation.
+
+/// Frozen batch-norm parameters (inference mode).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BnParams {
+    /// Learned scale, one per channel.
+    pub gamma: Vec<f32>,
+    /// Learned shift, one per channel.
+    pub beta: Vec<f32>,
+    /// Running mean, one per channel.
+    pub mean: Vec<f32>,
+    /// Running variance, one per channel.
+    pub var: Vec<f32>,
+    /// Numerical stabiliser.
+    pub eps: f32,
+}
+
+impl BnParams {
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.gamma.len()
+    }
+
+    /// Fold the four parameter vectors into per-channel `(scale, shift)` so
+    /// that `y = scale * x + shift`. Fused runtimes fold these further into
+    /// the preceding convolution's weights.
+    pub fn fold(&self) -> (Vec<f32>, Vec<f32>) {
+        let scale: Vec<f32> = self
+            .gamma
+            .iter()
+            .zip(&self.var)
+            .map(|(g, v)| g / (v + self.eps).sqrt())
+            .collect();
+        let shift: Vec<f32> = self
+            .beta
+            .iter()
+            .zip(&self.mean)
+            .zip(&scale)
+            .map(|((b, m), s)| b - m * s)
+            .collect();
+        (scale, shift)
+    }
+}
+
+/// Apply inference batch-norm in place over NCHW data:
+/// `x[b,c,·,·] = gamma[c] * (x - mean[c]) / sqrt(var[c] + eps) + beta[c]`.
+pub fn batchnorm_inference(x: &mut [f32], batch: usize, c: usize, plane: usize, p: &BnParams) {
+    assert_eq!(x.len(), batch * c * plane, "batchnorm: input length");
+    assert_eq!(p.channels(), c, "batchnorm: channel count");
+    let (scale, shift) = p.fold();
+    for b in 0..batch {
+        for ch in 0..c {
+            let (s, t) = (scale[ch], shift[ch]);
+            let start = (b * c + ch) * plane;
+            for v in &mut x[start..start + plane] {
+                *v = s * *v + t;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(c: usize) -> BnParams {
+        BnParams {
+            gamma: vec![2.0; c],
+            beta: vec![1.0; c],
+            mean: vec![0.5; c],
+            var: vec![4.0; c],
+            eps: 0.0,
+        }
+    }
+
+    #[test]
+    fn fold_produces_affine_form() {
+        let p = params(1);
+        let (scale, shift) = p.fold();
+        // scale = 2 / sqrt(4) = 1, shift = 1 - 0.5 * 1 = 0.5
+        assert_eq!(scale, vec![1.0]);
+        assert_eq!(shift, vec![0.5]);
+    }
+
+    #[test]
+    fn normalises_per_channel() {
+        let mut x = vec![0.5, 2.5, 10.0, 20.0]; // c=2, plane=2
+        let mut p = params(2);
+        p.gamma = vec![2.0, 1.0];
+        p.mean = vec![0.5, 10.0];
+        p.var = vec![4.0, 0.0];
+        p.eps = 1.0;
+        batchnorm_inference(&mut x, 1, 2, 2, &p);
+        // ch0: 2*(x-0.5)/sqrt(5) + 1; ch1: (x-10)/1 + 1
+        let s0 = 2.0 / 5.0f32.sqrt();
+        assert!((x[0] - 1.0).abs() < 1e-6);
+        assert!((x[1] - (s0 * 2.0 + 1.0)).abs() < 1e-6);
+        assert!((x[2] - 1.0).abs() < 1e-6);
+        assert!((x[3] - 11.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn identity_batchnorm_is_noop() {
+        let p = BnParams {
+            gamma: vec![1.0; 3],
+            beta: vec![0.0; 3],
+            mean: vec![0.0; 3],
+            var: vec![1.0; 3],
+            eps: 0.0,
+        };
+        let mut x: Vec<f32> = (0..12).map(|v| v as f32).collect();
+        let orig = x.clone();
+        batchnorm_inference(&mut x, 2, 3, 2, &p);
+        for (a, b) in x.iter().zip(&orig) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+}

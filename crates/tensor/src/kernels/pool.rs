@@ -1,0 +1,111 @@
+//! Pooling kernels.
+
+/// 2-D max pooling over NCHW data with square window `k`, stride `s`, and
+/// zero padding `pad` (padded positions are treated as `-inf`, i.e. ignored).
+///
+/// Returns `([batch, c, oh, ow]` data, `(oh, ow))`.
+#[allow(clippy::too_many_arguments)] // a BLAS-style kernel signature: dims are positional by convention
+pub fn maxpool2d(
+    input: &[f32],
+    batch: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    s: usize,
+    pad: usize,
+) -> (Vec<f32>, (usize, usize)) {
+    let oh = (h + 2 * pad - k) / s + 1;
+    let ow = (w + 2 * pad - k) / s + 1;
+    assert_eq!(input.len(), batch * c * h * w, "maxpool2d: input length");
+    let mut out = vec![f32::NEG_INFINITY; batch * c * oh * ow];
+    for bc in 0..batch * c {
+        let chan = &input[bc * h * w..(bc + 1) * h * w];
+        let out_chan = &mut out[bc * oh * ow..(bc + 1) * oh * ow];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                for ky in 0..k {
+                    let iy = (oy * s + ky) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for kx in 0..k {
+                        let ix = (ox * s + kx) as isize - pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        best = best.max(chan[iy as usize * w + ix as usize]);
+                    }
+                }
+                out_chan[oy * ow + ox] = best;
+            }
+        }
+    }
+    (out, (oh, ow))
+}
+
+/// Global average pooling: reduce each channel's spatial plane to its mean.
+/// `[batch, c, h, w]` → `[batch, c]`.
+pub fn avgpool_global(input: &[f32], batch: usize, c: usize, h: usize, w: usize) -> Vec<f32> {
+    assert_eq!(input.len(), batch * c * h * w, "avgpool_global: input length");
+    let plane = (h * w) as f32;
+    let mut out = Vec::with_capacity(batch * c);
+    for bc in 0..batch * c {
+        let chan = &input[bc * h * w..(bc + 1) * h * w];
+        out.push(chan.iter().sum::<f32>() / plane);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_2x2_stride2() {
+        // One 4x4 channel.
+        #[rustfmt::skip]
+        let input = vec![
+            1.0, 2.0, 5.0, 6.0,
+            3.0, 4.0, 7.0, 8.0,
+            9.0, 10.0, 13.0, 14.0,
+            11.0, 12.0, 15.0, 16.0,
+        ];
+        let (out, (oh, ow)) = maxpool2d(&input, 1, 1, 4, 4, 2, 2, 0);
+        assert_eq!((oh, ow), (2, 2));
+        assert_eq!(out, vec![4.0, 8.0, 12.0, 16.0]);
+    }
+
+    #[test]
+    fn maxpool_with_padding_ignores_border() {
+        // 2x2 input, k=3, s=2, pad=1 -> 1x1 output = max of everything.
+        let input = vec![1.0, -2.0, 3.0, 0.5];
+        let (out, (oh, ow)) = maxpool2d(&input, 1, 1, 2, 2, 3, 2, 1);
+        assert_eq!((oh, ow), (1, 1));
+        assert_eq!(out, vec![3.0]);
+    }
+
+    #[test]
+    fn maxpool_resnet_stem_shape() {
+        // ResNet50: 112x112, k=3, s=2, p=1 -> 56x56.
+        let input = vec![0.0; 64 * 112 * 112];
+        let (_, (oh, ow)) = maxpool2d(&input, 1, 64, 112, 112, 3, 2, 1);
+        assert_eq!((oh, ow), (56, 56));
+    }
+
+    #[test]
+    fn avgpool_global_means_channels() {
+        // batch=1, c=2, 2x2 planes
+        let input = vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0];
+        let out = avgpool_global(&input, 1, 2, 2, 2);
+        assert_eq!(out, vec![2.5, 10.0]);
+    }
+
+    #[test]
+    fn avgpool_handles_batches() {
+        let input = vec![2.0, 4.0, 6.0, 8.0]; // batch=2, c=1, 1x2
+        let out = avgpool_global(&input, 2, 1, 1, 2);
+        assert_eq!(out, vec![3.0, 7.0]);
+    }
+}

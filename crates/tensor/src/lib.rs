@@ -1,0 +1,33 @@
+//! # crayfish-tensor
+//!
+//! The numerical substrate of the Crayfish reproduction: a small dense
+//! tensor library with the kernels required by the paper's two pre-trained
+//! models (an MNIST-scale feed-forward network and ResNet50), plus a graph
+//! IR ([`graph::NnGraph`]) that the model runtimes in `crayfish-runtime`
+//! execute with different strategies (fused/unfused, CPU/simulated GPU).
+//!
+//! Everything here is *real* computation — matrix multiplies, `im2col`
+//! convolutions, batch normalisation — executed single-threaded per
+//! inference, matching the paper's configuration of one intra-op thread
+//! (§4.3 "Hardware Acceleration").
+//!
+//! ## Layout conventions
+//!
+//! * Dense activations are `[batch, features]`, row-major.
+//! * Convolutional activations are `[batch, channels, height, width]`
+//!   (NCHW), row-major.
+//! * Convolution weights are `[out_channels, in_channels, kh, kw]`.
+
+pub mod error;
+pub mod graph;
+pub mod kernels;
+pub mod shape;
+pub mod tensor;
+
+pub use error::TensorError;
+pub use graph::{NnGraph, Node, NodeId, Op};
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;

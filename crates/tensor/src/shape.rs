@@ -1,0 +1,145 @@
+//! Tensor shapes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The extent of a tensor along each dimension.
+///
+/// Shapes are value types: cheap to clone, comparable, and serializable (they
+/// travel inside serialized model formats and inference requests).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Create a shape from dimensions. An empty vector is a scalar shape.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+
+    /// The dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (1 for a scalar shape).
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Extent along dimension `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= rank()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Row-major strides for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// A new shape with the leading (batch) dimension replaced.
+    pub fn with_batch(&self, batch: usize) -> Shape {
+        let mut dims = self.0.clone();
+        if dims.is_empty() {
+            dims.push(batch);
+        } else {
+            dims[0] = batch;
+        }
+        Shape(dims)
+    }
+
+    /// The shape of one element of a batch: the dimensions after the first.
+    pub fn per_item(&self) -> Shape {
+        Shape(self.0.get(1..).unwrap_or(&[]).to_vec())
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.dim(1), 3);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(vec![]);
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.strides(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn row_major_strides() {
+        let s = Shape::from([2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn with_batch_replaces_leading_dim() {
+        let s = Shape::from([1, 3, 224, 224]);
+        assert_eq!(s.with_batch(8).dims(), &[8, 3, 224, 224]);
+        assert_eq!(s.per_item().dims(), &[3, 224, 224]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::from([28, 28]).to_string(), "[28, 28]");
+        assert_eq!(Shape::new(vec![]).to_string(), "[]");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = Shape::from([5, 7]);
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(serde_json::from_str::<Shape>(&json).unwrap(), s);
+    }
+}

@@ -1,0 +1,283 @@
+//! The dense `f32` tensor type.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::error::TensorError;
+use crate::shape::Shape;
+use crate::Result;
+
+/// A dense, row-major, `f32` tensor.
+///
+/// This is the only tensor type in Crayfish: model weights, activations, and
+/// inference inputs/outputs are all `Tensor`s. The paper's workloads never
+/// need other dtypes (inputs are synthetic images, outputs are class
+/// probability vectors).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A tensor of zeros.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let data = vec![0.0; shape.numel()];
+        Tensor { shape, data }
+    }
+
+    /// A tensor filled with a constant.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        let data = vec![value; shape.numel()];
+        Tensor { shape, data }
+    }
+
+    /// Build a tensor from raw data, validating the element count.
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Result<Self> {
+        let shape = shape.into();
+        if data.len() != shape.numel() {
+            return Err(TensorError::LengthMismatch {
+                len: data.len(),
+                shape,
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// A tensor of uniform random values in `[lo, hi)`, deterministic in the
+    /// seed. Used for synthetic inputs (the paper: "data content being
+    /// irrelevant") and reproducible weight initialisation.
+    pub fn seeded_uniform(shape: impl Into<Shape>, seed: u64, lo: f32, hi: f32) -> Self {
+        let shape = shape.into();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..shape.numel()).map(|_| rng.gen_range(lo..hi)).collect();
+        Tensor { shape, data }
+    }
+
+    /// He-style initialisation for a layer with `fan_in` inputs: uniform in
+    /// `±sqrt(6 / fan_in)`. Keeps activations numerically tame through deep
+    /// stacks like ResNet50 so softmax outputs stay finite.
+    pub fn seeded_he(shape: impl Into<Shape>, seed: u64, fan_in: usize) -> Self {
+        let bound = (6.0 / fan_in.max(1) as f32).sqrt();
+        Self::seeded_uniform(shape, seed, -bound, bound)
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Immutable view of the underlying row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the tensor and return its data buffer.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reinterpret the tensor with a new shape of identical element count.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Result<Tensor> {
+        let shape = shape.into();
+        if shape.numel() != self.data.len() {
+            return Err(TensorError::LengthMismatch {
+                len: self.data.len(),
+                shape,
+            });
+        }
+        Ok(Tensor {
+            shape,
+            data: self.data.clone(),
+        })
+    }
+
+    /// The size of the leading (batch) dimension, or 1 for scalars.
+    pub fn batch(&self) -> usize {
+        if self.shape.rank() == 0 {
+            1
+        } else {
+            self.shape.dim(0)
+        }
+    }
+
+    /// Borrow the `i`-th item of the leading dimension as a flat slice.
+    ///
+    /// # Panics
+    /// Panics if `i >= batch()`.
+    pub fn batch_item(&self, i: usize) -> &[f32] {
+        let stride = self.shape.per_item().numel();
+        &self.data[i * stride..(i + 1) * stride]
+    }
+
+    /// Mutably borrow the `i`-th item of the leading dimension.
+    pub fn batch_item_mut(&mut self, i: usize) -> &mut [f32] {
+        let stride = self.shape.per_item().numel();
+        &mut self.data[i * stride..(i + 1) * stride]
+    }
+
+    /// Stack per-item tensors into one batched tensor.
+    ///
+    /// All items must share a shape; the result has shape
+    /// `[items.len(), ..item_shape]`.
+    pub fn stack(items: &[Tensor]) -> Result<Tensor> {
+        let first = items.first().ok_or_else(|| {
+            TensorError::Graph("cannot stack an empty list of tensors".to_string())
+        })?;
+        let item_shape = first.shape.clone();
+        let mut data = Vec::with_capacity(item_shape.numel() * items.len());
+        for t in items {
+            if t.shape != item_shape {
+                return Err(TensorError::ShapeMismatch {
+                    op: "stack",
+                    expected: item_shape,
+                    actual: t.shape.clone(),
+                });
+            }
+            data.extend_from_slice(&t.data);
+        }
+        let mut dims = vec![items.len()];
+        dims.extend_from_slice(item_shape.dims());
+        Ok(Tensor {
+            shape: Shape::new(dims),
+            data,
+        })
+    }
+
+    /// Split a batched tensor into its per-item tensors.
+    pub fn unstack(&self) -> Vec<Tensor> {
+        let item_shape = self.shape.per_item();
+        (0..self.batch())
+            .map(|i| Tensor {
+                shape: item_shape.clone(),
+                data: self.batch_item(i).to_vec(),
+            })
+            .collect()
+    }
+
+    /// Maximum absolute difference against another tensor of equal shape.
+    pub fn max_abs_diff(&self, other: &Tensor) -> Result<f32> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                op: "max_abs_diff",
+                expected: self.shape.clone(),
+                actual: other.shape.clone(),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max))
+    }
+
+    /// Index of the maximum element per batch item (arg-max over the last
+    /// axis of a `[batch, classes]` tensor) — the predicted class.
+    pub fn argmax_per_item(&self) -> Vec<usize> {
+        (0..self.batch())
+            .map(|i| {
+                let row = self.batch_item(i);
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(idx, _)| idx)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_full() {
+        let z = Tensor::zeros([2, 3]);
+        assert_eq!(z.numel(), 6);
+        assert!(z.data().iter().all(|&v| v == 0.0));
+        let f = Tensor::full([2], 1.5);
+        assert_eq!(f.data(), &[1.5, 1.5]);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec([2, 2], vec![1.0; 4]).is_ok());
+        assert!(matches!(
+            Tensor::from_vec([2, 2], vec![1.0; 5]),
+            Err(TensorError::LengthMismatch { len: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn seeded_uniform_is_deterministic_and_bounded() {
+        let a = Tensor::seeded_uniform([100], 42, -1.0, 1.0);
+        let b = Tensor::seeded_uniform([100], 42, -1.0, 1.0);
+        let c = Tensor::seeded_uniform([100], 43, -1.0, 1.0);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.data().iter().all(|&v| (-1.0..1.0).contains(&v)));
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec([2, 3], (0..6).map(|v| v as f32).collect()).unwrap();
+        let r = t.reshape([3, 2]).unwrap();
+        assert_eq!(r.data(), t.data());
+        assert!(t.reshape([4, 2]).is_err());
+    }
+
+    #[test]
+    fn batch_items_are_contiguous_slices() {
+        let t = Tensor::from_vec([2, 3], vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(t.batch(), 2);
+        assert_eq!(t.batch_item(0), &[0.0, 1.0, 2.0]);
+        assert_eq!(t.batch_item(1), &[3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn stack_unstack_roundtrip() {
+        let items = vec![
+            Tensor::from_vec([2], vec![1.0, 2.0]).unwrap(),
+            Tensor::from_vec([2], vec![3.0, 4.0]).unwrap(),
+        ];
+        let stacked = Tensor::stack(&items).unwrap();
+        assert_eq!(stacked.shape().dims(), &[2, 2]);
+        assert_eq!(stacked.unstack(), items);
+    }
+
+    #[test]
+    fn stack_rejects_mismatched_items() {
+        let items = vec![Tensor::zeros([2]), Tensor::zeros([3])];
+        assert!(Tensor::stack(&items).is_err());
+        assert!(Tensor::stack(&[]).is_err());
+    }
+
+    #[test]
+    fn argmax_per_item_picks_max() {
+        let t = Tensor::from_vec([2, 3], vec![0.1, 0.9, 0.0, 0.5, 0.2, 0.7]).unwrap();
+        assert_eq!(t.argmax_per_item(), vec![1, 2]);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_divergence() {
+        let a = Tensor::from_vec([2], vec![1.0, 2.0]).unwrap();
+        let b = Tensor::from_vec([2], vec![1.5, 2.0]).unwrap();
+        assert!((a.max_abs_diff(&b).unwrap() - 0.5).abs() < 1e-6);
+        assert!(a.max_abs_diff(&Tensor::zeros([3])).is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based checks of the compute kernels against independent
+//! reference implementations.
+
+use proptest::prelude::*;
+
+use crayfish_tensor::kernels::{activation, gemm, norm, pool};
+use crayfish_tensor::Tensor;
+
+/// Scalar reference for max pooling.
+fn maxpool_reference(
+    input: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    s: usize,
+    pad: usize,
+) -> Vec<f32> {
+    let oh = (h + 2 * pad - k) / s + 1;
+    let ow = (w + 2 * pad - k) / s + 1;
+    let mut out = Vec::with_capacity(c * oh * ow);
+    for ch in 0..c {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                for ky in 0..k {
+                    for kx in 0..k {
+                        let iy = (oy * s + ky) as isize - pad as isize;
+                        let ix = (ox * s + kx) as isize - pad as isize;
+                        if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                            best = best.max(input[(ch * h + iy as usize) * w + ix as usize]);
+                        }
+                    }
+                }
+                out.push(best);
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn maxpool_matches_reference(
+        c in 1usize..3,
+        hw in 2usize..9,
+        k in 1usize..4,
+        s in 1usize..3,
+        pad in 0usize..2,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(hw + 2 * pad >= k);
+        let input = Tensor::seeded_uniform([1, c, hw, hw], seed, -5.0, 5.0);
+        let (fast, _) = pool::maxpool2d(input.data(), 1, c, hw, hw, k, s, pad);
+        let slow = maxpool_reference(input.data(), c, hw, hw, k, s, pad);
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn batchnorm_matches_scalar_formula(
+        c in 1usize..4,
+        plane in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let x = Tensor::seeded_uniform([1, c, plane], seed, -3.0, 3.0);
+        let gamma = Tensor::seeded_uniform([c], seed ^ 1, 0.5, 1.5).into_data();
+        let beta = Tensor::seeded_uniform([c], seed ^ 2, -0.5, 0.5).into_data();
+        let mean = Tensor::seeded_uniform([c], seed ^ 3, -1.0, 1.0).into_data();
+        let var = Tensor::seeded_uniform([c], seed ^ 4, 0.1, 2.0).into_data();
+        let params = norm::BnParams {
+            gamma: gamma.clone(),
+            beta: beta.clone(),
+            mean: mean.clone(),
+            var: var.clone(),
+            eps: 1e-5,
+        };
+        let mut fast = x.data().to_vec();
+        norm::batchnorm_inference(&mut fast, 1, c, plane, &params);
+        for ch in 0..c {
+            for p in 0..plane {
+                let v = x.data()[ch * plane + p];
+                let expect = gamma[ch] * (v - mean[ch]) / (var[ch] + 1e-5).sqrt() + beta[ch];
+                prop_assert!((fast[ch * plane + p] - expect).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_is_linear_in_a(
+        m in 1usize..4,
+        k in 1usize..4,
+        n in 1usize..4,
+        alpha in -3.0f32..3.0,
+        seed in any::<u64>(),
+    ) {
+        // gemm(alpha * A, B) == alpha * gemm(A, B)
+        let a = Tensor::seeded_uniform([m, k], seed, -1.0, 1.0);
+        let b = Tensor::seeded_uniform([k, n], seed ^ 7, -1.0, 1.0);
+        let scaled: Vec<f32> = a.data().iter().map(|v| v * alpha).collect();
+        let mut c1 = vec![0.0f32; m * n];
+        gemm::gemm(&scaled, b.data(), &mut c1, m, k, n);
+        let mut c2 = vec![0.0f32; m * n];
+        gemm::gemm(a.data(), b.data(), &mut c2, m, k, n);
+        for (x, y) in c1.iter().zip(&c2) {
+            prop_assert!((x - alpha * y).abs() < 1e-3, "{} vs {}", x, alpha * y);
+        }
+    }
+
+    #[test]
+    fn relu_is_idempotent_and_nonnegative(
+        n in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        let mut x = Tensor::seeded_uniform([n], seed, -10.0, 10.0).into_data();
+        activation::relu_inplace(&mut x);
+        prop_assert!(x.iter().all(|&v| v >= 0.0));
+        let once = x.clone();
+        activation::relu_inplace(&mut x);
+        prop_assert_eq!(x, once);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(
+        cols in 2usize..10,
+        shift in -20.0f32..20.0,
+        seed in any::<u64>(),
+    ) {
+        let base = Tensor::seeded_uniform([1, cols], seed, -5.0, 5.0);
+        let mut a = base.data().to_vec();
+        let mut b: Vec<f32> = base.data().iter().map(|v| v + shift).collect();
+        activation::softmax_rows(&mut a, 1, cols);
+        activation::softmax_rows(&mut b, 1, cols);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-4, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn avgpool_preserves_total_mass(
+        c in 1usize..4,
+        hw in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let input = Tensor::seeded_uniform([1, c, hw, hw], seed, -2.0, 2.0);
+        let out = pool::avgpool_global(input.data(), 1, c, hw, hw);
+        let total_in: f32 = input.data().iter().sum();
+        let total_out: f32 = out.iter().map(|v| v * (hw * hw) as f32).sum();
+        prop_assert!((total_in - total_out).abs() < 1e-2);
+    }
+}

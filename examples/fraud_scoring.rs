@@ -1,0 +1,57 @@
+//! Fraud scoring: choose a serving design for a transaction stream.
+//!
+//! The motivating scenario from the paper's introduction: a business
+//! pipeline needs model predictions inline. Should the team embed the model
+//! in the stream processor or call a dedicated serving service? This
+//! example runs the same workload (the FFNN as a stand-in fraud model on a
+//! Kafka-Streams-style engine) against both designs and prints the
+//! comparison a platform team would use to decide.
+//!
+//! ```sh
+//! cargo run --release --example fraud_scoring
+//! ```
+
+use std::time::Duration;
+
+use crayfish::prelude::*;
+
+fn run(label: &str, serving: ServingChoice) {
+    let mut spec = ExperimentSpec::quick(ModelSpec::Ffnn, serving);
+    spec.workload = Workload::Constant { rate: 400.0 };
+    spec.duration = Duration::from_secs(4);
+    spec.mp = 2;
+    spec.network = NetworkModel::lan_1gbps();
+
+    let result = run_experiment(&KStreamsProcessor::new(), &spec).expect("experiment failed");
+    println!(
+        "{label:<28} {:>9.1} ev/s {:>9.2} ms {:>9.2} ms {:>9.2} ms",
+        result.throughput_eps, result.latency.p50, result.latency.p95, result.latency.p99
+    );
+}
+
+fn main() {
+    println!("Fraud scoring on a Kafka-Streams-style engine (FFNN, 400 events/s, mp = 2)");
+    println!(
+        "{:<28} {:>14} {:>12} {:>12} {:>12}",
+        "serving design", "throughput", "p50", "p95", "p99"
+    );
+    run(
+        "embedded / onnx",
+        ServingChoice::Embedded { lib: EmbeddedLib::Onnx, device: Device::Cpu },
+    );
+    run(
+        "embedded / dl4j",
+        ServingChoice::Embedded { lib: EmbeddedLib::Dl4j, device: Device::Cpu },
+    );
+    run(
+        "external / tf-serving",
+        ServingChoice::External { kind: ExternalKind::TfServing, device: Device::Cpu },
+    );
+    run(
+        "external / torchserve",
+        ServingChoice::External { kind: ExternalKind::TorchServe, device: Device::Cpu },
+    );
+    println!();
+    println!("Embedded ONNX minimises latency; an optimised external server stays close");
+    println!("while keeping model rollout independent of the streaming job (paper §5.1).");
+}

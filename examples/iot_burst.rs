@@ -1,0 +1,71 @@
+//! IoT bursts: how does the pipeline behave when sensors flood in?
+//!
+//! Reproduces the paper's periodic-burst scenario (§5.1.4) at example
+//! scale: a baseline stream with short overload bursts, a latency timeline
+//! bucketed per second, and the measured recovery time after each burst.
+//!
+//! ```sh
+//! cargo run --release --example iot_burst
+//! ```
+
+use std::time::Duration;
+
+use crayfish::framework::metrics::{bucketize, recovery_time_s};
+use crayfish::prelude::*;
+
+fn main() {
+    let base = 150.0;
+    let burst = 900.0;
+    let mut spec = ExperimentSpec::quick(
+        ModelSpec::TinyCnn,
+        ServingChoice::Embedded { lib: EmbeddedLib::Onnx, device: Device::Cpu },
+    );
+    spec.workload = Workload::Bursty {
+        base,
+        burst,
+        burst_secs: 2.0,
+        between_secs: 4.0,
+    };
+    spec.duration = Duration::from_secs(14);
+    spec.warmup_fraction = 0.0;
+    spec.mp = 1;
+
+    println!("IoT burst scenario: {base} ev/s baseline, {burst} ev/s bursts of 2 s every 4 s");
+    let result = run_experiment(&FlinkProcessor::new(), &spec).expect("experiment failed");
+
+    let buckets = bucketize(&result.samples, 1000.0);
+    println!("\n  t(s)   events/s   mean latency   max latency");
+    for b in &buckets {
+        println!(
+            "  {:>4.0}   {:>8.0}   {:>9.2} ms   {:>8.2} ms",
+            b.start_ms / 1000.0,
+            b.throughput_eps,
+            b.mean_latency_ms,
+            b.max_latency_ms
+        );
+    }
+
+    // Baseline latency: median of the quiet first seconds.
+    let baseline: Vec<f64> = result
+        .samples
+        .iter()
+        .take(100)
+        .map(|s| s.latency_ms)
+        .collect();
+    let baseline = crayfish::framework::metrics::summarize(&baseline).p50;
+    // First burst ends 6 s into the cycle pattern (4 s quiet + 2 s burst).
+    let t0 = result.samples.first().map(|s| s.end_ms).unwrap_or(0.0);
+    let burst_end = result
+        .samples
+        .iter()
+        .map(|s| s.end_ms - t0)
+        .find(|&t| t >= 6_000.0)
+        .unwrap_or(6_000.0);
+    // A 2.5x band over the quiet-period median: sub-millisecond baselines
+    // flutter, and "recovered" means back in the quiet regime, not equal to
+    // its exact median.
+    match recovery_time_s(&buckets, burst_end, baseline, 2.5, 2) {
+        Some(rec) => println!("\nrecovered {rec:.1} s after the first burst (baseline p50 {baseline:.2} ms)"),
+        None => println!("\ndid not recover within the run (baseline p50 {baseline:.2} ms)"),
+    }
+}

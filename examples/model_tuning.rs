@@ -1,0 +1,46 @@
+//! Model tuning: pick a batch size that meets a latency budget.
+//!
+//! The paper's second motivating scenario (§2.2.2): a data scientist wants
+//! to know, *before* deployment, how serving latency moves with a
+//! configuration knob. Crayfish simulates the production pipeline so the
+//! model can be tuned against latency as well as accuracy. Here we sweep
+//! the producer batch size for the FFNN on the Flink-style engine and
+//! report which settings fit a 50 ms p95 budget.
+//!
+//! ```sh
+//! cargo run --release --example model_tuning
+//! ```
+
+use std::time::Duration;
+
+use crayfish::prelude::*;
+
+fn main() {
+    const BUDGET_P95_MS: f64 = 50.0;
+    println!("Latency-aware tuning: FFNN on flink + embedded onnx (closed loop, ir = 20 ev/s)");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}  fits 50 ms p95?",
+        "bsz", "p50 (ms)", "p95 (ms)", "ms/point"
+    );
+    for bsz in [1usize, 4, 16, 64, 128] {
+        let mut spec = ExperimentSpec::quick(
+            ModelSpec::Ffnn,
+            ServingChoice::Embedded { lib: EmbeddedLib::Onnx, device: Device::Cpu },
+        );
+        spec.bsz = bsz;
+        spec.workload = Workload::Constant { rate: 20.0 };
+        spec.duration = Duration::from_secs(3);
+        spec.network = NetworkModel::lan_1gbps();
+        let result = run_experiment(&FlinkProcessor::new(), &spec).expect("experiment failed");
+        let per_point = result.latency.p50 / bsz as f64;
+        println!(
+            "{bsz:>6} {:>12.2} {:>12.2} {:>12.3}  {}",
+            result.latency.p50,
+            result.latency.p95,
+            per_point,
+            if result.latency.p95 <= BUDGET_P95_MS { "yes" } else { "no" }
+        );
+    }
+    println!("\nLarger batches amortise per-event overhead (cheaper per point) but");
+    println!("stretch end-to-end latency — the trade-off of Figure 5 in the paper.");
+}

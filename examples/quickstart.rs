@@ -1,0 +1,43 @@
+//! Quickstart: run one Crayfish experiment end to end.
+//!
+//! Deploys the Flink-style engine with embedded ONNX serving over the tiny
+//! MLP, generates a constant-rate stream for a couple of seconds, and
+//! prints the throughput and latency summary — the minimal "is everything
+//! wired up" check.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use std::time::Duration;
+
+use crayfish::prelude::*;
+
+fn main() {
+    let mut spec = ExperimentSpec::quick(
+        ModelSpec::TinyMlp,
+        ServingChoice::Embedded {
+            lib: EmbeddedLib::Onnx,
+            device: Device::Cpu,
+        },
+    );
+    spec.workload = Workload::Constant { rate: 500.0 };
+    spec.duration = Duration::from_secs(3);
+    spec.network = NetworkModel::lan_1gbps();
+
+    println!("engine      : flink (chained, mp = {})", spec.mp);
+    println!("serving     : {}", spec.serving.label());
+    println!("model       : {}", spec.model.name());
+    println!("workload    : 500 events/s for {:?}", spec.duration);
+    println!();
+
+    let result = run_experiment(&FlinkProcessor::new(), &spec).expect("experiment failed");
+
+    println!("produced    : {}", result.produced);
+    println!("scored      : {}", result.consumed);
+    println!("throughput  : {:.1} events/s", result.throughput_eps);
+    println!(
+        "latency     : mean {:.2} ms  p50 {:.2} ms  p95 {:.2} ms  p99 {:.2} ms",
+        result.latency.mean, result.latency.p50, result.latency.p95, result.latency.p99
+    );
+}

@@ -1,0 +1,134 @@
+//! `crayfish-run` — execute one experiment described by a JSON config file.
+//!
+//! The configuration surface of the paper's framework: pick a stream
+//! processor, a serving tool, a model, and Table 1's workload parameters in
+//! a file, and get latency/throughput numbers back.
+//!
+//! ```sh
+//! cargo run --release --bin crayfish-run -- configs/flink-onnx-ffnn.json
+//! cargo run --release --bin crayfish-run -- config.json --json         # machine-readable
+//! cargo run --release --bin crayfish-run -- config.json --sustainable  # ST search
+//! ```
+
+use std::process::ExitCode;
+
+use crayfish::framework::metrics::bucketize;
+use crayfish::framework::runner::{find_sustainable_rate, StSearchOptions};
+use crayfish::framework::{run_experiment, ExperimentConfig};
+use crayfish::registry;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: crayfish-run <config.json> [--json] [--sustainable]");
+    eprintln!();
+    eprintln!("Engines: {}", registry::engine_names().join(", "));
+    eprintln!("See crates/core/src/config.rs for the config schema.");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_output = args.iter().any(|a| a == "--json");
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        return usage();
+    };
+
+    let config = match ExperimentConfig::from_file(std::path::Path::new(path)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(processor) = registry::processor_by_name(&config.processor) else {
+        eprintln!(
+            "error: unknown processor {:?} (available: {})",
+            config.processor,
+            registry::engine_names().join(", ")
+        );
+        return ExitCode::FAILURE;
+    };
+    let spec = match config.to_spec() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.iter().any(|a| a == "--sustainable") {
+        eprintln!(
+            "searching sustainable throughput for {} | {} | {} (bsz={} mp={}) ...",
+            config.processor,
+            spec.serving.label(),
+            config.model,
+            spec.bsz,
+            spec.mp
+        );
+        let opts = StSearchOptions { probe: spec.duration, ..Default::default() };
+        return match find_sustainable_rate(processor.as_ref(), &spec, opts) {
+            Ok(st) => {
+                if json_output {
+                    println!("{}", serde_json::json!({ "sustainable_eps": st }));
+                } else {
+                    println!("sustainable throughput: {st:.1} events/s");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    eprintln!(
+        "running {} | {} | {} | bsz={} mp={} for {:?} ...",
+        config.processor,
+        spec.serving.label(),
+        config.model,
+        spec.bsz,
+        spec.mp,
+        spec.duration
+    );
+    let result = match run_experiment(processor.as_ref(), &spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if json_output {
+        let buckets = bucketize(&result.samples, 1_000.0);
+        let out = serde_json::json!({
+            "config": config,
+            "produced": result.produced,
+            "consumed": result.consumed,
+            "throughput_eps": result.throughput_eps,
+            "latency_ms": result.latency,
+            "per_second": buckets
+                .iter()
+                .map(|b| serde_json::json!({
+                    "t_s": b.start_ms / 1_000.0,
+                    "events_per_s": b.throughput_eps,
+                    "mean_latency_ms": b.mean_latency_ms,
+                }))
+                .collect::<Vec<_>>(),
+        });
+        println!("{}", serde_json::to_string_pretty(&out).expect("result to json"));
+    } else {
+        println!("produced      : {}", result.produced);
+        println!("scored        : {}", result.consumed);
+        println!("throughput    : {:.1} events/s", result.throughput_eps);
+        println!(
+            "latency (ms)  : mean {:.2}  std {:.2}  p50 {:.2}  p95 {:.2}  p99 {:.2}  max {:.2}",
+            result.latency.mean,
+            result.latency.std,
+            result.latency.p50,
+            result.latency.p95,
+            result.latency.p99,
+            result.latency.max
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,75 @@
+//! # Crayfish (Rust reproduction)
+//!
+//! An end-to-end reproduction of *"Crayfish: Navigating the Labyrinth of
+//! Machine Learning Inference in Stream Processing Systems"* (EDBT 2024):
+//! an extensible benchmarking framework for ML inference over streaming
+//! data, together with from-scratch Rust implementations of every substrate
+//! the paper's evaluation needs — a Kafka-like broker, four stream
+//! processing engines, three embedded inference runtimes, three external
+//! serving frameworks, and the two pre-trained models.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use crayfish::prelude::*;
+//! use std::time::Duration;
+//!
+//! // Flink-style engine, embedded ONNX serving, tiny model, short run.
+//! let mut spec = ExperimentSpec::quick(
+//!     ModelSpec::TinyMlp,
+//!     ServingChoice::Embedded { lib: EmbeddedLib::Onnx, device: Device::Cpu },
+//! );
+//! spec.duration = Duration::from_millis(800);
+//! let result = run_experiment(&FlinkProcessor::new(), &spec).unwrap();
+//! assert!(result.consumed > 0);
+//! println!("{:.0} events/s, p50 {:.2} ms", result.throughput_eps, result.latency.p50);
+//! ```
+//!
+//! See the `examples/` directory for realistic scenarios and
+//! `crates/bench` for the reproduction of every table and figure in the
+//! paper's evaluation.
+
+pub use crayfish_broker as broker;
+pub use crayfish_core as framework;
+pub use crayfish_flink as flink;
+pub use crayfish_kstreams as kstreams;
+pub use crayfish_models as models;
+pub use crayfish_ray as ray;
+pub use crayfish_runtime as runtime;
+pub use crayfish_serving as serving;
+pub use crayfish_sim as sim;
+pub use crayfish_sparkss as sparkss;
+pub use crayfish_tensor as tensor;
+
+pub mod registry;
+
+/// The most common imports for writing experiments.
+pub mod prelude {
+    pub use crate::registry;
+    pub use crayfish_core::{
+        run_experiment, DataProcessor, ExperimentResult, ExperimentSpec, ServingChoice, Workload,
+    };
+    pub use crayfish_flink::{FlinkOptions, FlinkProcessor};
+    pub use crayfish_kstreams::KStreamsProcessor;
+    pub use crayfish_models::ModelSpec;
+    pub use crayfish_ray::RayProcessor;
+    pub use crayfish_runtime::{Device, EmbeddedLib};
+    pub use crayfish_serving::ExternalKind;
+    pub use crayfish_sim::NetworkModel;
+    pub use crayfish_sparkss::SparkProcessor;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn registry_is_complete() {
+        assert_eq!(registry::engine_names(), ["flink", "kstreams", "sparkss", "ray"]);
+        for name in registry::engine_names() {
+            let p = registry::processor_by_name(name).unwrap();
+            assert_eq!(p.name(), name);
+        }
+        assert!(registry::processor_by_name("storm").is_none());
+    }
+}

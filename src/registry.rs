@@ -1,0 +1,32 @@
+//! Name-based lookup of stream processing engines — what a configuration
+//! file's `processor = "flink"` resolves through.
+
+use crayfish_core::DataProcessor;
+use crayfish_flink::FlinkProcessor;
+use crayfish_kstreams::KStreamsProcessor;
+use crayfish_ray::RayProcessor;
+use crayfish_sparkss::SparkProcessor;
+
+/// The engines shipped with this reproduction, in the paper's order.
+pub fn engine_names() -> [&'static str; 4] {
+    ["flink", "kstreams", "sparkss", "ray"]
+}
+
+/// Instantiate an engine (with default options) by name.
+pub fn processor_by_name(name: &str) -> Option<Box<dyn DataProcessor>> {
+    match name {
+        "flink" => Some(Box::new(FlinkProcessor::new())),
+        "kstreams" => Some(Box::new(KStreamsProcessor::new())),
+        "sparkss" => Some(Box::new(SparkProcessor::new())),
+        "ray" => Some(Box::new(RayProcessor::new())),
+        _ => None,
+    }
+}
+
+/// Instantiate every engine, paired with its name.
+pub fn all_processors() -> Vec<(&'static str, Box<dyn DataProcessor>)> {
+    engine_names()
+        .into_iter()
+        .map(|n| (n, processor_by_name(n).expect("shipped engine")))
+        .collect()
+}

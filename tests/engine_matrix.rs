@@ -1,0 +1,106 @@
+//! Cross-crate integration: every engine × serving design runs the full
+//! producer → broker → engine → broker → consumer pipeline correctly.
+
+use std::time::Duration;
+
+use crayfish::prelude::*;
+
+fn quick_spec(serving: ServingChoice) -> ExperimentSpec {
+    let mut spec = ExperimentSpec::quick(ModelSpec::TinyMlp, serving);
+    spec.workload = Workload::Constant { rate: 300.0 };
+    spec.duration = Duration::from_millis(1500);
+    spec.mp = 2;
+    spec
+}
+
+fn check(result: &crayfish::framework::ExperimentResult, label: &str) {
+    assert!(result.consumed > 30, "{label}: only {} consumed", result.consumed);
+    assert!(
+        result.consumed as u64 <= result.produced,
+        "{label}: consumed {} > produced {}",
+        result.consumed,
+        result.produced
+    );
+    // Every scored batch is unique (no duplication anywhere in the path).
+    let mut ids: Vec<u64> = result.samples.iter().map(|s| s.id).collect();
+    let n = ids.len();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), n, "{label}: duplicate batch ids");
+    // Latencies are positive and sane.
+    assert!(result.latency.count > 0, "{label}: empty summary");
+    assert!(result.latency.min >= 0.0, "{label}: negative latency");
+    assert!(result.latency.p99 < 30_000.0, "{label}: p99 {}", result.latency.p99);
+    assert!(result.throughput_eps > 0.0, "{label}");
+}
+
+#[test]
+fn all_engines_with_embedded_onnx() {
+    for (name, processor) in registry::all_processors() {
+        let spec = quick_spec(ServingChoice::Embedded {
+            lib: EmbeddedLib::Onnx,
+            device: Device::Cpu,
+        });
+        let result = run_experiment(processor.as_ref(), &spec)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        check(&result, name);
+    }
+}
+
+#[test]
+fn all_engines_with_external_tf_serving() {
+    for (name, processor) in registry::all_processors() {
+        let spec = quick_spec(ServingChoice::External {
+            kind: ExternalKind::TfServing,
+            device: Device::Cpu,
+        });
+        let result = run_experiment(processor.as_ref(), &spec)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        check(&result, name);
+    }
+}
+
+#[test]
+fn flink_with_every_embedded_library() {
+    for lib in EmbeddedLib::ALL {
+        let spec = quick_spec(ServingChoice::Embedded { lib, device: Device::Cpu });
+        let result = run_experiment(&FlinkProcessor::new(), &spec)
+            .unwrap_or_else(|e| panic!("{}: {e}", lib.name()));
+        check(&result, lib.name());
+    }
+}
+
+#[test]
+fn flink_with_every_external_server() {
+    for kind in ExternalKind::ALL {
+        let spec = quick_spec(ServingChoice::External { kind, device: Device::Cpu });
+        let result = run_experiment(&FlinkProcessor::new(), &spec)
+            .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+        check(&result, kind.name());
+    }
+}
+
+#[test]
+fn flink_operator_level_parallelism_pipeline() {
+    let spec = quick_spec(ServingChoice::Embedded {
+        lib: EmbeddedLib::Onnx,
+        device: Device::Cpu,
+    });
+    let mut options = FlinkOptions::operator_level(8, 8);
+    options.buffer_timeout = Duration::from_millis(5);
+    let processor = FlinkProcessor::with_options(options);
+    let result = run_experiment(&processor, &spec).unwrap();
+    check(&result, "flink[8-N-8]");
+}
+
+#[test]
+fn batched_events_flow_through() {
+    let mut spec = quick_spec(ServingChoice::Embedded {
+        lib: EmbeddedLib::SavedModel,
+        device: Device::Cpu,
+    });
+    spec.bsz = 16;
+    spec.workload = Workload::Constant { rate: 100.0 };
+    let result = run_experiment(&KStreamsProcessor::new(), &spec).unwrap();
+    check(&result, "kstreams bsz=16");
+}

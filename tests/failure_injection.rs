@@ -1,0 +1,128 @@
+//! Failure injection across crate boundaries: engines must degrade
+//! gracefully, never hang or panic, when parts of the fabric disappear.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crayfish::broker::Broker;
+use crayfish::framework::batch::CrayfishDataBatch;
+use crayfish::framework::scoring::ScorerSpec;
+use crayfish::framework::{DataProcessor, ProcessorContext};
+use crayfish::models::tiny;
+use crayfish::prelude::*;
+use crayfish::serving::ServingConfig;
+use crayfish::sim::now_millis_f64;
+use crayfish::tensor::Tensor;
+
+fn ctx_with(broker: Arc<Broker>, scorer: ScorerSpec) -> ProcessorContext {
+    broker.create_topic("in", 4).unwrap();
+    broker.create_topic("out", 4).unwrap();
+    ProcessorContext {
+        broker,
+        input_topic: "in".into(),
+        output_topic: "out".into(),
+        group: "sut".into(),
+        scorer,
+        mp: 2,
+    }
+}
+
+fn feed(broker: &Broker, n: u64) {
+    for id in 0..n {
+        let t = Tensor::seeded_uniform([1, 8, 8], id, 0.0, 1.0);
+        let payload = CrayfishDataBatch::from_tensor(id, now_millis_f64(), &t)
+            .encode()
+            .unwrap();
+        broker
+            .append("in", (id % 4) as u32, vec![(payload, 0.0)])
+            .unwrap();
+    }
+}
+
+fn embedded(broker: &Arc<Broker>) -> ProcessorContext {
+    ctx_with(
+        broker.clone(),
+        ScorerSpec::Embedded {
+            lib: EmbeddedLib::Onnx,
+            graph: Arc::new(tiny::tiny_mlp(1)),
+            device: Device::Cpu,
+        },
+    )
+}
+
+#[test]
+fn input_topic_deleted_mid_run_stops_cleanly() {
+    for (name, processor) in registry::all_processors() {
+        let broker = Broker::new(NetworkModel::zero());
+        let ctx = embedded(&broker);
+        let job = processor.start(ctx).unwrap();
+        feed(&broker, 10);
+        std::thread::sleep(Duration::from_millis(200));
+        broker.delete_topic("in").unwrap();
+        std::thread::sleep(Duration::from_millis(200));
+        // Tasks observed the error and exited; stop must not hang.
+        job.stop();
+        assert!(broker.total_records("out").unwrap() >= 1, "{name}");
+    }
+}
+
+#[test]
+fn output_topic_deleted_mid_run_stops_cleanly() {
+    let broker = Broker::new(NetworkModel::zero());
+    let ctx = embedded(&broker);
+    let job = FlinkProcessor::new().start(ctx).unwrap();
+    feed(&broker, 5);
+    std::thread::sleep(Duration::from_millis(200));
+    broker.delete_topic("out").unwrap();
+    feed(&broker, 5);
+    std::thread::sleep(Duration::from_millis(200));
+    job.stop();
+}
+
+#[test]
+fn external_server_dying_mid_run_does_not_hang_the_engine() {
+    let broker = Broker::new(NetworkModel::zero());
+    let graph = tiny::tiny_mlp(1);
+    let server = ExternalKind::TfServing
+        .start(&graph, ServingConfig::default())
+        .unwrap();
+    let ctx = ctx_with(
+        broker.clone(),
+        ScorerSpec::External {
+            kind: ExternalKind::TfServing,
+            addr: server.addr(),
+            network: NetworkModel::zero(),
+        },
+    );
+    let job = KStreamsProcessor::new().start(ctx).unwrap();
+    feed(&broker, 10);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while broker.total_records("out").unwrap() < 10 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let before = broker.total_records("out").unwrap();
+    assert!(before >= 10);
+    // Kill the server, keep feeding: records fail to score and are skipped;
+    // the engine keeps running and stop() does not hang.
+    server.shutdown();
+    feed(&broker, 10);
+    std::thread::sleep(Duration::from_millis(300));
+    job.stop();
+}
+
+#[test]
+fn scorer_connection_failure_at_startup_is_an_error() {
+    let broker = Broker::new(NetworkModel::zero());
+    // Nothing listens on this address.
+    let addr: std::net::SocketAddr = "127.0.0.1:1".parse().unwrap();
+    let ctx = ctx_with(
+        broker,
+        ScorerSpec::External {
+            kind: ExternalKind::TfServing,
+            addr,
+            network: NetworkModel::zero(),
+        },
+    );
+    let err = FlinkProcessor::new().start(ctx).err();
+    assert!(err.is_some(), "expected startup failure");
+}
