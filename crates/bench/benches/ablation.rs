@@ -23,12 +23,19 @@ fn buffer_timeout_ablation(table: &mut Table) {
         let mut options = FlinkOptions::operator_level(4, 4);
         options.buffer_timeout = Duration::from_millis(timeout_ms);
         let processor = FlinkProcessor::with_options(options);
-        let mut spec = base_spec(ModelSpec::Ffnn, ServingChoice::Embedded {
-            lib: EmbeddedLib::Onnx,
-            device: Device::Cpu,
-        });
+        let mut spec = base_spec(
+            ModelSpec::Ffnn,
+            ServingChoice::Embedded {
+                lib: EmbeddedLib::Onnx,
+                device: Device::Cpu,
+            },
+        );
         spec.workload = Workload::Constant { rate: 20.0 };
-        let result = run(&format!("ablation/buffer-timeout/{timeout_ms}ms"), &processor, &spec);
+        let result = run(
+            &format!("ablation/buffer-timeout/{timeout_ms}ms"),
+            &processor,
+            &spec,
+        );
         table.row(vec![
             "flink buffer timeout".into(),
             format!("{timeout_ms} ms"),
@@ -46,7 +53,13 @@ fn block_scale_cnn(channels: usize, hw: usize) -> crayfish::tensor::NnGraph {
     use crayfish::tensor::kernels::norm::BnParams;
     use crayfish::tensor::{NnGraph, Op, Shape};
     let mut g = NnGraph::new("block-scale");
-    let input = g.add("input", Op::Input { shape: Shape::from([3, hw, hw]) }, vec![]);
+    let input = g.add(
+        "input",
+        Op::Input {
+            shape: Shape::from([3, hw, hw]),
+        },
+        vec![],
+    );
     let mut x = input;
     let mut in_c = 3;
     for layer in 0..3 {
@@ -60,7 +73,13 @@ fn block_scale_cnn(channels: usize, hw: usize) -> crayfish::tensor::NnGraph {
             Op::Conv2d {
                 w,
                 b: None,
-                params: Conv2dParams { in_c, out_c: channels, kernel: 3, stride: 1, pad: 1 },
+                params: Conv2dParams {
+                    in_c,
+                    out_c: channels,
+                    kernel: 3,
+                    stride: 1,
+                    pad: 1,
+                },
             },
             vec![x],
         );
@@ -110,8 +129,10 @@ fn fusion_ablation(table: &mut Table) {
     table.row(vec![
         "kernel fusion (3x conv-bn-relu, 56x56, bsz=4)".into(),
         "fused / unfused".into(),
-        format!("{fused_ms:.2} ms vs {plain_ms:.2} ms ({:.0}% saved)",
-            100.0 * (plain_ms - fused_ms) / plain_ms.max(1e-12)),
+        format!(
+            "{fused_ms:.2} ms vs {plain_ms:.2} ms ({:.0}% saved)",
+            100.0 * (plain_ms - fused_ms) / plain_ms.max(1e-12)
+        ),
     ]);
 }
 
@@ -120,11 +141,23 @@ fn protocol_ablation(table: &mut Table) {
     // client-side: the HTTP+JSON tax Ray Serve pays.
     let graph = ModelSpec::Ffnn.build(42);
     let input = Tensor::seeded_uniform([1, 28, 28], 1, 0.0, 1.0);
-    let grpc_server = ExternalKind::TfServing.start(&graph, ServingConfig::default()).unwrap();
-    let http_server = ExternalKind::RayServe.start(&graph, ServingConfig::default()).unwrap();
+    let grpc_server = ExternalKind::TfServing
+        .start(&graph, ServingConfig::default())
+        .unwrap();
+    let http_server = ExternalKind::RayServe
+        .start(&graph, ServingConfig::default())
+        .unwrap();
     for (name, kind, addr) in [
-        ("grpc (tf-serving)", ExternalKind::TfServing, grpc_server.addr()),
-        ("http+json (ray serve)", ExternalKind::RayServe, http_server.addr()),
+        (
+            "grpc (tf-serving)",
+            ExternalKind::TfServing,
+            grpc_server.addr(),
+        ),
+        (
+            "http+json (ray serve)",
+            ExternalKind::RayServe,
+            http_server.addr(),
+        ),
     ] {
         let mut client = kind.connect(addr, NetworkModel::zero()).unwrap();
         client.infer(&input).unwrap();
@@ -155,12 +188,21 @@ fn framework_cost_ablation(table: &mut Table) {
             options.record_overhead = c;
         }
         let processor = FlinkProcessor::with_options(options);
-        let mut spec = base_spec(ModelSpec::Ffnn, ServingChoice::Embedded {
-            lib: EmbeddedLib::Onnx,
-            device: Device::Cpu,
-        });
-        spec.workload = Workload::Constant { rate: OVERLOAD_FFNN };
-        let result = run(&format!("ablation/framework-cost/{name}"), &processor, &spec);
+        let mut spec = base_spec(
+            ModelSpec::Ffnn,
+            ServingChoice::Embedded {
+                lib: EmbeddedLib::Onnx,
+                device: Device::Cpu,
+            },
+        );
+        spec.workload = Workload::Constant {
+            rate: OVERLOAD_FFNN,
+        };
+        let result = run(
+            &format!("ablation/framework-cost/{name}"),
+            &processor,
+            &spec,
+        );
         table.row(vec![
             "per-record framework cost".into(),
             name.into(),
@@ -173,14 +215,26 @@ fn async_io_ablation(table: &mut Table) {
     // Blocking vs async external calls at mp=1: what the paper's
     // evaluation left on the table by keeping calls blocking.
     for async_io in [0usize, 8] {
-        let options = FlinkOptions { async_io, ..Default::default() };
+        let options = FlinkOptions {
+            async_io,
+            ..Default::default()
+        };
         let processor = FlinkProcessor::with_options(options);
-        let mut spec = base_spec(ModelSpec::Ffnn, ServingChoice::External {
-            kind: ExternalKind::TfServing,
-            device: Device::Cpu,
-        });
-        spec.workload = Workload::Constant { rate: OVERLOAD_FFNN };
-        let label = if async_io == 0 { "blocking" } else { "async_io=8" };
+        let mut spec = base_spec(
+            ModelSpec::Ffnn,
+            ServingChoice::External {
+                kind: ExternalKind::TfServing,
+                device: Device::Cpu,
+            },
+        );
+        spec.workload = Workload::Constant {
+            rate: OVERLOAD_FFNN,
+        };
+        let label = if async_io == 0 {
+            "blocking"
+        } else {
+            "async_io=8"
+        };
         let result = run(&format!("ablation/async-io/{label}"), &processor, &spec);
         table.row(vec![
             "flink external calls".into(),

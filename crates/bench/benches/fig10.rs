@@ -16,10 +16,19 @@ fn paper_bsz128(engine: &str) -> Option<f64> {
 
 fn main() {
     let tools = [
-        ("onnx (e)", ServingChoice::Embedded { lib: EmbeddedLib::Onnx, device: Device::Cpu }),
+        (
+            "onnx (e)",
+            ServingChoice::Embedded {
+                lib: EmbeddedLib::Onnx,
+                device: Device::Cpu,
+            },
+        ),
         (
             "tf-serving (x)",
-            ServingChoice::External { kind: ExternalKind::TfServing, device: Device::Cpu },
+            ServingChoice::External {
+                kind: ExternalKind::TfServing,
+                device: Device::Cpu,
+            },
         ),
     ];
     let rate = match profile() {
@@ -28,7 +37,13 @@ fn main() {
     };
     let mut table = Table::new(
         "Figure 10: latency vs batch size across SPSs (ms/batch, FFNN, closed loop, mp=1)",
-        &["engine", "serving tool", "bsz", "latency (mean ± std)", "paper tf@128"],
+        &[
+            "engine",
+            "serving tool",
+            "bsz",
+            "latency (mean ± std)",
+            "paper tf@128",
+        ],
     );
     let mut dump = Vec::new();
     for (engine, processor) in registry::all_processors() {
@@ -38,7 +53,11 @@ fn main() {
                 spec.bsz = bsz;
                 spec.workload = Workload::Constant { rate };
                 spec.duration = ffnn_window().mul_f64(1.5);
-                let result = run(&format!("fig10/{engine}/{tool}/bsz{bsz}"), processor.as_ref(), &spec);
+                let result = run(
+                    &format!("fig10/{engine}/{tool}/bsz{bsz}"),
+                    processor.as_ref(),
+                    &spec,
+                );
                 let paper = match (bsz, tool, paper_bsz128(engine)) {
                     (128, "tf-serving (x)", Some(v)) => format!("{v:.0}"),
                     _ => "-".into(),
@@ -50,7 +69,10 @@ fn main() {
                     ms_pm(&result.latency),
                     paper,
                 ]);
-                dump.push(Measurement::of(format!("{engine}/{tool}/bsz{bsz}"), &result));
+                dump.push(Measurement::of(
+                    format!("{engine}/{tool}/bsz{bsz}"),
+                    &result,
+                ));
             }
         }
     }

@@ -22,10 +22,19 @@ fn paper_peak(engine: &str, tool: &str) -> f64 {
 
 fn main() {
     let tools = [
-        ("onnx (e)", ServingChoice::Embedded { lib: EmbeddedLib::Onnx, device: Device::Cpu }),
+        (
+            "onnx (e)",
+            ServingChoice::Embedded {
+                lib: EmbeddedLib::Onnx,
+                device: Device::Cpu,
+            },
+        ),
         (
             "tf-serving (x)",
-            ServingChoice::External { kind: ExternalKind::TfServing, device: Device::Cpu },
+            ServingChoice::External {
+                kind: ExternalKind::TfServing,
+                device: Device::Cpu,
+            },
         ),
     ];
     let mut table = Table::new(
@@ -38,8 +47,14 @@ fn main() {
             for mp in mp_sweep() {
                 let mut spec = base_spec(ModelSpec::Ffnn, serving);
                 spec.mp = mp;
-                spec.workload = Workload::Constant { rate: OVERLOAD_FFNN };
-                let result = run(&format!("fig11/{engine}/{tool}/mp{mp}"), processor.as_ref(), &spec);
+                spec.workload = Workload::Constant {
+                    rate: OVERLOAD_FFNN,
+                };
+                let result = run(
+                    &format!("fig11/{engine}/{tool}/mp{mp}"),
+                    processor.as_ref(),
+                    &spec,
+                );
                 table.row(vec![
                     engine.into(),
                     tool.into(),

@@ -8,10 +8,19 @@ use crayfish_bench::*;
 
 fn main() {
     let tools = [
-        ("onnx (e)", ServingChoice::Embedded { lib: EmbeddedLib::Onnx, device: Device::Cpu }),
+        (
+            "onnx (e)",
+            ServingChoice::Embedded {
+                lib: EmbeddedLib::Onnx,
+                device: Device::Cpu,
+            },
+        ),
         (
             "tf-serving (x)",
-            ServingChoice::External { kind: ExternalKind::TfServing, device: Device::Cpu },
+            ServingChoice::External {
+                kind: ExternalKind::TfServing,
+                device: Device::Cpu,
+            },
         ),
     ];
     let mut table = Table::new(
@@ -25,7 +34,9 @@ fn main() {
             let chained = FlinkProcessor::new();
             let mut spec = base_spec(ModelSpec::Ffnn, serving);
             spec.mp = mp;
-            spec.workload = Workload::Constant { rate: OVERLOAD_FFNN };
+            spec.workload = Workload::Constant {
+                rate: OVERLOAD_FFNN,
+            };
             let result = run(&format!("fig12/{tool}/[N-N-N]/mp{mp}"), &chained, &spec);
             table.row(vec![
                 tool.into(),

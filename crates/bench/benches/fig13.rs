@@ -19,7 +19,11 @@ use crayfish_core::batch::CrayfishDataBatch;
 /// scoring path, but no broker, no JSON wire, no network hops.
 fn run_standalone(bsz: usize, rate: f64, window: Duration) -> (f64, Summary) {
     let graph = Arc::new(ModelSpec::Ffnn.build(42));
-    let spec = ScorerSpec::Embedded { lib: EmbeddedLib::Onnx, graph, device: Device::Cpu };
+    let spec = ScorerSpec::Embedded {
+        lib: EmbeddedLib::Onnx,
+        graph,
+        device: Device::Cpu,
+    };
     let mut scorer = spec.build().expect("build scorer");
     let mut pacer = RatePacer::new(rate);
     let mut latencies = Vec::new();
@@ -48,21 +52,32 @@ fn main() {
     };
     let mut table = Table::new(
         "Figure 13: Crayfish (kafka) vs standalone (no-kafka) latency (ms, FFNN+ONNX, mp=1)",
-        &["bsz", "kafka (mean ± std)", "no-kafka (mean ± std)", "overhead"],
+        &[
+            "bsz",
+            "kafka (mean ± std)",
+            "no-kafka (mean ± std)",
+            "overhead",
+        ],
     );
     let mut dump = Vec::new();
     for bsz in [1usize, 32, 128, 512] {
-        let mut spec = base_spec(ModelSpec::Ffnn, ServingChoice::Embedded {
-            lib: EmbeddedLib::Onnx,
-            device: Device::Cpu,
-        });
+        let mut spec = base_spec(
+            ModelSpec::Ffnn,
+            ServingChoice::Embedded {
+                lib: EmbeddedLib::Onnx,
+                device: Device::Cpu,
+            },
+        );
         spec.bsz = bsz;
         spec.workload = Workload::Constant { rate };
         spec.duration = ffnn_window().mul_f64(1.5);
         let kafka = run(&format!("fig13/kafka/bsz{bsz}"), &flink, &spec);
         let (_, standalone) = run_standalone(bsz, rate, spec.duration);
         let overhead = if standalone.mean > 0.0 {
-            format!("+{:.0}%", 100.0 * (kafka.latency.mean - standalone.mean) / kafka.latency.mean.max(1e-9))
+            format!(
+                "+{:.0}%",
+                100.0 * (kafka.latency.mean - standalone.mean) / kafka.latency.mean.max(1e-9)
+            )
         } else {
             "-".into()
         };
@@ -80,11 +95,16 @@ fn main() {
     }
 
     // Throughput overhead (paper: 2.42 %): saturate both pipelines.
-    let mut spec = base_spec(ModelSpec::Ffnn, ServingChoice::Embedded {
-        lib: EmbeddedLib::Onnx,
-        device: Device::Cpu,
-    });
-    spec.workload = Workload::Constant { rate: OVERLOAD_FFNN };
+    let mut spec = base_spec(
+        ModelSpec::Ffnn,
+        ServingChoice::Embedded {
+            lib: EmbeddedLib::Onnx,
+            device: Device::Cpu,
+        },
+    );
+    spec.workload = Workload::Constant {
+        rate: OVERLOAD_FFNN,
+    };
     let kafka_eps = run("fig13/kafka/throughput", &flink, &spec).throughput_eps;
     let (standalone_eps, _) = run_standalone(1, OVERLOAD_FFNN, ffnn_window());
     table.print();

@@ -27,7 +27,13 @@ fn main() {
     };
     let mut table = Table::new(
         "Figure 5: latency vs batch size on Flink (ms/batch, FFNN, closed loop, mp=1)",
-        &["serving tool", "bsz", "latency (mean ± std)", "p99", "paper"],
+        &[
+            "serving tool",
+            "bsz",
+            "latency (mean ± std)",
+            "p99",
+            "paper",
+        ],
     );
     let mut dump = Vec::new();
     for (tool, serving) in ffnn_tools() {

@@ -29,7 +29,9 @@ fn main() {
         for mp in mp_sweep() {
             let mut spec = base_spec(ModelSpec::Ffnn, serving);
             spec.mp = mp;
-            spec.workload = Workload::Constant { rate: OVERLOAD_FFNN };
+            spec.workload = Workload::Constant {
+                rate: OVERLOAD_FFNN,
+            };
             let result = run(&format!("fig6/{tool}/mp{mp}"), &flink, &spec);
             peak = peak.max(result.throughput_eps);
             let (paper_eps, paper_mp) = paper_peak(tool);

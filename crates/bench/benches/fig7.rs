@@ -19,10 +19,16 @@ fn main() {
         for mp in mp_sweep_resnet() {
             let mut spec = base_spec(ModelSpec::Resnet50, serving);
             spec.mp = mp;
-            spec.workload = Workload::Constant { rate: OVERLOAD_RESNET };
+            spec.workload = Workload::Constant {
+                rate: OVERLOAD_RESNET,
+            };
             spec.duration = resnet_window_at_least(40);
             let result = run(&format!("fig7/{tool}/mp{mp}"), &flink, &spec);
-            table.row(vec![tool.into(), mp.to_string(), eps(result.throughput_eps)]);
+            table.row(vec![
+                tool.into(),
+                mp.to_string(),
+                eps(result.throughput_eps),
+            ]);
             dump.push(Measurement::of(format!("{tool}/mp{mp}"), &result));
         }
     }

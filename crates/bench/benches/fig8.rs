@@ -18,21 +18,38 @@ fn main() {
         Profile::Paper => (30.0, 120.0, 3),
     };
     let tools = [
-        ("onnx (e)", ServingChoice::Embedded { lib: EmbeddedLib::Onnx, device: Device::Cpu }),
+        (
+            "onnx (e)",
+            ServingChoice::Embedded {
+                lib: EmbeddedLib::Onnx,
+                device: Device::Cpu,
+            },
+        ),
         (
             "tf-serving (x)",
-            ServingChoice::External { kind: ExternalKind::TfServing, device: Device::Cpu },
+            ServingChoice::External {
+                kind: ExternalKind::TfServing,
+                device: Device::Cpu,
+            },
         ),
     ];
     let mut table = Table::new(
         "Figure 8: burst recovery on Flink (FFNN, bsz=1, mp=1, 110%/70% of ST)",
-        &["serving tool", "ST (ev/s)", "burst", "recovery (s)", "paper avg (s)"],
+        &[
+            "serving tool",
+            "ST (ev/s)",
+            "burst",
+            "recovery (s)",
+            "paper avg (s)",
+        ],
     );
     let mut dump = Vec::new();
     for (tool, serving) in tools {
         // Step 1: sustainable throughput.
         let mut st_spec = base_spec(ModelSpec::Ffnn, serving);
-        st_spec.workload = Workload::Constant { rate: OVERLOAD_FFNN };
+        st_spec.workload = Workload::Constant {
+            rate: OVERLOAD_FFNN,
+        };
         let st = run(&format!("fig8/{tool}/st"), &flink, &st_spec).throughput_eps;
 
         // Step 2: bursty run.
@@ -58,7 +75,11 @@ fn main() {
             .collect();
         let baseline = summarize(&baseline).p50.max(0.1);
 
-        let paper_avg = if tool.starts_with("onnx") { 46.52 } else { 56.15 };
+        let paper_avg = if tool.starts_with("onnx") {
+            46.52
+        } else {
+            56.15
+        };
         let mut recoveries = Vec::new();
         for cycle in 0..cycles {
             let burst_end_ms = (cycle as f64 * (bd + tbb) + tbb + bd) * 1_000.0;
@@ -83,7 +104,10 @@ fn main() {
         } else {
             recoveries.iter().sum::<f64>() / recoveries.len() as f64
         };
-        eprintln!("  {tool}: avg recovery {avg:.2} s over {} bursts", recoveries.len());
+        eprintln!(
+            "  {tool}: avg recovery {avg:.2} s over {} bursts",
+            recoveries.len()
+        );
         dump.push(serde_json::json!({
             "tool": tool,
             "sustainable_eps": st,

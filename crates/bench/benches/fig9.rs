@@ -18,15 +18,33 @@ fn paper_ms(config: &str) -> f64 {
 fn main() {
     let flink = FlinkProcessor::new();
     let configs: Vec<(&str, ServingChoice)> = vec![
-        ("onnx-cpu", ServingChoice::Embedded { lib: EmbeddedLib::Onnx, device: Device::Cpu }),
-        ("onnx-gpu", ServingChoice::Embedded { lib: EmbeddedLib::Onnx, device: Device::gpu() }),
+        (
+            "onnx-cpu",
+            ServingChoice::Embedded {
+                lib: EmbeddedLib::Onnx,
+                device: Device::Cpu,
+            },
+        ),
+        (
+            "onnx-gpu",
+            ServingChoice::Embedded {
+                lib: EmbeddedLib::Onnx,
+                device: Device::gpu(),
+            },
+        ),
         (
             "tf-serving-cpu",
-            ServingChoice::External { kind: ExternalKind::TfServing, device: Device::Cpu },
+            ServingChoice::External {
+                kind: ExternalKind::TfServing,
+                device: Device::Cpu,
+            },
         ),
         (
             "tf-serving-gpu",
-            ServingChoice::External { kind: ExternalKind::TfServing, device: Device::gpu() },
+            ServingChoice::External {
+                kind: ExternalKind::TfServing,
+                device: Device::gpu(),
+            },
         ),
     ];
     // The paper emits one 8-image batch every 5 s (ir = 0.2) against a
@@ -52,7 +70,10 @@ fn main() {
         spec.duration = resnet_window_at_least(if config.ends_with("cpu") { 75 } else { 35 });
         let result = run(&format!("fig9/{config}"), &flink, &spec);
         let mean = result.latency.mean;
-        let family = config.rsplit_once('-').map(|(f, _)| f.to_string()).unwrap_or_default();
+        let family = config
+            .rsplit_once('-')
+            .map(|(f, _)| f.to_string())
+            .unwrap_or_default();
         let improvement = if config.ends_with("gpu") {
             cpu_means
                 .get(&family)

@@ -38,7 +38,13 @@ fn bench_conv(c: &mut Criterion) {
     let mut group = c.benchmark_group("conv2d");
     group.sample_size(20);
     // A ResNet50 layer-2 shape: 128 channels, 28x28, 3x3.
-    let p = Conv2dParams { in_c: 128, out_c: 128, kernel: 3, stride: 1, pad: 1 };
+    let p = Conv2dParams {
+        in_c: 128,
+        out_c: 128,
+        kernel: 3,
+        stride: 1,
+        pad: 1,
+    };
     let input = Tensor::seeded_uniform([1, 128, 28, 28], 1, -1.0, 1.0);
     let weight = Tensor::seeded_uniform([128, 128, 3, 3], 2, -0.1, 0.1);
     group.bench_function("resnet_layer2_3x3", |bench| {
@@ -93,7 +99,9 @@ fn bench_binary_protocol(c: &mut Criterion) {
     group.sample_size(30);
     let t = Tensor::seeded_uniform([1, 28, 28], 1, 0.0, 1.0);
     let enc = encode_tensor_binary(&t);
-    group.bench_function("encode", |bench| bench.iter(|| black_box(encode_tensor_binary(&t))));
+    group.bench_function("encode", |bench| {
+        bench.iter(|| black_box(encode_tensor_binary(&t)))
+    });
     group.bench_function("decode", |bench| {
         bench.iter(|| black_box(decode_tensor_binary(black_box(&enc)).unwrap()))
     });
@@ -108,7 +116,11 @@ fn bench_broker(c: &mut Criterion) {
     let payload = Bytes::from(vec![0u8; 3 * 1024]);
     group.bench_function("append_3kb", |bench| {
         bench.iter(|| {
-            black_box(broker.append("bench", 0, vec![(payload.clone(), 0.0)]).unwrap())
+            black_box(
+                broker
+                    .append("bench", 0, vec![(payload.clone(), 0.0)])
+                    .unwrap(),
+            )
         })
     });
     group.bench_function("produce_fetch_roundtrip_3kb", |bench| {
@@ -118,7 +130,9 @@ fn bench_broker(c: &mut Criterion) {
         bench.iter(|| {
             producer.send(Some(0), payload.clone()).unwrap();
             producer.flush();
-            let recs = consumer.poll(std::time::Duration::from_millis(100)).unwrap();
+            let recs = consumer
+                .poll(std::time::Duration::from_millis(100))
+                .unwrap();
             black_box(recs);
         })
     });
@@ -137,6 +151,45 @@ fn bench_tiny_models(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_obs(c: &mut Criterion) {
+    use crayfish_obs::{ObsHandle, Stage};
+    let mut group = c.benchmark_group("obs");
+    group.sample_size(30);
+    let g = tiny::tiny_cnn(1);
+    let mut exec = FusedExec::new(&g).unwrap();
+    let input = Tensor::seeded_uniform([4, 3, 8, 8], 1, 0.0, 1.0);
+
+    // The pre-PR hot path: inference with no instrumentation at all.
+    group.bench_function("inference_bare", |bench| {
+        bench.iter(|| black_box(exec.run(black_box(&input)).unwrap()))
+    });
+    // The zero-cost-when-disabled claim: the same path behind a disabled
+    // span must be within measurement noise of `inference_bare`.
+    let disabled = ObsHandle::disabled();
+    group.bench_function("inference_disabled_span", |bench| {
+        bench.iter(|| {
+            let span = disabled.timer(Stage::Inference);
+            let out = exec.run(black_box(&input)).unwrap();
+            span.stop();
+            black_box(out)
+        })
+    });
+    // Live-telemetry cost: two clock reads plus one sharded histogram add.
+    let enabled = ObsHandle::enabled();
+    group.bench_function("inference_enabled_span", |bench| {
+        bench.iter(|| {
+            let span = enabled.timer(Stage::Inference);
+            let out = exec.run(black_box(&input)).unwrap();
+            span.stop();
+            black_box(out)
+        })
+    });
+    group.bench_function("record_stage_ns", |bench| {
+        bench.iter(|| enabled.observe_stage_ns(Stage::Inference, black_box(42_000)))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_gemm,
@@ -145,6 +198,7 @@ criterion_group!(
     bench_json_codec,
     bench_binary_protocol,
     bench_broker,
-    bench_tiny_models
+    bench_tiny_models,
+    bench_obs
 );
 criterion_main!(benches);

@@ -31,7 +31,9 @@ fn fmt_kb(bytes: usize) -> String {
 fn main() {
     let mut table = Table::new(
         "Table 2: model statistics (paper value in parentheses)",
-        &["model", "input", "output", "params", "format", "size", "(paper)"],
+        &[
+            "model", "input", "output", "params", "format", "size", "(paper)",
+        ],
     );
     let mut dump = Vec::new();
     for model in [ModelSpec::Ffnn, ModelSpec::Resnet50] {
@@ -51,7 +53,10 @@ fn main() {
                 },
                 format.name().to_string(),
                 fmt_kb(bytes),
-                format!("({})", fmt_kb((paper_size_kb(model, format) * 1024.0) as usize)),
+                format!(
+                    "({})",
+                    fmt_kb((paper_size_kb(model, format) * 1024.0) as usize)
+                ),
             ]);
             dump.push(serde_json::json!({
                 "model": model.name(),

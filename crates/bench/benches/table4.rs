@@ -37,7 +37,9 @@ fn main() {
 
     for (tool, serving) in ffnn_tools() {
         let mut spec = base_spec(ModelSpec::Ffnn, serving);
-        spec.workload = Workload::Constant { rate: OVERLOAD_FFNN };
+        spec.workload = Workload::Constant {
+            rate: OVERLOAD_FFNN,
+        };
         let result = run(&format!("table4/ffnn/{tool}"), &flink, &spec);
         table.row(vec![
             "FFNN".into(),
@@ -50,7 +52,9 @@ fn main() {
 
     for (tool, serving) in resnet_tools() {
         let mut spec = base_spec(ModelSpec::Resnet50, serving);
-        spec.workload = Workload::Constant { rate: OVERLOAD_RESNET };
+        spec.workload = Workload::Constant {
+            rate: OVERLOAD_RESNET,
+        };
         spec.duration = resnet_window_at_least(40);
         let result = run(&format!("table4/resnet50/{tool}"), &flink, &spec);
         table.row(vec![

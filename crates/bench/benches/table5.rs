@@ -20,10 +20,19 @@ fn paper(engine: &str, tool: &str) -> f64 {
 
 fn main() {
     let tools = [
-        ("onnx (e)", ServingChoice::Embedded { lib: EmbeddedLib::Onnx, device: Device::Cpu }),
+        (
+            "onnx (e)",
+            ServingChoice::Embedded {
+                lib: EmbeddedLib::Onnx,
+                device: Device::Cpu,
+            },
+        ),
         (
             "tf-serving (x)",
-            ServingChoice::External { kind: ExternalKind::TfServing, device: Device::Cpu },
+            ServingChoice::External {
+                kind: ExternalKind::TfServing,
+                device: Device::Cpu,
+            },
         ),
     ];
     let mut table = Table::new(
@@ -34,8 +43,14 @@ fn main() {
     for (engine, processor) in registry::all_processors() {
         for (tool, serving) in tools {
             let mut spec = base_spec(ModelSpec::Ffnn, serving);
-            spec.workload = Workload::Constant { rate: OVERLOAD_FFNN };
-            let result = run(&format!("table5/{engine}/{tool}"), processor.as_ref(), &spec);
+            spec.workload = Workload::Constant {
+                rate: OVERLOAD_FFNN,
+            };
+            let result = run(
+                &format!("table5/{engine}/{tool}"),
+                processor.as_ref(),
+                &spec,
+            );
             table.row(vec![
                 engine.into(),
                 tool.into(),

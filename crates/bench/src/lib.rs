@@ -97,7 +97,8 @@ pub const OVERLOAD_RESNET: f64 = 256.0;
 /// One cached ResNet50 (building it materialises ~25 M weights).
 pub fn resnet_graph() -> Arc<NnGraph> {
     static G: OnceLock<Arc<NnGraph>> = OnceLock::new();
-    G.get_or_init(|| Arc::new(ModelSpec::Resnet50.build(42))).clone()
+    G.get_or_init(|| Arc::new(ModelSpec::Resnet50.build(42)))
+        .clone()
 }
 
 /// Base spec with the paper's structural defaults (32 partitions, 25 %
@@ -114,19 +115,40 @@ pub fn base_spec(model: ModelSpec, serving: ServingChoice) -> ExperimentSpec {
 /// All five serving tools of Table 4, in the paper's column order.
 pub fn ffnn_tools() -> Vec<(&'static str, ServingChoice)> {
     vec![
-        ("dl4j (e)", ServingChoice::Embedded { lib: EmbeddedLib::Dl4j, device: Device::Cpu }),
-        ("onnx (e)", ServingChoice::Embedded { lib: EmbeddedLib::Onnx, device: Device::Cpu }),
+        (
+            "dl4j (e)",
+            ServingChoice::Embedded {
+                lib: EmbeddedLib::Dl4j,
+                device: Device::Cpu,
+            },
+        ),
+        (
+            "onnx (e)",
+            ServingChoice::Embedded {
+                lib: EmbeddedLib::Onnx,
+                device: Device::Cpu,
+            },
+        ),
         (
             "saved_model (e)",
-            ServingChoice::Embedded { lib: EmbeddedLib::SavedModel, device: Device::Cpu },
+            ServingChoice::Embedded {
+                lib: EmbeddedLib::SavedModel,
+                device: Device::Cpu,
+            },
         ),
         (
             "torchserve (x)",
-            ServingChoice::External { kind: ExternalKind::TorchServe, device: Device::Cpu },
+            ServingChoice::External {
+                kind: ExternalKind::TorchServe,
+                device: Device::Cpu,
+            },
         ),
         (
             "tf-serving (x)",
-            ServingChoice::External { kind: ExternalKind::TfServing, device: Device::Cpu },
+            ServingChoice::External {
+                kind: ExternalKind::TfServing,
+                device: Device::Cpu,
+            },
         ),
     ]
 }
@@ -134,14 +156,26 @@ pub fn ffnn_tools() -> Vec<(&'static str, ServingChoice)> {
 /// The ResNet50 serving tools of Table 4 / Fig. 7.
 pub fn resnet_tools() -> Vec<(&'static str, ServingChoice)> {
     vec![
-        ("onnx (e)", ServingChoice::Embedded { lib: EmbeddedLib::Onnx, device: Device::Cpu }),
+        (
+            "onnx (e)",
+            ServingChoice::Embedded {
+                lib: EmbeddedLib::Onnx,
+                device: Device::Cpu,
+            },
+        ),
         (
             "torchserve (x)",
-            ServingChoice::External { kind: ExternalKind::TorchServe, device: Device::Cpu },
+            ServingChoice::External {
+                kind: ExternalKind::TorchServe,
+                device: Device::Cpu,
+            },
         ),
         (
             "tf-serving (x)",
-            ServingChoice::External { kind: ExternalKind::TfServing, device: Device::Cpu },
+            ServingChoice::External {
+                kind: ExternalKind::TfServing,
+                device: Device::Cpu,
+            },
         ),
     ]
 }
@@ -215,7 +249,10 @@ impl Table {
             println!("{}", out.trim_end());
         };
         line(&self.headers);
-        println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        println!(
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             line(row);
         }

@@ -25,16 +25,30 @@ pub struct Broker {
     /// Committed offsets: (group, topic, partition) → next offset to read.
     offsets: RwLock<HashMap<(String, String, u32), u64>>,
     network: NetworkModel,
+    obs: crayfish_obs::ObsHandle,
 }
 
 impl Broker {
     /// Create a broker whose clients experience `network` per request.
     pub fn new(network: NetworkModel) -> Arc<Broker> {
+        Broker::with_obs(network, crayfish_obs::ObsHandle::disabled())
+    }
+
+    /// Like [`Broker::new`], with a live observability recorder. Client
+    /// abstractions (producer/consumer) pick the handle up from here, so
+    /// enabling obs on the broker instruments every client built on it.
+    pub fn with_obs(network: NetworkModel, obs: crayfish_obs::ObsHandle) -> Arc<Broker> {
         Arc::new(Broker {
             topics: RwLock::new(HashMap::new()),
             offsets: RwLock::new(HashMap::new()),
             network,
+            obs,
         })
+    }
+
+    /// The observability handle clients of this broker record into.
+    pub fn obs(&self) -> &crayfish_obs::ObsHandle {
+        &self.obs
     }
 
     /// The network model clients of this broker should apply.
@@ -261,9 +275,17 @@ mod tests {
     fn committed_offsets_and_lag() {
         let b = broker();
         b.create_topic("t", 2).unwrap();
-        b.append("t", 0, vec![(Bytes::from_static(b"a"), 0.0), (Bytes::from_static(b"b"), 0.0)])
+        b.append(
+            "t",
+            0,
+            vec![
+                (Bytes::from_static(b"a"), 0.0),
+                (Bytes::from_static(b"b"), 0.0),
+            ],
+        )
+        .unwrap();
+        b.append("t", 1, vec![(Bytes::from_static(b"c"), 0.0)])
             .unwrap();
-        b.append("t", 1, vec![(Bytes::from_static(b"c"), 0.0)]).unwrap();
         assert_eq!(b.group_lag("g", "t").unwrap(), 3);
         b.commit_offset("g", "t", 0, 2);
         assert_eq!(b.group_lag("g", "t").unwrap(), 1);
@@ -288,7 +310,8 @@ mod tests {
         let b = broker();
         b.create_topic("t", 3).unwrap();
         for p in 0..3 {
-            b.append("t", p, vec![(Bytes::from_static(b"x"), 0.0)]).unwrap();
+            b.append("t", p, vec![(Bytes::from_static(b"x"), 0.0)])
+                .unwrap();
         }
         assert_eq!(b.total_records("t").unwrap(), 3);
     }

@@ -24,6 +24,11 @@ pub struct PartitionConsumer {
     pub max_poll_records: usize,
     /// Fetch response size cap (the paper raises it to 50 MB).
     pub max_fetch_bytes: usize,
+    obs: crayfish_obs::ObsHandle,
+    /// Long-poll idle time, recorded separately from `broker_fetch`: waiting
+    /// for data is not part of any record's latency.
+    poll_wait: crayfish_obs::HistHandle,
+    fetch_requests: crayfish_obs::Counter,
 }
 
 impl PartitionConsumer {
@@ -46,6 +51,9 @@ impl PartitionConsumer {
             }
             positions.insert(p, broker.committed_offset(group, topic, p));
         }
+        let obs = broker.obs().clone();
+        let poll_wait = obs.histogram_ns("broker_poll_wait");
+        let fetch_requests = obs.counter("broker_fetch_requests");
         Ok(PartitionConsumer {
             broker,
             topic: topic.to_string(),
@@ -55,6 +63,9 @@ impl PartitionConsumer {
             next_idx: 0,
             max_poll_records: 500,
             max_fetch_bytes: 50 * 1024 * 1024,
+            obs,
+            poll_wait,
+            fetch_requests,
         })
     }
 
@@ -71,6 +82,10 @@ impl PartitionConsumer {
         loop {
             let topic = self.broker.topic(&self.topic)?;
             let seen = topic.current_version();
+            // Speculatively time the fetch; cancelled below if it turns out
+            // to be an idle scan (no data), so `broker_fetch` only measures
+            // work actually done on behalf of records.
+            let span = self.obs.timer(crayfish_obs::Stage::BrokerFetch);
             let mut out: Vec<FetchedRecord> = Vec::new();
             let mut bytes = 0usize;
             // Start at a rotating index for fairness across partitions.
@@ -100,13 +115,18 @@ impl PartitionConsumer {
             if !out.is_empty() {
                 // One fetch response over the wire.
                 self.broker.network().transfer(bytes);
+                self.fetch_requests.inc();
+                span.stop();
                 return Ok(out);
             }
+            span.cancel();
             let now = Instant::now();
             if now >= deadline {
                 return Ok(Vec::new());
             }
+            let waited = self.poll_wait.start();
             topic.wait_for_data(seen, deadline - now);
+            self.poll_wait.observe_since(waited);
         }
     }
 
@@ -154,7 +174,8 @@ mod tests {
     fn polls_across_partitions() {
         let (b, mut c) = setup();
         for p in 0..4 {
-            b.append("t", p, vec![(Bytes::from(vec![p as u8]), 0.0)]).unwrap();
+            b.append("t", p, vec![(Bytes::from(vec![p as u8]), 0.0)])
+                .unwrap();
         }
         let mut got = Vec::new();
         while got.len() < 4 {
@@ -182,7 +203,8 @@ mod tests {
         let b2 = b.clone();
         std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(20));
-            b2.append("t", 1, vec![(Bytes::from_static(b"x"), 0.0)]).unwrap();
+            b2.append("t", 1, vec![(Bytes::from_static(b"x"), 0.0)])
+                .unwrap();
         });
         let recs = c.poll(Duration::from_secs(5)).unwrap();
         assert_eq!(recs.len(), 1);
@@ -192,8 +214,15 @@ mod tests {
     #[test]
     fn positions_advance_without_rereads() {
         let (b, mut c) = setup();
-        b.append("t", 0, vec![(Bytes::from_static(b"a"), 0.0), (Bytes::from_static(b"b"), 0.0)])
-            .unwrap();
+        b.append(
+            "t",
+            0,
+            vec![
+                (Bytes::from_static(b"a"), 0.0),
+                (Bytes::from_static(b"b"), 0.0),
+            ],
+        )
+        .unwrap();
         let first = c.poll(Duration::from_millis(50)).unwrap();
         assert_eq!(first.len(), 2);
         let again = c.poll(Duration::from_millis(30)).unwrap();
@@ -204,13 +233,15 @@ mod tests {
     #[test]
     fn commit_and_resume_from_committed() {
         let (b, mut c) = setup();
-        b.append("t", 0, vec![(Bytes::from_static(b"a"), 0.0)]).unwrap();
+        b.append("t", 0, vec![(Bytes::from_static(b"a"), 0.0)])
+            .unwrap();
         c.poll(Duration::from_millis(50)).unwrap();
         c.commit();
         drop(c);
         // A new consumer in the same group resumes after the commit.
         let mut c2 = PartitionConsumer::new(b.clone(), "t", "g", vec![0]).unwrap();
-        b.append("t", 0, vec![(Bytes::from_static(b"b"), 0.0)]).unwrap();
+        b.append("t", 0, vec![(Bytes::from_static(b"b"), 0.0)])
+            .unwrap();
         let recs = c2.poll(Duration::from_millis(50)).unwrap();
         assert_eq!(recs.len(), 1);
         assert_eq!(&recs[0].value[..], b"b");
@@ -221,7 +252,8 @@ mod tests {
         let (b, mut c) = setup();
         assert_eq!(c.lag().unwrap(), 0);
         for _ in 0..5 {
-            b.append("t", 2, vec![(Bytes::from_static(b"x"), 0.0)]).unwrap();
+            b.append("t", 2, vec![(Bytes::from_static(b"x"), 0.0)])
+                .unwrap();
         }
         assert_eq!(c.lag().unwrap(), 5);
         c.poll(Duration::from_millis(50)).unwrap();
@@ -231,7 +263,8 @@ mod tests {
     #[test]
     fn seek_rewinds() {
         let (b, mut c) = setup();
-        b.append("t", 0, vec![(Bytes::from_static(b"a"), 0.0)]).unwrap();
+        b.append("t", 0, vec![(Bytes::from_static(b"a"), 0.0)])
+            .unwrap();
         c.poll(Duration::from_millis(50)).unwrap();
         c.seek(0, 0);
         let recs = c.poll(Duration::from_millis(50)).unwrap();

@@ -41,7 +41,12 @@ impl fmt::Display for BrokerError {
             }
             BrokerError::TopicExists(t) => write!(f, "topic already exists: {t}"),
             BrokerError::ProducerClosed => write!(f, "producer closed"),
-            BrokerError::OffsetOutOfRange { topic, partition, offset, end } => write!(
+            BrokerError::OffsetOutOfRange {
+                topic,
+                partition,
+                offset,
+                end,
+            } => write!(
                 f,
                 "offset {offset} out of range for {topic}/{partition} (log end {end})"
             ),
@@ -57,6 +62,8 @@ mod tests {
 
     #[test]
     fn display_names_the_topic() {
-        assert!(BrokerError::UnknownTopic("in".into()).to_string().contains("in"));
+        assert!(BrokerError::UnknownTopic("in".into())
+            .to_string()
+            .contains("in"));
     }
 }

@@ -153,6 +153,8 @@ impl Drop for Producer {
 }
 
 fn sender_loop(inner: &Inner) {
+    let obs = inner.broker.obs().clone();
+    let requests = obs.counter("broker_append_requests");
     loop {
         let batch = {
             let mut state = inner.state.lock();
@@ -169,11 +171,7 @@ fn sender_loop(inner: &Inner) {
                 precise_sleep(inner.config.linger);
                 state = inner.state.lock();
             }
-            let take = state
-                .queue
-                .len()
-                .min(inner.config.max_batch_records)
-                .max(1);
+            let take = state.queue.len().min(inner.config.max_batch_records).max(1);
             // Respect the request size cap (always ship at least one).
             let mut bytes = 0usize;
             let mut n = 0usize;
@@ -191,6 +189,10 @@ fn sender_loop(inner: &Inner) {
         };
 
         // One request on the wire: client → broker hop for the whole batch.
+        // The span covers the modelled transfer plus the log append — the
+        // full client-side cost of the produce request.
+        let span = obs.timer(crayfish_obs::Stage::BrokerAppend);
+        requests.inc();
         let total_bytes: usize = batch.iter().map(|(_, v, _)| v.len()).sum();
         inner.broker.network().transfer(total_bytes);
 
@@ -207,6 +209,7 @@ fn sender_loop(inner: &Inner) {
             // batch like a real producer whose delivery fails terminally.
             let _ = inner.broker.append(&inner.topic, p, values);
         }
+        span.stop();
 
         let mut state = inner.state.lock();
         state.in_flight = false;

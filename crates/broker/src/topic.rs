@@ -65,7 +65,9 @@ impl Topic {
 
     pub fn with_retention(partitions: u32, retention_bytes: usize) -> Self {
         Topic {
-            partitions: (0..partitions).map(|_| Mutex::new(PartitionLog::default())).collect(),
+            partitions: (0..partitions)
+                .map(|_| Mutex::new(PartitionLog::default()))
+                .collect(),
             retention_bytes: retention_bytes.max(1),
             version: Mutex::new(0),
             data_cond: Condvar::new(),
@@ -177,7 +179,13 @@ mod tests {
     fn append_assigns_contiguous_offsets() {
         let t = Topic::new(2);
         let (o1, _) = t.append(0, vec![(Bytes::from_static(b"a"), 1.0)]);
-        let (o2, _) = t.append(0, vec![(Bytes::from_static(b"b"), 2.0), (Bytes::from_static(b"c"), 3.0)]);
+        let (o2, _) = t.append(
+            0,
+            vec![
+                (Bytes::from_static(b"b"), 2.0),
+                (Bytes::from_static(b"c"), 3.0),
+            ],
+        );
         assert_eq!(o1, 0);
         assert_eq!(o2, 1);
         assert_eq!(t.end_offset(0), 3);
@@ -213,7 +221,13 @@ mod tests {
     #[test]
     fn offsets_in_fetched_records_are_correct() {
         let t = Topic::new(1);
-        t.append(0, vec![(Bytes::from_static(b"a"), 0.0), (Bytes::from_static(b"b"), 0.0)]);
+        t.append(
+            0,
+            vec![
+                (Bytes::from_static(b"a"), 0.0),
+                (Bytes::from_static(b"b"), 0.0),
+            ],
+        );
         let r = t.read(0, 1, 10, usize::MAX);
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].offset, 1);
@@ -226,7 +240,8 @@ mod tests {
         let t = Arc::new(Topic::new(1));
         let seen = t.current_version();
         let t2 = t.clone();
-        let h = std::thread::spawn(move || t2.wait_for_data(seen, std::time::Duration::from_secs(5)));
+        let h =
+            std::thread::spawn(move || t2.wait_for_data(seen, std::time::Duration::from_secs(5)));
         std::thread::sleep(std::time::Duration::from_millis(20));
         t.append(0, vec![(Bytes::from_static(b"x"), 0.0)]);
         let v = h.join().unwrap();

@@ -37,7 +37,9 @@ fn parallel_producers_preserve_every_record() {
     // Per-producer sequences are strictly increasing within each partition
     // (the broker never reorders one producer's records in a partition).
     for partition in 0..8u32 {
-        let recs = broker.read("t", partition, 0, usize::MAX, usize::MAX).unwrap();
+        let recs = broker
+            .read("t", partition, 0, usize::MAX, usize::MAX)
+            .unwrap();
         let mut last_seq = vec![-1i64; producers];
         for rec in &recs {
             let p = rec.value[0] as usize;
@@ -60,7 +62,9 @@ fn disjoint_consumers_partition_the_stream_exactly_once() {
     {
         let mut producer = Producer::new(broker.clone(), "t", ProducerConfig::default()).unwrap();
         for i in 0..total {
-            producer.send(None, Bytes::from(i.to_le_bytes().to_vec())).unwrap();
+            producer
+                .send(None, Bytes::from(i.to_le_bytes().to_vec()))
+                .unwrap();
         }
         producer.flush();
     }
@@ -69,8 +73,7 @@ fn disjoint_consumers_partition_the_stream_exactly_once() {
     for assigned in assignments {
         let broker = broker.clone();
         handles.push(std::thread::spawn(move || {
-            let mut consumer =
-                PartitionConsumer::new(broker, "t", "group", assigned).unwrap();
+            let mut consumer = PartitionConsumer::new(broker, "t", "group", assigned).unwrap();
             let mut got = Vec::new();
             loop {
                 let recs = consumer.poll(Duration::from_millis(100)).unwrap();
@@ -108,7 +111,9 @@ fn concurrent_appends_keep_offsets_dense_per_partition() {
         let broker = broker.clone();
         handles.push(std::thread::spawn(move || {
             for _ in 0..per_writer {
-                broker.append("t", 0, vec![(Bytes::from_static(b"x"), 0.0)]).unwrap();
+                broker
+                    .append("t", 0, vec![(Bytes::from_static(b"x"), 0.0)])
+                    .unwrap();
             }
         }));
     }
@@ -137,8 +142,7 @@ fn consumer_groups_are_independent() {
     producer.flush();
     // Two groups each see the full stream.
     for group in ["g1", "g2"] {
-        let mut consumer =
-            PartitionConsumer::new(broker.clone(), "t", group, vec![0, 1]).unwrap();
+        let mut consumer = PartitionConsumer::new(broker.clone(), "t", group, vec![0, 1]).unwrap();
         let mut count = 0;
         loop {
             let recs = consumer.poll(Duration::from_millis(50)).unwrap();

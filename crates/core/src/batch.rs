@@ -157,6 +157,10 @@ mod tests {
         // same order of magnitude.
         let t = Tensor::seeded_uniform([1, 28, 28], 1, 0.0, 1.0);
         let bytes = CrayfishDataBatch::from_tensor(1, 0.0, &t).encode().unwrap();
-        assert!(bytes.len() > 2_000 && bytes.len() < 15_000, "{} bytes", bytes.len());
+        assert!(
+            bytes.len() > 2_000 && bytes.len() < 15_000,
+            "{} bytes",
+            bytes.len()
+        );
     }
 }

@@ -201,7 +201,12 @@ impl ExperimentConfig {
         };
         let workload = match self.workload {
             WorkloadDef::Constant { rate } => Workload::Constant { rate },
-            WorkloadDef::Bursty { base, burst, bd, tbb } => Workload::Bursty {
+            WorkloadDef::Bursty {
+                base,
+                burst,
+                bd,
+                tbb,
+            } => Workload::Bursty {
                 base,
                 burst,
                 burst_secs: bd,
@@ -222,6 +227,7 @@ impl ExperimentConfig {
             duration: Duration::from_secs_f64(self.duration_secs),
             warmup_fraction: self.warmup_fraction,
             network: self.network.to_model(),
+            obs: crate::obs::ObsHandle::disabled(),
         })
     }
 }
@@ -249,7 +255,10 @@ mod tests {
         assert_eq!(spec.partitions, 32);
         assert!(matches!(
             spec.serving,
-            ServingChoice::Embedded { lib: EmbeddedLib::Onnx, device: Device::Cpu }
+            ServingChoice::Embedded {
+                lib: EmbeddedLib::Onnx,
+                device: Device::Cpu
+            }
         ));
     }
 
@@ -262,7 +271,10 @@ mod tests {
             "workload": { "type": "bursty", "base": 70.0, "burst": 110.0, "bd": 30.0, "tbb": 120.0 },
             "bsz": 8, "mp": 4, "network": "zero"
         }"#;
-        let spec = ExperimentConfig::from_json(json).unwrap().to_spec().unwrap();
+        let spec = ExperimentConfig::from_json(json)
+            .unwrap()
+            .to_spec()
+            .unwrap();
         assert_eq!(spec.model, ModelSpec::Resnet50);
         assert_eq!(spec.bsz, 8);
         assert_eq!(spec.network, NetworkModel::zero());
@@ -274,7 +286,11 @@ mod tests {
             other => panic!("unexpected serving {other:?}"),
         }
         match spec.workload {
-            Workload::Bursty { burst_secs, between_secs, .. } => {
+            Workload::Bursty {
+                burst_secs,
+                between_secs,
+                ..
+            } => {
                 assert_eq!(burst_secs, 30.0);
                 assert_eq!(between_secs, 120.0);
             }
@@ -285,9 +301,15 @@ mod tests {
     #[test]
     fn bad_names_are_rejected() {
         let bad_model = MINIMAL.replace("\"ffnn\"", "\"bert\"");
-        assert!(ExperimentConfig::from_json(&bad_model).unwrap().to_spec().is_err());
+        assert!(ExperimentConfig::from_json(&bad_model)
+            .unwrap()
+            .to_spec()
+            .is_err());
         let bad_lib = MINIMAL.replace("\"onnx\"", "\"tvm\"");
-        assert!(ExperimentConfig::from_json(&bad_lib).unwrap().to_spec().is_err());
+        assert!(ExperimentConfig::from_json(&bad_lib)
+            .unwrap()
+            .to_spec()
+            .is_err());
         assert!(ExperimentConfig::from_json("{}").is_err());
     }
 

@@ -34,19 +34,19 @@ impl OutputConsumer {
     /// Subscribe to every partition of `topic` under a metrics-only group.
     pub fn new(broker: Arc<Broker>, topic: &str) -> Result<OutputConsumer> {
         let partitions = broker.partitions(topic)?;
-        let consumer = PartitionConsumer::new(
-            broker,
-            topic,
-            "crayfish-metrics",
-            (0..partitions).collect(),
-        )?;
+        let consumer =
+            PartitionConsumer::new(broker, topic, "crayfish-metrics", (0..partitions).collect())?;
         Ok(OutputConsumer { consumer })
     }
 
     /// Poll once (blocking up to `max_wait`) and append the resulting
     /// samples. Returns how many records arrived. Undecodable records are
     /// counted as zero-latency-free errors and skipped.
-    pub fn poll_into(&mut self, max_wait: Duration, sink: &mut Vec<LatencySample>) -> Result<usize> {
+    pub fn poll_into(
+        &mut self,
+        max_wait: Duration,
+        sink: &mut Vec<LatencySample>,
+    ) -> Result<usize> {
         let records = self.consumer.poll(max_wait)?;
         let n = records.len();
         for rec in records {
@@ -86,7 +86,9 @@ mod tests {
             .unwrap();
         let mut c = OutputConsumer::new(broker, "out").unwrap();
         let mut samples = Vec::new();
-        let n = c.poll_into(Duration::from_millis(100), &mut samples).unwrap();
+        let n = c
+            .poll_into(Duration::from_millis(100), &mut samples)
+            .unwrap();
         assert_eq!(n, 1);
         assert_eq!(samples.len(), 1);
         assert!(samples[0].latency_ms >= 50.0, "{}", samples[0].latency_ms);
@@ -113,7 +115,9 @@ mod tests {
             .unwrap();
         let mut c = OutputConsumer::new(broker, "out").unwrap();
         let mut samples = Vec::new();
-        let n = c.poll_into(Duration::from_millis(100), &mut samples).unwrap();
+        let n = c
+            .poll_into(Duration::from_millis(100), &mut samples)
+            .unwrap();
         assert_eq!(n, 2, "both records fetched");
         assert_eq!(samples.len(), 1, "only the valid one sampled");
         assert_eq!(samples[0].id, 2);

@@ -32,7 +32,9 @@ pub struct DatasetHeader {
 /// dataset's shape.
 pub fn write_dataset(path: &Path, shape: &Shape, items: &[Tensor]) -> Result<()> {
     if items.is_empty() {
-        return Err(CoreError::Config("dataset must contain at least one item".into()));
+        return Err(CoreError::Config(
+            "dataset must contain at least one item".into(),
+        ));
     }
     let header = DatasetHeader {
         shape: shape.dims().to_vec(),
@@ -45,7 +47,8 @@ pub fn write_dataset(path: &Path, shape: &Shape, items: &[Tensor]) -> Result<()>
     let mut w = BufWriter::new(file);
     let io = |e: std::io::Error| CoreError::Config(format!("write {}: {e}", path.display()));
     w.write_all(MAGIC).map_err(io)?;
-    w.write_all(&(header_json.len() as u64).to_le_bytes()).map_err(io)?;
+    w.write_all(&(header_json.len() as u64).to_le_bytes())
+        .map_err(io)?;
     w.write_all(&header_json).map_err(io)?;
     for item in items {
         if item.shape() != shape {

@@ -33,13 +33,18 @@ pub mod runner;
 pub mod scoring;
 pub mod workload;
 
+/// Re-export of the observability crate so engines reach the recorder
+/// through their existing `crayfish-core` dependency.
+pub use crayfish_obs as obs;
+
 pub use batch::{CrayfishDataBatch, ScoredBatch};
 pub use config::ExperimentConfig;
+pub use crayfish_obs::{ObsHandle, Stage};
 pub use error::CoreError;
 pub use processor::{DataProcessor, ProcessorContext, RunningJob};
 pub use runner::{run_experiment, ExperimentResult, ExperimentSpec, ServingChoice};
-pub use workload::Workload;
 pub use scoring::{Scorer, ScorerSpec};
+pub use workload::Workload;
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -49,15 +49,43 @@ impl Summary {
             p99: 0.0,
         }
     }
+
+    /// Summarise an observability histogram snapshot of **nanosecond**
+    /// samples into the usual millisecond summary. Quantiles come from the
+    /// log-bucketed histogram, so they carry its resolution (≤ 1/32
+    /// relative error) rather than being exact order statistics.
+    pub fn from_histogram(hist: &crate::obs::HistogramSnapshot) -> Summary {
+        if hist.count() == 0 {
+            return Summary::empty();
+        }
+        const NS_PER_MS: f64 = 1e6;
+        Summary {
+            count: hist.count() as usize,
+            mean: hist.mean() / NS_PER_MS,
+            std: hist.stddev() / NS_PER_MS,
+            min: hist.min() as f64 / NS_PER_MS,
+            max: hist.max() as f64 / NS_PER_MS,
+            p50: hist.percentile(0.50) / NS_PER_MS,
+            p95: hist.percentile(0.95) / NS_PER_MS,
+            p99: hist.percentile(0.99) / NS_PER_MS,
+        }
+    }
 }
 
-/// Nearest-rank percentile over a **sorted** slice.
+/// Percentile over a **sorted** slice with linear interpolation between
+/// closest ranks (the `C = 1` / numpy `linear` variant): `q` maps to the
+/// fractional position `q * (n - 1)` and the two straddling samples are
+/// blended. Unlike nearest-rank this is continuous in `q` and unbiased for
+/// small sample sets.
 fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    let rank = (q * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
 }
 
 /// Summarise a set of latency values (order irrelevant).
@@ -102,8 +130,14 @@ pub fn bucketize(samples: &[LatencySample], window_ms: f64) -> Vec<Bucket> {
     if samples.is_empty() || window_ms <= 0.0 {
         return Vec::new();
     }
-    let t0 = samples.iter().map(|s| s.end_ms).fold(f64::INFINITY, f64::min);
-    let t1 = samples.iter().map(|s| s.end_ms).fold(f64::NEG_INFINITY, f64::max);
+    let t0 = samples
+        .iter()
+        .map(|s| s.end_ms)
+        .fold(f64::INFINITY, f64::min);
+    let t1 = samples
+        .iter()
+        .map(|s| s.end_ms)
+        .fold(f64::NEG_INFINITY, f64::max);
     let n_buckets = ((t1 - t0) / window_ms).floor() as usize + 1;
     let mut counts = vec![0usize; n_buckets];
     let mut sums = vec![0.0f64; n_buckets];
@@ -119,7 +153,11 @@ pub fn bucketize(samples: &[LatencySample], window_ms: f64) -> Vec<Bucket> {
             start_ms: i as f64 * window_ms,
             count: counts[i],
             throughput_eps: counts[i] as f64 / (window_ms / 1e3),
-            mean_latency_ms: if counts[i] > 0 { sums[i] / counts[i] as f64 } else { 0.0 },
+            mean_latency_ms: if counts[i] > 0 {
+                sums[i] / counts[i] as f64
+            } else {
+                0.0
+            },
             max_latency_ms: maxes[i],
         })
         .collect()
@@ -131,8 +169,14 @@ pub fn throughput_eps(samples: &[LatencySample]) -> f64 {
     if samples.len() < 2 {
         return 0.0;
     }
-    let t0 = samples.iter().map(|s| s.end_ms).fold(f64::INFINITY, f64::min);
-    let t1 = samples.iter().map(|s| s.end_ms).fold(f64::NEG_INFINITY, f64::max);
+    let t0 = samples
+        .iter()
+        .map(|s| s.end_ms)
+        .fold(f64::INFINITY, f64::min);
+    let t1 = samples
+        .iter()
+        .map(|s| s.end_ms)
+        .fold(f64::NEG_INFINITY, f64::max);
     if t1 <= t0 {
         return 0.0;
     }
@@ -153,7 +197,10 @@ pub fn recovery_time_s(
 ) -> Option<f64> {
     let threshold = baseline_latency_ms * factor;
     let window = stable_buckets.max(1);
-    let after: Vec<&Bucket> = buckets.iter().filter(|b| b.start_ms >= burst_end_ms).collect();
+    let after: Vec<&Bucket> = buckets
+        .iter()
+        .filter(|b| b.start_ms >= burst_end_ms)
+        .collect();
     for i in 0..after.len() {
         if i + window > after.len() {
             break;
@@ -174,7 +221,11 @@ mod tests {
     use proptest::prelude::*;
 
     fn sample(end_ms: f64, latency_ms: f64) -> LatencySample {
-        LatencySample { id: 0, end_ms, latency_ms }
+        LatencySample {
+            id: 0,
+            end_ms,
+            latency_ms,
+        }
     }
 
     #[test]
@@ -185,8 +236,54 @@ mod tests {
         assert_eq!(s.min, 1.0);
         assert_eq!(s.max, 5.0);
         assert_eq!(s.p50, 3.0);
-        assert_eq!(s.p99, 5.0);
+        // Interpolated ranks: position q * (n - 1) over [1..5].
+        assert!((s.p95 - 4.8).abs() < 1e-9, "p95 = {}", s.p95);
+        assert!((s.p99 - 4.96).abs() < 1e-9, "p99 = {}", s.p99);
         assert!((s.std - 2.0f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_interpolate_between_ranks() {
+        // Two samples: the median is their midpoint, not either endpoint.
+        let s = summarize(&[10.0, 20.0]);
+        assert!((s.p50 - 15.0).abs() < 1e-9);
+        // A single sample is every percentile.
+        let s = summarize(&[7.0]);
+        assert_eq!((s.p50, s.p95, s.p99), (7.0, 7.0, 7.0));
+    }
+
+    #[test]
+    fn from_histogram_tracks_exact_summary() {
+        // Millisecond values 1..=1000 recorded as nanoseconds; the
+        // log-bucketed histogram must reproduce the quantiles within one
+        // bucket (≤ 1/32 relative error).
+        let values: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        let mut snap = crate::obs::HistogramSnapshot::empty();
+        for v in &values {
+            snap.record((*v * 1e6) as u64);
+        }
+        let exact = summarize(&values);
+        let approx = Summary::from_histogram(&snap);
+        assert_eq!(approx.count, exact.count);
+        for (name, a, e) in [
+            ("p50", approx.p50, exact.p50),
+            ("p95", approx.p95, exact.p95),
+            ("p99", approx.p99, exact.p99),
+        ] {
+            assert!(
+                (a - e).abs() <= e / 32.0 + 1e-6,
+                "{name}: histogram {a} vs exact {e}"
+            );
+        }
+        assert!((approx.mean - exact.mean).abs() <= exact.mean / 16.0);
+        assert!((approx.min - exact.min).abs() < 1e-9);
+        assert!((approx.max - exact.max).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_histogram_of_empty_is_zeroes() {
+        let s = Summary::from_histogram(&crate::obs::HistogramSnapshot::empty());
+        assert_eq!(s, Summary::empty());
     }
 
     #[test]
@@ -212,8 +309,9 @@ mod tests {
 
     #[test]
     fn throughput_from_span() {
-        let samples: Vec<LatencySample> =
-            (0..101).map(|i| sample(1000.0 + i as f64 * 10.0, 1.0)).collect();
+        let samples: Vec<LatencySample> = (0..101)
+            .map(|i| sample(1000.0 + i as f64 * 10.0, 1.0))
+            .collect();
         // 100 intervals over 1 second.
         assert!((throughput_eps(&samples) - 100.0).abs() < 1e-6);
         assert_eq!(throughput_eps(&samples[..1]), 0.0);
@@ -223,7 +321,10 @@ mod tests {
     fn recovery_detected_after_burst() {
         // Latency spikes during the burst (ends at 3000 ms) and decays.
         let mut buckets = Vec::new();
-        for (i, lat) in [10.0, 10.0, 200.0, 150.0, 80.0, 12.0, 11.0, 10.0].iter().enumerate() {
+        for (i, lat) in [10.0, 10.0, 200.0, 150.0, 80.0, 12.0, 11.0, 10.0]
+            .iter()
+            .enumerate()
+        {
             buckets.push(Bucket {
                 start_ms: i as f64 * 1000.0,
                 count: 5,
@@ -261,9 +362,9 @@ mod tests {
             sorted.sort_by(f64::total_cmp);
             prop_assert_eq!(s.min, sorted[0]);
             prop_assert_eq!(s.max, *sorted.last().unwrap());
-            // p50 must be an actual sample and at least half the samples lie
-            // at or below it.
-            prop_assert!(sorted.contains(&s.p50));
+            // The interpolated median lies within the sample range and at
+            // least half the samples lie at or below it.
+            prop_assert!(s.p50 >= s.min && s.p50 <= s.max);
             let at_or_below = sorted.iter().filter(|&&v| v <= s.p50).count();
             prop_assert!(at_or_below * 2 >= sorted.len());
             // Ordering of the quantiles.

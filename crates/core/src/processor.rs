@@ -31,6 +31,14 @@ pub struct ProcessorContext {
 }
 
 impl ProcessorContext {
+    /// The observability recorder engines tag spans and counters into.
+    /// Lives on the broker so every client of the run's broker — engine
+    /// tasks, producers, consumers — shares one recorder; disabled unless
+    /// the runner was given a live handle.
+    pub fn obs(&self) -> &crate::obs::ObsHandle {
+        self.broker.obs()
+    }
+
     /// Validate common invariants before an engine starts.
     pub fn validate(&self) -> Result<()> {
         if self.mp == 0 {

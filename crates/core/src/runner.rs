@@ -81,6 +81,11 @@ pub struct ExperimentSpec {
     pub warmup_fraction: f64,
     /// The modelled LAN between components.
     pub network: NetworkModel,
+    /// Live observability recorder shared by every component of the run
+    /// (broker clients, engine tasks, the serving tool). Disabled by
+    /// default: a disabled handle records nothing and never reads the
+    /// clock.
+    pub obs: crate::obs::ObsHandle,
 }
 
 impl ExperimentSpec {
@@ -97,6 +102,7 @@ impl ExperimentSpec {
             duration: Duration::from_secs(2),
             warmup_fraction: 0.25,
             network: NetworkModel::zero(),
+            obs: crate::obs::ObsHandle::disabled(),
         }
     }
 }
@@ -138,7 +144,10 @@ static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
 /// Run one experiment: build the model, deploy the serving tool and the
 /// processor, generate load for `spec.duration`, and reduce the output
 /// samples.
-pub fn run_experiment(processor: &dyn DataProcessor, spec: &ExperimentSpec) -> Result<ExperimentResult> {
+pub fn run_experiment(
+    processor: &dyn DataProcessor,
+    spec: &ExperimentSpec,
+) -> Result<ExperimentResult> {
     let graph = Arc::new(spec.model.build(spec.seed));
     run_experiment_with_graph(processor, spec, graph)
 }
@@ -154,26 +163,37 @@ pub fn run_experiment_with_graph(
         return Err(crate::CoreError::Config("mp must be >= 1".into()));
     }
     if !(0.0..1.0).contains(&spec.warmup_fraction) {
-        return Err(crate::CoreError::Config("warmup_fraction must be in [0, 1)".into()));
+        return Err(crate::CoreError::Config(
+            "warmup_fraction must be in [0, 1)".into(),
+        ));
     }
     let run = RUN_COUNTER.fetch_add(1, Ordering::Relaxed);
     let input_topic = format!("crayfish-in-{run}");
     let output_topic = format!("crayfish-out-{run}");
 
-    let broker = Broker::new(spec.network);
+    let broker = Broker::with_obs(spec.network, spec.obs.clone());
     broker.create_topic(&input_topic, spec.partitions)?;
     broker.create_topic(&output_topic, spec.partitions)?;
 
     // External serving runs as a separate service sized to mp (§4.3).
     let (scorer, server) = match spec.serving {
         ServingChoice::Embedded { lib, device } => (
-            ScorerSpec::Embedded { lib, graph: graph.clone(), device },
+            ScorerSpec::Embedded {
+                lib,
+                graph: graph.clone(),
+                device,
+            },
             None,
         ),
         ServingChoice::External { kind, device } => {
             let server = kind.start(
                 &graph,
-                ServingConfig { workers: spec.mp, device, ..Default::default() },
+                ServingConfig {
+                    workers: spec.mp,
+                    device,
+                    obs: spec.obs.clone(),
+                    ..Default::default()
+                },
             )?;
             let scorer = ScorerSpec::External {
                 kind,
@@ -208,15 +228,19 @@ pub fn run_experiment_with_graph(
     // Measurement window, with periodic SUT-lag sampling.
     let mut samples: Vec<LatencySample> = Vec::new();
     let mut lag_samples: Vec<LagSample> = Vec::new();
+    let lag_gauge = spec.obs.gauge("consumer_lag");
+    let mut observed = 0usize;
     let started = Instant::now();
     let deadline = started + spec.duration;
     let mut next_lag_probe = started;
     while Instant::now() < deadline {
         let remaining = deadline.saturating_duration_since(Instant::now());
         output.poll_into(remaining.min(Duration::from_millis(100)), &mut samples)?;
+        observed = observe_e2e(&spec.obs, &samples, observed);
         let now = Instant::now();
         if now >= next_lag_probe {
             if let Ok(lag) = broker.group_lag("crayfish-sut", &input_topic) {
+                lag_gauge.set(lag as i64);
                 lag_samples.push(LagSample {
                     t_ms: now.duration_since(started).as_secs_f64() * 1e3,
                     lag,
@@ -234,6 +258,7 @@ pub fn run_experiment_with_graph(
             break;
         }
     }
+    observe_e2e(&spec.obs, &samples, observed);
     job.stop();
     if let Some(server) = server {
         server.shutdown();
@@ -286,7 +311,11 @@ pub fn find_sustainable_rate(
         // Sustainable means both: output keeps pace AND the SUT's input lag
         // stays bounded (half a second of backlog at the offered rate).
         let bounded = result.lag_bounded(((rate * 0.5) as u64).max(64));
-        Ok(if bounded { result.throughput_eps } else { result.throughput_eps.min(rate * 0.8) })
+        Ok(if bounded {
+            result.throughput_eps
+        } else {
+            result.throughput_eps.min(rate * 0.8)
+        })
     };
     // Capacity estimate under heavy overload.
     let capacity = probe(1.0e9)?;
@@ -310,7 +339,22 @@ pub fn find_sustainable_rate(
     Ok(best)
 }
 
-fn reduce(spec: &ExperimentSpec, produced: u64, mut samples: Vec<LatencySample>) -> ExperimentResult {
+/// Feed latency samples past `from` into the end-to-end histogram.
+/// Returns the new high-water mark.
+fn observe_e2e(obs: &crate::obs::ObsHandle, samples: &[LatencySample], from: usize) -> usize {
+    if obs.is_enabled() {
+        for s in &samples[from..] {
+            obs.observe_e2e_ns((s.latency_ms.max(0.0) * 1e6) as u64);
+        }
+    }
+    samples.len()
+}
+
+fn reduce(
+    spec: &ExperimentSpec,
+    produced: u64,
+    mut samples: Vec<LatencySample>,
+) -> ExperimentResult {
     samples.sort_by(|a, b| a.end_ms.total_cmp(&b.end_ms));
     let consumed = samples.len();
     if samples.is_empty() {
@@ -386,8 +430,11 @@ mod tests {
                 &ctx.group,
                 (0..partitions).collect(),
             )?;
-            let mut producer =
-                Producer::new(ctx.broker.clone(), &ctx.output_topic, ProducerConfig::default())?;
+            let mut producer = Producer::new(
+                ctx.broker.clone(),
+                &ctx.output_topic,
+                ProducerConfig::default(),
+            )?;
             let mut scorer = ctx.scorer.build()?;
             let thread = std::thread::spawn(move || {
                 while !flag.load(Ordering::SeqCst) {
@@ -403,7 +450,10 @@ mod tests {
                     consumer.commit();
                 }
             });
-            Ok(Box::new(InlineJob { stop, thread: Some(thread) }))
+            Ok(Box::new(InlineJob {
+                stop,
+                thread: Some(thread),
+            }))
         }
     }
 
@@ -411,14 +461,21 @@ mod tests {
     fn end_to_end_experiment_produces_sane_results() {
         let spec = ExperimentSpec::quick(
             ModelSpec::TinyMlp,
-            ServingChoice::Embedded { lib: EmbeddedLib::Onnx, device: Device::Cpu },
+            ServingChoice::Embedded {
+                lib: EmbeddedLib::Onnx,
+                device: Device::Cpu,
+            },
         );
         let result = run_experiment(&InlineProcessor, &spec).unwrap();
         assert!(result.produced > 50, "produced {}", result.produced);
         assert!(result.consumed > 50, "consumed {}", result.consumed);
         // Everything consumed was produced.
         assert!(result.consumed as u64 <= result.produced + 5);
-        assert!(result.throughput_eps > 10.0, "{} eps", result.throughput_eps);
+        assert!(
+            result.throughput_eps > 10.0,
+            "{} eps",
+            result.throughput_eps
+        );
         assert!(result.latency.count > 0);
         assert!(result.latency.mean > 0.0 && result.latency.mean < 1_000.0);
         assert!(result.latency.p99 >= result.latency.p50);
@@ -432,13 +489,19 @@ mod tests {
     fn rejects_invalid_specs() {
         let mut spec = ExperimentSpec::quick(
             ModelSpec::TinyMlp,
-            ServingChoice::Embedded { lib: EmbeddedLib::Onnx, device: Device::Cpu },
+            ServingChoice::Embedded {
+                lib: EmbeddedLib::Onnx,
+                device: Device::Cpu,
+            },
         );
         spec.mp = 0;
         assert!(run_experiment(&InlineProcessor, &spec).is_err());
         let mut spec = ExperimentSpec::quick(
             ModelSpec::TinyMlp,
-            ServingChoice::Embedded { lib: EmbeddedLib::Onnx, device: Device::Cpu },
+            ServingChoice::Embedded {
+                lib: EmbeddedLib::Onnx,
+                device: Device::Cpu,
+            },
         );
         spec.warmup_fraction = 1.5;
         assert!(run_experiment(&InlineProcessor, &spec).is_err());
@@ -448,7 +511,10 @@ mod tests {
     fn external_serving_runs_end_to_end() {
         let mut spec = ExperimentSpec::quick(
             ModelSpec::TinyMlp,
-            ServingChoice::External { kind: ExternalKind::TfServing, device: Device::Cpu },
+            ServingChoice::External {
+                kind: ExternalKind::TfServing,
+                device: Device::Cpu,
+            },
         );
         spec.duration = Duration::from_millis(1500);
         let result = run_experiment(&InlineProcessor, &spec).unwrap();
@@ -458,9 +524,15 @@ mod tests {
 
     #[test]
     fn serving_choice_labels() {
-        let e = ServingChoice::Embedded { lib: EmbeddedLib::Onnx, device: Device::Cpu };
+        let e = ServingChoice::Embedded {
+            lib: EmbeddedLib::Onnx,
+            device: Device::Cpu,
+        };
         assert_eq!(e.label(), "onnx (e)");
-        let xg = ServingChoice::External { kind: ExternalKind::TfServing, device: Device::gpu() };
+        let xg = ServingChoice::External {
+            kind: ExternalKind::TfServing,
+            device: Device::gpu(),
+        };
         assert_eq!(xg.label(), "tf_serving-gpu (x)");
     }
 
@@ -468,10 +540,17 @@ mod tests {
     fn lag_is_sampled_and_bounded_when_underloaded() {
         let spec = ExperimentSpec::quick(
             ModelSpec::TinyMlp,
-            ServingChoice::Embedded { lib: EmbeddedLib::Onnx, device: Device::Cpu },
+            ServingChoice::Embedded {
+                lib: EmbeddedLib::Onnx,
+                device: Device::Cpu,
+            },
         );
         let result = run_experiment(&InlineProcessor, &spec).unwrap();
-        assert!(result.lag_samples.len() >= 4, "{} lag probes", result.lag_samples.len());
+        assert!(
+            result.lag_samples.len() >= 4,
+            "{} lag probes",
+            result.lag_samples.len()
+        );
         assert!(result.lag_bounded(100), "lag grew under light load");
         // Probes are time-ordered.
         for pair in result.lag_samples.windows(2) {
@@ -483,7 +562,10 @@ mod tests {
     fn sustainable_rate_search_converges() {
         let mut spec = ExperimentSpec::quick(
             ModelSpec::TinyMlp,
-            ServingChoice::Embedded { lib: EmbeddedLib::Onnx, device: Device::Cpu },
+            ServingChoice::Embedded {
+                lib: EmbeddedLib::Onnx,
+                device: Device::Cpu,
+            },
         );
         spec.partitions = 4;
         let opts = StSearchOptions {
@@ -502,7 +584,10 @@ mod tests {
     fn reduce_discards_warmup() {
         let spec = ExperimentSpec::quick(
             ModelSpec::TinyMlp,
-            ServingChoice::Embedded { lib: EmbeddedLib::Onnx, device: Device::Cpu },
+            ServingChoice::Embedded {
+                lib: EmbeddedLib::Onnx,
+                device: Device::Cpu,
+            },
         );
         // 100 samples over 10 s; first quarter has huge latencies.
         let samples: Vec<LatencySample> = (0..100)
@@ -514,6 +599,10 @@ mod tests {
             .collect();
         let result = reduce(&spec, 100, samples);
         assert!(result.latency.max < 11_000.0);
-        assert!(result.latency.mean < 200.0, "warmup not discarded: {}", result.latency.mean);
+        assert!(
+            result.latency.mean < 200.0,
+            "warmup not discarded: {}",
+            result.latency.mean
+        );
     }
 }

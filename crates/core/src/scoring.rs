@@ -24,6 +24,12 @@ pub trait Scorer: Send {
     fn name(&self) -> String;
     /// Score `[batch, ..input]` → `[batch, classes]`.
     fn score(&mut self, input: &Tensor) -> Result<Tensor>;
+    /// Which observability stage the time spent in [`Scorer::score`]
+    /// belongs to: in-operator model execution for embedded serving, a
+    /// blocking RPC for external serving.
+    fn obs_stage(&self) -> crate::obs::Stage {
+        crate::obs::Stage::Inference
+    }
 }
 
 /// Description of the serving alternative; cheap to clone across workers.
@@ -80,7 +86,11 @@ impl ScorerSpec {
                 let model = lib.runtime().load_graph(graph, *device)?;
                 Ok(Box::new(EmbeddedScorer { model }))
             }
-            ScorerSpec::External { kind, addr, network } => {
+            ScorerSpec::External {
+                kind,
+                addr,
+                network,
+            } => {
                 let client = kind.connect(*addr, *network)?;
                 Ok(Box::new(ExternalScorer { client }))
             }
@@ -112,16 +122,41 @@ impl Scorer for ExternalScorer {
     fn score(&mut self, input: &Tensor) -> Result<Tensor> {
         Ok(self.client.infer(input)?)
     }
+    fn obs_stage(&self) -> crate::obs::Stage {
+        crate::obs::Stage::ServingRpc
+    }
 }
 
 /// The shared scoring-operator body: decode a `CrayfishDataBatch` payload,
 /// score it, and encode the `ScoredBatch` payload. Every engine's scoring
 /// operator funnels through this (the paper's flatmap-like `scoringOp`).
 pub fn score_payload(scorer: &mut dyn Scorer, payload: &[u8]) -> Result<bytes::Bytes> {
+    score_payload_obs(scorer, payload, &crate::obs::ObsHandle::disabled())
+}
+
+/// [`score_payload`] with per-stage spans: `decode` around the wire-format
+/// parse + tensor rebuild, `inference`/`serving_rpc` (per
+/// [`Scorer::obs_stage`]) around the score call, and `encode` around the
+/// result serialisation. With a disabled handle this compiles down to the
+/// plain path — timers never read the clock.
+pub fn score_payload_obs(
+    scorer: &mut dyn Scorer,
+    payload: &[u8],
+    obs: &crate::obs::ObsHandle,
+) -> Result<bytes::Bytes> {
+    let span = obs.timer(crate::obs::Stage::Decode);
     let batch = CrayfishDataBatch::decode(payload)?;
     let input = batch.to_tensor()?;
+    span.stop();
+
+    let span = obs.timer(scorer.obs_stage());
     let output = scorer.score(&input)?;
-    ScoredBatch::from_output(&batch, &output).encode()
+    span.stop();
+
+    let span = obs.timer(crate::obs::Stage::Encode);
+    let encoded = ScoredBatch::from_output(&batch, &output).encode();
+    span.stop();
+    encoded
 }
 
 #[cfg(test)]
@@ -141,7 +176,9 @@ mod tests {
     #[test]
     fn embedded_scorer_scores() {
         let mut s = spec_embedded().build().unwrap();
-        let out = s.score(&Tensor::seeded_uniform([2, 8, 8], 1, 0.0, 1.0)).unwrap();
+        let out = s
+            .score(&Tensor::seeded_uniform([2, 8, 8], 1, 0.0, 1.0))
+            .unwrap();
         assert_eq!(out.shape().dims(), &[2, 4]);
         assert!(s.name().contains("(e)"));
     }
@@ -159,7 +196,9 @@ mod tests {
             network: NetworkModel::zero(),
         };
         let mut s = spec.build().unwrap();
-        let out = s.score(&Tensor::seeded_uniform([3, 8, 8], 1, 0.0, 1.0)).unwrap();
+        let out = s
+            .score(&Tensor::seeded_uniform([3, 8, 8], 1, 0.0, 1.0))
+            .unwrap();
         assert_eq!(out.shape().dims(), &[3, 4]);
         server.shutdown();
     }

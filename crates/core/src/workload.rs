@@ -68,7 +68,12 @@ impl Workload {
     pub fn rate_at(&self, elapsed_secs: f64) -> f64 {
         match *self {
             Workload::Constant { rate } => rate,
-            Workload::Bursty { base, burst, burst_secs, between_secs } => {
+            Workload::Bursty {
+                base,
+                burst,
+                burst_secs,
+                between_secs,
+            } => {
                 let cycle = burst_secs + between_secs;
                 let phase = elapsed_secs % cycle;
                 if phase < between_secs {
@@ -84,9 +89,11 @@ impl Workload {
     pub fn in_burst(&self, elapsed_secs: f64) -> bool {
         match *self {
             Workload::Constant { .. } => false,
-            Workload::Bursty { burst_secs, between_secs, .. } => {
-                (elapsed_secs % (burst_secs + between_secs)) >= between_secs
-            }
+            Workload::Bursty {
+                burst_secs,
+                between_secs,
+                ..
+            } => (elapsed_secs % (burst_secs + between_secs)) >= between_secs,
         }
     }
 }
@@ -135,7 +142,8 @@ fn render_bodies(item_shape: &Shape, bsz: usize, variants: usize, seed: u64) -> 
             // Image-like integer pixels, deterministic per variant.
             let mut state = seed.wrapping_add(v as u64).wrapping_mul(0x9E3779B97F4A7C15) | 1;
             let mut body = String::with_capacity(numel * 4 + shape_json.len() + 64);
-            write!(body, "\"shape\":{shape_json},\"bsz\":{bsz},\"data\":[").expect("write to string");
+            write!(body, "\"shape\":{shape_json},\"bsz\":{bsz},\"data\":[")
+                .expect("write to string");
             for i in 0..numel {
                 state ^= state << 13;
                 state ^= state >> 7;
@@ -164,7 +172,9 @@ fn render_dataset_bodies(ds: &Dataset, bsz: usize, variants: usize) -> Result<Ve
         }
         let data_json = serde_json::to_string(&data)
             .map_err(|e| crate::CoreError::Codec(format!("data to json: {e}")))?;
-        bodies.push(format!("\"shape\":{shape_json},\"bsz\":{bsz},\"data\":{data_json}}}"));
+        bodies.push(format!(
+            "\"shape\":{shape_json},\"bsz\":{bsz},\"data\":{data_json}}}"
+        ));
     }
     Ok(bodies)
 }
@@ -179,7 +189,14 @@ pub fn start_producer(
     workload: Workload,
     seed: u64,
 ) -> Result<InputProducerHandle> {
-    start_producer_with_source(broker, topic, item_shape, bsz, workload, InputSource::Synthetic { seed })
+    start_producer_with_source(
+        broker,
+        topic,
+        item_shape,
+        bsz,
+        workload,
+        InputSource::Synthetic { seed },
+    )
 }
 
 /// [`start_producer`] with an explicit input source (synthetic or a real
@@ -192,6 +209,7 @@ pub fn start_producer_with_source(
     workload: Workload,
     source: InputSource,
 ) -> Result<InputProducerHandle> {
+    let obs = broker.obs().clone();
     let mut producer = Producer::new(broker, topic, ProducerConfig::default())?;
     let stop = Arc::new(AtomicBool::new(false));
     let produced = Arc::new(AtomicU64::new(0));
@@ -217,21 +235,32 @@ pub fn start_producer_with_source(
             let sw = Stopwatch::start();
             let mut pacer = RatePacer::new(workload.rate_at(0.0));
             let mut id = 0u64;
+            let records_in = obs.counter("records_in");
             while !stop_flag.load(Ordering::SeqCst) {
                 pacer.set_rate(workload.rate_at(sw.elapsed().as_secs_f64()));
                 pacer.pace();
                 if stop_flag.load(Ordering::SeqCst) {
                     break;
                 }
+                // The `batch` span covers assembling one wire batch: stamping
+                // the id/creation time and rendering the payload bytes.
+                let span = obs.timer(crate::obs::Stage::Batch);
                 let body = &bodies[(id % bodies.len() as u64) as usize];
                 let mut payload = String::with_capacity(body.len() + 48);
                 // The *start* timestamp, recorded prior to the broker write.
-                write!(payload, "{{\"id\":{id},\"created_ms\":{:.3},", now_millis_f64())
-                    .expect("write to string");
+                write!(
+                    payload,
+                    "{{\"id\":{id},\"created_ms\":{:.3},",
+                    now_millis_f64()
+                )
+                .expect("write to string");
                 payload.push_str(body);
-                if producer.send(None, Bytes::from(payload)).is_err() {
+                let payload = Bytes::from(payload);
+                span.stop();
+                if producer.send(None, payload).is_err() {
                     break;
                 }
+                records_in.inc();
                 id += 1;
                 counter.store(id, Ordering::Relaxed);
             }
@@ -263,7 +292,12 @@ mod tests {
 
     #[test]
     fn bursty_workload_phases() {
-        let w = Workload::Bursty { base: 70.0, burst: 110.0, burst_secs: 30.0, between_secs: 120.0 };
+        let w = Workload::Bursty {
+            base: 70.0,
+            burst: 110.0,
+            burst_secs: 30.0,
+            between_secs: 120.0,
+        };
         assert_eq!(w.rate_at(0.0), 70.0);
         assert_eq!(w.rate_at(119.0), 70.0);
         assert_eq!(w.rate_at(121.0), 110.0);
@@ -368,7 +402,12 @@ mod tests {
         let dir = std::env::temp_dir().join("crayfish-workload-tests");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("mismatch.crfd");
-        write_dataset(&path, &Shape::from([3]), &[crayfish_tensor::Tensor::zeros([3])]).unwrap();
+        write_dataset(
+            &path,
+            &Shape::from([3]),
+            &[crayfish_tensor::Tensor::zeros([3])],
+        )
+        .unwrap();
         let ds = Dataset::load(&path).unwrap();
         let broker = Broker::new(NetworkModel::zero());
         broker.create_topic("in", 1).unwrap();

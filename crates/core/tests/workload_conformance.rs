@@ -35,7 +35,7 @@ fn bursty_producer_emits_two_rates() {
     let recs = broker.read("in", 0, 0, usize::MAX, usize::MAX).unwrap();
     assert!(recs.len() > 1000, "only {} records", recs.len());
     let t0 = recs.first().unwrap().append_time_ms;
-    let mut buckets = vec![0usize; 18];
+    let mut buckets = [0usize; 18];
     for r in &recs {
         let i = ((r.append_time_ms - t0) / 250.0) as usize;
         if i < buckets.len() {

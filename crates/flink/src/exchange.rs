@@ -18,7 +18,10 @@ pub type NetBuffer = Vec<Bytes>;
 /// Build an exchange from one upstream task to `downstream` tasks.
 /// Returns the per-task receivers; each upstream task creates its own
 /// [`ExchangeSender`] over clones of the senders.
-pub fn channels(downstream: usize, capacity: usize) -> (Vec<Sender<NetBuffer>>, Vec<Receiver<NetBuffer>>) {
+pub fn channels(
+    downstream: usize,
+    capacity: usize,
+) -> (Vec<Sender<NetBuffer>>, Vec<Receiver<NetBuffer>>) {
     let mut txs = Vec::with_capacity(downstream);
     let mut rxs = Vec::with_capacity(downstream);
     for _ in 0..downstream {
@@ -180,6 +183,9 @@ mod tests {
         let (txs, rxs) = channels(1, 1);
         assert_eq!(recv_buffer(&rxs[0], Duration::from_millis(10)), Ok(None));
         drop(txs);
-        assert_eq!(recv_buffer(&rxs[0], Duration::from_millis(10)), Err(EndOfStream));
+        assert_eq!(
+            recv_buffer(&rxs[0], Duration::from_millis(10)),
+            Err(EndOfStream)
+        );
     }
 }

@@ -6,7 +6,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crayfish_broker::{Broker, PartitionConsumer, Producer, ProducerConfig};
-use crayfish_core::scoring::score_payload;
+use crayfish_core::scoring::score_payload_obs;
 use crayfish_core::{CoreError, DataProcessor, ProcessorContext, Result, RunningJob};
 use crayfish_sim::{calibration, Cost};
 
@@ -130,7 +130,10 @@ impl DataProcessor for FlinkProcessor {
 /// Chained topology with asynchronous scoring I/O: each of the `mp`
 /// subtasks keeps up to `async_io` scoring calls in flight on a pool of
 /// async workers, so a slow external server no longer serialises the chain.
-fn start_async_chained(ctx: &ProcessorContext, options: FlinkOptions) -> Result<Box<dyn RunningJob>> {
+fn start_async_chained(
+    ctx: &ProcessorContext,
+    options: FlinkOptions,
+) -> Result<Box<dyn RunningJob>> {
     use crossbeam::channel::bounded;
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -146,14 +149,29 @@ fn start_async_chained(ctx: &ProcessorContext, options: FlinkOptions) -> Result<
         for w in 0..capacity {
             let rx = work_rx.clone();
             let mut scorer = ctx.scorer.build()?;
-            let mut producer =
-                Producer::new(ctx.broker.clone(), &ctx.output_topic, ProducerConfig::default())?;
+            let mut producer = Producer::new(
+                ctx.broker.clone(),
+                &ctx.output_topic,
+                ProducerConfig::default(),
+            )?;
+            let obs = ctx.obs().clone();
             threads.push(spawn_task(format!("flink-async-{i}-{w}"), move || {
+                let batches_scored = obs.counter("batches_scored");
+                let records_out = obs.counter("records_out");
+                let score_errors = obs.counter("score_errors");
                 while let Ok(rec) = rx.recv() {
-                    if let Ok(out) = score_payload(scorer.as_mut(), &rec) {
-                        if producer.send(None, out).is_err() {
-                            return;
+                    match score_payload_obs(scorer.as_mut(), &rec, &obs) {
+                        Ok(out) => {
+                            batches_scored.inc();
+                            let span = obs.timer(crayfish_core::Stage::Emit);
+                            let sent = producer.send(None, out);
+                            span.stop();
+                            if sent.is_err() {
+                                return;
+                            }
+                            records_out.inc();
                         }
+                        Err(_) => score_errors.inc(),
                     }
                 }
             })?);
@@ -166,6 +184,7 @@ fn start_async_chained(ctx: &ProcessorContext, options: FlinkOptions) -> Result<
         let mut consumer =
             PartitionConsumer::new(ctx.broker.clone(), &ctx.input_topic, &ctx.group, assigned)?;
         let flag = stop.clone();
+        let obs = ctx.obs().clone();
         threads.insert(
             i,
             spawn_task(format!("flink-chain-async-{i}"), move || {
@@ -175,7 +194,9 @@ fn start_async_chained(ctx: &ProcessorContext, options: FlinkOptions) -> Result<
                         Err(_) => return,
                     };
                     for rec in records {
+                        let span = obs.timer(crayfish_core::Stage::Ingest);
                         options.record_overhead.spend(rec.value.len());
+                        span.stop();
                         if work_tx.send(rec.value).is_err() {
                             return;
                         }
@@ -197,11 +218,18 @@ fn start_chained(ctx: &ProcessorContext, options: FlinkOptions) -> Result<Box<dy
     for (i, assigned) in assignment.into_iter().enumerate() {
         let mut consumer =
             PartitionConsumer::new(ctx.broker.clone(), &ctx.input_topic, &ctx.group, assigned)?;
-        let mut producer =
-            Producer::new(ctx.broker.clone(), &ctx.output_topic, ProducerConfig::default())?;
+        let mut producer = Producer::new(
+            ctx.broker.clone(),
+            &ctx.output_topic,
+            ProducerConfig::default(),
+        )?;
         let mut scorer = ctx.scorer.build()?;
         let flag = stop.clone();
+        let obs = ctx.obs().clone();
         threads.push(spawn_task(format!("flink-chain-{i}"), move || {
+            let batches_scored = obs.counter("batches_scored");
+            let records_out = obs.counter("records_out");
+            let score_errors = obs.counter("score_errors");
             while !flag.load(Ordering::SeqCst) {
                 let records = match consumer.poll(Duration::from_millis(50)) {
                     Ok(r) => r,
@@ -209,14 +237,21 @@ fn start_chained(ctx: &ProcessorContext, options: FlinkOptions) -> Result<Box<dy
                 };
                 for rec in records {
                     // JVM task-chain framework cost per record.
+                    let span = obs.timer(crayfish_core::Stage::Ingest);
                     options.record_overhead.spend(rec.value.len());
-                    match score_payload(scorer.as_mut(), &rec.value) {
+                    span.stop();
+                    match score_payload_obs(scorer.as_mut(), &rec.value, &obs) {
                         Ok(out) => {
-                            if producer.send(None, out).is_err() {
+                            batches_scored.inc();
+                            let span = obs.timer(crayfish_core::Stage::Emit);
+                            let sent = producer.send(None, out);
+                            span.stop();
+                            if sent.is_err() {
                                 return;
                             }
+                            records_out.inc();
                         }
-                        Err(_) => continue,
+                        Err(_) => score_errors.inc(),
                     }
                 }
                 // Checkpoint-style offset commit after each fetch.
@@ -232,9 +267,10 @@ fn start_chained(ctx: &ProcessorContext, options: FlinkOptions) -> Result<Box<dy
 fn start_unchained(ctx: &ProcessorContext, options: FlinkOptions) -> Result<Box<dyn RunningJob>> {
     let stop = Arc::new(AtomicBool::new(false));
     let partitions = ctx.broker.partitions(&ctx.input_topic)?;
-    let op = options
-        .operator_parallelism
-        .unwrap_or(OperatorParallelism { source: ctx.mp, sink: ctx.mp });
+    let op = options.operator_parallelism.unwrap_or(OperatorParallelism {
+        source: ctx.mp,
+        sink: ctx.mp,
+    });
     let sources = op.source.max(1);
     let sinks = op.sink.max(1);
     let scorers = ctx.mp;
@@ -246,9 +282,15 @@ fn start_unchained(ctx: &ProcessorContext, options: FlinkOptions) -> Result<Box<
 
     // The chain's framework cost splits across the now-independent
     // operators (see `calibration::FLINK_SOURCE_SHARE` and friends).
-    let source_cost = options.record_overhead.scaled(calibration::FLINK_SOURCE_SHARE);
-    let scoring_cost = options.record_overhead.scaled(calibration::FLINK_SCORING_SHARE);
-    let sink_cost = options.record_overhead.scaled(calibration::FLINK_SINK_SHARE);
+    let source_cost = options
+        .record_overhead
+        .scaled(calibration::FLINK_SOURCE_SHARE);
+    let scoring_cost = options
+        .record_overhead
+        .scaled(calibration::FLINK_SCORING_SHARE);
+    let sink_cost = options
+        .record_overhead
+        .scaled(calibration::FLINK_SINK_SHARE);
 
     // Source tasks.
     let assignment = Broker::range_assignment(partitions, sources);
@@ -261,6 +303,7 @@ fn start_unchained(ctx: &ProcessorContext, options: FlinkOptions) -> Result<Box<
             options.buffer_timeout,
         );
         let flag = stop.clone();
+        let obs = ctx.obs().clone();
         threads.push(spawn_task(format!("flink-source-{i}"), move || {
             while !flag.load(Ordering::SeqCst) {
                 let records = match consumer.poll(Duration::from_millis(10)) {
@@ -268,7 +311,9 @@ fn start_unchained(ctx: &ProcessorContext, options: FlinkOptions) -> Result<Box<
                     Err(_) => return,
                 };
                 for rec in records {
+                    let span = obs.timer(crayfish_core::Stage::Ingest);
                     source_cost.spend(rec.value.len());
+                    span.stop();
                     if out.push(rec.value).is_err() {
                         return;
                     }
@@ -291,16 +336,25 @@ fn start_unchained(ctx: &ProcessorContext, options: FlinkOptions) -> Result<Box<
             options.buffer_bytes,
             options.buffer_timeout,
         );
+        let obs = ctx.obs().clone();
         threads.push(spawn_task(format!("flink-score-{i}"), move || {
+            let batches_scored = obs.counter("batches_scored");
+            let score_errors = obs.counter("score_errors");
             loop {
                 match recv_buffer(&rx, Duration::from_millis(10)) {
                     Ok(Some(buffer)) => {
                         for rec in buffer {
+                            let span = obs.timer(crayfish_core::Stage::Ingest);
                             scoring_cost.spend(rec.len());
-                            if let Ok(scored) = score_payload(scorer.as_mut(), &rec) {
-                                if out.push(scored).is_err() {
-                                    return;
+                            span.stop();
+                            match score_payload_obs(scorer.as_mut(), &rec, &obs) {
+                                Ok(scored) => {
+                                    batches_scored.inc();
+                                    if out.push(scored).is_err() {
+                                        return;
+                                    }
                                 }
+                                Err(_) => score_errors.inc(),
                             }
                         }
                         if out.maybe_flush().is_err() {
@@ -323,20 +377,31 @@ fn start_unchained(ctx: &ProcessorContext, options: FlinkOptions) -> Result<Box<
 
     // Sink tasks.
     for (i, rx) in sink_rxs.into_iter().enumerate() {
-        let mut producer =
-            Producer::new(ctx.broker.clone(), &ctx.output_topic, ProducerConfig::default())?;
-        threads.push(spawn_task(format!("flink-sink-{i}"), move || loop {
-            match recv_buffer(&rx, Duration::from_millis(50)) {
-                Ok(Some(buffer)) => {
-                    for rec in buffer {
-                        sink_cost.spend(rec.len());
-                        if producer.send(None, rec).is_err() {
-                            return;
+        let mut producer = Producer::new(
+            ctx.broker.clone(),
+            &ctx.output_topic,
+            ProducerConfig::default(),
+        )?;
+        let obs = ctx.obs().clone();
+        threads.push(spawn_task(format!("flink-sink-{i}"), move || {
+            let records_out = obs.counter("records_out");
+            loop {
+                match recv_buffer(&rx, Duration::from_millis(50)) {
+                    Ok(Some(buffer)) => {
+                        for rec in buffer {
+                            let span = obs.timer(crayfish_core::Stage::Emit);
+                            sink_cost.spend(rec.len());
+                            let sent = producer.send(None, rec);
+                            span.stop();
+                            if sent.is_err() {
+                                return;
+                            }
+                            records_out.inc();
                         }
                     }
+                    Ok(None) => {}
+                    Err(_) => return,
                 }
-                Ok(None) => {}
-                Err(_) => return,
             }
         })?);
     }
@@ -365,7 +430,10 @@ mod tests {
     /// Options with the JVM framework cost zeroed, so unit tests measure
     /// only the mechanisms they target.
     fn bare_options() -> FlinkOptions {
-        FlinkOptions { record_overhead: Cost::ZERO, ..Default::default() }
+        FlinkOptions {
+            record_overhead: Cost::ZERO,
+            ..Default::default()
+        }
     }
 
     fn make_ctx(mp: usize) -> ProcessorContext {
@@ -432,7 +500,9 @@ mod tests {
     fn chained_pipeline_scores_every_batch() {
         let ctx = make_ctx(2);
         let broker = ctx.broker.clone();
-        let job = FlinkProcessor::with_options(bare_options()).start(ctx).unwrap();
+        let job = FlinkProcessor::with_options(bare_options())
+            .start(ctx)
+            .unwrap();
         feed(&broker, 40);
         let scored = drain_scored(&broker, 40);
         assert_eq!(scored.len(), 40);
@@ -461,7 +531,9 @@ mod tests {
     fn stop_is_graceful_and_idempotent_work() {
         let ctx = make_ctx(1);
         let broker = ctx.broker.clone();
-        let job = FlinkProcessor::with_options(bare_options()).start(ctx).unwrap();
+        let job = FlinkProcessor::with_options(bare_options())
+            .start(ctx)
+            .unwrap();
         feed(&broker, 5);
         drain_scored(&broker, 5);
         job.stop();
@@ -476,7 +548,9 @@ mod tests {
     fn malformed_records_are_skipped_not_fatal() {
         let ctx = make_ctx(1);
         let broker = ctx.broker.clone();
-        let job = FlinkProcessor::with_options(bare_options()).start(ctx).unwrap();
+        let job = FlinkProcessor::with_options(bare_options())
+            .start(ctx)
+            .unwrap();
         broker
             .append("in", 0, vec![(Bytes::from_static(b"not json"), 0.0)])
             .unwrap();
@@ -490,7 +564,10 @@ mod tests {
     fn async_io_scores_everything_exactly_once() {
         let ctx = make_ctx(2);
         let broker = ctx.broker.clone();
-        let options = FlinkOptions { async_io: 4, ..bare_options() };
+        let options = FlinkOptions {
+            async_io: 4,
+            ..bare_options()
+        };
         let job = FlinkProcessor::with_options(options).start(ctx).unwrap();
         feed(&broker, 50);
         let scored = drain_scored(&broker, 50);
@@ -507,11 +584,17 @@ mod tests {
         let graph = tiny::tiny_mlp(1);
         let server = crayfish_serving::tf_serving::start(
             &graph,
-            crayfish_serving::ServingConfig { workers: 4, ..Default::default() },
+            crayfish_serving::ServingConfig {
+                workers: 4,
+                ..Default::default()
+            },
         )
         .unwrap();
         // A slow modelled LAN makes each call ~10 ms.
-        let slow_net = NetworkModel { base_latency_s: 0.005, bandwidth_bytes_per_s: f64::INFINITY };
+        let slow_net = NetworkModel {
+            base_latency_s: 0.005,
+            bandwidth_bytes_per_s: f64::INFINITY,
+        };
         let mut elapsed = Vec::new();
         for async_io in [0usize, 4] {
             let broker = Broker::new(NetworkModel::zero());
@@ -529,7 +612,10 @@ mod tests {
                 },
                 mp: 1,
             };
-            let options = FlinkOptions { async_io, ..bare_options() };
+            let options = FlinkOptions {
+                async_io,
+                ..bare_options()
+            };
             let job = FlinkProcessor::with_options(options).start(ctx).unwrap();
             let sw = crayfish_sim::Stopwatch::start();
             feed(&broker, 40);

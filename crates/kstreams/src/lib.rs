@@ -25,7 +25,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crayfish_broker::{Broker, PartitionConsumer, Producer, ProducerConfig};
-use crayfish_core::scoring::score_payload;
+use crayfish_core::scoring::score_payload_obs;
 use crayfish_core::{CoreError, DataProcessor, ProcessorContext, Result, RunningJob};
 use crayfish_sim::{calibration, Cost};
 
@@ -100,13 +100,20 @@ impl DataProcessor for KStreamsProcessor {
             let mut consumer =
                 PartitionConsumer::new(ctx.broker.clone(), &ctx.input_topic, &ctx.group, assigned)?;
             consumer.max_poll_records = options.max_poll_records;
-            let mut producer =
-                Producer::new(ctx.broker.clone(), &ctx.output_topic, ProducerConfig::default())?;
+            let mut producer = Producer::new(
+                ctx.broker.clone(),
+                &ctx.output_topic,
+                ProducerConfig::default(),
+            )?;
             let mut scorer = ctx.scorer.build()?;
             let flag = stop.clone();
+            let obs = ctx.obs().clone();
             let thread = std::thread::Builder::new()
                 .name(format!("kstreams-thread-{i}"))
                 .spawn(move || {
+                    let batches_scored = obs.counter("batches_scored");
+                    let records_out = obs.counter("records_out");
+                    let score_errors = obs.counter("score_errors");
                     while !flag.load(Ordering::SeqCst) {
                         // Pull one batch through the complete topology.
                         let records = match consumer.poll(options.poll_timeout) {
@@ -118,11 +125,21 @@ impl DataProcessor for KStreamsProcessor {
                         }
                         for rec in records {
                             // JVM stream-thread framework cost per record.
+                            let span = obs.timer(crayfish_core::Stage::Ingest);
                             options.record_overhead.spend(rec.value.len());
-                            if let Ok(out) = score_payload(scorer.as_mut(), &rec.value) {
-                                if producer.send(None, out).is_err() {
-                                    return;
+                            span.stop();
+                            match score_payload_obs(scorer.as_mut(), &rec.value, &obs) {
+                                Ok(out) => {
+                                    batches_scored.inc();
+                                    let span = obs.timer(crayfish_core::Stage::Emit);
+                                    let sent = producer.send(None, out);
+                                    span.stop();
+                                    if sent.is_err() {
+                                        return;
+                                    }
+                                    records_out.inc();
                                 }
+                                Err(_) => score_errors.inc(),
                             }
                         }
                         // Finish the cycle: flush the sink, commit input
@@ -191,7 +208,9 @@ mod tests {
         let mut offsets = [0u64; 8];
         while out.len() < expect && std::time::Instant::now() < deadline {
             for p in 0..8u32 {
-                let recs = broker.read("out", p, offsets[p as usize], 1000, usize::MAX).unwrap();
+                let recs = broker
+                    .read("out", p, offsets[p as usize], 1000, usize::MAX)
+                    .unwrap();
                 if let Some(last) = recs.last() {
                     offsets[p as usize] = last.offset + 1;
                 }
@@ -252,8 +271,12 @@ mod tests {
         let job = bare().start(ctx).unwrap();
         for id in 0..10u64 {
             let t = Tensor::seeded_uniform([1, 8, 8], id, 0.0, 1.0);
-            let payload = CrayfishDataBatch::from_tensor(id, now_millis_f64(), &t).encode().unwrap();
-            broker.append("in", (id % 2) as u32, vec![(payload, 0.0)]).unwrap();
+            let payload = CrayfishDataBatch::from_tensor(id, now_millis_f64(), &t)
+                .encode()
+                .unwrap();
+            broker
+                .append("in", (id % 2) as u32, vec![(payload, 0.0)])
+                .unwrap();
         }
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while broker.total_records("out").unwrap() < 10 && std::time::Instant::now() < deadline {

@@ -37,7 +37,11 @@ pub fn build(seed: u64) -> NnGraph {
         x = g.add(format!("relu{layer}"), Op::Relu, vec![d]);
         in_f = HIDDEN;
     }
-    let w = Arc::new(Tensor::seeded_he([HIDDEN, CLASSES], seed.wrapping_add(100), HIDDEN));
+    let w = Arc::new(Tensor::seeded_he(
+        [HIDDEN, CLASSES],
+        seed.wrapping_add(100),
+        HIDDEN,
+    ));
     let b = Arc::new(Tensor::zeros([CLASSES]));
     let logits = g.add("fc_out", Op::Dense { w, b }, vec![x]);
     g.add("softmax", Op::Softmax, vec![logits]);

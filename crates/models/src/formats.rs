@@ -79,12 +79,31 @@ impl ModelFormat {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(tag = "kind", rename_all = "snake_case")]
 enum OpDef {
-    Input { shape: Vec<usize> },
-    Dense { inf: usize, outf: usize },
-    Conv2d { in_c: usize, out_c: usize, kernel: usize, stride: usize, pad: usize, has_bias: bool },
-    BatchNorm { channels: usize, eps: f32 },
+    Input {
+        shape: Vec<usize>,
+    },
+    Dense {
+        inf: usize,
+        outf: usize,
+    },
+    Conv2d {
+        in_c: usize,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        has_bias: bool,
+    },
+    BatchNorm {
+        channels: usize,
+        eps: f32,
+    },
     Relu,
-    MaxPool { k: usize, s: usize, pad: usize },
+    MaxPool {
+        k: usize,
+        s: usize,
+        pad: usize,
+    },
     GlobalAvgPool,
     Add,
     Flatten,
@@ -117,11 +136,16 @@ fn to_defs(graph: &NnGraph) -> (GraphDef, Vec<f32>) {
     let mut nodes = Vec::with_capacity(graph.nodes().len());
     for node in graph.nodes() {
         let op = match &node.op {
-            Op::Input { shape } => OpDef::Input { shape: shape.dims().to_vec() },
+            Op::Input { shape } => OpDef::Input {
+                shape: shape.dims().to_vec(),
+            },
             Op::Dense { w, b } => {
                 weights.extend_from_slice(w.data());
                 weights.extend_from_slice(b.data());
-                OpDef::Dense { inf: w.shape().dim(0), outf: w.shape().dim(1) }
+                OpDef::Dense {
+                    inf: w.shape().dim(0),
+                    outf: w.shape().dim(1),
+                }
             }
             Op::Conv2d { w, b, params } => {
                 weights.extend_from_slice(w.data());
@@ -142,19 +166,34 @@ fn to_defs(graph: &NnGraph) -> (GraphDef, Vec<f32>) {
                 weights.extend_from_slice(&params.beta);
                 weights.extend_from_slice(&params.mean);
                 weights.extend_from_slice(&params.var);
-                OpDef::BatchNorm { channels: params.channels(), eps: params.eps }
+                OpDef::BatchNorm {
+                    channels: params.channels(),
+                    eps: params.eps,
+                }
             }
             Op::Relu => OpDef::Relu,
-            Op::MaxPool { k, s, pad } => OpDef::MaxPool { k: *k, s: *s, pad: *pad },
+            Op::MaxPool { k, s, pad } => OpDef::MaxPool {
+                k: *k,
+                s: *s,
+                pad: *pad,
+            },
             Op::GlobalAvgPool => OpDef::GlobalAvgPool,
             Op::Add => OpDef::Add,
             Op::Flatten => OpDef::Flatten,
             Op::Softmax => OpDef::Softmax,
         };
-        nodes.push(NodeDef { name: node.name.clone(), inputs: node.inputs.clone(), op });
+        nodes.push(NodeDef {
+            name: node.name.clone(),
+            inputs: node.inputs.clone(),
+            op,
+        });
     }
     (
-        GraphDef { name: graph.name().to_string(), output: graph.output(), nodes },
+        GraphDef {
+            name: graph.name().to_string(),
+            output: graph.output(),
+            nodes,
+        },
         weights,
     )
 }
@@ -181,7 +220,10 @@ impl<'a> WeightReader<'a> {
 
 fn from_defs(def: &GraphDef, weights: &[f32]) -> Result<NnGraph> {
     let mut g = NnGraph::new(def.name.clone());
-    let mut r = WeightReader { data: weights, pos: 0 };
+    let mut r = WeightReader {
+        data: weights,
+        pos: 0,
+    };
     for node in &def.nodes {
         for &i in &node.inputs {
             if i >= g.nodes().len() {
@@ -192,17 +234,33 @@ fn from_defs(def: &GraphDef, weights: &[f32]) -> Result<NnGraph> {
             }
         }
         let op = match &node.op {
-            OpDef::Input { shape } => Op::Input { shape: Shape::new(shape.clone()) },
+            OpDef::Input { shape } => Op::Input {
+                shape: Shape::new(shape.clone()),
+            },
             OpDef::Dense { inf, outf } => {
                 let w = Tensor::from_vec([*inf, *outf], r.take(inf * outf)?.to_vec())?;
                 let b = Tensor::from_vec([*outf], r.take(*outf)?.to_vec())?;
-                Op::Dense { w: Arc::new(w), b: Arc::new(b) }
+                Op::Dense {
+                    w: Arc::new(w),
+                    b: Arc::new(b),
+                }
             }
-            OpDef::Conv2d { in_c, out_c, kernel, stride, pad, has_bias } => {
+            OpDef::Conv2d {
+                in_c,
+                out_c,
+                kernel,
+                stride,
+                pad,
+                has_bias,
+            } => {
                 let wlen = out_c * in_c * kernel * kernel;
-                let w = Tensor::from_vec([*out_c, *in_c, *kernel, *kernel], r.take(wlen)?.to_vec())?;
+                let w =
+                    Tensor::from_vec([*out_c, *in_c, *kernel, *kernel], r.take(wlen)?.to_vec())?;
                 let b = if *has_bias {
-                    Some(Arc::new(Tensor::from_vec([*out_c], r.take(*out_c)?.to_vec())?))
+                    Some(Arc::new(Tensor::from_vec(
+                        [*out_c],
+                        r.take(*out_c)?.to_vec(),
+                    )?))
                 } else {
                     None
                 };
@@ -228,7 +286,11 @@ fn from_defs(def: &GraphDef, weights: &[f32]) -> Result<NnGraph> {
                 }),
             },
             OpDef::Relu => Op::Relu,
-            OpDef::MaxPool { k, s, pad } => Op::MaxPool { k: *k, s: *s, pad: *pad },
+            OpDef::MaxPool { k, s, pad } => Op::MaxPool {
+                k: *k,
+                s: *s,
+                pad: *pad,
+            },
             OpDef::GlobalAvgPool => Op::GlobalAvgPool,
             OpDef::Add => Op::Add,
             OpDef::Flatten => Op::Flatten,
@@ -237,7 +299,10 @@ fn from_defs(def: &GraphDef, weights: &[f32]) -> Result<NnGraph> {
         g.add(node.name.clone(), op, node.inputs.clone());
     }
     if def.output >= g.nodes().len() {
-        return Err(ModelError::Format(format!("output node {} out of range", def.output)));
+        return Err(ModelError::Format(format!(
+            "output node {} out of range",
+            def.output
+        )));
     }
     if r.pos != weights.len() {
         return Err(ModelError::Format(format!(
@@ -264,7 +329,9 @@ fn weights_to_bytes(weights: &[f32]) -> Vec<u8> {
 
 fn weights_from_bytes(bytes: &[u8]) -> Result<Vec<f32>> {
     if !bytes.len().is_multiple_of(4) {
-        return Err(ModelError::Format("weight section not a multiple of 4 bytes".into()));
+        return Err(ModelError::Format(
+            "weight section not a multiple of 4 bytes".into(),
+        ));
     }
     Ok(bytes
         .chunks_exact(4)
@@ -296,13 +363,23 @@ pub fn encode(graph: &NnGraph, format: ModelFormat) -> Result<Vec<u8>> {
             let keyed = def
                 .nodes
                 .iter()
-                .filter(|n| matches!(n.op, OpDef::Dense { .. } | OpDef::Conv2d { .. } | OpDef::BatchNorm { .. }))
+                .filter(|n| {
+                    matches!(
+                        n.op,
+                        OpDef::Dense { .. } | OpDef::Conv2d { .. } | OpDef::BatchNorm { .. }
+                    )
+                })
                 .count();
             let mut keys = vec![0u8; keyed * TORCH_STORAGE_KEY];
             for (i, n) in def
                 .nodes
                 .iter()
-                .filter(|n| matches!(n.op, OpDef::Dense { .. } | OpDef::Conv2d { .. } | OpDef::BatchNorm { .. }))
+                .filter(|n| {
+                    matches!(
+                        n.op,
+                        OpDef::Dense { .. } | OpDef::Conv2d { .. } | OpDef::BatchNorm { .. }
+                    )
+                })
                 .enumerate()
             {
                 let label = format!("archive/data/{}", n.name);
@@ -379,7 +456,9 @@ fn get_section<'a>(bytes: &'a [u8], pos: &mut usize, len: usize) -> Result<&'a [
 
 /// Identify the format of a serialized model from its magic bytes.
 pub fn sniff(bytes: &[u8]) -> Result<ModelFormat> {
-    let magic: &[u8] = bytes.get(..8).ok_or_else(|| ModelError::Format("too short".into()))?;
+    let magic: &[u8] = bytes
+        .get(..8)
+        .ok_or_else(|| ModelError::Format("too short".into()))?;
     ModelFormat::ALL
         .into_iter()
         .find(|f| f.magic() == magic)

@@ -48,13 +48,23 @@ impl Builder {
     ) -> NodeId {
         let fan_in = in_c * kernel * kernel;
         let seed = self.next_seed();
-        let w = Arc::new(Tensor::seeded_he([out_c, in_c, kernel, kernel], seed, fan_in));
+        let w = Arc::new(Tensor::seeded_he(
+            [out_c, in_c, kernel, kernel],
+            seed,
+            fan_in,
+        ));
         self.g.add(
             name,
             Op::Conv2d {
                 w,
                 b: None,
-                params: Conv2dParams { in_c, out_c, kernel, stride, pad },
+                params: Conv2dParams {
+                    in_c,
+                    out_c,
+                    kernel,
+                    stride,
+                    pad,
+                },
             },
             vec![x],
         )
@@ -100,12 +110,22 @@ impl Builder {
         let c3 = self.conv(&format!("{prefix}.conv3"), r2, width, out_c, 1, 1, 0);
         let b3 = self.bn(&format!("{prefix}.bn3"), c3, out_c);
         let shortcut = if stride != 1 || in_c != out_c {
-            let sc = self.conv(&format!("{prefix}.downsample"), x, in_c, out_c, 1, stride, 0);
+            let sc = self.conv(
+                &format!("{prefix}.downsample"),
+                x,
+                in_c,
+                out_c,
+                1,
+                stride,
+                0,
+            );
             self.bn(&format!("{prefix}.downsample_bn"), sc, out_c)
         } else {
             x
         };
-        let sum = self.g.add(format!("{prefix}.add"), Op::Add, vec![b3, shortcut]);
+        let sum = self
+            .g
+            .add(format!("{prefix}.add"), Op::Add, vec![b3, shortcut]);
         self.relu(&format!("{prefix}.relu_out"), sum)
     }
 }
@@ -127,13 +147,20 @@ pub fn build(seed: u64) -> NnGraph {
     let c = b.conv("stem.conv", input, 3, 64, 7, 2, 3);
     let n = b.bn("stem.bn", c, 64);
     let r = b.relu("stem.relu", n);
-    let mut x = b.g.add("stem.maxpool", Op::MaxPool { k: 3, s: 2, pad: 1 }, vec![r]);
+    let mut x =
+        b.g.add("stem.maxpool", Op::MaxPool { k: 3, s: 2, pad: 1 }, vec![r]);
     // Stages.
     let mut in_c = 64;
     for (stage, &(blocks, width)) in STAGES.iter().enumerate() {
         for block in 0..blocks {
             let stride = if stage > 0 && block == 0 { 2 } else { 1 };
-            x = b.bottleneck(&format!("layer{}.{}", stage + 1, block), x, in_c, width, stride);
+            x = b.bottleneck(
+                &format!("layer{}.{}", stage + 1, block),
+                x,
+                in_c,
+                width,
+                stride,
+            );
             in_c = width * EXPANSION;
         }
     }
@@ -184,10 +211,7 @@ mod tests {
         let flops = g.flops(1).unwrap();
         // ResNet50 forward pass is canonically ~4.1 GMACs, i.e. ~8.2 GFLOPs
         // counting multiply and add separately (as `NnGraph::flops` does).
-        assert!(
-            (7.5e9..9.0e9).contains(&(flops as f64)),
-            "flops = {flops}"
-        );
+        assert!((7.5e9..9.0e9).contains(&(flops as f64)), "flops = {flops}");
     }
 
     #[test]

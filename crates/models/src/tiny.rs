@@ -13,7 +13,13 @@ use crayfish_tensor::{NnGraph, Op, Shape, Tensor};
 /// A 2-layer MLP over an 8×8 input with 4 output classes.
 pub fn tiny_mlp(seed: u64) -> NnGraph {
     let mut g = NnGraph::new("tiny-mlp");
-    let input = g.add("input", Op::Input { shape: Shape::from([8, 8]) }, vec![]);
+    let input = g.add(
+        "input",
+        Op::Input {
+            shape: Shape::from([8, 8]),
+        },
+        vec![],
+    );
     let flat = g.add("flatten", Op::Flatten, vec![input]);
     let w1 = Arc::new(Tensor::seeded_he([64, 16], seed, 64));
     let b1 = Arc::new(Tensor::zeros([16]));
@@ -30,14 +36,26 @@ pub fn tiny_mlp(seed: u64) -> NnGraph {
 /// exercises conv, batch-norm, pooling, add, and the classifier head.
 pub fn tiny_cnn(seed: u64) -> NnGraph {
     let mut g = NnGraph::new("tiny-cnn");
-    let input = g.add("input", Op::Input { shape: Shape::from([3, 8, 8]) }, vec![]);
+    let input = g.add(
+        "input",
+        Op::Input {
+            shape: Shape::from([3, 8, 8]),
+        },
+        vec![],
+    );
     let w1 = Arc::new(Tensor::seeded_he([8, 3, 3, 3], seed, 27));
     let c1 = g.add(
         "conv1",
         Op::Conv2d {
             w: w1,
             b: None,
-            params: Conv2dParams { in_c: 3, out_c: 8, kernel: 3, stride: 1, pad: 1 },
+            params: Conv2dParams {
+                in_c: 3,
+                out_c: 8,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+            },
         },
         vec![input],
     );
@@ -61,7 +79,13 @@ pub fn tiny_cnn(seed: u64) -> NnGraph {
         Op::Conv2d {
             w: w2,
             b: None,
-            params: Conv2dParams { in_c: 8, out_c: 8, kernel: 3, stride: 1, pad: 1 },
+            params: Conv2dParams {
+                in_c: 8,
+                out_c: 8,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+            },
         },
         vec![r1],
     );
@@ -92,6 +116,9 @@ mod tests {
         assert_eq!(g.output_shape(2).unwrap().dims(), &[2, 4]);
         // Exercises conv/bn/add ops.
         assert!(g.nodes().iter().any(|n| matches!(n.op, Op::Add)));
-        assert!(g.nodes().iter().any(|n| matches!(n.op, Op::BatchNorm { .. })));
+        assert!(g
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.op, Op::BatchNorm { .. })));
     }
 }

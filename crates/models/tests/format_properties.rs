@@ -13,7 +13,13 @@ use crayfish_tensor::{NnGraph, Op, Shape, Tensor};
 /// Build a random MLP from a layer-width specification.
 fn random_mlp(widths: &[usize], seed: u64) -> NnGraph {
     let mut g = NnGraph::new(format!("mlp-{seed}"));
-    let input = g.add("input", Op::Input { shape: Shape::from([widths[0]]) }, vec![]);
+    let input = g.add(
+        "input",
+        Op::Input {
+            shape: Shape::from([widths[0]]),
+        },
+        vec![],
+    );
     let mut x = g.add("flatten", Op::Flatten, vec![input]);
     for (i, pair) in widths.windows(2).enumerate() {
         let (inf, outf) = (pair[0], pair[1]);
@@ -23,7 +29,12 @@ fn random_mlp(widths: &[usize], seed: u64) -> NnGraph {
             -0.5,
             0.5,
         ));
-        let b = Arc::new(Tensor::seeded_uniform([outf], seed ^ (i as u64 + 99), -0.1, 0.1));
+        let b = Arc::new(Tensor::seeded_uniform(
+            [outf],
+            seed ^ (i as u64 + 99),
+            -0.1,
+            0.1,
+        ));
         let d = g.add(format!("fc{i}"), Op::Dense { w, b }, vec![x]);
         x = g.add(format!("relu{i}"), Op::Relu, vec![d]);
     }

@@ -1,0 +1,251 @@
+//! `crayfish-top`: a terminal reporter for the crayfish-obs exporter.
+//!
+//! Polls a Prometheus endpoint and renders a per-stage latency breakdown
+//! plus end-to-end percentiles, refreshing in place like `top`:
+//!
+//! ```text
+//! crayfish-top [--addr 127.0.0.1:9184] [--interval 2] [--once]
+//! ```
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use crayfish_obs::export::{fetch_body, DEFAULT_PORT};
+use crayfish_obs::text::{parse, Sample};
+use crayfish_obs::Stage;
+
+struct Options {
+    addr: String,
+    interval: Duration,
+    once: bool,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: crayfish-top [--addr HOST:PORT] [--interval SECS] [--once]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        addr: format!("127.0.0.1:{DEFAULT_PORT}"),
+        interval: Duration::from_secs(2),
+        once: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => opts.addr = args.next().unwrap_or_else(|| usage()),
+            "--interval" => {
+                let secs: f64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                opts.interval = Duration::from_secs_f64(secs.max(0.1));
+            }
+            "--once" => opts.once = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+/// Aggregated view of one histogram series: cumulative buckets, sum, count.
+#[derive(Default, Clone)]
+struct Series {
+    /// `(le_seconds, cumulative_count)` sorted by `le`.
+    buckets: Vec<(f64, f64)>,
+    sum: f64,
+    count: f64,
+}
+
+impl Series {
+    /// Quantile from cumulative buckets, linearly interpolated between the
+    /// previous and current `le` edges. Returns seconds.
+    fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0.0 {
+            return 0.0;
+        }
+        let rank = (q * self.count).ceil().max(1.0);
+        let mut prev_le = 0.0;
+        let mut prev_cum = 0.0;
+        for &(le, cum) in &self.buckets {
+            if cum >= rank {
+                let le = if le.is_finite() { le } else { prev_le };
+                let span = (cum - prev_cum).max(1.0);
+                return prev_le + (le - prev_le) * ((rank - prev_cum) / span);
+            }
+            prev_le = if le.is_finite() { le } else { prev_le };
+            prev_cum = cum;
+        }
+        prev_le
+    }
+
+    fn mean(&self) -> f64 {
+        if self.count == 0.0 {
+            0.0
+        } else {
+            self.sum / self.count
+        }
+    }
+}
+
+/// Pull the histogram series for `base` (e.g. `crayfish_e2e_latency_seconds`)
+/// filtered by an optional label match.
+fn series(samples: &[Sample], base: &str, label: Option<(&str, &str)>) -> Series {
+    let matches = |s: &Sample| match label {
+        None => true,
+        Some((k, v)) => s.label(k) == Some(v),
+    };
+    let mut out = Series::default();
+    for s in samples {
+        if !matches(s) {
+            continue;
+        }
+        if s.name == format!("{base}_bucket") {
+            if let Some(le) = s.label("le") {
+                let le = if le == "+Inf" {
+                    f64::INFINITY
+                } else {
+                    le.parse().unwrap_or(f64::INFINITY)
+                };
+                out.buckets.push((le, s.value));
+            }
+        } else if s.name == format!("{base}_sum") {
+            out.sum = s.value;
+        } else if s.name == format!("{base}_count") {
+            out.count = s.value;
+        }
+    }
+    out.buckets
+        .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    out
+}
+
+fn ms(seconds: f64) -> f64 {
+    seconds * 1e3
+}
+
+fn render(samples: &[Sample], prev_counters: &HashMap<String, f64>, elapsed: Duration) {
+    println!(
+        "{:<14} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "STAGE", "COUNT", "MEAN ms", "P50 ms", "P95 ms", "P99 ms"
+    );
+    let mut stage_total = 0.0;
+    for stage in Stage::ALL {
+        let s = series(
+            samples,
+            "crayfish_stage_latency_seconds",
+            Some(("stage", stage.name())),
+        );
+        stage_total += s.sum;
+        println!(
+            "{:<14} {:>10} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            stage.name(),
+            s.count as u64,
+            ms(s.mean()),
+            ms(s.quantile(0.50)),
+            ms(s.quantile(0.95)),
+            ms(s.quantile(0.99)),
+        );
+    }
+    let e2e = series(samples, "crayfish_e2e_latency_seconds", None);
+    println!(
+        "{:<14} {:>10} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+        "e2e",
+        e2e.count as u64,
+        ms(e2e.mean()),
+        ms(e2e.quantile(0.50)),
+        ms(e2e.quantile(0.95)),
+        ms(e2e.quantile(0.99)),
+    );
+    if e2e.sum > 0.0 {
+        println!(
+            "\nstage spans account for {:.1}% of end-to-end time (rest: queueing)",
+            100.0 * stage_total / e2e.sum
+        );
+    }
+
+    let mut scalar_lines = Vec::new();
+    for s in samples {
+        if let Some(base) = s.name.strip_suffix("_total") {
+            let key = render_key(s);
+            let rate = prev_counters
+                .get(&key)
+                .map(|prev| (s.value - prev) / elapsed.as_secs_f64().max(1e-9));
+            let name = base.strip_prefix("crayfish_").unwrap_or(base);
+            match rate {
+                Some(r) => scalar_lines.push(format!(
+                    "{name}{}: {} ({r:.0}/s)",
+                    label_suffix(s),
+                    s.value as u64
+                )),
+                None => scalar_lines.push(format!("{name}{}: {}", label_suffix(s), s.value as u64)),
+            }
+        } else if !s.name.contains("_latency_seconds")
+            && !s.name.contains("_seconds_")
+            && !s.name.ends_with("_seconds")
+        {
+            let name = s.name.strip_prefix("crayfish_").unwrap_or(&s.name);
+            scalar_lines.push(format!("{name}{}: {}", label_suffix(s), s.value as i64));
+        }
+    }
+    if !scalar_lines.is_empty() {
+        println!("\n{}", scalar_lines.join("  |  "));
+    }
+}
+
+fn label_suffix(s: &Sample) -> String {
+    match s.labels.first() {
+        None => String::new(),
+        Some((k, v)) => format!("[{k}={v}]"),
+    }
+}
+
+fn render_key(s: &Sample) -> String {
+    format!("{}{:?}", s.name, s.labels)
+}
+
+fn main() {
+    let opts = parse_args();
+    let mut prev_counters: HashMap<String, f64> = HashMap::new();
+    let mut first = true;
+    loop {
+        let body = match fetch_body(&opts.addr) {
+            Ok(body) => body,
+            Err(e) => {
+                eprintln!("crayfish-top: {e}");
+                std::process::exit(1);
+            }
+        };
+        let samples = match parse(&body) {
+            Ok(samples) => samples,
+            Err(e) => {
+                eprintln!("crayfish-top: bad exposition payload: {e}");
+                std::process::exit(1);
+            }
+        };
+        if !opts.once {
+            // Clear screen and home the cursor, like top(1).
+            print!("\x1b[2J\x1b[H");
+        }
+        println!(
+            "crayfish-top — {} — refresh {:?}\n",
+            opts.addr, opts.interval
+        );
+        if first {
+            prev_counters.clear();
+        }
+        render(&samples, &prev_counters, opts.interval);
+        if opts.once {
+            return;
+        }
+        prev_counters = samples
+            .iter()
+            .filter(|s| s.name.ends_with("_total"))
+            .map(|s| (render_key(s), s.value))
+            .collect();
+        first = false;
+        std::thread::sleep(opts.interval);
+    }
+}

@@ -1,0 +1,206 @@
+//! Prometheus text-exposition endpoint over localhost TCP.
+//!
+//! Mirrors the `crayfish-serving` listener pattern: a plain
+//! `std::net::TcpListener` on a loopback port with a small accept loop —
+//! enough HTTP/1.1 to satisfy `curl`, a Prometheus scraper, and
+//! `crayfish-top`, with no framework dependency.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use crate::ObsHandle;
+
+/// Conventional fixed port used by examples so `crayfish-top` works with
+/// no arguments; tests use an ephemeral port (`serve`) instead.
+pub const DEFAULT_PORT: u16 = 9184;
+
+/// A running exporter. Dropping it (or calling [`Exporter::stop`]) shuts
+/// the listener down.
+pub struct Exporter {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<thread::JoinHandle<()>>,
+}
+
+impl Exporter {
+    /// The bound address, e.g. to hand to `crayfish-top --addr`.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Convenience `http://…/metrics` form of [`Exporter::addr`].
+    pub fn url(&self) -> String {
+        format!("http://{}/metrics", self.addr)
+    }
+
+    /// Stop accepting and join the listener thread.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.thread.take() {
+            // Poke the listener so a blocking accept (if any) returns.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Exporter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serve `obs` on an ephemeral loopback port.
+pub fn serve(obs: &ObsHandle) -> std::io::Result<Exporter> {
+    serve_on(obs, "127.0.0.1:0")
+}
+
+/// Serve `obs` on a specific address (e.g. `127.0.0.1:9184`).
+pub fn serve_on(obs: &ObsHandle, addr: &str) -> std::io::Result<Exporter> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread_stop = stop.clone();
+    let obs = obs.clone();
+    let thread = thread::Builder::new()
+        .name("obs-exporter".into())
+        .spawn(move || accept_loop(listener, obs, thread_stop))
+        .expect("spawn exporter thread");
+    Ok(Exporter {
+        addr,
+        stop,
+        thread: Some(thread),
+    })
+}
+
+fn accept_loop(listener: TcpListener, obs: ObsHandle, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                // Scrapes are rare and the render is cheap; serve inline.
+                let _ = handle_scrape(stream, &obs);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(20));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn handle_scrape(mut stream: TcpStream, obs: &ObsHandle) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+
+    // Read until the end of the request head. The request line/headers are
+    // irrelevant: every path serves the metrics payload.
+    let mut buf = [0u8; 1024];
+    let mut head = Vec::new();
+    loop {
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            break;
+        }
+        head.extend_from_slice(&buf[..n]);
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() > 16 * 1024 {
+            break;
+        }
+    }
+
+    let body = obs.render_prometheus();
+    let response = format!(
+        "HTTP/1.1 200 OK\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Fetch and parse one scrape from a running exporter. Used by
+/// `crayfish-top` and tests; kept here so both share the exact client.
+pub fn scrape(addr: &str) -> Result<Vec<crate::text::Sample>, String> {
+    let body = fetch_body(addr)?;
+    crate::text::parse(&body)
+}
+
+/// Fetch the raw exposition body from `addr` (host:port).
+pub fn fetch_body(addr: &str) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    let request = format!("GET /metrics HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("send request: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("read response: {e}"))?;
+    match response.split_once("\r\n\r\n") {
+        Some((head, body)) if head.starts_with("HTTP/1.1 200") => Ok(body.to_string()),
+        Some((head, _)) => Err(format!(
+            "unexpected status: {}",
+            head.lines().next().unwrap_or("")
+        )),
+        None => Err("malformed HTTP response".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Stage;
+
+    #[test]
+    fn serves_parseable_metrics_over_tcp() {
+        let obs = ObsHandle::enabled();
+        obs.observe_stage_ns(Stage::Emit, 42_000);
+        obs.counter("records_out").add(9);
+
+        let exporter = serve(&obs).expect("bind exporter");
+        let addr = exporter.addr().to_string();
+        let samples = scrape(&addr).expect("scrape parses");
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "crayfish_records_out_total" && s.value == 9.0));
+        let emit_count = samples
+            .iter()
+            .find(|s| {
+                s.name == "crayfish_stage_latency_seconds_count" && s.label("stage") == Some("emit")
+            })
+            .expect("emit stage serialized");
+        assert_eq!(emit_count.value, 1.0);
+
+        // Metrics recorded after the exporter started appear on the next
+        // scrape: the endpoint is live, not a snapshot.
+        obs.counter("records_out").add(1);
+        let again = scrape(&addr).expect("second scrape");
+        assert!(again
+            .iter()
+            .any(|s| s.name == "crayfish_records_out_total" && s.value == 10.0));
+
+        exporter.stop();
+        assert!(
+            scrape(&addr).is_err(),
+            "stopped exporter no longer accepts scrapes"
+        );
+    }
+}

@@ -1,0 +1,489 @@
+//! Mergeable log-bucketed histograms.
+//!
+//! HDR-style layout: values below 32 get exact buckets; every octave above
+//! that is split into 32 sub-buckets, so the relative error of any recorded
+//! value is at most 1/32 (~3%). Buckets are `AtomicU64`s grouped into
+//! per-thread shards, so recording is a handful of relaxed atomic adds with
+//! no locks and (in the common case) no cross-core contention.
+//!
+//! A [`Histogram`] is the live, concurrently-written object; a
+//! [`HistogramSnapshot`] is a point-in-time copy that supports `merge`,
+//! percentile queries, and exposition. Snapshots taken from different
+//! histograms (e.g. one per operator thread) merge losslessly because all
+//! histograms share the same fixed bucket layout.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
+
+/// Sub-bucket resolution: each octave is split into `2^SUB_BITS` buckets.
+const SUB_BITS: u32 = 5;
+/// Sub-buckets per octave (32).
+const SUBS: u64 = 1 << SUB_BITS;
+
+/// Total buckets needed to cover the full `u64` range at this resolution.
+pub const NUM_BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * SUBS as usize;
+
+/// Index of the bucket holding `value`. Monotone in `value`.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUBS {
+        value as usize
+    } else {
+        let msb = 63 - value.leading_zeros();
+        let shift = msb - SUB_BITS;
+        let sub = (value >> shift) - SUBS;
+        ((shift as u64 + 1) * SUBS + sub) as usize
+    }
+}
+
+/// Smallest value mapping to bucket `idx` (the bucket's inclusive low edge).
+#[inline]
+pub fn bucket_low(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUBS {
+        idx
+    } else {
+        let shift = idx / SUBS - 1;
+        let sub = idx % SUBS;
+        (SUBS + sub) << shift
+    }
+}
+
+/// Exclusive high edge of bucket `idx` (saturating at `u64::MAX`).
+#[inline]
+pub fn bucket_high(idx: usize) -> u64 {
+    if idx + 1 >= NUM_BUCKETS {
+        u64::MAX
+    } else {
+        bucket_low(idx + 1)
+    }
+}
+
+/// One shard: a full bucket array plus summary atomics.
+struct Shard {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        let buckets: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Shard {
+            buckets: buckets.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(value, Relaxed);
+        self.min.fetch_min(value, Relaxed);
+        self.max.fetch_max(value, Relaxed);
+    }
+}
+
+// Threads are assigned a stable shard index on first use; the assignment is
+// global (not per histogram) so one TLS read suffices for any number of
+// histograms.
+thread_local! {
+    static THREAD_SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+static NEXT_THREAD: AtomicUsize = AtomicUsize::new(0);
+
+#[inline]
+fn thread_slot() -> usize {
+    THREAD_SHARD.with(|c| {
+        let v = c.get();
+        if v != usize::MAX {
+            v
+        } else {
+            let v = NEXT_THREAD.fetch_add(1, Relaxed);
+            c.set(v);
+            v
+        }
+    })
+}
+
+/// A concurrently-writable log-bucketed histogram.
+pub struct Histogram {
+    shards: Box<[Shard]>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Default shard count: enough to keep unrelated recorder threads off
+    /// each other's cache lines most of the time without bloating memory.
+    pub const DEFAULT_SHARDS: usize = 8;
+
+    pub fn new() -> Histogram {
+        Histogram::with_shards(Histogram::DEFAULT_SHARDS)
+    }
+
+    pub fn with_shards(n: usize) -> Histogram {
+        let n = n.max(1);
+        Histogram {
+            shards: (0..n).map(|_| Shard::new()).collect(),
+        }
+    }
+
+    /// Record one value. Lock-free; relaxed atomics on the caller's shard.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let shard = &self.shards[thread_slot() % self.shards.len()];
+        shard.record(value);
+    }
+
+    /// Point-in-time copy merging all shards.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut snap = HistogramSnapshot::empty();
+        for shard in self.shards.iter() {
+            let count = shard.count.load(Relaxed);
+            if count == 0 {
+                continue;
+            }
+            snap.count += count;
+            snap.sum += shard.sum.load(Relaxed);
+            snap.min = snap.min.min(shard.min.load(Relaxed));
+            snap.max = snap.max.max(shard.max.load(Relaxed));
+            let buckets = snap.buckets.get_or_insert_with(|| vec![0; NUM_BUCKETS]);
+            for (b, v) in buckets.iter_mut().zip(shard.buckets.iter()) {
+                *b += v.load(Relaxed);
+            }
+        }
+        snap
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        write!(
+            f,
+            "Histogram {{ count: {}, mean: {:.1}, p99: {:.1} }}",
+            snap.count(),
+            snap.mean(),
+            snap.percentile(0.99)
+        )
+    }
+}
+
+/// A point-in-time, mergeable view of a [`Histogram`].
+#[derive(Clone, Debug, Default)]
+pub struct HistogramSnapshot {
+    /// `None` while empty (avoids allocating 15 KiB for idle histograms).
+    buckets: Option<Vec<u64>>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl HistogramSnapshot {
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: None,
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Build a snapshot directly from raw values (bypassing a live
+    /// histogram). Useful for offline summarisation.
+    pub fn from_values<I: IntoIterator<Item = u64>>(values: I) -> HistogramSnapshot {
+        let mut snap = HistogramSnapshot::empty();
+        for v in values {
+            snap.record(v);
+        }
+        snap
+    }
+
+    /// Record into the snapshot itself (single-threaded use).
+    pub fn record(&mut self, value: u64) {
+        let buckets = self.buckets.get_or_insert_with(|| vec![0; NUM_BUCKETS]);
+        buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Fold `other` into `self`. Lossless: both sides share the fixed
+    /// bucket layout.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        let theirs = other.buckets.as_ref().expect("non-empty snapshot");
+        let buckets = self.buckets.get_or_insert_with(|| vec![0; NUM_BUCKETS]);
+        for (b, v) in buckets.iter_mut().zip(theirs.iter()) {
+            *b += v;
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate standard deviation from bucket midpoints.
+    pub fn stddev(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let mut acc = 0.0;
+        for (idx, &c) in self.buckets.as_ref().expect("non-empty").iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let mid = midpoint(idx);
+            acc += c as f64 * (mid - mean) * (mid - mean);
+        }
+        (acc / (self.count as f64 - 1.0)).sqrt()
+    }
+
+    /// Quantile `q` in [0, 1], linearly interpolated inside the bucket and
+    /// clamped to the exact observed [min, max]. Accuracy is one bucket
+    /// width (~3% relative) or better.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (idx, &c) in self.buckets.as_ref().expect("non-empty").iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= rank {
+                let into = (rank - cum) as f64;
+                let low = bucket_low(idx) as f64;
+                let high = bucket_high(idx) as f64;
+                let v = low + (high - low) * (into / c as f64);
+                return v.clamp(self.min as f64, self.max as f64);
+            }
+            cum += c;
+        }
+        self.max as f64
+    }
+
+    /// Non-empty buckets as `(exclusive_high_edge, count)`, in value order.
+    /// This is the cumulative-bucket source for Prometheus exposition.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        match &self.buckets {
+            None => Vec::new(),
+            Some(buckets) => buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(idx, &c)| (bucket_high(idx), c))
+                .collect(),
+        }
+    }
+}
+
+fn midpoint(idx: usize) -> f64 {
+    (bucket_low(idx) as f64 + bucket_high(idx) as f64) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift so tests need no external RNG crate.
+    pub(crate) struct XorShift(u64);
+    impl XorShift {
+        pub(crate) fn new(seed: u64) -> XorShift {
+            XorShift(seed.max(1))
+        }
+        pub(crate) fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+    }
+
+    #[test]
+    fn bucket_layout_is_monotone_and_self_inverse() {
+        for idx in 0..NUM_BUCKETS - 1 {
+            let low = bucket_low(idx);
+            assert_eq!(bucket_index(low), idx, "low edge maps to own bucket");
+            assert!(bucket_low(idx + 1) > low, "edges strictly increase");
+            assert_eq!(bucket_high(idx), bucket_low(idx + 1));
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        let mut rng = XorShift::new(7);
+        for _ in 0..10_000 {
+            let v = rng.next() >> (rng.next() % 40);
+            let idx = bucket_index(v);
+            let (low, high) = (bucket_low(idx), bucket_high(idx));
+            assert!(low <= v && v < high, "{v} outside [{low}, {high})");
+            if v >= SUBS {
+                let width = (high - low) as f64;
+                assert!(width / v as f64 <= 1.0 / SUBS as f64 + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_summary_stats() {
+        let h = Histogram::new();
+        for v in [5, 10, 15, 1000, 2] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.sum(), 1032);
+        assert_eq!(s.min(), 2);
+        assert_eq!(s.max(), 1000);
+        assert!((s.mean() - 206.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_track_exact_values_within_one_bucket() {
+        let mut rng = XorShift::new(42);
+        let mut values: Vec<u64> = (0..5000).map(|_| rng.next() % 1_000_000).collect();
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let snap = h.snapshot();
+        for q in [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let exact = values[rank - 1];
+            let est = snap.percentile(q);
+            // Within one bucket of the exact value: the estimate's bucket
+            // must be within one of the exact value's bucket.
+            let exact_idx = bucket_index(exact) as i64;
+            let est_idx = bucket_index(est as u64) as i64;
+            assert!(
+                (exact_idx - est_idx).abs() <= 1,
+                "q={q}: exact {exact} (bucket {exact_idx}) vs est {est} (bucket {est_idx})"
+            );
+        }
+    }
+
+    #[test]
+    fn merged_shards_equal_single_threaded_reference() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let h = h.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut rng = XorShift::new(t + 1);
+                for _ in 0..10_000 {
+                    h.record(rng.next() % 100_000);
+                }
+            }));
+        }
+        for j in handles {
+            j.join().unwrap();
+        }
+        // Reference: same values recorded single-threaded.
+        let mut reference = HistogramSnapshot::empty();
+        for t in 0..4u64 {
+            let mut rng = XorShift::new(t + 1);
+            for _ in 0..10_000 {
+                reference.record(rng.next() % 100_000);
+            }
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), reference.count());
+        assert_eq!(snap.sum(), reference.sum());
+        assert_eq!(snap.min(), reference.min());
+        assert_eq!(snap.max(), reference.max());
+        assert_eq!(snap.nonzero_buckets(), reference.nonzero_buckets());
+    }
+
+    #[test]
+    fn merge_is_commutative_and_matches_union() {
+        let mut rng = XorShift::new(9);
+        let a_vals: Vec<u64> = (0..500).map(|_| rng.next() % 10_000).collect();
+        let b_vals: Vec<u64> = (0..300).map(|_| rng.next() % 1_000_000).collect();
+        let a = HistogramSnapshot::from_values(a_vals.iter().copied());
+        let b = HistogramSnapshot::from_values(b_vals.iter().copied());
+        let union = HistogramSnapshot::from_values(a_vals.iter().chain(&b_vals).copied());
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        for m in [&ab, &ba] {
+            assert_eq!(m.count(), union.count());
+            assert_eq!(m.sum(), union.sum());
+            assert_eq!(m.nonzero_buckets(), union.nonzero_buckets());
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_is_benign() {
+        let s = Histogram::new().snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.percentile(0.5), 0.0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0);
+        assert_eq!(s.max(), 0);
+        assert!(s.nonzero_buckets().is_empty());
+        let mut m = HistogramSnapshot::empty();
+        m.merge(&s);
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,593 @@
+//! `crayfish-obs`: live observability for the Crayfish pipeline.
+//!
+//! Crayfish's post-hoc metrics (`crayfish-core::metrics`) answer "how did
+//! the run go"; this crate answers "where is time going right now". It
+//! provides:
+//!
+//! * a fixed per-record **stage taxonomy** ([`Stage`]) with a RAII
+//!   [`StageTimer`] that records nanosecond spans into lock-free, sharded,
+//!   log-bucketed histograms ([`hist::Histogram`]);
+//! * **counters** and **gauges** for records in/out, errors, consumer lag,
+//!   queue depths and in-flight requests;
+//! * a **Prometheus text-exposition endpoint** ([`export::serve`]) over
+//!   localhost TCP, plus a parser for that format ([`text`]) shared by the
+//!   `crayfish-top` terminal reporter and the test-suite.
+//!
+//! Everything is reached through an [`ObsHandle`]. A disabled handle
+//! (`ObsHandle::disabled()`, also `Default`) is a `None` and every
+//! operation on it is a no-op that never reads the clock, so instrumented
+//! hot paths cost nothing when observability is off.
+//!
+//! ```
+//! use crayfish_obs::{ObsHandle, Stage};
+//!
+//! let obs = ObsHandle::enabled();
+//! {
+//!     let _span = obs.timer(Stage::Inference); // records on drop
+//! }
+//! obs.counter("records_out").inc();
+//! assert_eq!(obs.stage_snapshot(Stage::Inference).count(), 1);
+//! ```
+
+pub mod export;
+pub mod hist;
+mod stage;
+pub mod text;
+
+pub use hist::{Histogram, HistogramSnapshot};
+pub use stage::Stage;
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+/// Identity of a registered counter/gauge/histogram: a name plus at most
+/// one label pair (e.g. `records_in{engine="flink"}`).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricKey {
+    name: String,
+    label: Option<(String, String)>,
+}
+
+impl MetricKey {
+    fn render(&self) -> String {
+        match &self.label {
+            None => self.name.clone(),
+            Some((k, v)) => format!("{}{{{}=\"{}\"}}", self.name, k, v),
+        }
+    }
+}
+
+/// The shared recorder behind an enabled [`ObsHandle`].
+pub struct ObsCore {
+    stages: [Histogram; Stage::COUNT],
+    e2e: Histogram,
+    counters: RwLock<BTreeMap<MetricKey, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<MetricKey, Arc<AtomicI64>>>,
+    named_hists: RwLock<BTreeMap<MetricKey, Arc<Histogram>>>,
+}
+
+impl ObsCore {
+    fn new() -> ObsCore {
+        ObsCore {
+            stages: std::array::from_fn(|_| Histogram::new()),
+            e2e: Histogram::new(),
+            counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
+            named_hists: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    fn counter(&self, key: MetricKey) -> Arc<AtomicU64> {
+        if let Some(c) = self.counters.read().expect("obs lock").get(&key) {
+            return c.clone();
+        }
+        let mut map = self.counters.write().expect("obs lock");
+        map.entry(key).or_default().clone()
+    }
+
+    fn gauge(&self, key: MetricKey) -> Arc<AtomicI64> {
+        if let Some(g) = self.gauges.read().expect("obs lock").get(&key) {
+            return g.clone();
+        }
+        let mut map = self.gauges.write().expect("obs lock");
+        map.entry(key).or_default().clone()
+    }
+
+    fn named_hist(&self, key: MetricKey) -> Arc<Histogram> {
+        if let Some(h) = self.named_hists.read().expect("obs lock").get(&key) {
+            return h.clone();
+        }
+        let mut map = self.named_hists.write().expect("obs lock");
+        map.entry(key)
+            .or_insert_with(|| Arc::new(Histogram::new()))
+            .clone()
+    }
+}
+
+impl std::fmt::Debug for ObsCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ObsCore {{ e2e: {:?} }}", self.e2e)
+    }
+}
+
+/// Cheap, cloneable entry point; `None` inside means "disabled" and every
+/// method is a branch-and-return no-op.
+#[derive(Clone, Debug, Default)]
+pub struct ObsHandle(Option<Arc<ObsCore>>);
+
+impl ObsHandle {
+    /// A handle on which every operation is a no-op. `Default` gives this.
+    pub fn disabled() -> ObsHandle {
+        ObsHandle(None)
+    }
+
+    /// A fresh live recorder.
+    pub fn enabled() -> ObsHandle {
+        ObsHandle(Some(Arc::new(ObsCore::new())))
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Start a span for `stage`; the elapsed time is recorded when the
+    /// returned guard drops (or [`StageTimer::stop`] is called). Disabled
+    /// handles return an inert guard without reading the clock.
+    #[inline]
+    pub fn timer(&self, stage: Stage) -> StageTimer<'_> {
+        StageTimer {
+            inner: self.0.as_deref().map(|core| (core, stage, Instant::now())),
+        }
+    }
+
+    /// Record an already-measured span.
+    #[inline]
+    pub fn observe_stage_ns(&self, stage: Stage, ns: u64) {
+        if let Some(core) = &self.0 {
+            core.stages[stage.index()].record(ns);
+        }
+    }
+
+    /// Record one end-to-end record latency.
+    #[inline]
+    pub fn observe_e2e_ns(&self, ns: u64) {
+        if let Some(core) = &self.0 {
+            core.e2e.record(ns);
+        }
+    }
+
+    /// A counter handle. Resolution hits a registry lock, so fetch the
+    /// handle once outside hot loops; `inc`/`add` on it are single relaxed
+    /// atomics.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_labeled(name, None)
+    }
+
+    /// A counter with one label pair, e.g.
+    /// `counter_with("records_in", "engine", "flink")`.
+    pub fn counter_with(&self, name: &str, key: &str, value: &str) -> Counter {
+        self.counter_labeled(name, Some((key, value)))
+    }
+
+    fn counter_labeled(&self, name: &str, label: Option<(&str, &str)>) -> Counter {
+        Counter(
+            self.0
+                .as_ref()
+                .map(|core| core.counter(metric_key(name, label))),
+        )
+    }
+
+    /// A gauge handle (same caching guidance as [`ObsHandle::counter`]).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_labeled(name, None)
+    }
+
+    pub fn gauge_with(&self, name: &str, key: &str, value: &str) -> Gauge {
+        self.gauge_labeled(name, Some((key, value)))
+    }
+
+    fn gauge_labeled(&self, name: &str, label: Option<(&str, &str)>) -> Gauge {
+        Gauge(
+            self.0
+                .as_ref()
+                .map(|core| core.gauge(metric_key(name, label))),
+        )
+    }
+
+    /// A named histogram (nanosecond values) outside the stage taxonomy,
+    /// e.g. broker long-poll wait time.
+    pub fn histogram_ns(&self, name: &str) -> HistHandle {
+        HistHandle(
+            self.0
+                .as_ref()
+                .map(|core| core.named_hist(metric_key(name, None))),
+        )
+    }
+
+    /// Snapshot of one stage's span histogram (empty when disabled).
+    pub fn stage_snapshot(&self, stage: Stage) -> HistogramSnapshot {
+        match &self.0 {
+            None => HistogramSnapshot::empty(),
+            Some(core) => core.stages[stage.index()].snapshot(),
+        }
+    }
+
+    /// Snapshot of the end-to-end latency histogram.
+    pub fn e2e_snapshot(&self) -> HistogramSnapshot {
+        match &self.0 {
+            None => HistogramSnapshot::empty(),
+            Some(core) => core.e2e.snapshot(),
+        }
+    }
+
+    /// Current counter values as `(rendered_name, value)`, sorted by name.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        match &self.0 {
+            None => Vec::new(),
+            Some(core) => core
+                .counters
+                .read()
+                .expect("obs lock")
+                .iter()
+                .map(|(k, v)| (k.render(), v.load(Relaxed)))
+                .collect(),
+        }
+    }
+
+    /// Current gauge values as `(rendered_name, value)`, sorted by name.
+    pub fn gauge_values(&self) -> Vec<(String, i64)> {
+        match &self.0 {
+            None => Vec::new(),
+            Some(core) => core
+                .gauges
+                .read()
+                .expect("obs lock")
+                .iter()
+                .map(|(k, v)| (k.render(), v.load(Relaxed)))
+                .collect(),
+        }
+    }
+
+    /// Render the full state in Prometheus text exposition format 0.0.4.
+    /// Histogram buckets are cumulative and in **seconds** (recorded values
+    /// are nanoseconds).
+    pub fn render_prometheus(&self) -> String {
+        let core = match &self.0 {
+            None => return String::new(),
+            Some(core) => core,
+        };
+        let mut out = String::with_capacity(4096);
+
+        out.push_str("# HELP crayfish_stage_latency_seconds Per-stage span latency.\n");
+        out.push_str("# TYPE crayfish_stage_latency_seconds histogram\n");
+        for stage in Stage::ALL {
+            let snap = core.stages[stage.index()].snapshot();
+            render_histogram(
+                &mut out,
+                "crayfish_stage_latency_seconds",
+                &format!("stage=\"{}\"", stage.name()),
+                &snap,
+            );
+        }
+
+        out.push_str("# HELP crayfish_e2e_latency_seconds End-to-end record latency.\n");
+        out.push_str("# TYPE crayfish_e2e_latency_seconds histogram\n");
+        render_histogram(
+            &mut out,
+            "crayfish_e2e_latency_seconds",
+            "",
+            &core.e2e.snapshot(),
+        );
+
+        for (key, hist) in core.named_hists.read().expect("obs lock").iter() {
+            let name = format!("crayfish_{}_seconds", key.name);
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let label = match &key.label {
+                None => String::new(),
+                Some((k, v)) => format!("{k}=\"{v}\""),
+            };
+            render_histogram(&mut out, &name, &label, &hist.snapshot());
+        }
+
+        for (key, value) in core.counters.read().expect("obs lock").iter() {
+            let name = format!("crayfish_{}_total", key.name);
+            out.push_str(&format!("# TYPE crayfish_{}_total counter\n", key.name));
+            render_scalar(&mut out, &name, &key.label, value.load(Relaxed) as f64);
+        }
+
+        for (key, value) in core.gauges.read().expect("obs lock").iter() {
+            let name = format!("crayfish_{}", key.name);
+            out.push_str(&format!("# TYPE crayfish_{} gauge\n", key.name));
+            render_scalar(&mut out, &name, &key.label, value.load(Relaxed) as f64);
+        }
+
+        out
+    }
+}
+
+fn metric_key(name: &str, label: Option<(&str, &str)>) -> MetricKey {
+    MetricKey {
+        name: name.to_string(),
+        label: label.map(|(k, v)| (k.to_string(), v.to_string())),
+    }
+}
+
+fn render_scalar(out: &mut String, name: &str, label: &Option<(String, String)>, value: f64) {
+    match label {
+        None => out.push_str(&format!("{name} {value}\n")),
+        Some((k, v)) => out.push_str(&format!("{name}{{{k}=\"{v}\"}} {value}\n")),
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, label: &str, snap: &HistogramSnapshot) {
+    let sep = if label.is_empty() { "" } else { "," };
+    let mut cum = 0u64;
+    for (high, count) in snap.nonzero_buckets() {
+        cum += count;
+        let le = high as f64 * 1e-9;
+        out.push_str(&format!("{name}_bucket{{{label}{sep}le=\"{le}\"}} {cum}\n"));
+    }
+    out.push_str(&format!(
+        "{name}_bucket{{{label}{sep}le=\"+Inf\"}} {}\n",
+        snap.count()
+    ));
+    let sum_label = if label.is_empty() {
+        String::new()
+    } else {
+        format!("{{{label}}}")
+    };
+    out.push_str(&format!(
+        "{name}_sum{sum_label} {}\n",
+        snap.sum() as f64 * 1e-9
+    ));
+    out.push_str(&format!("{name}_count{sum_label} {}\n", snap.count()));
+}
+
+/// RAII span guard returned by [`ObsHandle::timer`].
+pub struct StageTimer<'a> {
+    inner: Option<(&'a ObsCore, Stage, Instant)>,
+}
+
+impl StageTimer<'_> {
+    /// Record the span now (equivalent to dropping the guard).
+    pub fn stop(self) {}
+
+    /// Discard the span without recording it (e.g. the operation it was
+    /// timing turned out to be an idle poll).
+    pub fn cancel(mut self) {
+        self.inner = None;
+    }
+}
+
+impl Drop for StageTimer<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some((core, stage, start)) = self.inner.take() {
+            core.stages[stage.index()].record(start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Monotonic counter handle; a no-op when obtained from a disabled handle.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map(|c| c.load(Relaxed)).unwrap_or(0)
+    }
+}
+
+/// Signed gauge handle; a no-op when obtained from a disabled handle.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Option<Arc<AtomicI64>>);
+
+impl Gauge {
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if let Some(g) = &self.0 {
+            g.store(v, Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if let Some(g) = &self.0 {
+            g.fetch_add(delta, Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.as_ref().map(|g| g.load(Relaxed)).unwrap_or(0)
+    }
+}
+
+/// Handle to a named (non-stage) nanosecond histogram.
+#[derive(Clone, Debug, Default)]
+pub struct HistHandle(Option<Arc<Histogram>>);
+
+impl HistHandle {
+    #[inline]
+    pub fn observe_ns(&self, ns: u64) {
+        if let Some(h) = &self.0 {
+            h.record(ns);
+        }
+    }
+
+    /// Clock read helper: `Some(now)` only when recording is live, so
+    /// disabled handles skip `Instant::now()` entirely.
+    #[inline]
+    pub fn start(&self) -> Option<Instant> {
+        self.0.is_some().then(Instant::now)
+    }
+
+    /// Record the time since a [`HistHandle::start`] result.
+    #[inline]
+    pub fn observe_since(&self, start: Option<Instant>) {
+        if let (Some(h), Some(t0)) = (&self.0, start) {
+            h.record(t0.elapsed().as_nanos() as u64);
+        }
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        match &self.0 {
+            None => HistogramSnapshot::empty(),
+            Some(h) => h.snapshot(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = ObsHandle::disabled();
+        assert!(!obs.is_enabled());
+        {
+            let t = obs.timer(Stage::Inference);
+            t.stop();
+        }
+        obs.counter("records_in").inc();
+        obs.gauge("lag").set(5);
+        obs.histogram_ns("wait").observe_ns(10);
+        obs.observe_e2e_ns(1);
+        assert!(obs.stage_snapshot(Stage::Inference).is_empty());
+        assert!(obs.e2e_snapshot().is_empty());
+        assert!(obs.counter_values().is_empty());
+        assert_eq!(obs.render_prometheus(), "");
+    }
+
+    #[test]
+    fn timer_records_into_the_right_stage() {
+        let obs = ObsHandle::enabled();
+        {
+            let _t = obs.timer(Stage::Decode);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let snap = obs.stage_snapshot(Stage::Decode);
+        assert_eq!(snap.count(), 1);
+        assert!(
+            snap.min() >= 1_000_000,
+            "at least the 2ms sleep: {}",
+            snap.min()
+        );
+        for stage in Stage::ALL {
+            if stage != Stage::Decode {
+                assert!(obs.stage_snapshot(stage).is_empty(), "{stage:?} untouched");
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_timer_records_nothing() {
+        let obs = ObsHandle::enabled();
+        obs.timer(Stage::BrokerFetch).cancel();
+        assert!(obs.stage_snapshot(Stage::BrokerFetch).is_empty());
+    }
+
+    #[test]
+    fn counters_and_gauges_accumulate() {
+        let obs = ObsHandle::enabled();
+        let c = obs.counter("records_in");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name resolves to the same underlying counter.
+        assert_eq!(obs.counter("records_in").get(), 5);
+        let labeled = obs.counter_with("records_in", "engine", "flink");
+        labeled.inc();
+        assert_eq!(labeled.get(), 1, "label creates a distinct series");
+
+        let g = obs.gauge("queue_depth");
+        g.set(7);
+        g.dec();
+        assert_eq!(g.get(), 6);
+        assert_eq!(
+            obs.counter_values(),
+            vec![
+                ("records_in".to_string(), 5),
+                ("records_in{engine=\"flink\"}".to_string(), 1)
+            ]
+        );
+        assert_eq!(obs.gauge_values(), vec![("queue_depth".to_string(), 6)]);
+    }
+
+    #[test]
+    fn prometheus_render_parses_back() {
+        let obs = ObsHandle::enabled();
+        obs.observe_stage_ns(Stage::Ingest, 1_500);
+        obs.observe_stage_ns(Stage::Ingest, 2_500_000);
+        obs.observe_e2e_ns(5_000_000);
+        obs.counter("records_out").add(3);
+        obs.gauge("consumer_lag").set(12);
+        obs.histogram_ns("broker_poll_wait").observe_ns(800);
+
+        let body = obs.render_prometheus();
+        let samples = text::parse(&body).expect("render output parses");
+
+        let ingest_count = samples
+            .iter()
+            .find(|s| {
+                s.name == "crayfish_stage_latency_seconds_count"
+                    && s.label("stage") == Some("ingest")
+            })
+            .expect("ingest count present");
+        assert_eq!(ingest_count.value, 2.0);
+
+        let inf = samples
+            .iter()
+            .find(|s| {
+                s.name == "crayfish_stage_latency_seconds_bucket"
+                    && s.label("stage") == Some("ingest")
+                    && s.label("le") == Some("+Inf")
+            })
+            .expect("+Inf bucket present");
+        assert_eq!(inf.value, 2.0);
+
+        // Cumulative bucket counts never decrease.
+        let mut prev = 0.0;
+        for s in samples.iter().filter(|s| {
+            s.name == "crayfish_e2e_latency_seconds_bucket" && s.label("le") != Some("+Inf")
+        }) {
+            assert!(s.value >= prev);
+            prev = s.value;
+        }
+
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "crayfish_records_out_total" && s.value == 3.0));
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "crayfish_consumer_lag" && s.value == 12.0));
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "crayfish_broker_poll_wait_seconds_count" && s.value == 1.0));
+    }
+}

@@ -1,0 +1,93 @@
+//! The fixed pipeline-stage taxonomy.
+//!
+//! Every span an engine, broker client, or serving component records is
+//! tagged with one of these stages, so a run's time budget decomposes the
+//! same way regardless of which engine × serving configuration produced it.
+
+/// One stage of the streaming-inference pipeline.
+///
+/// The stages are chosen so that, for a given record, the instrumented
+/// spans do not overlap: their sum is a lower bound on the record's
+/// end-to-end latency (the remainder is queueing — broker residency,
+/// mailbox waits, batching delay — which no single component owns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Stage {
+    /// Engine-side input handling: per-record framework cost between the
+    /// fetch response and the scoring operator.
+    Ingest = 0,
+    /// Wire-format decode: `CrayfishDataBatch` JSON parse + tensor rebuild.
+    Decode = 1,
+    /// Batch assembly (input producer) and micro-batch planning (Spark).
+    Batch = 2,
+    /// Model execution proper (embedded library or a server-side worker).
+    Inference = 3,
+    /// Blocking client round trip to an external serving process.
+    ServingRpc = 4,
+    /// Wire-format encode of the scored result.
+    Encode = 5,
+    /// Engine-side output handling: handing the result to the sink producer.
+    Emit = 6,
+    /// Broker producer request: batch ship + log append (client view).
+    BrokerAppend = 7,
+    /// Broker fetch: reading available records (excludes long-poll waiting,
+    /// which is idle time, not record latency).
+    BrokerFetch = 8,
+}
+
+impl Stage {
+    /// Number of stages in the taxonomy.
+    pub const COUNT: usize = 9;
+
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::Ingest,
+        Stage::Decode,
+        Stage::Batch,
+        Stage::Inference,
+        Stage::ServingRpc,
+        Stage::Encode,
+        Stage::Emit,
+        Stage::BrokerAppend,
+        Stage::BrokerFetch,
+    ];
+
+    /// Stable label used in metric exposition and configuration.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::Ingest => "ingest",
+            Stage::Decode => "decode",
+            Stage::Batch => "batch",
+            Stage::Inference => "inference",
+            Stage::ServingRpc => "serving_rpc",
+            Stage::Encode => "encode",
+            Stage::Emit => "emit",
+            Stage::BrokerAppend => "broker_append",
+            Stage::BrokerFetch => "broker_fetch",
+        }
+    }
+
+    /// Look a stage up by its exposition label.
+    pub fn by_name(name: &str) -> Option<Stage> {
+        Stage::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    /// Dense index into per-stage arrays.
+    pub fn index(&self) -> usize {
+        *self as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip_and_indices_are_dense() {
+        for (i, s) in Stage::ALL.into_iter().enumerate() {
+            assert_eq!(s.index(), i);
+            assert_eq!(Stage::by_name(s.name()), Some(s));
+        }
+        assert_eq!(Stage::by_name("warp_drive"), None);
+    }
+}

@@ -1,0 +1,179 @@
+//! Parser for the Prometheus text exposition format (0.0.4).
+//!
+//! Deliberately small: it understands exactly what the exporter emits —
+//! `name value`, `name{k="v",...} value`, comments, and blank lines — which
+//! is also the subset every real Prometheus server accepts. Shared by
+//! `crayfish-top` and the integration tests so "the endpoint serves a
+//! parseable payload" is checked by the same code an operator would run.
+
+/// One sample line: `name{labels} value`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub value: f64,
+}
+
+impl Sample {
+    /// Value of one label, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parse a full exposition payload. Returns `Err` with a line-numbered
+/// message on the first malformed line; comments and blanks are skipped.
+pub fn parse(body: &str) -> Result<Vec<Sample>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in body.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(parse_line(line).map_err(|e| format!("line {}: {e}: {line:?}", lineno + 1))?);
+    }
+    Ok(out)
+}
+
+fn parse_line(line: &str) -> Result<Sample, String> {
+    let (name_part, rest) = match line.find('{') {
+        Some(brace) => {
+            let close = line.rfind('}').ok_or("unterminated label set")?;
+            if close < brace {
+                return Err("mismatched braces".into());
+            }
+            (
+                (&line[..brace], parse_labels(&line[brace + 1..close])?),
+                &line[close + 1..],
+            )
+        }
+        None => {
+            let mut it = line.splitn(2, char::is_whitespace);
+            let name = it.next().ok_or("empty line")?;
+            ((name, Vec::new()), it.next().unwrap_or(""))
+        }
+    };
+    let (name, labels) = name_part;
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    // Value is the first whitespace-separated token; an optional timestamp
+    // may follow it.
+    let value_tok = rest
+        .split_whitespace()
+        .next()
+        .ok_or("missing sample value")?;
+    let value = parse_value(value_tok)?;
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+fn parse_value(tok: &str) -> Result<f64, String> {
+    match tok {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        _ => tok
+            .parse::<f64>()
+            .map_err(|_| format!("bad sample value {tok:?}")),
+    }
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or("label without '='")?;
+        let key = rest[..eq].trim().to_string();
+        rest = rest[eq + 1..].trim_start();
+        if !rest.starts_with('"') {
+            return Err("label value not quoted".into());
+        }
+        // Scan for the closing quote, honouring backslash escapes.
+        let mut value = String::new();
+        let mut chars = rest[1..].char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, escaped)) => value.push(escaped),
+                    None => return Err("dangling escape".into()),
+                },
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                _ => value.push(c),
+            }
+        }
+        let end = end.ok_or("unterminated label value")?;
+        labels.push((key, value));
+        rest = rest[1 + end + 1..].trim_start();
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped.trim_start();
+        } else if !rest.is_empty() {
+            return Err("expected ',' between labels".into());
+        }
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_and_labeled_samples() {
+        let body = "\
+# HELP crayfish_records_in_total Records ingested.
+# TYPE crayfish_records_in_total counter
+crayfish_records_in_total 1500
+
+crayfish_stage_latency_seconds_bucket{stage=\"decode\",le=\"0.001\"} 42
+crayfish_stage_latency_seconds_bucket{stage=\"decode\",le=\"+Inf\"} 50
+crayfish_consumer_lag 7
+";
+        let samples = parse(body).unwrap();
+        assert_eq!(samples.len(), 4);
+        assert_eq!(samples[0].name, "crayfish_records_in_total");
+        assert_eq!(samples[0].value, 1500.0);
+        assert!(samples[0].labels.is_empty());
+        assert_eq!(samples[1].label("stage"), Some("decode"));
+        assert_eq!(samples[1].label("le"), Some("0.001"));
+        assert_eq!(samples[1].value, 42.0);
+        assert_eq!(samples[3].name, "crayfish_consumer_lag");
+    }
+
+    #[test]
+    fn inf_values_and_escapes() {
+        let samples = parse("m{le=\"+Inf\"} 9\nweird{k=\"a\\\"b\"} +Inf\n").unwrap();
+        assert_eq!(samples[0].label("le"), Some("+Inf"));
+        assert_eq!(samples[1].label("k"), Some("a\"b"));
+        assert!(samples[1].value.is_infinite());
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse("no_value\n").is_err());
+        assert!(parse("bad{unclosed=\"x} 1\n").is_err());
+        assert!(parse("name 12abc\n").is_err());
+        assert!(parse("sp ace{} 1\n").is_err());
+    }
+
+    #[test]
+    fn timestamps_are_tolerated() {
+        let samples = parse("m 3.5 1712000000\n").unwrap();
+        assert_eq!(samples[0].value, 3.5);
+    }
+}

@@ -29,7 +29,7 @@ use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 
 use crayfish_broker::{Broker, PartitionConsumer, Producer, ProducerConfig};
-use crayfish_core::scoring::score_payload;
+use crayfish_core::scoring::score_payload_obs;
 use crayfish_core::{CoreError, DataProcessor, ProcessorContext, Result, RunningJob};
 use crayfish_sim::{Cost, OverheadModel};
 
@@ -134,34 +134,58 @@ impl DataProcessor for RayProcessor {
 
             // Scoring actor.
             let mut scorer = ctx.scorer.build()?;
-            threads.push(spawn_actor(format!("ray-score-{i}"), move || loop {
-                match score_rx.recv_timeout(Duration::from_millis(100)) {
-                    Ok(msg) => {
-                        let staged = object_store_receive(&msg, dispatch);
-                        if let Ok(scored) = score_payload(scorer.as_mut(), &staged) {
-                            if out_tx.send(scored).is_err() {
-                                return;
+            let obs = ctx.obs().clone();
+            threads.push(spawn_actor(format!("ray-score-{i}"), move || {
+                let batches_scored = obs.counter("batches_scored");
+                let score_errors = obs.counter("score_errors");
+                loop {
+                    match score_rx.recv_timeout(Duration::from_millis(100)) {
+                        Ok(msg) => {
+                            // Object-store get + actor dispatch is the
+                            // engine's per-record ingestion cost.
+                            let span = obs.timer(crayfish_core::Stage::Ingest);
+                            let staged = object_store_receive(&msg, dispatch);
+                            span.stop();
+                            match score_payload_obs(scorer.as_mut(), &staged, &obs) {
+                                Ok(scored) => {
+                                    batches_scored.inc();
+                                    if out_tx.send(scored).is_err() {
+                                        return;
+                                    }
+                                }
+                                Err(_) => score_errors.inc(),
                             }
                         }
+                        Err(RecvTimeoutError::Timeout) => continue,
+                        Err(RecvTimeoutError::Disconnected) => return,
                     }
-                    Err(RecvTimeoutError::Timeout) => continue,
-                    Err(RecvTimeoutError::Disconnected) => return,
                 }
             })?);
 
             // Output actor: writes to Kafka.
-            let mut producer =
-                Producer::new(ctx.broker.clone(), &ctx.output_topic, ProducerConfig::default())?;
-            threads.push(spawn_actor(format!("ray-output-{i}"), move || loop {
-                match out_rx.recv_timeout(Duration::from_millis(100)) {
-                    Ok(msg) => {
-                        let staged = object_store_receive(&msg, dispatch);
-                        if producer.send(None, staged).is_err() {
-                            return;
+            let mut producer = Producer::new(
+                ctx.broker.clone(),
+                &ctx.output_topic,
+                ProducerConfig::default(),
+            )?;
+            let obs = ctx.obs().clone();
+            threads.push(spawn_actor(format!("ray-output-{i}"), move || {
+                let records_out = obs.counter("records_out");
+                loop {
+                    match out_rx.recv_timeout(Duration::from_millis(100)) {
+                        Ok(msg) => {
+                            let span = obs.timer(crayfish_core::Stage::Emit);
+                            let staged = object_store_receive(&msg, dispatch);
+                            let sent = producer.send(None, staged);
+                            span.stop();
+                            if sent.is_err() {
+                                return;
+                            }
+                            records_out.inc();
                         }
+                        Err(RecvTimeoutError::Timeout) => continue,
+                        Err(RecvTimeoutError::Disconnected) => return,
                     }
-                    Err(RecvTimeoutError::Timeout) => continue,
-                    Err(RecvTimeoutError::Disconnected) => return,
                 }
             })?);
         }
@@ -215,7 +239,9 @@ mod tests {
             let payload = CrayfishDataBatch::from_tensor(id, now_millis_f64(), &t)
                 .encode()
                 .unwrap();
-            broker.append("in", (id % 8) as u32, vec![(payload, 0.0)]).unwrap();
+            broker
+                .append("in", (id % 8) as u32, vec![(payload, 0.0)])
+                .unwrap();
         }
     }
 

@@ -35,7 +35,13 @@ impl GpuSpec {
     ///
     /// First-order additive model: input upload + one launch per fused
     /// kernel + compute at the achieved FLOP rate + output download.
-    pub fn forward_seconds(&self, flops: u64, kernels: usize, in_bytes: usize, out_bytes: usize) -> f64 {
+    pub fn forward_seconds(
+        &self,
+        flops: u64,
+        kernels: usize,
+        in_bytes: usize,
+        out_bytes: usize,
+    ) -> f64 {
         let upload = self.pcie.duration(in_bytes).as_secs_f64();
         let download = self.pcie.duration(out_bytes).as_secs_f64();
         let launches = self.kernel_launch.duration(0).as_secs_f64() * kernels as f64;

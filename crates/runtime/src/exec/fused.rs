@@ -111,7 +111,13 @@ impl FusedExec {
             let item_shape = shapes[node.id].per_item();
             match &node.op {
                 Op::Input { .. } => {
-                    map.push(push(&mut steps, node.name.clone(), FusedOp::Input, step_inputs, item_shape));
+                    map.push(push(
+                        &mut steps,
+                        node.name.clone(),
+                        FusedOp::Input,
+                        step_inputs,
+                        item_shape,
+                    ));
                 }
                 Op::Conv2d { w, b, params } => {
                     let bias = b.as_ref().map(|t| t.data().to_vec()).unwrap_or_default();
@@ -121,7 +127,13 @@ impl FusedExec {
                         params: *params,
                         relu: false,
                     };
-                    map.push(push(&mut steps, node.name.clone(), op, step_inputs, item_shape));
+                    map.push(push(
+                        &mut steps,
+                        node.name.clone(),
+                        op,
+                        step_inputs,
+                        item_shape,
+                    ));
                 }
                 Op::Dense { w, b } => {
                     let op = FusedOp::Dense {
@@ -131,7 +143,13 @@ impl FusedExec {
                         outf: w.shape().dim(1),
                         relu: false,
                     };
-                    map.push(push(&mut steps, node.name.clone(), op, step_inputs, item_shape));
+                    map.push(push(
+                        &mut steps,
+                        node.name.clone(),
+                        op,
+                        step_inputs,
+                        item_shape,
+                    ));
                 }
                 Op::BatchNorm { params } => {
                     let (scale, shift) = params.fold();
@@ -141,7 +159,13 @@ impl FusedExec {
                         && matches!(steps[target].op, FusedOp::Conv { .. });
                     if foldable {
                         // Fold into the convolution's weights and bias.
-                        if let FusedOp::Conv { w, bias, params: cp, .. } = &mut steps[target].op {
+                        if let FusedOp::Conv {
+                            w,
+                            bias,
+                            params: cp,
+                            ..
+                        } = &mut steps[target].op
+                        {
                             let per_oc = w.len() / cp.out_c;
                             for oc in 0..cp.out_c {
                                 for v in &mut w[oc * per_oc..(oc + 1) * per_oc] {
@@ -151,8 +175,7 @@ impl FusedExec {
                             if bias.is_empty() {
                                 *bias = shift.clone();
                             } else {
-                                for (bv, (&s, &t)) in
-                                    bias.iter_mut().zip(scale.iter().zip(&shift))
+                                for (bv, (&s, &t)) in bias.iter_mut().zip(scale.iter().zip(&shift))
                                 {
                                     *bv = *bv * s + t;
                                 }
@@ -160,8 +183,18 @@ impl FusedExec {
                         }
                         map.push(target);
                     } else {
-                        let op = FusedOp::BatchNorm { scale, shift, relu: false };
-                        map.push(push(&mut steps, node.name.clone(), op, step_inputs, item_shape));
+                        let op = FusedOp::BatchNorm {
+                            scale,
+                            shift,
+                            relu: false,
+                        };
+                        map.push(push(
+                            &mut steps,
+                            node.name.clone(),
+                            op,
+                            step_inputs,
+                            item_shape,
+                        ));
                     }
                 }
                 Op::Relu => {
@@ -185,24 +218,64 @@ impl FusedExec {
                         }
                         map.push(target);
                     } else {
-                        map.push(push(&mut steps, node.name.clone(), FusedOp::Relu, step_inputs, item_shape));
+                        map.push(push(
+                            &mut steps,
+                            node.name.clone(),
+                            FusedOp::Relu,
+                            step_inputs,
+                            item_shape,
+                        ));
                     }
                 }
                 Op::MaxPool { k, s, pad } => {
-                    let op = FusedOp::MaxPool { k: *k, s: *s, pad: *pad };
-                    map.push(push(&mut steps, node.name.clone(), op, step_inputs, item_shape));
+                    let op = FusedOp::MaxPool {
+                        k: *k,
+                        s: *s,
+                        pad: *pad,
+                    };
+                    map.push(push(
+                        &mut steps,
+                        node.name.clone(),
+                        op,
+                        step_inputs,
+                        item_shape,
+                    ));
                 }
                 Op::GlobalAvgPool => {
-                    map.push(push(&mut steps, node.name.clone(), FusedOp::Gap, step_inputs, item_shape));
+                    map.push(push(
+                        &mut steps,
+                        node.name.clone(),
+                        FusedOp::Gap,
+                        step_inputs,
+                        item_shape,
+                    ));
                 }
                 Op::Add => {
-                    map.push(push(&mut steps, node.name.clone(), FusedOp::Add { relu: false }, step_inputs, item_shape));
+                    map.push(push(
+                        &mut steps,
+                        node.name.clone(),
+                        FusedOp::Add { relu: false },
+                        step_inputs,
+                        item_shape,
+                    ));
                 }
                 Op::Flatten => {
-                    map.push(push(&mut steps, node.name.clone(), FusedOp::Flatten, step_inputs, item_shape));
+                    map.push(push(
+                        &mut steps,
+                        node.name.clone(),
+                        FusedOp::Flatten,
+                        step_inputs,
+                        item_shape,
+                    ));
                 }
                 Op::Softmax => {
-                    map.push(push(&mut steps, node.name.clone(), FusedOp::Softmax, step_inputs, item_shape));
+                    map.push(push(
+                        &mut steps,
+                        node.name.clone(),
+                        FusedOp::Softmax,
+                        step_inputs,
+                        item_shape,
+                    ));
                 }
             }
         }
@@ -262,7 +335,12 @@ impl FusedExec {
                     out.clear();
                     out.extend_from_slice(input.data());
                 }
-                FusedOp::Conv { w, bias, params, relu } => {
+                FusedOp::Conv {
+                    w,
+                    bias,
+                    params,
+                    relu,
+                } => {
                     let s = in_item(0);
                     let (h, wd) = (s.dim(1), s.dim(2));
                     let (oh, ow) = params.out_hw(h, wd);
@@ -289,7 +367,13 @@ impl FusedExec {
                         }
                     }
                 }
-                FusedOp::Dense { w, bias, inf, outf, relu } => {
+                FusedOp::Dense {
+                    w,
+                    bias,
+                    inf,
+                    outf,
+                    relu,
+                } => {
                     out.resize(batch * outf, 0.0);
                     for b in 0..batch {
                         out[b * outf..(b + 1) * outf].copy_from_slice(bias);
@@ -372,8 +456,19 @@ impl FusedExec {
     }
 }
 
-fn push(steps: &mut Vec<Step>, name: String, op: FusedOp, inputs: Vec<usize>, item_shape: Shape) -> usize {
-    steps.push(Step { name, op, inputs, item_shape });
+fn push(
+    steps: &mut Vec<Step>,
+    name: String,
+    op: FusedOp,
+    inputs: Vec<usize>,
+    item_shape: Shape,
+) -> usize {
+    steps.push(Step {
+        name,
+        op,
+        inputs,
+        item_shape,
+    });
     steps.len() - 1
 }
 
@@ -389,7 +484,11 @@ mod tests {
         let exec = FusedExec::new(&g).unwrap();
         // conv1+bn1+relu1 fuse to 1 step; conv2 stays (its output feeds the
         // add); residual add fuses relu2.
-        assert!(exec.step_count() < g.nodes().len(), "{} steps", exec.step_count());
+        assert!(
+            exec.step_count() < g.nodes().len(),
+            "{} steps",
+            exec.step_count()
+        );
     }
 
     #[test]

@@ -148,7 +148,10 @@ mod tests {
         gpu.run(&input).unwrap();
         let elapsed = sw.elapsed().as_secs_f64();
         assert!(elapsed >= budget, "elapsed {elapsed} < modelled {budget}");
-        assert!(elapsed < budget + 0.05, "elapsed {elapsed} far over {budget}");
+        assert!(
+            elapsed < budget + 0.05,
+            "elapsed {elapsed} far over {budget}"
+        );
     }
 
     #[test]

@@ -212,11 +212,7 @@ impl UnfusedExec {
             if matches!(node.op, Op::Input { .. }) {
                 continue;
             }
-            let bytes: usize = node
-                .inputs
-                .iter()
-                .map(|&i| shapes[i].numel() * 4)
-                .sum();
+            let bytes: usize = node.inputs.iter().map(|&i| shapes[i].numel() * 4).sum();
             total += jni.cost.duration(bytes);
         }
         Ok(total)

@@ -70,7 +70,11 @@ pub enum EmbeddedLib {
 
 impl EmbeddedLib {
     /// All embedded libraries, in the paper's Table 4 order.
-    pub const ALL: [EmbeddedLib; 3] = [EmbeddedLib::Dl4j, EmbeddedLib::Onnx, EmbeddedLib::SavedModel];
+    pub const ALL: [EmbeddedLib; 3] = [
+        EmbeddedLib::Dl4j,
+        EmbeddedLib::Onnx,
+        EmbeddedLib::SavedModel,
+    ];
 
     /// Configuration name.
     pub fn name(&self) -> &'static str {

@@ -17,14 +17,26 @@ use crayfish_tensor::{NnGraph, Op, Shape, Tensor};
 /// network, exercising every fusion rule.
 fn random_cnn(channels: usize, hw: usize, classes: usize, seed: u64) -> NnGraph {
     let mut g = NnGraph::new(format!("cnn-{seed}"));
-    let input = g.add("input", Op::Input { shape: Shape::from([3, hw, hw]) }, vec![]);
+    let input = g.add(
+        "input",
+        Op::Input {
+            shape: Shape::from([3, hw, hw]),
+        },
+        vec![],
+    );
     let w1 = Arc::new(Tensor::seeded_uniform([channels, 3, 3, 3], seed, -0.3, 0.3));
     let c1 = g.add(
         "conv1",
         Op::Conv2d {
             w: w1,
             b: None,
-            params: Conv2dParams { in_c: 3, out_c: channels, kernel: 3, stride: 1, pad: 1 },
+            params: Conv2dParams {
+                in_c: 3,
+                out_c: channels,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+            },
         },
         vec![input],
     );
@@ -52,15 +64,31 @@ fn random_cnn(channels: usize, hw: usize, classes: usize, seed: u64) -> NnGraph 
         "conv2",
         Op::Conv2d {
             w: w2,
-            b: Some(Arc::new(Tensor::seeded_uniform([channels], seed ^ 6, -0.1, 0.1))),
-            params: Conv2dParams { in_c: channels, out_c: channels, kernel: 3, stride: 1, pad: 1 },
+            b: Some(Arc::new(Tensor::seeded_uniform(
+                [channels],
+                seed ^ 6,
+                -0.1,
+                0.1,
+            ))),
+            params: Conv2dParams {
+                in_c: channels,
+                out_c: channels,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+            },
         },
         vec![r1],
     );
     let add = g.add("residual", Op::Add, vec![c2, r1]);
     let r2 = g.add("relu2", Op::Relu, vec![add]);
     let gap = g.add("gap", Op::GlobalAvgPool, vec![r2]);
-    let wf = Arc::new(Tensor::seeded_uniform([channels, classes], seed ^ 7, -0.4, 0.4));
+    let wf = Arc::new(Tensor::seeded_uniform(
+        [channels, classes],
+        seed ^ 7,
+        -0.4,
+        0.4,
+    ));
     let bf = Arc::new(Tensor::seeded_uniform([classes], seed ^ 8, -0.1, 0.1));
     let fc = g.add("fc", Op::Dense { w: wf, b: bf }, vec![gap]);
     g.add("softmax", Op::Softmax, vec![fc]);

@@ -136,7 +136,8 @@ mod tests {
 
     #[test]
     fn grpc_client_pays_the_modelled_lan() {
-        let server = crate::tf_serving::start(&tiny::tiny_mlp(1), ServingConfig::default()).unwrap();
+        let server =
+            crate::tf_serving::start(&tiny::tiny_mlp(1), ServingConfig::default()).unwrap();
         let slow_lan = NetworkModel {
             base_latency_s: 0.005,
             bandwidth_bytes_per_s: f64::INFINITY,
@@ -155,7 +156,8 @@ mod tests {
 
     #[test]
     fn protocols_report_names() {
-        let server = crate::tf_serving::start(&tiny::tiny_mlp(1), ServingConfig::default()).unwrap();
+        let server =
+            crate::tf_serving::start(&tiny::tiny_mlp(1), ServingConfig::default()).unwrap();
         let grpc = GrpcClient::connect(server.addr(), NetworkModel::zero()).unwrap();
         assert_eq!(grpc.protocol(), "grpc");
         server.shutdown();
@@ -167,7 +169,8 @@ mod tests {
 
     #[test]
     fn disconnected_server_yields_error() {
-        let server = crate::tf_serving::start(&tiny::tiny_mlp(1), ServingConfig::default()).unwrap();
+        let server =
+            crate::tf_serving::start(&tiny::tiny_mlp(1), ServingConfig::default()).unwrap();
         let addr = server.addr();
         let mut client = GrpcClient::connect(addr, NetworkModel::zero()).unwrap();
         let input = Tensor::seeded_uniform([1, 8, 8], 1, 0.0, 1.0);

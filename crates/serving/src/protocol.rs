@@ -84,8 +84,7 @@ pub fn decode_tensor_binary(payload: &[u8]) -> Result<Tensor> {
         .chunks_exact(4)
         .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
         .collect();
-    Tensor::from_vec(dims, data)
-        .map_err(|e| ServingError::Protocol(format!("bad tensor: {e}")))
+    Tensor::from_vec(dims, data).map_err(|e| ServingError::Protocol(format!("bad tensor: {e}")))
 }
 
 /// Marker byte for a named-model request (multi-model serving).
@@ -155,7 +154,9 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
     }
     let len = u32::from_le_bytes(len_buf) as usize;
     if len > MAX_FRAME_BYTES {
-        return Err(ServingError::Protocol(format!("frame of {len} bytes exceeds cap")));
+        return Err(ServingError::Protocol(format!(
+            "frame of {len} bytes exceeds cap"
+        )));
     }
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
@@ -214,7 +215,10 @@ pub fn write_http_request(w: &mut impl Write, t: &Tensor) -> Result<()> {
 
 /// Write an HTTP response. `Ok` bodies carry the tensor JSON; errors a 500
 /// with the message.
-pub fn write_http_response(w: &mut impl Write, result: std::result::Result<&Tensor, &str>) -> Result<()> {
+pub fn write_http_response(
+    w: &mut impl Write,
+    result: std::result::Result<&Tensor, &str>,
+) -> Result<()> {
     let (status, body) = match result {
         Ok(t) => (
             "200 OK",
@@ -282,9 +286,12 @@ pub fn read_http_message(r: &mut BufReader<impl Read>) -> Result<Option<HttpMess
             );
         }
     }
-    let len = content_length.ok_or_else(|| ServingError::Protocol("missing content-length".into()))?;
+    let len =
+        content_length.ok_or_else(|| ServingError::Protocol("missing content-length".into()))?;
     if len > MAX_FRAME_BYTES {
-        return Err(ServingError::Protocol(format!("body of {len} bytes exceeds cap")));
+        return Err(ServingError::Protocol(format!(
+            "body of {len} bytes exceeds cap"
+        )));
     }
     let mut body = vec![0u8; len];
     r.read_exact(&mut body)?;

@@ -51,7 +51,9 @@ pub fn start(graph: &NnGraph, config: ServingConfig) -> Result<ServerHandle> {
     let graph = graph.clone();
     // Replicas share a model pool sized to the replica count; replica
     // threads pull jobs and return results through the proxy.
-    let pool = ModelPool::new(config.workers, || loader.load_graph(&graph, config.device))?;
+    let pool = ModelPool::new(config.workers, &config.obs, || {
+        loader.load_graph(&graph, config.device)
+    })?;
 
     let (proxy_tx, proxy_rx) = unbounded::<ProxyMsg>();
     let (replica_tx, replica_rx) = unbounded::<ReplicaJob>();
@@ -95,13 +97,22 @@ fn handle_connection(stream: TcpStream, proxy_tx: &Sender<ProxyMsg>) {
         };
         let (reply_tx, reply_rx) = bounded(1);
         if proxy_tx
-            .send(ProxyMsg::Request { body: msg.body, reply: reply_tx })
+            .send(ProxyMsg::Request {
+                body: msg.body,
+                reply: reply_tx,
+            })
             .is_err()
         {
             return;
         }
-        let Ok(response) = reply_rx.recv() else { return };
-        if writer.write_all(&response).and_then(|_| writer.flush()).is_err() {
+        let Ok(response) = reply_rx.recv() else {
+            return;
+        };
+        if writer
+            .write_all(&response)
+            .and_then(|_| writer.flush())
+            .is_err()
+        {
             return;
         }
     }
@@ -182,7 +193,10 @@ fn spawn_replica(
                     .with_model(|m| m.apply(&staged))
                     .map_err(|e| e.to_string());
                 if proxy_tx
-                    .send(ProxyMsg::Response { result, reply: job.reply })
+                    .send(ProxyMsg::Response {
+                        result,
+                        reply: job.reply,
+                    })
                     .is_err()
                 {
                     return;
@@ -233,7 +247,10 @@ mod tests {
     fn replicas_serve_concurrent_clients() {
         let server = start(
             &tiny::tiny_mlp(1),
-            ServingConfig { workers: 3, ..Default::default() },
+            ServingConfig {
+                workers: 3,
+                ..Default::default()
+            },
         )
         .unwrap();
         let addr = server.addr();

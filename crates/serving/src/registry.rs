@@ -55,8 +55,10 @@ impl ModelRegistry {
         // Load outside the lock: model loading is expensive.
         let loader = OnnxRuntime::new();
         let graph = graph.clone();
-        let config = self.config;
-        let pool = ModelPool::new(config.workers, || loader.load_graph(&graph, config.device))?;
+        let config = self.config.clone();
+        let pool = ModelPool::new(config.workers, &config.obs, || {
+            loader.load_graph(&graph, config.device)
+        })?;
         let mut models = self.inner.write();
         let version = models.get(name).map(|d| d.version + 1).unwrap_or(1);
         models.insert(name.to_string(), Deployment { pool, version });

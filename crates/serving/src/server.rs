@@ -16,7 +16,7 @@ use crayfish_sim::OverheadModel;
 use crate::Result;
 
 /// Configuration of an external serving deployment.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServingConfig {
     /// Degree of parallelism: concurrent processing threads (TF-Serving),
     /// worker processes (TorchServe), or replicas (Ray Serve). The paper's
@@ -26,6 +26,10 @@ pub struct ServingConfig {
     pub device: Device,
     /// Calibrated overhead model (Python handlers, actor dispatch, …).
     pub overheads: OverheadModel,
+    /// Observability recorder the server's worker pools report into
+    /// (server-side `inference` spans, queue-depth and in-flight gauges).
+    /// Disabled by default.
+    pub obs: crayfish_obs::ObsHandle,
 }
 
 impl Default for ServingConfig {
@@ -34,6 +38,7 @@ impl Default for ServingConfig {
             workers: 1,
             device: Device::Cpu,
             overheads: OverheadModel::calibrated(),
+            obs: crayfish_obs::ObsHandle::disabled(),
         }
     }
 }
@@ -98,12 +103,19 @@ impl Drop for ServerHandle {
 pub(crate) struct ModelPool {
     tx: Sender<Box<dyn LoadedModel>>,
     rx: Receiver<Box<dyn LoadedModel>>,
+    obs: crayfish_obs::ObsHandle,
+    /// Requests blocked waiting for a free instance.
+    queue_depth: crayfish_obs::Gauge,
+    /// Requests currently executing on an instance.
+    in_flight: crayfish_obs::Gauge,
 }
 
 impl ModelPool {
-    /// Load `workers` independent instances of `graph` via `load`.
+    /// Load `workers` independent instances of `graph` via `load`,
+    /// reporting pool pressure and per-request execution spans into `obs`.
     pub fn new(
         workers: usize,
+        obs: &crayfish_obs::ObsHandle,
         mut load: impl FnMut() -> crayfish_runtime::Result<Box<dyn LoadedModel>>,
     ) -> Result<ModelPool> {
         let workers = workers.max(1);
@@ -111,13 +123,28 @@ impl ModelPool {
         for _ in 0..workers {
             tx.send(load()?).expect("pool channel sized to workers");
         }
-        Ok(ModelPool { tx, rx })
+        Ok(ModelPool {
+            tx,
+            rx,
+            obs: obs.clone(),
+            queue_depth: obs.gauge("serving_queue_depth"),
+            in_flight: obs.gauge("serving_in_flight"),
+        })
     }
 
-    /// Borrow an instance (blocking) and run `f` with it.
+    /// Borrow an instance (blocking) and run `f` with it. The wait for a
+    /// free instance counts into the queue-depth gauge; the execution
+    /// itself is an `inference` span (server-side model time, as opposed to
+    /// the client-observed `serving_rpc` stage).
     pub fn with_model<T>(&self, f: impl FnOnce(&mut dyn LoadedModel) -> T) -> T {
+        self.queue_depth.inc();
         let mut model = self.rx.recv().expect("model pool closed");
+        self.queue_depth.dec();
+        self.in_flight.inc();
+        let span = self.obs.timer(crayfish_obs::Stage::Inference);
         let out = f(model.as_mut());
+        span.stop();
+        self.in_flight.dec();
         self.tx.send(model).expect("model pool closed");
         out
     }
@@ -175,7 +202,10 @@ mod tests {
     #[test]
     fn pool_bounds_concurrency() {
         let g = tiny::tiny_mlp(1);
-        let pool = ModelPool::new(2, || OnnxRuntime::new().load_graph(&g, Device::Cpu)).unwrap();
+        let pool = ModelPool::new(2, &crayfish_obs::ObsHandle::disabled(), || {
+            OnnxRuntime::new().load_graph(&g, Device::Cpu)
+        })
+        .unwrap();
         let active = Arc::new(std::sync::atomic::AtomicUsize::new(0));
         let peak = Arc::new(std::sync::atomic::AtomicUsize::new(0));
         let mut handles = Vec::new();

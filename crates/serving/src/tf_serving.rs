@@ -11,7 +11,9 @@ use std::net::TcpStream;
 
 use crayfish_tensor::NnGraph;
 
-use crate::protocol::{decode_request_binary, encode_error_binary, encode_tensor_binary, read_frame, write_frame};
+use crate::protocol::{
+    decode_request_binary, encode_error_binary, encode_tensor_binary, read_frame, write_frame,
+};
 use crate::registry::ModelRegistry;
 use crate::server::{spawn_listener, ServerHandle, ServingConfig};
 use crate::Result;
@@ -141,7 +143,10 @@ mod tests {
     fn concurrent_clients_are_served() {
         let server = start(
             &tiny::tiny_mlp(1),
-            ServingConfig { workers: 4, ..Default::default() },
+            ServingConfig {
+                workers: 4,
+                ..Default::default()
+            },
         )
         .unwrap();
         let addr = server.addr();

@@ -29,7 +29,9 @@ pub fn start(graph: &NnGraph, config: ServingConfig) -> Result<ServerHandle> {
     // Native eager-mode kernels, no graph optimiser.
     let loader = TorchRuntime::new();
     let graph = graph.clone();
-    let pool = ModelPool::new(config.workers, || loader.load_graph(&graph, config.device))?;
+    let pool = ModelPool::new(config.workers, &config.obs, || {
+        loader.load_graph(&graph, config.device)
+    })?;
     let py_cost = config.overheads.py_handler;
     spawn_listener("torch-serve", move |stream| {
         handle_connection(stream, &pool, py_cost);
@@ -99,8 +101,22 @@ mod tests {
         // TF-Serving analog for the same model — Table 4's ordering.
         let g = tiny::tiny_mlp(1);
         let overheads = OverheadModel::calibrated();
-        let torch = start(&g, ServingConfig { overheads, ..Default::default() }).unwrap();
-        let tf = crate::tf_serving::start(&g, ServingConfig { overheads, ..Default::default() }).unwrap();
+        let torch = start(
+            &g,
+            ServingConfig {
+                overheads,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let tf = crate::tf_serving::start(
+            &g,
+            ServingConfig {
+                overheads,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let mut torch_c = GrpcClient::connect(torch.addr(), NetworkModel::zero()).unwrap();
         let mut tf_c = GrpcClient::connect(tf.addr(), NetworkModel::zero()).unwrap();
         let input = Tensor::seeded_uniform([1, 8, 8], 1, 0.0, 1.0);

@@ -98,7 +98,8 @@ fn http_server_survives_bad_requests() {
         let reply = read_http_message(&mut reader).unwrap().expect("reply");
         assert!(!reply.is_ok_response());
     }
-    let mut client = crayfish_serving::HttpClient::connect(server.addr(), NetworkModel::zero()).unwrap();
+    let mut client =
+        crayfish_serving::HttpClient::connect(server.addr(), NetworkModel::zero()).unwrap();
     assert!(client
         .infer(&Tensor::seeded_uniform([1, 8, 8], 1, 0.0, 1.0))
         .is_ok());

@@ -30,7 +30,7 @@ use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use crayfish_broker::{PartitionConsumer, Producer, ProducerConfig};
-use crayfish_core::scoring::score_payload;
+use crayfish_core::scoring::score_payload_obs;
 use crayfish_core::{CoreError, DataProcessor, ProcessorContext, Result, RunningJob};
 use crayfish_sim::{calibration, precise_sleep, Cost, OverheadModel};
 
@@ -133,27 +133,47 @@ impl DataProcessor for SparkProcessor {
         for i in 0..slots {
             let rx: Receiver<Task> = task_rx.clone();
             let mut scorer = ctx.scorer.build()?;
-            let mut producer =
-                Producer::new(ctx.broker.clone(), &ctx.output_topic, ProducerConfig::default())?;
+            let mut producer = Producer::new(
+                ctx.broker.clone(),
+                &ctx.output_topic,
+                ProducerConfig::default(),
+            )?;
+            let obs = ctx.obs().clone();
             executors.push(
                 std::thread::Builder::new()
                     .name(format!("spark-executor-{i}"))
                     .spawn(move || {
+                        let batches_scored = obs.counter("batches_scored");
+                        let records_out = obs.counter("records_out");
+                        let score_errors = obs.counter("score_errors");
                         // Runs until the driver drops the channel.
                         while let Ok(task) = rx.recv() {
-                            // Vectorised framework cost for the whole chunk.
+                            // Vectorised framework cost for the whole chunk —
+                            // one `ingest` span covers the whole amortised
+                            // sleep (Spark charges it per chunk, not per
+                            // record).
+                            let span = obs.timer(crayfish_core::Stage::Ingest);
                             let bytes: usize = task.records.iter().map(|r| r.len()).sum();
                             let per_chunk: Duration = options
                                 .record_overhead
                                 .duration(bytes / task.records.len().max(1))
                                 .mul_f64(task.records.len() as f64);
                             precise_sleep(per_chunk);
+                            span.stop();
                             let mut written = 0usize;
                             for rec in &task.records {
-                                if let Ok(out) = score_payload(scorer.as_mut(), rec) {
-                                    if producer.send(None, out).is_ok() {
-                                        written += 1;
+                                match score_payload_obs(scorer.as_mut(), rec, &obs) {
+                                    Ok(out) => {
+                                        batches_scored.inc();
+                                        let span = obs.timer(crayfish_core::Stage::Emit);
+                                        let sent = producer.send(None, out);
+                                        span.stop();
+                                        if sent.is_ok() {
+                                            written += 1;
+                                            records_out.inc();
+                                        }
                                     }
+                                    Err(_) => score_errors.inc(),
                                 }
                             }
                             producer.flush();
@@ -174,9 +194,11 @@ impl DataProcessor for SparkProcessor {
         )?;
         source.max_poll_records = options.max_records_per_batch;
         let flag = stop.clone();
+        let obs = ctx.obs().clone();
         let driver = std::thread::Builder::new()
             .name("spark-driver".into())
             .spawn(move || {
+                let schedule_ns = obs.histogram_ns("spark_schedule");
                 while !flag.load(Ordering::SeqCst) {
                     // (a) Resolve available offsets / pull the micro-batch.
                     let records = match source.poll(Duration::from_millis(50)) {
@@ -187,7 +209,9 @@ impl DataProcessor for SparkProcessor {
                         continue;
                     }
                     // (b) Planning and task scheduling for this batch.
+                    let sched = schedule_ns.start();
                     options.overheads.microbatch_schedule.spend(0);
+                    schedule_ns.observe_since(sched);
                     // (c) One task per source partition with data, as Spark
                     // plans Kafka micro-batches.
                     let mut chunks: Vec<(u32, Vec<Bytes>)> = Vec::new();
@@ -202,7 +226,13 @@ impl DataProcessor for SparkProcessor {
                     let mut dispatched = 0usize;
                     for records in chunks.into_iter().filter(|c| !c.is_empty()) {
                         dispatched += 1;
-                        if task_tx.send(Task { records, done: done_tx.clone() }).is_err() {
+                        if task_tx
+                            .send(Task {
+                                records,
+                                done: done_tx.clone(),
+                            })
+                            .is_err()
+                        {
                             return;
                         }
                     }

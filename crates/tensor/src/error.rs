@@ -51,7 +51,10 @@ impl fmt::Display for TensorError {
                 op,
                 expected,
                 actual,
-            } => write!(f, "{op}: rank mismatch, expected rank {expected}, got {actual}"),
+            } => write!(
+                f,
+                "{op}: rank mismatch, expected rank {expected}, got {actual}"
+            ),
             TensorError::Graph(msg) => write!(f, "graph error: {msg}"),
         }
     }

@@ -368,7 +368,13 @@ mod tests {
     /// A tiny two-layer MLP used across the tests.
     fn tiny_mlp() -> NnGraph {
         let mut g = NnGraph::new("tiny");
-        let input = g.add("input", Op::Input { shape: Shape::from([4]) }, vec![]);
+        let input = g.add(
+            "input",
+            Op::Input {
+                shape: Shape::from([4]),
+            },
+            vec![],
+        );
         let flat = g.add("flatten", Op::Flatten, vec![input]);
         let w1 = Arc::new(Tensor::seeded_he([4, 8], 1, 4));
         let b1 = Arc::new(Tensor::zeros([8]));
@@ -413,7 +419,13 @@ mod tests {
     #[test]
     fn dense_shape_mismatch_is_detected() {
         let mut g = NnGraph::new("bad");
-        let input = g.add("input", Op::Input { shape: Shape::from([5]) }, vec![]);
+        let input = g.add(
+            "input",
+            Op::Input {
+                shape: Shape::from([5]),
+            },
+            vec![],
+        );
         let flat = g.add("flatten", Op::Flatten, vec![input]);
         let w = Arc::new(Tensor::zeros([4, 2])); // expects 4 features, gets 5
         let b = Arc::new(Tensor::zeros([2]));
@@ -424,7 +436,13 @@ mod tests {
     #[test]
     fn add_requires_equal_shapes() {
         let mut g = NnGraph::new("res");
-        let a = g.add("input", Op::Input { shape: Shape::from([2, 2, 2]) }, vec![]);
+        let a = g.add(
+            "input",
+            Op::Input {
+                shape: Shape::from([2, 2, 2]),
+            },
+            vec![],
+        );
         let pooled = g.add("pool", Op::MaxPool { k: 2, s: 2, pad: 0 }, vec![a]);
         g.add("add", Op::Add, vec![a, pooled]);
         assert!(g.infer_shapes(1).is_err());
@@ -440,14 +458,26 @@ mod tests {
     #[test]
     fn conv_and_pool_shapes() {
         let mut g = NnGraph::new("conv");
-        let input = g.add("input", Op::Input { shape: Shape::from([3, 8, 8]) }, vec![]);
+        let input = g.add(
+            "input",
+            Op::Input {
+                shape: Shape::from([3, 8, 8]),
+            },
+            vec![],
+        );
         let w = Arc::new(Tensor::zeros([4, 3, 3, 3]));
         let conv = g.add(
             "conv",
             Op::Conv2d {
                 w,
                 b: None,
-                params: Conv2dParams { in_c: 3, out_c: 4, kernel: 3, stride: 1, pad: 1 },
+                params: Conv2dParams {
+                    in_c: 3,
+                    out_c: 4,
+                    kernel: 3,
+                    stride: 1,
+                    pad: 1,
+                },
             },
             vec![input],
         );

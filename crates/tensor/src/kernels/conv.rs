@@ -40,7 +40,11 @@ pub fn im2col(input: &[f32], h: usize, w: usize, p: &Conv2dParams, col: &mut [f3
     let (oh, ow) = p.out_hw(h, w);
     let cols = oh * ow;
     assert_eq!(input.len(), p.in_c * h * w, "im2col: input length");
-    assert_eq!(col.len(), p.in_c * p.kernel * p.kernel * cols, "im2col: col length");
+    assert_eq!(
+        col.len(),
+        p.in_c * p.kernel * p.kernel * cols,
+        "im2col: col length"
+    );
     let mut row = 0usize;
     for c in 0..p.in_c {
         let chan = &input[c * h * w..(c + 1) * h * w];
@@ -142,10 +146,10 @@ pub fn conv2d_direct(
                                 if iy < 0 || iy >= h as isize || ix < 0 || ix >= w as isize {
                                     continue;
                                 }
-                                let iv = input
-                                    [((b * p.in_c + ic) * h + iy as usize) * w + ix as usize];
-                                let wv = weight
-                                    [((oc * p.in_c + ic) * p.kernel + ky) * p.kernel + kx];
+                                let iv =
+                                    input[((b * p.in_c + ic) * h + iy as usize) * w + ix as usize];
+                                let wv =
+                                    weight[((oc * p.in_c + ic) * p.kernel + ky) * p.kernel + kx];
                                 acc += iv * wv;
                             }
                         }
@@ -167,17 +171,35 @@ mod tests {
     #[test]
     fn out_hw_standard_cases() {
         // ResNet50 stem: 224x224, k=7, s=2, p=3 -> 112x112
-        let p = Conv2dParams { in_c: 3, out_c: 64, kernel: 7, stride: 2, pad: 3 };
+        let p = Conv2dParams {
+            in_c: 3,
+            out_c: 64,
+            kernel: 7,
+            stride: 2,
+            pad: 3,
+        };
         assert_eq!(p.out_hw(224, 224), (112, 112));
         // Same-size 3x3: k=3, s=1, p=1
-        let p = Conv2dParams { in_c: 8, out_c: 8, kernel: 3, stride: 1, pad: 1 };
+        let p = Conv2dParams {
+            in_c: 8,
+            out_c: 8,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+        };
         assert_eq!(p.out_hw(56, 56), (56, 56));
     }
 
     #[test]
     fn identity_1x1_conv() {
         // A 1x1 conv with identity channel mixing returns the input.
-        let p = Conv2dParams { in_c: 2, out_c: 2, kernel: 1, stride: 1, pad: 0 };
+        let p = Conv2dParams {
+            in_c: 2,
+            out_c: 2,
+            kernel: 1,
+            stride: 1,
+            pad: 0,
+        };
         let input = Tensor::seeded_uniform([1, 2, 3, 3], 7, -1.0, 1.0);
         let weight = vec![1.0, 0.0, 0.0, 1.0]; // [2,2,1,1] identity
         let mut scratch = Vec::new();
@@ -187,7 +209,13 @@ mod tests {
 
     #[test]
     fn bias_is_broadcast() {
-        let p = Conv2dParams { in_c: 1, out_c: 2, kernel: 1, stride: 1, pad: 0 };
+        let p = Conv2dParams {
+            in_c: 1,
+            out_c: 2,
+            kernel: 1,
+            stride: 1,
+            pad: 0,
+        };
         let input = vec![0.0; 4]; // 1x1x2x2 zeros
         let weight = vec![1.0, 1.0];
         let mut scratch = Vec::new();
@@ -197,12 +225,27 @@ mod tests {
 
     #[test]
     fn strided_padded_matches_direct() {
-        let p = Conv2dParams { in_c: 3, out_c: 4, kernel: 3, stride: 2, pad: 1 };
+        let p = Conv2dParams {
+            in_c: 3,
+            out_c: 4,
+            kernel: 3,
+            stride: 2,
+            pad: 1,
+        };
         let input = Tensor::seeded_uniform([2, 3, 7, 7], 11, -1.0, 1.0);
         let weight = Tensor::seeded_uniform([4, 3, 3, 3], 12, -1.0, 1.0);
         let bias = vec![0.5, -0.5, 0.0, 1.0];
         let mut scratch = Vec::new();
-        let fast = conv2d_im2col(input.data(), 2, 7, 7, weight.data(), &bias, &p, &mut scratch);
+        let fast = conv2d_im2col(
+            input.data(),
+            2,
+            7,
+            7,
+            weight.data(),
+            &bias,
+            &p,
+            &mut scratch,
+        );
         let slow = conv2d_direct(input.data(), 2, 7, 7, weight.data(), &bias, &p);
         assert_eq!(fast.len(), slow.len());
         for (a, b) in fast.iter().zip(&slow) {
@@ -212,7 +255,13 @@ mod tests {
 
     #[test]
     fn flops_counts_macs_twice() {
-        let p = Conv2dParams { in_c: 1, out_c: 1, kernel: 1, stride: 1, pad: 0 };
+        let p = Conv2dParams {
+            in_c: 1,
+            out_c: 1,
+            kernel: 1,
+            stride: 1,
+            pad: 0,
+        };
         // 1 output element, 1 MAC -> 2 FLOPs, over a 1x1 image.
         assert_eq!(p.flops(1, 1), 2);
     }

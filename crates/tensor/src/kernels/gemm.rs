@@ -48,7 +48,14 @@ pub fn matmul_naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f
 /// Fully connected layer: `out = x * w + bias` where `x` is
 /// `[batch, in_features]`, `w` is `[in_features, out_features]`, and `bias`
 /// has `out_features` elements broadcast across the batch.
-pub fn dense(x: &[f32], w: &[f32], bias: &[f32], batch: usize, inf: usize, outf: usize) -> Vec<f32> {
+pub fn dense(
+    x: &[f32],
+    w: &[f32],
+    bias: &[f32],
+    batch: usize,
+    inf: usize,
+    outf: usize,
+) -> Vec<f32> {
     assert_eq!(bias.len(), outf, "dense: bias length");
     let mut out = Vec::with_capacity(batch * outf);
     for _ in 0..batch {

@@ -48,7 +48,11 @@ pub fn maxpool2d(
 /// Global average pooling: reduce each channel's spatial plane to its mean.
 /// `[batch, c, h, w]` → `[batch, c]`.
 pub fn avgpool_global(input: &[f32], batch: usize, c: usize, h: usize, w: usize) -> Vec<f32> {
-    assert_eq!(input.len(), batch * c * h * w, "avgpool_global: input length");
+    assert_eq!(
+        input.len(),
+        batch * c * h * w,
+        "avgpool_global: input length"
+    );
     let plane = (h * w) as f32;
     let mut out = Vec::with_capacity(batch * c);
     for bc in 0..batch * c {

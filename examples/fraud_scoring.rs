@@ -37,19 +37,31 @@ fn main() {
     );
     run(
         "embedded / onnx",
-        ServingChoice::Embedded { lib: EmbeddedLib::Onnx, device: Device::Cpu },
+        ServingChoice::Embedded {
+            lib: EmbeddedLib::Onnx,
+            device: Device::Cpu,
+        },
     );
     run(
         "embedded / dl4j",
-        ServingChoice::Embedded { lib: EmbeddedLib::Dl4j, device: Device::Cpu },
+        ServingChoice::Embedded {
+            lib: EmbeddedLib::Dl4j,
+            device: Device::Cpu,
+        },
     );
     run(
         "external / tf-serving",
-        ServingChoice::External { kind: ExternalKind::TfServing, device: Device::Cpu },
+        ServingChoice::External {
+            kind: ExternalKind::TfServing,
+            device: Device::Cpu,
+        },
     );
     run(
         "external / torchserve",
-        ServingChoice::External { kind: ExternalKind::TorchServe, device: Device::Cpu },
+        ServingChoice::External {
+            kind: ExternalKind::TorchServe,
+            device: Device::Cpu,
+        },
     );
     println!();
     println!("Embedded ONNX minimises latency; an optimised external server stays close");

@@ -18,7 +18,10 @@ fn main() {
     let burst = 900.0;
     let mut spec = ExperimentSpec::quick(
         ModelSpec::TinyCnn,
-        ServingChoice::Embedded { lib: EmbeddedLib::Onnx, device: Device::Cpu },
+        ServingChoice::Embedded {
+            lib: EmbeddedLib::Onnx,
+            device: Device::Cpu,
+        },
     );
     spec.workload = Workload::Bursty {
         base,
@@ -65,7 +68,9 @@ fn main() {
     // flutter, and "recovered" means back in the quiet regime, not equal to
     // its exact median.
     match recovery_time_s(&buckets, burst_end, baseline, 2.5, 2) {
-        Some(rec) => println!("\nrecovered {rec:.1} s after the first burst (baseline p50 {baseline:.2} ms)"),
+        Some(rec) => {
+            println!("\nrecovered {rec:.1} s after the first burst (baseline p50 {baseline:.2} ms)")
+        }
         None => println!("\ndid not recover within the run (baseline p50 {baseline:.2} ms)"),
     }
 }

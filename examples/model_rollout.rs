@@ -16,10 +16,19 @@ use crayfish::tensor::Tensor;
 
 fn main() {
     // A registry-backed server with one model deployed.
-    let registry = ModelRegistry::new(ServingConfig { workers: 2, ..Default::default() });
-    registry.deploy("fraud", &tiny::tiny_mlp(1)).expect("deploy v1");
+    let registry = ModelRegistry::new(ServingConfig {
+        workers: 2,
+        ..Default::default()
+    });
+    registry
+        .deploy("fraud", &tiny::tiny_mlp(1))
+        .expect("deploy v1");
     let server = tf_serving::start_with_registry(registry.clone()).expect("start server");
-    println!("serving 'fraud' v{} at {}", registry.version("fraud").unwrap(), server.addr());
+    println!(
+        "serving 'fraud' v{} at {}",
+        registry.version("fraud").unwrap(),
+        server.addr()
+    );
 
     // A long-lived client (stands in for the stream processor's scoring
     // operator) keeps scoring the same probe input.
@@ -31,7 +40,9 @@ fn main() {
     // Ops deploys v2 (retrained weights). No server restart, no stream
     // processor involvement.
     std::thread::sleep(Duration::from_millis(200));
-    let version = registry.deploy("fraud", &tiny::tiny_mlp(4242)).expect("deploy v2");
+    let version = registry
+        .deploy("fraud", &tiny::tiny_mlp(4242))
+        .expect("deploy v2");
     println!("hot-deployed 'fraud' v{version}");
 
     let v2_scores = client.infer_named("fraud", &probe).expect("v2 inference");
@@ -41,10 +52,14 @@ fn main() {
     assert!(moved > 0.0, "v2 should differ from v1");
 
     // A second model can share the same endpoint.
-    registry.deploy("anomaly", &tiny::tiny_cnn(1)).expect("deploy anomaly model");
+    registry
+        .deploy("anomaly", &tiny::tiny_cnn(1))
+        .expect("deploy anomaly model");
     println!("deployments: {:?}", registry.deployments());
     let cnn_probe = Tensor::seeded_uniform([1, 3, 8, 8], 1, 0.0, 1.0);
-    let anomaly = client.infer_named("anomaly", &cnn_probe).expect("anomaly inference");
+    let anomaly = client
+        .infer_named("anomaly", &cnn_probe)
+        .expect("anomaly inference");
     println!("anomaly scores: {:?}", anomaly.batch_item(0));
 
     server.shutdown();

@@ -25,7 +25,10 @@ fn main() {
     for bsz in [1usize, 4, 16, 64, 128] {
         let mut spec = ExperimentSpec::quick(
             ModelSpec::Ffnn,
-            ServingChoice::Embedded { lib: EmbeddedLib::Onnx, device: Device::Cpu },
+            ServingChoice::Embedded {
+                lib: EmbeddedLib::Onnx,
+                device: Device::Cpu,
+            },
         );
         spec.bsz = bsz;
         spec.workload = Workload::Constant { rate: 20.0 };
@@ -38,7 +41,11 @@ fn main() {
             result.latency.p50,
             result.latency.p95,
             per_point,
-            if result.latency.p95 <= BUDGET_P95_MS { "yes" } else { "no" }
+            if result.latency.p95 <= BUDGET_P95_MS {
+                "yes"
+            } else {
+                "no"
+            }
         );
     }
     println!("\nLarger batches amortise per-event overhead (cheaper per point) but");

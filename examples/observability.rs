@@ -1,0 +1,82 @@
+//! Observability quickstart: run an experiment with live metrics enabled,
+//! expose them on the Prometheus endpoint, and print the per-stage latency
+//! breakdown the subsystem collects.
+//!
+//! While the run is in flight the endpoint is scrapeable, e.g.:
+//!
+//! ```sh
+//! cargo run --release --example observability
+//! # in another terminal:
+//! curl http://127.0.0.1:9184/metrics
+//! cargo run --release --bin crayfish-top
+//! ```
+
+use std::time::Duration;
+
+use crayfish::obs;
+use crayfish::prelude::*;
+
+fn main() {
+    let handle = ObsHandle::enabled();
+    let exporter = obs::export::serve_on(&handle, "127.0.0.1:9184")
+        .or_else(|_| obs::export::serve(&handle))
+        .expect("bind exporter");
+    println!("exporter    : http://{}/metrics", exporter.addr());
+
+    let mut spec = ExperimentSpec::quick(
+        ModelSpec::TinyMlp,
+        ServingChoice::External {
+            kind: ExternalKind::TfServing,
+            device: Device::Cpu,
+        },
+    );
+    spec.workload = Workload::Constant { rate: 500.0 };
+    spec.duration = Duration::from_secs(5);
+    spec.network = NetworkModel::lan_1gbps();
+    spec.obs = handle.clone();
+
+    println!("engine      : kstreams (mp = {})", spec.mp);
+    println!("serving     : {}", spec.serving.label());
+    println!("workload    : 500 events/s for {:?}", spec.duration);
+    println!();
+
+    let result = run_experiment(&KStreamsProcessor::new(), &spec).expect("experiment failed");
+
+    println!("scored      : {} batches", result.consumed);
+    println!("throughput  : {:.1} events/s", result.throughput_eps);
+    println!();
+    println!(
+        "{:<14} {:>9} {:>10} {:>10} {:>10}",
+        "stage", "samples", "p50 µs", "p95 µs", "p99 µs"
+    );
+    for stage in Stage::ALL {
+        let snap = handle.stage_snapshot(stage);
+        if snap.count() == 0 {
+            continue;
+        }
+        println!(
+            "{:<14} {:>9} {:>10.1} {:>10.1} {:>10.1}",
+            stage.name(),
+            snap.count(),
+            snap.percentile(0.50) / 1e3,
+            snap.percentile(0.95) / 1e3,
+            snap.percentile(0.99) / 1e3,
+        );
+    }
+    let e2e = handle.e2e_snapshot();
+    println!(
+        "{:<14} {:>9} {:>10.1} {:>10.1} {:>10.1}",
+        "end-to-end",
+        e2e.count(),
+        e2e.percentile(0.50) / 1e3,
+        e2e.percentile(0.95) / 1e3,
+        e2e.percentile(0.99) / 1e3,
+    );
+    println!();
+    println!("counters:");
+    for (name, value) in handle.counter_values() {
+        println!("  {name:<24} {value}");
+    }
+
+    exporter.stop();
+}

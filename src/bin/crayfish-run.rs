@@ -64,7 +64,10 @@ fn main() -> ExitCode {
             spec.bsz,
             spec.mp
         );
-        let opts = StSearchOptions { probe: spec.duration, ..Default::default() };
+        let opts = StSearchOptions {
+            probe: spec.duration,
+            ..Default::default()
+        };
         return match find_sustainable_rate(processor.as_ref(), &spec, opts) {
             Ok(st) => {
                 if json_output {
@@ -115,7 +118,10 @@ fn main() -> ExitCode {
                 }))
                 .collect::<Vec<_>>(),
         });
-        println!("{}", serde_json::to_string_pretty(&out).expect("result to json"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).expect("result to json")
+        );
     } else {
         println!("produced      : {}", result.produced);
         println!("scored        : {}", result.consumed);

@@ -34,6 +34,7 @@ pub use crayfish_core as framework;
 pub use crayfish_flink as flink;
 pub use crayfish_kstreams as kstreams;
 pub use crayfish_models as models;
+pub use crayfish_obs as obs;
 pub use crayfish_ray as ray;
 pub use crayfish_runtime as runtime;
 pub use crayfish_serving as serving;
@@ -52,6 +53,7 @@ pub mod prelude {
     pub use crayfish_flink::{FlinkOptions, FlinkProcessor};
     pub use crayfish_kstreams::KStreamsProcessor;
     pub use crayfish_models::ModelSpec;
+    pub use crayfish_obs::{ObsHandle, Stage};
     pub use crayfish_ray::RayProcessor;
     pub use crayfish_runtime::{Device, EmbeddedLib};
     pub use crayfish_serving::ExternalKind;
@@ -65,7 +67,10 @@ mod tests {
 
     #[test]
     fn registry_is_complete() {
-        assert_eq!(registry::engine_names(), ["flink", "kstreams", "sparkss", "ray"]);
+        assert_eq!(
+            registry::engine_names(),
+            ["flink", "kstreams", "sparkss", "ray"]
+        );
         for name in registry::engine_names() {
             let p = registry::processor_by_name(name).unwrap();
             assert_eq!(p.name(), name);

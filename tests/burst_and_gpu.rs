@@ -9,7 +9,10 @@ use crayfish::prelude::*;
 fn bursts_raise_latency_then_it_recovers() {
     let mut spec = ExperimentSpec::quick(
         ModelSpec::TinyCnn,
-        ServingChoice::Embedded { lib: EmbeddedLib::Dl4j, device: Device::Cpu },
+        ServingChoice::Embedded {
+            lib: EmbeddedLib::Dl4j,
+            device: Device::Cpu,
+        },
     );
     // DL4J's per-op marshalling over a conv model with a 8-point batch
     // keeps sustainable throughput low enough to overload reliably.
@@ -27,7 +30,10 @@ fn bursts_raise_latency_then_it_recovers() {
     assert!(result.consumed > 100, "only {} consumed", result.consumed);
 
     let buckets = bucketize(&result.samples, 500.0);
-    let peak = buckets.iter().map(|b| b.mean_latency_ms).fold(0.0, f64::max);
+    let peak = buckets
+        .iter()
+        .map(|b| b.mean_latency_ms)
+        .fold(0.0, f64::max);
     // Quiet-period latency: first bucket with data.
     let quiet = buckets
         .iter()
@@ -58,7 +64,10 @@ fn bursts_raise_latency_then_it_recovers() {
 fn gpu_experiment_runs_end_to_end() {
     let mut spec = ExperimentSpec::quick(
         ModelSpec::TinyCnn,
-        ServingChoice::Embedded { lib: EmbeddedLib::Onnx, device: Device::gpu() },
+        ServingChoice::Embedded {
+            lib: EmbeddedLib::Onnx,
+            device: Device::gpu(),
+        },
     );
     spec.workload = Workload::Constant { rate: 100.0 };
     spec.duration = Duration::from_millis(1500);
@@ -71,7 +80,10 @@ fn gpu_experiment_runs_end_to_end() {
 fn external_gpu_server_runs_end_to_end() {
     let mut spec = ExperimentSpec::quick(
         ModelSpec::TinyCnn,
-        ServingChoice::External { kind: ExternalKind::TfServing, device: Device::gpu() },
+        ServingChoice::External {
+            kind: ExternalKind::TfServing,
+            device: Device::gpu(),
+        },
     );
     spec.workload = Workload::Constant { rate: 50.0 };
     spec.duration = Duration::from_millis(1500);
@@ -93,5 +105,8 @@ fn gpu_cost_model_beats_cpu_for_resnet_scale_work() {
     // at ~8.2 GFLOPs each take multiple seconds. The T4 model must be far
     // below that and above zero.
     assert!(modelled > 0.01, "GPU model suspiciously fast: {modelled}s");
-    assert!(modelled < 2.0, "GPU model slower than plausible CPU: {modelled}s");
+    assert!(
+        modelled < 2.0,
+        "GPU model slower than plausible CPU: {modelled}s"
+    );
 }

@@ -14,7 +14,11 @@ fn quick_spec(serving: ServingChoice) -> ExperimentSpec {
 }
 
 fn check(result: &crayfish::framework::ExperimentResult, label: &str) {
-    assert!(result.consumed > 30, "{label}: only {} consumed", result.consumed);
+    assert!(
+        result.consumed > 30,
+        "{label}: only {} consumed",
+        result.consumed
+    );
     assert!(
         result.consumed as u64 <= result.produced,
         "{label}: consumed {} > produced {}",
@@ -30,7 +34,11 @@ fn check(result: &crayfish::framework::ExperimentResult, label: &str) {
     // Latencies are positive and sane.
     assert!(result.latency.count > 0, "{label}: empty summary");
     assert!(result.latency.min >= 0.0, "{label}: negative latency");
-    assert!(result.latency.p99 < 30_000.0, "{label}: p99 {}", result.latency.p99);
+    assert!(
+        result.latency.p99 < 30_000.0,
+        "{label}: p99 {}",
+        result.latency.p99
+    );
     assert!(result.throughput_eps > 0.0, "{label}");
 }
 
@@ -41,8 +49,8 @@ fn all_engines_with_embedded_onnx() {
             lib: EmbeddedLib::Onnx,
             device: Device::Cpu,
         });
-        let result = run_experiment(processor.as_ref(), &spec)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let result =
+            run_experiment(processor.as_ref(), &spec).unwrap_or_else(|e| panic!("{name}: {e}"));
         check(&result, name);
     }
 }
@@ -54,8 +62,8 @@ fn all_engines_with_external_tf_serving() {
             kind: ExternalKind::TfServing,
             device: Device::Cpu,
         });
-        let result = run_experiment(processor.as_ref(), &spec)
-            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let result =
+            run_experiment(processor.as_ref(), &spec).unwrap_or_else(|e| panic!("{name}: {e}"));
         check(&result, name);
     }
 }
@@ -63,7 +71,10 @@ fn all_engines_with_external_tf_serving() {
 #[test]
 fn flink_with_every_embedded_library() {
     for lib in EmbeddedLib::ALL {
-        let spec = quick_spec(ServingChoice::Embedded { lib, device: Device::Cpu });
+        let spec = quick_spec(ServingChoice::Embedded {
+            lib,
+            device: Device::Cpu,
+        });
         let result = run_experiment(&FlinkProcessor::new(), &spec)
             .unwrap_or_else(|e| panic!("{}: {e}", lib.name()));
         check(&result, lib.name());
@@ -73,7 +84,10 @@ fn flink_with_every_embedded_library() {
 #[test]
 fn flink_with_every_external_server() {
     for kind in ExternalKind::ALL {
-        let spec = quick_spec(ServingChoice::External { kind, device: Device::Cpu });
+        let spec = quick_spec(ServingChoice::External {
+            kind,
+            device: Device::Cpu,
+        });
         let result = run_experiment(&FlinkProcessor::new(), &spec)
             .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
         check(&result, kind.name());

@@ -1,0 +1,160 @@
+//! End-to-end checks for the observability subsystem: a full experiment run
+//! with an enabled [`ObsHandle`] must light up every pipeline stage, the
+//! per-stage costs must stay inside the end-to-end latency envelope, and the
+//! Prometheus endpoint must serve a payload the bundled parser (the same one
+//! `crayfish-top` uses) accepts.
+
+use std::time::Duration;
+
+use crayfish::obs;
+use crayfish::prelude::*;
+
+fn quick_spec(serving: ServingChoice, handle: ObsHandle) -> ExperimentSpec {
+    let mut spec = ExperimentSpec::quick(ModelSpec::TinyMlp, serving);
+    spec.workload = Workload::Constant { rate: 300.0 };
+    spec.duration = Duration::from_millis(1500);
+    spec.mp = 2;
+    spec.obs = handle;
+    spec
+}
+
+/// With external serving every one of the nine stages is exercised: the
+/// workload producer (`batch`), the broker (`broker_append`/`broker_fetch`),
+/// the engine (`ingest`/`decode`/`encode`/`emit`), the client RPC
+/// (`serving_rpc`), and the model pool inside the server (`inference`).
+#[test]
+fn external_run_records_samples_for_every_stage() {
+    let handle = ObsHandle::enabled();
+    let spec = quick_spec(
+        ServingChoice::External {
+            kind: ExternalKind::TfServing,
+            device: Device::Cpu,
+        },
+        handle.clone(),
+    );
+    let result = run_experiment(&KStreamsProcessor::new(), &spec).unwrap();
+    assert!(result.consumed > 30, "only {} consumed", result.consumed);
+
+    for stage in Stage::ALL {
+        let snap = handle.stage_snapshot(stage);
+        assert!(
+            snap.count() > 0,
+            "stage {} recorded no samples",
+            stage.name()
+        );
+        assert!(
+            snap.max() > 0,
+            "stage {} recorded only zero durations",
+            stage.name()
+        );
+    }
+    assert!(handle.e2e_snapshot().count() > 0, "no end-to-end samples");
+
+    // The counter taxonomy must be populated and internally consistent.
+    let records_in = handle.counter("records_in").get();
+    let batches_scored = handle.counter("batches_scored").get();
+    let records_out = handle.counter("records_out").get();
+    assert!(records_in > 0, "no records_in");
+    assert!(batches_scored > 0, "no batches_scored");
+    assert!(records_out <= batches_scored, "more emitted than scored");
+    assert!(batches_scored <= records_in, "more scored than produced");
+    assert_eq!(handle.counter("score_errors").get(), 0);
+    assert!(handle.counter("broker_append_requests").get() > 0);
+    assert!(handle.counter("broker_fetch_requests").get() > 0);
+}
+
+/// In an embedded run the per-record pipeline stages are strictly nested
+/// inside the event-time window the end-to-end latency measures, so the sum
+/// of their mean costs cannot exceed the mean end-to-end latency (plus a
+/// small allowance for clock jitter around very short spans).
+#[test]
+fn stage_costs_stay_inside_the_e2e_envelope() {
+    let handle = ObsHandle::enabled();
+    let spec = quick_spec(
+        ServingChoice::Embedded {
+            lib: EmbeddedLib::Onnx,
+            device: Device::Cpu,
+        },
+        handle.clone(),
+    );
+    let result = run_experiment(&FlinkProcessor::new(), &spec).unwrap();
+    assert!(result.consumed > 30, "only {} consumed", result.consumed);
+
+    let e2e = handle.e2e_snapshot();
+    assert!(e2e.count() > 0, "no end-to-end samples");
+    let per_record_path = [
+        Stage::Ingest,
+        Stage::Decode,
+        Stage::Inference,
+        Stage::Encode,
+        Stage::Emit,
+    ];
+    let stage_sum_ns: f64 = per_record_path
+        .iter()
+        .map(|s| {
+            let snap = handle.stage_snapshot(*s);
+            assert!(snap.count() > 0, "stage {} recorded no samples", s.name());
+            snap.mean()
+        })
+        .sum();
+    let e2e_mean_ns = e2e.mean();
+    let jitter_ns = 2e6; // 2 ms of scheduling/clock slack
+    assert!(
+        stage_sum_ns <= e2e_mean_ns + jitter_ns,
+        "per-record stage means sum to {:.1} µs but mean e2e is {:.1} µs",
+        stage_sum_ns / 1e3,
+        e2e_mean_ns / 1e3,
+    );
+}
+
+/// The exporter must serve the handle's metrics over HTTP in a form the
+/// text-exposition parser accepts, with the per-stage histograms present.
+#[test]
+fn exporter_serves_parseable_prometheus_text() {
+    let handle = ObsHandle::enabled();
+    let spec = quick_spec(
+        ServingChoice::Embedded {
+            lib: EmbeddedLib::Onnx,
+            device: Device::Cpu,
+        },
+        handle.clone(),
+    );
+    let result = run_experiment(&RayProcessor::new(), &spec).unwrap();
+    assert!(result.consumed > 30, "only {} consumed", result.consumed);
+
+    // Port 0 lets the OS pick a free port so parallel test runs never clash.
+    let exporter = obs::export::serve_on(&handle, "127.0.0.1:0").unwrap();
+    let samples = obs::export::scrape(&exporter.addr().to_string()).unwrap();
+    assert!(!samples.is_empty(), "empty exposition payload");
+
+    // Every stage that recorded samples appears as a histogram family with
+    // count, sum, and at least one cumulative bucket ending at +Inf.
+    for stage in Stage::ALL {
+        if handle.stage_snapshot(stage).count() == 0 {
+            continue;
+        }
+        let count = samples
+            .iter()
+            .find(|s| {
+                s.name == "crayfish_stage_latency_seconds_count"
+                    && s.label("stage") == Some(stage.name())
+            })
+            .unwrap_or_else(|| panic!("no count sample for stage {}", stage.name()));
+        assert!(count.value > 0.0);
+        let inf = samples.iter().any(|s| {
+            s.name == "crayfish_stage_latency_seconds_bucket"
+                && s.label("stage") == Some(stage.name())
+                && s.label("le") == Some("+Inf")
+        });
+        assert!(inf, "stage {} has no +Inf bucket", stage.name());
+    }
+
+    // Counters round-trip exactly.
+    let scored = samples
+        .iter()
+        .find(|s| s.name == "crayfish_batches_scored_total")
+        .expect("no batches_scored sample");
+    assert_eq!(scored.value as u64, handle.counter("batches_scored").get());
+
+    exporter.stop();
+}
