@@ -26,6 +26,7 @@ pub struct Broker {
     offsets: RwLock<HashMap<(String, String, u32), u64>>,
     network: NetworkModel,
     obs: crayfish_obs::ObsHandle,
+    chaos: crayfish_chaos::ChaosHandle,
 }
 
 impl Broker {
@@ -38,17 +39,35 @@ impl Broker {
     /// abstractions (producer/consumer) pick the handle up from here, so
     /// enabling obs on the broker instruments every client built on it.
     pub fn with_obs(network: NetworkModel, obs: crayfish_obs::ObsHandle) -> Arc<Broker> {
+        Broker::with_parts(network, obs, crayfish_chaos::ChaosHandle::disabled())
+    }
+
+    /// Full constructor: observability plus a chaos handle. A broker built
+    /// with a live chaos handle honours partition-outage and lost-ack fault
+    /// windows, and its clients (producer/consumer) honour stalls; with the
+    /// default disabled handle every chaos check is a single branch.
+    pub fn with_parts(
+        network: NetworkModel,
+        obs: crayfish_obs::ObsHandle,
+        chaos: crayfish_chaos::ChaosHandle,
+    ) -> Arc<Broker> {
         Arc::new(Broker {
             topics: RwLock::new(HashMap::new()),
             offsets: RwLock::new(HashMap::new()),
             network,
             obs,
+            chaos,
         })
     }
 
     /// The observability handle clients of this broker record into.
     pub fn obs(&self) -> &crayfish_obs::ObsHandle {
         &self.obs
+    }
+
+    /// The chaos handle clients of this broker consult for fault windows.
+    pub fn chaos(&self) -> &crayfish_chaos::ChaosHandle {
+        &self.chaos
     }
 
     /// The network model clients of this broker should apply.
@@ -130,6 +149,12 @@ impl Broker {
         partition: u32,
         values: Vec<(Bytes, f64)>,
     ) -> Result<(u64, f64)> {
+        if self.chaos.topic_unavailable(topic) {
+            return Err(BrokerError::Unavailable {
+                topic: topic.to_string(),
+                partition,
+            });
+        }
         let t = self.topic(topic)?;
         let p = partition as usize;
         if p >= t.partitions.len() {
@@ -138,7 +163,55 @@ impl Broker {
                 partition,
             });
         }
-        Ok(t.append(p, values))
+        let out = t.append(p, values);
+        self.chaos.note_success(crayfish_chaos::Domain::Broker);
+        Ok(out)
+    }
+
+    /// Idempotent append: like [`append`](Self::append) with a producer id
+    /// and the per-partition sequence number of the first record, so a
+    /// retried batch whose first attempt actually landed (lost ack) is
+    /// deduplicated instead of appended twice. During a network-degrade
+    /// fault window the broker may deliberately "lose" the ack of a
+    /// successful append and return `Unavailable` — the retry then lands in
+    /// the dedup window.
+    pub fn append_dedup(
+        &self,
+        topic: &str,
+        partition: u32,
+        producer_id: u64,
+        first_seq: u64,
+        values: Vec<(Bytes, f64)>,
+    ) -> Result<(u64, f64)> {
+        if self.chaos.topic_unavailable(topic) {
+            return Err(BrokerError::Unavailable {
+                topic: topic.to_string(),
+                partition,
+            });
+        }
+        let t = self.topic(topic)?;
+        let p = partition as usize;
+        if p >= t.partitions.len() {
+            return Err(BrokerError::UnknownPartition {
+                topic: topic.to_string(),
+                partition,
+            });
+        }
+        let (offset, stamp, duplicates) = t.append_dedup(p, producer_id, first_seq, values);
+        if duplicates > 0 {
+            self.chaos.note_duplicates(duplicates);
+            self.obs.counter("duplicates_dropped").add(duplicates);
+        }
+        if self.chaos.append_ack_lost() {
+            // The records are in the log, but the producer never learns:
+            // its retry exercises the dedup path above.
+            return Err(BrokerError::Unavailable {
+                topic: topic.to_string(),
+                partition,
+            });
+        }
+        self.chaos.note_success(crayfish_chaos::Domain::Broker);
+        Ok((offset, stamp))
     }
 
     /// Broker-side read (no client network cost).
@@ -150,6 +223,12 @@ impl Broker {
         max_records: usize,
         max_bytes: usize,
     ) -> Result<Vec<FetchedRecord>> {
+        if self.chaos.topic_unavailable(topic) {
+            return Err(BrokerError::Unavailable {
+                topic: topic.to_string(),
+                partition,
+            });
+        }
         let t = self.topic(topic)?;
         let p = partition as usize;
         if p >= t.partitions.len() {
@@ -158,7 +237,11 @@ impl Broker {
                 partition,
             });
         }
-        Ok(t.read(p, offset, max_records, max_bytes))
+        let out = t.read(p, offset, max_records, max_bytes);
+        if !out.is_empty() {
+            self.chaos.note_success(crayfish_chaos::Domain::Broker);
+        }
+        Ok(out)
     }
 
     /// Log-end offset of one partition.
@@ -303,6 +386,59 @@ mod tests {
         // Balanced within one.
         let sizes: Vec<usize> = assign.iter().map(|a| a.len()).collect();
         assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn outage_window_makes_topic_unavailable_then_recovers() {
+        let chaos = crayfish_chaos::ChaosHandle::enabled();
+        let b = Broker::with_parts(
+            NetworkModel::zero(),
+            crayfish_obs::ObsHandle::disabled(),
+            chaos.clone(),
+        );
+        b.create_topic("in", 1).unwrap();
+        b.create_topic("out", 1).unwrap();
+        b.append("in", 0, vec![(Bytes::from_static(b"a"), 0.0)])
+            .unwrap();
+        chaos.set_topic_outage("in", true);
+        assert!(matches!(
+            b.append("in", 0, vec![(Bytes::from_static(b"b"), 0.0)]),
+            Err(BrokerError::Unavailable { .. })
+        ));
+        assert!(matches!(
+            b.read("in", 0, 0, 10, usize::MAX),
+            Err(BrokerError::Unavailable { .. })
+        ));
+        // Other topics are unaffected.
+        b.append("out", 0, vec![(Bytes::from_static(b"x"), 0.0)])
+            .unwrap();
+        chaos.set_topic_outage("in", false);
+        b.append("in", 0, vec![(Bytes::from_static(b"b"), 0.0)])
+            .unwrap();
+        assert_eq!(b.end_offset("in", 0).unwrap(), 2);
+    }
+
+    #[test]
+    fn lost_ack_append_lands_and_retry_dedups() {
+        let chaos = crayfish_chaos::ChaosHandle::enabled();
+        let obs = crayfish_obs::ObsHandle::enabled();
+        let b = Broker::with_parts(NetworkModel::zero(), obs.clone(), chaos.clone());
+        b.create_topic("t", 1).unwrap();
+        // Lose every ack.
+        chaos.set_net_degrade(std::time::Duration::ZERO, 0, 1);
+        let batch = vec![(Bytes::from_static(b"a"), 0.0)];
+        assert!(matches!(
+            b.append_dedup("t", 0, 9, 0, batch.clone()),
+            Err(BrokerError::Unavailable { .. })
+        ));
+        // The record actually landed.
+        assert_eq!(b.end_offset("t", 0).unwrap(), 1);
+        chaos.clear_net_degrade();
+        // The producer's retry is recognised as a duplicate.
+        b.append_dedup("t", 0, 9, 0, batch).unwrap();
+        assert_eq!(b.end_offset("t", 0).unwrap(), 1);
+        assert_eq!(chaos.duplicates_dropped(), 1);
+        assert_eq!(obs.counter("duplicates_dropped").get(), 1);
     }
 
     #[test]

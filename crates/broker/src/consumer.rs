@@ -29,6 +29,7 @@ pub struct PartitionConsumer {
     /// for data is not part of any record's latency.
     poll_wait: crayfish_obs::HistHandle,
     fetch_requests: crayfish_obs::Counter,
+    chaos: crayfish_chaos::ChaosHandle,
 }
 
 impl PartitionConsumer {
@@ -54,6 +55,7 @@ impl PartitionConsumer {
         let obs = broker.obs().clone();
         let poll_wait = obs.histogram_ns("broker_poll_wait");
         let fetch_requests = obs.counter("broker_fetch_requests");
+        let chaos = broker.chaos().clone();
         Ok(PartitionConsumer {
             broker,
             topic: topic.to_string(),
@@ -66,6 +68,7 @@ impl PartitionConsumer {
             obs,
             poll_wait,
             fetch_requests,
+            chaos,
         })
     }
 
@@ -80,6 +83,17 @@ impl PartitionConsumer {
     pub fn poll(&mut self, max_wait: Duration) -> Result<Vec<FetchedRecord>> {
         let deadline = Instant::now() + max_wait;
         loop {
+            // Fault injection: a stalled consumer or a partition-outage
+            // window reads as "no data yet" — back off in short slices and
+            // re-check until the poll deadline, then time out empty. A
+            // deleted topic still surfaces as an error below.
+            if self.chaos.consumer_stalled() || self.chaos.topic_unavailable(&self.topic) {
+                if Instant::now() >= deadline {
+                    return Ok(Vec::new());
+                }
+                std::thread::sleep(Duration::from_millis(5).min(max_wait));
+                continue;
+            }
             let topic = self.broker.topic(&self.topic)?;
             let seen = topic.current_version();
             // Speculatively time the fetch; cancelled below if it turns out
@@ -117,6 +131,7 @@ impl PartitionConsumer {
                 self.broker.network().transfer(bytes);
                 self.fetch_requests.inc();
                 span.stop();
+                self.chaos.note_success(crayfish_chaos::Domain::Broker);
                 return Ok(out);
             }
             span.cancel();
@@ -283,5 +298,45 @@ mod tests {
         let (b, mut c) = setup();
         b.delete_topic("t").unwrap();
         assert!(c.poll(Duration::from_millis(10)).is_err());
+    }
+
+    fn chaos_setup() -> (
+        Arc<Broker>,
+        PartitionConsumer,
+        crayfish_chaos::ChaosHandle,
+    ) {
+        let chaos = crayfish_chaos::ChaosHandle::enabled();
+        let b = Broker::with_parts(
+            NetworkModel::zero(),
+            crayfish_obs::ObsHandle::disabled(),
+            chaos.clone(),
+        );
+        b.create_topic("t", 1).unwrap();
+        let c = PartitionConsumer::new(b.clone(), "t", "g", vec![0]).unwrap();
+        (b, c, chaos)
+    }
+
+    #[test]
+    fn stalled_consumer_times_out_then_recovers() {
+        let (b, mut c, chaos) = chaos_setup();
+        b.append("t", 0, vec![(Bytes::from_static(b"a"), 0.0)])
+            .unwrap();
+        chaos.set_consumer_stall(true);
+        assert!(c.poll(Duration::from_millis(30)).unwrap().is_empty());
+        chaos.set_consumer_stall(false);
+        let recs = c.poll(Duration::from_millis(500)).unwrap();
+        assert_eq!(recs.len(), 1, "records must survive the stall");
+    }
+
+    #[test]
+    fn outage_reads_as_no_data_not_error() {
+        let (b, mut c, chaos) = chaos_setup();
+        b.append("t", 0, vec![(Bytes::from_static(b"a"), 0.0)])
+            .unwrap();
+        chaos.set_topic_outage("t", true);
+        assert!(c.poll(Duration::from_millis(30)).unwrap().is_empty());
+        chaos.set_topic_outage("t", false);
+        let recs = c.poll(Duration::from_millis(500)).unwrap();
+        assert_eq!(recs.len(), 1, "records must survive the outage");
     }
 }

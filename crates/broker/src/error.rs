@@ -30,6 +30,23 @@ pub enum BrokerError {
         /// Current log end.
         end: u64,
     },
+    /// The topic's partitions are temporarily unavailable (fault injection:
+    /// a partition-outage window, or a lost append ack). Transient — safe
+    /// to retry.
+    Unavailable {
+        /// Topic name.
+        topic: String,
+        /// Partition.
+        partition: u32,
+    },
+}
+
+impl BrokerError {
+    /// Whether retrying the operation can succeed. Producers retry
+    /// transient errors with backoff; everything else is terminal.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, BrokerError::Unavailable { .. })
+    }
 }
 
 impl fmt::Display for BrokerError {
@@ -50,6 +67,9 @@ impl fmt::Display for BrokerError {
                 f,
                 "offset {offset} out of range for {topic}/{partition} (log end {end})"
             ),
+            BrokerError::Unavailable { topic, partition } => {
+                write!(f, "partition {partition} of topic {topic} unavailable")
+            }
         }
     }
 }
@@ -65,5 +85,16 @@ mod tests {
         assert!(BrokerError::UnknownTopic("in".into())
             .to_string()
             .contains("in"));
+    }
+
+    #[test]
+    fn only_unavailable_is_transient() {
+        assert!(BrokerError::Unavailable {
+            topic: "in".into(),
+            partition: 0
+        }
+        .is_transient());
+        assert!(!BrokerError::UnknownTopic("in".into()).is_transient());
+        assert!(!BrokerError::ProducerClosed.is_transient());
     }
 }

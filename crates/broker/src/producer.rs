@@ -8,6 +8,7 @@
 //! low rates each record ships almost immediately (low latency) — exactly
 //! the adaptive behaviour of `linger.ms = 0` Kafka.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -15,6 +16,7 @@ use std::time::Duration;
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
 
+use crayfish_chaos::RetryPolicy;
 use crayfish_sim::{now_millis_f64, precise_sleep};
 
 use crate::broker::Broker;
@@ -31,6 +33,11 @@ pub struct ProducerConfig {
     pub max_batch_records: usize,
     /// Maximum request payload (the paper raises Kafka's to 50 MB).
     pub max_request_bytes: usize,
+    /// Retry schedule for transient append failures (partition outages,
+    /// lost acks). Sequence-number dedup on the broker keeps the retries
+    /// at-least-once *without duplicates*; once the budget is exhausted the
+    /// batch is dropped and counted in `producer_records_dropped`.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ProducerConfig {
@@ -39,9 +46,13 @@ impl Default for ProducerConfig {
             linger: Duration::ZERO,
             max_batch_records: 10_000,
             max_request_bytes: 50 * 1024 * 1024,
+            retry: RetryPolicy::default(),
         }
     }
 }
+
+/// Source of unique producer ids for the broker's idempotence windows.
+static NEXT_PRODUCER_ID: AtomicU64 = AtomicU64::new(1);
 
 #[derive(Debug, Default)]
 struct AccState {
@@ -57,6 +68,7 @@ struct Inner {
     topic: String,
     partitions: u32,
     config: ProducerConfig,
+    producer_id: u64,
     state: Mutex<AccState>,
     wake: Condvar,
     drained: Condvar,
@@ -79,6 +91,7 @@ impl Producer {
             topic: topic.to_string(),
             partitions,
             config,
+            producer_id: NEXT_PRODUCER_ID.fetch_add(1, Ordering::Relaxed),
             state: Mutex::new(AccState::default()),
             wake: Condvar::new(),
             drained: Condvar::new(),
@@ -155,6 +168,11 @@ impl Drop for Producer {
 fn sender_loop(inner: &Inner) {
     let obs = inner.broker.obs().clone();
     let requests = obs.counter("broker_append_requests");
+    let retries = obs.counter("retries");
+    let append_errors = obs.counter_with("errors", "stage", "broker_append");
+    let records_dropped = obs.counter("producer_records_dropped");
+    // Per-partition sequence numbers for the broker's idempotence window.
+    let mut next_seqs: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
     loop {
         let batch = {
             let mut state = inner.state.lock();
@@ -205,9 +223,34 @@ fn sender_loop(inner: &Inner) {
             }
         }
         for (p, values) in groups {
-            // The topic can be deleted mid-run in failure tests; drop the
-            // batch like a real producer whose delivery fails terminally.
-            let _ = inner.broker.append(&inner.topic, p, values);
+            let first_seq = next_seqs.get(&p).copied().unwrap_or(0);
+            let n = values.len() as u64;
+            // Transient failures (outage windows, lost acks) are retried
+            // with backoff; the sequence numbers let the broker drop any
+            // records a lost-ack attempt already appended. Terminal
+            // failures (the topic can be deleted mid-run in failure tests)
+            // drop the batch like a real producer whose delivery fails
+            // terminally.
+            let outcome = inner.config.retry.run(
+                BrokerError::is_transient,
+                |_| retries.inc(),
+                || {
+                    inner.broker.append_dedup(
+                        &inner.topic,
+                        p,
+                        inner.producer_id,
+                        first_seq,
+                        values.clone(),
+                    )
+                },
+            );
+            if outcome.is_err() {
+                append_errors.inc();
+                records_dropped.add(n);
+            }
+            // The sequence window advances even over dropped batches so a
+            // later batch is never mistaken for a retry of this one.
+            next_seqs.insert(p, first_seq + n);
         }
         span.stop();
 
@@ -326,5 +369,55 @@ mod tests {
         // a real producer with terminal delivery errors.
         p.send(Some(0), Bytes::from_static(b"y")).unwrap();
         p.flush();
+    }
+
+    fn chaos_setup() -> (Arc<Broker>, Producer, crayfish_chaos::ChaosHandle) {
+        let chaos = crayfish_chaos::ChaosHandle::enabled();
+        let b = Broker::with_parts(
+            NetworkModel::zero(),
+            crayfish_obs::ObsHandle::disabled(),
+            chaos.clone(),
+        );
+        b.create_topic("t", 1).unwrap();
+        let p = Producer::new(
+            b.clone(),
+            "t",
+            ProducerConfig {
+                retry: RetryPolicy::patient(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        (b, p, chaos)
+    }
+
+    #[test]
+    fn retries_ride_out_an_outage_window() {
+        let (b, mut p, chaos) = chaos_setup();
+        chaos.set_topic_outage("t", true);
+        p.send(Some(0), Bytes::from_static(b"x")).unwrap();
+        let c2 = chaos.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            c2.set_topic_outage("t", false);
+        });
+        p.flush();
+        assert_eq!(b.end_offset("t", 0).unwrap(), 1, "record lost to outage");
+    }
+
+    #[test]
+    fn lost_acks_do_not_duplicate_records() {
+        let (b, mut p, chaos) = chaos_setup();
+        // Every second append loses its ack: the records land but the
+        // producer retries, and the broker's sequence window must swallow
+        // every resend.
+        chaos.set_net_degrade(Duration::ZERO, 0, 2);
+        for i in 0..6u8 {
+            p.send(Some(0), Bytes::from(vec![i])).unwrap();
+            p.flush();
+        }
+        chaos.clear_net_degrade();
+        assert_eq!(b.end_offset("t", 0).unwrap(), 6, "dedup window broken");
+        assert!(chaos.duplicates_dropped() > 0, "no ack was ever lost");
     }
 }

@@ -1,6 +1,6 @@
 //! Topics and partition logs.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
@@ -18,6 +18,11 @@ pub(crate) struct PartitionLog {
     base: u64,
     bytes: usize,
     records: VecDeque<StoredRecord>,
+    /// Idempotent-producer dedup window: producer id → next expected
+    /// sequence number. A re-sent batch whose sequences were already
+    /// appended (a retry after a lost ack) is dropped here, under the
+    /// partition lock — Kafka's `enable.idempotence` behaviour.
+    next_seq: HashMap<u64, u64>,
 }
 
 /// One record as stored in a partition log.
@@ -77,7 +82,47 @@ impl Topic {
     /// Append records to one partition, stamping `LogAppendTime` under the
     /// partition lock. Returns the first assigned offset and the stamp.
     pub fn append(&self, partition: usize, values: Vec<(Bytes, f64)>) -> (u64, f64) {
+        let (first_offset, append_time_ms, _) = self.append_internal(partition, None, values);
+        (first_offset, append_time_ms)
+    }
+
+    /// Like [`append`](Self::append), but with idempotent-producer dedup:
+    /// `first_seq` numbers the first record of `values` in the producer's
+    /// per-partition sequence. Records whose sequences were already
+    /// appended (a retry after a lost ack) are silently dropped; the third
+    /// return value counts them.
+    pub fn append_dedup(
+        &self,
+        partition: usize,
+        producer_id: u64,
+        first_seq: u64,
+        values: Vec<(Bytes, f64)>,
+    ) -> (u64, f64, u64) {
+        self.append_internal(partition, Some((producer_id, first_seq)), values)
+    }
+
+    fn append_internal(
+        &self,
+        partition: usize,
+        dedup: Option<(u64, u64)>,
+        mut values: Vec<(Bytes, f64)>,
+    ) -> (u64, f64, u64) {
         let mut log = self.partitions[partition].lock();
+        let mut duplicates = 0u64;
+        if let Some((producer_id, first_seq)) = dedup {
+            let expected = log.next_seq.get(&producer_id).copied().unwrap_or(0);
+            let n = values.len() as u64;
+            if first_seq < expected {
+                // Leading records were already appended by an earlier
+                // attempt whose ack was lost.
+                duplicates = (expected - first_seq).min(n);
+                values.drain(..duplicates as usize);
+            }
+            // A first_seq above `expected` means the producer gave up on an
+            // earlier batch; accept the gap and move the window forward.
+            log.next_seq
+                .insert(producer_id, expected.max(first_seq + n));
+        }
         let first_offset = log.base + log.records.len() as u64;
         let append_time_ms = now_millis_f64();
         for (value, produce_time_ms) in values {
@@ -100,7 +145,7 @@ impl Topic {
         let mut v = self.version.lock();
         *v += 1;
         self.data_cond.notify_all();
-        (first_offset, append_time_ms)
+        (first_offset, append_time_ms, duplicates)
     }
 
     /// Log-end offset of a partition.
@@ -272,6 +317,65 @@ mod tests {
         assert_eq!(t.start_offset(0), 0);
         let r = t.read(0, 0, 10, usize::MAX);
         assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn dedup_drops_resent_prefix() {
+        let t = Topic::new(1);
+        let batch = vec![
+            (Bytes::from_static(b"a"), 0.0),
+            (Bytes::from_static(b"b"), 0.0),
+        ];
+        let (o1, _, d1) = t.append_dedup(0, 7, 0, batch.clone());
+        assert_eq!((o1, d1), (0, 0));
+        // Full re-send (lost ack): everything is a duplicate.
+        let (_, _, d2) = t.append_dedup(0, 7, 0, batch.clone());
+        assert_eq!(d2, 2);
+        assert_eq!(t.end_offset(0), 2);
+        // Partial overlap: one duplicate, one new.
+        let (_, _, d3) = t.append_dedup(
+            0,
+            7,
+            1,
+            vec![
+                (Bytes::from_static(b"b"), 0.0),
+                (Bytes::from_static(b"c"), 0.0),
+            ],
+        );
+        assert_eq!(d3, 1);
+        assert_eq!(t.end_offset(0), 3);
+        let vals: Vec<u8> = t.read(0, 0, 10, usize::MAX).iter().map(|r| r.value[0]).collect();
+        assert_eq!(vals, b"abc".to_vec());
+    }
+
+    #[test]
+    fn dedup_windows_are_per_producer_and_partition() {
+        let t = Topic::new(2);
+        let rec = vec![(Bytes::from_static(b"x"), 0.0)];
+        t.append_dedup(0, 1, 0, rec.clone());
+        // Different producer, same sequence range: not a duplicate.
+        let (_, _, d) = t.append_dedup(0, 2, 0, rec.clone());
+        assert_eq!(d, 0);
+        // Same producer, different partition: independent window.
+        let (_, _, d) = t.append_dedup(1, 1, 0, rec.clone());
+        assert_eq!(d, 0);
+        assert_eq!(t.end_offset(0), 2);
+        assert_eq!(t.end_offset(1), 1);
+    }
+
+    #[test]
+    fn dedup_accepts_gaps_after_dropped_batches() {
+        let t = Topic::new(1);
+        let rec = vec![(Bytes::from_static(b"x"), 0.0)];
+        t.append_dedup(0, 1, 0, rec.clone());
+        // The producer dropped sequences 1..3 (retry budget exhausted) and
+        // moved on; the gap is accepted.
+        let (_, _, d) = t.append_dedup(0, 1, 3, rec.clone());
+        assert_eq!(d, 0);
+        assert_eq!(t.end_offset(0), 2);
+        // Re-sending the gap region now IS a duplicate (window advanced).
+        let (_, _, d) = t.append_dedup(0, 1, 2, rec.clone());
+        assert_eq!(d, 1);
     }
 
     #[test]

@@ -1,0 +1,204 @@
+//! A circuit breaker with half-open probing.
+//!
+//! Serving clients wrap calls in [`CircuitBreaker::try_acquire`]: after
+//! `failure_threshold` consecutive failures the circuit opens and calls
+//! fail fast (no socket work at all) until `cooldown` elapses, at which
+//! point a limited number of half-open probes test whether the backend
+//! recovered. A probe success closes the circuit; a probe failure re-opens
+//! it for another cooldown.
+
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// Breaker tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive failures that open the circuit.
+    pub failure_threshold: u32,
+    /// How long the circuit stays open before probing.
+    pub cooldown: Duration,
+    /// Concurrent probes allowed while half-open.
+    pub half_open_probes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 5,
+            cooldown: Duration::from_millis(250),
+            half_open_probes: 1,
+        }
+    }
+}
+
+/// Breaker state, exported as a gauge (0 closed, 1 open, 2 half-open).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CircuitState {
+    /// Calls flow normally.
+    Closed,
+    /// Calls fail fast.
+    Open,
+    /// A limited number of probe calls test the backend.
+    HalfOpen,
+}
+
+impl CircuitState {
+    /// Numeric code for the obs gauge.
+    pub fn code(&self) -> i64 {
+        match self {
+            CircuitState::Closed => 0,
+            CircuitState::Open => 1,
+            CircuitState::HalfOpen => 2,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: CircuitState,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+    probes_in_flight: u32,
+}
+
+/// See module docs.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    inner: Mutex<Inner>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            inner: Mutex::new(Inner {
+                state: CircuitState::Closed,
+                consecutive_failures: 0,
+                opened_at: None,
+                probes_in_flight: 0,
+            }),
+        }
+    }
+
+    /// May a call proceed right now? `false` means fail fast. A `true`
+    /// from a half-open circuit claims a probe slot; report the outcome
+    /// via [`on_success`](Self::on_success)/[`on_failure`](Self::on_failure).
+    pub fn try_acquire(&self) -> bool {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            CircuitState::Closed => true,
+            CircuitState::Open => {
+                let cooled = inner
+                    .opened_at
+                    .map(|t| t.elapsed() >= self.config.cooldown)
+                    .unwrap_or(true);
+                if cooled {
+                    inner.state = CircuitState::HalfOpen;
+                    inner.probes_in_flight = 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            CircuitState::HalfOpen => {
+                if inner.probes_in_flight < self.config.half_open_probes {
+                    inner.probes_in_flight += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Report a successful call: closes the circuit.
+    pub fn on_success(&self) {
+        let mut inner = self.inner.lock();
+        inner.state = CircuitState::Closed;
+        inner.consecutive_failures = 0;
+        inner.probes_in_flight = 0;
+        inner.opened_at = None;
+    }
+
+    /// Report a failed call: opens the circuit after `failure_threshold`
+    /// consecutive failures, or immediately from half-open.
+    pub fn on_failure(&self) {
+        let mut inner = self.inner.lock();
+        inner.consecutive_failures = inner.consecutive_failures.saturating_add(1);
+        let trip = inner.state == CircuitState::HalfOpen
+            || inner.consecutive_failures >= self.config.failure_threshold;
+        if trip {
+            inner.state = CircuitState::Open;
+            inner.opened_at = Some(Instant::now());
+            inner.probes_in_flight = 0;
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> CircuitState {
+        self.inner.lock().state
+    }
+
+    /// Numeric state code for the obs gauge.
+    pub fn state_code(&self) -> i64 {
+        self.state().code()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(20),
+            half_open_probes: 1,
+        }
+    }
+
+    #[test]
+    fn opens_after_threshold_failures() {
+        let b = CircuitBreaker::new(cfg());
+        for _ in 0..2 {
+            assert!(b.try_acquire());
+            b.on_failure();
+            assert_eq!(b.state(), CircuitState::Closed);
+        }
+        b.on_failure();
+        assert_eq!(b.state(), CircuitState::Open);
+        assert!(!b.try_acquire());
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success() {
+        let b = CircuitBreaker::new(cfg());
+        for _ in 0..3 {
+            b.on_failure();
+        }
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.try_acquire(), "cooldown elapsed: probe allowed");
+        assert_eq!(b.state(), CircuitState::HalfOpen);
+        assert!(!b.try_acquire(), "only one probe in flight");
+        b.on_success();
+        assert_eq!(b.state(), CircuitState::Closed);
+        assert!(b.try_acquire());
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens() {
+        let b = CircuitBreaker::new(cfg());
+        for _ in 0..3 {
+            b.on_failure();
+        }
+        std::thread::sleep(Duration::from_millis(25));
+        assert!(b.try_acquire());
+        b.on_failure();
+        assert_eq!(b.state(), CircuitState::Open);
+        assert!(!b.try_acquire(), "fresh cooldown after failed probe");
+        assert_eq!(b.state_code(), 1);
+    }
+}

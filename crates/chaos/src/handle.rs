@@ -1,0 +1,398 @@
+//! The shared chaos state: fault switches queried on hot paths, plus
+//! incident bookkeeping for the recovery report.
+//!
+//! [`ChaosHandle`] follows the `ObsHandle` precedent: a cheap clonable
+//! wrapper around `Option<Arc<ChaosCore>>`. A disabled handle (the
+//! default everywhere) answers every query with a single `Option` check —
+//! no atomics, no clock reads — so the resilience layer is zero-cost when
+//! no chaos is configured.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashSet;
+
+use crate::plan::FaultKind;
+use crate::report::{IncidentReport, RecoveryReport};
+
+/// Which part of the fabric a successful operation proves healthy.
+/// `note_success(domain)` closes ended incidents whose kind maps to the
+/// same domain (see [`FaultKind::domain`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Domain {
+    /// Broker appends and fetches.
+    Broker,
+    /// External serving calls.
+    Serving,
+    /// Engine worker liveness (supervisor restarts).
+    Engine,
+}
+
+#[derive(Debug)]
+struct Incident {
+    kind: FaultKind,
+    started: Instant,
+    ended: Option<Instant>,
+    recovered: Option<Instant>,
+}
+
+/// Shared chaos state. Constructed via [`ChaosHandle::enabled`].
+#[derive(Debug)]
+pub struct ChaosCore {
+    // --- passive fault switches, flipped by the injector -----------------
+    any_outage: AtomicBool,
+    outage_topics: RwLock<HashSet<String>>,
+    net_extra_delay_us: AtomicU64,
+    reset_every: AtomicU32,
+    reset_counter: AtomicU32,
+    ack_loss_every: AtomicU32,
+    ack_loss_counter: AtomicU32,
+    stalled: AtomicBool,
+    pending_worker_crashes: AtomicU32,
+    // --- incident bookkeeping for MTTR -----------------------------------
+    /// Number of incidents whose window has ended but which have not yet
+    /// seen a success in their domain. Gates the `note_success` fast path.
+    closable: AtomicU32,
+    incidents: Mutex<Vec<Incident>>,
+    duplicates_dropped: AtomicU64,
+    t0: Instant,
+}
+
+impl ChaosCore {
+    fn new() -> Self {
+        ChaosCore {
+            any_outage: AtomicBool::new(false),
+            outage_topics: RwLock::new(HashSet::new()),
+            net_extra_delay_us: AtomicU64::new(0),
+            reset_every: AtomicU32::new(0),
+            reset_counter: AtomicU32::new(0),
+            ack_loss_every: AtomicU32::new(0),
+            ack_loss_counter: AtomicU32::new(0),
+            stalled: AtomicBool::new(false),
+            pending_worker_crashes: AtomicU32::new(0),
+            closable: AtomicU32::new(0),
+            incidents: Mutex::new(Vec::new()),
+            duplicates_dropped: AtomicU64::new(0),
+            t0: Instant::now(),
+        }
+    }
+}
+
+/// Cheap handle to the chaos state; `ChaosHandle::disabled()` is the
+/// default everywhere and makes every query a no-op.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosHandle(Option<Arc<ChaosCore>>);
+
+impl ChaosHandle {
+    /// The no-op handle: every query answers "no fault" via one branch.
+    pub fn disabled() -> Self {
+        ChaosHandle(None)
+    }
+
+    /// A live handle backed by fresh chaos state.
+    pub fn enabled() -> Self {
+        ChaosHandle(Some(Arc::new(ChaosCore::new())))
+    }
+
+    /// Whether this handle carries live state.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    // --- hot-path queries -------------------------------------------------
+
+    /// Is this topic currently in a partition-outage window?
+    pub fn topic_unavailable(&self, topic: &str) -> bool {
+        match &self.0 {
+            None => false,
+            Some(c) => {
+                c.any_outage.load(Ordering::Relaxed) && c.outage_topics.read().contains(topic)
+            }
+        }
+    }
+
+    /// Extra latency the degraded network adds to a serving call, if any.
+    pub fn extra_net_delay(&self) -> Option<Duration> {
+        let c = self.0.as_ref()?;
+        match c.net_extra_delay_us.load(Ordering::Relaxed) {
+            0 => None,
+            us => Some(Duration::from_micros(us)),
+        }
+    }
+
+    /// Should this serving call's connection be reset? (Every Nth call
+    /// during a network-degrade window.)
+    pub fn connection_reset_due(&self) -> bool {
+        match &self.0 {
+            None => false,
+            Some(c) => {
+                let every = c.reset_every.load(Ordering::Relaxed);
+                every != 0 && c.reset_counter.fetch_add(1, Ordering::Relaxed) % every == every - 1
+            }
+        }
+    }
+
+    /// Should this broker append's ack be lost? The append itself has
+    /// succeeded; the producer sees an error and must retry, exercising
+    /// sequence-number dedup. (Every Nth append during degradation.)
+    pub fn append_ack_lost(&self) -> bool {
+        match &self.0 {
+            None => false,
+            Some(c) => {
+                let every = c.ack_loss_every.load(Ordering::Relaxed);
+                every != 0
+                    && c.ack_loss_counter.fetch_add(1, Ordering::Relaxed) % every == every - 1
+            }
+        }
+    }
+
+    /// Are consumers currently stalled?
+    pub fn consumer_stalled(&self) -> bool {
+        match &self.0 {
+            None => false,
+            Some(c) => c.stalled.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Consume one pending worker-crash token, if any. An engine worker
+    /// that takes a token aborts its current incarnation so its supervisor
+    /// must restart it.
+    pub fn take_worker_crash(&self) -> bool {
+        match &self.0 {
+            None => false,
+            Some(c) => {
+                if c.pending_worker_crashes.load(Ordering::Relaxed) == 0 {
+                    return false;
+                }
+                c.pending_worker_crashes
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                    .is_ok()
+            }
+        }
+    }
+
+    // --- fault switches (called by the injector and by tests) -------------
+
+    /// Put a topic into (or take it out of) partition outage.
+    pub fn set_topic_outage(&self, topic: &str, on: bool) {
+        if let Some(c) = &self.0 {
+            let mut topics = c.outage_topics.write();
+            if on {
+                topics.insert(topic.to_string());
+            } else {
+                topics.remove(topic);
+            }
+            c.any_outage.store(!topics.is_empty(), Ordering::Relaxed);
+        }
+    }
+
+    /// Configure network degradation: extra per-call latency, connection
+    /// resets every `reset_every` calls, lost acks every `ack_loss_every`
+    /// appends. Zeroes switch each effect off.
+    pub fn set_net_degrade(&self, extra_delay: Duration, reset_every: u32, ack_loss_every: u32) {
+        if let Some(c) = &self.0 {
+            c.net_extra_delay_us
+                .store(extra_delay.as_micros() as u64, Ordering::Relaxed);
+            c.reset_every.store(reset_every, Ordering::Relaxed);
+            c.ack_loss_every.store(ack_loss_every, Ordering::Relaxed);
+        }
+    }
+
+    /// Clear all network degradation.
+    pub fn clear_net_degrade(&self) {
+        self.set_net_degrade(Duration::ZERO, 0, 0);
+    }
+
+    /// Stall (or unstall) all consumers.
+    pub fn set_consumer_stall(&self, on: bool) {
+        if let Some(c) = &self.0 {
+            c.stalled.store(on, Ordering::Relaxed);
+        }
+    }
+
+    /// Arm `n` worker-crash tokens; each is consumed by one engine worker.
+    pub fn inject_worker_crashes(&self, n: u32) {
+        if let Some(c) = &self.0 {
+            c.pending_worker_crashes.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    // --- incident bookkeeping ---------------------------------------------
+
+    /// Record the start of a fault window. Returns an incident id for
+    /// [`end_fault`](Self::end_fault), or `None` on a disabled handle.
+    pub fn open_incident(&self, kind: FaultKind) -> Option<usize> {
+        let c = self.0.as_ref()?;
+        let mut incidents = c.incidents.lock();
+        incidents.push(Incident {
+            kind,
+            started: Instant::now(),
+            ended: None,
+            recovered: None,
+        });
+        Some(incidents.len() - 1)
+    }
+
+    /// Record the end of a fault window. From this point the incident is
+    /// closable: the next success in its domain marks it recovered.
+    pub fn end_fault(&self, id: Option<usize>) {
+        let (Some(c), Some(id)) = (&self.0, id) else {
+            return;
+        };
+        let mut incidents = c.incidents.lock();
+        if let Some(i) = incidents.get_mut(id) {
+            if i.ended.is_none() {
+                i.ended = Some(Instant::now());
+                if i.recovered.is_none() {
+                    c.closable.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Report a successful operation in a domain. Closes every ended,
+    /// unrecovered incident of that domain; MTTR is measured from fault
+    /// start to this first post-fault success. No-op (one atomic load)
+    /// when nothing is closable.
+    pub fn note_success(&self, domain: Domain) {
+        let Some(c) = &self.0 else { return };
+        if c.closable.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let now = Instant::now();
+        let mut incidents = c.incidents.lock();
+        for i in incidents.iter_mut() {
+            if i.kind.domain() == domain && i.ended.is_some() && i.recovered.is_none() {
+                i.recovered = Some(now);
+                c.closable.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Record records the broker dropped as duplicate re-sends.
+    pub fn note_duplicates(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            if n > 0 {
+                c.duplicates_dropped.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Total duplicate records dropped by broker dedup so far.
+    pub fn duplicates_dropped(&self) -> u64 {
+        match &self.0 {
+            None => 0,
+            Some(c) => c.duplicates_dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Snapshot the recovery report: per-incident MTTR, fault time, and
+    /// availability over the core's lifetime so far.
+    pub fn report(&self) -> RecoveryReport {
+        let Some(c) = &self.0 else {
+            return RecoveryReport::default();
+        };
+        let now = Instant::now();
+        let ms = |i: Instant| i.duration_since(c.t0).as_secs_f64() * 1e3;
+        let incidents = c.incidents.lock();
+        let reports: Vec<IncidentReport> = incidents
+            .iter()
+            .map(|i| IncidentReport {
+                kind: i.kind.name().to_string(),
+                start_ms: ms(i.started),
+                end_ms: i.ended.map(ms),
+                mttr_ms: i
+                    .recovered
+                    .map(|r| r.duration_since(i.started).as_secs_f64() * 1e3),
+            })
+            .collect();
+        let fault_time_ms: f64 = incidents
+            .iter()
+            .map(|i| i.ended.unwrap_or(now).duration_since(i.started).as_secs_f64() * 1e3)
+            .sum();
+        RecoveryReport::new(
+            reports,
+            fault_time_ms,
+            now.duration_since(c.t0).as_secs_f64() * 1e3,
+            c.duplicates_dropped.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_answers_no_fault() {
+        let h = ChaosHandle::disabled();
+        assert!(!h.is_enabled());
+        assert!(!h.topic_unavailable("in"));
+        assert!(h.extra_net_delay().is_none());
+        assert!(!h.connection_reset_due());
+        assert!(!h.append_ack_lost());
+        assert!(!h.consumer_stalled());
+        assert!(!h.take_worker_crash());
+        h.set_topic_outage("in", true);
+        assert!(!h.topic_unavailable("in"));
+        assert_eq!(h.report().incidents.len(), 0);
+    }
+
+    #[test]
+    fn topic_outage_toggles() {
+        let h = ChaosHandle::enabled();
+        assert!(!h.topic_unavailable("in"));
+        h.set_topic_outage("in", true);
+        assert!(h.topic_unavailable("in"));
+        assert!(!h.topic_unavailable("out"));
+        h.set_topic_outage("in", false);
+        assert!(!h.topic_unavailable("in"));
+    }
+
+    #[test]
+    fn reset_and_ack_loss_fire_every_nth() {
+        let h = ChaosHandle::enabled();
+        h.set_net_degrade(Duration::from_millis(1), 3, 2);
+        let resets = (0..9).filter(|_| h.connection_reset_due()).count();
+        assert_eq!(resets, 3);
+        let lost = (0..10).filter(|_| h.append_ack_lost()).count();
+        assert_eq!(lost, 5);
+        assert_eq!(h.extra_net_delay(), Some(Duration::from_millis(1)));
+        h.clear_net_degrade();
+        assert!(h.extra_net_delay().is_none());
+        assert!(!h.connection_reset_due());
+    }
+
+    #[test]
+    fn worker_crash_tokens_are_consumed_once() {
+        let h = ChaosHandle::enabled();
+        h.inject_worker_crashes(2);
+        assert!(h.take_worker_crash());
+        assert!(h.take_worker_crash());
+        assert!(!h.take_worker_crash());
+    }
+
+    #[test]
+    fn incident_lifecycle_measures_mttr() {
+        let h = ChaosHandle::enabled();
+        let id = h.open_incident(FaultKind::PartitionOutage);
+        assert!(id.is_some());
+        // Success during the window does not close the incident.
+        h.note_success(Domain::Broker);
+        std::thread::sleep(Duration::from_millis(5));
+        h.end_fault(id);
+        // Success in the wrong domain does not close it either.
+        h.note_success(Domain::Serving);
+        let r = h.report();
+        assert_eq!(r.unrecovered, 1);
+        h.note_success(Domain::Broker);
+        let r = h.report();
+        assert_eq!(r.unrecovered, 0);
+        let mttr = r.incidents[0].mttr_ms.unwrap();
+        assert!(mttr >= 5.0, "mttr {mttr}");
+        assert!(r.mean_mttr_ms.unwrap() >= 5.0);
+        assert!(r.availability() < 1.0);
+    }
+}

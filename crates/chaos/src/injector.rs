@@ -1,0 +1,285 @@
+//! The fault injector: a scheduler thread that walks a [`FaultPlan`] in
+//! real time, flipping the [`ChaosHandle`] fault switches at each window
+//! boundary and firing registered actions for active faults (crashing and
+//! restoring an external serving server).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use crate::handle::ChaosHandle;
+use crate::plan::{FaultKind, FaultPlan};
+
+/// Callbacks for faults that need to act on objects the chaos crate cannot
+/// know about (an external serving server lives in `crayfish-serving`,
+/// which depends on this crate, not the other way around).
+#[derive(Default)]
+pub struct ChaosActions {
+    /// Called at the start of every `ServingCrash` window.
+    pub on_serving_crash: Option<Box<dyn FnMut() + Send>>,
+    /// Called at the end of every `ServingCrash` window.
+    pub on_serving_restore: Option<Box<dyn FnMut() + Send>>,
+}
+
+/// Tunables for how each fault kind manifests.
+#[derive(Debug, Clone)]
+pub struct InjectorConfig {
+    /// Topic put into outage during `PartitionOutage` windows.
+    pub target_topic: String,
+    /// Extra serving-call latency during `NetworkDegrade` windows.
+    pub degrade_delay: Duration,
+    /// Reset every Nth serving connection during degradation (0 = never).
+    pub reset_every: u32,
+    /// Lose every Nth append ack during degradation (0 = never).
+    pub ack_loss_every: u32,
+    /// Worker-crash tokens armed at each `WorkerCrash` window start.
+    pub crashes_per_window: u32,
+}
+
+impl Default for InjectorConfig {
+    fn default() -> Self {
+        InjectorConfig {
+            target_topic: "in".to_string(),
+            degrade_delay: Duration::from_millis(2),
+            reset_every: 4,
+            ack_loss_every: 3,
+            crashes_per_window: 1,
+        }
+    }
+}
+
+enum EventAction {
+    Start(usize),
+    End(usize),
+}
+
+/// Drives a [`FaultPlan`] against a [`ChaosHandle`] in real time.
+///
+/// Dropping (or [`stop`](Self::stop)-ping) the injector clears every fault
+/// switch and closes the fault windows of any still-active incidents, so a
+/// run can always shut down cleanly mid-plan.
+pub struct FaultInjector {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+    handle: ChaosHandle,
+}
+
+impl FaultInjector {
+    /// Start executing `plan` now. Fault offsets are relative to this call.
+    pub fn start(
+        plan: &FaultPlan,
+        handle: ChaosHandle,
+        config: InjectorConfig,
+        mut actions: ChaosActions,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let h = handle.clone();
+        let windows = plan.windows.clone();
+
+        let thread = thread::Builder::new()
+            .name("chaos-injector".to_string())
+            .spawn(move || {
+                // Interleave start/end events in time order. WorkerCrash is
+                // a point event: its end coincides with its start.
+                let mut events: Vec<(Duration, EventAction)> = Vec::new();
+                for (i, w) in windows.iter().enumerate() {
+                    events.push((w.start, EventAction::Start(i)));
+                    let end = if w.kind == FaultKind::WorkerCrash {
+                        w.start
+                    } else {
+                        w.end()
+                    };
+                    events.push((end, EventAction::End(i)));
+                }
+                events.sort_by_key(|(t, e)| (*t, matches!(e, EventAction::End(_))));
+
+                let mut incident_ids: Vec<Option<usize>> = vec![None; windows.len()];
+                let t0 = Instant::now();
+                for (at, action) in events {
+                    // Sleep in short slices so stop() stays responsive.
+                    loop {
+                        if stop2.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let elapsed = t0.elapsed();
+                        if elapsed >= at {
+                            break;
+                        }
+                        thread::sleep((at - elapsed).min(Duration::from_millis(10)));
+                    }
+                    if stop2.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    match action {
+                        EventAction::Start(i) => {
+                            let w = &windows[i];
+                            incident_ids[i] = h.open_incident(w.kind);
+                            match w.kind {
+                                FaultKind::PartitionOutage => {
+                                    h.set_topic_outage(&config.target_topic, true)
+                                }
+                                FaultKind::ServingCrash => {
+                                    if let Some(f) = actions.on_serving_crash.as_mut() {
+                                        f();
+                                    }
+                                }
+                                FaultKind::NetworkDegrade => h.set_net_degrade(
+                                    config.degrade_delay,
+                                    config.reset_every,
+                                    config.ack_loss_every,
+                                ),
+                                FaultKind::ConsumerStall => h.set_consumer_stall(true),
+                                FaultKind::WorkerCrash => {
+                                    h.inject_worker_crashes(config.crashes_per_window)
+                                }
+                            }
+                        }
+                        EventAction::End(i) => {
+                            let w = &windows[i];
+                            match w.kind {
+                                FaultKind::PartitionOutage => {
+                                    h.set_topic_outage(&config.target_topic, false)
+                                }
+                                FaultKind::ServingCrash => {
+                                    if let Some(f) = actions.on_serving_restore.as_mut() {
+                                        f();
+                                    }
+                                }
+                                FaultKind::NetworkDegrade => h.clear_net_degrade(),
+                                FaultKind::ConsumerStall => h.set_consumer_stall(false),
+                                FaultKind::WorkerCrash => {}
+                            }
+                            h.end_fault(incident_ids[i]);
+                        }
+                    }
+                }
+                // Shutdown (or plan exhausted): clear every switch and close
+                // any windows cut short so the report has complete incidents.
+                h.set_topic_outage(&config.target_topic, false);
+                h.clear_net_degrade();
+                h.set_consumer_stall(false);
+                if stop2.load(Ordering::Relaxed) {
+                    if let Some(f) = actions.on_serving_restore.as_mut() {
+                        f();
+                    }
+                }
+                for id in incident_ids {
+                    h.end_fault(id);
+                }
+            })
+            .expect("spawn chaos injector");
+
+        FaultInjector {
+            stop,
+            thread: Some(thread),
+            handle,
+        }
+    }
+
+    /// The handle this injector drives.
+    pub fn handle(&self) -> &ChaosHandle {
+        &self.handle
+    }
+
+    /// Stop the schedule, clear all fault switches, and wait for the
+    /// scheduler thread. Idempotent; also runs on drop.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for FaultInjector {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::poll_until;
+
+    #[test]
+    fn executes_windows_on_schedule() {
+        let h = ChaosHandle::enabled();
+        let plan = FaultPlan::single(
+            FaultKind::PartitionOutage,
+            Duration::from_millis(20),
+            Duration::from_millis(60),
+        );
+        let mut inj = FaultInjector::start(
+            &plan,
+            h.clone(),
+            InjectorConfig {
+                target_topic: "in".into(),
+                ..Default::default()
+            },
+            ChaosActions::default(),
+        );
+        assert!(!h.topic_unavailable("in"));
+        assert!(poll_until(Duration::from_secs(2), || h.topic_unavailable("in")));
+        assert!(poll_until(Duration::from_secs(2), || !h.topic_unavailable("in")));
+        inj.stop();
+        let report = h.report();
+        assert_eq!(report.incidents.len(), 1);
+        assert!(report.incidents[0].end_ms.is_some());
+    }
+
+    #[test]
+    fn serving_actions_fire() {
+        use std::sync::atomic::AtomicU32;
+        let h = ChaosHandle::enabled();
+        let crashes = Arc::new(AtomicU32::new(0));
+        let restores = Arc::new(AtomicU32::new(0));
+        let (c2, r2) = (crashes.clone(), restores.clone());
+        let plan = FaultPlan::single(
+            FaultKind::ServingCrash,
+            Duration::from_millis(10),
+            Duration::from_millis(30),
+        );
+        let mut inj = FaultInjector::start(
+            &plan,
+            h.clone(),
+            InjectorConfig::default(),
+            ChaosActions {
+                on_serving_crash: Some(Box::new(move || {
+                    c2.fetch_add(1, Ordering::Relaxed);
+                })),
+                on_serving_restore: Some(Box::new(move || {
+                    r2.fetch_add(1, Ordering::Relaxed);
+                })),
+            },
+        );
+        assert!(poll_until(Duration::from_secs(2), || {
+            restores.load(Ordering::Relaxed) >= 1
+        }));
+        inj.stop();
+        assert_eq!(crashes.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn stop_mid_window_clears_switches() {
+        let h = ChaosHandle::enabled();
+        let plan = FaultPlan::single(
+            FaultKind::ConsumerStall,
+            Duration::from_millis(5),
+            Duration::from_secs(30),
+        );
+        let mut inj = FaultInjector::start(
+            &plan,
+            h.clone(),
+            InjectorConfig::default(),
+            ChaosActions::default(),
+        );
+        assert!(poll_until(Duration::from_secs(2), || h.consumer_stalled()));
+        inj.stop();
+        assert!(!h.consumer_stalled());
+        // The cut-short incident still has a closed window.
+        assert!(h.report().incidents[0].end_ms.is_some());
+    }
+}

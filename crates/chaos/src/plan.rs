@@ -1,0 +1,223 @@
+//! Fault plans: seeded, deterministic schedules of fault windows.
+//!
+//! A [`FaultPlan`] is pure data — a list of `(kind, start, duration)`
+//! windows relative to the start of a run. The same seed always generates
+//! the same schedule, so a chaos run that found a bug can be replayed
+//! bit-for-bit. Plans serialize to JSON for config files and CI matrices.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::DetRng;
+
+/// The kinds of fault the injector knows how to create.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A broker topic's partitions refuse appends and fetches
+    /// (`BrokerError::Unavailable`) for the window.
+    PartitionOutage,
+    /// An external serving server is crashed at window start and restarted
+    /// at window end (requires actions wired into the injector).
+    ServingCrash,
+    /// Network degradation: extra latency on serving calls, periodic
+    /// connection resets, and periodic lost append acks.
+    NetworkDegrade,
+    /// Consumers stall: `PartitionConsumer::poll` returns no data for the
+    /// window even though the log has records.
+    ConsumerStall,
+    /// An engine worker thread is crashed once at window start; the
+    /// supervisor must restart it.
+    WorkerCrash,
+}
+
+impl FaultKind {
+    /// Every fault kind, in a fixed order.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::PartitionOutage,
+        FaultKind::ServingCrash,
+        FaultKind::NetworkDegrade,
+        FaultKind::ConsumerStall,
+        FaultKind::WorkerCrash,
+    ];
+
+    /// Stable lowercase name (used in reports and metric labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::PartitionOutage => "partition_outage",
+            FaultKind::ServingCrash => "serving_crash",
+            FaultKind::NetworkDegrade => "network_degrade",
+            FaultKind::ConsumerStall => "consumer_stall",
+            FaultKind::WorkerCrash => "worker_crash",
+        }
+    }
+
+    /// Which recovery domain closes an incident of this kind: the first
+    /// successful operation in the domain *after the window ends* marks
+    /// the fault recovered.
+    pub fn domain(&self) -> crate::handle::Domain {
+        match self {
+            FaultKind::PartitionOutage | FaultKind::ConsumerStall => crate::handle::Domain::Broker,
+            FaultKind::ServingCrash | FaultKind::NetworkDegrade => crate::handle::Domain::Serving,
+            FaultKind::WorkerCrash => crate::handle::Domain::Engine,
+        }
+    }
+}
+
+/// One fault window: a kind active over `[start, start + duration)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultWindow {
+    /// What goes wrong.
+    pub kind: FaultKind,
+    /// Offset from run start at which the fault begins.
+    pub start: Duration,
+    /// How long the fault lasts. `WorkerCrash` is a point event: the crash
+    /// fires at `start` and the duration is ignored.
+    pub duration: Duration,
+}
+
+impl FaultWindow {
+    /// Offset from run start at which the fault clears.
+    pub fn end(&self) -> Duration {
+        self.start + self.duration
+    }
+}
+
+/// A deterministic schedule of fault windows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The seed the plan was generated from (0 for hand-written plans).
+    pub seed: u64,
+    /// The windows, sorted by start time.
+    pub windows: Vec<FaultWindow>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::empty()
+    }
+}
+
+impl FaultPlan {
+    /// A plan with no faults. With an empty plan the whole chaos layer is
+    /// idle and costs nothing on hot paths.
+    pub fn empty() -> Self {
+        FaultPlan {
+            seed: 0,
+            windows: Vec::new(),
+        }
+    }
+
+    /// True when the plan schedules no faults.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// A single hand-placed window.
+    pub fn single(kind: FaultKind, start: Duration, duration: Duration) -> Self {
+        FaultPlan::empty().with_window(kind, start, duration)
+    }
+
+    /// Append a hand-placed window (builder style).
+    pub fn with_window(mut self, kind: FaultKind, start: Duration, duration: Duration) -> Self {
+        self.windows.push(FaultWindow {
+            kind,
+            start,
+            duration,
+        });
+        self.windows.sort_by_key(|w| w.start);
+        self
+    }
+
+    /// Generate a schedule from a seed: one window per requested kind,
+    /// starting somewhere in the first half of `horizon` and lasting
+    /// 10–25% of it. The same `(seed, horizon, kinds)` triple always
+    /// produces the identical schedule.
+    pub fn generate(seed: u64, horizon: Duration, kinds: &[FaultKind]) -> Self {
+        let mut rng = DetRng::new(seed);
+        let mut windows = Vec::with_capacity(kinds.len());
+        for &kind in kinds {
+            let start = rng.range_duration(
+                horizon.mul_f64(0.10),
+                horizon.mul_f64(0.50).max(horizon.mul_f64(0.10) + Duration::from_millis(1)),
+            );
+            let duration = rng.range_duration(
+                horizon.mul_f64(0.10).max(Duration::from_millis(1)),
+                horizon.mul_f64(0.25).max(Duration::from_millis(2)),
+            );
+            windows.push(FaultWindow {
+                kind,
+                start,
+                duration,
+            });
+        }
+        windows.sort_by_key(|w| w.start);
+        FaultPlan { seed, windows }
+    }
+
+    /// Total scheduled fault time (sum of window durations).
+    pub fn total_fault_time(&self) -> Duration {
+        self.windows.iter().map(|w| w.duration).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_is_deterministic() {
+        let horizon = Duration::from_secs(2);
+        let a = FaultPlan::generate(1337, horizon, &FaultKind::ALL);
+        let b = FaultPlan::generate(1337, horizon, &FaultKind::ALL);
+        assert_eq!(a, b);
+        assert_eq!(a.windows.len(), FaultKind::ALL.len());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let horizon = Duration::from_secs(2);
+        let a = FaultPlan::generate(1, horizon, &FaultKind::ALL);
+        let b = FaultPlan::generate(2, horizon, &FaultKind::ALL);
+        assert_ne!(a.windows, b.windows);
+    }
+
+    #[test]
+    fn windows_fit_horizon_and_are_sorted() {
+        let horizon = Duration::from_secs(4);
+        let plan = FaultPlan::generate(99, horizon, &FaultKind::ALL);
+        for w in &plan.windows {
+            assert!(w.start >= horizon.mul_f64(0.10));
+            assert!(w.end() <= horizon.mul_f64(0.75));
+        }
+        for pair in plan.windows.windows(2) {
+            assert!(pair[0].start <= pair[1].start);
+        }
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let plan = FaultPlan::generate(7, Duration::from_secs(1), &FaultKind::ALL);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn builder_sorts_windows() {
+        let plan = FaultPlan::empty()
+            .with_window(
+                FaultKind::ConsumerStall,
+                Duration::from_millis(500),
+                Duration::from_millis(100),
+            )
+            .with_window(
+                FaultKind::PartitionOutage,
+                Duration::from_millis(100),
+                Duration::from_millis(100),
+            );
+        assert_eq!(plan.windows[0].kind, FaultKind::PartitionOutage);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.total_fault_time(), Duration::from_millis(200));
+    }
+}

@@ -1,0 +1,153 @@
+//! The per-run recovery report: chaos runs produce numbers, not pass/fail.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One fault window as observed at runtime (times relative to chaos start).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IncidentReport {
+    /// Stable fault-kind name (`partition_outage`, …).
+    pub kind: String,
+    /// When the fault began, ms from chaos start.
+    pub start_ms: f64,
+    /// When the fault window ended, if it did.
+    pub end_ms: Option<f64>,
+    /// Mean time to recovery: fault start → first post-fault success in
+    /// the fault's domain. `None` if the fabric never proved recovery.
+    pub mttr_ms: Option<f64>,
+}
+
+/// Aggregated recovery numbers for one run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Every injected fault window.
+    pub incidents: Vec<IncidentReport>,
+    /// Mean MTTR over recovered incidents.
+    pub mean_mttr_ms: Option<f64>,
+    /// Worst MTTR over recovered incidents.
+    pub max_mttr_ms: Option<f64>,
+    /// Incidents whose window ended without a subsequent success.
+    pub unrecovered: usize,
+    /// Records the broker dropped as duplicate re-sends (producer retries
+    /// whose first attempt had actually landed).
+    pub duplicates_dropped: u64,
+    /// Total time spent inside fault windows, ms.
+    pub fault_time_ms: f64,
+    /// Observation period (chaos start → report), ms.
+    pub observed_ms: f64,
+}
+
+impl RecoveryReport {
+    pub(crate) fn new(
+        incidents: Vec<IncidentReport>,
+        fault_time_ms: f64,
+        observed_ms: f64,
+        duplicates_dropped: u64,
+    ) -> Self {
+        let mttrs: Vec<f64> = incidents.iter().filter_map(|i| i.mttr_ms).collect();
+        let unrecovered = incidents
+            .iter()
+            .filter(|i| i.end_ms.is_some() && i.mttr_ms.is_none())
+            .count();
+        RecoveryReport {
+            mean_mttr_ms: if mttrs.is_empty() {
+                None
+            } else {
+                Some(mttrs.iter().sum::<f64>() / mttrs.len() as f64)
+            },
+            max_mttr_ms: mttrs.iter().cloned().fold(None, |acc, x| {
+                Some(match acc {
+                    None => x,
+                    Some(a) => a.max(x),
+                })
+            }),
+            unrecovered,
+            incidents,
+            duplicates_dropped,
+            fault_time_ms,
+            observed_ms,
+        }
+    }
+
+    /// Fraction of the observation period spent outside fault windows.
+    pub fn availability(&self) -> f64 {
+        if self.observed_ms <= 0.0 {
+            return 1.0;
+        }
+        (1.0 - self.fault_time_ms / self.observed_ms).clamp(0.0, 1.0)
+    }
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "recovery report: {} fault(s), availability {:.1}%, {} duplicate(s) dropped",
+            self.incidents.len(),
+            self.availability() * 100.0,
+            self.duplicates_dropped,
+        )?;
+        for i in &self.incidents {
+            let end = i
+                .end_ms
+                .map(|e| format!("{e:7.0}"))
+                .unwrap_or_else(|| "  (open)".into());
+            let mttr = i
+                .mttr_ms
+                .map(|m| format!("mttr {m:6.1} ms"))
+                .unwrap_or_else(|| "unrecovered".into());
+            writeln!(
+                f,
+                "  {:17} start {:7.0} ms  end {end} ms  {mttr}",
+                i.kind, i.start_ms
+            )?;
+        }
+        if let (Some(mean), Some(max)) = (self.mean_mttr_ms, self.max_mttr_ms) {
+            writeln!(f, "  mean MTTR {mean:.1} ms, max {max:.1} ms")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_mttr_and_unrecovered() {
+        let r = RecoveryReport::new(
+            vec![
+                IncidentReport {
+                    kind: "partition_outage".into(),
+                    start_ms: 100.0,
+                    end_ms: Some(300.0),
+                    mttr_ms: Some(250.0),
+                },
+                IncidentReport {
+                    kind: "serving_crash".into(),
+                    start_ms: 400.0,
+                    end_ms: Some(600.0),
+                    mttr_ms: None,
+                },
+            ],
+            400.0,
+            1000.0,
+            3,
+        );
+        assert_eq!(r.mean_mttr_ms, Some(250.0));
+        assert_eq!(r.max_mttr_ms, Some(250.0));
+        assert_eq!(r.unrecovered, 1);
+        assert!((r.availability() - 0.6).abs() < 1e-9);
+        let text = r.to_string();
+        assert!(text.contains("partition_outage"));
+        assert!(text.contains("unrecovered"));
+    }
+
+    #[test]
+    fn empty_report_is_fully_available() {
+        let r = RecoveryReport::default();
+        assert_eq!(r.availability(), 1.0);
+        assert!(r.mean_mttr_ms.is_none());
+    }
+}

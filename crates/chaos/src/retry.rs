@@ -1,0 +1,188 @@
+//! Bounded retries with exponential backoff and deterministic jitter.
+
+use std::thread;
+use std::time::Duration;
+
+use crate::rng::DetRng;
+
+/// Retry policy: exponential backoff with jitter, bounded attempts.
+///
+/// The jitter is derived deterministically from `seed` and the attempt
+/// number, so a seeded chaos run retries on an identical schedule every
+/// replay.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (total attempts = `max_retries + 1`).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Upper bound on any single backoff.
+    pub cap: Duration,
+    /// Multiplier applied per retry.
+    pub multiplier: f64,
+    /// Fraction of the backoff randomised (0.0 = none, 0.2 = ±20%).
+    pub jitter: f64,
+    /// Seed for the deterministic jitter.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(200),
+            multiplier: 2.0,
+            jitter: 0.2,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A snappier policy for latency-sensitive serving calls.
+    pub fn quick() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(160),
+            ..Default::default()
+        }
+    }
+
+    /// A patient policy for producers that must ride out outage windows.
+    pub fn patient() -> Self {
+        RetryPolicy {
+            max_retries: 8,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(250),
+            ..Default::default()
+        }
+    }
+
+    /// No retries at all.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            ..Default::default()
+        }
+    }
+
+    /// Backoff before retry `attempt` (0-based). Deterministic.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self.base.as_secs_f64() * self.multiplier.powi(attempt as i32);
+        let capped = exp.min(self.cap.as_secs_f64());
+        if self.jitter <= 0.0 {
+            return Duration::from_secs_f64(capped);
+        }
+        let mut rng = DetRng::new(self.seed ^ u64::from(attempt).wrapping_mul(0x9E37));
+        let factor = 1.0 + self.jitter * (2.0 * rng.next_f64() - 1.0);
+        Duration::from_secs_f64((capped * factor).max(0.0))
+    }
+
+    /// Run `op`, retrying transient errors up to `max_retries` times with
+    /// backoff. `on_retry` observes each retry (for counters). Errors that
+    /// are not transient — and transient errors once the budget is spent —
+    /// are returned to the caller.
+    pub fn run<T, E>(
+        &self,
+        is_transient: impl Fn(&E) -> bool,
+        mut on_retry: impl FnMut(u32),
+        mut op: impl FnMut() -> Result<T, E>,
+    ) -> Result<T, E> {
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if attempt < self.max_retries && is_transient(&e) => {
+                    on_retry(attempt);
+                    thread::sleep(self.backoff(attempt));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy {
+            jitter: 0.0,
+            ..Default::default()
+        };
+        assert_eq!(p.backoff(0), Duration::from_millis(5));
+        assert_eq!(p.backoff(1), Duration::from_millis(10));
+        assert_eq!(p.backoff(10), Duration::from_millis(200));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = RetryPolicy::default();
+        for attempt in 0..6 {
+            let a = p.backoff(attempt);
+            let b = p.backoff(attempt);
+            assert_eq!(a, b);
+            let nominal = RetryPolicy { jitter: 0.0, ..p }
+            .backoff(attempt)
+            .as_secs_f64();
+            let got = a.as_secs_f64();
+            assert!(got >= nominal * 0.8 - 1e-9 && got <= nominal * 1.2 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn run_retries_transient_until_success() {
+        let p = RetryPolicy {
+            base: Duration::from_micros(100),
+            jitter: 0.0,
+            ..Default::default()
+        };
+        let mut calls = 0;
+        let mut retries = 0;
+        let out: Result<u32, &str> = p.run(
+            |_| true,
+            |_| retries += 1,
+            || {
+                calls += 1;
+                if calls < 3 {
+                    Err("transient")
+                } else {
+                    Ok(7)
+                }
+            },
+        );
+        assert_eq!(out, Ok(7));
+        assert_eq!(calls, 3);
+        assert_eq!(retries, 2);
+    }
+
+    #[test]
+    fn run_gives_up_after_budget_and_skips_permanent() {
+        let p = RetryPolicy {
+            max_retries: 2,
+            base: Duration::from_micros(100),
+            jitter: 0.0,
+            ..Default::default()
+        };
+        let mut calls = 0;
+        let out: Result<(), &str> = p.run(|_| true, |_| {}, || {
+            calls += 1;
+            Err("always")
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 3);
+
+        let mut calls = 0;
+        let out: Result<(), &str> = p.run(|_| false, |_| {}, || {
+            calls += 1;
+            Err("permanent")
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 1);
+    }
+}

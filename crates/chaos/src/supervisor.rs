@@ -1,0 +1,239 @@
+//! Worker supervision: restart crashed engine workers.
+//!
+//! Engines wrap each worker thread body in [`supervise`]. The body runs as
+//! an *incarnation*: when it returns [`WorkerExit::Failed`] (or panics),
+//! the supervisor waits a capped backoff and starts a fresh incarnation;
+//! when it returns [`WorkerExit::Stopped`] the thread ends for good. A
+//! fresh incarnation rebuilds its consumers from the broker's committed
+//! offsets, so a restart resumes exactly where the last commit left off —
+//! at-least-once delivery, with re-emission bounded by one uncommitted
+//! fetch.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crayfish_obs::ObsHandle;
+
+use crate::handle::{ChaosHandle, Domain};
+
+/// How one worker incarnation ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerExit {
+    /// Normal termination (stop flag seen, input exhausted, topic gone).
+    /// The supervisor does not restart.
+    Stopped,
+    /// The incarnation crashed or hit a transient fabric error mid-batch.
+    /// The supervisor restarts after a backoff.
+    Failed(String),
+}
+
+/// Supervision tunables.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Backoff before the first restart.
+    pub restart_backoff: Duration,
+    /// Backoff cap (doubles per consecutive restart up to this).
+    pub max_backoff: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            restart_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Spawn a supervised worker thread named `name`.
+///
+/// `body(incarnation)` is called with 0 for the initial run and n for the
+/// nth restart. Restarts continue (with exponential backoff capped at
+/// `max_backoff`) until the body returns [`WorkerExit::Stopped`] or `stop`
+/// is set; there is no restart cap, so a worker facing a long outage keeps
+/// probing at the capped backoff instead of dying — `stop` remains the
+/// one way to end it, which keeps `RunningJob::stop()` prompt.
+///
+/// Each restart increments the `worker_restarts` counter and
+/// `errors{stage=<name>}`; a successful restart reports engine-domain
+/// recovery to the chaos handle (closing `WorkerCrash` incidents).
+pub fn supervise<F>(
+    name: String,
+    stop: Arc<AtomicBool>,
+    obs: ObsHandle,
+    chaos: ChaosHandle,
+    config: SupervisorConfig,
+    mut body: F,
+) -> JoinHandle<()>
+where
+    F: FnMut(u32) -> WorkerExit + Send + 'static,
+{
+    thread::Builder::new()
+        .name(name.clone())
+        .spawn(move || {
+            let restarts = obs.counter("worker_restarts");
+            let errors = obs.counter_with("errors", "stage", "worker");
+            let mut backoff = config.restart_backoff;
+            let mut incarnation = 0u32;
+            loop {
+                let exit = match catch_unwind(AssertUnwindSafe(|| body(incarnation))) {
+                    Ok(exit) => exit,
+                    Err(payload) => WorkerExit::Failed(panic_message(payload.as_ref())),
+                };
+                match exit {
+                    WorkerExit::Stopped => return,
+                    WorkerExit::Failed(_reason) => {
+                        errors.inc();
+                        if sleep_unless_stopped(&stop, backoff) {
+                            return;
+                        }
+                        backoff = (backoff * 2).min(config.max_backoff);
+                        incarnation += 1;
+                        restarts.inc();
+                        chaos.note_success(Domain::Engine);
+                    }
+                }
+            }
+        })
+        .expect("spawn supervised worker")
+}
+
+/// Sleep in short slices, returning `true` if `stop` was set.
+fn sleep_unless_stopped(stop: &AtomicBool, total: Duration) -> bool {
+    let mut remaining = total;
+    while remaining > Duration::ZERO {
+        if stop.load(Ordering::Relaxed) {
+            return true;
+        }
+        let slice = remaining.min(Duration::from_millis(5));
+        thread::sleep(slice);
+        remaining = remaining.saturating_sub(slice);
+    }
+    stop.load(Ordering::Relaxed)
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn quick_config() -> SupervisorConfig {
+        SupervisorConfig {
+            restart_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(4),
+        }
+    }
+
+    #[test]
+    fn restarts_failed_incarnations_until_stopped_exit() {
+        let stop = Arc::new(AtomicBool::new(false));
+        let runs = Arc::new(AtomicU32::new(0));
+        let runs2 = runs.clone();
+        let obs = ObsHandle::enabled();
+        let t = supervise(
+            "w".into(),
+            stop,
+            obs.clone(),
+            ChaosHandle::disabled(),
+            quick_config(),
+            move |incarnation| {
+                runs2.fetch_add(1, Ordering::Relaxed);
+                if incarnation < 3 {
+                    WorkerExit::Failed("injected".into())
+                } else {
+                    WorkerExit::Stopped
+                }
+            },
+        );
+        t.join().unwrap();
+        assert_eq!(runs.load(Ordering::Relaxed), 4);
+        assert_eq!(obs.counter("worker_restarts").get(), 3);
+        assert_eq!(obs.counter_with("errors", "stage", "worker").get(), 3);
+    }
+
+    #[test]
+    fn panics_are_caught_and_restarted() {
+        let stop = Arc::new(AtomicBool::new(false));
+        let runs = Arc::new(AtomicU32::new(0));
+        let runs2 = runs.clone();
+        let t = supervise(
+            "w".into(),
+            stop,
+            ObsHandle::disabled(),
+            ChaosHandle::disabled(),
+            quick_config(),
+            move |incarnation| {
+                runs2.fetch_add(1, Ordering::Relaxed);
+                if incarnation == 0 {
+                    panic!("boom");
+                }
+                WorkerExit::Stopped
+            },
+        );
+        t.join().unwrap();
+        assert_eq!(runs.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn stop_flag_ends_restart_loop() {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let t = supervise(
+            "w".into(),
+            stop.clone(),
+            ObsHandle::disabled(),
+            ChaosHandle::disabled(),
+            SupervisorConfig {
+                restart_backoff: Duration::from_millis(50),
+                max_backoff: Duration::from_millis(50),
+            },
+            move |_| {
+                stop2.store(true, Ordering::Relaxed);
+                WorkerExit::Failed("dies forever".into())
+            },
+        );
+        // Stop was raised inside the first incarnation; the backoff sleep
+        // notices it and the supervisor exits instead of restarting.
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn restart_closes_worker_crash_incidents() {
+        use crate::plan::FaultKind;
+        let chaos = ChaosHandle::enabled();
+        let id = chaos.open_incident(FaultKind::WorkerCrash);
+        chaos.end_fault(id);
+        let stop = Arc::new(AtomicBool::new(false));
+        let t = supervise(
+            "w".into(),
+            stop,
+            ObsHandle::disabled(),
+            chaos.clone(),
+            quick_config(),
+            move |incarnation| {
+                if incarnation == 0 {
+                    WorkerExit::Failed("crash".into())
+                } else {
+                    WorkerExit::Stopped
+                }
+            },
+        );
+        t.join().unwrap();
+        let report = chaos.report();
+        assert_eq!(report.unrecovered, 0);
+        assert!(report.incidents[0].mttr_ms.unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Bounded polling helpers: wait for a condition with a deadline instead
+//! of a fixed `thread::sleep`. Used by the repo's integration tests (and
+//! anything else that would otherwise guess at timings).
+
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Poll `cond` every 5 ms until it returns `true` or `timeout` elapses.
+/// Returns whether the condition was met.
+pub fn poll_until(timeout: Duration, cond: impl FnMut() -> bool) -> bool {
+    poll_until_every(timeout, Duration::from_millis(5), cond)
+}
+
+/// Poll `cond` at `interval` until it returns `true` or `timeout` elapses.
+/// The condition is always checked at least once, and once more at the
+/// deadline, so short timeouts cannot miss an already-true condition.
+pub fn poll_until_every(
+    timeout: Duration,
+    interval: Duration,
+    mut cond: impl FnMut() -> bool,
+) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if cond() {
+            return true;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return cond();
+        }
+        thread::sleep(interval.min(deadline - now));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn returns_immediately_when_already_true() {
+        let t0 = Instant::now();
+        assert!(poll_until(Duration::from_secs(5), || true));
+        assert!(t0.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn waits_for_late_condition() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let f2 = flag.clone();
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(30));
+            f2.store(true, Ordering::Relaxed);
+        });
+        assert!(poll_until(Duration::from_secs(2), || flag
+            .load(Ordering::Relaxed)));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn times_out_on_never_true() {
+        let t0 = Instant::now();
+        assert!(!poll_until(Duration::from_millis(30), || false));
+        assert!(t0.elapsed() >= Duration::from_millis(30));
+    }
+}

@@ -228,6 +228,8 @@ impl ExperimentConfig {
             warmup_fraction: self.warmup_fraction,
             network: self.network.to_model(),
             obs: crate::obs::ObsHandle::disabled(),
+            chaos: crate::chaos::ChaosHandle::disabled(),
+            chaos_plan: crate::chaos::FaultPlan::empty(),
         })
     }
 }

@@ -21,6 +21,20 @@ pub enum CoreError {
     WorkerPanic(String),
 }
 
+impl CoreError {
+    /// Whether retrying the failed operation can plausibly succeed:
+    /// transient broker failures (outage windows, lost acks) and
+    /// connection-level serving failures. Codec, config, model, and
+    /// runtime errors are terminal.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            CoreError::Broker(e) => e.is_transient(),
+            CoreError::Serving(e) => e.is_transient(),
+            _ => false,
+        }
+    }
+}
+
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -79,5 +93,17 @@ mod tests {
     fn displays_context() {
         let e = CoreError::Config("mp must be >= 1".into());
         assert!(e.to_string().contains("mp"));
+    }
+
+    #[test]
+    fn transient_follows_the_source_error() {
+        assert!(CoreError::Broker(crayfish_broker::BrokerError::Unavailable {
+            topic: "in".into(),
+            partition: 0,
+        })
+        .is_transient());
+        assert!(CoreError::Serving(crayfish_serving::ServingError::Closed).is_transient());
+        assert!(!CoreError::Codec("bad payload".into()).is_transient());
+        assert!(!CoreError::Config("bad mp".into()).is_transient());
     }
 }

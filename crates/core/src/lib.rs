@@ -37,6 +37,10 @@ pub mod workload;
 /// through their existing `crayfish-core` dependency.
 pub use crayfish_obs as obs;
 
+/// Re-export of the chaos crate: fault plans, injectors, retry policies,
+/// and the worker supervisor engines build their resilience on.
+pub use crayfish_chaos as chaos;
+
 pub use batch::{CrayfishDataBatch, ScoredBatch};
 pub use config::ExperimentConfig;
 pub use crayfish_obs::{ObsHandle, Stage};

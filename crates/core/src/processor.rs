@@ -39,6 +39,14 @@ impl ProcessorContext {
         self.broker.obs()
     }
 
+    /// The fault switches for this run. Like `obs`, they live on the broker
+    /// so every component shares one set; disabled unless the runner was
+    /// given a live chaos handle, in which case engine workers honour
+    /// injected crashes and report recovery successes.
+    pub fn chaos(&self) -> &crayfish_chaos::ChaosHandle {
+        self.broker.chaos()
+    }
+
     /// Validate common invariants before an engine starts.
     pub fn validate(&self) -> Result<()> {
         if self.mp == 0 {

@@ -86,6 +86,16 @@ pub struct ExperimentSpec {
     /// default: a disabled handle records nothing and never reads the
     /// clock.
     pub obs: crate::obs::ObsHandle,
+    /// Fault switches shared by every component of the run. Disabled by
+    /// default: a disabled handle is a `None` behind a pointer and each
+    /// check costs one branch. Enabling it also switches external serving
+    /// onto the resilient client (retries, deadlines, circuit breaker) and
+    /// a restartable server.
+    pub chaos: crate::chaos::ChaosHandle,
+    /// Deterministic fault schedule executed against `chaos` while the
+    /// measurement window runs. Empty by default (no injector thread is
+    /// spawned); ignored when `chaos` is disabled.
+    pub chaos_plan: crate::chaos::FaultPlan,
 }
 
 impl ExperimentSpec {
@@ -103,6 +113,8 @@ impl ExperimentSpec {
             warmup_fraction: 0.25,
             network: NetworkModel::zero(),
             obs: crate::obs::ObsHandle::disabled(),
+            chaos: crate::chaos::ChaosHandle::disabled(),
+            chaos_plan: crate::chaos::FaultPlan::empty(),
         }
     }
 }
@@ -125,6 +137,10 @@ pub struct ExperimentResult {
     pub lag_samples: Vec<LagSample>,
     /// Warmup cutoff (ms since first completion) used for the summaries.
     pub warmup_cutoff_ms: f64,
+    /// Fault/recovery accounting (incidents, MTTR, retries, duplicates
+    /// dropped, availability). `None` unless the spec carried an enabled
+    /// chaos handle.
+    pub recovery: Option<crate::chaos::RecoveryReport>,
 }
 
 impl ExperimentResult {
@@ -171,11 +187,18 @@ pub fn run_experiment_with_graph(
     let input_topic = format!("crayfish-in-{run}");
     let output_topic = format!("crayfish-out-{run}");
 
-    let broker = Broker::with_obs(spec.network, spec.obs.clone());
+    let broker = Broker::with_parts(spec.network, spec.obs.clone(), spec.chaos.clone());
     broker.create_topic(&input_topic, spec.partitions)?;
     broker.create_topic(&output_topic, spec.partitions)?;
 
-    // External serving runs as a separate service sized to mp (§4.3).
+    // External serving runs as a separate service sized to mp (§4.3). A
+    // chaos-enabled run deploys it behind the restartable wrapper (so the
+    // injector can crash and restore it in place) and connects through the
+    // resilient client instead of the raw one.
+    enum RunServer {
+        Plain(crayfish_serving::ServerHandle),
+        Restartable(Arc<crayfish_serving::RestartableServer>),
+    }
     let (scorer, server) = match spec.serving {
         ServingChoice::Embedded { lib, device } => (
             ScorerSpec::Embedded {
@@ -186,21 +209,35 @@ pub fn run_experiment_with_graph(
             None,
         ),
         ServingChoice::External { kind, device } => {
-            let server = kind.start(
-                &graph,
-                ServingConfig {
-                    workers: spec.mp,
-                    device,
-                    obs: spec.obs.clone(),
-                    ..Default::default()
-                },
-            )?;
-            let scorer = ScorerSpec::External {
-                kind,
-                addr: server.addr(),
-                network: spec.network,
+            let config = ServingConfig {
+                workers: spec.mp,
+                device,
+                obs: spec.obs.clone(),
+                ..Default::default()
             };
-            (scorer, Some(server))
+            if spec.chaos.is_enabled() {
+                let server = crayfish_serving::RestartableServer::start(kind, &graph, config)?;
+                let scorer = ScorerSpec::ResilientExternal {
+                    kind,
+                    addr: server.addr(),
+                    network: spec.network,
+                    config: crayfish_serving::ResilienceConfig {
+                        retry: crate::chaos::RetryPolicy::patient(),
+                        chaos: spec.chaos.clone(),
+                        obs: spec.obs.clone(),
+                        ..Default::default()
+                    },
+                };
+                (scorer, Some(RunServer::Restartable(server)))
+            } else {
+                let server = kind.start(&graph, config)?;
+                let scorer = ScorerSpec::External {
+                    kind,
+                    addr: server.addr(),
+                    network: spec.network,
+                };
+                (scorer, Some(RunServer::Plain(server)))
+            }
         }
     };
 
@@ -214,6 +251,30 @@ pub fn run_experiment_with_graph(
     };
     ctx.validate()?;
     let job = processor.start(ctx)?;
+
+    // With a live handle and a non-empty plan, walk the fault schedule in
+    // real time against this run's broker/serving/engine components.
+    let mut injector = if spec.chaos.is_enabled() && !spec.chaos_plan.is_empty() {
+        let mut actions = crate::chaos::ChaosActions::default();
+        if let Some(RunServer::Restartable(rs)) = &server {
+            let (crash, restore) = (rs.clone(), rs.clone());
+            actions.on_serving_crash = Some(Box::new(move || crash.crash()));
+            actions.on_serving_restore = Some(Box::new(move || {
+                let _ = restore.restore();
+            }));
+        }
+        Some(crate::chaos::FaultInjector::start(
+            &spec.chaos_plan,
+            spec.chaos.clone(),
+            crate::chaos::InjectorConfig {
+                target_topic: input_topic.clone(),
+                ..Default::default()
+            },
+            actions,
+        ))
+    } else {
+        None
+    };
 
     let mut output = OutputConsumer::new(broker.clone(), &output_topic)?;
     let producer = start_producer(
@@ -259,13 +320,21 @@ pub fn run_experiment_with_graph(
         }
     }
     observe_e2e(&spec.obs, &samples, observed);
+    // Stop the injector first: it clears every fault switch (and restores a
+    // crashed server), so the job and server shut down on a healthy system.
+    if let Some(inj) = injector.as_mut() {
+        inj.stop();
+    }
     job.stop();
-    if let Some(server) = server {
-        server.shutdown();
+    match server {
+        Some(RunServer::Plain(h)) => h.shutdown(),
+        Some(RunServer::Restartable(rs)) => rs.crash(),
+        None => {}
     }
 
     let mut result = reduce(spec, produced, samples);
     result.lag_samples = lag_samples;
+    result.recovery = spec.chaos.is_enabled().then(|| spec.chaos.report());
     Ok(result)
 }
 
@@ -366,6 +435,7 @@ fn reduce(
             samples,
             lag_samples: Vec::new(),
             warmup_cutoff_ms: 0.0,
+            recovery: None,
         };
     }
     let t0 = samples.first().expect("non-empty").end_ms;
@@ -387,6 +457,7 @@ fn reduce(
         samples,
         lag_samples: Vec::new(),
         warmup_cutoff_ms: cutoff - t0,
+        recovery: None,
     }
 }
 

@@ -55,6 +55,21 @@ pub enum ScorerSpec {
         /// The modelled LAN between the engine and the server.
         network: NetworkModel,
     },
+    /// External serving wrapped in the resilience layer: per-call
+    /// deadlines, bounded retries with backoff, reconnect after resets or
+    /// server crashes, and a circuit breaker. Used by chaos experiments;
+    /// with a disabled chaos handle in `config` the wrapper costs one
+    /// branch per call.
+    ResilientExternal {
+        /// Which framework (decides the protocol).
+        kind: ExternalKind,
+        /// Server address (stable across crash/restore).
+        addr: SocketAddr,
+        /// The modelled LAN between the engine and the server.
+        network: NetworkModel,
+        /// Retry/breaker/deadline tuning plus chaos and obs handles.
+        config: crayfish_serving::ResilienceConfig,
+    },
 }
 
 impl std::fmt::Debug for ScorerSpec {
@@ -66,6 +81,9 @@ impl std::fmt::Debug for ScorerSpec {
             ScorerSpec::External { kind, addr, .. } => {
                 write!(f, "External({}, {addr})", kind.name())
             }
+            ScorerSpec::ResilientExternal { kind, addr, .. } => {
+                write!(f, "ResilientExternal({}, {addr})", kind.name())
+            }
         }
     }
 }
@@ -75,7 +93,9 @@ impl ScorerSpec {
     pub fn tool_name(&self) -> String {
         match self {
             ScorerSpec::Embedded { lib, .. } => format!("{} (e)", lib.name()),
-            ScorerSpec::External { kind, .. } => format!("{} (x)", kind.name()),
+            ScorerSpec::External { kind, .. } | ScorerSpec::ResilientExternal { kind, .. } => {
+                format!("{} (x)", kind.name())
+            }
         }
     }
 
@@ -93,6 +113,22 @@ impl ScorerSpec {
             } => {
                 let client = kind.connect(*addr, *network)?;
                 Ok(Box::new(ExternalScorer { client }))
+            }
+            ScorerSpec::ResilientExternal {
+                kind,
+                addr,
+                network,
+                config,
+            } => {
+                let client = crayfish_serving::ResilientClient::connect(
+                    *kind,
+                    *addr,
+                    *network,
+                    config.clone(),
+                )?;
+                Ok(Box::new(ExternalScorer {
+                    client: Box::new(client),
+                }))
             }
         }
     }

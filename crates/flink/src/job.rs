@@ -6,7 +6,8 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crayfish_broker::{Broker, PartitionConsumer, Producer, ProducerConfig};
-use crayfish_core::scoring::score_payload_obs;
+use crayfish_core::chaos::{supervise, RetryPolicy, SupervisorConfig, WorkerExit};
+use crayfish_core::scoring::{score_payload_obs, Scorer};
 use crayfish_core::{CoreError, DataProcessor, ProcessorContext, Result, RunningJob};
 use crayfish_sim::{calibration, Cost};
 
@@ -145,7 +146,9 @@ fn start_async_chained(
         // The bounded queue is the async operator's in-flight capacity:
         // the subtask blocks once `capacity` requests are outstanding.
         let (work_tx, work_rx) = bounded::<bytes::Bytes>(capacity);
-        // Async scoring workers (Flink runs the callbacks on a pool).
+        // Async scoring workers (Flink runs the callbacks on a pool). Once
+        // a record leaves the source's commit scope it must not be dropped,
+        // so transient scoring failures are retried in place.
         for w in 0..capacity {
             let rx = work_rx.clone();
             let mut scorer = ctx.scorer.build()?;
@@ -159,8 +162,15 @@ fn start_async_chained(
                 let batches_scored = obs.counter("batches_scored");
                 let records_out = obs.counter("records_out");
                 let score_errors = obs.counter("score_errors");
+                let retries = obs.counter("retries");
+                let retry = RetryPolicy::patient();
                 while let Ok(rec) = rx.recv() {
-                    match score_payload_obs(scorer.as_mut(), &rec, &obs) {
+                    let outcome = retry.run(
+                        CoreError::is_transient,
+                        |_| retries.inc(),
+                        || score_payload_obs(scorer.as_mut(), &rec, &obs),
+                    );
+                    match outcome {
                         Ok(out) => {
                             batches_scored.inc();
                             let span = obs.timer(crayfish_core::Stage::Emit);
@@ -180,84 +190,198 @@ fn start_async_chained(
         // The chain itself: source + record overhead + async dispatch.
         // Inserted at index `i` so all chain threads precede all worker
         // threads in the join order: stopping joins the chains first, their
-        // `work_tx` drops, and the workers exit on disconnect.
-        let mut consumer =
-            PartitionConsumer::new(ctx.broker.clone(), &ctx.input_topic, &ctx.group, assigned)?;
+        // `work_tx` drops, and the workers exit on disconnect. Supervised:
+        // the exchange survives across incarnations, only the consumer is
+        // rebuilt (resuming from committed offsets).
+        let consumer = PartitionConsumer::new(
+            ctx.broker.clone(),
+            &ctx.input_topic,
+            &ctx.group,
+            assigned.clone(),
+        )?;
+        let mut slot = Some(consumer);
         let flag = stop.clone();
         let obs = ctx.obs().clone();
+        let chaos = ctx.chaos().clone();
+        let broker = ctx.broker.clone();
+        let input_topic = ctx.input_topic.clone();
+        let group = ctx.group.clone();
         threads.insert(
             i,
-            spawn_task(format!("flink-chain-async-{i}"), move || {
-                while !flag.load(Ordering::SeqCst) {
-                    let records = match consumer.poll(Duration::from_millis(50)) {
-                        Ok(r) => r,
-                        Err(_) => return,
+            supervise(
+                format!("flink-chain-async-{i}"),
+                stop.clone(),
+                obs.clone(),
+                chaos.clone(),
+                SupervisorConfig::default(),
+                move |_incarnation| {
+                    let mut consumer = match slot.take() {
+                        Some(c) => c,
+                        None => match PartitionConsumer::new(
+                            broker.clone(),
+                            &input_topic,
+                            &group,
+                            assigned.clone(),
+                        ) {
+                            Ok(c) => c,
+                            Err(e) if e.is_transient() => {
+                                return WorkerExit::Failed(format!("rebuild consumer: {e}"))
+                            }
+                            Err(_) => return WorkerExit::Stopped,
+                        },
                     };
-                    for rec in records {
-                        let span = obs.timer(crayfish_core::Stage::Ingest);
-                        options.record_overhead.spend(rec.value.len());
-                        span.stop();
-                        if work_tx.send(rec.value).is_err() {
-                            return;
+                    while !flag.load(Ordering::SeqCst) {
+                        if chaos.take_worker_crash() {
+                            return WorkerExit::Failed("injected worker crash".into());
                         }
+                        let records = match consumer.poll(Duration::from_millis(50)) {
+                            Ok(r) => r,
+                            Err(e) if e.is_transient() => {
+                                return WorkerExit::Failed(format!("poll: {e}"))
+                            }
+                            Err(_) => return WorkerExit::Stopped,
+                        };
+                        for rec in records {
+                            let span = obs.timer(crayfish_core::Stage::Ingest);
+                            options.record_overhead.spend(rec.value.len());
+                            span.stop();
+                            if work_tx.send(rec.value).is_err() {
+                                return WorkerExit::Stopped;
+                            }
+                        }
+                        consumer.commit();
                     }
-                    consumer.commit();
-                }
-            })?,
+                    WorkerExit::Stopped
+                },
+            ),
         );
     }
     Ok(Box::new(FlinkJob { stop, threads }))
 }
 
-/// Chained topology: `mp` subtasks each running the whole pipeline.
+/// Chained topology: `mp` subtasks each running the whole pipeline. Each
+/// subtask is supervised: a transient fabric failure or an injected crash
+/// ends the incarnation *before* the offset commit, and the restarted
+/// incarnation rebuilds its consumer/producer/scorer and resumes from the
+/// committed offsets (at-least-once).
 fn start_chained(ctx: &ProcessorContext, options: FlinkOptions) -> Result<Box<dyn RunningJob>> {
     let stop = Arc::new(AtomicBool::new(false));
     let partitions = ctx.broker.partitions(&ctx.input_topic)?;
     let assignment = Broker::range_assignment(partitions, ctx.mp);
     let mut threads = Vec::with_capacity(ctx.mp);
     for (i, assigned) in assignment.into_iter().enumerate() {
-        let mut consumer =
-            PartitionConsumer::new(ctx.broker.clone(), &ctx.input_topic, &ctx.group, assigned)?;
-        let mut producer = Producer::new(
+        // Built eagerly so startup errors surface from start().
+        let consumer = PartitionConsumer::new(
+            ctx.broker.clone(),
+            &ctx.input_topic,
+            &ctx.group,
+            assigned.clone(),
+        )?;
+        let producer = Producer::new(
             ctx.broker.clone(),
             &ctx.output_topic,
             ProducerConfig::default(),
         )?;
-        let mut scorer = ctx.scorer.build()?;
+        let scorer = ctx.scorer.build()?;
+        let mut parts: Option<(PartitionConsumer, Producer, Box<dyn Scorer>)> =
+            Some((consumer, producer, scorer));
+
         let flag = stop.clone();
         let obs = ctx.obs().clone();
-        threads.push(spawn_task(format!("flink-chain-{i}"), move || {
-            let batches_scored = obs.counter("batches_scored");
-            let records_out = obs.counter("records_out");
-            let score_errors = obs.counter("score_errors");
-            while !flag.load(Ordering::SeqCst) {
-                let records = match consumer.poll(Duration::from_millis(50)) {
-                    Ok(r) => r,
-                    Err(_) => return,
-                };
-                for rec in records {
-                    // JVM task-chain framework cost per record.
-                    let span = obs.timer(crayfish_core::Stage::Ingest);
-                    options.record_overhead.spend(rec.value.len());
-                    span.stop();
-                    match score_payload_obs(scorer.as_mut(), &rec.value, &obs) {
-                        Ok(out) => {
-                            batches_scored.inc();
-                            let span = obs.timer(crayfish_core::Stage::Emit);
-                            let sent = producer.send(None, out);
-                            span.stop();
-                            if sent.is_err() {
-                                return;
+        let chaos = ctx.chaos().clone();
+        let broker = ctx.broker.clone();
+        let input_topic = ctx.input_topic.clone();
+        let output_topic = ctx.output_topic.clone();
+        let group = ctx.group.clone();
+        let spec = ctx.scorer.clone();
+        let batches_scored = obs.counter("batches_scored");
+        let records_out = obs.counter("records_out");
+        let score_errors = obs.counter("score_errors");
+        threads.push(supervise(
+            format!("flink-chain-{i}"),
+            stop.clone(),
+            obs.clone(),
+            chaos.clone(),
+            SupervisorConfig::default(),
+            move |_incarnation| {
+                let (mut consumer, mut producer, mut scorer) = match parts.take() {
+                    Some(built) => built,
+                    None => {
+                        let consumer = match PartitionConsumer::new(
+                            broker.clone(),
+                            &input_topic,
+                            &group,
+                            assigned.clone(),
+                        ) {
+                            Ok(c) => c,
+                            Err(e) if e.is_transient() => {
+                                return WorkerExit::Failed(format!("rebuild consumer: {e}"))
                             }
-                            records_out.inc();
-                        }
-                        Err(_) => score_errors.inc(),
+                            Err(_) => return WorkerExit::Stopped,
+                        };
+                        let producer = match Producer::new(
+                            broker.clone(),
+                            &output_topic,
+                            ProducerConfig::default(),
+                        ) {
+                            Ok(p) => p,
+                            Err(e) if e.is_transient() => {
+                                return WorkerExit::Failed(format!("rebuild producer: {e}"))
+                            }
+                            Err(_) => return WorkerExit::Stopped,
+                        };
+                        let scorer = match spec.build() {
+                            Ok(s) => s,
+                            Err(e) if e.is_transient() => {
+                                return WorkerExit::Failed(format!("rebuild scorer: {e}"))
+                            }
+                            Err(_) => return WorkerExit::Stopped,
+                        };
+                        (consumer, producer, scorer)
                     }
+                };
+                while !flag.load(Ordering::SeqCst) {
+                    if chaos.take_worker_crash() {
+                        return WorkerExit::Failed("injected worker crash".into());
+                    }
+                    let records = match consumer.poll(Duration::from_millis(50)) {
+                        Ok(r) => r,
+                        Err(e) if e.is_transient() => {
+                            return WorkerExit::Failed(format!("poll: {e}"))
+                        }
+                        Err(_) => return WorkerExit::Stopped,
+                    };
+                    for rec in records {
+                        // JVM task-chain framework cost per record.
+                        let span = obs.timer(crayfish_core::Stage::Ingest);
+                        options.record_overhead.spend(rec.value.len());
+                        span.stop();
+                        match score_payload_obs(scorer.as_mut(), &rec.value, &obs) {
+                            Ok(out) => {
+                                batches_scored.inc();
+                                let span = obs.timer(crayfish_core::Stage::Emit);
+                                let sent = producer.send(None, out);
+                                span.stop();
+                                if sent.is_err() {
+                                    return WorkerExit::Stopped;
+                                }
+                                records_out.inc();
+                            }
+                            // Fail without committing: the restart
+                            // refetches and rescores this batch.
+                            Err(e) if e.is_transient() => {
+                                score_errors.inc();
+                                return WorkerExit::Failed(format!("score: {e}"));
+                            }
+                            Err(_) => score_errors.inc(),
+                        }
+                    }
+                    // Checkpoint-style offset commit after each fetch.
+                    consumer.commit();
                 }
-                // Checkpoint-style offset commit after each fetch.
-                consumer.commit();
-            }
-        })?);
+                WorkerExit::Stopped
+            },
+        ));
     }
     Ok(Box::new(FlinkJob { stop, threads }))
 }
@@ -292,11 +416,18 @@ fn start_unchained(ctx: &ProcessorContext, options: FlinkOptions) -> Result<Box<
         .record_overhead
         .scaled(calibration::FLINK_SINK_SHARE);
 
-    // Source tasks.
+    // Source tasks. Supervised: the exchange sender survives across
+    // incarnations, only the consumer is rebuilt (resuming from the
+    // committed offsets).
     let assignment = Broker::range_assignment(partitions, sources);
     for (i, assigned) in assignment.into_iter().enumerate() {
-        let mut consumer =
-            PartitionConsumer::new(ctx.broker.clone(), &ctx.input_topic, &ctx.group, assigned)?;
+        let consumer = PartitionConsumer::new(
+            ctx.broker.clone(),
+            &ctx.input_topic,
+            &ctx.group,
+            assigned.clone(),
+        )?;
+        let mut slot = Some(consumer);
         let mut out = ExchangeSender::new(
             score_txs.clone(),
             options.buffer_bytes,
@@ -304,27 +435,60 @@ fn start_unchained(ctx: &ProcessorContext, options: FlinkOptions) -> Result<Box<
         );
         let flag = stop.clone();
         let obs = ctx.obs().clone();
-        threads.push(spawn_task(format!("flink-source-{i}"), move || {
-            while !flag.load(Ordering::SeqCst) {
-                let records = match consumer.poll(Duration::from_millis(10)) {
-                    Ok(r) => r,
-                    Err(_) => return,
+        let chaos = ctx.chaos().clone();
+        let broker = ctx.broker.clone();
+        let input_topic = ctx.input_topic.clone();
+        let group = ctx.group.clone();
+        threads.push(supervise(
+            format!("flink-source-{i}"),
+            stop.clone(),
+            obs.clone(),
+            chaos.clone(),
+            SupervisorConfig::default(),
+            move |_incarnation| {
+                let mut consumer = match slot.take() {
+                    Some(c) => c,
+                    None => match PartitionConsumer::new(
+                        broker.clone(),
+                        &input_topic,
+                        &group,
+                        assigned.clone(),
+                    ) {
+                        Ok(c) => c,
+                        Err(e) if e.is_transient() => {
+                            return WorkerExit::Failed(format!("rebuild consumer: {e}"))
+                        }
+                        Err(_) => return WorkerExit::Stopped,
+                    },
                 };
-                for rec in records {
-                    let span = obs.timer(crayfish_core::Stage::Ingest);
-                    source_cost.spend(rec.value.len());
-                    span.stop();
-                    if out.push(rec.value).is_err() {
-                        return;
+                while !flag.load(Ordering::SeqCst) {
+                    if chaos.take_worker_crash() {
+                        return WorkerExit::Failed("injected worker crash".into());
+                    }
+                    let records = match consumer.poll(Duration::from_millis(10)) {
+                        Ok(r) => r,
+                        Err(e) if e.is_transient() => {
+                            return WorkerExit::Failed(format!("poll: {e}"))
+                        }
+                        Err(_) => return WorkerExit::Stopped,
+                    };
+                    for rec in records {
+                        let span = obs.timer(crayfish_core::Stage::Ingest);
+                        source_cost.spend(rec.value.len());
+                        span.stop();
+                        if out.push(rec.value).is_err() {
+                            return WorkerExit::Stopped;
+                        }
+                    }
+                    consumer.commit();
+                    if out.maybe_flush().is_err() {
+                        return WorkerExit::Stopped;
                     }
                 }
-                consumer.commit();
-                if out.maybe_flush().is_err() {
-                    return;
-                }
-            }
-            let _ = out.flush();
-        })?);
+                let _ = out.flush();
+                WorkerExit::Stopped
+            },
+        ));
     }
     drop(score_txs);
 
@@ -340,6 +504,10 @@ fn start_unchained(ctx: &ProcessorContext, options: FlinkOptions) -> Result<Box<
         threads.push(spawn_task(format!("flink-score-{i}"), move || {
             let batches_scored = obs.counter("batches_scored");
             let score_errors = obs.counter("score_errors");
+            let retries = obs.counter("retries");
+            // Records past the source's commit scope must not be dropped:
+            // transient scoring failures retry in place.
+            let retry = RetryPolicy::patient();
             loop {
                 match recv_buffer(&rx, Duration::from_millis(10)) {
                     Ok(Some(buffer)) => {
@@ -347,7 +515,12 @@ fn start_unchained(ctx: &ProcessorContext, options: FlinkOptions) -> Result<Box<
                             let span = obs.timer(crayfish_core::Stage::Ingest);
                             scoring_cost.spend(rec.len());
                             span.stop();
-                            match score_payload_obs(scorer.as_mut(), &rec, &obs) {
+                            let outcome = retry.run(
+                                CoreError::is_transient,
+                                |_| retries.inc(),
+                                || score_payload_obs(scorer.as_mut(), &rec, &obs),
+                            );
+                            match outcome {
                                 Ok(scored) => {
                                     batches_scored.inc();
                                     if out.push(scored).is_err() {

@@ -25,8 +25,9 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crayfish_broker::{Broker, PartitionConsumer, Producer, ProducerConfig};
-use crayfish_core::scoring::score_payload_obs;
-use crayfish_core::{CoreError, DataProcessor, ProcessorContext, Result, RunningJob};
+use crayfish_core::chaos::{supervise, SupervisorConfig, WorkerExit};
+use crayfish_core::scoring::{score_payload_obs, Scorer};
+use crayfish_core::{DataProcessor, ProcessorContext, Result, RunningJob};
 use crayfish_sim::{calibration, Cost};
 
 /// Engine configuration.
@@ -97,28 +98,91 @@ impl DataProcessor for KStreamsProcessor {
         let options = self.options;
         let mut threads = Vec::with_capacity(ctx.mp);
         for (i, assigned) in assignment.into_iter().enumerate() {
-            let mut consumer =
-                PartitionConsumer::new(ctx.broker.clone(), &ctx.input_topic, &ctx.group, assigned)?;
+            // The first incarnation's parts are built eagerly so startup
+            // errors (bad topic, unreachable serving) surface from start();
+            // restarts rebuild them from the broker's committed offsets.
+            let mut consumer = PartitionConsumer::new(
+                ctx.broker.clone(),
+                &ctx.input_topic,
+                &ctx.group,
+                assigned.clone(),
+            )?;
             consumer.max_poll_records = options.max_poll_records;
-            let mut producer = Producer::new(
+            let producer = Producer::new(
                 ctx.broker.clone(),
                 &ctx.output_topic,
                 ProducerConfig::default(),
             )?;
-            let mut scorer = ctx.scorer.build()?;
+            let scorer = ctx.scorer.build()?;
+            let mut parts: Option<(PartitionConsumer, Producer, Box<dyn Scorer>)> =
+                Some((consumer, producer, scorer));
+
             let flag = stop.clone();
             let obs = ctx.obs().clone();
-            let thread = std::thread::Builder::new()
-                .name(format!("kstreams-thread-{i}"))
-                .spawn(move || {
-                    let batches_scored = obs.counter("batches_scored");
-                    let records_out = obs.counter("records_out");
-                    let score_errors = obs.counter("score_errors");
+            let chaos = ctx.chaos().clone();
+            let broker = ctx.broker.clone();
+            let input_topic = ctx.input_topic.clone();
+            let output_topic = ctx.output_topic.clone();
+            let group = ctx.group.clone();
+            let spec = ctx.scorer.clone();
+            let batches_scored = obs.counter("batches_scored");
+            let records_out = obs.counter("records_out");
+            let score_errors = obs.counter("score_errors");
+            let thread = supervise(
+                format!("kstreams-thread-{i}"),
+                stop.clone(),
+                obs.clone(),
+                chaos.clone(),
+                SupervisorConfig::default(),
+                move |_incarnation| {
+                    let (mut consumer, mut producer, mut scorer) = match parts.take() {
+                        Some(built) => built,
+                        None => {
+                            let mut consumer = match PartitionConsumer::new(
+                                broker.clone(),
+                                &input_topic,
+                                &group,
+                                assigned.clone(),
+                            ) {
+                                Ok(c) => c,
+                                Err(e) if e.is_transient() => {
+                                    return WorkerExit::Failed(format!("rebuild consumer: {e}"))
+                                }
+                                Err(_) => return WorkerExit::Stopped,
+                            };
+                            consumer.max_poll_records = options.max_poll_records;
+                            let producer = match Producer::new(
+                                broker.clone(),
+                                &output_topic,
+                                ProducerConfig::default(),
+                            ) {
+                                Ok(p) => p,
+                                Err(e) if e.is_transient() => {
+                                    return WorkerExit::Failed(format!("rebuild producer: {e}"))
+                                }
+                                Err(_) => return WorkerExit::Stopped,
+                            };
+                            let scorer = match spec.build() {
+                                Ok(s) => s,
+                                Err(e) if e.is_transient() => {
+                                    return WorkerExit::Failed(format!("rebuild scorer: {e}"))
+                                }
+                                Err(_) => return WorkerExit::Stopped,
+                            };
+                            (consumer, producer, scorer)
+                        }
+                    };
                     while !flag.load(Ordering::SeqCst) {
+                        if chaos.take_worker_crash() {
+                            return WorkerExit::Failed("injected worker crash".into());
+                        }
                         // Pull one batch through the complete topology.
                         let records = match consumer.poll(options.poll_timeout) {
                             Ok(r) => r,
-                            Err(_) => return,
+                            Err(e) if e.is_transient() => {
+                                return WorkerExit::Failed(format!("poll: {e}"))
+                            }
+                            Err(_) => return WorkerExit::Stopped,
                         };
                         if records.is_empty() {
                             continue;
@@ -135,9 +199,15 @@ impl DataProcessor for KStreamsProcessor {
                                     let sent = producer.send(None, out);
                                     span.stop();
                                     if sent.is_err() {
-                                        return;
+                                        return WorkerExit::Stopped;
                                     }
                                     records_out.inc();
+                                }
+                                // Exit without committing: the restarted
+                                // incarnation refetches this batch.
+                                Err(e) if e.is_transient() => {
+                                    score_errors.inc();
+                                    return WorkerExit::Failed(format!("score: {e}"));
                                 }
                                 Err(_) => score_errors.inc(),
                             }
@@ -147,8 +217,9 @@ impl DataProcessor for KStreamsProcessor {
                         producer.flush();
                         consumer.commit();
                     }
-                })
-                .map_err(|e| CoreError::Config(format!("spawn kstreams thread: {e}")))?;
+                    WorkerExit::Stopped
+                },
+            );
             threads.push(thread);
         }
         Ok(Box::new(KStreamsJob { stop, threads }))
@@ -191,7 +262,11 @@ mod tests {
     }
 
     fn feed(broker: &Broker, n: u64) {
-        for id in 0..n {
+        feed_range(broker, 0, n)
+    }
+
+    fn feed_range(broker: &Broker, from: u64, to: u64) {
+        for id in from..to {
             let t = Tensor::seeded_uniform([1, 8, 8], id, 0.0, 1.0);
             let payload = CrayfishDataBatch::from_tensor(id, now_millis_f64(), &t)
                 .encode()
@@ -248,6 +323,56 @@ mod tests {
         std::thread::sleep(Duration::from_millis(100));
         let lag = broker.group_lag("sut", "in").unwrap();
         assert_eq!(lag, 0, "uncommitted lag after processing");
+        job.stop();
+    }
+
+    #[test]
+    fn injected_worker_crashes_are_survived() {
+        use crayfish_core::chaos::ChaosHandle;
+        let chaos = ChaosHandle::enabled();
+        let broker = Broker::with_parts(
+            NetworkModel::zero(),
+            crayfish_core::obs::ObsHandle::disabled(),
+            chaos.clone(),
+        );
+        broker.create_topic("in", 8).unwrap();
+        broker.create_topic("out", 8).unwrap();
+        let ctx = ProcessorContext {
+            broker: broker.clone(),
+            input_topic: "in".into(),
+            output_topic: "out".into(),
+            group: "sut".into(),
+            scorer: ScorerSpec::Embedded {
+                lib: EmbeddedLib::Onnx,
+                graph: Arc::new(tiny::tiny_mlp(1)),
+                device: Device::Cpu,
+            },
+            mp: 2,
+        };
+        let job = bare().start(ctx).unwrap();
+        feed(&broker, 15);
+        chaos.inject_worker_crashes(2);
+        feed_range(&broker, 15, 30);
+        // At-least-once: every id appears, duplicates allowed after the
+        // crash (re-fetch of the uncommitted batch).
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let mut ids = std::collections::HashSet::new();
+        let mut offsets = [0u64; 8];
+        while ids.len() < 30 && std::time::Instant::now() < deadline {
+            for p in 0..8u32 {
+                let recs = broker
+                    .read("out", p, offsets[p as usize], 1000, usize::MAX)
+                    .unwrap();
+                if let Some(last) = recs.last() {
+                    offsets[p as usize] = last.offset + 1;
+                }
+                for r in recs {
+                    ids.insert(ScoredBatch::decode(&r.value).unwrap().id);
+                }
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(ids.len(), 30, "records lost across worker crashes");
         job.stop();
     }
 

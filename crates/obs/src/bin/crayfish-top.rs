@@ -166,6 +166,8 @@ fn render(samples: &[Sample], prev_counters: &HashMap<String, f64>, elapsed: Dur
         );
     }
 
+    render_resilience(samples);
+
     let mut scalar_lines = Vec::new();
     for s in samples {
         if let Some(base) = s.name.strip_suffix("_total") {
@@ -192,6 +194,44 @@ fn render(samples: &[Sample], prev_counters: &HashMap<String, f64>, elapsed: Dur
     }
     if !scalar_lines.is_empty() {
         println!("\n{}", scalar_lines.join("  |  "));
+    }
+}
+
+/// Fault/recovery instruments (populated by the resilience layer in
+/// chaos-enabled runs): retries, per-stage errors, worker restarts,
+/// deduplicated producer re-sends, and the serving circuit-breaker state.
+fn render_resilience(samples: &[Sample]) {
+    let mut lines = Vec::new();
+    for s in samples {
+        match s.name.as_str() {
+            "crayfish_retries_total" => lines.push(format!("retries: {}", s.value as u64)),
+            "crayfish_errors_total" => {
+                let stage = s.label("stage").unwrap_or("?");
+                lines.push(format!("errors[{stage}]: {}", s.value as u64));
+            }
+            "crayfish_worker_restarts_total" => {
+                lines.push(format!("worker_restarts: {}", s.value as u64))
+            }
+            "crayfish_duplicates_dropped_total" => {
+                lines.push(format!("duplicates_dropped: {}", s.value as u64))
+            }
+            "crayfish_producer_records_dropped_total" => {
+                lines.push(format!("records_dropped: {}", s.value as u64))
+            }
+            "crayfish_circuit_state" => {
+                let state = match s.value as i64 {
+                    0 => "closed",
+                    1 => "open",
+                    2 => "half-open",
+                    _ => "?",
+                };
+                lines.push(format!("circuit: {state}"));
+            }
+            _ => {}
+        }
+    }
+    if !lines.is_empty() {
+        println!("\nRESILIENCE  {}", lines.join("  |  "));
     }
 }
 

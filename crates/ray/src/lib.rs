@@ -29,6 +29,7 @@ use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 
 use crayfish_broker::{Broker, PartitionConsumer, Producer, ProducerConfig};
+use crayfish_core::chaos::{supervise, RetryPolicy, SupervisorConfig, WorkerExit};
 use crayfish_core::scoring::score_payload_obs;
 use crayfish_core::{CoreError, DataProcessor, ProcessorContext, Result, RunningJob};
 use crayfish_sim::{Cost, OverheadModel};
@@ -114,23 +115,64 @@ impl DataProcessor for RayProcessor {
                 bounded(options.mailbox_capacity.max(1));
 
             // Input actor: consumes from Kafka, puts into the object store.
-            let mut consumer =
-                PartitionConsumer::new(ctx.broker.clone(), &ctx.input_topic, &ctx.group, assigned)?;
+            // Supervised (Ray restarts dead actors): the mailbox survives
+            // across incarnations, only the consumer is rebuilt, resuming
+            // from the committed offsets.
+            let consumer = PartitionConsumer::new(
+                ctx.broker.clone(),
+                &ctx.input_topic,
+                &ctx.group,
+                assigned.clone(),
+            )?;
+            let mut slot = Some(consumer);
             let flag = stop.clone();
-            threads.push(spawn_actor(format!("ray-input-{i}"), move || {
-                while !flag.load(Ordering::SeqCst) {
-                    let records = match consumer.poll(Duration::from_millis(50)) {
-                        Ok(r) => r,
-                        Err(_) => return,
+            let chaos = ctx.chaos().clone();
+            let broker = ctx.broker.clone();
+            let input_topic = ctx.input_topic.clone();
+            let group = ctx.group.clone();
+            threads.push(supervise(
+                format!("ray-input-{i}"),
+                stop.clone(),
+                ctx.obs().clone(),
+                chaos.clone(),
+                SupervisorConfig::default(),
+                move |_incarnation| {
+                    let mut consumer = match slot.take() {
+                        Some(c) => c,
+                        None => match PartitionConsumer::new(
+                            broker.clone(),
+                            &input_topic,
+                            &group,
+                            assigned.clone(),
+                        ) {
+                            Ok(c) => c,
+                            Err(e) if e.is_transient() => {
+                                return WorkerExit::Failed(format!("rebuild consumer: {e}"))
+                            }
+                            Err(_) => return WorkerExit::Stopped,
+                        },
                     };
-                    for rec in records {
-                        if score_tx.send(rec.value).is_err() {
-                            return;
+                    while !flag.load(Ordering::SeqCst) {
+                        if chaos.take_worker_crash() {
+                            return WorkerExit::Failed("injected actor crash".into());
                         }
+                        let records = match consumer.poll(Duration::from_millis(50)) {
+                            Ok(r) => r,
+                            Err(e) if e.is_transient() => {
+                                return WorkerExit::Failed(format!("poll: {e}"))
+                            }
+                            Err(_) => return WorkerExit::Stopped,
+                        };
+                        for rec in records {
+                            if score_tx.send(rec.value).is_err() {
+                                return WorkerExit::Stopped;
+                            }
+                        }
+                        consumer.commit();
                     }
-                    consumer.commit();
-                }
-            })?);
+                    WorkerExit::Stopped
+                },
+            ));
 
             // Scoring actor.
             let mut scorer = ctx.scorer.build()?;
@@ -138,6 +180,10 @@ impl DataProcessor for RayProcessor {
             threads.push(spawn_actor(format!("ray-score-{i}"), move || {
                 let batches_scored = obs.counter("batches_scored");
                 let score_errors = obs.counter("score_errors");
+                let retries = obs.counter("retries");
+                // Messages already left the input actor's commit scope, so
+                // transient scoring failures retry in place.
+                let retry = RetryPolicy::patient();
                 loop {
                     match score_rx.recv_timeout(Duration::from_millis(100)) {
                         Ok(msg) => {
@@ -146,7 +192,12 @@ impl DataProcessor for RayProcessor {
                             let span = obs.timer(crayfish_core::Stage::Ingest);
                             let staged = object_store_receive(&msg, dispatch);
                             span.stop();
-                            match score_payload_obs(scorer.as_mut(), &staged, &obs) {
+                            let outcome = retry.run(
+                                CoreError::is_transient,
+                                |_| retries.inc(),
+                                || score_payload_obs(scorer.as_mut(), &staged, &obs),
+                            );
+                            match outcome {
                                 Ok(scored) => {
                                     batches_scored.inc();
                                     if out_tx.send(scored).is_err() {

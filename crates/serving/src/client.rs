@@ -23,6 +23,15 @@ pub trait ScoringClient: Send {
     fn protocol(&self) -> &'static str;
     /// Score one batched tensor, blocking until the response arrives.
     fn infer(&mut self, input: &Tensor) -> Result<Tensor>;
+    /// Bound every subsequent blocking socket operation by `deadline`
+    /// (`None` removes the bound). A call that exceeds it fails with a
+    /// timeout [`ServingError::Io`] and leaves the connection poisoned —
+    /// callers should reconnect. Default: no-op for transports without a
+    /// socket.
+    fn set_deadline(&mut self, deadline: Option<std::time::Duration>) -> Result<()> {
+        let _ = deadline;
+        Ok(())
+    }
 }
 
 /// gRPC-like binary client (TF-Serving, TorchServe).
@@ -79,6 +88,14 @@ impl ScoringClient for GrpcClient {
         let payload = encode_tensor_binary(input);
         self.call(payload)
     }
+
+    fn set_deadline(&mut self, deadline: Option<std::time::Duration>) -> Result<()> {
+        // Timeouts are a property of the underlying socket, shared by the
+        // reader clone.
+        self.writer.set_read_timeout(deadline)?;
+        self.writer.set_write_timeout(deadline)?;
+        Ok(())
+    }
 }
 
 /// HTTP/1.1 + JSON client (Ray Serve).
@@ -124,6 +141,12 @@ impl ScoringClient for HttpClient {
         let jt: JsonTensor = serde_json::from_slice(&msg.body)
             .map_err(|e| ServingError::Protocol(format!("response decode: {e}")))?;
         jt.into_tensor()
+    }
+
+    fn set_deadline(&mut self, deadline: Option<std::time::Duration>) -> Result<()> {
+        self.writer.set_read_timeout(deadline)?;
+        self.writer.set_write_timeout(deadline)?;
+        Ok(())
     }
 }
 

@@ -17,6 +17,21 @@ pub enum ServingError {
     Config(String),
     /// The server has shut down.
     Closed,
+    /// The client's circuit breaker is open: the call failed fast without
+    /// touching the network. Retrying after the cooldown may succeed.
+    CircuitOpen,
+}
+
+impl ServingError {
+    /// Whether a retry can plausibly succeed. Connection-level failures —
+    /// including fail-fast breaker rejections — are transient; protocol,
+    /// remote-inference, runtime, and config errors are terminal.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            ServingError::Io(_) | ServingError::Closed | ServingError::CircuitOpen
+        )
+    }
 }
 
 impl fmt::Display for ServingError {
@@ -28,6 +43,7 @@ impl fmt::Display for ServingError {
             ServingError::Runtime(e) => write!(f, "runtime error: {e}"),
             ServingError::Config(msg) => write!(f, "config error: {msg}"),
             ServingError::Closed => write!(f, "server closed"),
+            ServingError::CircuitOpen => write!(f, "circuit breaker open"),
         }
     }
 }
@@ -63,5 +79,18 @@ mod tests {
         assert!(ServingError::Protocol("bad magic".into())
             .to_string()
             .contains("bad magic"));
+    }
+
+    #[test]
+    fn transient_covers_connection_failures_only() {
+        assert!(ServingError::Closed.is_transient());
+        assert!(ServingError::CircuitOpen.is_transient());
+        assert!(ServingError::Io(std::io::Error::new(
+            std::io::ErrorKind::ConnectionReset,
+            "reset"
+        ))
+        .is_transient());
+        assert!(!ServingError::Remote("bad shape".into()).is_transient());
+        assert!(!ServingError::Protocol("bad magic".into()).is_transient());
     }
 }

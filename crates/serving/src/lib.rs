@@ -23,6 +23,8 @@ pub mod error;
 pub mod protocol;
 pub mod ray_serve;
 pub mod registry;
+pub mod resilient;
+pub mod restart;
 pub mod server;
 pub mod tf_serving;
 pub mod torch_serve;
@@ -30,6 +32,8 @@ pub mod torch_serve;
 pub use client::{GrpcClient, HttpClient, ScoringClient};
 pub use error::ServingError;
 pub use registry::ModelRegistry;
+pub use resilient::{ResilienceConfig, ResilientClient};
+pub use restart::RestartableServer;
 pub use server::{ServerHandle, ServingConfig};
 
 use serde::{Deserialize, Serialize};
@@ -82,6 +86,22 @@ impl ExternalKind {
             ExternalKind::TfServing => tf_serving::start(graph, config),
             ExternalKind::TorchServe => torch_serve::start(graph, config),
             ExternalKind::RayServe => ray_serve::start(graph, config),
+        }
+    }
+
+    /// Start a server of this kind on a fixed address (port 0 picks an
+    /// ephemeral one). Used by [`RestartableServer`] to restore a crashed
+    /// server on the endpoint its clients already hold.
+    pub fn start_at(
+        &self,
+        graph: &NnGraph,
+        config: ServingConfig,
+        addr: std::net::SocketAddr,
+    ) -> Result<ServerHandle> {
+        match self {
+            ExternalKind::TfServing => tf_serving::start_at(graph, config, addr),
+            ExternalKind::TorchServe => torch_serve::start_at(graph, config, addr),
+            ExternalKind::RayServe => ray_serve::start_at(graph, config, addr),
         }
     }
 

@@ -12,7 +12,7 @@
 //! cost of a Python deployment.
 
 use std::io::BufReader;
-use std::net::TcpStream;
+use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -24,7 +24,7 @@ use crayfish_sim::Cost;
 use crayfish_tensor::{NnGraph, Tensor};
 
 use crate::protocol::{read_http_message, write_http_response, JsonTensor};
-use crate::server::{spawn_listener, ModelPool, ServerHandle, ServingConfig};
+use crate::server::{spawn_listener_on, ModelPool, ServerHandle, ServingConfig};
 use crate::Result;
 
 enum ProxyMsg {
@@ -47,6 +47,12 @@ struct ReplicaJob {
 
 /// Start a Ray Serve analog for `graph` with `config.workers` replicas.
 pub fn start(graph: &NnGraph, config: ServingConfig) -> Result<ServerHandle> {
+    start_at(graph, config, SocketAddr::from(([127, 0, 0, 1], 0)))
+}
+
+/// Start a Ray Serve analog on a fixed address (port 0 picks an ephemeral
+/// one); used to restore a crashed server on the same endpoint.
+pub fn start_at(graph: &NnGraph, config: ServingConfig, addr: SocketAddr) -> Result<ServerHandle> {
     let loader = OnnxRuntime::new();
     let graph = graph.clone();
     // Replicas share a model pool sized to the replica count; replica
@@ -59,7 +65,7 @@ pub fn start(graph: &NnGraph, config: ServingConfig) -> Result<ServerHandle> {
     let (replica_tx, replica_rx) = unbounded::<ReplicaJob>();
 
     let conn_proxy_tx = proxy_tx.clone();
-    let handle = spawn_listener("ray-serve", move |stream| {
+    let handle = spawn_listener_on("ray-serve", addr, move |stream| {
         handle_connection(stream, &conn_proxy_tx);
     })?;
     let stop = handle.shutdown_flag();

@@ -1,0 +1,343 @@
+//! A self-healing [`ScoringClient`].
+//!
+//! Wraps any external-serving connection with the resilience layer the
+//! chaos tests exercise: per-call socket deadlines, bounded retries with
+//! exponential backoff and deterministic jitter, reconnect after resets or
+//! server crashes, and a circuit breaker that fails fast while the backend
+//! is down (with half-open probing once the cooldown elapses). Chaos hooks
+//! let a fault plan degrade the connection deterministically; with a
+//! disabled [`ChaosHandle`] every hook is a single branch, so the wrapper
+//! adds no measurable cost to a healthy call.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use crayfish_chaos::{BreakerConfig, ChaosHandle, CircuitBreaker, Domain, RetryPolicy};
+use crayfish_sim::NetworkModel;
+use crayfish_tensor::Tensor;
+
+use crate::client::ScoringClient;
+use crate::{ExternalKind, Result, ServingError};
+
+/// Tuning for [`ResilientClient`].
+#[derive(Debug, Clone)]
+pub struct ResilienceConfig {
+    /// Retry schedule for transient call failures.
+    pub retry: RetryPolicy,
+    /// Circuit-breaker thresholds.
+    pub breaker: BreakerConfig,
+    /// Per-call socket deadline (read and write). `None` leaves calls
+    /// unbounded.
+    pub deadline: Option<Duration>,
+    /// Fault switches; disabled (zero-cost) by default.
+    pub chaos: ChaosHandle,
+    /// Recovery instruments (`retries`, `errors{stage=serving_rpc}`,
+    /// `circuit_state`); disabled by default.
+    pub obs: crayfish_obs::ObsHandle,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            retry: RetryPolicy::quick(),
+            breaker: BreakerConfig::default(),
+            deadline: Some(Duration::from_secs(2)),
+            chaos: ChaosHandle::disabled(),
+            obs: crayfish_obs::ObsHandle::disabled(),
+        }
+    }
+}
+
+/// A [`ScoringClient`] owning the reconnect/retry/breaker logic around a
+/// protocol-appropriate inner connection.
+pub struct ResilientClient {
+    kind: ExternalKind,
+    addr: SocketAddr,
+    network: NetworkModel,
+    config: ResilienceConfig,
+    breaker: CircuitBreaker,
+    /// `None` between a connection-poisoning failure and the reconnect.
+    inner: Option<Box<dyn ScoringClient>>,
+    retries: crayfish_obs::Counter,
+    errors: crayfish_obs::Counter,
+    circuit_state: crayfish_obs::Gauge,
+}
+
+impl ResilientClient {
+    /// Connect eagerly — a dead server at startup is an error, not a retry
+    /// loop — and wrap the connection in the resilience layer.
+    pub fn connect(
+        kind: ExternalKind,
+        addr: SocketAddr,
+        network: NetworkModel,
+        config: ResilienceConfig,
+    ) -> Result<ResilientClient> {
+        let obs = config.obs.clone();
+        let mut client = ResilientClient {
+            kind,
+            addr,
+            network,
+            breaker: CircuitBreaker::new(config.breaker),
+            config,
+            inner: None,
+            retries: obs.counter("retries"),
+            errors: obs.counter_with("errors", "stage", "serving_rpc"),
+            circuit_state: obs.gauge("circuit_state"),
+        };
+        client.inner = Some(client.connect_inner()?);
+        Ok(client)
+    }
+
+    fn connect_inner(&self) -> Result<Box<dyn ScoringClient>> {
+        let mut c = self.kind.connect(self.addr, self.network)?;
+        c.set_deadline(self.config.deadline)?;
+        Ok(c)
+    }
+
+    /// One attempt: breaker gate, chaos degradation, (re)connect, call.
+    fn try_once(&mut self, input: &Tensor) -> Result<Tensor> {
+        if !self.breaker.try_acquire() {
+            self.circuit_state.set(self.breaker.state_code());
+            return Err(ServingError::CircuitOpen);
+        }
+        // Chaos: a degraded network adds latency to every call, and a due
+        // reset kills the connection like a real RST would.
+        if let Some(extra) = self.config.chaos.extra_net_delay() {
+            std::thread::sleep(extra);
+        }
+        if self.config.chaos.connection_reset_due() {
+            self.inner = None;
+            self.breaker.on_failure();
+            self.errors.inc();
+            self.circuit_state.set(self.breaker.state_code());
+            return Err(ServingError::Io(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                "injected connection reset",
+            )));
+        }
+        let result = match self.inner.as_mut() {
+            Some(c) => c.infer(input),
+            None => match self.connect_inner() {
+                Ok(mut c) => {
+                    let r = c.infer(input);
+                    self.inner = Some(c);
+                    r
+                }
+                Err(e) => Err(e),
+            },
+        };
+        match result {
+            Ok(t) => {
+                self.breaker.on_success();
+                self.circuit_state.set(self.breaker.state_code());
+                self.config.chaos.note_success(Domain::Serving);
+                Ok(t)
+            }
+            Err(e) => {
+                match &e {
+                    // Connection-level failure: the socket is gone or
+                    // timed out mid-frame — reconnect next attempt, and
+                    // count it against the breaker.
+                    ServingError::Io(_) | ServingError::Closed => {
+                        self.inner = None;
+                        self.breaker.on_failure();
+                    }
+                    // A desynchronised stream can't be trusted either,
+                    // but a remote inference error is the application's
+                    // problem, not the connection's.
+                    ServingError::Protocol(_) => self.inner = None,
+                    _ => {}
+                }
+                self.errors.inc();
+                self.circuit_state.set(self.breaker.state_code());
+                Err(e)
+            }
+        }
+    }
+
+    /// Current breaker state (for reports and tests).
+    pub fn circuit_state(&self) -> crayfish_chaos::CircuitState {
+        self.breaker.state()
+    }
+}
+
+impl ScoringClient for ResilientClient {
+    fn protocol(&self) -> &'static str {
+        match self.kind {
+            ExternalKind::TfServing | ExternalKind::TorchServe => "grpc",
+            ExternalKind::RayServe => "http",
+        }
+    }
+
+    fn infer(&mut self, input: &Tensor) -> Result<Tensor> {
+        let retries = self.retries.clone();
+        let policy = self.config.retry;
+        policy.run(
+            ServingError::is_transient,
+            |_| retries.inc(),
+            || self.try_once(input),
+        )
+    }
+
+    fn set_deadline(&mut self, deadline: Option<Duration>) -> Result<()> {
+        self.config.deadline = deadline;
+        if let Some(c) = self.inner.as_mut() {
+            c.set_deadline(deadline)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::restart::RestartableServer;
+    use crate::server::{spawn_listener, ServingConfig};
+    use crayfish_chaos::CircuitState;
+    use crayfish_models::tiny;
+    use std::io::Read;
+
+    fn input() -> Tensor {
+        Tensor::seeded_uniform([1, 8, 8], 1, 0.0, 1.0)
+    }
+
+    #[test]
+    fn survives_server_crash_and_restart() {
+        let srv = RestartableServer::start(
+            ExternalKind::TfServing,
+            &tiny::tiny_mlp(1),
+            ServingConfig::default(),
+        )
+        .unwrap();
+        let chaos = ChaosHandle::enabled();
+        let mut client = ResilientClient::connect(
+            ExternalKind::TfServing,
+            srv.addr(),
+            NetworkModel::zero(),
+            ResilienceConfig {
+                retry: RetryPolicy::patient(),
+                chaos: chaos.clone(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        client.infer(&input()).unwrap();
+
+        srv.crash();
+        let srv2 = srv.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(100));
+            srv2.restore().unwrap();
+        });
+        // The call rides through the crash: failed attempts retry with
+        // backoff until the server returns.
+        client.infer(&input()).unwrap();
+        srv.crash();
+    }
+
+    #[test]
+    fn breaker_fails_fast_while_down_then_heals() {
+        let srv = RestartableServer::start(
+            ExternalKind::TfServing,
+            &tiny::tiny_mlp(1),
+            ServingConfig::default(),
+        )
+        .unwrap();
+        let mut client = ResilientClient::connect(
+            ExternalKind::TfServing,
+            srv.addr(),
+            NetworkModel::zero(),
+            ResilienceConfig {
+                retry: RetryPolicy::none(),
+                breaker: BreakerConfig {
+                    failure_threshold: 2,
+                    cooldown: Duration::from_millis(50),
+                    half_open_probes: 1,
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        client.infer(&input()).unwrap();
+        srv.crash();
+        // Consecutive failures trip the breaker...
+        assert!(client.infer(&input()).is_err());
+        assert!(client.infer(&input()).is_err());
+        assert_eq!(client.circuit_state(), CircuitState::Open);
+        // ...after which calls fail fast without touching the socket.
+        let err = client.infer(&input()).unwrap_err();
+        assert!(matches!(err, ServingError::CircuitOpen), "{err}");
+        // Once the server is back and the cooldown elapses, a half-open
+        // probe heals the circuit.
+        srv.restore().unwrap();
+        std::thread::sleep(Duration::from_millis(60));
+        client.infer(&input()).unwrap();
+        assert_eq!(client.circuit_state(), CircuitState::Closed);
+        srv.crash();
+    }
+
+    #[test]
+    fn deadline_bounds_a_stalled_call() {
+        // A black-hole server: accepts, reads, never replies.
+        let server = spawn_listener("black-hole", |mut stream| {
+            let mut buf = [0u8; 1024];
+            while let Ok(n) = stream.read(&mut buf) {
+                if n == 0 {
+                    break;
+                }
+            }
+        })
+        .unwrap();
+        let mut client = ResilientClient::connect(
+            ExternalKind::TfServing,
+            server.addr(),
+            NetworkModel::zero(),
+            ResilienceConfig {
+                retry: RetryPolicy::none(),
+                deadline: Some(Duration::from_millis(150)),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let start = std::time::Instant::now();
+        let err = client.infer(&input()).unwrap_err();
+        let elapsed = start.elapsed();
+        assert!(matches!(err, ServingError::Io(_)), "{err}");
+        assert!(elapsed >= Duration::from_millis(100), "{elapsed:?}");
+        assert!(elapsed < Duration::from_secs(5), "deadline not applied");
+        server.shutdown();
+    }
+
+    #[test]
+    fn degraded_network_resets_are_absorbed() {
+        let srv = RestartableServer::start(
+            ExternalKind::TfServing,
+            &tiny::tiny_mlp(1),
+            ServingConfig::default(),
+        )
+        .unwrap();
+        let chaos = ChaosHandle::enabled();
+        let obs = crayfish_obs::ObsHandle::enabled();
+        let mut client = ResilientClient::connect(
+            ExternalKind::TfServing,
+            srv.addr(),
+            NetworkModel::zero(),
+            ResilienceConfig {
+                chaos: chaos.clone(),
+                obs: obs.clone(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        chaos.set_net_degrade(Duration::from_micros(200), 3, 0);
+        for _ in 0..10 {
+            client.infer(&input()).unwrap();
+        }
+        chaos.clear_net_degrade();
+        assert!(
+            obs.counter("retries").get() > 0,
+            "no reset was ever injected"
+        );
+        srv.crash();
+    }
+}

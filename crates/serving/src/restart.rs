@@ -1,0 +1,127 @@
+//! Crash-and-restore server lifecycle for chaos drills.
+//!
+//! A [`RestartableServer`] wraps any of the three external servers so a
+//! fault plan can kill it mid-run and bring it back **on the same
+//! address** — clients holding the endpoint reconnect once it returns,
+//! which is exactly what the resilient client's retry/breaker path is
+//! built to ride out.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crayfish_tensor::NnGraph;
+
+use crate::server::{ServerHandle, ServingConfig};
+use crate::{ExternalKind, Result};
+
+/// A server that can be crashed and restored on a stable address.
+pub struct RestartableServer {
+    kind: ExternalKind,
+    graph: NnGraph,
+    config: ServingConfig,
+    addr: SocketAddr,
+    handle: Mutex<Option<ServerHandle>>,
+}
+
+impl RestartableServer {
+    /// Start the server on an ephemeral port and remember everything needed
+    /// to rebuild it there. Returned in an `Arc` so injector callbacks and
+    /// the test driver can share it.
+    pub fn start(
+        kind: ExternalKind,
+        graph: &NnGraph,
+        config: ServingConfig,
+    ) -> Result<Arc<RestartableServer>> {
+        let handle = kind.start(graph, config.clone())?;
+        let addr = handle.addr();
+        Ok(Arc::new(RestartableServer {
+            kind,
+            graph: graph.clone(),
+            config,
+            addr,
+            handle: Mutex::new(Some(handle)),
+        }))
+    }
+
+    /// The stable address clients should hold across crashes.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether the server is currently up.
+    pub fn is_up(&self) -> bool {
+        self.handle.lock().is_some()
+    }
+
+    /// Crash the server: sever live connections (clients observe EOF) and
+    /// free the port. Idempotent.
+    pub fn crash(&self) {
+        let handle = self.handle.lock().take();
+        if let Some(h) = handle {
+            h.shutdown();
+        }
+    }
+
+    /// Restore a crashed server on its original address. Idempotent.
+    pub fn restore(&self) -> Result<()> {
+        let mut guard = self.handle.lock();
+        if guard.is_none() {
+            *guard = Some(self.kind.start_at(&self.graph, self.config.clone(), self.addr)?);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{GrpcClient, ScoringClient};
+    use crayfish_models::tiny;
+    use crayfish_sim::NetworkModel;
+    use crayfish_tensor::Tensor;
+    use std::net::TcpStream;
+
+    #[test]
+    fn crash_then_restore_keeps_the_address() {
+        let srv = RestartableServer::start(
+            ExternalKind::TfServing,
+            &tiny::tiny_mlp(1),
+            ServingConfig::default(),
+        )
+        .unwrap();
+        let addr = srv.addr();
+        let input = Tensor::seeded_uniform([1, 8, 8], 1, 0.0, 1.0);
+        let mut c = GrpcClient::connect(addr, NetworkModel::zero()).unwrap();
+        c.infer(&input).unwrap();
+
+        srv.crash();
+        srv.crash(); // idempotent
+        assert!(!srv.is_up());
+        assert!(TcpStream::connect(addr).is_err(), "port still bound");
+
+        srv.restore().unwrap();
+        srv.restore().unwrap(); // idempotent
+        assert!(srv.is_up());
+        let mut c2 = GrpcClient::connect(addr, NetworkModel::zero()).unwrap();
+        c2.infer(&input).unwrap();
+        srv.crash();
+    }
+
+    #[test]
+    fn works_for_every_external_kind() {
+        for kind in ExternalKind::ALL {
+            let srv =
+                RestartableServer::start(kind, &tiny::tiny_mlp(1), ServingConfig::default())
+                    .unwrap();
+            let addr = srv.addr();
+            srv.crash();
+            srv.restore().unwrap();
+            let mut c = kind.connect(addr, NetworkModel::zero()).unwrap();
+            c.infer(&Tensor::seeded_uniform([1, 8, 8], 1, 0.0, 1.0))
+                .unwrap();
+            srv.crash();
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! Shared server machinery: configuration, lifecycle handle, accept loop,
 //! and the worker-instance pool.
 
+use std::collections::HashMap;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -43,15 +44,17 @@ impl Default for ServingConfig {
     }
 }
 
-/// A running server. Dropping the handle shuts the listener down; live
-/// connections end when their clients disconnect.
+/// A running server. Dropping the handle (or calling
+/// [`shutdown`](ServerHandle::shutdown)) stops the listener, joins the
+/// accept loop, and severs every live connection with `Shutdown::Both`, so
+/// clients blocked mid-read observe EOF promptly instead of hanging.
 #[derive(Debug)]
 pub struct ServerHandle {
     name: &'static str,
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
-    connections: Arc<Mutex<Vec<TcpStream>>>,
+    connections: Arc<Mutex<HashMap<u64, TcpStream>>>,
 }
 
 impl ServerHandle {
@@ -76,6 +79,11 @@ impl ServerHandle {
         self.shutdown.clone()
     }
 
+    /// Number of live connections currently tracked.
+    pub fn connection_count(&self) -> usize {
+        self.connections.lock().len()
+    }
+
     fn stop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         // Unblock the accept loop with a throwaway connection.
@@ -83,8 +91,9 @@ impl ServerHandle {
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
         }
-        // Tear down live connections so handler threads exit.
-        for conn in self.connections.lock().drain(..) {
+        // Tear down live connections so handler threads exit and clients
+        // blocked on reads get EOF.
+        for (_, conn) in self.connections.lock().drain() {
             let _ = conn.shutdown(Shutdown::Both);
         }
     }
@@ -150,35 +159,56 @@ impl ModelPool {
     }
 }
 
-/// Spawn a localhost TCP server. `on_connection` is invoked on a fresh
-/// thread per accepted connection.
+/// Spawn a localhost TCP server on an ephemeral port. `on_connection` is
+/// invoked on a fresh thread per accepted connection.
 pub(crate) fn spawn_listener(
     name: &'static str,
     on_connection: impl Fn(TcpStream) + Send + Sync + 'static,
 ) -> Result<ServerHandle> {
-    let listener = TcpListener::bind(("127.0.0.1", 0))?;
+    spawn_listener_on(name, SocketAddr::from(([127, 0, 0, 1], 0)), on_connection)
+}
+
+/// Spawn a TCP server bound to a specific address — used to restart a
+/// crashed server on the endpoint its clients already hold (see
+/// `crate::restart`).
+pub(crate) fn spawn_listener_on(
+    name: &'static str,
+    addr: SocketAddr,
+    on_connection: impl Fn(TcpStream) + Send + Sync + 'static,
+) -> Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
-    let connections: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+    let connections: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
     let flag = shutdown.clone();
     let conns = connections.clone();
     let handler = Arc::new(on_connection);
     let accept_thread = std::thread::Builder::new()
         .name(format!("{name}-accept"))
         .spawn(move || {
+            let mut next_conn_id = 0u64;
             for stream in listener.incoming() {
                 if flag.load(Ordering::SeqCst) {
                     break;
                 }
                 let Ok(stream) = stream else { continue };
                 stream.set_nodelay(true).ok();
+                let id = next_conn_id;
+                next_conn_id += 1;
                 if let Ok(clone) = stream.try_clone() {
-                    conns.lock().push(clone);
+                    conns.lock().insert(id, clone);
                 }
                 let h = handler.clone();
+                let conns = conns.clone();
                 std::thread::Builder::new()
                     .name(format!("{name}-conn"))
-                    .spawn(move || h(stream))
+                    .spawn(move || {
+                        h(stream);
+                        // Drop the registry entry once the handler is done
+                        // so a long-lived server does not accumulate dead
+                        // sockets.
+                        conns.lock().remove(&id);
+                    })
                     .expect("spawn connection handler");
             }
         })
@@ -226,6 +256,69 @@ mod tests {
             h.join().unwrap();
         }
         assert!(peak.load(Ordering::SeqCst) <= 2, "pool leaked concurrency");
+    }
+
+    #[test]
+    fn shutdown_unblocks_blocked_clients() {
+        // The server never writes: a client blocked on a read must see EOF
+        // when the handle shuts down, not hang.
+        let handle = spawn_listener("mute", |mut stream| {
+            let mut buf = [0u8; 1];
+            while let Ok(n) = stream.read(&mut buf) {
+                if n == 0 {
+                    break;
+                }
+            }
+        })
+        .unwrap();
+        let mut c = TcpStream::connect(handle.addr()).unwrap();
+        let t = std::thread::spawn(move || {
+            let mut buf = [0u8; 1];
+            let _ = c.read(&mut buf);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        handle.shutdown();
+        let start = std::time::Instant::now();
+        t.join().unwrap();
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "client stayed blocked after shutdown"
+        );
+    }
+
+    #[test]
+    fn finished_connections_are_pruned() {
+        let handle = spawn_listener("hello", |mut stream| {
+            let _ = stream.write_all(b"hi");
+        })
+        .unwrap();
+        for _ in 0..5 {
+            let mut c = TcpStream::connect(handle.addr()).unwrap();
+            let mut buf = [0u8; 2];
+            c.read_exact(&mut buf).unwrap();
+        }
+        // Entries drain as handlers finish.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        while handle.connection_count() > 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "dead connections never pruned ({} left)",
+                handle.connection_count()
+            );
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn listener_rebinds_a_fixed_addr_after_shutdown() {
+        let first = spawn_listener("fixed", |_s| {}).unwrap();
+        let addr = first.addr();
+        first.shutdown();
+        let second = spawn_listener_on("fixed", addr, |_s| {}).unwrap();
+        assert_eq!(second.addr(), addr);
+        assert!(TcpStream::connect(addr).is_ok());
+        second.shutdown();
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! used to process events concurrently", §3.4.3).
 
 use std::io::BufReader;
-use std::net::TcpStream;
+use std::net::{SocketAddr, TcpStream};
 
 use crayfish_tensor::NnGraph;
 
@@ -15,7 +15,7 @@ use crate::protocol::{
     decode_request_binary, encode_error_binary, encode_tensor_binary, read_frame, write_frame,
 };
 use crate::registry::ModelRegistry;
-use crate::server::{spawn_listener, ServerHandle, ServingConfig};
+use crate::server::{spawn_listener_on, ServerHandle, ServingConfig};
 use crate::Result;
 
 /// Start a TF-Serving analog hosting a single model.
@@ -24,9 +24,16 @@ use crate::Result;
 /// executor internally; the fused plan (shared with the ONNX analog) is
 /// that executor.
 pub fn start(graph: &NnGraph, config: ServingConfig) -> Result<ServerHandle> {
+    start_at(graph, config, SocketAddr::from(([127, 0, 0, 1], 0)))
+}
+
+/// Start a TF-Serving analog on a fixed address (port 0 picks an ephemeral
+/// one) — the fixed form lets a crashed server be restored on the endpoint
+/// its clients already hold (see [`crate::restart`]).
+pub fn start_at(graph: &NnGraph, config: ServingConfig, addr: SocketAddr) -> Result<ServerHandle> {
     let registry = ModelRegistry::new(config);
     registry.deploy("default", graph)?;
-    start_with_registry(registry)
+    start_with_registry_at(registry, addr)
 }
 
 /// Start a TF-Serving analog backed by a [`ModelRegistry`]: the paper's
@@ -34,7 +41,12 @@ pub fn start(graph: &NnGraph, config: ServingConfig) -> Result<ServerHandle> {
 /// versions, and select the model per request, all without touching the
 /// stream processor.
 pub fn start_with_registry(registry: ModelRegistry) -> Result<ServerHandle> {
-    spawn_listener("tf-serving", move |stream| {
+    start_with_registry_at(registry, SocketAddr::from(([127, 0, 0, 1], 0)))
+}
+
+/// [`start_with_registry`] bound to a fixed address.
+pub fn start_with_registry_at(registry: ModelRegistry, addr: SocketAddr) -> Result<ServerHandle> {
+    spawn_listener_on("tf-serving", addr, move |stream| {
         handle_connection(stream, &registry);
     })
 }

@@ -11,7 +11,7 @@
 //! deficit against TF-Serving (§5.1.1).
 
 use std::io::BufReader;
-use std::net::TcpStream;
+use std::net::{SocketAddr, TcpStream};
 
 use crayfish_runtime::{EmbeddedRuntime, TorchRuntime};
 use crayfish_sim::Cost;
@@ -21,11 +21,17 @@ use crate::protocol::{
     decode_tensor_binary, encode_error_binary, encode_tensor_binary, read_frame, write_frame,
     JsonTensor,
 };
-use crate::server::{spawn_listener, ModelPool, ServerHandle, ServingConfig};
+use crate::server::{spawn_listener_on, ModelPool, ServerHandle, ServingConfig};
 use crate::{Result, ServingError};
 
 /// Start a TorchServe analog for `graph`.
 pub fn start(graph: &NnGraph, config: ServingConfig) -> Result<ServerHandle> {
+    start_at(graph, config, SocketAddr::from(([127, 0, 0, 1], 0)))
+}
+
+/// Start a TorchServe analog on a fixed address (port 0 picks an ephemeral
+/// one); used to restore a crashed server on the same endpoint.
+pub fn start_at(graph: &NnGraph, config: ServingConfig, addr: SocketAddr) -> Result<ServerHandle> {
     // Native eager-mode kernels, no graph optimiser.
     let loader = TorchRuntime::new();
     let graph = graph.clone();
@@ -33,7 +39,7 @@ pub fn start(graph: &NnGraph, config: ServingConfig) -> Result<ServerHandle> {
         loader.load_graph(&graph, config.device)
     })?;
     let py_cost = config.overheads.py_handler;
-    spawn_listener("torch-serve", move |stream| {
+    spawn_listener_on("torch-serve", addr, move |stream| {
         handle_connection(stream, &pool, py_cost);
     })
 }

@@ -30,6 +30,7 @@ use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
 use crayfish_broker::{PartitionConsumer, Producer, ProducerConfig};
+use crayfish_core::chaos::{supervise, RetryPolicy, SupervisorConfig, WorkerExit};
 use crayfish_core::scoring::score_payload_obs;
 use crayfish_core::{CoreError, DataProcessor, ProcessorContext, Result, RunningJob};
 use crayfish_sim::{calibration, precise_sleep, Cost, OverheadModel};
@@ -146,6 +147,11 @@ impl DataProcessor for SparkProcessor {
                         let batches_scored = obs.counter("batches_scored");
                         let records_out = obs.counter("records_out");
                         let score_errors = obs.counter("score_errors");
+                        let retries = obs.counter("retries");
+                        // Tasks are past the driver's commit scope, so
+                        // transient scoring failures retry in place rather
+                        // than dropping the record.
+                        let retry = RetryPolicy::patient();
                         // Runs until the driver drops the channel.
                         while let Ok(task) = rx.recv() {
                             // Vectorised framework cost for the whole chunk —
@@ -162,7 +168,12 @@ impl DataProcessor for SparkProcessor {
                             span.stop();
                             let mut written = 0usize;
                             for rec in &task.records {
-                                match score_payload_obs(scorer.as_mut(), rec, &obs) {
+                                let outcome = retry.run(
+                                    CoreError::is_transient,
+                                    |_| retries.inc(),
+                                    || score_payload_obs(scorer.as_mut(), rec, &obs),
+                                );
+                                match outcome {
                                     Ok(out) => {
                                         batches_scored.inc();
                                         let span = obs.timer(crayfish_core::Stage::Emit);
@@ -185,25 +196,60 @@ impl DataProcessor for SparkProcessor {
         }
         drop(task_rx);
 
-        // Driver loop.
-        let mut source = PartitionConsumer::new(
+        // Driver loop. Supervised: a transient fabric failure or an
+        // injected crash ends the incarnation before the batch commits; the
+        // restarted driver rebuilds its consumer at the committed offsets
+        // and replans the batch (at-least-once, duplicates bounded by one
+        // uncommitted micro-batch). The executor pool survives restarts —
+        // the task channel lives inside the driver closure.
+        let source = PartitionConsumer::new(
             ctx.broker.clone(),
             &ctx.input_topic,
             &ctx.group,
             (0..partitions).collect(),
         )?;
-        source.max_poll_records = options.max_records_per_batch;
+        let mut slot = Some(source);
         let flag = stop.clone();
         let obs = ctx.obs().clone();
-        let driver = std::thread::Builder::new()
-            .name("spark-driver".into())
-            .spawn(move || {
+        let chaos = ctx.chaos().clone();
+        let broker = ctx.broker.clone();
+        let input_topic = ctx.input_topic.clone();
+        let group = ctx.group.clone();
+        let driver = supervise(
+            "spark-driver".into(),
+            stop.clone(),
+            obs.clone(),
+            chaos.clone(),
+            SupervisorConfig::default(),
+            move |_incarnation| {
+                let mut source = match slot.take() {
+                    Some(s) => s,
+                    None => match PartitionConsumer::new(
+                        broker.clone(),
+                        &input_topic,
+                        &group,
+                        (0..partitions).collect(),
+                    ) {
+                        Ok(s) => s,
+                        Err(e) if e.is_transient() => {
+                            return WorkerExit::Failed(format!("rebuild driver source: {e}"))
+                        }
+                        Err(_) => return WorkerExit::Stopped,
+                    },
+                };
+                source.max_poll_records = options.max_records_per_batch;
                 let schedule_ns = obs.histogram_ns("spark_schedule");
                 while !flag.load(Ordering::SeqCst) {
+                    if chaos.take_worker_crash() {
+                        return WorkerExit::Failed("injected driver crash".into());
+                    }
                     // (a) Resolve available offsets / pull the micro-batch.
                     let records = match source.poll(Duration::from_millis(50)) {
                         Ok(r) => r,
-                        Err(_) => return,
+                        Err(e) if e.is_transient() => {
+                            return WorkerExit::Failed(format!("poll: {e}"))
+                        }
+                        Err(_) => return WorkerExit::Stopped,
                     };
                     if records.is_empty() {
                         continue;
@@ -233,7 +279,7 @@ impl DataProcessor for SparkProcessor {
                             })
                             .is_err()
                         {
-                            return;
+                            return WorkerExit::Stopped;
                         }
                     }
                     drop(done_tx);
@@ -241,7 +287,7 @@ impl DataProcessor for SparkProcessor {
                     // has finished.
                     for _ in 0..dispatched {
                         if done_rx.recv().is_err() {
-                            return;
+                            return WorkerExit::Stopped;
                         }
                     }
                     // (e) Commit and trigger the next batch.
@@ -250,8 +296,9 @@ impl DataProcessor for SparkProcessor {
                         crayfish_sim::precise_sleep(options.trigger_interval);
                     }
                 }
-            })
-            .map_err(|e| CoreError::Config(format!("spawn spark driver: {e}")))?;
+                WorkerExit::Stopped
+            },
+        );
 
         Ok(Box::new(SparkJob {
             stop,

@@ -1,0 +1,82 @@
+//! Chaos drill: crash the fabric on purpose and read the recovery report.
+//!
+//! Runs one experiment with the full resilience layer on — restartable
+//! external serving behind the resilient client, idempotent producer,
+//! supervised engine workers — while a seeded fault plan injects a broker
+//! partition outage, a serving crash/restart, a network-degradation window,
+//! and a worker crash. The run must finish and the report must show every
+//! incident recovered.
+//!
+//! ```sh
+//! cargo run --release --example chaos_drill [seed]
+//! ```
+//!
+//! The same seed always produces the same fault schedule, so a drill that
+//! surfaced a bug can be replayed bit-for-bit.
+
+use std::time::Duration;
+
+use crayfish::prelude::*;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let duration = Duration::from_secs(4);
+    let kinds = [
+        FaultKind::PartitionOutage,
+        FaultKind::ServingCrash,
+        FaultKind::NetworkDegrade,
+        FaultKind::WorkerCrash,
+    ];
+
+    let obs = ObsHandle::enabled();
+    let mut spec = ExperimentSpec::quick(
+        ModelSpec::TinyMlp,
+        ServingChoice::External {
+            kind: ExternalKind::TfServing,
+            device: Device::Cpu,
+        },
+    );
+    spec.workload = Workload::Constant { rate: 200.0 };
+    spec.duration = duration;
+    spec.mp = 2;
+    spec.obs = obs.clone();
+    spec.chaos = ChaosHandle::enabled();
+    spec.chaos_plan = FaultPlan::generate(seed, duration.mul_f64(0.8), &kinds);
+
+    println!("chaos drill: seed {seed}, {} fault windows over {duration:?}", kinds.len());
+    for w in &spec.chaos_plan.windows {
+        println!(
+            "  {:17} at {:>5} ms for {:>4} ms",
+            w.kind.name(),
+            w.start.as_millis(),
+            w.duration.as_millis()
+        );
+    }
+    println!();
+
+    let result = run_experiment(&FlinkProcessor::new(), &spec).expect("drill failed");
+    let report = result.recovery.expect("chaos run carries a report");
+
+    println!("{report}");
+    println!(
+        "traffic: {} produced, {} scored, {:.0} ev/s, p50 {:.2} ms, p99 {:.2} ms",
+        result.produced,
+        result.consumed,
+        result.throughput_eps,
+        result.latency.p50,
+        result.latency.p99
+    );
+    println!(
+        "resilience: {} retries, {} worker restart(s), {} duplicate re-send(s) dropped by broker dedup",
+        obs.counter("retries").get(),
+        obs.counter("worker_restarts").get(),
+        report.duplicates_dropped
+    );
+    if report.unrecovered > 0 {
+        println!("!! {} incident(s) never recovered — investigate", report.unrecovered);
+        std::process::exit(1);
+    }
+}

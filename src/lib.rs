@@ -30,6 +30,7 @@
 //! paper's evaluation.
 
 pub use crayfish_broker as broker;
+pub use crayfish_chaos as chaos;
 pub use crayfish_core as framework;
 pub use crayfish_flink as flink;
 pub use crayfish_kstreams as kstreams;
@@ -47,6 +48,9 @@ pub mod registry;
 /// The most common imports for writing experiments.
 pub mod prelude {
     pub use crate::registry;
+    pub use crayfish_chaos::{
+        ChaosHandle, FaultKind, FaultPlan, RecoveryReport, RetryPolicy,
+    };
     pub use crayfish_core::{
         run_experiment, DataProcessor, ExperimentResult, ExperimentSpec, ServingChoice, Workload,
     };

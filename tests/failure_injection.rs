@@ -5,6 +5,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crayfish::broker::Broker;
+use crayfish::chaos::poll_until;
 use crayfish::framework::batch::CrayfishDataBatch;
 use crayfish::framework::scoring::ScorerSpec;
 use crayfish::framework::{DataProcessor, ProcessorContext};
@@ -57,10 +58,15 @@ fn input_topic_deleted_mid_run_stops_cleanly() {
         let ctx = embedded(&broker);
         let job = processor.start(ctx).unwrap();
         feed(&broker, 10);
-        std::thread::sleep(Duration::from_millis(200));
+        // Wait (bounded) for output to start flowing before pulling the rug.
+        assert!(
+            poll_until(Duration::from_secs(10), || {
+                broker.total_records("out").unwrap() >= 1
+            }),
+            "{name}: no output before topic deletion"
+        );
         broker.delete_topic("in").unwrap();
-        std::thread::sleep(Duration::from_millis(200));
-        // Tasks observed the error and exited; stop must not hang.
+        // Tasks observe the error and exit; stop must not hang.
         job.stop();
         assert!(broker.total_records("out").unwrap() >= 1, "{name}");
     }
@@ -72,10 +78,16 @@ fn output_topic_deleted_mid_run_stops_cleanly() {
     let ctx = embedded(&broker);
     let job = FlinkProcessor::new().start(ctx).unwrap();
     feed(&broker, 5);
-    std::thread::sleep(Duration::from_millis(200));
+    assert!(
+        poll_until(Duration::from_secs(10), || {
+            broker.total_records("out").unwrap() >= 5
+        }),
+        "no output before topic deletion"
+    );
     broker.delete_topic("out").unwrap();
     feed(&broker, 5);
-    std::thread::sleep(Duration::from_millis(200));
+    // Give the tasks a beat to hit the dead topic, then stop must not hang.
+    std::thread::sleep(Duration::from_millis(100));
     job.stop();
 }
 
@@ -96,14 +108,15 @@ fn external_server_dying_mid_run_does_not_hang_the_engine() {
     );
     let job = KStreamsProcessor::new().start(ctx).unwrap();
     feed(&broker, 10);
-    let deadline = std::time::Instant::now() + Duration::from_secs(5);
-    while broker.total_records("out").unwrap() < 10 && std::time::Instant::now() < deadline {
-        std::thread::sleep(Duration::from_millis(10));
-    }
-    let before = broker.total_records("out").unwrap();
-    assert!(before >= 10);
-    // Kill the server, keep feeding: records fail to score and are skipped;
-    // the engine keeps running and stop() does not hang.
+    assert!(
+        poll_until(Duration::from_secs(10), || {
+            broker.total_records("out").unwrap() >= 10
+        }),
+        "engine never scored the initial batch"
+    );
+    // Kill the server, keep feeding: scoring fails, the supervisor keeps
+    // restarting the worker against the dead address, and stop() must not
+    // hang mid-backoff.
     server.shutdown();
     feed(&broker, 10);
     std::thread::sleep(Duration::from_millis(300));
