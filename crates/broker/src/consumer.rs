@@ -300,11 +300,7 @@ mod tests {
         assert!(c.poll(Duration::from_millis(10)).is_err());
     }
 
-    fn chaos_setup() -> (
-        Arc<Broker>,
-        PartitionConsumer,
-        crayfish_chaos::ChaosHandle,
-    ) {
+    fn chaos_setup() -> (Arc<Broker>, PartitionConsumer, crayfish_chaos::ChaosHandle) {
         let chaos = crayfish_chaos::ChaosHandle::enabled();
         let b = Broker::with_parts(
             NetworkModel::zero(),

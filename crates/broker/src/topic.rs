@@ -344,7 +344,11 @@ mod tests {
         );
         assert_eq!(d3, 1);
         assert_eq!(t.end_offset(0), 3);
-        let vals: Vec<u8> = t.read(0, 0, 10, usize::MAX).iter().map(|r| r.value[0]).collect();
+        let vals: Vec<u8> = t
+            .read(0, 0, 10, usize::MAX)
+            .iter()
+            .map(|r| r.value[0])
+            .collect();
         assert_eq!(vals, b"abc".to_vec());
     }
 

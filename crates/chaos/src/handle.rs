@@ -310,7 +310,13 @@ impl ChaosHandle {
             .collect();
         let fault_time_ms: f64 = incidents
             .iter()
-            .map(|i| i.ended.unwrap_or(now).duration_since(i.started).as_secs_f64() * 1e3)
+            .map(|i| {
+                i.ended
+                    .unwrap_or(now)
+                    .duration_since(i.started)
+                    .as_secs_f64()
+                    * 1e3
+            })
             .sum();
         RecoveryReport::new(
             reports,

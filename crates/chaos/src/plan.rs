@@ -139,7 +139,9 @@ impl FaultPlan {
         for &kind in kinds {
             let start = rng.range_duration(
                 horizon.mul_f64(0.10),
-                horizon.mul_f64(0.50).max(horizon.mul_f64(0.10) + Duration::from_millis(1)),
+                horizon
+                    .mul_f64(0.50)
+                    .max(horizon.mul_f64(0.10) + Duration::from_millis(1)),
             );
             let duration = rng.range_duration(
                 horizon.mul_f64(0.10).max(Duration::from_millis(1)),

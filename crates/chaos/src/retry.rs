@@ -128,8 +128,8 @@ mod tests {
             let b = p.backoff(attempt);
             assert_eq!(a, b);
             let nominal = RetryPolicy { jitter: 0.0, ..p }
-            .backoff(attempt)
-            .as_secs_f64();
+                .backoff(attempt)
+                .as_secs_f64();
             let got = a.as_secs_f64();
             assert!(got >= nominal * 0.8 - 1e-9 && got <= nominal * 1.2 + 1e-9);
         }
@@ -170,18 +170,26 @@ mod tests {
             ..Default::default()
         };
         let mut calls = 0;
-        let out: Result<(), &str> = p.run(|_| true, |_| {}, || {
-            calls += 1;
-            Err("always")
-        });
+        let out: Result<(), &str> = p.run(
+            |_| true,
+            |_| {},
+            || {
+                calls += 1;
+                Err("always")
+            },
+        );
         assert!(out.is_err());
         assert_eq!(calls, 3);
 
         let mut calls = 0;
-        let out: Result<(), &str> = p.run(|_| false, |_| {}, || {
-            calls += 1;
-            Err("permanent")
-        });
+        let out: Result<(), &str> = p.run(
+            |_| false,
+            |_| {},
+            || {
+                calls += 1;
+                Err("permanent")
+            },
+        );
         assert!(out.is_err());
         assert_eq!(calls, 1);
     }

@@ -53,8 +53,7 @@ mod tests {
             thread::sleep(Duration::from_millis(30));
             f2.store(true, Ordering::Relaxed);
         });
-        assert!(poll_until(Duration::from_secs(2), || flag
-            .load(Ordering::Relaxed)));
+        assert!(poll_until(Duration::from_secs(2), || flag.load(Ordering::Relaxed)));
         t.join().unwrap();
     }
 

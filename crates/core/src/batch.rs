@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 use crayfish_tensor::{Shape, Tensor};
 
 use crate::error::CoreError;
+use crate::obs::{ObsHandle, Stage};
 use crate::Result;
 
 /// A batch of `bsz` data points travelling through the pipeline as one
@@ -114,6 +115,163 @@ impl ScoredBatch {
     /// Parse from the wire.
     pub fn decode(bytes: &[u8]) -> Result<ScoredBatch> {
         serde_json::from_slice(bytes).map_err(|e| CoreError::Codec(format!("scored decode: {e}")))
+    }
+}
+
+/// Decode one wire payload into its batch and `[bsz, ..item]` input tensor
+/// inside a `decode` span. This is the input half of every engine's scoring
+/// operator; the engine kernel (via [`crate::scoring::score_payload_obs`])
+/// is its only caller on the data path, so the wire format and its span
+/// accounting cannot drift between engines.
+pub fn decode_input_obs(payload: &[u8], obs: &ObsHandle) -> Result<(CrayfishDataBatch, Tensor)> {
+    let span = obs.timer(Stage::Decode);
+    let batch = CrayfishDataBatch::decode(payload)?;
+    let input = batch.to_tensor()?;
+    span.stop();
+    Ok((batch, input))
+}
+
+/// Encode the scoring output against its originating batch inside an
+/// `encode` span — the output half of every engine's scoring operator.
+pub fn encode_output_obs(
+    input: &CrayfishDataBatch,
+    output: &Tensor,
+    obs: &ObsHandle,
+) -> Result<Bytes> {
+    let span = obs.timer(Stage::Encode);
+    let encoded = ScoredBatch::from_output(input, output).encode();
+    span.stop();
+    encoded
+}
+
+/// Shared wire-format helpers for engine and conformance tests: every suite
+/// feeds seeded `CrayfishDataBatch` payloads in and reads distinct
+/// `ScoredBatch` ids out, so the helpers live here once instead of being
+/// copied into each engine crate.
+pub mod testkit {
+    use std::collections::BTreeSet;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    use bytes::Bytes;
+
+    use crayfish_broker::Broker;
+    use crayfish_models::tiny;
+    use crayfish_runtime::{Device, EmbeddedLib};
+    use crayfish_sim::now_millis_f64;
+    use crayfish_tensor::Tensor;
+
+    use super::{CrayfishDataBatch, ScoredBatch};
+    use crate::processor::ProcessorContext;
+    use crate::scoring::ScorerSpec;
+
+    /// The standard engine-test cell: fresh `partitions`-way `in`/`out`
+    /// topics on `broker` and a context scoring with the embedded ONNX tiny
+    /// MLP. Tests that need a different scorer overwrite `ctx.scorer`.
+    pub fn onnx_ctx(broker: Arc<Broker>, partitions: u32, mp: usize) -> ProcessorContext {
+        broker.create_topic("in", partitions).unwrap();
+        broker.create_topic("out", partitions).unwrap();
+        ProcessorContext {
+            broker,
+            input_topic: "in".into(),
+            output_topic: "out".into(),
+            group: "sut".into(),
+            scorer: ScorerSpec::Embedded {
+                lib: EmbeddedLib::Onnx,
+                graph: Arc::new(tiny::tiny_mlp(1)),
+                device: Device::Cpu,
+            },
+            mp,
+        }
+    }
+
+    /// A deterministic `[1, 8, 8]` input payload with `id` as the seed.
+    pub fn seeded_payload(id: u64) -> Bytes {
+        let t = Tensor::seeded_uniform([1, 8, 8], id, 0.0, 1.0);
+        CrayfishDataBatch::from_tensor(id, now_millis_f64(), &t)
+            .encode()
+            .expect("encode seeded payload")
+    }
+
+    /// Append seeded payloads with ids `from..to`, spread round-robin over
+    /// `topic`'s `partitions`.
+    pub fn feed_range(broker: &Broker, topic: &str, partitions: u32, from: u64, to: u64) {
+        for id in from..to {
+            broker
+                .append(
+                    topic,
+                    (id % u64::from(partitions.max(1))) as u32,
+                    vec![(seeded_payload(id), now_millis_f64())],
+                )
+                .expect("append input payload");
+        }
+    }
+
+    /// [`feed_range`] from 0.
+    pub fn feed(broker: &Broker, topic: &str, partitions: u32, n: u64) {
+        feed_range(broker, topic, partitions, 0, n);
+    }
+
+    /// Read `topic` from the beginning until `done` says the batches read
+    /// so far suffice (or `timeout` elapses) and return them in read order.
+    fn drain_until(
+        broker: &Broker,
+        topic: &str,
+        partitions: u32,
+        timeout: Duration,
+        done: impl Fn(&[ScoredBatch]) -> bool,
+    ) -> Vec<ScoredBatch> {
+        let deadline = Instant::now() + timeout;
+        let mut out = Vec::new();
+        let mut offsets = vec![0u64; partitions as usize];
+        while !done(&out) && Instant::now() < deadline {
+            for p in 0..partitions {
+                let recs = broker
+                    .read(topic, p, offsets[p as usize], 10_000, usize::MAX)
+                    .expect("read output topic");
+                if let Some(last) = recs.last() {
+                    offsets[p as usize] = last.offset + 1;
+                }
+                for r in recs {
+                    out.push(ScoredBatch::decode(&r.value).expect("decode scored batch"));
+                }
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        out
+    }
+
+    /// Drain until `expect` scored batches have appeared; duplicates —
+    /// legal under at-least-once delivery — are included and counted.
+    pub fn drain_scored(
+        broker: &Broker,
+        topic: &str,
+        partitions: u32,
+        expect: usize,
+        timeout: Duration,
+    ) -> Vec<ScoredBatch> {
+        drain_until(broker, topic, partitions, timeout, |out| {
+            out.len() >= expect
+        })
+    }
+
+    /// The set of distinct batch ids in `scored`.
+    pub fn distinct_ids(scored: &[ScoredBatch]) -> BTreeSet<u64> {
+        scored.iter().map(|s| s.id).collect()
+    }
+
+    /// Drain until `expect` *distinct* ids have appeared, tolerant of the
+    /// duplicates a crash-recovery replay produces.
+    pub fn drain_distinct(
+        broker: &Broker,
+        topic: &str,
+        partitions: u32,
+        expect: usize,
+        timeout: Duration,
+    ) -> Vec<ScoredBatch> {
+        drain_until(broker, topic, partitions, timeout, |out| {
+            distinct_ids(out).len() >= expect
+        })
     }
 }
 

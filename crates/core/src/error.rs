@@ -97,11 +97,13 @@ mod tests {
 
     #[test]
     fn transient_follows_the_source_error() {
-        assert!(CoreError::Broker(crayfish_broker::BrokerError::Unavailable {
-            topic: "in".into(),
-            partition: 0,
-        })
-        .is_transient());
+        assert!(
+            CoreError::Broker(crayfish_broker::BrokerError::Unavailable {
+                topic: "in".into(),
+                partition: 0,
+            })
+            .is_transient()
+        );
         assert!(CoreError::Serving(crayfish_serving::ServingError::Closed).is_transient());
         assert!(!CoreError::Codec("bad payload".into()).is_transient());
         assert!(!CoreError::Config("bad mp".into()).is_transient());

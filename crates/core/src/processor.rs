@@ -47,10 +47,25 @@ impl ProcessorContext {
         self.broker.chaos()
     }
 
-    /// Validate common invariants before an engine starts.
+    /// Validate common invariants before an engine starts. Catching these
+    /// here keeps misconfigurations out of the worker loop, where they
+    /// would surface as confusing mid-run failures: an empty group cannot
+    /// track committed offsets, and a shared input/output topic feeds the
+    /// engine its own scored output.
     pub fn validate(&self) -> Result<()> {
         if self.mp == 0 {
             return Err(crate::CoreError::Config("mp must be >= 1".into()));
+        }
+        if self.group.is_empty() {
+            return Err(crate::CoreError::Config(
+                "consumer group must be non-empty".into(),
+            ));
+        }
+        if self.input_topic == self.output_topic {
+            return Err(crate::CoreError::Config(format!(
+                "input and output topics must differ (both {:?})",
+                self.input_topic
+            )));
         }
         self.broker.partitions(&self.input_topic)?;
         self.broker.partitions(&self.output_topic)?;
@@ -111,5 +126,21 @@ mod tests {
         let mut c = ctx(1);
         c.input_topic = "missing".into();
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_empty_group() {
+        let mut c = ctx(1);
+        c.group = String::new();
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("group"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_input_equal_to_output() {
+        let mut c = ctx(1);
+        c.output_topic = c.input_topic.clone();
+        let err = c.validate().unwrap_err();
+        assert!(err.to_string().contains("differ"), "{err}");
     }
 }

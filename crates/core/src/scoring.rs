@@ -15,7 +15,6 @@ use crayfish_serving::{ExternalKind, ScoringClient};
 use crayfish_sim::NetworkModel;
 use crayfish_tensor::{NnGraph, Tensor};
 
-use crate::batch::{CrayfishDataBatch, ScoredBatch};
 use crate::Result;
 
 /// Something that can score a batched tensor.
@@ -180,24 +179,19 @@ pub fn score_payload_obs(
     payload: &[u8],
     obs: &crate::obs::ObsHandle,
 ) -> Result<bytes::Bytes> {
-    let span = obs.timer(crate::obs::Stage::Decode);
-    let batch = CrayfishDataBatch::decode(payload)?;
-    let input = batch.to_tensor()?;
-    span.stop();
+    let (batch, input) = crate::batch::decode_input_obs(payload, obs)?;
 
     let span = obs.timer(scorer.obs_stage());
     let output = scorer.score(&input)?;
     span.stop();
 
-    let span = obs.timer(crate::obs::Stage::Encode);
-    let encoded = ScoredBatch::from_output(&batch, &output).encode();
-    span.stop();
-    encoded
+    crate::batch::encode_output_obs(&batch, &output, obs)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::batch::{CrayfishDataBatch, ScoredBatch};
     use crayfish_models::tiny;
     use crayfish_sim::now_millis_f64;
 

@@ -1,0 +1,86 @@
+//! # crayfish-engine-kernel
+//!
+//! The shared execution substrate behind every Crayfish engine.
+//!
+//! §3.2 of the paper defines a data processor as "a DAG of an input
+//! operator, a scoring operator, and an output operator". Every engine this
+//! repo ships — Flink, Kafka Streams, Spark Structured Streaming, Ray —
+//! runs exactly that supervised consume → decode → score → encode → produce
+//! → commit lifecycle; what genuinely differs between them is *topology and
+//! discipline*, not the lifecycle itself. This crate owns the lifecycle
+//! once:
+//!
+//! * [`worker::WorkerSet`] — thread ownership, supervision (via
+//!   `crayfish-chaos`'s [`supervise`]), restart-from-committed-offset
+//!   resource rebuilding ([`worker::Rebuild`]), injected-crash checkpoints
+//!   ([`worker::Ctl`]), and graceful [`RunningJob`] shutdown.
+//! * [`pipeline`] — the full-chain [`pipeline::PipelineWorker`] loop: poll
+//!   a fetch, charge the engine's calibrated per-record framework cost
+//!   (`ingest` span), funnel each record through the shared scoring body
+//!   (`decode`/`inference`|`serving_rpc`/`encode` spans), emit to the sink
+//!   producer (`emit` span), then commit — the commit-owning worker both
+//!   Kafka Streams and chained Flink are made of.
+//! * [`source`] — the commit-owning half alone ([`source::source_pump`]):
+//!   poll → forward into a personality-owned sink (exchange, mailbox, task
+//!   channel) → commit. Used by unchained Flink sources, Flink async
+//!   chains, and Ray input actors.
+//! * [`score`] — the scoring stage *past* the commit scope
+//!   ([`score::ScoreStage`]: transient failures retry in place instead of
+//!   replaying committed input) and the emitting sink
+//!   ([`score::ProducerSink`]). Used by Flink scoring tasks and async
+//!   workers, Spark executors, and Ray scoring actors.
+//!
+//! An engine is reduced to an [`EnginePersonality`]: a name plus a
+//! `deploy` that wires kernel pieces into that engine's topology. The
+//! personality expresses only what the paper says makes the engine itself —
+//! Flink's operator chains and exchange repartitioning, Kafka Streams'
+//! strict pull cycle, Spark's micro-batch trigger clock and barrier, Ray's
+//! actor pools and object-store hops. Everything an engine does *not* own
+//! (span taxonomy, chaos hooks, commit discipline, restart semantics) lands
+//! here exactly once, so future scaling work — dynamic rebalancing,
+//! adaptive batching, backpressure — changes one crate, not four.
+
+pub mod pipeline;
+pub mod score;
+pub mod source;
+pub mod worker;
+
+pub use pipeline::{pipeline_workers, PipelineSettings};
+pub use score::{charge_ingest, charge_ingest_chunk, ingest_span, ProducerSink, ScoreStage};
+pub use source::{source_pump, PumpSettings, RecordSink, SinkClosed};
+pub use worker::{Ctl, Rebuild, WorkerSet};
+
+// The supervisor lives in `crayfish-chaos`; engines reach it through the
+// kernel so there is exactly one supervision story.
+pub use crayfish_core::chaos::{supervise, RetryPolicy, SupervisorConfig, WorkerExit};
+
+use crayfish_core::{ProcessorContext, Result, RunningJob};
+
+/// What an engine still owns once the kernel owns the record lifecycle.
+///
+/// `deploy` receives the validated [`ProcessorContext`] and an empty
+/// [`WorkerSet`]; it wires up the engine's topology from kernel pieces
+/// (pipeline workers, source pumps, score stages) plus whatever structures
+/// are genuinely that engine's own (exchanges, mailboxes, barriers).
+/// Threads must be registered in upstream-to-downstream order: shutdown
+/// joins them in registration order, so upstream senders drop before
+/// downstream receivers wait on disconnection.
+pub trait EnginePersonality {
+    /// Engine name as used in configurations ("flink", "kstreams", ...).
+    fn name(&self) -> &'static str;
+    /// Build the engine's topology out of kernel parts.
+    fn deploy(&self, ctx: &ProcessorContext, set: &mut WorkerSet) -> Result<()>;
+}
+
+/// Deploy a personality: validate the context, let the personality wire its
+/// topology, and hand back the running job. This is the whole body of every
+/// engine's `DataProcessor::start`.
+pub fn start(
+    personality: &impl EnginePersonality,
+    ctx: ProcessorContext,
+) -> Result<Box<dyn RunningJob>> {
+    ctx.validate()?;
+    let mut set = WorkerSet::new();
+    personality.deploy(&ctx, &mut set)?;
+    Ok(set.into_job())
+}

@@ -1,0 +1,204 @@
+//! The commit-owning source half of a split topology.
+//!
+//! When an engine separates ingestion from scoring (unchained Flink, async
+//! Flink chains, Ray actor pipelines), the record lifecycle splits at the
+//! offset commit: everything up to the commit is a supervised
+//! [`source_pump`] here, and everything past it is assembled from
+//! [`crate::score`] pieces behind a personality-owned transport. The
+//! transport — exchange, mailbox, task channel — is abstracted as a
+//! [`RecordSink`], which is the only part the personality implements.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::Sender;
+
+use crayfish_broker::PartitionConsumer;
+use crayfish_core::chaos::WorkerExit;
+use crayfish_core::{ProcessorContext, Result};
+use crayfish_sim::Cost;
+
+use crate::score::charge_ingest;
+use crate::worker::{Rebuild, WorkerSet};
+
+/// The downstream side of a sink or transport has gone away; the stage
+/// winds down gracefully.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SinkClosed;
+
+/// Where a source pump hands records off to: an engine's transport into
+/// its scoring stage.
+pub trait RecordSink: Send {
+    /// Forward one record (blocking on backpressure).
+    fn deliver(&mut self, value: Bytes) -> std::result::Result<(), SinkClosed>;
+    /// Called once per poll cycle, after the offset commit — buffered
+    /// transports flush aged buffers here.
+    fn after_cycle(&mut self) -> std::result::Result<(), SinkClosed> {
+        Ok(())
+    }
+    /// Called on graceful shutdown — buffered transports drain here.
+    fn on_stop(&mut self) {}
+}
+
+/// A plain bounded/unbounded channel is a valid transport (async Flink's
+/// in-flight queue, Ray's actor mailbox).
+impl RecordSink for Sender<Bytes> {
+    fn deliver(&mut self, value: Bytes) -> std::result::Result<(), SinkClosed> {
+        self.send(value).map_err(|_| SinkClosed)
+    }
+}
+
+/// Source-pump tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct PumpSettings {
+    /// Poll timeout per cycle.
+    pub poll_timeout: Duration,
+    /// Per-record framework cost charged inside an `ingest` span before
+    /// the handoff; `None` opens no span (the engine charges ingestion
+    /// elsewhere, e.g. Ray's object-store get on the receiving actor).
+    pub ingest_cost: Option<Cost>,
+}
+
+impl Default for PumpSettings {
+    fn default() -> Self {
+        PumpSettings {
+            poll_timeout: Duration::from_millis(50),
+            ingest_cost: None,
+        }
+    }
+}
+
+/// Register a supervised source pump: poll the assigned partitions,
+/// forward every record into `sink`, commit, repeat. The sink lives across
+/// incarnations — a restarted pump rebuilds only its consumer, resuming
+/// from the committed offsets, while records already handed off continue
+/// downstream.
+pub fn source_pump<S>(
+    set: &mut WorkerSet,
+    ctx: &ProcessorContext,
+    name: String,
+    assigned: Vec<u32>,
+    settings: PumpSettings,
+    mut sink: S,
+) -> Result<()>
+where
+    S: RecordSink + 'static,
+{
+    let broker = ctx.broker.clone();
+    let input = ctx.input_topic.clone();
+    let group = ctx.group.clone();
+    let resources = Rebuild::eager(move || {
+        Ok(PartitionConsumer::new(
+            broker.clone(),
+            &input,
+            &group,
+            assigned.clone(),
+        )?)
+    })?;
+    let obs = ctx.obs().clone();
+    let commits = obs.counter("engine_commits");
+    set.supervised(ctx, name, resources, move |consumer, ctl| loop {
+        if let Some(exit) = ctl.checkpoint() {
+            if exit == WorkerExit::Stopped {
+                sink.on_stop();
+            }
+            return exit;
+        }
+        let records = match consumer.poll(settings.poll_timeout) {
+            Ok(r) => r,
+            Err(e) if e.is_transient() => return WorkerExit::Failed(format!("poll: {e}")),
+            Err(_) => {
+                sink.on_stop();
+                return WorkerExit::Stopped;
+            }
+        };
+        for rec in records {
+            if let Some(cost) = settings.ingest_cost {
+                charge_ingest(&obs, cost, rec.value.len());
+            }
+            if sink.deliver(rec.value).is_err() {
+                return WorkerExit::Stopped;
+            }
+        }
+        consumer.commit();
+        commits.inc();
+        if sink.after_cycle().is_err() {
+            return WorkerExit::Stopped;
+        }
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crayfish_broker::Broker;
+    use crayfish_core::batch::testkit::onnx_ctx;
+    use crayfish_sim::NetworkModel;
+
+    fn make_ctx() -> ProcessorContext {
+        onnx_ctx(Broker::new(NetworkModel::zero()), 4, 1)
+    }
+
+    #[test]
+    fn pump_forwards_records_and_commits() {
+        let ctx = make_ctx();
+        let broker = ctx.broker.clone();
+        let (tx, rx) = crossbeam::channel::unbounded::<Bytes>();
+        let mut set = WorkerSet::new();
+        source_pump(
+            &mut set,
+            &ctx,
+            "pump-0".into(),
+            vec![0, 1, 2, 3],
+            PumpSettings::default(),
+            tx,
+        )
+        .unwrap();
+        for id in 0..10u64 {
+            broker
+                .append(
+                    "in",
+                    (id % 4) as u32,
+                    vec![(Bytes::from(vec![id as u8]), 0.0)],
+                )
+                .unwrap();
+        }
+        for _ in 0..10 {
+            rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        crayfish_core::chaos::testkit::poll_until(Duration::from_secs(5), || {
+            broker.group_lag("sut", "in").unwrap() == 0
+        });
+        assert_eq!(broker.group_lag("sut", "in").unwrap(), 0);
+        set.into_job().stop();
+    }
+
+    #[test]
+    fn pump_stops_when_sink_disconnects() {
+        let ctx = make_ctx();
+        let broker = ctx.broker.clone();
+        // Keep only the sender: the receiving side is gone from the start.
+        let tx = {
+            let (tx, _rx) = crossbeam::channel::unbounded::<Bytes>();
+            tx
+        };
+        let mut set = WorkerSet::new();
+        source_pump(
+            &mut set,
+            &ctx,
+            "pump-0".into(),
+            vec![0, 1, 2, 3],
+            PumpSettings::default(),
+            tx,
+        )
+        .unwrap();
+        broker
+            .append("in", 0, vec![(Bytes::from_static(b"x"), 0.0)])
+            .unwrap();
+        // The pump notices the disconnect and exits; stop() returns
+        // promptly instead of hanging on a live thread.
+        set.into_job().stop();
+    }
+}

@@ -1,0 +1,229 @@
+//! Thread ownership, supervision, and restartable resources.
+//!
+//! A [`WorkerSet`] owns every thread an engine deploys: supervised
+//! commit-owning workers (restarted from committed offsets after crashes)
+//! and plain tasks that live past commit scope and end when their input
+//! channel disconnects. [`WorkerSet::into_job`] turns the set into the
+//! [`RunningJob`] handed back to the runner; stopping raises the shared
+//! stop flag and joins threads in registration order, so engines register
+//! upstream stages first and downstream stages observe channel
+//! disconnection once their senders are joined away.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crayfish_core::chaos::{supervise, ChaosHandle, SupervisorConfig, WorkerExit};
+use crayfish_core::{CoreError, ProcessorContext, Result, RunningJob};
+
+/// Per-worker control surface: the job's stop flag plus the run's chaos
+/// switchboard. Workers call [`Ctl::checkpoint`] at the top of each cycle.
+pub struct Ctl {
+    stop: Arc<AtomicBool>,
+    chaos: ChaosHandle,
+}
+
+impl Ctl {
+    /// Whether the job's stop flag is raised.
+    pub fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// The per-cycle supervision checkpoint: a raised stop flag ends the
+    /// worker for good; a pending injected crash fails the incarnation so
+    /// the supervisor restarts it from the committed offsets.
+    pub fn checkpoint(&self) -> Option<WorkerExit> {
+        if self.stopping() {
+            return Some(WorkerExit::Stopped);
+        }
+        if self.chaos.take_worker_crash() {
+            return Some(WorkerExit::Failed("injected worker crash".into()));
+        }
+        None
+    }
+}
+
+/// A worker's restartable resources (consumer, producer, scorer, …).
+///
+/// The first incarnation's resources are built eagerly, so startup errors
+/// (missing topic, unreachable serving) surface from `DataProcessor::start`
+/// rather than dying silently inside a thread. Each restarted incarnation
+/// rebuilds from the factory — consumers come back at the broker's
+/// committed offsets, which is what makes restarts at-least-once.
+pub struct Rebuild<R> {
+    built: Option<R>,
+    factory: Box<dyn FnMut() -> Result<R> + Send>,
+}
+
+impl<R> Rebuild<R> {
+    /// Build the first incarnation's resources now; keep the factory for
+    /// restarts.
+    pub fn eager<F>(mut factory: F) -> Result<Self>
+    where
+        F: FnMut() -> Result<R> + Send + 'static,
+    {
+        let built = factory()?;
+        Ok(Rebuild {
+            built: Some(built),
+            factory: Box::new(factory),
+        })
+    }
+
+    /// Resources for the next incarnation: the eagerly built set first,
+    /// fresh builds after. A transient build failure fails the incarnation
+    /// (the supervisor backs off and retries); a terminal one ends the
+    /// worker.
+    pub fn acquire(&mut self) -> std::result::Result<R, WorkerExit> {
+        if let Some(r) = self.built.take() {
+            return Ok(r);
+        }
+        match (self.factory)() {
+            Ok(r) => Ok(r),
+            Err(e) if e.is_transient() => Err(WorkerExit::Failed(format!("rebuild: {e}"))),
+            Err(_) => Err(WorkerExit::Stopped),
+        }
+    }
+}
+
+/// The threads of one deployed engine job.
+#[derive(Default)]
+pub struct WorkerSet {
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl WorkerSet {
+    /// An empty set with a fresh stop flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The job's stop flag, for personality code that needs to observe
+    /// shutdown outside a supervised body.
+    pub fn stop_flag(&self) -> Arc<AtomicBool> {
+        self.stop.clone()
+    }
+
+    /// Register a supervised worker: each incarnation acquires its
+    /// resources from `resources` and runs `body` until it returns. Failed
+    /// incarnations (including panics and injected crashes) restart with a
+    /// backoff; `Stopped` ends the thread.
+    pub fn supervised<R, F>(
+        &mut self,
+        ctx: &ProcessorContext,
+        name: String,
+        mut resources: Rebuild<R>,
+        mut body: F,
+    ) where
+        R: Send + 'static,
+        F: FnMut(&mut R, &Ctl) -> WorkerExit + Send + 'static,
+    {
+        let ctl = Ctl {
+            stop: self.stop.clone(),
+            chaos: ctx.chaos().clone(),
+        };
+        self.threads.push(supervise(
+            name,
+            self.stop.clone(),
+            ctx.obs().clone(),
+            ctx.chaos().clone(),
+            SupervisorConfig::default(),
+            move |_incarnation| {
+                let mut r = match resources.acquire() {
+                    Ok(r) => r,
+                    Err(exit) => return exit,
+                };
+                body(&mut r, &ctl)
+            },
+        ));
+    }
+
+    /// Register a plain (unsupervised) task thread. Used for stages past
+    /// commit scope that end when their input channel disconnects.
+    pub fn task(&mut self, name: String, body: impl FnOnce() + Send + 'static) -> Result<()> {
+        let handle = std::thread::Builder::new()
+            .name(name.clone())
+            .spawn(body)
+            .map_err(|e| CoreError::Config(format!("spawn {name}: {e}")))?;
+        self.threads.push(handle);
+        Ok(())
+    }
+
+    /// Seal the set into the job handle the runner stops.
+    pub fn into_job(self) -> Box<dyn RunningJob> {
+        Box::new(KernelJob {
+            stop: self.stop,
+            threads: self.threads,
+        })
+    }
+}
+
+struct KernelJob {
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl RunningJob for KernelJob {
+    fn stop(mut self: Box<Self>) {
+        self.stop.store(true, Ordering::SeqCst);
+        for h in self.threads.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eager_rebuild_surfaces_startup_errors() {
+        let r: Result<Rebuild<u32>> =
+            Rebuild::eager(|| Err(CoreError::Config("no such scorer".into())));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn acquire_returns_eager_build_then_factory_builds() {
+        let mut calls = 0u32;
+        let mut r = Rebuild::eager(move || {
+            calls += 1;
+            Ok(calls)
+        })
+        .unwrap();
+        assert_eq!(r.acquire().unwrap(), 1);
+        assert_eq!(r.acquire().unwrap(), 2);
+        assert_eq!(r.acquire().unwrap(), 3);
+    }
+
+    #[test]
+    fn acquire_maps_error_transience_to_exits() {
+        let mut first = true;
+        let mut r: Rebuild<u32> = Rebuild::eager(move || {
+            if first {
+                first = false;
+                Ok(0)
+            } else {
+                Err(CoreError::Serving(crayfish_serving::ServingError::Closed))
+            }
+        })
+        .unwrap();
+        r.acquire().unwrap();
+        assert!(matches!(r.acquire(), Err(WorkerExit::Failed(_))));
+    }
+
+    #[test]
+    fn checkpoint_honours_stop_and_injected_crashes() {
+        let chaos = ChaosHandle::enabled();
+        let ctl = Ctl {
+            stop: Arc::new(AtomicBool::new(false)),
+            chaos: chaos.clone(),
+        };
+        assert_eq!(ctl.checkpoint(), None);
+        chaos.inject_worker_crashes(1);
+        assert!(matches!(ctl.checkpoint(), Some(WorkerExit::Failed(_))));
+        assert_eq!(ctl.checkpoint(), None);
+        ctl.stop.store(true, Ordering::SeqCst);
+        assert_eq!(ctl.checkpoint(), Some(WorkerExit::Stopped));
+    }
+}

@@ -10,6 +10,7 @@
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
+use crayfish_core::obs::Counter;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, SendError, Sender};
 
 /// A shipped network buffer: a group of serialized records.
@@ -43,6 +44,7 @@ pub struct ExchangeSender {
     timeout: Duration,
     last_flush: Instant,
     rr: usize,
+    shipped: Option<Counter>,
 }
 
 impl ExchangeSender {
@@ -56,7 +58,15 @@ impl ExchangeSender {
             timeout,
             last_flush: Instant::now(),
             rr: 0,
+            shipped: None,
         }
+    }
+
+    /// Count every shipped buffer on `counter` (the job-level
+    /// `flink_exchange_buffers` personality marker).
+    pub fn with_counter(mut self, counter: Counter) -> Self {
+        self.shipped = Some(counter);
+        self
     }
 
     /// Push one record; ships the current buffer if it is full. Blocks on
@@ -90,7 +100,11 @@ impl ExchangeSender {
         let n = self.outputs.len();
         let target = &self.outputs[self.rr % n];
         self.rr = (self.rr + 1) % n;
-        target.send(buf)
+        target.send(buf)?;
+        if let Some(c) = &self.shipped {
+            c.inc();
+        }
+        Ok(())
     }
 }
 
@@ -176,6 +190,17 @@ mod tests {
         assert!(!h.is_finished(), "no backpressure on full channel");
         rxs[0].recv().unwrap();
         h.join().unwrap();
+    }
+
+    #[test]
+    fn shipped_buffers_are_counted() {
+        let obs = crayfish_core::obs::ObsHandle::enabled();
+        let (txs, _rxs) = channels(1, 4);
+        let mut sender = ExchangeSender::new(txs, 1, Duration::ZERO)
+            .with_counter(obs.counter("flink_exchange_buffers"));
+        sender.push(Bytes::from_static(b"abc")).unwrap();
+        sender.push(Bytes::from_static(b"abc")).unwrap();
+        assert_eq!(obs.counter("flink_exchange_buffers").get(), 2);
     }
 
     #[test]

@@ -1,14 +1,27 @@
-//! The Flink-style job: topology construction and task threads.
+//! The Flink-style job: topology construction over the engine kernel.
+//!
+//! Flink's three deployment shapes are three arrangements of the same
+//! kernel pieces:
+//!
+//! * **Chained** (`flink[N-N-N]`): each subtask is the kernel's full-chain
+//!   pipeline worker — the same loop as a Kafka Streams thread, minus the
+//!   pre-commit sink flush (Flink checkpoints without flushing).
+//! * **Unchained** (`flink[32-N-32]`): supervised source pumps feed
+//!   network-buffer exchanges (see [`crate::exchange`]) that repartition
+//!   records round-robin across scoring tasks and again across sink tasks;
+//!   every shipped buffer increments `flink_exchange_buffers`.
+//! * **Async chained**: the chain keeps up to `async_io` scoring calls in
+//!   flight on a worker pool behind a bounded queue.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crayfish_broker::{Broker, PartitionConsumer, Producer, ProducerConfig};
-use crayfish_core::chaos::{supervise, RetryPolicy, SupervisorConfig, WorkerExit};
-use crayfish_core::scoring::{score_payload_obs, Scorer};
-use crayfish_core::{CoreError, DataProcessor, ProcessorContext, Result, RunningJob};
+use bytes::Bytes;
+use crayfish_broker::{Broker, Producer, ProducerConfig};
+use crayfish_core::{DataProcessor, ProcessorContext, Result, RunningJob};
+use crayfish_engine_kernel::{
+    charge_ingest, pipeline_workers, source_pump, EnginePersonality, PipelineSettings,
+    ProducerSink, PumpSettings, RecordSink, ScoreStage, SinkClosed, WorkerSet,
+};
 use crayfish_sim::{calibration, Cost};
 
 use crate::exchange::{channels, recv_buffer, ExchangeSender};
@@ -95,301 +108,140 @@ impl FlinkProcessor {
     }
 }
 
-struct FlinkJob {
-    stop: Arc<AtomicBool>,
-    /// Threads in upstream-to-downstream order; joined in that order so
-    /// exchanges drain before downstream tasks observe disconnection.
-    threads: Vec<JoinHandle<()>>,
-}
+impl EnginePersonality for FlinkProcessor {
+    fn name(&self) -> &'static str {
+        "flink"
+    }
 
-impl RunningJob for FlinkJob {
-    fn stop(mut self: Box<Self>) {
-        self.stop.store(true, Ordering::SeqCst);
-        for h in self.threads.drain(..) {
-            let _ = h.join();
+    fn deploy(&self, ctx: &ProcessorContext, set: &mut WorkerSet) -> Result<()> {
+        if self.options.async_io > 0 {
+            deploy_async_chained(ctx, set, self.options)
+        } else if self.options.chaining {
+            deploy_chained(ctx, set, self.options)
+        } else {
+            deploy_unchained(ctx, set, self.options)
         }
     }
 }
 
 impl DataProcessor for FlinkProcessor {
     fn name(&self) -> &'static str {
-        "flink"
+        EnginePersonality::name(self)
     }
 
     fn start(&self, ctx: ProcessorContext) -> Result<Box<dyn RunningJob>> {
-        ctx.validate()?;
-        if self.options.async_io > 0 {
-            start_async_chained(&ctx, self.options)
-        } else if self.options.chaining {
-            start_chained(&ctx, self.options)
-        } else {
-            start_unchained(&ctx, self.options)
-        }
+        crayfish_engine_kernel::start(self, ctx)
     }
+}
+
+/// Chained topology: `mp` subtasks each running the kernel's whole
+/// pipeline. Unlike Kafka Streams, the chain commits its checkpoint-style
+/// offsets without flushing the producer first.
+fn deploy_chained(
+    ctx: &ProcessorContext,
+    set: &mut WorkerSet,
+    options: FlinkOptions,
+) -> Result<()> {
+    pipeline_workers(
+        set,
+        ctx,
+        "flink-chain",
+        PipelineSettings {
+            ingest_cost: options.record_overhead,
+            flush_before_commit: false,
+            ..Default::default()
+        },
+    )
 }
 
 /// Chained topology with asynchronous scoring I/O: each of the `mp`
 /// subtasks keeps up to `async_io` scoring calls in flight on a pool of
 /// async workers, so a slow external server no longer serialises the chain.
-fn start_async_chained(
+fn deploy_async_chained(
     ctx: &ProcessorContext,
+    set: &mut WorkerSet,
     options: FlinkOptions,
-) -> Result<Box<dyn RunningJob>> {
+) -> Result<()> {
     use crossbeam::channel::bounded;
 
-    let stop = Arc::new(AtomicBool::new(false));
     let partitions = ctx.broker.partitions(&ctx.input_topic)?;
     let assignment = Broker::range_assignment(partitions, ctx.mp);
     let capacity = options.async_io.max(1);
-    let mut threads = Vec::new();
     for (i, assigned) in assignment.into_iter().enumerate() {
         // The bounded queue is the async operator's in-flight capacity:
         // the subtask blocks once `capacity` requests are outstanding.
-        let (work_tx, work_rx) = bounded::<bytes::Bytes>(capacity);
+        let (work_tx, work_rx) = bounded::<Bytes>(capacity);
+
+        // The chain itself: a supervised source pump charging the chain's
+        // framework cost before the async dispatch. Registered before its
+        // workers so stopping joins it first, `work_tx` drops, and the
+        // workers exit on disconnect.
+        source_pump(
+            set,
+            ctx,
+            format!("flink-chain-async-{i}"),
+            assigned,
+            PumpSettings {
+                ingest_cost: Some(options.record_overhead),
+                ..Default::default()
+            },
+            work_tx,
+        )?;
+
         // Async scoring workers (Flink runs the callbacks on a pool). Once
         // a record leaves the source's commit scope it must not be dropped,
         // so transient scoring failures are retried in place.
         for w in 0..capacity {
             let rx = work_rx.clone();
-            let mut scorer = ctx.scorer.build()?;
-            let mut producer = Producer::new(
+            let obs = ctx.obs().clone();
+            let mut score = ScoreStage::in_place(ctx.scorer.build()?, &obs);
+            let producer = Producer::new(
                 ctx.broker.clone(),
                 &ctx.output_topic,
                 ProducerConfig::default(),
             )?;
-            let obs = ctx.obs().clone();
-            threads.push(spawn_task(format!("flink-async-{i}-{w}"), move || {
-                let batches_scored = obs.counter("batches_scored");
-                let records_out = obs.counter("records_out");
-                let score_errors = obs.counter("score_errors");
-                let retries = obs.counter("retries");
-                let retry = RetryPolicy::patient();
+            let mut sink = ProducerSink::new(producer, &obs);
+            set.task(format!("flink-async-{i}-{w}"), move || {
                 while let Ok(rec) = rx.recv() {
-                    let outcome = retry.run(
-                        CoreError::is_transient,
-                        |_| retries.inc(),
-                        || score_payload_obs(scorer.as_mut(), &rec, &obs),
-                    );
-                    match outcome {
-                        Ok(out) => {
-                            batches_scored.inc();
-                            let span = obs.timer(crayfish_core::Stage::Emit);
-                            let sent = producer.send(None, out);
-                            span.stop();
-                            if sent.is_err() {
-                                return;
-                            }
-                            records_out.inc();
+                    if let Ok(Some(out)) = score.score(&rec) {
+                        if sink.emit(out).is_err() {
+                            return;
                         }
-                        Err(_) => score_errors.inc(),
                     }
                 }
-            })?);
+            })?;
         }
-        drop(work_rx);
-        // The chain itself: source + record overhead + async dispatch.
-        // Inserted at index `i` so all chain threads precede all worker
-        // threads in the join order: stopping joins the chains first, their
-        // `work_tx` drops, and the workers exit on disconnect. Supervised:
-        // the exchange survives across incarnations, only the consumer is
-        // rebuilt (resuming from committed offsets).
-        let consumer = PartitionConsumer::new(
-            ctx.broker.clone(),
-            &ctx.input_topic,
-            &ctx.group,
-            assigned.clone(),
-        )?;
-        let mut slot = Some(consumer);
-        let flag = stop.clone();
-        let obs = ctx.obs().clone();
-        let chaos = ctx.chaos().clone();
-        let broker = ctx.broker.clone();
-        let input_topic = ctx.input_topic.clone();
-        let group = ctx.group.clone();
-        threads.insert(
-            i,
-            supervise(
-                format!("flink-chain-async-{i}"),
-                stop.clone(),
-                obs.clone(),
-                chaos.clone(),
-                SupervisorConfig::default(),
-                move |_incarnation| {
-                    let mut consumer = match slot.take() {
-                        Some(c) => c,
-                        None => match PartitionConsumer::new(
-                            broker.clone(),
-                            &input_topic,
-                            &group,
-                            assigned.clone(),
-                        ) {
-                            Ok(c) => c,
-                            Err(e) if e.is_transient() => {
-                                return WorkerExit::Failed(format!("rebuild consumer: {e}"))
-                            }
-                            Err(_) => return WorkerExit::Stopped,
-                        },
-                    };
-                    while !flag.load(Ordering::SeqCst) {
-                        if chaos.take_worker_crash() {
-                            return WorkerExit::Failed("injected worker crash".into());
-                        }
-                        let records = match consumer.poll(Duration::from_millis(50)) {
-                            Ok(r) => r,
-                            Err(e) if e.is_transient() => {
-                                return WorkerExit::Failed(format!("poll: {e}"))
-                            }
-                            Err(_) => return WorkerExit::Stopped,
-                        };
-                        for rec in records {
-                            let span = obs.timer(crayfish_core::Stage::Ingest);
-                            options.record_overhead.spend(rec.value.len());
-                            span.stop();
-                            if work_tx.send(rec.value).is_err() {
-                                return WorkerExit::Stopped;
-                            }
-                        }
-                        consumer.commit();
-                    }
-                    WorkerExit::Stopped
-                },
-            ),
-        );
     }
-    Ok(Box::new(FlinkJob { stop, threads }))
+    Ok(())
 }
 
-/// Chained topology: `mp` subtasks each running the whole pipeline. Each
-/// subtask is supervised: a transient fabric failure or an injected crash
-/// ends the incarnation *before* the offset commit, and the restarted
-/// incarnation rebuilds its consumer/producer/scorer and resumes from the
-/// committed offsets (at-least-once).
-fn start_chained(ctx: &ProcessorContext, options: FlinkOptions) -> Result<Box<dyn RunningJob>> {
-    let stop = Arc::new(AtomicBool::new(false));
-    let partitions = ctx.broker.partitions(&ctx.input_topic)?;
-    let assignment = Broker::range_assignment(partitions, ctx.mp);
-    let mut threads = Vec::with_capacity(ctx.mp);
-    for (i, assigned) in assignment.into_iter().enumerate() {
-        // Built eagerly so startup errors surface from start().
-        let consumer = PartitionConsumer::new(
-            ctx.broker.clone(),
-            &ctx.input_topic,
-            &ctx.group,
-            assigned.clone(),
-        )?;
-        let producer = Producer::new(
-            ctx.broker.clone(),
-            &ctx.output_topic,
-            ProducerConfig::default(),
-        )?;
-        let scorer = ctx.scorer.build()?;
-        let mut parts: Option<(PartitionConsumer, Producer, Box<dyn Scorer>)> =
-            Some((consumer, producer, scorer));
+/// An [`ExchangeSender`] as a source pump's transport: push on deliver,
+/// honour the buffer timeout after each poll cycle, drain on shutdown.
+struct ExchangeLink(ExchangeSender);
 
-        let flag = stop.clone();
-        let obs = ctx.obs().clone();
-        let chaos = ctx.chaos().clone();
-        let broker = ctx.broker.clone();
-        let input_topic = ctx.input_topic.clone();
-        let output_topic = ctx.output_topic.clone();
-        let group = ctx.group.clone();
-        let spec = ctx.scorer.clone();
-        let batches_scored = obs.counter("batches_scored");
-        let records_out = obs.counter("records_out");
-        let score_errors = obs.counter("score_errors");
-        threads.push(supervise(
-            format!("flink-chain-{i}"),
-            stop.clone(),
-            obs.clone(),
-            chaos.clone(),
-            SupervisorConfig::default(),
-            move |_incarnation| {
-                let (mut consumer, mut producer, mut scorer) = match parts.take() {
-                    Some(built) => built,
-                    None => {
-                        let consumer = match PartitionConsumer::new(
-                            broker.clone(),
-                            &input_topic,
-                            &group,
-                            assigned.clone(),
-                        ) {
-                            Ok(c) => c,
-                            Err(e) if e.is_transient() => {
-                                return WorkerExit::Failed(format!("rebuild consumer: {e}"))
-                            }
-                            Err(_) => return WorkerExit::Stopped,
-                        };
-                        let producer = match Producer::new(
-                            broker.clone(),
-                            &output_topic,
-                            ProducerConfig::default(),
-                        ) {
-                            Ok(p) => p,
-                            Err(e) if e.is_transient() => {
-                                return WorkerExit::Failed(format!("rebuild producer: {e}"))
-                            }
-                            Err(_) => return WorkerExit::Stopped,
-                        };
-                        let scorer = match spec.build() {
-                            Ok(s) => s,
-                            Err(e) if e.is_transient() => {
-                                return WorkerExit::Failed(format!("rebuild scorer: {e}"))
-                            }
-                            Err(_) => return WorkerExit::Stopped,
-                        };
-                        (consumer, producer, scorer)
-                    }
-                };
-                while !flag.load(Ordering::SeqCst) {
-                    if chaos.take_worker_crash() {
-                        return WorkerExit::Failed("injected worker crash".into());
-                    }
-                    let records = match consumer.poll(Duration::from_millis(50)) {
-                        Ok(r) => r,
-                        Err(e) if e.is_transient() => {
-                            return WorkerExit::Failed(format!("poll: {e}"))
-                        }
-                        Err(_) => return WorkerExit::Stopped,
-                    };
-                    for rec in records {
-                        // JVM task-chain framework cost per record.
-                        let span = obs.timer(crayfish_core::Stage::Ingest);
-                        options.record_overhead.spend(rec.value.len());
-                        span.stop();
-                        match score_payload_obs(scorer.as_mut(), &rec.value, &obs) {
-                            Ok(out) => {
-                                batches_scored.inc();
-                                let span = obs.timer(crayfish_core::Stage::Emit);
-                                let sent = producer.send(None, out);
-                                span.stop();
-                                if sent.is_err() {
-                                    return WorkerExit::Stopped;
-                                }
-                                records_out.inc();
-                            }
-                            // Fail without committing: the restart
-                            // refetches and rescores this batch.
-                            Err(e) if e.is_transient() => {
-                                score_errors.inc();
-                                return WorkerExit::Failed(format!("score: {e}"));
-                            }
-                            Err(_) => score_errors.inc(),
-                        }
-                    }
-                    // Checkpoint-style offset commit after each fetch.
-                    consumer.commit();
-                }
-                WorkerExit::Stopped
-            },
-        ));
+impl RecordSink for ExchangeLink {
+    fn deliver(&mut self, value: Bytes) -> std::result::Result<(), SinkClosed> {
+        self.0.push(value).map_err(|_| SinkClosed)
     }
-    Ok(Box::new(FlinkJob { stop, threads }))
+
+    fn after_cycle(&mut self) -> std::result::Result<(), SinkClosed> {
+        self.0.maybe_flush().map_err(|_| SinkClosed)
+    }
+
+    fn on_stop(&mut self) {
+        let _ = self.0.flush();
+    }
 }
 
-/// Unchained topology: source tasks → exchange → scoring tasks → exchange →
-/// sink tasks.
-fn start_unchained(ctx: &ProcessorContext, options: FlinkOptions) -> Result<Box<dyn RunningJob>> {
-    let stop = Arc::new(AtomicBool::new(false));
+/// Unchained topology: source pumps → exchange → scoring tasks → exchange →
+/// sink tasks. Registration order is upstream-first, so stopping joins the
+/// sources away, the exchanges drain, and downstream tasks observe
+/// end-of-stream.
+fn deploy_unchained(
+    ctx: &ProcessorContext,
+    set: &mut WorkerSet,
+    options: FlinkOptions,
+) -> Result<()> {
     let partitions = ctx.broker.partitions(&ctx.input_topic)?;
     let op = options.operator_parallelism.unwrap_or(OperatorParallelism {
         source: ctx.mp,
@@ -401,8 +253,7 @@ fn start_unchained(ctx: &ProcessorContext, options: FlinkOptions) -> Result<Box<
 
     let (score_txs, score_rxs) = channels(scorers, options.channel_capacity);
     let (sink_txs, sink_rxs) = channels(sinks, options.channel_capacity);
-
-    let mut threads = Vec::new();
+    let shipped = ctx.obs().counter("flink_exchange_buffers");
 
     // The chain's framework cost splits across the now-independent
     // operators (see `calibration::FLINK_SOURCE_SHARE` and friends).
@@ -416,118 +267,51 @@ fn start_unchained(ctx: &ProcessorContext, options: FlinkOptions) -> Result<Box<
         .record_overhead
         .scaled(calibration::FLINK_SINK_SHARE);
 
-    // Source tasks. Supervised: the exchange sender survives across
-    // incarnations, only the consumer is rebuilt (resuming from the
-    // committed offsets).
+    // Source tasks: supervised pumps whose exchange sender survives across
+    // incarnations — only the consumer is rebuilt on restart.
     let assignment = Broker::range_assignment(partitions, sources);
     for (i, assigned) in assignment.into_iter().enumerate() {
-        let consumer = PartitionConsumer::new(
-            ctx.broker.clone(),
-            &ctx.input_topic,
-            &ctx.group,
-            assigned.clone(),
-        )?;
-        let mut slot = Some(consumer);
-        let mut out = ExchangeSender::new(
+        let out = ExchangeSender::new(
             score_txs.clone(),
             options.buffer_bytes,
             options.buffer_timeout,
-        );
-        let flag = stop.clone();
-        let obs = ctx.obs().clone();
-        let chaos = ctx.chaos().clone();
-        let broker = ctx.broker.clone();
-        let input_topic = ctx.input_topic.clone();
-        let group = ctx.group.clone();
-        threads.push(supervise(
+        )
+        .with_counter(shipped.clone());
+        source_pump(
+            set,
+            ctx,
             format!("flink-source-{i}"),
-            stop.clone(),
-            obs.clone(),
-            chaos.clone(),
-            SupervisorConfig::default(),
-            move |_incarnation| {
-                let mut consumer = match slot.take() {
-                    Some(c) => c,
-                    None => match PartitionConsumer::new(
-                        broker.clone(),
-                        &input_topic,
-                        &group,
-                        assigned.clone(),
-                    ) {
-                        Ok(c) => c,
-                        Err(e) if e.is_transient() => {
-                            return WorkerExit::Failed(format!("rebuild consumer: {e}"))
-                        }
-                        Err(_) => return WorkerExit::Stopped,
-                    },
-                };
-                while !flag.load(Ordering::SeqCst) {
-                    if chaos.take_worker_crash() {
-                        return WorkerExit::Failed("injected worker crash".into());
-                    }
-                    let records = match consumer.poll(Duration::from_millis(10)) {
-                        Ok(r) => r,
-                        Err(e) if e.is_transient() => {
-                            return WorkerExit::Failed(format!("poll: {e}"))
-                        }
-                        Err(_) => return WorkerExit::Stopped,
-                    };
-                    for rec in records {
-                        let span = obs.timer(crayfish_core::Stage::Ingest);
-                        source_cost.spend(rec.value.len());
-                        span.stop();
-                        if out.push(rec.value).is_err() {
-                            return WorkerExit::Stopped;
-                        }
-                    }
-                    consumer.commit();
-                    if out.maybe_flush().is_err() {
-                        return WorkerExit::Stopped;
-                    }
-                }
-                let _ = out.flush();
-                WorkerExit::Stopped
+            assigned,
+            PumpSettings {
+                poll_timeout: Duration::from_millis(10),
+                ingest_cost: Some(source_cost),
             },
-        ));
+            ExchangeLink(out),
+        )?;
     }
     drop(score_txs);
 
-    // Scoring tasks.
+    // Scoring tasks: past the sources' commit scope, so transient scoring
+    // failures retry in place.
     for (i, rx) in score_rxs.into_iter().enumerate() {
-        let mut scorer = ctx.scorer.build()?;
+        let obs = ctx.obs().clone();
+        let mut score = ScoreStage::in_place(ctx.scorer.build()?, &obs);
         let mut out = ExchangeSender::new(
             sink_txs.clone(),
             options.buffer_bytes,
             options.buffer_timeout,
-        );
-        let obs = ctx.obs().clone();
-        threads.push(spawn_task(format!("flink-score-{i}"), move || {
-            let batches_scored = obs.counter("batches_scored");
-            let score_errors = obs.counter("score_errors");
-            let retries = obs.counter("retries");
-            // Records past the source's commit scope must not be dropped:
-            // transient scoring failures retry in place.
-            let retry = RetryPolicy::patient();
+        )
+        .with_counter(shipped.clone());
+        set.task(format!("flink-score-{i}"), move || {
             loop {
                 match recv_buffer(&rx, Duration::from_millis(10)) {
                     Ok(Some(buffer)) => {
                         for rec in buffer {
-                            let span = obs.timer(crayfish_core::Stage::Ingest);
-                            scoring_cost.spend(rec.len());
-                            span.stop();
-                            let outcome = retry.run(
-                                CoreError::is_transient,
-                                |_| retries.inc(),
-                                || score_payload_obs(scorer.as_mut(), &rec, &obs),
-                            );
-                            match outcome {
-                                Ok(scored) => {
-                                    batches_scored.inc();
-                                    if out.push(scored).is_err() {
-                                        return;
-                                    }
+                            charge_ingest(&obs, scoring_cost, rec.len());
+                            if let Ok(Some(scored)) = score.score(&rec) {
+                                if out.push(scored).is_err() {
+                                    return;
                                 }
-                                Err(_) => score_errors.inc(),
                             }
                         }
                         if out.maybe_flush().is_err() {
@@ -544,61 +328,49 @@ fn start_unchained(ctx: &ProcessorContext, options: FlinkOptions) -> Result<Box<
                 }
             }
             let _ = out.flush();
-        })?);
+        })?;
     }
     drop(sink_txs);
 
-    // Sink tasks.
+    // Sink tasks: the sink operator's cost share is charged inside the
+    // kernel sink's `emit` span.
     for (i, rx) in sink_rxs.into_iter().enumerate() {
-        let mut producer = Producer::new(
+        let obs = ctx.obs().clone();
+        let producer = Producer::new(
             ctx.broker.clone(),
             &ctx.output_topic,
             ProducerConfig::default(),
         )?;
-        let obs = ctx.obs().clone();
-        threads.push(spawn_task(format!("flink-sink-{i}"), move || {
-            let records_out = obs.counter("records_out");
-            loop {
-                match recv_buffer(&rx, Duration::from_millis(50)) {
-                    Ok(Some(buffer)) => {
-                        for rec in buffer {
-                            let span = obs.timer(crayfish_core::Stage::Emit);
-                            sink_cost.spend(rec.len());
-                            let sent = producer.send(None, rec);
-                            span.stop();
-                            if sent.is_err() {
-                                return;
-                            }
-                            records_out.inc();
+        let mut sink = ProducerSink::with_cost(producer, &obs, sink_cost);
+        set.task(format!("flink-sink-{i}"), move || loop {
+            match recv_buffer(&rx, Duration::from_millis(50)) {
+                Ok(Some(buffer)) => {
+                    for rec in buffer {
+                        if sink.emit(rec).is_err() {
+                            return;
                         }
                     }
-                    Ok(None) => {}
-                    Err(_) => return,
                 }
+                Ok(None) => {}
+                Err(_) => return,
             }
-        })?);
+        })?;
     }
 
-    Ok(Box::new(FlinkJob { stop, threads }))
-}
-
-fn spawn_task(name: String, body: impl FnOnce() + Send + 'static) -> Result<JoinHandle<()>> {
-    std::thread::Builder::new()
-        .name(name.clone())
-        .spawn(body)
-        .map_err(|e| CoreError::Config(format!("spawn {name}: {e}")))
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bytes::Bytes;
-    use crayfish_core::batch::{CrayfishDataBatch, ScoredBatch};
+
+    use crayfish_broker::Broker;
+    use crayfish_core::batch::testkit::{distinct_ids, drain_scored, feed, onnx_ctx};
+    use crayfish_core::chaos::ChaosHandle;
+    use crayfish_core::obs::ObsHandle;
     use crayfish_core::scoring::ScorerSpec;
     use crayfish_models::tiny;
-    use crayfish_runtime::{Device, EmbeddedLib};
     use crayfish_sim::{now_millis_f64, NetworkModel};
-    use crayfish_tensor::Tensor;
 
     /// Options with the JVM framework cost zeroed, so unit tests measure
     /// only the mechanisms they target.
@@ -609,143 +381,39 @@ mod tests {
         }
     }
 
-    fn make_ctx(mp: usize) -> ProcessorContext {
-        let broker = Broker::new(NetworkModel::zero());
-        broker.create_topic("in", 8).unwrap();
-        broker.create_topic("out", 8).unwrap();
-        ProcessorContext {
-            broker,
-            input_topic: "in".into(),
-            output_topic: "out".into(),
-            group: "sut".into(),
-            scorer: ScorerSpec::Embedded {
-                lib: EmbeddedLib::Onnx,
-                graph: Arc::new(tiny::tiny_mlp(1)),
-                device: Device::Cpu,
-            },
-            mp,
-        }
-    }
-
-    fn feed(broker: &Broker, n: u64) {
-        for id in 0..n {
-            let t = Tensor::seeded_uniform([1, 8, 8], id, 0.0, 1.0);
-            let payload = CrayfishDataBatch::from_tensor(id, now_millis_f64(), &t)
-                .encode()
-                .unwrap();
-            broker
-                .append("in", (id % 8) as u32, vec![(payload, now_millis_f64())])
-                .unwrap();
-        }
-    }
-
-    fn drain_scored(broker: &Broker, expect: usize) -> Vec<ScoredBatch> {
-        let deadline = std::time::Instant::now() + Duration::from_secs(10);
-        let mut out = Vec::new();
-        let mut offsets = [0u64; 8];
-        while out.len() < expect && std::time::Instant::now() < deadline {
-            for p in 0..8u32 {
-                let recs = broker
-                    .read("out", p, offsets[p as usize], 1000, usize::MAX)
-                    .unwrap();
-                if let Some(last) = recs.last() {
-                    offsets[p as usize] = last.offset + 1;
-                }
-                for r in recs {
-                    out.push(ScoredBatch::decode(&r.value).unwrap());
-                }
-            }
-            std::thread::sleep(Duration::from_millis(10));
-        }
-        out
-    }
-
-    fn exactly_once_ids(scored: &[ScoredBatch], n: u64) {
-        let mut ids: Vec<u64> = scored.iter().map(|s| s.id).collect();
-        ids.sort_unstable();
-        ids.dedup();
-        assert_eq!(ids.len(), n as usize, "duplicate or missing ids");
-        assert_eq!(ids.first(), Some(&0));
-        assert_eq!(ids.last(), Some(&(n - 1)));
-    }
-
     #[test]
-    fn chained_pipeline_scores_every_batch() {
-        let ctx = make_ctx(2);
-        let broker = ctx.broker.clone();
-        let job = FlinkProcessor::with_options(bare_options())
-            .start(ctx)
-            .unwrap();
-        feed(&broker, 40);
-        let scored = drain_scored(&broker, 40);
-        assert_eq!(scored.len(), 40);
-        exactly_once_ids(&scored, 40);
-        job.stop();
-    }
-
-    #[test]
-    fn unchained_pipeline_scores_every_batch() {
-        let ctx = make_ctx(2);
-        let broker = ctx.broker.clone();
+    fn unchained_pipeline_repartitions_and_scores_every_batch() {
+        // The personality's defining mechanism: records cross two
+        // exchanges (source → scoring → sink), every shipped buffer is
+        // counted, and repartitioning loses nothing.
+        let obs = ObsHandle::enabled();
+        let broker = Broker::with_parts(NetworkModel::zero(), obs.clone(), ChaosHandle::disabled());
+        let ctx = onnx_ctx(broker.clone(), 8, 2);
         let options = FlinkOptions {
             buffer_timeout: Duration::from_millis(5),
             record_overhead: Cost::ZERO,
             ..FlinkOptions::operator_level(4, 3)
         };
         let job = FlinkProcessor::with_options(options).start(ctx).unwrap();
-        feed(&broker, 60);
-        let scored = drain_scored(&broker, 60);
-        assert_eq!(scored.len(), 60);
-        exactly_once_ids(&scored, 60);
-        job.stop();
-    }
-
-    #[test]
-    fn stop_is_graceful_and_idempotent_work() {
-        let ctx = make_ctx(1);
-        let broker = ctx.broker.clone();
-        let job = FlinkProcessor::with_options(bare_options())
-            .start(ctx)
-            .unwrap();
-        feed(&broker, 5);
-        drain_scored(&broker, 5);
-        job.stop();
-        // Feeding after stop produces nothing new.
-        feed(&broker, 5);
-        std::thread::sleep(Duration::from_millis(100));
-        let total = broker.total_records("out").unwrap();
-        assert_eq!(total, 5);
-    }
-
-    #[test]
-    fn malformed_records_are_skipped_not_fatal() {
-        let ctx = make_ctx(1);
-        let broker = ctx.broker.clone();
-        let job = FlinkProcessor::with_options(bare_options())
-            .start(ctx)
-            .unwrap();
-        broker
-            .append("in", 0, vec![(Bytes::from_static(b"not json"), 0.0)])
-            .unwrap();
-        feed(&broker, 3);
-        let scored = drain_scored(&broker, 3);
-        assert_eq!(scored.len(), 3);
+        feed(&broker, "in", 8, 60);
+        let scored = drain_scored(&broker, "out", 8, 60, Duration::from_secs(10));
+        assert_eq!(distinct_ids(&scored).len(), 60);
+        assert!(obs.counter("flink_exchange_buffers").get() > 0);
         job.stop();
     }
 
     #[test]
     fn async_io_scores_everything_exactly_once() {
-        let ctx = make_ctx(2);
+        let ctx = onnx_ctx(Broker::new(NetworkModel::zero()), 8, 2);
         let broker = ctx.broker.clone();
         let options = FlinkOptions {
             async_io: 4,
             ..bare_options()
         };
         let job = FlinkProcessor::with_options(options).start(ctx).unwrap();
-        feed(&broker, 50);
-        let scored = drain_scored(&broker, 50);
-        assert_eq!(scored.len(), 50);
-        exactly_once_ids(&scored, 50);
+        feed(&broker, "in", 8, 50);
+        let scored = drain_scored(&broker, "out", 8, 50, Duration::from_secs(10));
+        assert_eq!(distinct_ids(&scored).len(), 50);
         job.stop();
     }
 
@@ -770,29 +438,21 @@ mod tests {
         };
         let mut elapsed = Vec::new();
         for async_io in [0usize, 4] {
-            let broker = Broker::new(NetworkModel::zero());
-            broker.create_topic("in", 8).unwrap();
-            broker.create_topic("out", 8).unwrap();
-            let ctx = ProcessorContext {
-                broker: broker.clone(),
-                input_topic: "in".into(),
-                output_topic: "out".into(),
-                group: "sut".into(),
-                scorer: ScorerSpec::External {
-                    kind: crayfish_serving::ExternalKind::TfServing,
-                    addr: server.addr(),
-                    network: slow_net,
-                },
-                mp: 1,
+            let mut ctx = onnx_ctx(Broker::new(NetworkModel::zero()), 8, 1);
+            ctx.scorer = ScorerSpec::External {
+                kind: crayfish_serving::ExternalKind::TfServing,
+                addr: server.addr(),
+                network: slow_net,
             };
+            let broker = ctx.broker.clone();
             let options = FlinkOptions {
                 async_io,
                 ..bare_options()
             };
             let job = FlinkProcessor::with_options(options).start(ctx).unwrap();
             let sw = crayfish_sim::Stopwatch::start();
-            feed(&broker, 40);
-            let scored = drain_scored(&broker, 40);
+            feed(&broker, "in", 8, 40);
+            let scored = drain_scored(&broker, "out", 8, 40, Duration::from_secs(10));
             assert_eq!(scored.len(), 40, "async_io={async_io}");
             elapsed.push(sw.elapsed_millis());
             job.stop();
@@ -810,7 +470,7 @@ mod tests {
     fn buffer_timeout_shapes_unchained_latency() {
         // With a long buffer timeout and small records, unchained latency
         // must include the buffering delay.
-        let ctx = make_ctx(1);
+        let ctx = onnx_ctx(Broker::new(NetworkModel::zero()), 8, 1);
         let broker = ctx.broker.clone();
         let options = FlinkOptions {
             buffer_timeout: Duration::from_millis(120),
@@ -819,8 +479,8 @@ mod tests {
         };
         let job = FlinkProcessor::with_options(options).start(ctx).unwrap();
         let start = now_millis_f64();
-        feed(&broker, 1);
-        let scored = drain_scored(&broker, 1);
+        feed(&broker, "in", 8, 1);
+        let scored = drain_scored(&broker, "out", 8, 1, Duration::from_secs(10));
         let elapsed = now_millis_f64() - start;
         assert_eq!(scored.len(), 1);
         assert!(elapsed >= 100.0, "buffered latency only {elapsed} ms");

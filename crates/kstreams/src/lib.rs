@@ -2,7 +2,7 @@
 //!
 //! A pull-based stream processing engine in the style of Kafka Streams
 //! (§3.4.1 of the paper), implementing the Crayfish `DataProcessor`
-//! interface.
+//! interface as an [`EnginePersonality`] over the shared engine kernel.
 //!
 //! Mechanisms reproduced:
 //!
@@ -18,16 +18,15 @@
 //! * **Tight broker integration**: no intermediate buffering — records move
 //!   straight from the fetch to the producer, which the paper credits for
 //!   Kafka Streams' throughput edge over Flink (§5.3.1, §5.3.3).
+//!
+//! The whole engine is one kernel pipeline: a stream thread *is* the
+//! kernel's full-chain worker with `flush_before_commit` on (the strict
+//! pull cycle) and `max.poll.records` capping each fetch.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crayfish_broker::{Broker, PartitionConsumer, Producer, ProducerConfig};
-use crayfish_core::chaos::{supervise, SupervisorConfig, WorkerExit};
-use crayfish_core::scoring::{score_payload_obs, Scorer};
 use crayfish_core::{DataProcessor, ProcessorContext, Result, RunningJob};
+use crayfish_engine_kernel::{EnginePersonality, PipelineSettings, WorkerSet};
 use crayfish_sim::{calibration, Cost};
 
 /// Engine configuration.
@@ -71,170 +70,47 @@ impl KStreamsProcessor {
     }
 }
 
-struct KStreamsJob {
-    stop: Arc<AtomicBool>,
-    threads: Vec<JoinHandle<()>>,
-}
+impl EnginePersonality for KStreamsProcessor {
+    fn name(&self) -> &'static str {
+        "kstreams"
+    }
 
-impl RunningJob for KStreamsJob {
-    fn stop(mut self: Box<Self>) {
-        self.stop.store(true, Ordering::SeqCst);
-        for h in self.threads.drain(..) {
-            let _ = h.join();
-        }
+    fn deploy(&self, ctx: &ProcessorContext, set: &mut WorkerSet) -> Result<()> {
+        crayfish_engine_kernel::pipeline_workers(
+            set,
+            ctx,
+            "kstreams-thread",
+            PipelineSettings {
+                max_poll_records: Some(self.options.max_poll_records),
+                poll_timeout: self.options.poll_timeout,
+                ingest_cost: self.options.record_overhead,
+                // Finish the whole cycle — sink flush included — before
+                // committing and requesting new input.
+                flush_before_commit: true,
+            },
+        )
     }
 }
 
 impl DataProcessor for KStreamsProcessor {
     fn name(&self) -> &'static str {
-        "kstreams"
+        EnginePersonality::name(self)
     }
 
     fn start(&self, ctx: ProcessorContext) -> Result<Box<dyn RunningJob>> {
-        ctx.validate()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let partitions = ctx.broker.partitions(&ctx.input_topic)?;
-        let assignment = Broker::range_assignment(partitions, ctx.mp);
-        let options = self.options;
-        let mut threads = Vec::with_capacity(ctx.mp);
-        for (i, assigned) in assignment.into_iter().enumerate() {
-            // The first incarnation's parts are built eagerly so startup
-            // errors (bad topic, unreachable serving) surface from start();
-            // restarts rebuild them from the broker's committed offsets.
-            let mut consumer = PartitionConsumer::new(
-                ctx.broker.clone(),
-                &ctx.input_topic,
-                &ctx.group,
-                assigned.clone(),
-            )?;
-            consumer.max_poll_records = options.max_poll_records;
-            let producer = Producer::new(
-                ctx.broker.clone(),
-                &ctx.output_topic,
-                ProducerConfig::default(),
-            )?;
-            let scorer = ctx.scorer.build()?;
-            let mut parts: Option<(PartitionConsumer, Producer, Box<dyn Scorer>)> =
-                Some((consumer, producer, scorer));
-
-            let flag = stop.clone();
-            let obs = ctx.obs().clone();
-            let chaos = ctx.chaos().clone();
-            let broker = ctx.broker.clone();
-            let input_topic = ctx.input_topic.clone();
-            let output_topic = ctx.output_topic.clone();
-            let group = ctx.group.clone();
-            let spec = ctx.scorer.clone();
-            let batches_scored = obs.counter("batches_scored");
-            let records_out = obs.counter("records_out");
-            let score_errors = obs.counter("score_errors");
-            let thread = supervise(
-                format!("kstreams-thread-{i}"),
-                stop.clone(),
-                obs.clone(),
-                chaos.clone(),
-                SupervisorConfig::default(),
-                move |_incarnation| {
-                    let (mut consumer, mut producer, mut scorer) = match parts.take() {
-                        Some(built) => built,
-                        None => {
-                            let mut consumer = match PartitionConsumer::new(
-                                broker.clone(),
-                                &input_topic,
-                                &group,
-                                assigned.clone(),
-                            ) {
-                                Ok(c) => c,
-                                Err(e) if e.is_transient() => {
-                                    return WorkerExit::Failed(format!("rebuild consumer: {e}"))
-                                }
-                                Err(_) => return WorkerExit::Stopped,
-                            };
-                            consumer.max_poll_records = options.max_poll_records;
-                            let producer = match Producer::new(
-                                broker.clone(),
-                                &output_topic,
-                                ProducerConfig::default(),
-                            ) {
-                                Ok(p) => p,
-                                Err(e) if e.is_transient() => {
-                                    return WorkerExit::Failed(format!("rebuild producer: {e}"))
-                                }
-                                Err(_) => return WorkerExit::Stopped,
-                            };
-                            let scorer = match spec.build() {
-                                Ok(s) => s,
-                                Err(e) if e.is_transient() => {
-                                    return WorkerExit::Failed(format!("rebuild scorer: {e}"))
-                                }
-                                Err(_) => return WorkerExit::Stopped,
-                            };
-                            (consumer, producer, scorer)
-                        }
-                    };
-                    while !flag.load(Ordering::SeqCst) {
-                        if chaos.take_worker_crash() {
-                            return WorkerExit::Failed("injected worker crash".into());
-                        }
-                        // Pull one batch through the complete topology.
-                        let records = match consumer.poll(options.poll_timeout) {
-                            Ok(r) => r,
-                            Err(e) if e.is_transient() => {
-                                return WorkerExit::Failed(format!("poll: {e}"))
-                            }
-                            Err(_) => return WorkerExit::Stopped,
-                        };
-                        if records.is_empty() {
-                            continue;
-                        }
-                        for rec in records {
-                            // JVM stream-thread framework cost per record.
-                            let span = obs.timer(crayfish_core::Stage::Ingest);
-                            options.record_overhead.spend(rec.value.len());
-                            span.stop();
-                            match score_payload_obs(scorer.as_mut(), &rec.value, &obs) {
-                                Ok(out) => {
-                                    batches_scored.inc();
-                                    let span = obs.timer(crayfish_core::Stage::Emit);
-                                    let sent = producer.send(None, out);
-                                    span.stop();
-                                    if sent.is_err() {
-                                        return WorkerExit::Stopped;
-                                    }
-                                    records_out.inc();
-                                }
-                                // Exit without committing: the restarted
-                                // incarnation refetches this batch.
-                                Err(e) if e.is_transient() => {
-                                    score_errors.inc();
-                                    return WorkerExit::Failed(format!("score: {e}"));
-                                }
-                                Err(_) => score_errors.inc(),
-                            }
-                        }
-                        // Finish the cycle: flush the sink, commit input
-                        // offsets, and only then poll again.
-                        producer.flush();
-                        consumer.commit();
-                    }
-                    WorkerExit::Stopped
-                },
-            );
-            threads.push(thread);
-        }
-        Ok(Box::new(KStreamsJob { stop, threads }))
+        crayfish_engine_kernel::start(self, ctx)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crayfish_core::batch::{CrayfishDataBatch, ScoredBatch};
-    use crayfish_core::scoring::ScorerSpec;
-    use crayfish_models::tiny;
-    use crayfish_runtime::{Device, EmbeddedLib};
-    use crayfish_sim::{now_millis_f64, NetworkModel};
-    use crayfish_tensor::Tensor;
+
+    use crayfish_broker::Broker;
+    use crayfish_core::batch::testkit::{drain_scored, feed, onnx_ctx};
+    use crayfish_core::chaos::{testkit::poll_until, ChaosHandle};
+    use crayfish_core::obs::ObsHandle;
+    use crayfish_sim::NetworkModel;
 
     fn bare() -> KStreamsProcessor {
         KStreamsProcessor::with_options(KStreamsOptions {
@@ -243,170 +119,35 @@ mod tests {
         })
     }
 
-    fn make_ctx(mp: usize) -> ProcessorContext {
-        let broker = Broker::new(NetworkModel::zero());
-        broker.create_topic("in", 8).unwrap();
-        broker.create_topic("out", 8).unwrap();
-        ProcessorContext {
-            broker,
-            input_topic: "in".into(),
-            output_topic: "out".into(),
-            group: "sut".into(),
-            scorer: ScorerSpec::Embedded {
-                lib: EmbeddedLib::Onnx,
-                graph: Arc::new(tiny::tiny_mlp(1)),
-                device: Device::Cpu,
-            },
-            mp,
-        }
-    }
-
-    fn feed(broker: &Broker, n: u64) {
-        feed_range(broker, 0, n)
-    }
-
-    fn feed_range(broker: &Broker, from: u64, to: u64) {
-        for id in from..to {
-            let t = Tensor::seeded_uniform([1, 8, 8], id, 0.0, 1.0);
-            let payload = CrayfishDataBatch::from_tensor(id, now_millis_f64(), &t)
-                .encode()
-                .unwrap();
-            broker
-                .append("in", (id % 8) as u32, vec![(payload, now_millis_f64())])
-                .unwrap();
-        }
-    }
-
-    fn drain(broker: &Broker, expect: usize) -> Vec<ScoredBatch> {
-        let deadline = std::time::Instant::now() + Duration::from_secs(10);
-        let mut out = Vec::new();
-        let mut offsets = [0u64; 8];
-        while out.len() < expect && std::time::Instant::now() < deadline {
-            for p in 0..8u32 {
-                let recs = broker
-                    .read("out", p, offsets[p as usize], 1000, usize::MAX)
-                    .unwrap();
-                if let Some(last) = recs.last() {
-                    offsets[p as usize] = last.offset + 1;
-                }
-                for r in recs {
-                    out.push(ScoredBatch::decode(&r.value).unwrap());
-                }
-            }
-            std::thread::sleep(Duration::from_millis(10));
-        }
-        out
-    }
-
     #[test]
-    fn scores_every_batch_exactly_once() {
-        let ctx = make_ctx(3);
-        let broker = ctx.broker.clone();
+    fn strict_pull_cycle_commits_before_the_next_poll() {
+        // The personality's defining discipline: each fetch is fully
+        // processed, flushed, and committed before new input is requested —
+        // so once the output holds everything, the group lag is already 0
+        // and the kernel has recorded one commit per completed cycle.
+        let obs = ObsHandle::enabled();
+        let broker = Broker::with_parts(NetworkModel::zero(), obs.clone(), ChaosHandle::disabled());
+        let ctx = onnx_ctx(broker.clone(), 8, 2);
         let job = bare().start(ctx).unwrap();
-        feed(&broker, 50);
-        let scored = drain(&broker, 50);
-        let mut ids: Vec<u64> = scored.iter().map(|s| s.id).collect();
-        ids.sort_unstable();
-        ids.dedup();
-        assert_eq!(ids.len(), 50);
-        job.stop();
-    }
-
-    #[test]
-    fn commits_offsets_as_it_processes() {
-        let ctx = make_ctx(2);
-        let broker = ctx.broker.clone();
-        let job = bare().start(ctx).unwrap();
-        feed(&broker, 20);
-        drain(&broker, 20);
-        // Give commits a beat to land.
-        std::thread::sleep(Duration::from_millis(100));
-        let lag = broker.group_lag("sut", "in").unwrap();
-        assert_eq!(lag, 0, "uncommitted lag after processing");
-        job.stop();
-    }
-
-    #[test]
-    fn injected_worker_crashes_are_survived() {
-        use crayfish_core::chaos::ChaosHandle;
-        let chaos = ChaosHandle::enabled();
-        let broker = Broker::with_parts(
-            NetworkModel::zero(),
-            crayfish_core::obs::ObsHandle::disabled(),
-            chaos.clone(),
-        );
-        broker.create_topic("in", 8).unwrap();
-        broker.create_topic("out", 8).unwrap();
-        let ctx = ProcessorContext {
-            broker: broker.clone(),
-            input_topic: "in".into(),
-            output_topic: "out".into(),
-            group: "sut".into(),
-            scorer: ScorerSpec::Embedded {
-                lib: EmbeddedLib::Onnx,
-                graph: Arc::new(tiny::tiny_mlp(1)),
-                device: Device::Cpu,
-            },
-            mp: 2,
-        };
-        let job = bare().start(ctx).unwrap();
-        feed(&broker, 15);
-        chaos.inject_worker_crashes(2);
-        feed_range(&broker, 15, 30);
-        // At-least-once: every id appears, duplicates allowed after the
-        // crash (re-fetch of the uncommitted batch).
-        let deadline = std::time::Instant::now() + Duration::from_secs(10);
-        let mut ids = std::collections::HashSet::new();
-        let mut offsets = [0u64; 8];
-        while ids.len() < 30 && std::time::Instant::now() < deadline {
-            for p in 0..8u32 {
-                let recs = broker
-                    .read("out", p, offsets[p as usize], 1000, usize::MAX)
-                    .unwrap();
-                if let Some(last) = recs.last() {
-                    offsets[p as usize] = last.offset + 1;
-                }
-                for r in recs {
-                    ids.insert(ScoredBatch::decode(&r.value).unwrap().id);
-                }
-            }
-            std::thread::sleep(Duration::from_millis(10));
-        }
-        assert_eq!(ids.len(), 30, "records lost across worker crashes");
+        feed(&broker, "in", 8, 20);
+        let scored = drain_scored(&broker, "out", 8, 20, Duration::from_secs(10));
+        assert_eq!(scored.len(), 20);
+        assert!(poll_until(Duration::from_secs(5), || {
+            broker.group_lag("sut", "in").unwrap() == 0
+        }));
+        assert!(obs.counter("engine_commits").get() > 0);
         job.stop();
     }
 
     #[test]
     fn more_threads_than_partitions_is_harmless() {
         let broker = Broker::new(NetworkModel::zero());
-        broker.create_topic("in", 2).unwrap();
-        broker.create_topic("out", 2).unwrap();
-        let ctx = ProcessorContext {
-            broker: broker.clone(),
-            input_topic: "in".into(),
-            output_topic: "out".into(),
-            group: "sut".into(),
-            scorer: ScorerSpec::Embedded {
-                lib: EmbeddedLib::Onnx,
-                graph: Arc::new(tiny::tiny_mlp(1)),
-                device: Device::Cpu,
-            },
-            mp: 6,
-        };
+        let ctx = onnx_ctx(broker.clone(), 2, 6);
         let job = bare().start(ctx).unwrap();
-        for id in 0..10u64 {
-            let t = Tensor::seeded_uniform([1, 8, 8], id, 0.0, 1.0);
-            let payload = CrayfishDataBatch::from_tensor(id, now_millis_f64(), &t)
-                .encode()
-                .unwrap();
-            broker
-                .append("in", (id % 2) as u32, vec![(payload, 0.0)])
-                .unwrap();
-        }
-        let deadline = std::time::Instant::now() + Duration::from_secs(5);
-        while broker.total_records("out").unwrap() < 10 && std::time::Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(10));
-        }
+        feed(&broker, "in", 2, 10);
+        assert!(poll_until(Duration::from_secs(5), || {
+            broker.total_records("out").unwrap() >= 10
+        }));
         assert_eq!(broker.total_records("out").unwrap(), 10);
         job.stop();
     }

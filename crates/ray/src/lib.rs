@@ -2,7 +2,7 @@
 //!
 //! An actor-based distributed computing engine in the style of Ray
 //! (§3.4.4 of the paper), implementing the Crayfish `DataProcessor`
-//! interface.
+//! interface as an [`EnginePersonality`] over the shared engine kernel.
 //!
 //! Mechanisms reproduced:
 //!
@@ -13,25 +13,30 @@
 //! * **Object-store message passing**: every message between actors is
 //!   copied (a Plasma put/get pair) and pays the calibrated Python actor
 //!   dispatch cost — the per-message overhead behind Ray's lowest-of-all
-//!   throughput in Table 5.
+//!   throughput in Table 5. Each copy increments the
+//!   `ray_object_store_transfers` counter.
 //! * **No interoperability penalty**: the scoring actor applies the model
 //!   directly (Ray is Python-native), so embedded scoring here carries no
 //!   JNI-style marshalling.
 //! * **Bounded mailboxes** provide backpressure from scoring back to the
 //!   input actors.
+//!
+//! Per chain, the input actor is a kernel [`source pump`] (supervised,
+//! commit-owning, restarted at the committed offsets) feeding a bounded
+//! mailbox; the scoring and output actors are kernel score/sink stages
+//! behind the personality's object-store hops.
+//!
+//! [`source pump`]: crayfish_engine_kernel::source_pump
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::Duration;
 
 use bytes::Bytes;
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender};
 
-use crayfish_broker::{Broker, PartitionConsumer, Producer, ProducerConfig};
-use crayfish_core::chaos::{supervise, RetryPolicy, SupervisorConfig, WorkerExit};
-use crayfish_core::scoring::score_payload_obs;
-use crayfish_core::{CoreError, DataProcessor, ProcessorContext, Result, RunningJob};
+use crayfish_broker::{Broker, Producer, ProducerConfig};
+use crayfish_core::{DataProcessor, ProcessorContext, Result, RunningJob};
+use crayfish_engine_kernel::{
+    ingest_span, source_pump, EnginePersonality, ProducerSink, PumpSettings, ScoreStage, WorkerSet,
+};
 use crayfish_sim::{Cost, OverheadModel};
 
 /// Engine configuration.
@@ -71,20 +76,6 @@ impl RayProcessor {
     }
 }
 
-struct RayJob {
-    stop: Arc<AtomicBool>,
-    threads: Vec<JoinHandle<()>>,
-}
-
-impl RunningJob for RayJob {
-    fn stop(mut self: Box<Self>) {
-        self.stop.store(true, Ordering::SeqCst);
-        for h in self.threads.drain(..) {
-            let _ = h.join();
-        }
-    }
-}
-
 /// An object-store transfer: the receiver gets its own copy of the payload
 /// and pays the Python dispatch cost.
 fn object_store_receive(msg: &Bytes, dispatch: Cost) -> Bytes {
@@ -93,190 +84,103 @@ fn object_store_receive(msg: &Bytes, dispatch: Cost) -> Bytes {
     copy
 }
 
-impl DataProcessor for RayProcessor {
+impl EnginePersonality for RayProcessor {
     fn name(&self) -> &'static str {
         "ray"
     }
 
-    fn start(&self, ctx: ProcessorContext) -> Result<Box<dyn RunningJob>> {
-        ctx.validate()?;
-        let stop = Arc::new(AtomicBool::new(false));
+    fn deploy(&self, ctx: &ProcessorContext, set: &mut WorkerSet) -> Result<()> {
         let options = self.options;
         let dispatch = options.overheads.actor_dispatch;
         let partitions = ctx.broker.partitions(&ctx.input_topic)?;
         let assignment = Broker::range_assignment(partitions, ctx.mp);
-        let mut threads = Vec::with_capacity(ctx.mp * 3);
 
         for (i, assigned) in assignment.into_iter().enumerate() {
-            // One-to-one actor chain i: input -> scoring -> output.
+            // One-to-one actor chain i: input -> scoring -> output, with
+            // the stages registered upstream-first so shutdown drains the
+            // mailboxes front to back.
             let (score_tx, score_rx): (Sender<Bytes>, Receiver<Bytes>) =
                 bounded(options.mailbox_capacity.max(1));
             let (out_tx, out_rx): (Sender<Bytes>, Receiver<Bytes>) =
                 bounded(options.mailbox_capacity.max(1));
 
             // Input actor: consumes from Kafka, puts into the object store.
-            // Supervised (Ray restarts dead actors): the mailbox survives
-            // across incarnations, only the consumer is rebuilt, resuming
-            // from the committed offsets.
-            let consumer = PartitionConsumer::new(
-                ctx.broker.clone(),
-                &ctx.input_topic,
-                &ctx.group,
-                assigned.clone(),
-            )?;
-            let mut slot = Some(consumer);
-            let flag = stop.clone();
-            let chaos = ctx.chaos().clone();
-            let broker = ctx.broker.clone();
-            let input_topic = ctx.input_topic.clone();
-            let group = ctx.group.clone();
-            threads.push(supervise(
+            // Ray restarts dead actors — the mailbox survives across
+            // incarnations, only the consumer is rebuilt. The object-store
+            // get is paid by the *receiving* actor, so the pump charges no
+            // ingest cost of its own.
+            source_pump(
+                set,
+                ctx,
                 format!("ray-input-{i}"),
-                stop.clone(),
-                ctx.obs().clone(),
-                chaos.clone(),
-                SupervisorConfig::default(),
-                move |_incarnation| {
-                    let mut consumer = match slot.take() {
-                        Some(c) => c,
-                        None => match PartitionConsumer::new(
-                            broker.clone(),
-                            &input_topic,
-                            &group,
-                            assigned.clone(),
-                        ) {
-                            Ok(c) => c,
-                            Err(e) if e.is_transient() => {
-                                return WorkerExit::Failed(format!("rebuild consumer: {e}"))
-                            }
-                            Err(_) => return WorkerExit::Stopped,
-                        },
-                    };
-                    while !flag.load(Ordering::SeqCst) {
-                        if chaos.take_worker_crash() {
-                            return WorkerExit::Failed("injected actor crash".into());
-                        }
-                        let records = match consumer.poll(Duration::from_millis(50)) {
-                            Ok(r) => r,
-                            Err(e) if e.is_transient() => {
-                                return WorkerExit::Failed(format!("poll: {e}"))
-                            }
-                            Err(_) => return WorkerExit::Stopped,
-                        };
-                        for rec in records {
-                            if score_tx.send(rec.value).is_err() {
-                                return WorkerExit::Stopped;
-                            }
-                        }
-                        consumer.commit();
-                    }
-                    WorkerExit::Stopped
-                },
-            ));
+                assigned,
+                PumpSettings::default(),
+                score_tx,
+            )?;
 
-            // Scoring actor.
-            let mut scorer = ctx.scorer.build()?;
+            // Scoring actor: object-store get + dispatch is the engine's
+            // per-record ingestion cost; transient scoring failures retry
+            // in place (the message already left the input actor's commit
+            // scope).
             let obs = ctx.obs().clone();
-            threads.push(spawn_actor(format!("ray-score-{i}"), move || {
-                let batches_scored = obs.counter("batches_scored");
-                let score_errors = obs.counter("score_errors");
-                let retries = obs.counter("retries");
-                // Messages already left the input actor's commit scope, so
-                // transient scoring failures retry in place.
-                let retry = RetryPolicy::patient();
-                loop {
-                    match score_rx.recv_timeout(Duration::from_millis(100)) {
-                        Ok(msg) => {
-                            // Object-store get + actor dispatch is the
-                            // engine's per-record ingestion cost.
-                            let span = obs.timer(crayfish_core::Stage::Ingest);
-                            let staged = object_store_receive(&msg, dispatch);
-                            span.stop();
-                            let outcome = retry.run(
-                                CoreError::is_transient,
-                                |_| retries.inc(),
-                                || score_payload_obs(scorer.as_mut(), &staged, &obs),
-                            );
-                            match outcome {
-                                Ok(scored) => {
-                                    batches_scored.inc();
-                                    if out_tx.send(scored).is_err() {
-                                        return;
-                                    }
-                                }
-                                Err(_) => score_errors.inc(),
-                            }
+            let transfers = obs.counter("ray_object_store_transfers");
+            let mut score = ScoreStage::in_place(ctx.scorer.build()?, &obs);
+            set.task(format!("ray-score-{i}"), move || {
+                while let Ok(msg) = score_rx.recv() {
+                    let staged = ingest_span(&obs, || object_store_receive(&msg, dispatch));
+                    transfers.inc();
+                    if let Ok(Some(scored)) = score.score(&staged) {
+                        if out_tx.send(scored).is_err() {
+                            return;
                         }
-                        Err(RecvTimeoutError::Timeout) => continue,
-                        Err(RecvTimeoutError::Disconnected) => return,
                     }
                 }
-            })?);
+            })?;
 
-            // Output actor: writes to Kafka.
-            let mut producer = Producer::new(
+            // Output actor: a second object-store hop, then the sink. The
+            // dispatch cost is charged inside the sink's `emit` span.
+            let obs = ctx.obs().clone();
+            let transfers = obs.counter("ray_object_store_transfers");
+            let producer = Producer::new(
                 ctx.broker.clone(),
                 &ctx.output_topic,
                 ProducerConfig::default(),
             )?;
-            let obs = ctx.obs().clone();
-            threads.push(spawn_actor(format!("ray-output-{i}"), move || {
-                let records_out = obs.counter("records_out");
-                loop {
-                    match out_rx.recv_timeout(Duration::from_millis(100)) {
-                        Ok(msg) => {
-                            let span = obs.timer(crayfish_core::Stage::Emit);
-                            let staged = object_store_receive(&msg, dispatch);
-                            let sent = producer.send(None, staged);
-                            span.stop();
-                            if sent.is_err() {
-                                return;
-                            }
-                            records_out.inc();
-                        }
-                        Err(RecvTimeoutError::Timeout) => continue,
-                        Err(RecvTimeoutError::Disconnected) => return,
+            let mut sink = ProducerSink::with_cost(producer, &obs, dispatch);
+            set.task(format!("ray-output-{i}"), move || {
+                while let Ok(msg) = out_rx.recv() {
+                    let staged = Bytes::from(msg.to_vec());
+                    transfers.inc();
+                    if sink.emit(staged).is_err() {
+                        return;
                     }
                 }
-            })?);
+            })?;
         }
-        Ok(Box::new(RayJob { stop, threads }))
+        Ok(())
     }
 }
 
-fn spawn_actor(name: String, body: impl FnOnce() + Send + 'static) -> Result<JoinHandle<()>> {
-    std::thread::Builder::new()
-        .name(name.clone())
-        .spawn(body)
-        .map_err(|e| CoreError::Config(format!("spawn {name}: {e}")))
+impl DataProcessor for RayProcessor {
+    fn name(&self) -> &'static str {
+        EnginePersonality::name(self)
+    }
+
+    fn start(&self, ctx: ProcessorContext) -> Result<Box<dyn RunningJob>> {
+        crayfish_engine_kernel::start(self, ctx)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crayfish_core::batch::{CrayfishDataBatch, ScoredBatch};
-    use crayfish_core::scoring::ScorerSpec;
-    use crayfish_models::tiny;
-    use crayfish_runtime::{Device, EmbeddedLib};
-    use crayfish_sim::{now_millis_f64, NetworkModel};
-    use crayfish_tensor::Tensor;
+
+    use crayfish_core::batch::testkit::{distinct_ids, drain_scored, feed, onnx_ctx};
+    use crayfish_sim::NetworkModel;
+    use std::time::Duration;
 
     fn make_ctx(mp: usize, overheads: OverheadModel) -> (ProcessorContext, RayProcessor) {
-        let broker = Broker::new(NetworkModel::zero());
-        broker.create_topic("in", 8).unwrap();
-        broker.create_topic("out", 8).unwrap();
-        let ctx = ProcessorContext {
-            broker,
-            input_topic: "in".into(),
-            output_topic: "out".into(),
-            group: "sut".into(),
-            scorer: ScorerSpec::Embedded {
-                lib: EmbeddedLib::Onnx,
-                graph: Arc::new(tiny::tiny_mlp(1)),
-                device: Device::Cpu,
-            },
-            mp,
-        };
+        let ctx = onnx_ctx(Broker::new(NetworkModel::zero()), 8, mp);
         let proc = RayProcessor::with_options(RayOptions {
             overheads,
             ..Default::default()
@@ -284,41 +188,14 @@ mod tests {
         (ctx, proc)
     }
 
-    fn feed(broker: &Broker, n: u64) {
-        for id in 0..n {
-            let t = Tensor::seeded_uniform([1, 8, 8], id, 0.0, 1.0);
-            let payload = CrayfishDataBatch::from_tensor(id, now_millis_f64(), &t)
-                .encode()
-                .unwrap();
-            broker
-                .append("in", (id % 8) as u32, vec![(payload, 0.0)])
-                .unwrap();
-        }
-    }
-
-    fn wait_for(broker: &Broker, n: u64) {
-        let deadline = std::time::Instant::now() + Duration::from_secs(10);
-        while broker.total_records("out").unwrap() < n && std::time::Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(10));
-        }
-    }
-
     #[test]
     fn actor_chains_score_everything_exactly_once() {
         let (ctx, proc) = make_ctx(2, OverheadModel::zero());
         let broker = ctx.broker.clone();
         let job = proc.start(ctx).unwrap();
-        feed(&broker, 60);
-        wait_for(&broker, 60);
-        let mut ids = Vec::new();
-        for p in 0..8u32 {
-            for r in broker.read("out", p, 0, 10_000, usize::MAX).unwrap() {
-                ids.push(ScoredBatch::decode(&r.value).unwrap().id);
-            }
-        }
-        ids.sort_unstable();
-        ids.dedup();
-        assert_eq!(ids.len(), 60);
+        feed(&broker, "in", 8, 60);
+        let scored = drain_scored(&broker, "out", 8, 60, Duration::from_secs(10));
+        assert_eq!(distinct_ids(&scored).len(), 60);
         job.stop();
     }
 
@@ -330,8 +207,8 @@ mod tests {
         let broker = ctx.broker.clone();
         let job = proc.start(ctx).unwrap();
         let sw = crayfish_sim::Stopwatch::start();
-        feed(&broker, 1);
-        wait_for(&broker, 1);
+        feed(&broker, "in", 8, 1);
+        drain_scored(&broker, "out", 8, 1, Duration::from_secs(10));
         // Two dispatches at >= 180 µs each, plus pipeline time.
         assert!(sw.elapsed_millis() >= 0.36, "{} ms", sw.elapsed_millis());
         job.stop();
@@ -342,10 +219,10 @@ mod tests {
         let (ctx, proc) = make_ctx(3, OverheadModel::zero());
         let broker = ctx.broker.clone();
         let job = proc.start(ctx).unwrap();
-        feed(&broker, 10);
-        wait_for(&broker, 10);
+        feed(&broker, "in", 8, 10);
+        drain_scored(&broker, "out", 8, 10, Duration::from_secs(10));
         job.stop();
-        feed(&broker, 5);
+        feed(&broker, "in", 8, 5);
         std::thread::sleep(Duration::from_millis(150));
         assert_eq!(broker.total_records("out").unwrap(), 10);
     }

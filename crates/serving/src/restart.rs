@@ -68,7 +68,10 @@ impl RestartableServer {
     pub fn restore(&self) -> Result<()> {
         let mut guard = self.handle.lock();
         if guard.is_none() {
-            *guard = Some(self.kind.start_at(&self.graph, self.config.clone(), self.addr)?);
+            *guard = Some(
+                self.kind
+                    .start_at(&self.graph, self.config.clone(), self.addr)?,
+            );
         }
         Ok(())
     }
@@ -112,9 +115,8 @@ mod tests {
     #[test]
     fn works_for_every_external_kind() {
         for kind in ExternalKind::ALL {
-            let srv =
-                RestartableServer::start(kind, &tiny::tiny_mlp(1), ServingConfig::default())
-                    .unwrap();
+            let srv = RestartableServer::start(kind, &tiny::tiny_mlp(1), ServingConfig::default())
+                .unwrap();
             let addr = srv.addr();
             srv.crash();
             srv.restore().unwrap();

@@ -160,7 +160,9 @@ impl ModelPool {
 }
 
 /// Spawn a localhost TCP server on an ephemeral port. `on_connection` is
-/// invoked on a fresh thread per accepted connection.
+/// invoked on a fresh thread per accepted connection. Only tests need the
+/// ephemeral-port variant; production servers restart on a fixed address.
+#[cfg(test)]
 pub(crate) fn spawn_listener(
     name: &'static str,
     on_connection: impl Fn(TcpStream) + Send + Sync + 'static,

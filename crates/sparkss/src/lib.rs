@@ -2,37 +2,43 @@
 //!
 //! A micro-batch stream processing engine in the style of Spark Structured
 //! Streaming (§3.4.1 of the paper), implementing the Crayfish
-//! `DataProcessor` interface.
+//! `DataProcessor` interface as an [`EnginePersonality`] over the shared
+//! engine kernel.
 //!
 //! Mechanisms reproduced:
 //!
 //! * **Micro-batch triggers**: a driver loop repeatedly (a) resolves the
 //!   available input offsets, (b) pays the calibrated per-batch planning/
 //!   scheduling cost (`microbatch_schedule` in
-//!   [`crayfish_sim::calibration`]), (c) splits the batch into `mp` tasks
-//!   executed by an executor pool, (d) waits for the barrier, and
+//!   [`crayfish_sim::calibration`]), (c) splits the batch into per-partition
+//!   tasks executed by an executor pool, (d) waits for the barrier, and
 //!   (e) commits. The paper sets the trigger interval to the minimum, so a
-//!   new batch starts as soon as the previous one finishes.
+//!   new batch starts as soon as the previous one finishes. Each committed
+//!   batch increments the `spark_microbatches` counter.
 //! * **Throughput over latency**: per-event overheads amortise across the
 //!   whole micro-batch (the paper's Table 5 Spark SS throughput win), while
 //!   every event waits for batch accumulation + scheduling (its Fig. 10
 //!   latency loss).
-//! * **External-server saturation**: the `mp` tasks of one micro-batch
-//!   issue their blocking scoring calls concurrently, which is what keeps
-//!   an external server busy (§5.3.3, §7.1 "Micro-batching Support").
+//! * **External-server saturation**: the tasks of one micro-batch issue
+//!   their blocking scoring calls concurrently, which is what keeps an
+//!   external server busy (§5.3.3, §7.1 "Micro-batching Support").
+//!
+//! The driver is the engine's one supervised, commit-owning kernel worker
+//! (restarts replan the uncommitted batch from the committed offsets); the
+//! executors are kernel score/sink stages past commit scope, living until
+//! the driver's task channel disconnects.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Sender};
 
 use crayfish_broker::{PartitionConsumer, Producer, ProducerConfig};
-use crayfish_core::chaos::{supervise, RetryPolicy, SupervisorConfig, WorkerExit};
-use crayfish_core::scoring::score_payload_obs;
-use crayfish_core::{CoreError, DataProcessor, ProcessorContext, Result, RunningJob};
+use crayfish_core::chaos::WorkerExit;
+use crayfish_core::{DataProcessor, ProcessorContext, Result, RunningJob};
+use crayfish_engine_kernel::{
+    charge_ingest_chunk, EnginePersonality, ProducerSink, Rebuild, ScoreStage, WorkerSet,
+};
 use crayfish_sim::{calibration, precise_sleep, Cost, OverheadModel};
 
 /// Engine configuration.
@@ -94,183 +100,75 @@ struct Task {
     done: Sender<usize>,
 }
 
-struct SparkJob {
-    stop: Arc<AtomicBool>,
-    driver: Option<JoinHandle<()>>,
-    executors: Vec<JoinHandle<()>>,
-}
-
-impl RunningJob for SparkJob {
-    fn stop(mut self: Box<Self>) {
-        self.stop.store(true, Ordering::SeqCst);
-        if let Some(h) = self.driver.take() {
-            let _ = h.join();
-        }
-        // Driver exit drops the task channel; executors drain and stop.
-        for h in self.executors.drain(..) {
-            let _ = h.join();
-        }
-    }
-}
-
-impl DataProcessor for SparkProcessor {
+impl EnginePersonality for SparkProcessor {
     fn name(&self) -> &'static str {
         "sparkss"
     }
 
-    fn start(&self, ctx: ProcessorContext) -> Result<Box<dyn RunningJob>> {
-        ctx.validate()?;
-        let stop = Arc::new(AtomicBool::new(false));
+    fn deploy(&self, ctx: &ProcessorContext, set: &mut WorkerSet) -> Result<()> {
         let options = self.options;
         let partitions = ctx.broker.partitions(&ctx.input_topic)?;
-
-        // Executor pool: `executor_cores` task slots run concurrently, each
-        // owning a scorer and a producer (Spark tasks write to the sink
-        // themselves). Slot count is a property of the executor, not of
-        // `mp` — matching the paper's deployment.
         let slots = options.executor_cores.max(1);
         let (task_tx, task_rx) = unbounded::<Task>();
-        let mut executors = Vec::with_capacity(slots);
-        for i in 0..slots {
-            let rx: Receiver<Task> = task_rx.clone();
-            let mut scorer = ctx.scorer.build()?;
-            let mut producer = Producer::new(
-                ctx.broker.clone(),
-                &ctx.output_topic,
-                ProducerConfig::default(),
-            )?;
-            let obs = ctx.obs().clone();
-            executors.push(
-                std::thread::Builder::new()
-                    .name(format!("spark-executor-{i}"))
-                    .spawn(move || {
-                        let batches_scored = obs.counter("batches_scored");
-                        let records_out = obs.counter("records_out");
-                        let score_errors = obs.counter("score_errors");
-                        let retries = obs.counter("retries");
-                        // Tasks are past the driver's commit scope, so
-                        // transient scoring failures retry in place rather
-                        // than dropping the record.
-                        let retry = RetryPolicy::patient();
-                        // Runs until the driver drops the channel.
-                        while let Ok(task) = rx.recv() {
-                            // Vectorised framework cost for the whole chunk —
-                            // one `ingest` span covers the whole amortised
-                            // sleep (Spark charges it per chunk, not per
-                            // record).
-                            let span = obs.timer(crayfish_core::Stage::Ingest);
-                            let bytes: usize = task.records.iter().map(|r| r.len()).sum();
-                            let per_chunk: Duration = options
-                                .record_overhead
-                                .duration(bytes / task.records.len().max(1))
-                                .mul_f64(task.records.len() as f64);
-                            precise_sleep(per_chunk);
-                            span.stop();
-                            let mut written = 0usize;
-                            for rec in &task.records {
-                                let outcome = retry.run(
-                                    CoreError::is_transient,
-                                    |_| retries.inc(),
-                                    || score_payload_obs(scorer.as_mut(), rec, &obs),
-                                );
-                                match outcome {
-                                    Ok(out) => {
-                                        batches_scored.inc();
-                                        let span = obs.timer(crayfish_core::Stage::Emit);
-                                        let sent = producer.send(None, out);
-                                        span.stop();
-                                        if sent.is_ok() {
-                                            written += 1;
-                                            records_out.inc();
-                                        }
-                                    }
-                                    Err(_) => score_errors.inc(),
-                                }
-                            }
-                            producer.flush();
-                            let _ = task.done.send(written);
-                        }
-                    })
-                    .map_err(|e| CoreError::Config(format!("spawn spark executor: {e}")))?,
-            );
-        }
-        drop(task_rx);
 
-        // Driver loop. Supervised: a transient fabric failure or an
-        // injected crash ends the incarnation before the batch commits; the
-        // restarted driver rebuilds its consumer at the committed offsets
-        // and replans the batch (at-least-once, duplicates bounded by one
-        // uncommitted micro-batch). The executor pool survives restarts —
-        // the task channel lives inside the driver closure.
-        let source = PartitionConsumer::new(
-            ctx.broker.clone(),
-            &ctx.input_topic,
-            &ctx.group,
-            (0..partitions).collect(),
-        )?;
-        let mut slot = Some(source);
-        let flag = stop.clone();
-        let obs = ctx.obs().clone();
-        let chaos = ctx.chaos().clone();
+        // Driver. Registered first: stopping joins it first, its closure —
+        // which owns the task channel — drops, and the executor pool drains
+        // and exits on disconnect. Supervised: a transient fabric failure
+        // or an injected crash ends the incarnation before the batch
+        // commits; the restarted driver rebuilds its consumer at the
+        // committed offsets and replans the batch (at-least-once,
+        // duplicates bounded by one uncommitted micro-batch).
         let broker = ctx.broker.clone();
         let input_topic = ctx.input_topic.clone();
         let group = ctx.group.clone();
-        let driver = supervise(
-            "spark-driver".into(),
-            stop.clone(),
-            obs.clone(),
-            chaos.clone(),
-            SupervisorConfig::default(),
-            move |_incarnation| {
-                let mut source = match slot.take() {
-                    Some(s) => s,
-                    None => match PartitionConsumer::new(
-                        broker.clone(),
-                        &input_topic,
-                        &group,
-                        (0..partitions).collect(),
-                    ) {
-                        Ok(s) => s,
-                        Err(e) if e.is_transient() => {
-                            return WorkerExit::Failed(format!("rebuild driver source: {e}"))
-                        }
-                        Err(_) => return WorkerExit::Stopped,
-                    },
+        let resources = Rebuild::eager(move || {
+            let mut source = PartitionConsumer::new(
+                broker.clone(),
+                &input_topic,
+                &group,
+                (0..partitions).collect(),
+            )?;
+            source.max_poll_records = options.max_records_per_batch;
+            Ok(source)
+        })?;
+        let obs = ctx.obs().clone();
+        let commits = obs.counter("engine_commits");
+        let microbatches = obs.counter("spark_microbatches");
+        let schedule_ns = obs.histogram_ns("spark_schedule");
+        set.supervised(ctx, "spark-driver".into(), resources, move |source, ctl| {
+            loop {
+                if let Some(exit) = ctl.checkpoint() {
+                    return exit;
+                }
+                // (a) Resolve available offsets / pull the micro-batch.
+                let records = match source.poll(Duration::from_millis(50)) {
+                    Ok(r) => r,
+                    Err(e) if e.is_transient() => return WorkerExit::Failed(format!("poll: {e}")),
+                    Err(_) => return WorkerExit::Stopped,
                 };
-                source.max_poll_records = options.max_records_per_batch;
-                let schedule_ns = obs.histogram_ns("spark_schedule");
-                while !flag.load(Ordering::SeqCst) {
-                    if chaos.take_worker_crash() {
-                        return WorkerExit::Failed("injected driver crash".into());
+                if records.is_empty() {
+                    continue;
+                }
+                // (b) Planning and task scheduling for this batch.
+                let sched = schedule_ns.start();
+                options.overheads.microbatch_schedule.spend(0);
+                schedule_ns.observe_since(sched);
+                // (c) One task per source partition with data, as Spark
+                // plans Kafka micro-batches.
+                let mut chunks: Vec<(u32, Vec<Bytes>)> = Vec::new();
+                for rec in records {
+                    match chunks.iter_mut().find(|(p, _)| *p == rec.partition) {
+                        Some((_, c)) => c.push(rec.value),
+                        None => chunks.push((rec.partition, vec![rec.value])),
                     }
-                    // (a) Resolve available offsets / pull the micro-batch.
-                    let records = match source.poll(Duration::from_millis(50)) {
-                        Ok(r) => r,
-                        Err(e) if e.is_transient() => {
-                            return WorkerExit::Failed(format!("poll: {e}"))
-                        }
-                        Err(_) => return WorkerExit::Stopped,
-                    };
-                    if records.is_empty() {
-                        continue;
-                    }
-                    // (b) Planning and task scheduling for this batch.
-                    let sched = schedule_ns.start();
-                    options.overheads.microbatch_schedule.spend(0);
-                    schedule_ns.observe_since(sched);
-                    // (c) One task per source partition with data, as Spark
-                    // plans Kafka micro-batches.
-                    let mut chunks: Vec<(u32, Vec<Bytes>)> = Vec::new();
-                    for rec in records {
-                        match chunks.iter_mut().find(|(p, _)| *p == rec.partition) {
-                            Some((_, c)) => c.push(rec.value),
-                            None => chunks.push((rec.partition, vec![rec.value])),
-                        }
-                    }
-                    let chunks: Vec<Vec<Bytes>> = chunks.into_iter().map(|(_, c)| c).collect();
+                }
+                let mut dispatched = 0usize;
+                // The send scope ends before the barrier so the tasks hold
+                // the only `done` senders — a dead task then surfaces as a
+                // recv error instead of a hang.
+                let done_rx = {
                     let (done_tx, done_rx) = unbounded();
-                    let mut dispatched = 0usize;
-                    for records in chunks.into_iter().filter(|c| !c.is_empty()) {
+                    for (_, records) in chunks.into_iter().filter(|(_, c)| !c.is_empty()) {
                         dispatched += 1;
                         if task_tx
                             .send(Task {
@@ -282,79 +180,84 @@ impl DataProcessor for SparkProcessor {
                             return WorkerExit::Stopped;
                         }
                     }
-                    drop(done_tx);
-                    // (d) Barrier: the batch commits only when every task
-                    // has finished.
-                    for _ in 0..dispatched {
-                        if done_rx.recv().is_err() {
-                            return WorkerExit::Stopped;
-                        }
-                    }
-                    // (e) Commit and trigger the next batch.
-                    source.commit();
-                    if !options.trigger_interval.is_zero() {
-                        crayfish_sim::precise_sleep(options.trigger_interval);
+                    done_rx
+                };
+                // (d) Barrier: the batch commits only when every task has
+                // finished.
+                for _ in 0..dispatched {
+                    if done_rx.recv().is_err() {
+                        return WorkerExit::Stopped;
                     }
                 }
-                WorkerExit::Stopped
-            },
-        );
+                // (e) Commit and trigger the next batch.
+                source.commit();
+                commits.inc();
+                microbatches.inc();
+                if !options.trigger_interval.is_zero() {
+                    precise_sleep(options.trigger_interval);
+                }
+            }
+        });
 
-        Ok(Box::new(SparkJob {
-            stop,
-            driver: Some(driver),
-            executors,
-        }))
+        // Executor pool: `executor_cores` task slots run concurrently, each
+        // owning a scorer and a producer (Spark tasks write to the sink
+        // themselves). Slot count is a property of the executor, not of
+        // `mp` — matching the paper's deployment. Tasks are past the
+        // driver's commit scope, so transient scoring failures retry in
+        // place rather than dropping the record.
+        for i in 0..slots {
+            let rx = task_rx.clone();
+            let obs = ctx.obs().clone();
+            let mut score = ScoreStage::in_place(ctx.scorer.build()?, &obs);
+            let producer = Producer::new(
+                ctx.broker.clone(),
+                &ctx.output_topic,
+                ProducerConfig::default(),
+            )?;
+            let mut sink = ProducerSink::new(producer, &obs);
+            set.task(format!("spark-executor-{i}"), move || {
+                // Runs until the driver drops the channel.
+                while let Ok(task) = rx.recv() {
+                    // Vectorised framework cost for the whole chunk — one
+                    // `ingest` span covers the whole amortised sleep.
+                    let bytes: usize = task.records.iter().map(|r| r.len()).sum();
+                    charge_ingest_chunk(&obs, options.record_overhead, bytes, task.records.len());
+                    let mut written = 0usize;
+                    for rec in &task.records {
+                        if let Ok(Some(out)) = score.score(rec) {
+                            if sink.emit(out).is_ok() {
+                                written += 1;
+                            }
+                        }
+                    }
+                    sink.flush();
+                    let _ = task.done.send(written);
+                }
+            })?;
+        }
+        Ok(())
+    }
+}
+
+impl DataProcessor for SparkProcessor {
+    fn name(&self) -> &'static str {
+        EnginePersonality::name(self)
+    }
+
+    fn start(&self, ctx: ProcessorContext) -> Result<Box<dyn RunningJob>> {
+        crayfish_engine_kernel::start(self, ctx)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
     use crayfish_broker::Broker;
-    use crayfish_core::batch::{CrayfishDataBatch, ScoredBatch};
-    use crayfish_core::scoring::ScorerSpec;
-    use crayfish_models::tiny;
-    use crayfish_runtime::{Device, EmbeddedLib};
-    use crayfish_sim::{now_millis_f64, NetworkModel};
-    use crayfish_tensor::Tensor;
-
-    fn make_ctx(mp: usize) -> ProcessorContext {
-        let broker = Broker::new(NetworkModel::zero());
-        broker.create_topic("in", 8).unwrap();
-        broker.create_topic("out", 8).unwrap();
-        ProcessorContext {
-            broker,
-            input_topic: "in".into(),
-            output_topic: "out".into(),
-            group: "sut".into(),
-            scorer: ScorerSpec::Embedded {
-                lib: EmbeddedLib::Onnx,
-                graph: Arc::new(tiny::tiny_mlp(1)),
-                device: Device::Cpu,
-            },
-            mp,
-        }
-    }
-
-    fn feed(broker: &Broker, n: u64) {
-        for id in 0..n {
-            let t = Tensor::seeded_uniform([1, 8, 8], id, 0.0, 1.0);
-            let payload = CrayfishDataBatch::from_tensor(id, now_millis_f64(), &t)
-                .encode()
-                .unwrap();
-            broker
-                .append("in", (id % 8) as u32, vec![(payload, 0.0)])
-                .unwrap();
-        }
-    }
-
-    fn wait_for(broker: &Broker, n: u64) {
-        let deadline = std::time::Instant::now() + Duration::from_secs(10);
-        while broker.total_records("out").unwrap() < n && std::time::Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(10));
-        }
-    }
+    use crayfish_core::batch::testkit::{drain_scored, feed, onnx_ctx};
+    use crayfish_core::chaos::{testkit::poll_until, ChaosHandle};
+    use crayfish_core::obs::ObsHandle;
+    use crayfish_sim::NetworkModel;
 
     /// Fast options for tests: no modelled driver cost.
     fn quick() -> SparkProcessor {
@@ -366,60 +269,46 @@ mod tests {
     }
 
     #[test]
-    fn micro_batches_score_everything_exactly_once() {
-        let ctx = make_ctx(4);
-        let broker = ctx.broker.clone();
-        let job = quick().start(ctx).unwrap();
-        feed(&broker, 100);
-        wait_for(&broker, 100);
-        let mut ids = Vec::new();
-        for p in 0..8u32 {
-            for r in broker.read("out", p, 0, 10_000, usize::MAX).unwrap() {
-                ids.push(ScoredBatch::decode(&r.value).unwrap().id);
-            }
-        }
-        ids.sort_unstable();
-        ids.dedup();
-        assert_eq!(ids.len(), 100);
-        job.stop();
-    }
-
-    #[test]
     fn driver_cost_adds_latency_floor() {
         // With the calibrated 10 ms scheduling cost, a single event's
         // end-to-end time through the engine must exceed 10 ms.
-        let ctx = make_ctx(1);
+        let ctx = onnx_ctx(Broker::new(NetworkModel::zero()), 8, 1);
         let broker = ctx.broker.clone();
         let job = SparkProcessor::new().start(ctx).unwrap();
         let start = std::time::Instant::now();
-        feed(&broker, 1);
-        wait_for(&broker, 1);
+        feed(&broker, "in", 8, 1);
+        drain_scored(&broker, "out", 8, 1, Duration::from_secs(10));
         let ms = start.elapsed().as_secs_f64() * 1e3;
         assert!(ms >= 10.0, "micro-batch completed in {ms} ms");
         job.stop();
     }
 
     #[test]
-    fn commits_offsets_per_batch() {
-        let ctx = make_ctx(2);
-        let broker = ctx.broker.clone();
+    fn commits_offsets_per_micro_batch() {
+        // The personality's trigger clock: every committed batch drains the
+        // group lag and counts as one micro-batch.
+        let obs = ObsHandle::enabled();
+        let broker = Broker::with_parts(NetworkModel::zero(), obs.clone(), ChaosHandle::disabled());
+        let ctx = onnx_ctx(broker.clone(), 8, 2);
         let job = quick().start(ctx).unwrap();
-        feed(&broker, 30);
-        wait_for(&broker, 30);
-        std::thread::sleep(Duration::from_millis(100));
-        assert_eq!(broker.group_lag("sut", "in").unwrap(), 0);
+        feed(&broker, "in", 8, 30);
+        drain_scored(&broker, "out", 8, 30, Duration::from_secs(10));
+        assert!(poll_until(Duration::from_secs(5), || {
+            broker.group_lag("sut", "in").unwrap() == 0
+        }));
+        assert!(obs.counter("spark_microbatches").get() > 0);
         job.stop();
     }
 
     #[test]
     fn stop_terminates_driver_and_executors() {
-        let ctx = make_ctx(3);
+        let ctx = onnx_ctx(Broker::new(NetworkModel::zero()), 8, 3);
         let broker = ctx.broker.clone();
         let job = quick().start(ctx).unwrap();
-        feed(&broker, 10);
-        wait_for(&broker, 10);
+        feed(&broker, "in", 8, 10);
+        drain_scored(&broker, "out", 8, 10, Duration::from_secs(10));
         job.stop();
-        feed(&broker, 10);
+        feed(&broker, "in", 8, 5);
         std::thread::sleep(Duration::from_millis(100));
         assert_eq!(broker.total_records("out").unwrap(), 10);
     }

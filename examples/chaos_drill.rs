@@ -46,7 +46,10 @@ fn main() {
     spec.chaos = ChaosHandle::enabled();
     spec.chaos_plan = FaultPlan::generate(seed, duration.mul_f64(0.8), &kinds);
 
-    println!("chaos drill: seed {seed}, {} fault windows over {duration:?}", kinds.len());
+    println!(
+        "chaos drill: seed {seed}, {} fault windows over {duration:?}",
+        kinds.len()
+    );
     for w in &spec.chaos_plan.windows {
         println!(
             "  {:17} at {:>5} ms for {:>4} ms",
@@ -76,7 +79,10 @@ fn main() {
         report.duplicates_dropped
     );
     if report.unrecovered > 0 {
-        println!("!! {} incident(s) never recovered — investigate", report.unrecovered);
+        println!(
+            "!! {} incident(s) never recovered — investigate",
+            report.unrecovered
+        );
         std::process::exit(1);
     }
 }

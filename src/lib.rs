@@ -32,6 +32,7 @@
 pub use crayfish_broker as broker;
 pub use crayfish_chaos as chaos;
 pub use crayfish_core as framework;
+pub use crayfish_engine_kernel as kernel;
 pub use crayfish_flink as flink;
 pub use crayfish_kstreams as kstreams;
 pub use crayfish_models as models;
@@ -48,9 +49,7 @@ pub mod registry;
 /// The most common imports for writing experiments.
 pub mod prelude {
     pub use crate::registry;
-    pub use crayfish_chaos::{
-        ChaosHandle, FaultKind, FaultPlan, RecoveryReport, RetryPolicy,
-    };
+    pub use crayfish_chaos::{ChaosHandle, FaultKind, FaultPlan, RecoveryReport, RetryPolicy};
     pub use crayfish_core::{
         run_experiment, DataProcessor, ExperimentResult, ExperimentSpec, ServingChoice, Workload,
     };

@@ -260,7 +260,9 @@ fn runner_reports_recovery_for_a_generated_plan() {
     );
     let result = run_experiment(&FlinkProcessor::new(), &spec).unwrap();
     assert!(result.consumed > 0, "nothing flowed through the chaos run");
-    let report = result.recovery.expect("chaos-enabled run must carry a report");
+    let report = result
+        .recovery
+        .expect("chaos-enabled run must carry a report");
     assert_eq!(report.incidents.len(), 2, "{report}");
     assert!(
         report.incidents.iter().all(|i| i.end_ms.is_some()),
@@ -287,7 +289,9 @@ fn empty_plan_with_resilience_enabled_runs_clean() {
     spec.chaos = ChaosHandle::enabled();
     let result = run_experiment(&FlinkProcessor::new(), &spec).unwrap();
     assert!(result.consumed > 0);
-    let report = result.recovery.expect("chaos-enabled run must carry a report");
+    let report = result
+        .recovery
+        .expect("chaos-enabled run must carry a report");
     assert!(report.incidents.is_empty(), "{report}");
     assert_eq!(report.availability(), 1.0);
 }
