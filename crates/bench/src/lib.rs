@@ -14,6 +14,8 @@
 //!   the measured one;
 //! * JSON dumps of every run under `bench_results/` for EXPERIMENTS.md.
 
+#![forbid(unsafe_code)]
+
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use bytes::Bytes;
-use parking_lot::RwLock;
+use crayfish_sync::RwLock;
 
 use crayfish_sim::NetworkModel;
 

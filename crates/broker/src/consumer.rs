@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crate::broker::Broker;
 use crate::topic::FetchedRecord;
@@ -81,14 +81,14 @@ impl PartitionConsumer {
     /// available. Returns an empty vector on timeout. One modelled network
     /// hop is paid per non-empty response.
     pub fn poll(&mut self, max_wait: Duration) -> Result<Vec<FetchedRecord>> {
-        let deadline = Instant::now() + max_wait;
+        let deadline = crayfish_sim::now() + max_wait;
         loop {
             // Fault injection: a stalled consumer or a partition-outage
             // window reads as "no data yet" — back off in short slices and
             // re-check until the poll deadline, then time out empty. A
             // deleted topic still surfaces as an error below.
             if self.chaos.consumer_stalled() || self.chaos.topic_unavailable(&self.topic) {
-                if Instant::now() >= deadline {
+                if crayfish_sim::now() >= deadline {
                     return Ok(Vec::new());
                 }
                 std::thread::sleep(Duration::from_millis(5).min(max_wait));
@@ -135,7 +135,7 @@ impl PartitionConsumer {
                 return Ok(out);
             }
             span.cancel();
-            let now = Instant::now();
+            let now = crayfish_sim::now();
             if now >= deadline {
                 return Ok(Vec::new());
             }

@@ -39,6 +39,9 @@ pub enum BrokerError {
         /// Partition.
         partition: u32,
     },
+    /// A client-side fabric failure: a producer sender thread could not be
+    /// spawned or panicked. Terminal for the client that hit it.
+    Fabric(String),
 }
 
 impl BrokerError {
@@ -70,6 +73,7 @@ impl fmt::Display for BrokerError {
             BrokerError::Unavailable { topic, partition } => {
                 write!(f, "partition {partition} of topic {topic} unavailable")
             }
+            BrokerError::Fabric(msg) => write!(f, "client fabric failure: {msg}"),
         }
     }
 }

@@ -23,6 +23,8 @@
 //! [`crayfish_sim::NetworkModel::zero`] to place a client "inside" the
 //! broker machine.
 
+#![forbid(unsafe_code)]
+
 pub mod broker;
 pub mod consumer;
 pub mod error;

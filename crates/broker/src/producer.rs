@@ -9,12 +9,11 @@
 //! the adaptive behaviour of `linger.ms = 0` Kafka.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
 use bytes::Bytes;
-use parking_lot::{Condvar, Mutex};
+use crayfish_sync::thread::{self, JoinHandle};
+use crayfish_sync::{Arc, Condvar, Mutex};
 
 use crayfish_chaos::RetryPolicy;
 use crayfish_sim::{now_millis_f64, precise_sleep};
@@ -97,10 +96,10 @@ impl Producer {
             drained: Condvar::new(),
         });
         let sender_inner = inner.clone();
-        let sender = std::thread::Builder::new()
-            .name(format!("producer-{topic}"))
-            .spawn(move || sender_loop(&sender_inner))
-            .expect("spawn producer sender thread");
+        let sender = thread::spawn_named(&format!("producer-{topic}"), move || {
+            sender_loop(&sender_inner)
+        })
+        .map_err(|e| BrokerError::Fabric(format!("spawn producer sender thread: {e}")))?;
         Ok(Producer {
             inner,
             sender: Some(sender),
@@ -139,29 +138,33 @@ impl Producer {
     pub fn flush(&self) {
         let mut state = self.inner.state.lock();
         while !state.queue.is_empty() || state.in_flight {
-            self.inner.drained.wait(&mut state);
+            state = self.inner.drained.wait(state);
         }
     }
 
-    /// Flush and shut the sender thread down. Called automatically on drop.
-    pub fn close(&mut self) {
+    /// Flush and shut the sender thread down. Called automatically on drop
+    /// (where a failure is ignored); call explicitly to observe a sender
+    /// thread that died with queued records.
+    pub fn close(&mut self) -> Result<()> {
         {
             let mut state = self.inner.state.lock();
             if state.closed {
-                return;
+                return Ok(());
             }
             state.closed = true;
             self.inner.wake.notify_all();
         }
         if let Some(h) = self.sender.take() {
-            h.join().expect("producer sender thread panicked");
+            h.join()
+                .map_err(|_| BrokerError::Fabric("producer sender thread panicked".into()))?;
         }
+        Ok(())
     }
 }
 
 impl Drop for Producer {
     fn drop(&mut self) {
-        self.close();
+        let _ = self.close();
     }
 }
 
@@ -177,7 +180,7 @@ fn sender_loop(inner: &Inner) {
         let batch = {
             let mut state = inner.state.lock();
             while state.queue.is_empty() && !state.closed {
-                inner.wake.wait(&mut state);
+                state = inner.wake.wait(state);
             }
             if state.queue.is_empty() && state.closed {
                 return;
@@ -312,7 +315,7 @@ mod tests {
     #[test]
     fn send_after_close_fails() {
         let (_b, mut p) = setup(1);
-        p.close();
+        p.close().unwrap();
         assert!(matches!(
             p.send(Some(0), Bytes::from_static(b"x")),
             Err(BrokerError::ProducerClosed)

@@ -3,7 +3,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use bytes::Bytes;
-use parking_lot::{Condvar, Mutex};
+use crayfish_sync::{Condvar, Mutex};
 
 use crayfish_sim::now_millis_f64;
 
@@ -201,12 +201,26 @@ impl Topic {
 
     /// Block until the topic's version exceeds `seen` or the deadline
     /// passes; returns the current version.
+    ///
+    /// The predicate is re-checked in a loop: a wakeup only counts once the
+    /// version has actually moved past `seen`, so spurious wakeups and
+    /// notifications for appends the caller already observed cannot end the
+    /// long-poll early. The loom model in `tests/loom.rs` checks the
+    /// append/wait handshake for lost wakeups.
     pub fn wait_for_data(&self, seen: u64, timeout: std::time::Duration) -> u64 {
+        let deadline = crayfish_sim::now() + timeout;
         let mut v = self.version.lock();
-        if *v > seen {
-            return *v;
+        while *v <= seen {
+            let remaining = deadline.saturating_duration_since(crayfish_sim::now());
+            if remaining.is_zero() {
+                break;
+            }
+            let (guard, timed_out) = self.data_cond.wait_timeout(v, remaining);
+            v = guard;
+            if timed_out {
+                break;
+            }
         }
-        self.data_cond.wait_for(&mut v, timeout);
         *v
     }
 

@@ -1,0 +1,52 @@
+//! Loom models for the broker's long-poll handshake. Compiled only under
+//! `RUSTFLAGS="--cfg loom"`.
+//!
+//! The interesting window: a consumer reads the topic version, finds no
+//! data, and goes to sleep on the condvar — while a producer appends and
+//! notifies. A lost wakeup here would leave the consumer blocked until its
+//! deadline (and forever under loom, whose condvars never time out), so the
+//! model proves the fetch long-poll cannot miss a concurrent append.
+#![cfg(loom)]
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use crayfish_broker::{Broker, PartitionConsumer};
+use crayfish_sim::NetworkModel;
+use crayfish_sync::{model, thread};
+
+/// The deadline is a liveness bound, never the wakeup mechanism: under loom
+/// the only way this poll returns is the append's notification arriving,
+/// whatever the interleaving of version read, append, and condvar wait.
+#[test]
+fn long_poll_never_misses_a_concurrent_append() {
+    model(|| {
+        let broker = Broker::new(NetworkModel::zero());
+        broker.create_topic("t", 1).unwrap();
+        let b2 = broker.clone();
+        let producer = thread::spawn(move || {
+            b2.append("t", 0, vec![(Bytes::from_static(b"x"), 0.0)])
+                .unwrap();
+        });
+        let mut consumer = PartitionConsumer::new(broker, "t", "g", vec![0]).unwrap();
+        let recs = consumer.poll(Duration::from_secs(3600)).unwrap();
+        assert_eq!(recs.len(), 1, "append lost by the long-poll");
+        producer.join().unwrap();
+    });
+}
+
+/// Offset commits race reads on the registry RwLock; a finished commit must
+/// be visible to a subsequent read (what consumer restarts rely on).
+#[test]
+fn committed_offsets_are_visible_after_the_commit() {
+    model(|| {
+        let broker = Broker::new(NetworkModel::zero());
+        broker.create_topic("t", 1).unwrap();
+        let b2 = broker.clone();
+        let committer = thread::spawn(move || b2.commit_offset("g", "t", 0, 1));
+        let racing = broker.committed_offset("g", "t", 0);
+        assert!(racing <= 1);
+        committer.join().unwrap();
+        assert_eq!(broker.committed_offset("g", "t", 0), 1);
+    });
+}

@@ -9,7 +9,7 @@
 
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use crayfish_sync::Mutex;
 
 /// Breaker tunables.
 #[derive(Debug, Clone, Copy)]
@@ -60,6 +60,8 @@ struct Inner {
     consecutive_failures: u32,
     opened_at: Option<Instant>,
     probes_in_flight: u32,
+    /// Closed/half-open → open transitions since construction.
+    trips: u64,
 }
 
 /// See module docs.
@@ -79,6 +81,7 @@ impl CircuitBreaker {
                 consecutive_failures: 0,
                 opened_at: None,
                 probes_in_flight: 0,
+                trips: 0,
             }),
         }
     }
@@ -93,7 +96,9 @@ impl CircuitBreaker {
             CircuitState::Open => {
                 let cooled = inner
                     .opened_at
-                    .map(|t| t.elapsed() >= self.config.cooldown)
+                    .map(|t| {
+                        crayfish_sim::now().saturating_duration_since(t) >= self.config.cooldown
+                    })
                     .unwrap_or(true);
                 if cooled {
                     inner.state = CircuitState::HalfOpen;
@@ -125,21 +130,36 @@ impl CircuitBreaker {
 
     /// Report a failed call: opens the circuit after `failure_threshold`
     /// consecutive failures, or immediately from half-open.
+    ///
+    /// Failures reported while the circuit is *already open* — stragglers
+    /// from calls admitted before the trip — are counted but do not re-stamp
+    /// `opened_at`. The first version of this method tripped unconditionally,
+    /// so two racing failures extended the cooldown (and under sustained
+    /// load could postpone probing indefinitely); the loom model in
+    /// `tests/loom.rs` pins the single-trip behaviour.
     pub fn on_failure(&self) {
         let mut inner = self.inner.lock();
         inner.consecutive_failures = inner.consecutive_failures.saturating_add(1);
         let trip = inner.state == CircuitState::HalfOpen
-            || inner.consecutive_failures >= self.config.failure_threshold;
+            || (inner.state == CircuitState::Closed
+                && inner.consecutive_failures >= self.config.failure_threshold);
         if trip {
             inner.state = CircuitState::Open;
-            inner.opened_at = Some(Instant::now());
+            inner.opened_at = Some(crayfish_sim::now());
             inner.probes_in_flight = 0;
+            inner.trips += 1;
         }
     }
 
     /// Current state.
     pub fn state(&self) -> CircuitState {
         self.inner.lock().state
+    }
+
+    /// How many times the circuit has tripped open. Exposed for tests and
+    /// dashboards; one burst of concurrent failures must trip exactly once.
+    pub fn trips(&self) -> u64 {
+        self.inner.lock().trips
     }
 
     /// Numeric state code for the obs gauge.

@@ -25,6 +25,8 @@
 //! answers every query through a single `Option` branch: with an empty
 //! plan the whole subsystem is zero-cost on hot paths.
 
+#![forbid(unsafe_code)]
+
 pub mod breaker;
 pub mod handle;
 pub mod injector;

@@ -10,10 +10,11 @@
 //! fetch.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::thread::{self, JoinHandle};
 use std::time::Duration;
+
+use crayfish_sync::atomic::{AtomicBool, Ordering};
+use crayfish_sync::thread::{self, JoinHandle};
+use crayfish_sync::Arc;
 
 use crayfish_obs::ObsHandle;
 
@@ -71,34 +72,32 @@ pub fn supervise<F>(
 where
     F: FnMut(u32) -> WorkerExit + Send + 'static,
 {
-    thread::Builder::new()
-        .name(name.clone())
-        .spawn(move || {
-            let restarts = obs.counter("worker_restarts");
-            let errors = obs.counter_with("errors", "stage", "worker");
-            let mut backoff = config.restart_backoff;
-            let mut incarnation = 0u32;
-            loop {
-                let exit = match catch_unwind(AssertUnwindSafe(|| body(incarnation))) {
-                    Ok(exit) => exit,
-                    Err(payload) => WorkerExit::Failed(panic_message(payload.as_ref())),
-                };
-                match exit {
-                    WorkerExit::Stopped => return,
-                    WorkerExit::Failed(_reason) => {
-                        errors.inc();
-                        if sleep_unless_stopped(&stop, backoff) {
-                            return;
-                        }
-                        backoff = (backoff * 2).min(config.max_backoff);
-                        incarnation += 1;
-                        restarts.inc();
-                        chaos.note_success(Domain::Engine);
+    thread::spawn_named(&name, move || {
+        let restarts = obs.counter("worker_restarts");
+        let errors = obs.counter_with("errors", "stage", "worker");
+        let mut backoff = config.restart_backoff;
+        let mut incarnation = 0u32;
+        loop {
+            let exit = match catch_unwind(AssertUnwindSafe(|| body(incarnation))) {
+                Ok(exit) => exit,
+                Err(payload) => WorkerExit::Failed(panic_message(payload.as_ref())),
+            };
+            match exit {
+                WorkerExit::Stopped => return,
+                WorkerExit::Failed(_reason) => {
+                    errors.inc();
+                    if sleep_unless_stopped(&stop, backoff) {
+                        return;
                     }
+                    backoff = (backoff * 2).min(config.max_backoff);
+                    incarnation += 1;
+                    restarts.inc();
+                    chaos.note_success(Domain::Engine);
                 }
             }
-        })
-        .expect("spawn supervised worker")
+        }
+    })
+    .expect("spawn supervised worker")
 }
 
 /// Sleep in short slices, returning `true` if `stop` was set.

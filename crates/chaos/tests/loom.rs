@@ -1,0 +1,98 @@
+//! Loom models for the chaos crate's concurrency-bearing pieces: the
+//! circuit breaker's trip/probe races and the supervisor's crash/restart
+//! handoff. Compiled only under `RUSTFLAGS="--cfg loom"`; each `model`
+//! closure is executed under every feasible thread interleaving.
+#![cfg(loom)]
+
+use std::time::Duration;
+
+use crayfish_chaos::{
+    supervise, BreakerConfig, ChaosHandle, CircuitBreaker, CircuitState, SupervisorConfig,
+    WorkerExit,
+};
+use crayfish_obs::ObsHandle;
+use crayfish_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crayfish_sync::{model, thread, Arc};
+
+/// Regression model for the double-trip bug: two failures racing past the
+/// threshold must open the circuit exactly once. The original `on_failure`
+/// tripped unconditionally, so the loser of the race re-stamped `opened_at`
+/// and stretched the cooldown.
+#[test]
+fn racing_failures_trip_the_breaker_exactly_once() {
+    model(|| {
+        let b = Arc::new(CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown: Duration::from_secs(3600),
+            half_open_probes: 1,
+        }));
+        let b2 = Arc::clone(&b);
+        let t = thread::spawn(move || b2.on_failure());
+        b.on_failure();
+        t.join().unwrap();
+        assert_eq!(b.state(), CircuitState::Open);
+        assert_eq!(b.trips(), 1, "a burst of failures must trip once");
+    });
+}
+
+/// Two callers racing into a cooled-down circuit: exactly one wins the
+/// half-open probe slot.
+#[test]
+fn half_open_admits_exactly_one_probe() {
+    model(|| {
+        let b = Arc::new(CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown: Duration::ZERO,
+            half_open_probes: 1,
+        }));
+        b.on_failure();
+        assert_eq!(b.state(), CircuitState::Open);
+        let b2 = Arc::clone(&b);
+        let t = thread::spawn(move || b2.try_acquire());
+        let mine = b.try_acquire();
+        let theirs = t.join().unwrap();
+        assert!(
+            mine ^ theirs,
+            "exactly one probe may pass a half-open circuit (got {mine}/{theirs})"
+        );
+    });
+}
+
+/// Commit-after-crash handoff: an incarnation that commits and then fails
+/// must hand the committed state to its replacement, under every
+/// interleaving with a concurrently raised stop flag.
+#[test]
+fn supervisor_restart_observes_pre_crash_commit() {
+    model(|| {
+        let stop = Arc::new(AtomicBool::new(false));
+        let committed = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::clone(&committed);
+        let mut first = true;
+        let h = supervise(
+            "loom-worker".into(),
+            Arc::clone(&stop),
+            ObsHandle::disabled(),
+            ChaosHandle::disabled(),
+            SupervisorConfig {
+                restart_backoff: Duration::from_nanos(1),
+                max_backoff: Duration::from_nanos(1),
+            },
+            move |_incarnation| {
+                if first {
+                    first = false;
+                    c2.store(1, Ordering::SeqCst);
+                    WorkerExit::Failed("crash after commit".into())
+                } else {
+                    assert_eq!(c2.load(Ordering::SeqCst), 1, "restart lost the commit");
+                    WorkerExit::Stopped
+                }
+            },
+        );
+        // Racing stop: the supervisor may restart the worker or exit from
+        // the backoff sleep, but either way it must terminate and the
+        // commit must survive.
+        stop.store(true, Ordering::SeqCst);
+        h.join().unwrap();
+        assert_eq!(committed.load(Ordering::SeqCst), 1);
+    });
+}

@@ -22,6 +22,8 @@
 //!   specs.
 //! * [`dataset`] — file-backed real-dataset inputs for the producer.
 
+#![forbid(unsafe_code)]
+
 pub mod batch;
 pub mod config;
 pub mod consumer;
@@ -40,6 +42,12 @@ pub use crayfish_obs as obs;
 /// Re-export of the chaos crate: fault plans, injectors, retry policies,
 /// and the worker supervisor engines build their resilience on.
 pub use crayfish_chaos as chaos;
+
+/// Re-export of the synchronisation shim. Pipeline crates take their
+/// locks, condvars, atomics, and thread helpers from here so the same code
+/// runs under parking_lot/std normally and under loom's model checker with
+/// `RUSTFLAGS="--cfg loom"`.
+pub use crayfish_sync as sync;
 
 pub use batch::{CrayfishDataBatch, ScoredBatch};
 pub use config::ExperimentConfig;

@@ -4,7 +4,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crayfish_broker::Broker;
 use crayfish_models::ModelSpec;
@@ -291,14 +291,14 @@ pub fn run_experiment_with_graph(
     let mut lag_samples: Vec<LagSample> = Vec::new();
     let lag_gauge = spec.obs.gauge("consumer_lag");
     let mut observed = 0usize;
-    let started = Instant::now();
+    let started = crayfish_sim::now();
     let deadline = started + spec.duration;
     let mut next_lag_probe = started;
-    while Instant::now() < deadline {
-        let remaining = deadline.saturating_duration_since(Instant::now());
+    while crayfish_sim::now() < deadline {
+        let remaining = deadline.saturating_duration_since(crayfish_sim::now());
         output.poll_into(remaining.min(Duration::from_millis(100)), &mut samples)?;
         observed = observe_e2e(&spec.obs, &samples, observed);
-        let now = Instant::now();
+        let now = crayfish_sim::now();
         if now >= next_lag_probe {
             if let Ok(lag) = broker.group_lag("crayfish-sut", &input_topic) {
                 lag_gauge.set(lag as i64);
@@ -313,8 +313,8 @@ pub fn run_experiment_with_graph(
     let produced = producer.stop();
 
     // Short drain so in-flight batches do not distort shutdown, then stop.
-    let drain_deadline = Instant::now() + Duration::from_millis(300);
-    while Instant::now() < drain_deadline {
+    let drain_deadline = crayfish_sim::now() + Duration::from_millis(300);
+    while crayfish_sim::now() < drain_deadline {
         if output.poll_into(Duration::from_millis(50), &mut samples)? == 0 {
             break;
         }

@@ -40,6 +40,8 @@
 //! here exactly once, so future scaling work — dynamic rebalancing,
 //! adaptive batching, backpressure — changes one crate, not four.
 
+#![forbid(unsafe_code)]
+
 pub mod pipeline;
 pub mod score;
 pub mod source;

@@ -9,9 +9,9 @@
 //! upstream stages first and downstream stages observe channel
 //! disconnection once their senders are joined away.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
+use crayfish_sync::atomic::{AtomicBool, Ordering};
+use crayfish_sync::thread::JoinHandle;
+use crayfish_sync::{thread, Arc};
 
 use crayfish_core::chaos::{supervise, ChaosHandle, SupervisorConfig, WorkerExit};
 use crayfish_core::{CoreError, ProcessorContext, Result, RunningJob};
@@ -86,16 +86,24 @@ impl<R> Rebuild<R> {
 }
 
 /// The threads of one deployed engine job.
-#[derive(Default)]
 pub struct WorkerSet {
     stop: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
 }
 
+impl Default for WorkerSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl WorkerSet {
     /// An empty set with a fresh stop flag.
     pub fn new() -> Self {
-        Self::default()
+        WorkerSet {
+            stop: Arc::new(AtomicBool::new(false)),
+            threads: Vec::new(),
+        }
     }
 
     /// The job's stop flag, for personality code that needs to observe
@@ -141,9 +149,7 @@ impl WorkerSet {
     /// Register a plain (unsupervised) task thread. Used for stages past
     /// commit scope that end when their input channel disconnects.
     pub fn task(&mut self, name: String, body: impl FnOnce() + Send + 'static) -> Result<()> {
-        let handle = std::thread::Builder::new()
-            .name(name.clone())
-            .spawn(body)
+        let handle = thread::spawn_named(&name, body)
             .map_err(|e| CoreError::Config(format!("spawn {name}: {e}")))?;
         self.threads.push(handle);
         Ok(())

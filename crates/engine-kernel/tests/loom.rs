@@ -1,0 +1,91 @@
+//! Loom models for the engine kernel's worker lifecycle: supervised
+//! crash/restart handoff over broker offsets, and stop/join. Compiled only
+//! under `RUSTFLAGS="--cfg loom"`.
+
+#![cfg(loom)]
+
+use std::sync::Arc as StdArc;
+
+use crayfish_broker::Broker;
+use crayfish_core::scoring::ScorerSpec;
+use crayfish_core::ProcessorContext;
+use crayfish_engine_kernel::{Rebuild, WorkerExit, WorkerSet};
+use crayfish_models::tiny;
+use crayfish_runtime::{Device, EmbeddedLib};
+use crayfish_sim::NetworkModel;
+use crayfish_sync::atomic::Ordering;
+use crayfish_sync::{model, thread};
+use crayfish_tensor::NnGraph;
+
+fn loom_ctx(broker: StdArc<Broker>, graph: &StdArc<NnGraph>) -> ProcessorContext {
+    broker.create_topic("in", 1).unwrap();
+    broker.create_topic("out", 1).unwrap();
+    ProcessorContext {
+        broker,
+        input_topic: "in".into(),
+        output_topic: "out".into(),
+        group: "g".into(),
+        scorer: ScorerSpec::Embedded {
+            lib: EmbeddedLib::Onnx,
+            graph: graph.clone(),
+            device: Device::Cpu,
+        },
+        mp: 1,
+    }
+}
+
+/// The at-least-once handoff every engine relies on: an incarnation that
+/// commits its offset and then crashes must be replaced by one that reads
+/// the committed offset back, under every interleaving with the stopping
+/// main thread.
+#[test]
+fn supervised_restart_resumes_from_the_committed_offset() {
+    // The graph is pure input data for the context — build it once outside
+    // the model so loom does not re-explore its construction.
+    let graph = StdArc::new(tiny::tiny_mlp(1));
+    model(move || {
+        let broker = Broker::new(NetworkModel::zero());
+        let ctx = loom_ctx(broker.clone(), &graph);
+        let mut set = WorkerSet::new();
+        let b2 = broker.clone();
+        let mut first = true;
+        set.supervised(
+            &ctx,
+            "loom-worker".into(),
+            Rebuild::eager(|| Ok(())).unwrap(),
+            move |_r, _ctl| {
+                if first {
+                    first = false;
+                    b2.commit_offset("g", "in", 0, 1);
+                    WorkerExit::Failed("crash after commit".into())
+                } else {
+                    assert_eq!(
+                        b2.committed_offset("g", "in", 0),
+                        1,
+                        "restarted incarnation lost the committed offset"
+                    );
+                    WorkerExit::Stopped
+                }
+            },
+        );
+        set.into_job().stop();
+        assert_eq!(broker.committed_offset("g", "in", 0), 1);
+    });
+}
+
+/// Stop must terminate a plain task that honours the stop flag — no lost
+/// store, no deadlocked join.
+#[test]
+fn stop_joins_flag_observing_tasks() {
+    model(|| {
+        let mut set = WorkerSet::new();
+        let stop = set.stop_flag();
+        set.task("loom-task".into(), move || {
+            while !stop.load(Ordering::SeqCst) {
+                thread::yield_now();
+            }
+        })
+        .unwrap();
+        set.into_job().stop();
+    });
+}

@@ -6,15 +6,222 @@
 //! uses). Records larger than a buffer ship immediately. Channels are
 //! bounded, so a full downstream exerts backpressure on the producer —
 //! both effects shape the paper's Flink results.
+//!
+//! The channel itself is a counted MPSC queue built on [`crayfish_sync`]
+//! primitives (one mutex, two condvars) rather than an external channel
+//! crate: that keeps every blocking edge of the exchange visible to the
+//! loom model in `tests/loom.rs`, which exhaustively checks the
+//! send/recv/disconnect handshakes for lost wakeups.
 
-use std::time::{Duration, Instant};
+use std::collections::VecDeque;
+use std::time::Duration;
 
 use bytes::Bytes;
 use crayfish_core::obs::Counter;
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, SendError, Sender};
+use crayfish_sync::{Arc, Condvar, Mutex};
 
 /// A shipped network buffer: a group of serialized records.
 pub type NetBuffer = Vec<Bytes>;
+
+/// The channel's payload could not be delivered: every receiver is gone.
+/// Carries the rejected value back to the caller, like `std`'s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sending on a channel with no receivers")
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+/// Why a non-blocking receive returned nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The queue is currently empty but senders remain.
+    Empty,
+    /// The queue is empty and every sender is gone.
+    Disconnected,
+}
+
+/// Why a bounded-wait receive returned nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The deadline passed with the queue still empty.
+    Timeout,
+    /// The queue is empty and every sender is gone.
+    Disconnected,
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    capacity: usize,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    /// Signalled when the queue loses an element or the receivers go away.
+    not_full: Condvar,
+    /// Signalled when the queue gains an element or the senders go away.
+    not_empty: Condvar,
+}
+
+/// Create one bounded channel edge of an exchange. `capacity` is clamped to
+/// at least 1 buffer in flight.
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            queue: VecDeque::new(),
+            capacity: capacity.max(1),
+            senders: 1,
+            receivers: 1,
+        }),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+/// The producing half of a channel edge.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Deliver one value, blocking while the queue is at capacity
+    /// (backpressure). Errors — returning the value — once every receiver
+    /// is gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut state = self.shared.state.lock();
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            if state.queue.len() < state.capacity {
+                state.queue.push_back(value);
+                drop(state);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.shared.not_full.wait(state);
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let remaining = {
+            let mut state = self.shared.state.lock();
+            state.senders -= 1;
+            state.senders
+        };
+        if remaining == 0 {
+            // Blocked receivers must observe the disconnect.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+/// The consuming half of a channel edge.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// Take the next value without waiting.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut state = self.shared.state.lock();
+        if let Some(v) = state.queue.pop_front() {
+            drop(state);
+            self.shared.not_full.notify_one();
+            return Ok(v);
+        }
+        if state.senders == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Drain whatever is immediately available.
+    pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+        std::iter::from_fn(move || self.try_recv().ok())
+    }
+
+    /// Wait up to `timeout` for the next value.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = crayfish_sim::now() + timeout;
+        let mut state = self.shared.state.lock();
+        loop {
+            if let Some(v) = state.queue.pop_front() {
+                drop(state);
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let remaining = deadline.saturating_duration_since(crayfish_sim::now());
+            if remaining.is_zero() {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let (guard, timed_out) = self.shared.not_empty.wait_timeout(state, remaining);
+            state = guard;
+            if timed_out && state.queue.is_empty() && state.senders > 0 {
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
+    /// Wait indefinitely for the next value; errors once every sender is
+    /// gone and the queue is drained.
+    pub fn recv(&self) -> Result<T, RecvTimeoutError> {
+        let mut state = self.shared.state.lock();
+        loop {
+            if let Some(v) = state.queue.pop_front() {
+                drop(state);
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            state = self.shared.not_empty.wait(state);
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let remaining = {
+            let mut state = self.shared.state.lock();
+            state.receivers -= 1;
+            state.receivers
+        };
+        if remaining == 0 {
+            // Blocked senders must observe the disconnect instead of
+            // waiting forever for queue space.
+            self.shared.not_full.notify_all();
+        }
+    }
+}
 
 /// Build an exchange from one upstream task to `downstream` tasks.
 /// Returns the per-task receivers; each upstream task creates its own
@@ -26,7 +233,7 @@ pub fn channels(
     let mut txs = Vec::with_capacity(downstream);
     let mut rxs = Vec::with_capacity(downstream);
     for _ in 0..downstream {
-        let (tx, rx) = bounded(capacity.max(1));
+        let (tx, rx) = bounded(capacity);
         txs.push(tx);
         rxs.push(rx);
     }
@@ -42,7 +249,7 @@ pub struct ExchangeSender {
     buffered_bytes: usize,
     buffer_bytes: usize,
     timeout: Duration,
-    last_flush: Instant,
+    since_flush: crayfish_sim::Stopwatch,
     rr: usize,
     shipped: Option<Counter>,
 }
@@ -56,7 +263,7 @@ impl ExchangeSender {
             buffered_bytes: 0,
             buffer_bytes: buffer_bytes.max(1),
             timeout,
-            last_flush: Instant::now(),
+            since_flush: crayfish_sim::Stopwatch::start(),
             rr: 0,
             shipped: None,
         }
@@ -83,7 +290,7 @@ impl ExchangeSender {
     /// Ship the buffer if the buffer timeout has expired. Call regularly
     /// from the task loop (Flink's output flusher thread).
     pub fn maybe_flush(&mut self) -> Result<(), SendError<NetBuffer>> {
-        if !self.buffer.is_empty() && self.last_flush.elapsed() >= self.timeout {
+        if !self.buffer.is_empty() && self.since_flush.elapsed() >= self.timeout {
             self.flush()?;
         }
         Ok(())
@@ -91,7 +298,7 @@ impl ExchangeSender {
 
     /// Ship whatever is buffered now.
     pub fn flush(&mut self) -> Result<(), SendError<NetBuffer>> {
-        self.last_flush = Instant::now();
+        self.since_flush.reset();
         if self.buffer.is_empty() {
             return Ok(());
         }
@@ -190,6 +397,27 @@ mod tests {
         assert!(!h.is_finished(), "no backpressure on full channel");
         rxs[0].recv().unwrap();
         h.join().unwrap();
+    }
+
+    #[test]
+    fn send_fails_once_receiver_is_gone() {
+        let (txs, rxs) = channels(1, 1);
+        drop(rxs);
+        assert_eq!(
+            txs[0].send(vec![Bytes::from_static(b"a")]),
+            Err(SendError(vec![Bytes::from_static(b"a")]))
+        );
+    }
+
+    #[test]
+    fn dropping_receiver_unblocks_a_backpressured_sender() {
+        let (txs, rxs) = channels(1, 1);
+        txs[0].send(vec![Bytes::from_static(b"a")]).unwrap();
+        let tx = txs.into_iter().next().unwrap();
+        let h = std::thread::spawn(move || tx.send(vec![Bytes::from_static(b"b")]));
+        std::thread::sleep(Duration::from_millis(20));
+        drop(rxs);
+        assert!(h.join().unwrap().is_err(), "send must observe disconnect");
     }
 
     #[test]

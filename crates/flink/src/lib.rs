@@ -19,6 +19,8 @@
 //! * **Backpressure**: exchanges are bounded; a slow downstream blocks the
 //!   upstream push.
 
+#![forbid(unsafe_code)]
+
 pub mod exchange;
 pub mod job;
 

@@ -23,6 +23,8 @@
 //! kernel's full-chain worker with `flush_before_commit` on (the strict
 //! pull cycle) and `max.poll.records` capping each fetch.
 
+#![forbid(unsafe_code)]
+
 use std::time::Duration;
 
 use crayfish_core::{DataProcessor, ProcessorContext, Result, RunningJob};

@@ -1,0 +1,84 @@
+//! The ratchet: known findings of baselined rules live in
+//! `lint-baseline.txt` as `rule path count` lines. New findings fail the
+//! build; fixed findings fail too, demanding the baseline be tightened —
+//! the count per file may only ever go down.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+pub const BASELINE_FILE: &str = "lint-baseline.txt";
+
+pub type Counts = BTreeMap<(String, String), usize>;
+
+pub fn load(root: &Path) -> Result<Counts, String> {
+    let path = root.join(BASELINE_FILE);
+    let mut out = Counts::new();
+    if !path.exists() {
+        return Ok(out);
+    }
+    let text = fs::read_to_string(&path).map_err(|e| format!("read {BASELINE_FILE}: {e}"))?;
+    for (n, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(rule), Some(path), Some(count)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!(
+                "{BASELINE_FILE}:{}: malformed line {line:?}",
+                n + 1
+            ));
+        };
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("{BASELINE_FILE}:{}: bad count {count:?}", n + 1))?;
+        out.insert((rule.to_string(), path.to_string()), count);
+    }
+    Ok(out)
+}
+
+pub fn write(root: &Path, counts: &Counts) -> Result<(), String> {
+    let mut text = String::from(
+        "# crayfish-lint ratchet baseline. Regenerate with\n\
+         #   cargo run -p crayfish-lint -- --write-baseline\n\
+         # Counts may only decrease; new findings fail the lint outright.\n",
+    );
+    for ((rule, path), count) in counts {
+        if *count > 0 {
+            text.push_str(&format!("{rule} {path} {count}\n"));
+        }
+    }
+    fs::write(root.join(BASELINE_FILE), text).map_err(|e| format!("write {BASELINE_FILE}: {e}"))
+}
+
+/// Compare current findings against the baseline. Returns human-readable
+/// failures: regressions (count above baseline) and stale entries (count
+/// below baseline — tighten it).
+pub fn compare(current: &Counts, baseline: &Counts) -> Vec<String> {
+    let mut failures = Vec::new();
+    for ((rule, path), &n) in current {
+        let base = baseline
+            .get(&(rule.clone(), path.clone()))
+            .copied()
+            .unwrap_or(0);
+        if n > base {
+            failures.push(format!(
+                "{rule}: {path} has {n} finding(s), baseline allows {base} — fix the new ones"
+            ));
+        } else if n < base {
+            failures.push(format!(
+                "{rule}: {path} improved to {n} (baseline {base}) — run --write-baseline to ratchet"
+            ));
+        }
+    }
+    for ((rule, path), &base) in baseline {
+        if base > 0 && !current.contains_key(&(rule.clone(), path.clone())) {
+            failures.push(format!(
+                "{rule}: {path} is clean (baseline {base}) — run --write-baseline to ratchet"
+            ));
+        }
+    }
+    failures
+}

@@ -1,0 +1,166 @@
+//! crayfish-lint: the repo's own static-analysis pass.
+//!
+//! Rules (see `rules.rs` and DESIGN.md §3g):
+//!
+//! * `clock-authority` — no `Instant::now()` / `SystemTime::now()` outside
+//!   `crayfish-sim` (ratcheted via `lint-baseline.txt`).
+//! * `unwrap-in-pipeline` — no `.unwrap()` / `.expect(` in non-test code
+//!   of the record-path crates (ratcheted).
+//! * `lock-rank` — ranked locks must be acquired in ascending rank order
+//!   within a function.
+//! * `span-coverage` — every polling worker body in the engine kernel
+//!   carries a chaos checkpoint and an obs span/charge.
+//! * `forbid-unsafe` — every crate root declares
+//!   `#![forbid(unsafe_code)]`.
+//!
+//! Usage: `cargo run -p crayfish-lint` (check), `-- --write-baseline`
+//! (ratchet), `-- --self-test` (prove the rules catch seeded violations).
+//! Exit codes: 0 clean, 1 findings, 2 usage/config error.
+
+#![forbid(unsafe_code)]
+
+mod baseline;
+mod rules;
+mod selftest;
+mod source;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use baseline::Counts;
+use source::SourceFile;
+
+enum Mode {
+    Check,
+    WriteBaseline,
+    SelfTest,
+}
+
+fn main() -> ExitCode {
+    let mut mode = Mode::Check;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--write-baseline" => mode = Mode::WriteBaseline,
+            "--self-test" => mode = Mode::SelfTest,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root needs a path"),
+            },
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let root = match root.map_or_else(find_root, Ok) {
+        Ok(r) => r,
+        Err(e) => return usage(&e),
+    };
+    let result = match mode {
+        Mode::SelfTest => self_test(),
+        Mode::WriteBaseline => scan(&root, true),
+        Mode::Check => scan(&root, false),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(failures) => {
+            for f in &failures {
+                eprintln!("crayfish-lint: {f}");
+            }
+            eprintln!("crayfish-lint: {} failure(s)", failures.len());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("crayfish-lint: {msg}");
+    eprintln!("usage: crayfish-lint [--root <repo>] [--write-baseline | --self-test]");
+    ExitCode::from(2)
+}
+
+/// The workspace root: the nearest ancestor of the current directory
+/// holding both `Cargo.toml` and `crates/`. `cargo run -p crayfish-lint`
+/// starts at the workspace root already.
+fn find_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("current_dir: {e}"))?;
+    loop {
+        if dir.join("Cargo.toml").exists() && dir.join("crates").is_dir() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err("not inside the workspace (no Cargo.toml + crates/ found)".into());
+        }
+    }
+}
+
+fn self_test() -> Result<(), Vec<String>> {
+    let failures = selftest::run();
+    if failures.is_empty() {
+        println!("crayfish-lint: self-test passed (all seeded violations caught)");
+        Ok(())
+    } else {
+        Err(failures)
+    }
+}
+
+fn scan(root: &Path, write: bool) -> Result<(), Vec<String>> {
+    // Scan src/ trees only: integration tests, benches, and examples may
+    // unwrap and read the wall clock.
+    let mut paths = Vec::new();
+    let mut src_dirs = vec![root.join("src")];
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        let mut crates: Vec<_> = entries.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+        crates.sort();
+        for krate in crates {
+            src_dirs.push(krate.join("src"));
+        }
+    }
+    for dir in src_dirs {
+        if let Err(e) = source::collect_rs(&dir, &mut paths) {
+            return Err(vec![format!("walk {}: {e}", dir.display())]);
+        }
+    }
+    let mut hard = Vec::new();
+    let mut counts = Counts::new();
+    let mut scanned = 0usize;
+    for path in paths {
+        let file = match SourceFile::load(root, path) {
+            Ok(f) => f,
+            Err(e) => return Err(vec![format!("load: {e}")]),
+        };
+        scanned += 1;
+        for v in rules::all_rules(&file) {
+            if rules::BASELINED.contains(&v.rule) {
+                *counts
+                    .entry((v.rule.to_string(), v.rel.clone()))
+                    .or_insert(0) += 1;
+            } else {
+                hard.push(format!("{}: {}:{}: {}", v.rule, v.rel, v.line, v.msg));
+            }
+        }
+    }
+    if write {
+        baseline::write(root, &counts).map_err(|e| vec![e])?;
+        let total: usize = counts.values().sum();
+        println!(
+            "crayfish-lint: baseline written ({total} ratcheted finding(s) across {} file(s))",
+            counts.len()
+        );
+        if hard.is_empty() {
+            return Ok(());
+        }
+        return Err(hard);
+    }
+    let base = baseline::load(root).map_err(|e| vec![e])?;
+    let mut failures = hard;
+    failures.extend(baseline::compare(&counts, &base));
+    if failures.is_empty() {
+        println!(
+            "crayfish-lint: {scanned} files clean (baseline holds {} entries)",
+            base.len()
+        );
+        Ok(())
+    } else {
+        Err(failures)
+    }
+}

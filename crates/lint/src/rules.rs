@@ -1,0 +1,310 @@
+//! The repo-specific rules. Each rule returns the violations it found in
+//! one file; `main` aggregates, applies baselines, and reports.
+
+use crate::source::{function_bodies, SourceFile};
+
+/// One finding, pointing at a line of the original file.
+pub struct Violation {
+    pub rule: &'static str,
+    pub rel: String,
+    pub line: usize,
+    pub msg: String,
+}
+
+pub const CLOCK_AUTHORITY: &str = "clock-authority";
+pub const UNWRAP_IN_PIPELINE: &str = "unwrap-in-pipeline";
+pub const LOCK_RANK: &str = "lock-rank";
+pub const SPAN_COVERAGE: &str = "span-coverage";
+pub const FORBID_UNSAFE: &str = "forbid-unsafe";
+
+/// Rules whose findings are ratcheted through `lint-baseline.txt` instead
+/// of failing outright.
+pub const BASELINED: &[&str] = &[CLOCK_AUTHORITY, UNWRAP_IN_PIPELINE];
+
+/// Crates whose non-test code must not unwrap: everything on the record
+/// path, where a panic kills a supervised worker and poisons the run.
+const PIPELINE_CRATES: &[&str] = &[
+    "crates/broker/",
+    "crates/engine-kernel/",
+    "crates/serving/",
+    "crates/flink/",
+    "crates/kstreams/",
+    "crates/sparkss/",
+    "crates/ray/",
+];
+
+fn in_any(rel: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| rel.starts_with(p))
+}
+
+fn find_all(hay: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut search = 0;
+    while let Some(found) = hay[search..].find(needle) {
+        out.push(search + found);
+        search += found + needle.len();
+    }
+    out
+}
+
+/// Direct wall-clock reads are reserved to `crayfish-sim`'s clock
+/// authority (`crayfish_sim::now()` / `Stopwatch`): that is the one seam a
+/// virtual clock can later replace, and it keeps modelled costs and
+/// measured costs on the same timeline.
+pub fn clock_authority(file: &SourceFile) -> Vec<Violation> {
+    if in_any(&file.rel, &["crates/sim/", "crates/lint/"]) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for needle in ["Instant::now()", "SystemTime::now()"] {
+        for pos in find_all(&file.clean, needle) {
+            out.push(Violation {
+                rule: CLOCK_AUTHORITY,
+                rel: file.rel.clone(),
+                line: file.line_of(pos),
+                msg: format!("{needle} outside crayfish-sim; use crayfish_sim::now()"),
+            });
+        }
+    }
+    out
+}
+
+/// `.unwrap()` / `.expect(` in non-test pipeline code. A panic in a
+/// supervised worker reads as an injected crash to the resilience layer,
+/// corrupting fault-tolerance measurements.
+pub fn unwrap_in_pipeline(file: &SourceFile) -> Vec<Violation> {
+    if !in_any(&file.rel, PIPELINE_CRATES) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for needle in [".unwrap()", ".expect("] {
+        for pos in find_all(&file.clean, needle) {
+            out.push(Violation {
+                rule: UNWRAP_IN_PIPELINE,
+                rel: file.rel.clone(),
+                line: file.line_of(pos),
+                msg: format!("{needle} in pipeline code; propagate the error"),
+            });
+        }
+    }
+    out
+}
+
+/// Lock-rank table. Rank = acquisition order: a lock may only be taken
+/// while every held lock has a *smaller* rank (outermost first). Broker:
+/// topic registry (10) → group offsets (20) → partition log (30) → topic
+/// version (40). Flink exchange: channel state (10) → (worker-set
+/// structures, unranked today, would slot above).
+fn lock_rank_of(rel: &str, receiver: &str) -> Option<(u32, &'static str)> {
+    if rel.starts_with("crates/broker/") {
+        match receiver {
+            "topics" => Some((10, "broker topic registry")),
+            "offsets" => Some((20, "consumer group offsets")),
+            "partitions" => Some((30, "partition log")),
+            "version" => Some((40, "topic version")),
+            _ => None,
+        }
+    } else if rel.starts_with("crates/flink/") {
+        match receiver {
+            "state" => Some((10, "exchange channel state")),
+            _ => None,
+        }
+    } else {
+        None
+    }
+}
+
+/// Walk back from a `.lock()` call, skipping index/call bracket groups,
+/// and return the nearest identifier in the receiver chain
+/// (`self.partitions[p].lock()` → `partitions`).
+fn receiver_of<'a>(clean: &'a str, dot: usize) -> Option<&'a str> {
+    let bytes = clean.as_bytes();
+    let mut i = dot;
+    while i > 0 {
+        let c = bytes[i - 1];
+        if c == b']' || c == b')' {
+            let open = if c == b']' { b'[' } else { b'(' };
+            let mut depth = 0usize;
+            while i > 0 {
+                let d = bytes[i - 1];
+                i -= 1;
+                if d == c {
+                    depth += 1;
+                } else if d == open {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+            }
+        } else if c.is_ascii_alphanumeric() || c == b'_' {
+            let end = i;
+            while i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+                i -= 1;
+            }
+            return Some(&clean[i..end]);
+        } else if c == b'.' {
+            i -= 1;
+        } else {
+            break;
+        }
+    }
+    None
+}
+
+/// Detect out-of-rank acquisitions within each function: taking a ranked
+/// lock while holding one of greater rank inverts the global acquisition
+/// order and is a deadlock seed with any thread doing it the right way
+/// round.
+pub fn lock_rank(file: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let clean = &file.clean;
+    for (_, body_start, body_end) in function_bodies(clean) {
+        let body = &clean[body_start..=body_end];
+        // Held guards: (binding name if `let`-bound, rank, label).
+        let mut held: Vec<(Option<String>, u32, &'static str)> = Vec::new();
+        let mut events: Vec<(usize, Event)> = Vec::new();
+        for needle in [".lock()", ".read()", ".write()"] {
+            for pos in find_all(body, needle) {
+                events.push((pos, Event::Acquire));
+            }
+        }
+        for pos in find_all(body, "drop(") {
+            events.push((pos, Event::Drop));
+        }
+        events.sort_by_key(|&(p, _)| p);
+        for (pos, ev) in events {
+            match ev {
+                Event::Drop => {
+                    let args_start = pos + "drop(".len();
+                    let arg: String = body[args_start..]
+                        .chars()
+                        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                        .collect();
+                    held.retain(|(name, _, _)| name.as_deref() != Some(arg.as_str()));
+                }
+                Event::Acquire => {
+                    let Some(recv) = receiver_of(body, pos) else {
+                        continue;
+                    };
+                    let Some((rank, label)) = lock_rank_of(&file.rel, recv) else {
+                        continue;
+                    };
+                    if let Some((_, _, held_label)) = held.iter().find(|&&(_, r, _)| r > rank) {
+                        out.push(Violation {
+                            rule: LOCK_RANK,
+                            rel: file.rel.clone(),
+                            line: file.line_of(body_start + pos),
+                            msg: format!(
+                                "acquires {label} (rank {rank}) while holding {held_label}; \
+                                 acquisition order is rank-ascending"
+                            ),
+                        });
+                    }
+                    // `let g = x.lock()` holds to end of scope (or drop);
+                    // an unbound guard is a temporary, released at the end
+                    // of the statement — still checked above, not tracked.
+                    let binding = let_binding_before(body, pos);
+                    if binding.is_some() {
+                        held.push((binding, rank, label));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+enum Event {
+    Acquire,
+    Drop,
+}
+
+/// If the statement containing `pos` starts with `let <ident> =`, return
+/// the identifier.
+fn let_binding_before(body: &str, pos: usize) -> Option<String> {
+    let stmt_start = body[..pos].rfind([';', '{', '}']).map_or(0, |p| p + 1);
+    let stmt = body[stmt_start..pos].trim_start();
+    let rest = stmt.strip_prefix("let ")?;
+    let rest = rest
+        .trim_start()
+        .strip_prefix("mut ")
+        .unwrap_or(rest)
+        .trim_start();
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// Every engine-kernel worker loop that polls the broker must run under
+/// supervision discipline: a chaos checkpoint (so injected crashes and
+/// stop flags are honoured per cycle) and an obs span or charge (so the
+/// stage shows up in the paper's latency breakdown).
+pub fn span_coverage(file: &SourceFile) -> Vec<Violation> {
+    if !file.rel.starts_with("crates/engine-kernel/src") {
+        return Vec::new();
+    }
+    let span_markers = ["charge_ingest", "ingest_span", ".timer("];
+    let mut out = Vec::new();
+    for (fn_pos, body_start, body_end) in function_bodies(&file.clean) {
+        let body = &file.clean[body_start..=body_end];
+        if !body.contains(".poll(") {
+            continue;
+        }
+        let mut missing = Vec::new();
+        if !body.contains("checkpoint") {
+            missing.push("a chaos checkpoint (`ctl.checkpoint()`)");
+        }
+        if !span_markers.iter().any(|m| body.contains(m)) {
+            missing.push("an obs span or ingest charge");
+        }
+        if !missing.is_empty() {
+            out.push(Violation {
+                rule: SPAN_COVERAGE,
+                rel: file.rel.clone(),
+                line: file.line_of(fn_pos),
+                msg: format!("polling worker body lacks {}", missing.join(" and ")),
+            });
+        }
+    }
+    out
+}
+
+/// Every crate root must forbid unsafe code — the reproduction is pure
+/// safe Rust, and the guarantee should be compiler-enforced per crate, not
+/// folklore.
+pub fn forbid_unsafe(file: &SourceFile) -> Vec<Violation> {
+    let is_root = file.rel.ends_with("/src/lib.rs")
+        || file.rel == "src/lib.rs"
+        || file.rel.ends_with("/src/main.rs")
+        || file.rel.starts_with("src/bin/");
+    if !is_root {
+        return Vec::new();
+    }
+    if file.raw.contains("#![forbid(unsafe_code)]") {
+        return Vec::new();
+    }
+    vec![Violation {
+        rule: FORBID_UNSAFE,
+        rel: file.rel.clone(),
+        line: 1,
+        msg: "crate root lacks #![forbid(unsafe_code)]".into(),
+    }]
+}
+
+/// Run every rule over one file.
+pub fn all_rules(file: &SourceFile) -> Vec<Violation> {
+    let mut out = Vec::new();
+    out.extend(clock_authority(file));
+    out.extend(unwrap_in_pipeline(file));
+    out.extend(lock_rank(file));
+    out.extend(span_coverage(file));
+    out.extend(forbid_unsafe(file));
+    out
+}

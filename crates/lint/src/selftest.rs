@@ -1,0 +1,123 @@
+//! `--self-test`: seeded violations each rule must flag, plus clean
+//! snippets it must not. A lint that cannot catch a planted bug is worse
+//! than no lint — CI runs this before trusting the real pass.
+
+use crate::rules;
+use crate::source::SourceFile;
+
+struct Case {
+    rule: &'static str,
+    rel: &'static str,
+    code: &'static str,
+    /// Expected number of findings.
+    expect: usize,
+}
+
+const CASES: &[Case] = &[
+    Case {
+        rule: rules::CLOCK_AUTHORITY,
+        rel: "crates/core/src/seeded.rs",
+        code: "fn f() { let t = std::time::Instant::now(); }",
+        expect: 1,
+    },
+    Case {
+        rule: rules::CLOCK_AUTHORITY,
+        rel: "crates/core/src/seeded.rs",
+        // Test code and comments are exempt.
+        code: "// Instant::now()\n#[cfg(test)]\nmod tests { fn f() { Instant::now(); } }\n",
+        expect: 0,
+    },
+    Case {
+        rule: rules::CLOCK_AUTHORITY,
+        rel: "crates/sim/src/time.rs",
+        // The clock authority itself is exempt.
+        code: "pub fn now() -> Instant { Instant::now() }",
+        expect: 0,
+    },
+    Case {
+        rule: rules::UNWRAP_IN_PIPELINE,
+        rel: "crates/broker/src/seeded.rs",
+        code: "fn f() { g().unwrap(); h().expect(\"x\"); }",
+        expect: 2,
+    },
+    Case {
+        rule: rules::UNWRAP_IN_PIPELINE,
+        rel: "crates/broker/src/seeded.rs",
+        code: "#[cfg(test)]\nmod tests { fn f() { g().unwrap(); } }\nfn ok() -> R { g()? }",
+        expect: 0,
+    },
+    Case {
+        rule: rules::UNWRAP_IN_PIPELINE,
+        rel: "crates/obs/src/seeded.rs",
+        // Non-pipeline crates may unwrap.
+        code: "fn f() { g().unwrap(); }",
+        expect: 0,
+    },
+    Case {
+        rule: rules::LOCK_RANK,
+        rel: "crates/broker/src/seeded.rs",
+        // Version (rank 40) held, then registry (rank 10): inverted.
+        code: "fn f(&self) { let v = self.version.lock(); let t = self.topics.read(); }",
+        expect: 1,
+    },
+    Case {
+        rule: rules::LOCK_RANK,
+        rel: "crates/broker/src/seeded.rs",
+        // Rank-ascending, and re-acquisition after drop: both fine.
+        code: "fn f(&self) { let t = self.topics.read(); let v = self.version.lock(); \
+               drop(v); drop(t); let o = self.offsets.write(); }",
+        expect: 0,
+    },
+    Case {
+        rule: rules::LOCK_RANK,
+        rel: "crates/broker/src/seeded.rs",
+        // Dropping the inner guard re-legalises the outer acquisition.
+        code: "fn f(&self) { let v = self.version.lock(); drop(v); let t = self.topics.read(); }",
+        expect: 0,
+    },
+    Case {
+        rule: rules::SPAN_COVERAGE,
+        rel: "crates/engine-kernel/src/seeded.rs",
+        code: "fn run(&mut self) { loop { let r = self.consumer.poll(t); emit(r); } }",
+        expect: 1,
+    },
+    Case {
+        rule: rules::SPAN_COVERAGE,
+        rel: "crates/engine-kernel/src/seeded.rs",
+        code:
+            "fn run(&mut self, ctl: &Ctl) { loop { if let Some(e) = ctl.checkpoint() { return e; } \
+               let r = self.consumer.poll(t); charge_ingest(obs, c, r.len()); } }",
+        expect: 0,
+    },
+    Case {
+        rule: rules::FORBID_UNSAFE,
+        rel: "crates/broker/src/lib.rs",
+        code: "//! Docs.\npub mod topic;\n",
+        expect: 1,
+    },
+    Case {
+        rule: rules::FORBID_UNSAFE,
+        rel: "crates/broker/src/lib.rs",
+        code: "//! Docs.\n#![forbid(unsafe_code)]\npub mod topic;\n",
+        expect: 0,
+    },
+];
+
+/// Run every case; returns failure descriptions (empty = pass).
+pub fn run() -> Vec<String> {
+    let mut failures = Vec::new();
+    for (i, case) in CASES.iter().enumerate() {
+        let file = SourceFile::synthetic(case.rel, case.code);
+        let found = rules::all_rules(&file)
+            .into_iter()
+            .filter(|v| v.rule == case.rule)
+            .count();
+        if found != case.expect {
+            failures.push(format!(
+                "self-test case {i} ({}): expected {} finding(s), got {found} in {:?}",
+                case.rule, case.expect, case.code
+            ));
+        }
+    }
+    failures
+}

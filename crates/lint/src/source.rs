@@ -1,0 +1,318 @@
+//! Loading and normalising Rust sources for the scanners.
+//!
+//! The rules work on a *cleaned* copy of each file: comments and string
+//! literals are blanked (byte-for-byte, newlines preserved, so offsets and
+//! line numbers stay valid), and `#[cfg(test)]` items are blanked too —
+//! test code is allowed to unwrap and read the wall clock. This is not a
+//! parser; it is a deliberately small token-level model that is exact for
+//! the constructs the rules care about.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One scanned file: the raw text plus the cleaned copy the rules run on.
+pub struct SourceFile {
+    /// Repo-relative path with `/` separators — the form used in baselines
+    /// and reports.
+    pub rel: String,
+    /// Original text.
+    pub raw: String,
+    /// Comments, string/char literals, and `#[cfg(test)]` items blanked.
+    pub clean: String,
+}
+
+impl SourceFile {
+    pub fn load(root: &Path, path: PathBuf) -> io::Result<SourceFile> {
+        let raw = fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let mut clean = strip_comments_and_strings(&raw);
+        blank_test_items(&mut clean);
+        Ok(SourceFile { rel, raw, clean })
+    }
+
+    /// Build a file from an in-memory snippet (self-test mode).
+    pub fn synthetic(rel: &str, raw: &str) -> SourceFile {
+        let mut clean = strip_comments_and_strings(raw);
+        blank_test_items(&mut clean);
+        SourceFile {
+            rel: rel.to_string(),
+            raw: raw.to_string(),
+            clean,
+        }
+    }
+
+    /// 1-based line number of a byte offset.
+    pub fn line_of(&self, pos: usize) -> usize {
+        self.raw.as_bytes()[..pos.min(self.raw.len())]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count()
+            + 1
+    }
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Blank comments and string/char literals, preserving length and
+/// newlines. Handles line and nested block comments, plain and raw (also
+/// byte-) strings, char literals, and leaves lifetimes alone.
+pub fn strip_comments_and_strings(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = b.to_vec();
+    let mut i = 0;
+    let blank = |out: &mut [u8], from: usize, to: usize| {
+        for slot in &mut out[from..to] {
+            if *slot != b'\n' {
+                *slot = b' ';
+            }
+        }
+    };
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let end = src[i..].find('\n').map_or(b.len(), |n| i + n);
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start = i;
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                blank(&mut out, start, i);
+            }
+            b'r' | b'b' if i == 0 || !is_ident(b[i - 1]) => {
+                // Possible raw/byte string: r"..", r#".."#, b"..", br#".."#,
+                // b'..'.
+                let mut j = i;
+                if b[j] == b'b' && j + 1 < b.len() && b[j + 1] == b'r' {
+                    j += 1;
+                }
+                let mut hashes = 0;
+                let mut k = j + 1;
+                while k < b.len() && b[k] == b'#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < b.len() && b[k] == b'"' && (hashes > 0 || b[j + 1] == b'"') {
+                    // Raw string: ends at `"` followed by `hashes` hashes.
+                    let closer: Vec<u8> = std::iter::once(b'"')
+                        .chain(std::iter::repeat(b'#').take(hashes))
+                        .collect();
+                    let body = k + 1;
+                    let end = src[body..]
+                        .as_bytes()
+                        .windows(closer.len().max(1))
+                        .position(|w| w == closer.as_slice())
+                        .map_or(b.len(), |n| body + n + closer.len());
+                    blank(&mut out, i + 1, end);
+                    i = end;
+                } else if b[i] == b'b' && i + 1 < b.len() && (b[i + 1] == b'"' || b[i + 1] == b'\'')
+                {
+                    // Defer to the plain string/char arms below.
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                while i < b.len() {
+                    if b[i] == b'\\' {
+                        i += 2;
+                    } else if b[i] == b'"' {
+                        i += 1;
+                        break;
+                    } else {
+                        i += 1;
+                    }
+                }
+                blank(&mut out, start + 1, i.saturating_sub(1).max(start + 1));
+            }
+            b'\'' => {
+                // Char literal or lifetime. A literal closes with `'` within
+                // a few bytes; a lifetime never closes.
+                let mut j = i + 1;
+                if j < b.len() && b[j] == b'\\' {
+                    j += 2;
+                    while j < b.len() && b[j] != b'\'' {
+                        j += 1;
+                    }
+                    blank(&mut out, i + 1, j.min(b.len()));
+                    i = (j + 1).min(b.len());
+                } else {
+                    // `'a'` closes right after one scalar (up to 4 UTF-8
+                    // bytes); `'a` with no nearby close is a lifetime.
+                    let close =
+                        (i + 2..=(i + 5).min(b.len().saturating_sub(1))).find(|&k| b[k] == b'\'');
+                    match close {
+                        Some(k) if k == i + 2 || !is_ident(b[i + 1]) => {
+                            blank(&mut out, i + 1, k);
+                            i = k + 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    // The vec only ever has ASCII substituted in place of valid UTF-8; any
+    // multibyte sequence is either untouched or fully blanked.
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Blank every item annotated `#[cfg(test)]` (or `#[cfg(all(test, ..))]`)
+/// in already-stripped text: the attribute, any stacked attributes after
+/// it, and the following braced item.
+pub fn blank_test_items(clean: &mut String) {
+    let mut out = clean.clone().into_bytes();
+    let bytes = clean.as_bytes();
+    let mut search = 0;
+    while let Some(found) = clean[search..].find("#[cfg(") {
+        let attr_start = search + found;
+        let paren = attr_start + "#[cfg".len();
+        let Some(paren_end) = matching(bytes, paren, b'(', b')') else {
+            break;
+        };
+        let args = &clean[paren + 1..paren_end];
+        let is_test = args
+            .split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+            .any(|tok| tok == "test");
+        search = paren_end + 1;
+        if !is_test {
+            continue;
+        }
+        // Skip `]` plus any further attributes, then blank the item.
+        let mut i = paren_end + 1;
+        while i < bytes.len() && bytes[i] != b']' {
+            i += 1;
+        }
+        i += 1;
+        loop {
+            while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+                i += 1;
+            }
+            if i + 1 < bytes.len() && bytes[i] == b'#' && bytes[i + 1] == b'[' {
+                let Some(close) = matching(bytes, i + 1, b'[', b']') else {
+                    return;
+                };
+                i = close + 1;
+            } else {
+                break;
+            }
+        }
+        // The item ends at a `;` (e.g. `mod tests;`, `use ..;`) or at the
+        // close of its first brace block, whichever comes first.
+        let mut j = i;
+        let end = loop {
+            if j >= bytes.len() {
+                break bytes.len();
+            }
+            match bytes[j] {
+                b';' => break j + 1,
+                b'{' => {
+                    break matching(bytes, j, b'{', b'}').map_or(bytes.len(), |e| e + 1);
+                }
+                _ => j += 1,
+            }
+        };
+        for slot in &mut out[attr_start..end] {
+            if *slot != b'\n' {
+                *slot = b' ';
+            }
+        }
+        search = end;
+    }
+    *clean = String::from_utf8_lossy(&out).into_owned();
+}
+
+/// Position of the bracket matching `open` at `start` (which must hold the
+/// opening bracket), or `None` if unbalanced.
+pub fn matching(bytes: &[u8], start: usize, open: u8, close: u8) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, &c) in bytes.iter().enumerate().skip(start) {
+        if c == open {
+            depth += 1;
+        } else if c == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Byte ranges of every `fn` body in cleaned text: `(fn_pos, body_start,
+/// body_end)`, body bounds inclusive of the braces.
+pub fn function_bodies(clean: &str) -> Vec<(usize, usize, usize)> {
+    let bytes = clean.as_bytes();
+    let mut out = Vec::new();
+    let mut search = 0;
+    while let Some(found) = clean[search..].find("fn ") {
+        let pos = search + found;
+        search = pos + 3;
+        if pos > 0 && is_ident(bytes[pos - 1]) {
+            continue;
+        }
+        // Find the body opener, unless the declaration ends in `;` first
+        // (trait method without a default body).
+        let mut j = pos + 3;
+        let body = loop {
+            if j >= bytes.len() {
+                break None;
+            }
+            match bytes[j] {
+                b';' => break None,
+                b'{' => break Some(j),
+                _ => j += 1,
+            }
+        };
+        if let Some(open) = body {
+            if let Some(close) = matching(bytes, open, b'{', b'}') {
+                out.push((pos, open, close));
+                search = open + 1;
+            }
+        }
+    }
+    out
+}
+
+/// Recursively collect `.rs` files under `dir`.
+pub fn collect_rs(dir: &Path, into: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<_> = fs::read_dir(dir)?.filter_map(|e| e.ok()).collect();
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, into)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            into.push(path);
+        }
+    }
+    Ok(())
+}

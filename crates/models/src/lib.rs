@@ -14,6 +14,8 @@
 //! relative sizes reproduce the paper's, plus a [`zoo`] for looking models
 //! up by name as the benchmark configuration does.
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod ffnn;
 pub mod formats;

@@ -29,6 +29,8 @@
 //! assert_eq!(obs.stage_snapshot(Stage::Inference).count(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod export;
 pub mod hist;
 mod stage;

@@ -1,0 +1,80 @@
+//! Property tests for histogram merging. The benchmark report merges
+//! per-shard and per-worker snapshots in whatever order threads finish, so
+//! merge must behave like a commutative monoid over recorded values —
+//! otherwise percentile tables would depend on scheduling.
+
+use crayfish_obs::HistogramSnapshot;
+use proptest::prelude::*;
+
+fn snap(values: &[u64]) -> HistogramSnapshot {
+    HistogramSnapshot::from_values(values.iter().copied())
+}
+
+/// Observable equality: the stats the exporter and report actually read.
+fn assert_same(a: &HistogramSnapshot, b: &HistogramSnapshot) {
+    assert_eq!(a.count(), b.count());
+    assert_eq!(a.sum(), b.sum());
+    assert_eq!(a.min(), b.min());
+    assert_eq!(a.max(), b.max());
+    for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+        let (pa, pb) = (a.percentile(q), b.percentile(q));
+        assert!(
+            (pa - pb).abs() < 1e-9,
+            "p{q}: {pa} != {pb} (count {})",
+            a.count()
+        );
+    }
+}
+
+fn values() -> impl Strategy<Value = Vec<u64>> {
+    // Span the bucket layout: sub-microsecond to minutes-scale values.
+    prop::collection::vec(0u64..=10_000_000_000, 0..200)
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(xs in values(), ys in values()) {
+        let (a, b) = (snap(&xs), snap(&ys));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_same(&ab, &ba);
+    }
+
+    #[test]
+    fn merge_is_associative(xs in values(), ys in values(), zs in values()) {
+        let (a, b, c) = (snap(&xs), snap(&ys), snap(&zs));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_same(&left, &right);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one_histogram(
+        xs in values(),
+        ys in values(),
+    ) {
+        let mut merged = snap(&xs);
+        merged.merge(&snap(&ys));
+        let mut all = xs.clone();
+        all.extend_from_slice(&ys);
+        assert_same(&merged, &snap(&all));
+    }
+
+    #[test]
+    fn empty_is_the_identity(xs in values()) {
+        let a = snap(&xs);
+        let mut left = HistogramSnapshot::empty();
+        left.merge(&a);
+        let mut right = a.clone();
+        right.merge(&HistogramSnapshot::empty());
+        assert_same(&left, &right);
+        assert_same(&left, &a);
+    }
+}

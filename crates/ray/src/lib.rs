@@ -28,6 +28,7 @@
 //!
 //! [`source pump`]: crayfish_engine_kernel::source_pump
 
+#![forbid(unsafe_code)]
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, Receiver, Sender};

@@ -18,6 +18,8 @@
 //! [`EmbeddedRuntime::load_graph`] and [`LoadedModel::apply`] — and can target
 //! either the CPU or the simulated GPU ([`device::Device`]).
 
+#![forbid(unsafe_code)]
+
 pub mod device;
 pub mod error;
 pub mod exec;

@@ -18,6 +18,8 @@
 //! Ray Serve sets replica counts — all expressed as `workers` in
 //! [`ServingConfig`].
 
+#![forbid(unsafe_code)]
+
 pub mod client;
 pub mod error;
 pub mod protocol;

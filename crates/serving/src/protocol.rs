@@ -69,7 +69,7 @@ pub fn decode_tensor_binary(payload: &[u8]) -> Result<Tensor> {
         let (head, tail) = rest
             .split_at_checked(4)
             .ok_or_else(|| ServingError::Protocol("truncated dims".into()))?;
-        dims.push(u32::from_le_bytes(head.try_into().expect("4 bytes")) as usize);
+        dims.push(u32::from_le_bytes([head[0], head[1], head[2], head[3]]) as usize);
         rest = tail;
     }
     let numel: usize = dims.iter().product();
@@ -82,7 +82,7 @@ pub fn decode_tensor_binary(payload: &[u8]) -> Result<Tensor> {
     }
     let data = rest
         .chunks_exact(4)
-        .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
         .collect();
     Tensor::from_vec(dims, data).map_err(|e| ServingError::Protocol(format!("bad tensor: {e}")))
 }

@@ -75,7 +75,7 @@ pub fn start_at(graph: &NnGraph, config: ServingConfig, addr: SocketAddr) -> Res
         replica_tx,
         stop.clone(),
         config.overheads.http_stack,
-    );
+    )?;
     for i in 0..config.workers.max(1) {
         spawn_replica(
             i,
@@ -84,7 +84,7 @@ pub fn start_at(graph: &NnGraph, config: ServingConfig, addr: SocketAddr) -> Res
             pool.clone(),
             stop.clone(),
             config.overheads.actor_dispatch,
-        );
+        )?;
     }
     Ok(handle)
 }
@@ -129,7 +129,7 @@ fn spawn_proxy(
     replica_tx: Sender<ReplicaJob>,
     stop: Arc<AtomicBool>,
     http_cost: Cost,
-) {
+) -> Result<()> {
     std::thread::Builder::new()
         .name("ray-serve-proxy".into())
         .spawn(move || {
@@ -169,8 +169,8 @@ fn spawn_proxy(
                     }
                 }
             }
-        })
-        .expect("spawn ray-serve proxy");
+        })?;
+    Ok(())
 }
 
 fn spawn_replica(
@@ -180,7 +180,7 @@ fn spawn_replica(
     pool: ModelPool,
     stop: Arc<AtomicBool>,
     actor_cost: Cost,
-) {
+) -> Result<()> {
     std::thread::Builder::new()
         .name(format!("ray-serve-replica-{index}"))
         .spawn(move || {
@@ -190,14 +190,20 @@ fn spawn_replica(
                     Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
                     Err(_) => return,
                 };
+
                 // Actor method dispatch: object-store copy (real) plus the
                 // calibrated Python dispatch cost.
-                let staged = Tensor::from_vec(job.input.shape().clone(), job.input.data().to_vec())
-                    .expect("copying a valid tensor");
-                actor_cost.spend(staged.numel() * 4);
-                let result = pool
-                    .with_model(|m| m.apply(&staged))
-                    .map_err(|e| e.to_string());
+                let result =
+                    match Tensor::from_vec(job.input.shape().clone(), job.input.data().to_vec()) {
+                        Ok(staged) => {
+                            actor_cost.spend(staged.numel() * 4);
+                            match pool.with_model(|m| m.apply(&staged)) {
+                                Ok(applied) => applied.map_err(|e| e.to_string()),
+                                Err(e) => Err(e.to_string()),
+                            }
+                        }
+                        Err(e) => Err(format!("object-store copy: {e}")),
+                    };
                 if proxy_tx
                     .send(ProxyMsg::Response {
                         result,
@@ -208,13 +214,14 @@ fn spawn_replica(
                     return;
                 }
             }
-        })
-        .expect("spawn ray-serve replica");
+        })?;
+    Ok(())
 }
 
 fn response_bytes(result: std::result::Result<&Tensor, &str>) -> Vec<u8> {
     let mut buf = Vec::new();
-    write_http_response(&mut buf, result).expect("writing to Vec cannot fail");
+    // The Vec writer is infallible; an Err here is unreachable.
+    let _ = write_http_response(&mut buf, result);
     buf
 }
 

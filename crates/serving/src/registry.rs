@@ -101,16 +101,13 @@ impl ModelRegistry {
                 .get(n)
                 .map(|d| d.pool.clone())
                 .ok_or_else(|| ServingError::Config(format!("unknown model: {n}"))),
-            None => {
-                if models.len() == 1 {
-                    Ok(models.values().next().expect("len checked").pool.clone())
-                } else {
-                    Err(ServingError::Config(format!(
-                        "{} models deployed; requests must name one",
-                        models.len()
-                    )))
-                }
-            }
+            None => match models.values().next() {
+                Some(sole) if models.len() == 1 => Ok(sole.pool.clone()),
+                _ => Err(ServingError::Config(format!(
+                    "{} models deployed; requests must name one",
+                    models.len()
+                ))),
+            },
         }
     }
 }

@@ -14,7 +14,7 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 use crayfish_runtime::{Device, LoadedModel};
 use crayfish_sim::OverheadModel;
 
-use crate::Result;
+use crate::{Result, ServingError};
 
 /// Configuration of an external serving deployment.
 #[derive(Debug, Clone)]
@@ -130,7 +130,7 @@ impl ModelPool {
         let workers = workers.max(1);
         let (tx, rx) = bounded(workers);
         for _ in 0..workers {
-            tx.send(load()?).expect("pool channel sized to workers");
+            tx.send(load()?).map_err(|_| ServingError::Closed)?;
         }
         Ok(ModelPool {
             tx,
@@ -144,18 +144,22 @@ impl ModelPool {
     /// Borrow an instance (blocking) and run `f` with it. The wait for a
     /// free instance counts into the queue-depth gauge; the execution
     /// itself is an `inference` span (server-side model time, as opposed to
-    /// the client-observed `serving_rpc` stage).
-    pub fn with_model<T>(&self, f: impl FnOnce(&mut dyn LoadedModel) -> T) -> T {
+    /// the client-observed `serving_rpc` stage). Errors with
+    /// [`ServingError::Closed`] if the pool's channel was torn down — a
+    /// handler thread outliving its server must surface that as a serving
+    /// failure, not a panic.
+    pub fn with_model<T>(&self, f: impl FnOnce(&mut dyn LoadedModel) -> T) -> Result<T> {
         self.queue_depth.inc();
-        let mut model = self.rx.recv().expect("model pool closed");
+        let model = self.rx.recv();
         self.queue_depth.dec();
+        let mut model = model.map_err(|_| ServingError::Closed)?;
         self.in_flight.inc();
         let span = self.obs.timer(crayfish_obs::Stage::Inference);
         let out = f(model.as_mut());
         span.stop();
         self.in_flight.dec();
-        self.tx.send(model).expect("model pool closed");
-        out
+        self.tx.send(model).map_err(|_| ServingError::Closed)?;
+        Ok(out)
     }
 }
 
@@ -201,20 +205,25 @@ pub(crate) fn spawn_listener_on(
                     conns.lock().insert(id, clone);
                 }
                 let h = handler.clone();
-                let conns = conns.clone();
-                std::thread::Builder::new()
+                let registry = conns.clone();
+                let spawned = std::thread::Builder::new()
                     .name(format!("{name}-conn"))
                     .spawn(move || {
                         h(stream);
                         // Drop the registry entry once the handler is done
                         // so a long-lived server does not accumulate dead
                         // sockets.
-                        conns.lock().remove(&id);
-                    })
-                    .expect("spawn connection handler");
+                        registry.lock().remove(&id);
+                    });
+                if spawned.is_err() {
+                    // Out of threads: drop this connection (the client sees
+                    // EOF and retries) instead of killing the accept loop.
+                    if let Some(conn) = conns.lock().remove(&id) {
+                        let _ = conn.shutdown(Shutdown::Both);
+                    }
+                }
             }
-        })
-        .expect("spawn accept thread");
+        })?;
     Ok(ServerHandle {
         name,
         addr,
@@ -251,7 +260,8 @@ mod tests {
                     peak.fetch_max(now, Ordering::SeqCst);
                     std::thread::sleep(std::time::Duration::from_millis(10));
                     active.fetch_sub(1, Ordering::SeqCst);
-                });
+                })
+                .unwrap();
             }));
         }
         for h in handles {

@@ -61,7 +61,8 @@ fn handle_connection(stream: TcpStream, registry: &ModelRegistry) {
         let reply = match decode_request_binary(&payload) {
             Ok((model, input)) => match registry
                 .resolve(model.as_deref())
-                .and_then(|pool| pool.with_model(|m| m.apply(&input)).map_err(Into::into))
+                .and_then(|pool| pool.with_model(|m| m.apply(&input)))
+                .and_then(|applied| applied.map_err(Into::into))
             {
                 Ok(output) => encode_tensor_binary(&output),
                 Err(e) => encode_error_binary(&e.to_string()),

@@ -63,7 +63,8 @@ fn handle_connection(stream: TcpStream, pool: &ModelPool, py_cost: Cost) {
     while let Ok(Some(payload)) = read_frame(&mut reader) {
         let reply = match decode_tensor_binary(&payload).and_then(|t| python_handler(&t, py_cost)) {
             Ok(input) => match pool.with_model(|m| m.apply(&input)) {
-                Ok(output) => encode_tensor_binary(&output),
+                Ok(Ok(output)) => encode_tensor_binary(&output),
+                Ok(Err(e)) => encode_error_binary(&e.to_string()),
                 Err(e) => encode_error_binary(&e.to_string()),
             },
             Err(e) => encode_error_binary(&e.to_string()),

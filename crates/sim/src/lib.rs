@@ -19,6 +19,8 @@
 //! [`precise_sleep`], so end-to-end measurements taken by the framework
 //! include them exactly as a real deployment would.
 
+#![forbid(unsafe_code)]
+
 pub mod calibration;
 pub mod network;
 pub mod overhead;
@@ -28,4 +30,4 @@ pub mod time;
 pub use network::NetworkModel;
 pub use overhead::{Cost, OverheadModel};
 pub use rate::RatePacer;
-pub use time::{now_millis_f64, precise_sleep, spend, spin_exact, Stopwatch};
+pub use time::{now, now_millis_f64, precise_sleep, spend, spin_exact, Stopwatch};

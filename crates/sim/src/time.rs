@@ -69,6 +69,17 @@ pub fn spend(dur: Duration) {
     precise_sleep(dur);
 }
 
+/// The workspace's monotonic clock authority.
+///
+/// Pipeline crates are forbidden (by `crayfish-lint`'s clock-authority rule)
+/// from calling `Instant::now()` directly: every monotonic reading funnels
+/// through here so that deterministic-replay work only ever has one call
+/// site to virtualise, and so chaos replays cannot accidentally mix clock
+/// sources.
+pub fn now() -> Instant {
+    Instant::now()
+}
+
 /// Current UNIX time in milliseconds as a float (sub-millisecond precision).
 ///
 /// Crayfish timestamps (batch creation time, broker `LogAppendTime`) use this

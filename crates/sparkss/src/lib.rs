@@ -28,6 +28,8 @@
 //! executors are kernel score/sink stages past commit scope, living until
 //! the driver's task channel disconnects.
 
+#![forbid(unsafe_code)]
+
 use std::time::Duration;
 
 use bytes::Bytes;

@@ -1,0 +1,354 @@
+//! Synchronisation shim for the Crayfish workspace.
+//!
+//! Every concurrency-bearing crate imports its primitives from here rather
+//! than from `std`/`parking_lot` directly. In a normal build the types are
+//! thin wrappers over `parking_lot` (locks) and `std` (atomics, threads), so
+//! the shim costs nothing. Under `RUSTFLAGS="--cfg loom"` the same names
+//! resolve to [loom](https://docs.rs/loom)'s model-checked primitives, which
+//! lets the `tests/loom.rs` suites exhaustively explore thread interleavings
+//! of the broker long-poll, the flink exchange buffer, the chaos circuit
+//! breaker, and the worker crash/restart handoff.
+//!
+//! Design constraints the API encodes:
+//!
+//! - **Consuming condvar style.** loom's `Condvar::wait` takes the guard by
+//!   value; `parking_lot`'s takes `&mut guard`. The shim standardises on the
+//!   consuming style (`wait(guard) -> guard`) because the by-value form can
+//!   wrap the by-ref form but not vice versa.
+//! - **No timeouts under loom.** loom has no notion of wall-clock time, so
+//!   [`Condvar::wait_timeout`] degrades to a plain `wait` that reports "not
+//!   timed out". Callers must therefore treat the timeout as a liveness
+//!   bound, never as the sole wakeup mechanism — which is exactly the
+//!   lost-wakeup discipline the loom models verify.
+//! - **`sleep` yields under loom.** Backoff sleeps become `yield_now` so
+//!   models stay finite.
+
+#![forbid(unsafe_code)]
+
+#[cfg(not(loom))]
+mod imp {
+    use std::time::Duration;
+
+    /// Mutual exclusion (parking_lot-backed; no poisoning).
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(parking_lot::Mutex<T>);
+
+    /// Guard type returned by [`Mutex::lock`].
+    pub type MutexGuard<'a, T> = parking_lot::MutexGuard<'a, T>;
+
+    impl<T> Mutex<T> {
+        pub const fn new(value: T) -> Self {
+            Mutex(parking_lot::Mutex::new(value))
+        }
+
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            self.0.lock()
+        }
+
+        pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+            self.0.try_lock()
+        }
+
+        pub fn into_inner(self) -> T {
+            self.0.into_inner()
+        }
+    }
+
+    /// Condition variable with the consuming-guard API described in the
+    /// crate docs.
+    #[derive(Debug, Default)]
+    pub struct Condvar(parking_lot::Condvar);
+
+    impl Condvar {
+        pub const fn new() -> Self {
+            Condvar(parking_lot::Condvar::new())
+        }
+
+        pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+            self.0.wait(&mut guard);
+            guard
+        }
+
+        /// Wait until notified or `timeout` elapses. The boolean is `true`
+        /// when the wait timed out. Under loom this never times out.
+        pub fn wait_timeout<'a, T>(
+            &self,
+            mut guard: MutexGuard<'a, T>,
+            timeout: Duration,
+        ) -> (MutexGuard<'a, T>, bool) {
+            let timed_out = self.0.wait_for(&mut guard, timeout).timed_out();
+            (guard, timed_out)
+        }
+
+        pub fn notify_one(&self) {
+            self.0.notify_one();
+        }
+
+        pub fn notify_all(&self) {
+            self.0.notify_all();
+        }
+    }
+
+    /// Reader-writer lock (parking_lot-backed; no poisoning).
+    #[derive(Debug, Default)]
+    pub struct RwLock<T>(parking_lot::RwLock<T>);
+
+    /// Guard returned by [`RwLock::read`].
+    pub type RwLockReadGuard<'a, T> = parking_lot::RwLockReadGuard<'a, T>;
+    /// Guard returned by [`RwLock::write`].
+    pub type RwLockWriteGuard<'a, T> = parking_lot::RwLockWriteGuard<'a, T>;
+
+    impl<T> RwLock<T> {
+        pub const fn new(value: T) -> Self {
+            RwLock(parking_lot::RwLock::new(value))
+        }
+
+        pub fn read(&self) -> RwLockReadGuard<'_, T> {
+            self.0.read()
+        }
+
+        pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+            self.0.write()
+        }
+
+        pub fn into_inner(self) -> T {
+            self.0.into_inner()
+        }
+    }
+
+    pub use std::sync::atomic;
+    pub use std::sync::Arc;
+
+    pub mod thread {
+        use std::io;
+        use std::time::Duration;
+
+        pub use std::thread::JoinHandle;
+
+        pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+        where
+            F: FnOnce() -> T + Send + 'static,
+            T: Send + 'static,
+        {
+            std::thread::spawn(f)
+        }
+
+        /// Spawn a named OS thread, propagating spawn failure instead of
+        /// panicking. Under loom the name is ignored and spawning is
+        /// infallible.
+        pub fn spawn_named<F, T>(name: &str, f: F) -> io::Result<JoinHandle<T>>
+        where
+            F: FnOnce() -> T + Send + 'static,
+            T: Send + 'static,
+        {
+            std::thread::Builder::new().name(name.to_string()).spawn(f)
+        }
+
+        pub fn yield_now() {
+            std::thread::yield_now();
+        }
+
+        /// Sleep for `dur` (a loom model replaces this with a yield).
+        pub fn sleep(dur: Duration) {
+            std::thread::sleep(dur);
+        }
+    }
+
+    /// Run `f` once. The loom build replaces this with `loom::model`, which
+    /// re-runs `f` under every feasible interleaving; keeping the same entry
+    /// point lets a loom test double as a plain smoke test.
+    pub fn model<F: Fn() + Sync + Send + 'static>(f: F) {
+        f();
+    }
+}
+
+#[cfg(loom)]
+mod imp {
+    use std::time::Duration;
+
+    /// Mutual exclusion (loom-backed under `--cfg loom`).
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(loom::sync::Mutex<T>);
+
+    /// Guard type returned by [`Mutex::lock`].
+    pub type MutexGuard<'a, T> = loom::sync::MutexGuard<'a, T>;
+
+    impl<T> Mutex<T> {
+        pub fn new(value: T) -> Self {
+            Mutex(loom::sync::Mutex::new(value))
+        }
+
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            self.0.lock().expect("loom mutex poisoned")
+        }
+
+        pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+            self.0.try_lock().ok()
+        }
+
+        pub fn into_inner(self) -> T {
+            self.0.into_inner().expect("loom mutex poisoned")
+        }
+    }
+
+    /// Condition variable (loom-backed under `--cfg loom`).
+    #[derive(Debug, Default)]
+    pub struct Condvar(loom::sync::Condvar);
+
+    impl Condvar {
+        pub fn new() -> Self {
+            Condvar(loom::sync::Condvar::new())
+        }
+
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+            self.0.wait(guard).expect("loom condvar poisoned")
+        }
+
+        /// loom has no time: waits until notified and reports "not timed
+        /// out". Models relying on the timeout as their only wakeup path
+        /// will (correctly) deadlock and fail the model check.
+        pub fn wait_timeout<'a, T>(
+            &self,
+            guard: MutexGuard<'a, T>,
+            _timeout: Duration,
+        ) -> (MutexGuard<'a, T>, bool) {
+            (self.0.wait(guard).expect("loom condvar poisoned"), false)
+        }
+
+        pub fn notify_one(&self) {
+            self.0.notify_one();
+        }
+
+        pub fn notify_all(&self) {
+            self.0.notify_all();
+        }
+    }
+
+    /// Reader-writer lock (loom-backed under `--cfg loom`).
+    #[derive(Debug, Default)]
+    pub struct RwLock<T>(loom::sync::RwLock<T>);
+
+    /// Guard returned by [`RwLock::read`].
+    pub type RwLockReadGuard<'a, T> = loom::sync::RwLockReadGuard<'a, T>;
+    /// Guard returned by [`RwLock::write`].
+    pub type RwLockWriteGuard<'a, T> = loom::sync::RwLockWriteGuard<'a, T>;
+
+    impl<T> RwLock<T> {
+        pub fn new(value: T) -> Self {
+            RwLock(loom::sync::RwLock::new(value))
+        }
+
+        pub fn read(&self) -> RwLockReadGuard<'_, T> {
+            self.0.read().expect("loom rwlock poisoned")
+        }
+
+        pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+            self.0.write().expect("loom rwlock poisoned")
+        }
+
+        pub fn into_inner(self) -> T {
+            self.0.into_inner().expect("loom rwlock poisoned")
+        }
+    }
+
+    pub use loom::sync::atomic;
+    pub use loom::sync::Arc;
+
+    pub mod thread {
+        use std::io;
+        use std::time::Duration;
+
+        pub use loom::thread::JoinHandle;
+
+        pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+        where
+            F: FnOnce() -> T + Send + 'static,
+            T: Send + 'static,
+        {
+            loom::thread::spawn(f)
+        }
+
+        /// loom threads are unnamed and spawning never fails.
+        pub fn spawn_named<F, T>(_name: &str, f: F) -> io::Result<JoinHandle<T>>
+        where
+            F: FnOnce() -> T + Send + 'static,
+            T: Send + 'static,
+        {
+            Ok(loom::thread::spawn(f))
+        }
+
+        pub fn yield_now() {
+            loom::thread::yield_now();
+        }
+
+        /// Time does not pass in a loom model; sleeping is a scheduling
+        /// hint, so it lowers to a yield.
+        pub fn sleep(_dur: Duration) {
+            loom::thread::yield_now();
+        }
+    }
+
+    /// Explore every feasible interleaving of `f`.
+    pub fn model<F: Fn() + Sync + Send + 'static>(f: F) {
+        loom::model(f);
+    }
+}
+
+pub use imp::{
+    atomic, model, thread, Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard,
+    RwLockWriteGuard,
+};
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn condvar_consuming_wait_roundtrips() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = thread::spawn(move || {
+            let (m, c) = &*p2;
+            *m.lock() = true;
+            c.notify_all();
+        });
+        let (m, c) = &*pair;
+        let mut ready = m.lock();
+        while !*ready {
+            let (guard, timed_out) = c.wait_timeout(ready, Duration::from_secs(5));
+            ready = guard;
+            assert!(!timed_out, "notify lost");
+        }
+        drop(ready);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn wait_timeout_reports_expiry() {
+        let m = Mutex::new(());
+        let c = Condvar::new();
+        let (_g, timed_out) = c.wait_timeout(m.lock(), Duration::from_millis(5));
+        assert!(timed_out);
+    }
+
+    #[test]
+    fn rwlock_and_model_smoke() {
+        let l = Arc::new(RwLock::new(0u64));
+        *l.write() += 1;
+        assert_eq!(*l.read(), 1);
+        model(|| {
+            let m = Mutex::new(7);
+            assert_eq!(*m.lock(), 7);
+        });
+    }
+
+    #[test]
+    fn spawn_named_names_the_thread() {
+        let h = thread::spawn_named("sync-probe", || {
+            std::thread::current().name().map(str::to_string)
+        })
+        .unwrap();
+        assert_eq!(h.join().unwrap().as_deref(), Some("sync-probe"));
+    }
+}

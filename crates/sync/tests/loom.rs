@@ -1,0 +1,29 @@
+//! Loom model for the shim itself: the consuming condvar-wait mapping must
+//! not invent a lost wakeup. Compiled only under `RUSTFLAGS="--cfg loom"`.
+
+#![cfg(loom)]
+
+use crayfish_sync::{model, thread, Arc, Condvar, Mutex};
+
+/// Classic flag handoff through the shim's `Mutex` + consuming
+/// `Condvar::wait`: whatever the interleaving of set/notify and
+/// check/sleep, the waiter terminates having seen the flag.
+#[test]
+fn condvar_wait_cannot_miss_the_notification() {
+    model(|| {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = thread::spawn(move || {
+            let (flag, cond) = &*p2;
+            *flag.lock() = true;
+            cond.notify_all();
+        });
+        let (flag, cond) = &*pair;
+        let mut ready = flag.lock();
+        while !*ready {
+            ready = cond.wait(ready);
+        }
+        drop(ready);
+        t.join().unwrap();
+    });
+}

@@ -18,6 +18,8 @@
 //!   (NCHW), row-major.
 //! * Convolution weights are `[out_channels, in_channels, kh, kw]`.
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod graph;
 pub mod kernels;

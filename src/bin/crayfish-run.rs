@@ -10,6 +10,8 @@
 //! cargo run --release --bin crayfish-run -- config.json --sustainable  # ST search
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use crayfish::framework::metrics::bucketize;

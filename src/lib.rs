@@ -29,6 +29,8 @@
 //! `crates/bench` for the reproduction of every table and figure in the
 //! paper's evaluation.
 
+#![forbid(unsafe_code)]
+
 pub use crayfish_broker as broker;
 pub use crayfish_chaos as chaos;
 pub use crayfish_core as framework;
