@@ -14,8 +14,8 @@ use crayfish_runtime::exec::FusedExec;
 use crayfish_serving::protocol::{decode_tensor_binary, encode_tensor_binary};
 use crayfish_sim::NetworkModel;
 use crayfish_tensor::kernels::conv::{conv2d_im2col, Conv2dParams};
-use crayfish_tensor::kernels::gemm::gemm;
-use crayfish_tensor::Tensor;
+use crayfish_tensor::kernels::gemm::{gemm, gemm_ipj, gemm_prepacked_b, gemm_st};
+use crayfish_tensor::{GemmScratch, PackedB, Tensor};
 
 fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm");
@@ -31,6 +31,52 @@ fn bench_gemm(c: &mut Criterion) {
             })
         });
     }
+    group.finish();
+}
+
+/// The kernel-ablation rungs side by side at one shape (the full sweep
+/// lives in `cargo run -p crayfish-bench --bin micro_gemm`).
+fn bench_gemm_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_variants_256");
+    group.sample_size(20);
+    let n = 256usize;
+    let a = Tensor::seeded_uniform([n, n], 1, -1.0, 1.0);
+    let b = Tensor::seeded_uniform([n, n], 2, -1.0, 1.0);
+    let mut out = vec![0.0f32; n * n];
+    group.bench_function("seed_ipj", |bench| {
+        bench.iter(|| {
+            out.fill(0.0);
+            gemm_ipj(black_box(a.data()), black_box(b.data()), &mut out, n, n, n);
+        })
+    });
+    let mut scratch = GemmScratch::new();
+    group.bench_function("tiled_packed_st", |bench| {
+        bench.iter(|| {
+            out.fill(0.0);
+            gemm_st(
+                black_box(a.data()),
+                black_box(b.data()),
+                &mut out,
+                n,
+                n,
+                n,
+                &mut scratch,
+            );
+        })
+    });
+    let pb = PackedB::pack(b.data(), n, n);
+    group.bench_function("prepacked_weights", |bench| {
+        bench.iter(|| {
+            out.fill(0.0);
+            gemm_prepacked_b(
+                black_box(a.data()),
+                black_box(&pb),
+                &mut out,
+                n,
+                &mut scratch,
+            );
+        })
+    });
     group.finish();
 }
 
@@ -193,6 +239,7 @@ fn bench_obs(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_gemm,
+    bench_gemm_variants,
     bench_conv,
     bench_inference,
     bench_json_codec,

@@ -8,6 +8,9 @@
 //!   of the record-path crates (ratcheted).
 //! * `lock-rank` — ranked locks must be acquired in ascending rank order
 //!   within a function.
+//! * `hot-path-alloc` — no heap allocation (`Vec::new`, `vec![`,
+//!   `.to_vec(`, `.collect(`) inside compute-kernel bodies under
+//!   `crates/tensor/src/kernels/` (ratcheted; compat wrappers baselined).
 //! * `span-coverage` — every polling worker body in the engine kernel
 //!   carries a chaos checkpoint and an obs span/charge.
 //! * `forbid-unsafe` — every crate root declares

@@ -16,10 +16,11 @@ pub const UNWRAP_IN_PIPELINE: &str = "unwrap-in-pipeline";
 pub const LOCK_RANK: &str = "lock-rank";
 pub const SPAN_COVERAGE: &str = "span-coverage";
 pub const FORBID_UNSAFE: &str = "forbid-unsafe";
+pub const HOT_PATH_ALLOC: &str = "hot-path-alloc";
 
 /// Rules whose findings are ratcheted through `lint-baseline.txt` instead
 /// of failing outright.
-pub const BASELINED: &[&str] = &[CLOCK_AUTHORITY, UNWRAP_IN_PIPELINE];
+pub const BASELINED: &[&str] = &[CLOCK_AUTHORITY, UNWRAP_IN_PIPELINE, HOT_PATH_ALLOC];
 
 /// Crates whose non-test code must not unwrap: everything on the record
 /// path, where a panic kills a supervised worker and poisons the run.
@@ -117,7 +118,7 @@ fn lock_rank_of(rel: &str, receiver: &str) -> Option<(u32, &'static str)> {
 /// Walk back from a `.lock()` call, skipping index/call bracket groups,
 /// and return the nearest identifier in the receiver chain
 /// (`self.partitions[p].lock()` → `partitions`).
-fn receiver_of<'a>(clean: &'a str, dot: usize) -> Option<&'a str> {
+fn receiver_of(clean: &str, dot: usize) -> Option<&str> {
     let bytes = clean.as_bytes();
     let mut i = dot;
     while i > 0 {
@@ -242,6 +243,37 @@ fn let_binding_before(body: &str, pos: usize) -> Option<String> {
     }
 }
 
+/// Heap allocation inside a compute-kernel body. The packed GEMM path
+/// promises a zero-allocation steady state: every kernel takes an `_into`
+/// output slice or a reusable scratch (`GemmScratch`, the executor arena),
+/// so a `Vec::new` / `vec![` / `.to_vec(` / `.collect(` in
+/// `crates/tensor/src/kernels/` is either a compat wrapper (baselined,
+/// ratcheted down) or a regression. Test modules are already blanked by
+/// the source cleaner.
+pub fn hot_path_alloc(file: &SourceFile) -> Vec<Violation> {
+    if !file.rel.starts_with("crates/tensor/src/kernels/") {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let clean = &file.clean;
+    for (_, body_start, body_end) in function_bodies(clean) {
+        let body = &clean[body_start..=body_end];
+        for needle in ["Vec::new", "vec![", ".to_vec(", ".collect("] {
+            for pos in find_all(body, needle) {
+                out.push(Violation {
+                    rule: HOT_PATH_ALLOC,
+                    rel: file.rel.clone(),
+                    line: file.line_of(body_start + pos),
+                    msg: format!(
+                        "{needle} in a kernel body; use an `_into` variant or scratch buffer"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
 /// Every engine-kernel worker loop that polls the broker must run under
 /// supervision discipline: a chaos checkpoint (so injected crashes and
 /// stop flags are honoured per cycle) and an obs span or charge (so the
@@ -304,6 +336,7 @@ pub fn all_rules(file: &SourceFile) -> Vec<Violation> {
     out.extend(clock_authority(file));
     out.extend(unwrap_in_pipeline(file));
     out.extend(lock_rank(file));
+    out.extend(hot_path_alloc(file));
     out.extend(span_coverage(file));
     out.extend(forbid_unsafe(file));
     out

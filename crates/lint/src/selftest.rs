@@ -90,6 +90,29 @@ const CASES: &[Case] = &[
         expect: 0,
     },
     Case {
+        rule: rules::HOT_PATH_ALLOC,
+        rel: "crates/tensor/src/kernels/seeded.rs",
+        // Four distinct allocation spellings in one kernel body.
+        code: "fn k(x: &[f32]) -> Vec<f32> { let s = Vec::new(); let t = vec![0.0; 4]; \
+               let u = x.to_vec(); let v: Vec<f32> = x.iter().map(|a| a + 1.0).collect(); v }",
+        expect: 4,
+    },
+    Case {
+        rule: rules::HOT_PATH_ALLOC,
+        rel: "crates/tensor/src/kernels/seeded.rs",
+        // `_into` style with caller-owned output, and test code, are fine.
+        code: "fn k_into(x: &[f32], out: &mut [f32]) { out.copy_from_slice(x); }\n\
+               #[cfg(test)]\nmod tests { fn t() { let v = vec![0.0; 4]; } }\n",
+        expect: 0,
+    },
+    Case {
+        rule: rules::HOT_PATH_ALLOC,
+        rel: "crates/tensor/src/tensor.rs",
+        // Outside the kernels tree, allocation is unrestricted.
+        code: "fn f() -> Vec<f32> { vec![0.0; 4] }",
+        expect: 0,
+    },
+    Case {
         rule: rules::FORBID_UNSAFE,
         rel: "crates/broker/src/lib.rs",
         code: "//! Docs.\npub mod topic;\n",

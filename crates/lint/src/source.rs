@@ -119,8 +119,7 @@ pub fn strip_comments_and_strings(src: &str) -> String {
                         .chain(std::iter::repeat(b'#').take(hashes))
                         .collect();
                     let body = k + 1;
-                    let end = src[body..]
-                        .as_bytes()
+                    let end = src.as_bytes()[body..]
                         .windows(closer.len().max(1))
                         .position(|w| w == closer.as_slice())
                         .map_or(b.len(), |n| body + n + closer.len());

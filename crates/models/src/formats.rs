@@ -328,7 +328,7 @@ fn weights_to_bytes(weights: &[f32]) -> Vec<u8> {
 }
 
 fn weights_from_bytes(bytes: &[u8]) -> Result<Vec<f32>> {
-    if !bytes.len().is_multiple_of(4) {
+    if bytes.len() % 4 != 0 {
         return Err(ModelError::Format(
             "weight section not a multiple of 4 bytes".into(),
         ));

@@ -7,16 +7,23 @@
 //!   an entire pass over the activation.
 //! * **ReLU fusion** — a ReLU that solely consumes a conv/dense/add/bn step
 //!   is applied in that step's output loop instead of a separate pass.
-//! * **Arena reuse** — per-step output buffers and the `im2col` scratch are
-//!   allocated once and reused across calls.
+//! * **Weight pre-packing** — conv and dense weight matrices are packed
+//!   into the blocked GEMM's strip layout once, here, so steady-state
+//!   inference performs zero weight packing (conv weights as [`PackedA`],
+//!   dense weights as [`PackedB`]; batch-norm folding rescales the packed
+//!   panels in place).
+//! * **Arena reuse** — per-step output buffers, the `im2col` scratch, and
+//!   the GEMM packing scratch are allocated once and reused across calls,
+//!   so the steady-state hot path does not touch the allocator.
 //!
 //! These are the real optimisations ONNX Runtime's graph optimiser performs,
 //! and they are why the paper measures ONNX as the fastest embedded option.
 
-use crayfish_tensor::kernels::conv::{im2col, Conv2dParams};
-use crayfish_tensor::kernels::gemm::gemm;
+use crayfish_tensor::kernels::conv::{conv2d_prepacked_into, Conv2dParams};
+use crayfish_tensor::kernels::gemm::{gemm_ipj, gemm_prepacked_b};
+use crayfish_tensor::kernels::microkernel::MR;
 use crayfish_tensor::kernels::{activation, add_inplace, pool};
-use crayfish_tensor::{NnGraph, Op, Shape, Tensor};
+use crayfish_tensor::{GemmScratch, NnGraph, Op, PackedA, PackedB, Shape, Tensor};
 
 use crate::error::RuntimeError;
 use crate::exec::check_batched_input;
@@ -27,13 +34,18 @@ use crate::Result;
 enum FusedOp {
     Input,
     Conv {
-        w: Vec<f32>,
+        /// `[out_c, in_c*k*k]` weight, packed at plan-compile time.
+        w: PackedA,
         bias: Vec<f32>,
         params: Conv2dParams,
         relu: bool,
     },
     Dense {
+        /// Raw `[inf, outf]` weight, kept for the skinny-batch path where
+        /// packing the activation rows would waste most of each panel.
         w: Vec<f32>,
+        /// The same weight packed at plan-compile time for `batch >= MR`.
+        pw: PackedB,
         bias: Vec<f32>,
         inf: usize,
         outf: usize,
@@ -83,6 +95,7 @@ pub struct FusedExec {
     per_item_flops: u64,
     buffers: Vec<Vec<f32>>,
     col_scratch: Vec<f32>,
+    gemm_scratch: GemmScratch,
 }
 
 impl FusedExec {
@@ -121,8 +134,9 @@ impl FusedExec {
                 }
                 Op::Conv2d { w, b, params } => {
                     let bias = b.as_ref().map(|t| t.data().to_vec()).unwrap_or_default();
+                    let krows = params.in_c * params.kernel * params.kernel;
                     let op = FusedOp::Conv {
-                        w: w.data().to_vec(),
+                        w: PackedA::pack(w.data(), params.out_c, krows),
                         bias,
                         params: *params,
                         relu: false,
@@ -136,11 +150,13 @@ impl FusedExec {
                     ));
                 }
                 Op::Dense { w, b } => {
+                    let (inf, outf) = (w.shape().dim(0), w.shape().dim(1));
                     let op = FusedOp::Dense {
                         w: w.data().to_vec(),
+                        pw: PackedB::pack(w.data(), inf, outf),
                         bias: b.data().to_vec(),
-                        inf: w.shape().dim(0),
-                        outf: w.shape().dim(1),
+                        inf,
+                        outf,
                         relu: false,
                     };
                     map.push(push(
@@ -159,18 +175,11 @@ impl FusedExec {
                         && matches!(steps[target].op, FusedOp::Conv { .. });
                     if foldable {
                         // Fold into the convolution's weights and bias.
-                        if let FusedOp::Conv {
-                            w,
-                            bias,
-                            params: cp,
-                            ..
-                        } = &mut steps[target].op
-                        {
-                            let per_oc = w.len() / cp.out_c;
-                            for oc in 0..cp.out_c {
-                                for v in &mut w[oc * per_oc..(oc + 1) * per_oc] {
-                                    *v *= scale[oc];
-                                }
+                        if let FusedOp::Conv { w, bias, .. } = &mut steps[target].op {
+                            // Each output channel is one row of the GEMM's
+                            // A operand; rescale it inside the packed panels.
+                            for (oc, &s) in scale.iter().enumerate() {
+                                w.scale_row(oc, s);
                             }
                             if bias.is_empty() {
                                 *bias = shift.clone();
@@ -289,7 +298,26 @@ impl FusedExec {
             per_item_flops,
             buffers: (0..n).map(|_| Vec::new()).collect(),
             col_scratch: Vec::new(),
+            gemm_scratch: GemmScratch::new(),
         })
+    }
+
+    /// `(ptr, capacity)` of every arena buffer and scratch — lets tests
+    /// assert that steady-state inference reuses the arena instead of
+    /// reallocating.
+    #[doc(hidden)]
+    pub fn arena_fingerprint(&self) -> Vec<(usize, usize)> {
+        let mut fp: Vec<(usize, usize)> = self
+            .buffers
+            .iter()
+            .map(|b| (b.as_ptr() as usize, b.capacity()))
+            .collect();
+        fp.push((
+            self.col_scratch.as_ptr() as usize,
+            self.col_scratch.capacity(),
+        ));
+        fp.extend(self.gemm_scratch.fingerprint());
+        fp
     }
 
     /// Number of compiled steps (after fusion).
@@ -343,42 +371,43 @@ impl FusedExec {
                 } => {
                     let s = in_item(0);
                     let (h, wd) = (s.dim(1), s.dim(2));
-                    let (oh, ow) = params.out_hw(h, wd);
-                    let cols = oh * ow;
-                    let krows = params.in_c * params.kernel * params.kernel;
-                    self.col_scratch.resize(krows * cols, 0.0);
                     out.resize(out_numel, 0.0);
-                    let in_stride = params.in_c * h * wd;
-                    let out_stride = params.out_c * cols;
-                    for b in 0..batch {
-                        let img = &in_buf(0)[b * in_stride..(b + 1) * in_stride];
-                        im2col(img, h, wd, params, &mut self.col_scratch);
-                        let out_img = &mut out[b * out_stride..(b + 1) * out_stride];
-                        if bias.is_empty() {
-                            out_img.fill(0.0);
-                        } else {
-                            for (oc, &bv) in bias.iter().enumerate() {
-                                out_img[oc * cols..(oc + 1) * cols].fill(bv);
-                            }
-                        }
-                        gemm(w, &self.col_scratch, out_img, params.out_c, krows, cols);
-                        if *relu {
-                            activation::relu_inplace(out_img);
-                        }
+                    conv2d_prepacked_into(
+                        in_buf(0),
+                        batch,
+                        h,
+                        wd,
+                        w,
+                        bias,
+                        params,
+                        &mut self.col_scratch,
+                        out,
+                        &mut self.gemm_scratch,
+                    );
+                    if *relu {
+                        activation::relu_inplace(out);
                     }
                 }
                 FusedOp::Dense {
                     w,
+                    pw,
                     bias,
                     inf,
                     outf,
                     relu,
                 } => {
                     out.resize(batch * outf, 0.0);
-                    for b in 0..batch {
-                        out[b * outf..(b + 1) * outf].copy_from_slice(bias);
+                    for row in out.chunks_exact_mut(*outf) {
+                        row.copy_from_slice(bias);
                     }
-                    gemm(in_buf(0), w, out, batch, *inf, *outf);
+                    if batch < MR {
+                        // Skinny batch: the streaming kernel reads the raw
+                        // weight once; packing activations would waste most
+                        // of each MR-row panel.
+                        gemm_ipj(in_buf(0), w, out, batch, *inf, *outf);
+                    } else {
+                        gemm_prepacked_b(in_buf(0), pw, out, batch, &mut self.gemm_scratch);
+                    }
                     if *relu {
                         activation::relu_inplace(out);
                     }
@@ -404,7 +433,8 @@ impl FusedExec {
                 }
                 FusedOp::MaxPool { k, s, pad } => {
                     let sh = in_item(0);
-                    let (data, _) = pool::maxpool2d(
+                    out.resize(out_numel, 0.0);
+                    pool::maxpool2d_into(
                         in_buf(0),
                         batch,
                         sh.dim(0),
@@ -413,12 +443,13 @@ impl FusedExec {
                         *k,
                         *s,
                         *pad,
+                        out,
                     );
-                    *out = data;
                 }
                 FusedOp::Gap => {
                     let s = in_item(0);
-                    *out = pool::avgpool_global(in_buf(0), batch, s.dim(0), s.dim(1), s.dim(2));
+                    out.resize(out_numel, 0.0);
+                    pool::avgpool_global_into(in_buf(0), batch, s.dim(0), s.dim(1), s.dim(2), out);
                 }
                 FusedOp::Add { relu } => {
                     out.clear();

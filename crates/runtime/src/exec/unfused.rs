@@ -5,11 +5,12 @@ use std::time::Duration;
 use crayfish_sim::Cost;
 use crayfish_tensor::kernels::{
     activation, add_inplace,
-    conv::{conv2d_direct, conv2d_im2col},
-    gemm::dense,
+    conv::{conv2d_direct, conv2d_prepacked_into},
+    gemm::{gemm_ipj, gemm_prepacked_b},
+    microkernel::MR,
     norm, pool,
 };
-use crayfish_tensor::{NnGraph, Op, Shape, Tensor};
+use crayfish_tensor::{GemmScratch, NnGraph, Op, PackedA, PackedB, Shape, Tensor};
 
 use crate::error::RuntimeError;
 use crate::exec::check_batched_input;
@@ -23,6 +24,18 @@ use crate::Result;
 pub struct JniBoundary {
     /// Per-call fixed + per-byte cost (see `crayfish_sim::calibration`).
     pub cost: Cost,
+}
+
+/// A node's weight operand, packed once at executor-build time so
+/// steady-state inference performs zero weight packing (even the unfused
+/// runtimes' underlying BLAS pre-packs weights at model load).
+#[derive(Debug)]
+enum NodePack {
+    None,
+    /// Dense weight as the GEMM's right operand.
+    Dense(PackedB),
+    /// Conv weight (`[out_c, in_c*k*k]`) as the GEMM's left operand.
+    Conv(PackedA),
 }
 
 /// Executes the graph node by node with no cross-op optimisation.
@@ -45,6 +58,9 @@ pub struct UnfusedExec {
     /// Cached shape inference for the last-seen batch size.
     shapes: Option<(usize, Vec<Shape>)>,
     col_scratch: Vec<f32>,
+    /// Per-node pre-packed weights (indexed by node id).
+    packs: Vec<NodePack>,
+    gemm_scratch: GemmScratch,
 }
 
 impl UnfusedExec {
@@ -53,6 +69,21 @@ impl UnfusedExec {
         graph.infer_shapes(1)?;
         let input_shape = graph.input_shape()?;
         let n = graph.nodes().len();
+        let packs = graph
+            .nodes()
+            .iter()
+            .map(|node| match &node.op {
+                Op::Dense { w, .. } => {
+                    NodePack::Dense(PackedB::pack(w.data(), w.shape().dim(0), w.shape().dim(1)))
+                }
+                Op::Conv2d { w, params, .. } => NodePack::Conv(PackedA::pack(
+                    w.data(),
+                    params.out_c,
+                    params.in_c * params.kernel * params.kernel,
+                )),
+                _ => NodePack::None,
+            })
+            .collect();
         Ok(UnfusedExec {
             graph,
             input_shape,
@@ -62,7 +93,27 @@ impl UnfusedExec {
             buffers: (0..n).map(|_| Vec::new()).collect(),
             shapes: None,
             col_scratch: Vec::new(),
+            packs,
+            gemm_scratch: GemmScratch::new(),
         })
+    }
+
+    /// `(ptr, capacity)` of every arena buffer and scratch — lets tests
+    /// assert that steady-state inference reuses the arena instead of
+    /// reallocating (only meaningful with `reuse_buffers = true`).
+    #[doc(hidden)]
+    pub fn arena_fingerprint(&self) -> Vec<(usize, usize)> {
+        let mut fp: Vec<(usize, usize)> = self
+            .buffers
+            .iter()
+            .map(|b| (b.as_ptr() as usize, b.capacity()))
+            .collect();
+        fp.push((
+            self.col_scratch.as_ptr() as usize,
+            self.col_scratch.capacity(),
+        ));
+        fp.extend(self.gemm_scratch.fingerprint());
+        fp
     }
 
     /// The wrapped graph.
@@ -126,15 +177,26 @@ impl UnfusedExec {
                 }
                 Op::Dense { w, b } => {
                     let (inf, outf) = (w.shape().dim(0), w.shape().dim(1));
-                    *out = dense(in_buf(0), w.data(), b.data(), batch, inf, outf);
+                    out.resize(batch * outf, 0.0);
+                    for row in out.chunks_exact_mut(outf) {
+                        row.copy_from_slice(b.data());
+                    }
+                    if batch < MR {
+                        // Skinny batch: stream the raw weight once instead
+                        // of packing mostly-padding activation panels.
+                        gemm_ipj(in_buf(0), w.data(), out, batch, inf, outf);
+                    } else {
+                        let NodePack::Dense(pw) = &self.packs[node.id] else {
+                            unreachable!("dense node packed at build time");
+                        };
+                        gemm_prepacked_b(in_buf(0), pw, out, batch, &mut self.gemm_scratch);
+                    }
                 }
                 Op::Conv2d { w, b, params } => {
                     let s = in_shape(0);
                     let bias: &[f32] = b.as_ref().map(|t| t.data()).unwrap_or(&[]);
-                    *out = if self.naive_conv {
-                        conv2d_direct(in_buf(0), batch, s.dim(2), s.dim(3), w.data(), bias, params)
-                    } else {
-                        conv2d_im2col(
+                    if self.naive_conv {
+                        *out = conv2d_direct(
                             in_buf(0),
                             batch,
                             s.dim(2),
@@ -142,9 +204,25 @@ impl UnfusedExec {
                             w.data(),
                             bias,
                             params,
+                        );
+                    } else {
+                        let NodePack::Conv(pw) = &self.packs[node.id] else {
+                            unreachable!("conv node packed at build time");
+                        };
+                        out.resize(out_numel, 0.0);
+                        conv2d_prepacked_into(
+                            in_buf(0),
+                            batch,
+                            s.dim(2),
+                            s.dim(3),
+                            pw,
+                            bias,
+                            params,
                             &mut self.col_scratch,
-                        )
-                    };
+                            out,
+                            &mut self.gemm_scratch,
+                        );
+                    }
                 }
                 Op::BatchNorm { params } => {
                     let s = in_shape(0);
@@ -160,7 +238,8 @@ impl UnfusedExec {
                 }
                 Op::MaxPool { k, s: stride, pad } => {
                     let s = in_shape(0);
-                    let (data, _) = pool::maxpool2d(
+                    out.resize(out_numel, 0.0);
+                    pool::maxpool2d_into(
                         in_buf(0),
                         batch,
                         s.dim(1),
@@ -169,12 +248,13 @@ impl UnfusedExec {
                         *k,
                         *stride,
                         *pad,
+                        out,
                     );
-                    *out = data;
                 }
                 Op::GlobalAvgPool => {
                     let s = in_shape(0);
-                    *out = pool::avgpool_global(in_buf(0), batch, s.dim(1), s.dim(2), s.dim(3));
+                    out.resize(out_numel, 0.0);
+                    pool::avgpool_global_into(in_buf(0), batch, s.dim(1), s.dim(2), s.dim(3), out);
                 }
                 Op::Add => {
                     out.clear();

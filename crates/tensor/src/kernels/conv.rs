@@ -1,7 +1,8 @@
 //! 2-D convolution: the production `im2col + GEMM` path and a direct
 //! reference implementation.
 
-use crate::kernels::gemm::gemm;
+use crate::kernels::gemm::{gemm, gemm_prepacked_a};
+use crate::packed::{GemmScratch, PackedA};
 
 /// Static parameters of a conv2d op.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,6 +118,51 @@ pub fn conv2d_im2col(
         gemm(weight, col_scratch, out_img, p.out_c, krows, cols);
     }
     out
+}
+
+/// Convolution via `im2col` + GEMM against a weight matrix packed once at
+/// plan-compile time (`[out_c, in_c*k*k]` as a [`PackedA`]), writing into a
+/// caller-provided buffer — the allocation-free, zero-weight-packing form
+/// the executors drive from their arenas.
+///
+/// `out` must hold `batch * out_c * oh * ow` elements; it is fully
+/// overwritten (bias-filled, or zeroed when `bias` is empty). `col_scratch`
+/// is reused across calls like in [`conv2d_im2col`]; per-call activation
+/// packing goes through `gemm_scratch`.
+#[allow(clippy::too_many_arguments)] // a BLAS-style kernel signature: dims are positional by convention
+pub fn conv2d_prepacked_into(
+    input: &[f32],
+    batch: usize,
+    h: usize,
+    w: usize,
+    weight: &PackedA,
+    bias: &[f32],
+    p: &Conv2dParams,
+    col_scratch: &mut Vec<f32>,
+    out: &mut [f32],
+    gemm_scratch: &mut GemmScratch,
+) {
+    let (oh, ow) = p.out_hw(h, w);
+    let cols = oh * ow;
+    let krows = p.in_c * p.kernel * p.kernel;
+    assert_eq!(weight.m(), p.out_c, "conv2d: packed weight rows");
+    assert_eq!(weight.k(), krows, "conv2d: packed weight depth");
+    assert_eq!(out.len(), batch * p.out_c * cols, "conv2d: out length");
+    col_scratch.resize(krows * cols, 0.0);
+    for b in 0..batch {
+        let img = &input[b * p.in_c * h * w..(b + 1) * p.in_c * h * w];
+        im2col(img, h, w, p, col_scratch);
+        let out_img = &mut out[b * p.out_c * cols..(b + 1) * p.out_c * cols];
+        if bias.is_empty() {
+            out_img.fill(0.0);
+        } else {
+            assert_eq!(bias.len(), p.out_c, "conv2d: bias length");
+            for (oc, &bv) in bias.iter().enumerate() {
+                out_img[oc * cols..(oc + 1) * cols].fill(bv);
+            }
+        }
+        gemm_prepacked_a(weight, col_scratch, out_img, cols, gemm_scratch);
+    }
 }
 
 /// Direct (sliding-window) convolution. O(out * k²) per element with no
@@ -250,6 +296,87 @@ mod tests {
         assert_eq!(fast.len(), slow.len());
         for (a, b) in fast.iter().zip(&slow) {
             assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn prepacked_conv_matches_im2col_path() {
+        let p = Conv2dParams {
+            in_c: 3,
+            out_c: 5,
+            kernel: 3,
+            stride: 2,
+            pad: 1,
+        };
+        let input = Tensor::seeded_uniform([2, 3, 9, 9], 21, -1.0, 1.0);
+        let weight = Tensor::seeded_uniform([5, 3, 3, 3], 22, -1.0, 1.0);
+        let bias = vec![0.1, -0.2, 0.3, 0.0, 1.5];
+        let mut col = Vec::new();
+        let expect = conv2d_im2col(input.data(), 2, 9, 9, weight.data(), &bias, &p, &mut col);
+
+        let packed = PackedA::pack(weight.data(), 5, 27);
+        let mut out = vec![f32::NAN; expect.len()];
+        let mut gs = GemmScratch::new();
+        conv2d_prepacked_into(
+            input.data(),
+            2,
+            9,
+            9,
+            &packed,
+            &bias,
+            &p,
+            &mut col,
+            &mut out,
+            &mut gs,
+        );
+        for (a, b) in out.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn prepacked_conv_scale_row_folds_like_weight_scaling() {
+        // Folding BN into conv means scaling each output channel's weight
+        // row; scale_row must act identically on the packed layout.
+        let p = Conv2dParams {
+            in_c: 2,
+            out_c: 3,
+            kernel: 1,
+            stride: 1,
+            pad: 0,
+        };
+        let input = Tensor::seeded_uniform([1, 2, 4, 4], 31, -1.0, 1.0);
+        let weight = Tensor::seeded_uniform([3, 2, 1, 1], 32, -1.0, 1.0);
+        let scales = [2.0f32, 0.5, -1.25];
+        let mut scaled = weight.data().to_vec();
+        for (oc, &s) in scales.iter().enumerate() {
+            for v in &mut scaled[oc * 2..(oc + 1) * 2] {
+                *v *= s;
+            }
+        }
+        let mut col = Vec::new();
+        let expect = conv2d_im2col(input.data(), 1, 4, 4, &scaled, &[], &p, &mut col);
+
+        let mut packed = PackedA::pack(weight.data(), 3, 2);
+        for (oc, &s) in scales.iter().enumerate() {
+            packed.scale_row(oc, s);
+        }
+        let mut out = vec![f32::NAN; expect.len()];
+        let mut gs = GemmScratch::new();
+        conv2d_prepacked_into(
+            input.data(),
+            1,
+            4,
+            4,
+            &packed,
+            &[],
+            &p,
+            &mut col,
+            &mut out,
+            &mut gs,
+        );
+        for (a, b) in out.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
         }
     }
 

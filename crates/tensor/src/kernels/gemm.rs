@@ -1,17 +1,65 @@
 //! General matrix multiplication and the dense (fully connected) layer.
+//!
+//! Three tiers, slowest to fastest, all kept callable because the bench
+//! ablation (`crayfish-bench`, `micro_gemm`) measures each step:
+//!
+//! 1. [`matmul_naive`] — textbook `i-j-p` oracle, tests only;
+//! 2. [`gemm_ipj`] — the original streaming kernel ("seed"); still the best
+//!    choice for tiny products where packing overhead dominates;
+//! 3. the blocked path — operands packed into strip panels
+//!    ([`crate::kernels::pack`]), driven through the `MR×NR` register-tiled
+//!    microkernel ([`crate::kernels::microkernel`]) with `KC`/`MC`/`NC`
+//!    cache blocking, optionally spread across the worker pool
+//!    ([`crate::par`]).
+//!
+//! The public [`gemm`] keeps the historic signature and routes by problem
+//! size; hot paths (the executors) call the `_scratch`/`_prepacked` entry
+//! points instead so packing buffers come from a caller-owned
+//! [`GemmScratch`] and weight operands are packed once at plan-compile
+//! time.
+
+use crate::kernels::microkernel::{microkernel, store_tile_add, KC, MC_STRIPS, MR, NC_STRIPS, NR};
+use crate::kernels::pack::{
+    a_strips, b_strips, pack_a_into, pack_b_into, packed_a_len, packed_b_len,
+};
+use crate::packed::{with_tls_scratch, GemmScratch, PackedA, PackedB};
+use crate::par::ThreadPool;
+
+/// Below this `m·k·n` the packed path's pack+store overhead outweighs its
+/// FLOP rate and [`gemm_ipj`] wins (measured in `micro_gemm`; a 32³ GEMM
+/// sits right at the crossover).
+pub(crate) const SMALL_GEMM_WORK: usize = 32 * 32 * 32;
+
+/// Below this `m·k·n` a single core finishes faster than the pool's
+/// submit/merge handshake can pay for itself (~a 128³ GEMM per worker).
+pub(crate) const MT_MIN_WORK: usize = 2 * 1024 * 1024;
 
 /// `C += A * B` where `A` is `m×k`, `B` is `k×n`, `C` is `m×n`, all
 /// row-major.
 ///
-/// The `i-p-j` loop order keeps the innermost loop streaming over contiguous
-/// rows of `B` and `C`, which LLVM auto-vectorises; this is the workhorse
-/// behind both the dense layers and the `im2col` convolutions, so its
-/// throughput sets the CPU inference speed of every embedded runtime.
+/// Compatibility entry point: routes to [`gemm_ipj`] for small problems and
+/// otherwise to the blocked path with a thread-local scratch (and the
+/// global worker pool when the problem is large enough). Callers with a hot
+/// loop should hold their own [`GemmScratch`] and use [`gemm_scratch`] or
+/// the prepacked variants.
 ///
 /// # Panics
-/// Panics (via debug assertions on slice indexing) if the slice lengths do
-/// not match the given dimensions.
+/// Panics if the slice lengths do not match the given dimensions.
 pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    if m * k * n <= SMALL_GEMM_WORK {
+        gemm_ipj(a, b, c, m, k, n);
+    } else {
+        with_tls_scratch(|scratch| gemm_scratch(a, b, c, m, k, n, scratch));
+    }
+}
+
+/// The original streaming kernel: `i-p-j` loop order keeps the innermost
+/// loop running over contiguous rows of `B` and `C`, which LLVM
+/// auto-vectorises. No packing, no blocking — optimal for small problems,
+/// memory-bound on large ones (every pass over `B` misses cache once `B`
+/// outgrows L2). Kept verbatim as the ablation baseline and small-size
+/// path.
+pub fn gemm_ipj(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     assert_eq!(a.len(), m * k, "gemm: A length");
     assert_eq!(b.len(), k * n, "gemm: B length");
     assert_eq!(c.len(), m * n, "gemm: C length");
@@ -25,6 +73,204 @@ pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
             }
         }
     }
+}
+
+/// Cache-blocked `i-p-j` without packing: the `K` dimension is tiled by
+/// [`KC`] and rows by `MC` so the touched slice of `B` stays cache-resident
+/// across the row block. The middle rung of the ablation ladder — isolates
+/// the benefit of blocking from the benefit of packing.
+pub fn gemm_tiled_unpacked(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "gemm: A length");
+    assert_eq!(b.len(), k * n, "gemm: B length");
+    assert_eq!(c.len(), m * n, "gemm: C length");
+    let mc = MC_STRIPS * MR;
+    for pc in (0..k).step_by(KC) {
+        let kc = KC.min(k - pc);
+        for ic in (0..m).step_by(mc) {
+            let ic_end = (ic + mc).min(m);
+            for i in ic..ic_end {
+                let a_row = &a[i * k + pc..i * k + pc + kc];
+                let c_row = &mut c[i * n..(i + 1) * n];
+                for (p, &av) in a_row.iter().enumerate() {
+                    let b_row = &b[(pc + p) * n..(pc + p + 1) * n];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The blocked driver over packed operands: `C += A * B` restricted to row
+/// strips `[s0, s1)` of `A`, writing into `c` whose row 0 is global row
+/// `c_row0` (leading dimension `n`). The loop nest is the classic
+/// `jc → pc → ic → jr → ir` order so a [`KC`]`×NC` slice of packed `B`
+/// stays in L2/L3, an `MC×`[`KC`] slice of packed `A` in L2, and one `B`
+/// strip slice in L1 across the `ir` loop.
+#[allow(clippy::too_many_arguments)] // a GEMM driver's natural signature
+pub(crate) fn gemm_packed_region(
+    pa: &[f32],
+    pb: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    s0: usize,
+    s1: usize,
+    c_row0: usize,
+) {
+    let bs = b_strips(n);
+    for jcb in (0..bs).step_by(NC_STRIPS) {
+        let jc_end = (jcb + NC_STRIPS).min(bs);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            for icb in (s0..s1).step_by(MC_STRIPS) {
+                let ic_end = (icb + MC_STRIPS).min(s1);
+                for js in jcb..jc_end {
+                    let b_panel = &pb[js * k * NR + pc * NR..][..kc * NR];
+                    let col0 = js * NR;
+                    let nr_eff = NR.min(n - col0);
+                    for is in icb..ic_end {
+                        let a_panel = &pa[is * k * MR + pc * MR..][..kc * MR];
+                        let acc = microkernel(a_panel, b_panel, kc);
+                        let row0 = is * MR;
+                        let mr_eff = MR.min(m - row0);
+                        store_tile_add(&acc, c, n, row0 - c_row0, col0, mr_eff, nr_eff);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn pack_both(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, scratch: &mut GemmScratch) {
+    assert_eq!(a.len(), m * k, "gemm: A length");
+    assert_eq!(b.len(), k * n, "gemm: B length");
+    pack_a_into(a, m, k, scratch.pa_mut(packed_a_len(m, k)));
+    pack_b_into(b, k, n, scratch.pb_mut(packed_b_len(k, n)));
+}
+
+/// Blocked `C += A * B` with caller-owned packing scratch; uses the global
+/// worker pool when the problem is large enough ([`MT_MIN_WORK`]) and a
+/// pool is configured.
+pub fn gemm_scratch(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    scratch: &mut GemmScratch,
+) {
+    assert_eq!(c.len(), m * n, "gemm: C length");
+    pack_both(a, b, m, k, n, scratch);
+    if m * k * n >= MT_MIN_WORK {
+        if let Some(pool) = crate::par::global() {
+            pool.gemm(scratch.pa_arc(), scratch.pb_arc(), c, m, k, n);
+            return;
+        }
+    }
+    gemm_packed_region(
+        scratch.pa_arc(),
+        scratch.pb_arc(),
+        c,
+        m,
+        k,
+        n,
+        0,
+        a_strips(m),
+        0,
+    );
+}
+
+/// Blocked `C += A * B`, forced single-threaded. Ablation rung
+/// "tiled+packed"; also what [`gemm_scratch`] degrades to without a pool.
+pub fn gemm_st(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    scratch: &mut GemmScratch,
+) {
+    assert_eq!(c.len(), m * n, "gemm: C length");
+    pack_both(a, b, m, k, n, scratch);
+    gemm_packed_region(
+        scratch.pa_arc(),
+        scratch.pb_arc(),
+        c,
+        m,
+        k,
+        n,
+        0,
+        a_strips(m),
+        0,
+    );
+}
+
+/// Blocked `C += A * B` on an explicit pool regardless of problem size.
+/// Used by the bench ablation and the loom models, which need the
+/// threading path exercised deterministically.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_with_pool(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    scratch: &mut GemmScratch,
+    pool: &ThreadPool,
+) {
+    assert_eq!(c.len(), m * n, "gemm: C length");
+    pack_both(a, b, m, k, n, scratch);
+    pool.gemm(scratch.pa_arc(), scratch.pb_arc(), c, m, k, n);
+}
+
+/// `C += A * B` with `A` pre-packed (convolution weights in executor
+/// plans). Only `B` — the per-call activation operand — is packed here,
+/// into the caller's scratch.
+pub fn gemm_prepacked_a(
+    pa: &PackedA,
+    b: &[f32],
+    c: &mut [f32],
+    n: usize,
+    scratch: &mut GemmScratch,
+) {
+    let (m, k) = (pa.m(), pa.k());
+    assert_eq!(b.len(), k * n, "gemm: B length");
+    assert_eq!(c.len(), m * n, "gemm: C length");
+    pack_b_into(b, k, n, scratch.pb_mut(packed_b_len(k, n)));
+    if m * k * n >= MT_MIN_WORK {
+        if let Some(pool) = crate::par::global() {
+            pool.gemm(pa.data(), scratch.pb_arc(), c, m, k, n);
+            return;
+        }
+    }
+    gemm_packed_region(pa.data(), scratch.pb_arc(), c, m, k, n, 0, a_strips(m), 0);
+}
+
+/// `C += A * B` with `B` pre-packed (dense weights in executor plans).
+pub fn gemm_prepacked_b(
+    a: &[f32],
+    pb: &PackedB,
+    c: &mut [f32],
+    m: usize,
+    scratch: &mut GemmScratch,
+) {
+    let (k, n) = (pb.k(), pb.n());
+    assert_eq!(a.len(), m * k, "gemm: A length");
+    assert_eq!(c.len(), m * n, "gemm: C length");
+    pack_a_into(a, m, k, scratch.pa_mut(packed_a_len(m, k)));
+    if m * k * n >= MT_MIN_WORK {
+        if let Some(pool) = crate::par::global() {
+            pool.gemm(scratch.pa_arc(), pb.data(), c, m, k, n);
+            return;
+        }
+    }
+    gemm_packed_region(scratch.pa_arc(), pb.data(), c, m, k, n, 0, a_strips(m), 0);
 }
 
 /// Textbook triple-loop matmul returning a fresh buffer. Used only as the
@@ -47,7 +293,8 @@ pub fn matmul_naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f
 
 /// Fully connected layer: `out = x * w + bias` where `x` is
 /// `[batch, in_features]`, `w` is `[in_features, out_features]`, and `bias`
-/// has `out_features` elements broadcast across the batch.
+/// has `out_features` elements broadcast across the batch. Allocating
+/// compatibility wrapper over [`dense_into`].
 pub fn dense(
     x: &[f32],
     w: &[f32],
@@ -56,13 +303,56 @@ pub fn dense(
     inf: usize,
     outf: usize,
 ) -> Vec<f32> {
-    assert_eq!(bias.len(), outf, "dense: bias length");
-    let mut out = Vec::with_capacity(batch * outf);
-    for _ in 0..batch {
-        out.extend_from_slice(bias);
-    }
-    gemm(x, w, &mut out, batch, inf, outf);
+    let mut out = vec![0.0f32; batch * outf];
+    with_tls_scratch(|scratch| dense_into(x, w, bias, batch, inf, outf, &mut out, scratch));
     out
+}
+
+/// [`dense`] into a caller-provided buffer with caller-owned scratch — the
+/// allocation-free form the executors drive from their arenas.
+#[allow(clippy::too_many_arguments)]
+pub fn dense_into(
+    x: &[f32],
+    w: &[f32],
+    bias: &[f32],
+    batch: usize,
+    inf: usize,
+    outf: usize,
+    out: &mut [f32],
+    scratch: &mut GemmScratch,
+) {
+    assert_eq!(bias.len(), outf, "dense: bias length");
+    assert_eq!(out.len(), batch * outf, "dense: out length");
+    for row in out.chunks_exact_mut(outf) {
+        row.copy_from_slice(bias);
+    }
+    if batch * inf * outf <= SMALL_GEMM_WORK || batch < MR {
+        // Tiny or skinny batches: packing A wastes MR/batch of the panel;
+        // the streaming kernel reads x exactly once either way.
+        gemm_ipj(x, w, out, batch, inf, outf);
+    } else {
+        gemm_scratch(x, w, out, batch, inf, outf, scratch);
+    }
+}
+
+/// [`dense_into`] against a weight matrix packed once at plan-compile
+/// time. Steady-state inference does zero weight packing; only the
+/// activation rows are packed, into the caller's scratch.
+pub fn dense_prepacked_into(
+    x: &[f32],
+    w: &PackedB,
+    bias: &[f32],
+    batch: usize,
+    out: &mut [f32],
+    scratch: &mut GemmScratch,
+) {
+    let outf = w.n();
+    assert_eq!(bias.len(), outf, "dense: bias length");
+    assert_eq!(out.len(), batch * outf, "dense: out length");
+    for row in out.chunks_exact_mut(outf) {
+        row.copy_from_slice(bias);
+    }
+    gemm_prepacked_b(x, w, out, batch, scratch);
 }
 
 #[cfg(test)]
@@ -108,6 +398,65 @@ mod tests {
         assert_eq!(c, vec![22.0, 28.0]);
     }
 
+    #[test]
+    fn packed_paths_match_naive_on_edge_remainders() {
+        // Dimensions straddling every MR/NR strip boundary near one strip.
+        let mut scratch = GemmScratch::new();
+        let dims = [1usize, 2, MR - 1, MR, MR + 1, NR - 1, NR, NR + 1, 33];
+        for &m in &dims {
+            for &k in &[1usize, 3, 17] {
+                for &n in &dims {
+                    let a = crate::Tensor::seeded_uniform([m, k], 11, -1.0, 1.0);
+                    let b = crate::Tensor::seeded_uniform([k, n], 13, -1.0, 1.0);
+                    let reference = matmul_naive(a.data(), b.data(), m, k, n);
+                    let mut c = vec![0.0f32; m * n];
+                    gemm_st(a.data(), b.data(), &mut c, m, k, n, &mut scratch);
+                    for i in 0..m * n {
+                        assert!(
+                            (c[i] - reference[i]).abs() < 1e-4,
+                            "st ({m},{k},{n})[{i}]: {} vs {}",
+                            c[i],
+                            reference[i]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prepacked_variants_match_dense_and_gemm() {
+        let mut scratch = GemmScratch::new();
+        let (m, k, n) = (10usize, 19usize, 21usize);
+        let a = crate::Tensor::seeded_uniform([m, k], 3, -1.0, 1.0);
+        let b = crate::Tensor::seeded_uniform([k, n], 4, -1.0, 1.0);
+        let reference = matmul_naive(a.data(), b.data(), m, k, n);
+
+        let pa = crate::packed::PackedA::pack(a.data(), m, k);
+        let mut c1 = vec![0.0f32; m * n];
+        gemm_prepacked_a(&pa, b.data(), &mut c1, n, &mut scratch);
+
+        let pb = crate::packed::PackedB::pack(b.data(), k, n);
+        let mut c2 = vec![0.0f32; m * n];
+        gemm_prepacked_b(a.data(), &pb, &mut c2, m, &mut scratch);
+
+        for i in 0..m * n {
+            assert!((c1[i] - reference[i]).abs() < 1e-4, "prepacked_a [{i}]");
+            assert!((c2[i] - reference[i]).abs() < 1e-4, "prepacked_b [{i}]");
+        }
+
+        let bias: Vec<f32> = (0..n).map(|v| v as f32 / 7.0).collect();
+        let via_dense = dense(a.data(), b.data(), &bias, m, k, n);
+        let mut via_packed = vec![0.0f32; m * n];
+        dense_prepacked_into(a.data(), &pb, &bias, m, &mut via_packed, &mut scratch);
+        for i in 0..m * n {
+            assert!(
+                (via_dense[i] - via_packed[i]).abs() < 1e-4,
+                "dense prepacked [{i}]"
+            );
+        }
+    }
+
     proptest! {
         #[test]
         fn gemm_matches_naive(
@@ -123,6 +472,32 @@ mod tests {
             let reference = matmul_naive(a.data(), b.data(), m, k, n);
             for (x, y) in c.iter().zip(&reference) {
                 prop_assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+            }
+        }
+
+        #[test]
+        fn tiled_and_packed_match_naive(
+            m in 1usize..40,
+            k in 1usize..40,
+            n in 1usize..40,
+            seed in any::<u64>(),
+        ) {
+            let a = crate::Tensor::seeded_uniform([m, k], seed, -1.0, 1.0);
+            let b = crate::Tensor::seeded_uniform([k, n], seed.wrapping_add(1), -1.0, 1.0);
+            let c0 = crate::Tensor::seeded_uniform([m, n], seed.wrapping_add(2), -1.0, 1.0);
+            let reference = matmul_naive(a.data(), b.data(), m, k, n);
+
+            let mut c_tiled = c0.data().to_vec();
+            gemm_tiled_unpacked(a.data(), b.data(), &mut c_tiled, m, k, n);
+
+            let mut scratch = GemmScratch::new();
+            let mut c_packed = c0.data().to_vec();
+            gemm_st(a.data(), b.data(), &mut c_packed, m, k, n, &mut scratch);
+
+            for i in 0..m * n {
+                let expect = c0.data()[i] + reference[i];
+                prop_assert!((c_tiled[i] - expect).abs() < 1e-4, "tiled [{i}]");
+                prop_assert!((c_packed[i] - expect).abs() < 1e-4, "packed [{i}]");
             }
         }
     }

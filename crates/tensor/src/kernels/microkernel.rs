@@ -1,0 +1,169 @@
+//! The register-tiled GEMM microkernel and its blocking constants.
+//!
+//! This is the innermost piece of the BLIS-style GEMM (Goto & van de Geijn,
+//! "Anatomy of High-Performance Matrix Multiplication"): an `MR×NR` tile of
+//! `C` is held in registers while `kc` rank-1 updates stream in from packed
+//! panels of `A` and `B`. Everything is plain safe Rust — the fixed-size
+//! accumulator array and `chunks_exact` iteration are shaped so LLVM
+//! promotes the tile to vector registers and emits FMA when the target has
+//! it (the workspace builds with `-C target-cpu=native`, see
+//! `.cargo/config.toml`).
+//!
+//! Layout contract (established by [`crate::kernels::pack`]):
+//!
+//! * the `A` panel stores one `MR`-row strip K-major: element `(r, p)` of
+//!   the strip lives at `p * MR + r`;
+//! * the `B` panel stores one `NR`-column strip K-major: element `(p, c)`
+//!   lives at `p * NR + c`;
+//! * edge strips are zero-padded to full `MR`/`NR`, so the microkernel
+//!   always computes a full tile and the store step clips.
+
+/// Rows of `C` computed per microkernel call. On AVX2 the tile is
+/// `MR * NR / 8 = 12` YMM accumulators plus two `B` vectors and one
+/// broadcast register — the largest tile that fits the 16 registers
+/// without spilling (LLVM spills the whole tile at `MR = 8`, which costs
+/// an order of magnitude).
+pub const MR: usize = 6;
+
+/// Columns of `C` computed per microkernel call: two vectors per row.
+///
+/// The accumulator tile is `MR * NR / lanes` independent FMA chains;
+/// saturating two FMA ports at 4-cycle latency needs at least 8 in
+/// flight. On AVX-512 one 16-lane ZMM per row would leave only 6 chains
+/// (one FMA per cycle, measured exactly that), so `NR = 32` doubles the
+/// tile to 12 of the 32 ZMM registers. On AVX2 `NR = 16` gives the same
+/// 12-chain shape in YMM registers.
+#[cfg(target_feature = "avx512f")]
+pub const NR: usize = 32;
+#[cfg(not(target_feature = "avx512f"))]
+pub const NR: usize = 16;
+
+/// K-dimension block: one packed `B` strip slice (`KC * NR * 4` = 16 or
+/// 32 KiB) stays resident in L1 across the whole `ir` loop.
+pub const KC: usize = 256;
+
+/// Row-strips per `A` block: `MC = MC_STRIPS * MR = 192` rows, so an
+/// `MC × KC` packed `A` block (~192 KiB) sits in L2 while the `B` block is
+/// re-streamed fewer times per `jc` column block.
+pub const MC_STRIPS: usize = 32;
+
+/// Column-strips per `B` block: `NC = NC_STRIPS * NR` columns (1–2 K), so
+/// a `KC × NC` packed `B` block (~1–2 MiB) sits in L2/L3.
+pub const NC_STRIPS: usize = 64;
+
+/// Fused multiply-add when the target has FMA; `a * b + c` otherwise.
+/// (`f32::mul_add` without hardware FMA lowers to a libm call, which would
+/// be ruinous in the inner loop.)
+#[inline(always)]
+fn fma(a: f32, b: f32, c: f32) -> f32 {
+    #[cfg(target_feature = "fma")]
+    {
+        a.mul_add(b, c)
+    }
+    #[cfg(not(target_feature = "fma"))]
+    {
+        a * b + c
+    }
+}
+
+/// Compute one `MR×NR` tile: the sum over `p < kc` of
+/// `a_panel[p] ⊗ b_panel[p]`. Returns the tile by value so LLVM keeps the
+/// accumulators in registers for the whole `kc` loop.
+#[inline(always)]
+pub fn microkernel(a_panel: &[f32], b_panel: &[f32], kc: usize) -> [[f32; NR]; MR] {
+    let mut acc = [[0.0f32; NR]; MR];
+    // Two rank-1 updates per iteration: halves the loop overhead and gives
+    // the scheduler a wider window of independent FMAs per trip.
+    let a_pairs = a_panel.chunks_exact(2 * MR);
+    let b_pairs = b_panel.chunks_exact(2 * NR);
+    let pairs = kc / 2;
+    let (a_tail, b_tail) = (a_pairs.remainder(), b_pairs.remainder());
+    for (av, bv) in a_pairs.take(pairs).zip(b_pairs.take(pairs)) {
+        // Fixed-size views: the bounds checks vanish and the loops below
+        // fully unroll and vectorise.
+        let av: &[f32; 2 * MR] = av.try_into().expect("packed A strip width");
+        let bv: &[f32; 2 * NR] = bv.try_into().expect("packed B strip width");
+        for (row, &a) in acc.iter_mut().zip(av[..MR].iter()) {
+            for (slot, &b) in row.iter_mut().zip(bv[..NR].iter()) {
+                *slot = fma(a, b, *slot);
+            }
+        }
+        for (row, &a) in acc.iter_mut().zip(av[MR..].iter()) {
+            for (slot, &b) in row.iter_mut().zip(bv[NR..].iter()) {
+                *slot = fma(a, b, *slot);
+            }
+        }
+    }
+    if kc % 2 == 1 {
+        let av = &a_tail[..MR];
+        let bv = &b_tail[..NR];
+        for (row, &a) in acc.iter_mut().zip(av.iter()) {
+            for (slot, &b) in row.iter_mut().zip(bv.iter()) {
+                *slot = fma(a, b, *slot);
+            }
+        }
+    }
+    acc
+}
+
+/// Add the valid `mr_eff × nr_eff` corner of a computed tile into `C`
+/// (row-major, leading dimension `ldc`, tile origin `(row0, col0)`).
+#[inline(always)]
+pub fn store_tile_add(
+    acc: &[[f32; NR]; MR],
+    c: &mut [f32],
+    ldc: usize,
+    row0: usize,
+    col0: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    for (i, row) in acc.iter().enumerate().take(mr_eff) {
+        let base = (row0 + i) * ldc + col0;
+        for (slot, &v) in c[base..base + nr_eff].iter_mut().zip(row.iter()) {
+            *slot += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn microkernel_is_sum_of_outer_products() {
+        // kc = 2: A strip rows [1..=6] then [10,..,60]; B strip [1..=16]
+        // then all 0.5.
+        let mut a = Vec::new();
+        a.extend((1..=MR).map(|v| v as f32));
+        a.extend((1..=MR).map(|v| 10.0 * v as f32));
+        let mut b = Vec::new();
+        b.extend((1..=NR).map(|v| v as f32));
+        b.extend(std::iter::repeat(0.5).take(NR));
+        let acc = microkernel(&a, &b, 2);
+        for (i, row) in acc.iter().enumerate() {
+            for (j, &got) in row.iter().enumerate() {
+                let expect = (i + 1) as f32 * (j + 1) as f32 + 10.0 * (i + 1) as f32 * 0.5;
+                assert_eq!(got, expect, "tile ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn store_tile_clips_to_effective_size() {
+        let acc = [[1.0f32; NR]; MR];
+        let mut c = vec![0.0f32; 4 * 8];
+        store_tile_add(&acc, &mut c, 8, 1, 2, 2, 3);
+        let want_hot = [(1usize, 2usize), (1, 3), (1, 4), (2, 2), (2, 3), (2, 4)];
+        for r in 0..4 {
+            for col in 0..8 {
+                let expect = if want_hot.contains(&(r, col)) {
+                    1.0
+                } else {
+                    0.0
+                };
+                assert_eq!(c[r * 8 + col], expect, "({r},{col})");
+            }
+        }
+    }
+}

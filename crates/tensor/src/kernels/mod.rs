@@ -1,20 +1,31 @@
 //! Neural-network compute kernels.
 //!
-//! All kernels are single-threaded (one intra-op thread, matching the
-//! paper's serving-tool configuration) and operate on the row-major layouts
-//! documented in the crate root.
+//! GEMM-backed kernels (dense, `im2col` convolution) run through the
+//! packed, cache-blocked path in [`gemm`]; problems above the size floor
+//! are additionally spread across the worker pool in [`crate::par`]
+//! (default single-threaded — the paper's one-intra-op-thread serving
+//! configuration — opt in via `CRAYFISH_THREADS`). Everything operates on
+//! the row-major layouts documented in the crate root, and the hot-path
+//! functions in this module are allocation-free (enforced by the
+//! `hot-path-alloc` lint rule) — buffers come from caller arenas and
+//! [`crate::packed`] scratch.
 
 pub mod activation;
 pub mod conv;
 pub mod gemm;
+pub mod microkernel;
 pub mod norm;
+pub mod pack;
 pub mod pool;
 
 pub use activation::{relu_inplace, softmax_rows};
-pub use conv::{conv2d_direct, conv2d_im2col, Conv2dParams};
-pub use gemm::{dense, gemm, matmul_naive};
+pub use conv::{conv2d_direct, conv2d_im2col, conv2d_prepacked_into, im2col, Conv2dParams};
+pub use gemm::{
+    dense, dense_into, dense_prepacked_into, gemm, gemm_ipj, gemm_prepacked_a, gemm_prepacked_b,
+    gemm_scratch, gemm_st, gemm_tiled_unpacked, gemm_with_pool, matmul_naive,
+};
 pub use norm::{batchnorm_inference, BnParams};
-pub use pool::{avgpool_global, maxpool2d};
+pub use pool::{avgpool_global, avgpool_global_into, maxpool2d, maxpool2d_into};
 
 /// Elementwise `a += b` for residual connections.
 ///

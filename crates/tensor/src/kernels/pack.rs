@@ -1,0 +1,137 @@
+//! Operand packing for the blocked GEMM.
+//!
+//! Packing rewrites a row-major operand into the strip layout the
+//! microkernel consumes (see [`crate::kernels::microkernel`]): `A` becomes
+//! `MR`-row strips stored K-major, `B` becomes `NR`-column strips stored
+//! K-major, both zero-padded to full strip width at the edges. The payoff
+//! is that every inner-loop access is unit-stride and every edge case is
+//! absorbed at pack time, once — not per FLOP.
+//!
+//! These functions write into caller-provided buffers and never allocate:
+//! scratch comes from [`crate::packed::GemmScratch`] (reused across calls)
+//! or from weights packed once at executor plan-compile time
+//! ([`crate::packed::PackedA`] / [`crate::packed::PackedB`]).
+
+use crate::kernels::microkernel::{MR, NR};
+
+/// Number of `MR`-row strips covering `m` rows.
+#[inline]
+pub fn a_strips(m: usize) -> usize {
+    m.div_ceil(MR)
+}
+
+/// Number of `NR`-column strips covering `n` columns.
+#[inline]
+pub fn b_strips(n: usize) -> usize {
+    n.div_ceil(NR)
+}
+
+/// Length of the packed form of an `m×k` row-major `A`.
+#[inline]
+pub fn packed_a_len(m: usize, k: usize) -> usize {
+    a_strips(m) * k * MR
+}
+
+/// Length of the packed form of a `k×n` row-major `B`.
+#[inline]
+pub fn packed_b_len(k: usize, n: usize) -> usize {
+    b_strips(n) * k * NR
+}
+
+/// Pack row-major `a` (`m×k`) into `out` as `MR`-row strips, K-major:
+/// strip `s` occupies `out[s * k * MR ..][.. k * MR]` and element
+/// `(s * MR + r, p)` of `A` lands at offset `p * MR + r` inside it. Rows
+/// past `m` are zero.
+pub fn pack_a_into(a: &[f32], m: usize, k: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "pack_a: A length");
+    assert_eq!(out.len(), packed_a_len(m, k), "pack_a: out length");
+    for s in 0..a_strips(m) {
+        let strip = &mut out[s * k * MR..(s + 1) * k * MR];
+        let rows = MR.min(m - s * MR);
+        for r in 0..MR {
+            if r < rows {
+                let row = &a[(s * MR + r) * k..(s * MR + r + 1) * k];
+                for (p, &v) in row.iter().enumerate() {
+                    strip[p * MR + r] = v;
+                }
+            } else {
+                for p in 0..k {
+                    strip[p * MR + r] = 0.0;
+                }
+            }
+        }
+    }
+}
+
+/// Pack row-major `b` (`k×n`) into `out` as `NR`-column strips, K-major:
+/// strip `s` occupies `out[s * k * NR ..][.. k * NR]` and element
+/// `(p, s * NR + c)` of `B` lands at offset `p * NR + c` inside it.
+/// Columns past `n` are zero.
+pub fn pack_b_into(b: &[f32], k: usize, n: usize, out: &mut [f32]) {
+    assert_eq!(b.len(), k * n, "pack_b: B length");
+    assert_eq!(out.len(), packed_b_len(k, n), "pack_b: out length");
+    // Row-outer order streams `B` through the cache exactly once; the
+    // writes fan out to `b_strips(n)` destinations at stride `k * NR`,
+    // which the store buffers absorb. Strip-outer order would re-read all
+    // of `B` once per strip.
+    let strips = b_strips(n);
+    for p in 0..k {
+        let row = &b[p * n..(p + 1) * n];
+        for s in 0..strips {
+            let cols = NR.min(n - s * NR);
+            let dst = &mut out[s * k * NR + p * NR..s * k * NR + (p + 1) * NR];
+            dst[..cols].copy_from_slice(&row[s * NR..s * NR + cols]);
+            dst[cols..].fill(0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_a_interleaves_rows_and_pads() {
+        // m = MR + 1 (two strips, second nearly empty), k = 3.
+        let m = MR + 1;
+        let k = 3;
+        let a: Vec<f32> = (0..m * k).map(|v| v as f32).collect();
+        let mut out = vec![f32::NAN; packed_a_len(m, k)];
+        pack_a_into(&a, m, k, &mut out);
+        // Strip 0, p = 1 holds column 1 of rows 0..MR.
+        for r in 0..MR {
+            assert_eq!(out[MR + r], a[r * k + 1]);
+        }
+        // Strip 1 holds row MR in lane 0 and zeros elsewhere.
+        let strip1 = &out[k * MR..];
+        for p in 0..k {
+            assert_eq!(strip1[p * MR], a[MR * k + p]);
+            for r in 1..MR {
+                assert_eq!(strip1[p * MR + r], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn pack_b_copies_column_strips_and_pads() {
+        // n = NR + 2, k = 2.
+        let n = NR + 2;
+        let k = 2;
+        let b: Vec<f32> = (0..k * n).map(|v| v as f32).collect();
+        let mut out = vec![f32::NAN; packed_b_len(k, n)];
+        pack_b_into(&b, k, n, &mut out);
+        // Strip 0, row p is b[p*n .. p*n+NR].
+        for p in 0..k {
+            assert_eq!(&out[p * NR..(p + 1) * NR], &b[p * n..p * n + NR]);
+        }
+        // Strip 1, row p starts with the 2 leftover columns then zeros.
+        let strip1 = &out[k * NR..];
+        for p in 0..k {
+            assert_eq!(strip1[p * NR], b[p * n + NR]);
+            assert_eq!(strip1[p * NR + 1], b[p * n + NR + 1]);
+            for c in 2..NR {
+                assert_eq!(strip1[p * NR + c], 0.0);
+            }
+        }
+    }
+}

@@ -3,7 +3,8 @@
 /// 2-D max pooling over NCHW data with square window `k`, stride `s`, and
 /// zero padding `pad` (padded positions are treated as `-inf`, i.e. ignored).
 ///
-/// Returns `([batch, c, oh, ow]` data, `(oh, ow))`.
+/// Returns `([batch, c, oh, ow]` data, `(oh, ow))`. Allocating wrapper over
+/// [`maxpool2d_into`].
 #[allow(clippy::too_many_arguments)] // a BLAS-style kernel signature: dims are positional by convention
 pub fn maxpool2d(
     input: &[f32],
@@ -17,8 +18,30 @@ pub fn maxpool2d(
 ) -> (Vec<f32>, (usize, usize)) {
     let oh = (h + 2 * pad - k) / s + 1;
     let ow = (w + 2 * pad - k) / s + 1;
+    let mut out = vec![0.0f32; batch * c * oh * ow];
+    maxpool2d_into(input, batch, c, h, w, k, s, pad, &mut out);
+    (out, (oh, ow))
+}
+
+/// [`maxpool2d`] into a caller-provided buffer (fully overwritten) — the
+/// allocation-free form the executors drive from their arenas. Returns
+/// `(oh, ow)`.
+#[allow(clippy::too_many_arguments)] // a BLAS-style kernel signature: dims are positional by convention
+pub fn maxpool2d_into(
+    input: &[f32],
+    batch: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    s: usize,
+    pad: usize,
+    out: &mut [f32],
+) -> (usize, usize) {
+    let oh = (h + 2 * pad - k) / s + 1;
+    let ow = (w + 2 * pad - k) / s + 1;
     assert_eq!(input.len(), batch * c * h * w, "maxpool2d: input length");
-    let mut out = vec![f32::NEG_INFINITY; batch * c * oh * ow];
+    assert_eq!(out.len(), batch * c * oh * ow, "maxpool2d: out length");
     for bc in 0..batch * c {
         let chan = &input[bc * h * w..(bc + 1) * h * w];
         let out_chan = &mut out[bc * oh * ow..(bc + 1) * oh * ow];
@@ -42,24 +65,39 @@ pub fn maxpool2d(
             }
         }
     }
-    (out, (oh, ow))
+    (oh, ow)
 }
 
 /// Global average pooling: reduce each channel's spatial plane to its mean.
-/// `[batch, c, h, w]` → `[batch, c]`.
+/// `[batch, c, h, w]` → `[batch, c]`. Allocating wrapper over
+/// [`avgpool_global_into`].
 pub fn avgpool_global(input: &[f32], batch: usize, c: usize, h: usize, w: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; batch * c];
+    avgpool_global_into(input, batch, c, h, w, &mut out);
+    out
+}
+
+/// [`avgpool_global`] into a caller-provided buffer (fully overwritten) —
+/// the allocation-free form the executors drive from their arenas.
+pub fn avgpool_global_into(
+    input: &[f32],
+    batch: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    out: &mut [f32],
+) {
     assert_eq!(
         input.len(),
         batch * c * h * w,
         "avgpool_global: input length"
     );
+    assert_eq!(out.len(), batch * c, "avgpool_global: out length");
     let plane = (h * w) as f32;
-    let mut out = Vec::with_capacity(batch * c);
-    for bc in 0..batch * c {
+    for (bc, slot) in out.iter_mut().enumerate() {
         let chan = &input[bc * h * w..(bc + 1) * h * w];
-        out.push(chan.iter().sum::<f32>() / plane);
+        *slot = chan.iter().sum::<f32>() / plane;
     }
-    out
 }
 
 #[cfg(test)]

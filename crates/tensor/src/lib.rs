@@ -7,9 +7,14 @@
 //! execute with different strategies (fused/unfused, CPU/simulated GPU).
 //!
 //! Everything here is *real* computation — matrix multiplies, `im2col`
-//! convolutions, batch normalisation — executed single-threaded per
-//! inference, matching the paper's configuration of one intra-op thread
-//! (§4.3 "Hardware Acceleration").
+//! convolutions, batch normalisation. Matrix multiplication runs through a
+//! packed, cache-blocked, register-tiled kernel
+//! ([`kernels::microkernel`]); by default it stays on one intra-op thread,
+//! matching the paper's serving-tool configuration (§4.3 "Hardware
+//! Acceleration"), and `CRAYFISH_THREADS` opts large GEMMs into the
+//! persistent worker pool ([`par`]). Weight operands can be packed once at
+//! plan-compile time ([`packed::PackedA`] / [`packed::PackedB`]) so the
+//! executors' steady state does no packing and no allocation.
 //!
 //! ## Layout conventions
 //!
@@ -23,11 +28,15 @@
 pub mod error;
 pub mod graph;
 pub mod kernels;
+pub mod packed;
+pub mod par;
 pub mod shape;
 pub mod tensor;
 
 pub use error::TensorError;
 pub use graph::{NnGraph, Node, NodeId, Op};
+pub use packed::{GemmScratch, PackedA, PackedB};
+pub use par::ThreadPool;
 pub use shape::Shape;
 pub use tensor::Tensor;
 

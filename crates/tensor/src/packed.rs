@@ -1,0 +1,218 @@
+//! Owning buffers for the blocked GEMM: pre-packed weight operands and
+//! reusable packing scratch.
+//!
+//! The kernels in [`crate::kernels`] are allocation-free (enforced by the
+//! repo's `hot-path-alloc` lint rule); every buffer they pack into comes
+//! from here. Two lifetimes exist:
+//!
+//! * **Weights** are packed once — at executor plan-compile time — into
+//!   [`PackedA`] (convolution weights, the left GEMM operand) or
+//!   [`PackedB`] (dense weights, the right operand). Steady-state inference
+//!   performs zero weight packing.
+//! * **Activations** change per call and are packed into a [`GemmScratch`]
+//!   owned by the caller (the executors keep one in their arena), which
+//!   reuses its buffers across calls.
+//!
+//! Buffers are `Arc<Vec<f32>>` so the worker pool ([`crate::par`]) can
+//! share them with its threads without copying; between calls the `Arc` is
+//! unique again and `Arc::make_mut` reuses the existing allocation.
+
+use std::cell::RefCell;
+
+use crayfish_sync::Arc;
+
+use crate::kernels::pack::{pack_a_into, pack_b_into, packed_a_len, packed_b_len};
+
+/// A left-hand GEMM operand (`m×k`) packed once into `MR`-row strips.
+/// Executor plans store convolution weights in this form.
+#[derive(Debug, Clone, Default)]
+pub struct PackedA {
+    data: Arc<Vec<f32>>,
+    m: usize,
+    k: usize,
+}
+
+impl PackedA {
+    /// Pack a row-major `m×k` matrix.
+    pub fn pack(a: &[f32], m: usize, k: usize) -> PackedA {
+        let mut data = vec![0.0f32; packed_a_len(m, k)];
+        pack_a_into(a, m, k, &mut data);
+        PackedA {
+            data: Arc::new(data),
+            m,
+            k,
+        }
+    }
+
+    /// Rows of the original matrix.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Columns of the original matrix (the GEMM depth).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The packed panels.
+    pub(crate) fn data(&self) -> &Arc<Vec<f32>> {
+        &self.data
+    }
+
+    /// Scale one original row by `s` in place (rows are interleaved inside
+    /// strips, stride `MR`). This is how conv+batch-norm folding rescales
+    /// already-packed convolution weights per output channel.
+    pub fn scale_row(&mut self, row: usize, s: f32) {
+        use crate::kernels::microkernel::MR;
+        assert!(row < self.m, "scale_row: row {row} of {}", self.m);
+        let k = self.k;
+        let data = Arc::make_mut(&mut self.data);
+        let strip = &mut data[(row / MR) * k * MR..(row / MR + 1) * k * MR];
+        let lane = row % MR;
+        for p in 0..k {
+            strip[p * MR + lane] *= s;
+        }
+    }
+
+    /// Unpack back to a row-major `m×k` matrix (test/debug aid).
+    pub fn unpack(&self) -> Vec<f32> {
+        use crate::kernels::microkernel::MR;
+        let mut out = vec![0.0f32; self.m * self.k];
+        for row in 0..self.m {
+            let strip = &self.data[(row / MR) * self.k * MR..];
+            for p in 0..self.k {
+                out[row * self.k + p] = strip[p * MR + row % MR];
+            }
+        }
+        out
+    }
+}
+
+/// A right-hand GEMM operand (`k×n`) packed once into `NR`-column strips.
+/// Executor plans store dense-layer weights in this form.
+#[derive(Debug, Clone, Default)]
+pub struct PackedB {
+    data: Arc<Vec<f32>>,
+    k: usize,
+    n: usize,
+}
+
+impl PackedB {
+    /// Pack a row-major `k×n` matrix.
+    pub fn pack(b: &[f32], k: usize, n: usize) -> PackedB {
+        let mut data = vec![0.0f32; packed_b_len(k, n)];
+        pack_b_into(b, k, n, &mut data);
+        PackedB {
+            data: Arc::new(data),
+            k,
+            n,
+        }
+    }
+
+    /// Rows of the original matrix (the GEMM depth).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Columns of the original matrix.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The packed panels.
+    pub(crate) fn data(&self) -> &Arc<Vec<f32>> {
+        &self.data
+    }
+}
+
+/// Reusable packing scratch for the per-call GEMM operands (activations,
+/// `im2col` matrices). Holds its buffers across calls so steady-state
+/// inference does not allocate.
+#[derive(Debug, Default)]
+pub struct GemmScratch {
+    pa: Arc<Vec<f32>>,
+    pb: Arc<Vec<f32>>,
+}
+
+impl GemmScratch {
+    pub fn new() -> GemmScratch {
+        GemmScratch::default()
+    }
+
+    /// Borrow the `A`-side buffer at exactly `len` elements, reusing the
+    /// allocation when capacity suffices. Between GEMM calls the `Arc` is
+    /// unique, so `make_mut` never clones on the steady-state path.
+    pub(crate) fn pa_mut(&mut self, len: usize) -> &mut [f32] {
+        let v = Arc::make_mut(&mut self.pa);
+        v.resize(len, 0.0);
+        &mut v[..]
+    }
+
+    /// Borrow the `B`-side buffer at exactly `len` elements (see
+    /// [`GemmScratch::pa_mut`]).
+    pub(crate) fn pb_mut(&mut self, len: usize) -> &mut [f32] {
+        let v = Arc::make_mut(&mut self.pb);
+        v.resize(len, 0.0);
+        &mut v[..]
+    }
+
+    pub(crate) fn pa_arc(&self) -> &Arc<Vec<f32>> {
+        &self.pa
+    }
+
+    pub(crate) fn pb_arc(&self) -> &Arc<Vec<f32>> {
+        &self.pb
+    }
+
+    /// `(ptr, capacity)` of each internal buffer — lets arena-reuse tests
+    /// assert that steady-state calls touch no allocator.
+    pub fn fingerprint(&self) -> [(usize, usize); 2] {
+        [
+            (self.pa.as_ptr() as usize, self.pa.capacity()),
+            (self.pb.as_ptr() as usize, self.pb.capacity()),
+        ]
+    }
+}
+
+thread_local! {
+    static TLS_SCRATCH: RefCell<GemmScratch> = RefCell::new(GemmScratch::new());
+}
+
+/// Run `f` with this thread's shared [`GemmScratch`] — the compatibility
+/// path for callers of the plain `gemm()` signature, which has nowhere to
+/// thread a scratch through. Hot paths own their scratch instead.
+pub fn with_tls_scratch<R>(f: impl FnOnce(&mut GemmScratch) -> R) -> R {
+    TLS_SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::microkernel::MR;
+
+    #[test]
+    fn packed_a_roundtrips_and_scales_rows() {
+        let m = MR + 2;
+        let k = 5;
+        let a: Vec<f32> = (0..m * k).map(|v| v as f32 + 1.0).collect();
+        let mut pa = PackedA::pack(&a, m, k);
+        assert_eq!(pa.unpack(), a);
+        pa.scale_row(MR + 1, 2.0);
+        let got = pa.unpack();
+        for (i, (&x, &orig)) in got.iter().zip(&a).enumerate() {
+            let row = i / k;
+            let expect = if row == MR + 1 { orig * 2.0 } else { orig };
+            assert_eq!(x, expect, "element {i}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuses_its_allocation() {
+        let mut s = GemmScratch::new();
+        s.pa_mut(1024).fill(1.0);
+        let fp = s.fingerprint();
+        s.pa_mut(512).fill(2.0);
+        s.pa_mut(1024);
+        assert_eq!(s.fingerprint(), fp, "scratch reallocated on shrink/grow");
+    }
+}

@@ -4,7 +4,119 @@
 use proptest::prelude::*;
 
 use crayfish_tensor::kernels::{activation, gemm, norm, pool};
-use crayfish_tensor::Tensor;
+use crayfish_tensor::{GemmScratch, PackedA, PackedB, Tensor, ThreadPool};
+
+/// Assert `got == c0 + naive(A, B)` elementwise within `1e-4` — the
+/// contract every GEMM variant (which all accumulate into `C`) must meet.
+#[allow(clippy::too_many_arguments)]
+fn assert_accumulates(
+    got: &[f32],
+    c0: &[f32],
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    label: &str,
+) {
+    let reference = gemm::matmul_naive(a, b, m, k, n);
+    for i in 0..m * n {
+        let expect = c0[i] + reference[i];
+        assert!(
+            (got[i] - expect).abs() < 1e-4,
+            "{label} ({m},{k},{n})[{i}]: {} vs {}",
+            got[i],
+            expect
+        );
+    }
+}
+
+/// Deterministic sweep hitting every `MR`-row and `NR`-column remainder
+/// (`MR = 6`, `NR = 16`), the `MC = 96`-row block boundary, and shapes past
+/// 128 — the edge tiles the packed path zero-pads at pack time. Runs the
+/// single-threaded packed driver and the tiled-unpacked ablation rung
+/// against the naive oracle, accumulating into a non-zero `C`.
+#[test]
+fn packed_and_tiled_gemm_edge_remainder_sweep() {
+    let mut scratch = GemmScratch::new();
+    let ms: Vec<usize> = (1..=13).chain([96, 97, 130]).collect();
+    let ns: Vec<usize> = (1..=17).chain([129, 130]).collect();
+    let ks = [1usize, 3, 64, 130];
+    for &m in &ms {
+        for &n in &ns {
+            for &k in &ks {
+                let seed = (m * 1_000_000 + n * 1000 + k) as u64;
+                let a = Tensor::seeded_uniform([m, k], seed, -1.0, 1.0);
+                let b = Tensor::seeded_uniform([k, n], seed ^ 1, -1.0, 1.0);
+                let c0 = Tensor::seeded_uniform([m, n], seed ^ 2, -1.0, 1.0);
+
+                let mut c = c0.data().to_vec();
+                gemm::gemm_st(a.data(), b.data(), &mut c, m, k, n, &mut scratch);
+                assert_accumulates(&c, c0.data(), a.data(), b.data(), m, k, n, "st");
+
+                if m % 7 == 0 {
+                    // The unpacked rung shares no packing code; spot-check.
+                    let mut c = c0.data().to_vec();
+                    gemm::gemm_tiled_unpacked(a.data(), b.data(), &mut c, m, k, n);
+                    assert_accumulates(&c, c0.data(), a.data(), b.data(), m, k, n, "tiled");
+                }
+            }
+        }
+    }
+}
+
+/// The worker-pool path must agree with the oracle across partition edge
+/// cases: fewer strips than participants, remainder strips, and shapes big
+/// enough that every participant owns several strips.
+#[test]
+fn pooled_gemm_matches_naive_on_mixed_shapes() {
+    let pool = ThreadPool::new(3);
+    let mut scratch = GemmScratch::new();
+    for (m, k, n) in [
+        (1usize, 1usize, 1usize),
+        (5, 7, 17),
+        (12, 16, 16),
+        (13, 130, 33),
+        (96, 64, 130),
+        (130, 130, 130),
+    ] {
+        let seed = (m * 131 + n) as u64;
+        let a = Tensor::seeded_uniform([m, k], seed, -1.0, 1.0);
+        let b = Tensor::seeded_uniform([k, n], seed ^ 1, -1.0, 1.0);
+        let c0 = Tensor::seeded_uniform([m, n], seed ^ 2, -1.0, 1.0);
+        let mut c = c0.data().to_vec();
+        gemm::gemm_with_pool(a.data(), b.data(), &mut c, m, k, n, &mut scratch, &pool);
+        assert_accumulates(&c, c0.data(), a.data(), b.data(), m, k, n, "pool");
+    }
+}
+
+/// Pre-packed weight operands must behave exactly like their row-major
+/// originals, including on edge-tile shapes.
+#[test]
+fn prepacked_operands_match_naive_on_edge_shapes() {
+    let mut scratch = GemmScratch::new();
+    for (m, k, n) in [
+        (1usize, 5usize, 1usize),
+        (7, 9, 17),
+        (61, 27, 50),
+        (96, 16, 97),
+    ] {
+        let seed = (m + k * 7 + n * 1009) as u64;
+        let a = Tensor::seeded_uniform([m, k], seed, -1.0, 1.0);
+        let b = Tensor::seeded_uniform([k, n], seed ^ 1, -1.0, 1.0);
+        let c0 = Tensor::seeded_uniform([m, n], seed ^ 2, -1.0, 1.0);
+
+        let pa = PackedA::pack(a.data(), m, k);
+        let mut c = c0.data().to_vec();
+        gemm::gemm_prepacked_a(&pa, b.data(), &mut c, n, &mut scratch);
+        assert_accumulates(&c, c0.data(), a.data(), b.data(), m, k, n, "prepacked_a");
+
+        let pb = PackedB::pack(b.data(), k, n);
+        let mut c = c0.data().to_vec();
+        gemm::gemm_prepacked_b(a.data(), &pb, &mut c, m, &mut scratch);
+        assert_accumulates(&c, c0.data(), a.data(), b.data(), m, k, n, "prepacked_b");
+    }
+}
 
 /// Scalar reference for max pooling.
 fn maxpool_reference(
@@ -105,6 +217,73 @@ proptest! {
         gemm::gemm(a.data(), b.data(), &mut c2, m, k, n);
         for (x, y) in c1.iter().zip(&c2) {
             prop_assert!((x - alpha * y).abs() < 1e-3, "{} vs {}", x, alpha * y);
+        }
+    }
+
+    #[test]
+    fn packed_gemm_is_linear_in_a(
+        m in 1usize..40,
+        k in 1usize..40,
+        n in 1usize..40,
+        alpha in -3.0f32..3.0,
+        seed in any::<u64>(),
+    ) {
+        // gemm_st(alpha * A, B) == alpha * gemm_st(A, B): linearity must
+        // survive packing, register tiling, and edge-tile padding.
+        let a = Tensor::seeded_uniform([m, k], seed, -1.0, 1.0);
+        let b = Tensor::seeded_uniform([k, n], seed ^ 7, -1.0, 1.0);
+        let scaled: Vec<f32> = a.data().iter().map(|v| v * alpha).collect();
+        let mut scratch = GemmScratch::new();
+        let mut c1 = vec![0.0f32; m * n];
+        gemm::gemm_st(&scaled, b.data(), &mut c1, m, k, n, &mut scratch);
+        let mut c2 = vec![0.0f32; m * n];
+        gemm::gemm_st(a.data(), b.data(), &mut c2, m, k, n, &mut scratch);
+        for (x, y) in c1.iter().zip(&c2) {
+            prop_assert!((x - alpha * y).abs() < 1e-3, "{} vs {}", x, alpha * y);
+        }
+    }
+
+    #[test]
+    fn packed_gemm_matches_naive_across_full_tile_range(
+        m in 1usize..=130,
+        k in 1usize..=130,
+        n in 1usize..=130,
+        seed in any::<u64>(),
+    ) {
+        // Every edge-tile remainder (m mod 6, n mod 16) and block boundary
+        // within 1..=130, accumulating into a non-zero C.
+        let a = Tensor::seeded_uniform([m, k], seed, -1.0, 1.0);
+        let b = Tensor::seeded_uniform([k, n], seed ^ 7, -1.0, 1.0);
+        let c0 = Tensor::seeded_uniform([m, n], seed ^ 8, -1.0, 1.0);
+        let reference = gemm::matmul_naive(a.data(), b.data(), m, k, n);
+        let mut scratch = GemmScratch::new();
+        let mut c = c0.data().to_vec();
+        gemm::gemm_st(a.data(), b.data(), &mut c, m, k, n, &mut scratch);
+        for i in 0..m * n {
+            let expect = c0.data()[i] + reference[i];
+            prop_assert!((c[i] - expect).abs() < 1e-4, "[{}]: {} vs {}", i, c[i], expect);
+        }
+    }
+
+    #[test]
+    fn pooled_gemm_matches_naive_across_full_tile_range(
+        m in 1usize..=130,
+        k in 1usize..=96,
+        n in 1usize..=130,
+        threads in 2usize..=4,
+        seed in any::<u64>(),
+    ) {
+        let a = Tensor::seeded_uniform([m, k], seed, -1.0, 1.0);
+        let b = Tensor::seeded_uniform([k, n], seed ^ 7, -1.0, 1.0);
+        let c0 = Tensor::seeded_uniform([m, n], seed ^ 8, -1.0, 1.0);
+        let reference = gemm::matmul_naive(a.data(), b.data(), m, k, n);
+        let pool = ThreadPool::new(threads);
+        let mut scratch = GemmScratch::new();
+        let mut c = c0.data().to_vec();
+        gemm::gemm_with_pool(a.data(), b.data(), &mut c, m, k, n, &mut scratch, &pool);
+        for i in 0..m * n {
+            let expect = c0.data()[i] + reference[i];
+            prop_assert!((c[i] - expect).abs() < 1e-4, "[{}]: {} vs {}", i, c[i], expect);
         }
     }
 

@@ -1,0 +1,108 @@
+//! Loom models for the GEMM worker pool. Compiled only under
+//! `RUSTFLAGS="--cfg loom"`.
+//!
+//! The pool is a single-condvar epoch handshake: a submitter posts a job
+//! (epoch bump + notify), workers compute their row panels and the last
+//! one to finish publishes `done_epoch`, and the submitter merges panels
+//! after its wait returns. Three things can go wrong in such a design and
+//! the models pin each of them:
+//!
+//! 1. **Lost submit wakeup** — a worker re-checks "job && epoch != seen"
+//!    under the lock, so a notify landing before the wait must still be
+//!    observed; otherwise `gemm` blocks forever (loom condvars never time
+//!    out, so the model itself would hang and fail).
+//! 2. **Incomplete result** — `gemm` must not return before every worker
+//!    panel is computed and merged; the models assert the full numeric
+//!    result, so any missing panel shows up as a wrong value.
+//! 3. **Shutdown race** — dropping the pool flips `shutdown` and notifies;
+//!    a worker mid-wait or mid-job must still terminate so `join` returns.
+//!
+//! Pool sizes stay at 2–3 participants (1–2 spawned workers) to keep
+//! loom's state space tractable.
+#![cfg(loom)]
+
+use crayfish_sync::model;
+use crayfish_tensor::kernels::gemm::gemm_with_pool;
+use crayfish_tensor::{GemmScratch, ThreadPool};
+
+/// Deterministic operands sized to give every participant at least one
+/// MR-row strip (MR = 6): m = 13 → 3 strips.
+fn operands(m: usize, k: usize, n: usize) -> (Vec<f32>, Vec<f32>) {
+    let a: Vec<f32> = (0..m * k).map(|i| (i % 7) as f32 - 3.0).collect();
+    let b: Vec<f32> = (0..k * n).map(|i| (i % 5) as f32 - 2.0).collect();
+    (a, b)
+}
+
+fn reference(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            for p in 0..k {
+                c[i * n + j] += a[i * k + p] * b[p * n + j];
+            }
+        }
+    }
+    c
+}
+
+/// Models 1 + 2: whatever the interleaving of submit, worker wakeup, panel
+/// computation, and done-notification, `gemm_with_pool` returns the
+/// complete product — every strip computed exactly once and merged.
+#[test]
+fn pooled_gemm_completes_all_panels() {
+    model(|| {
+        let (m, k, n) = (13usize, 4usize, 3usize);
+        let (a, b) = operands(m, k, n);
+        let expect = reference(&a, &b, m, k, n);
+        let pool = ThreadPool::new(2);
+        let mut scratch = GemmScratch::new();
+        let mut c = vec![0.0f32; m * n];
+        gemm_with_pool(&a, &b, &mut c, m, k, n, &mut scratch, &pool);
+        assert_eq!(c, expect, "panel lost or double-merged");
+        drop(pool);
+    });
+}
+
+/// Model 1 across epochs: the second submit reuses the same workers and
+/// the same single condvar; a stale `seen` epoch or a wakeup consumed by
+/// the wrong waiter would hang or corrupt the second job.
+#[test]
+fn back_to_back_jobs_reuse_workers_correctly() {
+    model(|| {
+        let (m, k, n) = (7usize, 2usize, 2usize);
+        let (a, b) = operands(m, k, n);
+        let expect = reference(&a, &b, m, k, n);
+        let pool = ThreadPool::new(2);
+        let mut scratch = GemmScratch::new();
+        for round in 0..2 {
+            let mut c = vec![0.0f32; m * n];
+            gemm_with_pool(&a, &b, &mut c, m, k, n, &mut scratch, &pool);
+            assert_eq!(c, expect, "round {round} incorrect");
+        }
+    });
+}
+
+/// Model 3: dropping the pool must join every worker cleanly — including
+/// a worker that never received a job and is parked on the condvar.
+#[test]
+fn drop_joins_idle_workers() {
+    model(|| {
+        let pool = ThreadPool::new(3);
+        drop(pool); // hangs (and fails the model) on a lost shutdown wakeup
+    });
+}
+
+/// Model 3 after work: shutdown immediately following a completed job must
+/// not strand a worker that is still between "done" and its next wait.
+#[test]
+fn drop_after_job_joins_workers() {
+    model(|| {
+        let (m, k, n) = (7usize, 2usize, 2usize);
+        let (a, b) = operands(m, k, n);
+        let pool = ThreadPool::new(2);
+        let mut scratch = GemmScratch::new();
+        let mut c = vec![0.0f32; m * n];
+        gemm_with_pool(&a, &b, &mut c, m, k, n, &mut scratch, &pool);
+        drop(pool);
+    });
+}
