@@ -1,0 +1,127 @@
+//! # crayfish-admission
+//!
+//! Continuous batching and admission control for the serving layer.
+//!
+//! The paper's external-serving experiments (Fig. 10/12) saturate the
+//! serving tier long before the compute does because every connection
+//! scores requests one at a time. This crate supplies the mechanism behind
+//! every production inference server:
+//!
+//! * a **cross-connection batch former** ([`BatchQueue`]): requests from
+//!   all connections land in one bounded queue per deployment, and scoring
+//!   workers drain them in arrival order as batches of up to
+//!   [`AdmissionConfig::max_batch`], flushing early once the oldest
+//!   waiting request has been queued for [`AdmissionConfig::max_wait`]
+//!   (oldest-deadline-first: the front of the FIFO is always the request
+//!   whose deadline expires soonest);
+//! * **queue-depth backpressure**: a full queue rejects new work
+//!   *immediately* with [`AdmissionError::Overloaded`] carrying a
+//!   `retry_after` hint derived from the observed batch service time, so
+//!   clients shed load at the door instead of timing out deep in the
+//!   server;
+//! * **multi-replica dispatch** ([`Dispatcher`]): a pool of persistent
+//!   scoring workers (the `crayfish-sync` worker-pool idiom from the
+//!   packed-GEMM layer) pulls batches from the queue, so batch forming,
+//!   scoring, and connection I/O all overlap.
+//!
+//! The queue/worker handoff is built on the `crayfish-sync` shim and is
+//! loom-model-checked (`tests/loom.rs`): no request is ever lost or scored
+//! twice across racing producers, flushers, and shutdown.
+//!
+//! The crate is transport- and model-agnostic: payloads are generic, and
+//! the serving layer supplies the scoring closure. Observability (queue
+//! depth gauge, batch-size and admission-wait histograms, shed counter)
+//! reports through a [`crayfish_obs::ObsHandle`] and costs nothing when
+//! disabled.
+
+#![forbid(unsafe_code)]
+
+mod dispatcher;
+mod metrics;
+mod queue;
+
+pub use dispatcher::Dispatcher;
+pub use metrics::AdmissionMetrics;
+pub use queue::{BatchQueue, Pending, Rejected};
+
+use std::time::Duration;
+
+/// Tuning for the continuous-batching scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionConfig {
+    /// Largest batch a scoring worker may drain at once. `1` disables
+    /// cross-request batching (every request scores alone — the paper's
+    /// baseline behaviour).
+    pub max_batch: usize,
+    /// Longest a scoring worker may hold a *partial* batch open waiting
+    /// for it to fill, measured from the oldest waiting request's
+    /// admission. Zero (the default) flushes a partial batch as soon as a
+    /// replica is free — pure continuous batching, where batches form
+    /// from service-time backpressure alone and an idle server adds no
+    /// latency. A positive window trades low-load latency for fuller
+    /// batches (TF-Serving's `batch_timeout_micros`).
+    pub max_wait: Duration,
+    /// Queue capacity. Enqueueing onto a full queue fails fast with
+    /// [`AdmissionError::Overloaded`] — this is the backpressure signal.
+    pub queue_capacity: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_batch: 8,
+            max_wait: Duration::ZERO,
+            queue_capacity: 256,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// Batch-1 admission: no cross-request batching, but the queue still
+    /// bounds concurrency and sheds overload. The saturation bench's
+    /// baseline rung.
+    pub fn batch1() -> Self {
+        AdmissionConfig {
+            max_batch: 1,
+            ..Default::default()
+        }
+    }
+
+    /// Clamp the knobs into their sane ranges (`max_batch >= 1`,
+    /// `queue_capacity >= max_batch`).
+    pub fn normalized(self) -> Self {
+        let max_batch = self.max_batch.max(1);
+        AdmissionConfig {
+            max_batch,
+            max_wait: self.max_wait,
+            queue_capacity: self.queue_capacity.max(max_batch),
+        }
+    }
+}
+
+/// Admission failures surfaced to the transport layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The queue is full. The request was **not** admitted; the client
+    /// should retry after roughly `retry_after`.
+    Overloaded {
+        /// Estimated time until the queue has drained enough to admit new
+        /// work, from the observed batch service time.
+        retry_after: Duration,
+    },
+    /// The scheduler has shut down; no further work is admitted.
+    Shutdown,
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::Overloaded { retry_after } => {
+                write!(f, "overloaded; retry after {retry_after:?}")
+            }
+            AdmissionError::Shutdown => write!(f, "admission scheduler shut down"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}

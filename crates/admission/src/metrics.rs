@@ -1,0 +1,62 @@
+//! Admission-stage observability.
+//!
+//! One [`AdmissionMetrics`] bundle per deployment, resolved once from the
+//! server's [`crayfish_obs::ObsHandle`] so the queue and dispatcher hot
+//! paths touch only pre-fetched handles (single relaxed atomics, no
+//! registry locks). With a disabled handle every operation is a no-op.
+
+use crayfish_obs::{Counter, Gauge, HistHandle, HistogramSnapshot, ObsHandle};
+
+/// Pre-resolved handles for the four admission metrics:
+///
+/// | metric                 | kind      | meaning                            |
+/// |------------------------|-----------|------------------------------------|
+/// | `admission_queue_depth`| gauge     | requests waiting in the queue      |
+/// | `admission_shed`       | counter   | requests rejected with `Overloaded`|
+/// | `admission_batch_size` | histogram | requests per scored batch (counts) |
+/// | `admission_wait`       | histogram | queue-entry → drain latency (ns)   |
+///
+/// `admission_batch_size` reuses the nanosecond histogram machinery to
+/// store dimensionless batch sizes; readers (`crayfish-top`, the
+/// saturation bench) interpret its values as raw counts.
+#[derive(Clone, Debug, Default)]
+pub struct AdmissionMetrics {
+    pub(crate) queue_depth: Gauge,
+    pub(crate) shed: Counter,
+    pub(crate) batch_size: HistHandle,
+    pub(crate) wait: HistHandle,
+}
+
+impl AdmissionMetrics {
+    /// Resolve the admission metric family on `obs`.
+    pub fn new(obs: &ObsHandle) -> AdmissionMetrics {
+        AdmissionMetrics {
+            queue_depth: obs.gauge("admission_queue_depth"),
+            shed: obs.counter("admission_shed"),
+            batch_size: obs.histogram_ns("admission_batch_size"),
+            wait: obs.histogram_ns("admission_wait"),
+        }
+    }
+
+    /// Requests currently waiting in the queue.
+    pub fn queue_depth(&self) -> i64 {
+        self.queue_depth.get()
+    }
+
+    /// Requests rejected with `Overloaded` so far.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.get()
+    }
+
+    /// Distribution of requests per scored batch (values are counts, not
+    /// nanoseconds).
+    pub fn batch_size_snapshot(&self) -> HistogramSnapshot {
+        self.batch_size.snapshot()
+    }
+
+    /// Distribution of time spent queued before a worker drained the
+    /// request (nanoseconds).
+    pub fn wait_snapshot(&self) -> HistogramSnapshot {
+        self.wait.snapshot()
+    }
+}

@@ -1,0 +1,423 @@
+//! The bounded cross-connection batch queue.
+//!
+//! One `BatchQueue` fronts one deployment (model). Transport threads
+//! `push` decoded requests; scoring workers call `next_batch` and receive
+//! up to `max_batch` requests in arrival order. The front of the FIFO is
+//! always the request whose `max_wait` deadline expires first, so a FIFO
+//! drain *is* oldest-deadline-first flushing.
+//!
+//! Built on `crayfish-sync` so the producer/flusher/shutdown handoff is
+//! loom-checkable: under `--cfg loom` the clock-dependent pieces (enqueue
+//! stamps, the `max_wait` timeout) degrade to pure condition-variable
+//! waits, which is exactly the discipline the shim documents — timeouts
+//! are a liveness bound, never the sole wakeup path.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use crayfish_sync::atomic::{AtomicU64, Ordering};
+use crayfish_sync::{Arc, Condvar, Mutex};
+
+use crate::metrics::AdmissionMetrics;
+use crate::{AdmissionConfig, AdmissionError};
+
+/// Monotonic enqueue stamp. Under loom there is no clock; every wait is a
+/// plain condvar wait and `waited` reports zero.
+#[derive(Debug, Clone)]
+pub(crate) struct Stamp {
+    #[cfg(not(loom))]
+    start: crayfish_sim::Stopwatch,
+}
+
+impl Stamp {
+    fn now() -> Stamp {
+        Stamp {
+            #[cfg(not(loom))]
+            start: crayfish_sim::Stopwatch::start(),
+        }
+    }
+
+    fn elapsed(&self) -> Duration {
+        #[cfg(not(loom))]
+        {
+            self.start.elapsed()
+        }
+        #[cfg(loom)]
+        {
+            Duration::ZERO
+        }
+    }
+}
+
+/// One admitted request: the caller's payload plus its queue-entry stamp.
+#[derive(Debug)]
+pub struct Pending<P> {
+    /// The transport-supplied payload (decoded request plus completion
+    /// token).
+    pub payload: P,
+    stamp: Stamp,
+}
+
+impl<P> Pending<P> {
+    /// How long this request has been waiting since admission.
+    pub fn waited(&self) -> Duration {
+        self.stamp.elapsed()
+    }
+}
+
+/// A rejected `push`: the admission error plus the payload handed back to
+/// the transport, so the caller's completion token is never dropped
+/// silently.
+#[derive(Debug)]
+pub struct Rejected<P> {
+    /// Why admission failed.
+    pub error: AdmissionError,
+    /// The payload that was not admitted.
+    pub payload: P,
+}
+
+struct QState<P> {
+    items: VecDeque<Pending<P>>,
+    shutdown: bool,
+}
+
+struct Shared<P> {
+    config: AdmissionConfig,
+    /// Scoring replica count, for the drain-time estimate behind
+    /// `retry_after`.
+    replicas: usize,
+    state: Mutex<QState<P>>,
+    /// Wakes scoring workers (new work, or shutdown) and re-evaluates
+    /// batch-full conditions. Every waiter re-checks its predicate.
+    cv: Condvar,
+    /// EWMA of observed batch service time in nanoseconds (relaxed; an
+    /// approximate hint, not a synchronisation edge). Zero = no history.
+    ewma_batch_ns: AtomicU64,
+    metrics: AdmissionMetrics,
+}
+
+/// A cloneable handle to one deployment's admission queue.
+pub struct BatchQueue<P> {
+    shared: Arc<Shared<P>>,
+}
+
+impl<P> Clone for BatchQueue<P> {
+    fn clone(&self) -> Self {
+        BatchQueue {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<P> BatchQueue<P> {
+    /// A queue for one deployment scored by `replicas` workers, reporting
+    /// into `metrics`.
+    pub fn new(config: AdmissionConfig, replicas: usize, metrics: AdmissionMetrics) -> Self {
+        BatchQueue {
+            shared: Arc::new(Shared {
+                config: config.normalized(),
+                replicas: replicas.max(1),
+                state: Mutex::new(QState {
+                    items: VecDeque::new(),
+                    shutdown: false,
+                }),
+                cv: Condvar::new(),
+                ewma_batch_ns: AtomicU64::new(0),
+                metrics,
+            }),
+        }
+    }
+
+    /// The active configuration (normalized).
+    pub fn config(&self) -> AdmissionConfig {
+        self.shared.config
+    }
+
+    /// Admit one request, or fail fast. Never blocks: a full queue returns
+    /// [`AdmissionError::Overloaded`] with a drain-time hint and the
+    /// request is counted as shed; a stopped queue returns
+    /// [`AdmissionError::Shutdown`]. Rejections hand the payload back so
+    /// the transport can still answer the caller (e.g. with an
+    /// `Overloaded` wire response carrying the hint).
+    pub fn push(&self, payload: P) -> Result<(), Rejected<P>> {
+        let sh = &*self.shared;
+        let mut st = sh.state.lock();
+        if st.shutdown {
+            return Err(Rejected {
+                error: AdmissionError::Shutdown,
+                payload,
+            });
+        }
+        if st.items.len() >= sh.config.queue_capacity {
+            drop(st);
+            sh.metrics.shed.inc();
+            return Err(Rejected {
+                error: AdmissionError::Overloaded {
+                    retry_after: self.retry_after(),
+                },
+                payload,
+            });
+        }
+        st.items.push_back(Pending {
+            payload,
+            stamp: Stamp::now(),
+        });
+        sh.metrics.queue_depth.set(st.items.len() as i64);
+        drop(st);
+        // Wake a worker; a worker parked on the oldest request's deadline
+        // also re-checks whether the batch just filled.
+        sh.cv.notify_all();
+        Ok(())
+    }
+
+    /// Block until a batch is ready and drain it (arrival order, at most
+    /// `max_batch`) into `out`. Returns `false` — with `out` untouched —
+    /// only once the queue is shut down *and* empty, so every admitted
+    /// request is delivered exactly once even across shutdown.
+    ///
+    /// A batch is ready when it is full (`max_batch` requests waiting),
+    /// when the oldest waiting request has been queued for `max_wait`, or
+    /// when the queue is shutting down (drain whatever remains).
+    pub fn next_batch(&self, out: &mut Vec<Pending<P>>) -> bool {
+        let sh = &*self.shared;
+        let mut st = sh.state.lock();
+        loop {
+            if st.items.is_empty() {
+                if st.shutdown {
+                    return false;
+                }
+                st = sh.cv.wait(st);
+                continue;
+            }
+            if st.items.len() >= sh.config.max_batch || st.shutdown {
+                break;
+            }
+            // Park until the oldest request's deadline. Front of the FIFO
+            // is the oldest, so its deadline is the earliest.
+            let waited = st.items.front().map(|p| p.waited()).unwrap_or_default();
+            let Some(remaining) = sh.config.max_wait.checked_sub(waited) else {
+                break;
+            };
+            if remaining.is_zero() {
+                break;
+            }
+            let (guard, _timed_out) = sh.cv.wait_timeout(st, remaining);
+            st = guard;
+        }
+        let take = st.items.len().min(sh.config.max_batch);
+        out.extend(st.items.drain(..take));
+        let left = st.items.len();
+        sh.metrics.queue_depth.set(left as i64);
+        drop(st);
+        if left > 0 {
+            // More work remains: hand it to another parked worker.
+            sh.cv.notify_all();
+        }
+        true
+    }
+
+    /// Stop admitting work and wake every worker. Requests already queued
+    /// are still delivered by `next_batch`; once drained, workers see
+    /// `false` and exit.
+    pub fn shutdown(&self) {
+        let sh = &*self.shared;
+        let mut st = sh.state.lock();
+        st.shutdown = true;
+        drop(st);
+        sh.cv.notify_all();
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Record one completed batch: service time feeds the EWMA behind
+    /// `retry_after`, and the batch size / per-request wait go to the
+    /// histograms. Called by the dispatcher.
+    pub(crate) fn note_batch(&self, service: Duration, size: usize) {
+        let sh = &*self.shared;
+        sh.metrics.batch_size.observe_ns(size as u64);
+        let sample = service.as_nanos() as u64;
+        let old = sh.ewma_batch_ns.load(Ordering::Relaxed);
+        let new = if old == 0 {
+            sample
+        } else {
+            // 0.8 old + 0.2 new, in integer arithmetic.
+            old - old / 5 + sample / 5
+        };
+        sh.ewma_batch_ns.store(new, Ordering::Relaxed);
+    }
+
+    /// Per-request admission-wait histogram handle (recorded by the
+    /// dispatcher as it drains).
+    pub(crate) fn metrics(&self) -> &AdmissionMetrics {
+        &self.shared.metrics
+    }
+
+    /// Estimated time until a full queue drains enough to admit new work:
+    /// the batches ahead of a new arrival divided across replicas, priced
+    /// at the observed batch service time. Falls back to `max_wait` before
+    /// any batch has completed.
+    fn retry_after(&self) -> Duration {
+        let sh = &*self.shared;
+        let ewma = sh.ewma_batch_ns.load(Ordering::Relaxed);
+        if ewma == 0 {
+            return sh.config.max_wait.max(Duration::from_millis(5));
+        }
+        let batches_ahead = sh.config.queue_capacity.div_ceil(sh.config.max_batch);
+        let per_replica = batches_ahead.div_ceil(sh.replicas) as u64;
+        let est = Duration::from_nanos(ewma.saturating_mul(per_replica));
+        est.clamp(Duration::from_millis(1), Duration::from_secs(2))
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use crayfish_obs::ObsHandle;
+
+    fn queue(config: AdmissionConfig) -> BatchQueue<u64> {
+        BatchQueue::new(config, 1, AdmissionMetrics::new(&ObsHandle::disabled()))
+    }
+
+    #[test]
+    fn full_batch_flushes_without_waiting() {
+        let q = queue(AdmissionConfig {
+            max_batch: 4,
+            max_wait: Duration::from_secs(60),
+            queue_capacity: 16,
+        });
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        let mut out = Vec::new();
+        let sw = crayfish_sim::Stopwatch::start();
+        assert!(q.next_batch(&mut out));
+        assert!(sw.elapsed() < Duration::from_secs(5), "full batch blocked");
+        let got: Vec<u64> = out.iter().map(|p| p.payload).collect();
+        assert_eq!(got, vec![0, 1, 2, 3], "arrival order violated");
+    }
+
+    #[test]
+    fn max_wait_flushes_a_partial_batch() {
+        let q = queue(AdmissionConfig {
+            max_batch: 64,
+            max_wait: Duration::from_millis(20),
+            queue_capacity: 128,
+        });
+        q.push(7).unwrap();
+        let mut out = Vec::new();
+        let sw = crayfish_sim::Stopwatch::start();
+        assert!(q.next_batch(&mut out));
+        let waited = sw.elapsed();
+        assert_eq!(out.len(), 1);
+        assert!(
+            waited >= Duration::from_millis(10),
+            "flushed before the deadline: {waited:?}"
+        );
+        assert!(out[0].waited() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn zero_max_wait_flushes_a_partial_batch_immediately() {
+        // The default continuous-batching mode: an idle worker drains
+        // whatever is queued without holding the batch open, so low load
+        // pays no batching latency tax.
+        let q = queue(AdmissionConfig {
+            max_batch: 64,
+            max_wait: Duration::ZERO,
+            queue_capacity: 128,
+        });
+        q.push(7).unwrap();
+        let mut out = Vec::new();
+        let sw = crayfish_sim::Stopwatch::start();
+        assert!(q.next_batch(&mut out));
+        assert!(
+            sw.elapsed() < Duration::from_millis(50),
+            "zero max_wait still parked"
+        );
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn overflow_sheds_with_a_hint() {
+        let q = queue(AdmissionConfig {
+            max_batch: 2,
+            max_wait: Duration::from_millis(1),
+            queue_capacity: 2,
+        });
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        match q.push(3) {
+            Err(Rejected {
+                error: AdmissionError::Overloaded { retry_after },
+                payload,
+            }) => {
+                assert!(retry_after > Duration::ZERO);
+                assert_eq!(payload, 3, "rejected payload not handed back");
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        // Draining reopens admission.
+        let mut out = Vec::new();
+        assert!(q.next_batch(&mut out));
+        q.push(3).unwrap();
+    }
+
+    #[test]
+    fn shutdown_drains_then_ends() {
+        let q = queue(AdmissionConfig {
+            max_batch: 2,
+            max_wait: Duration::from_secs(60),
+            queue_capacity: 16,
+        });
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        q.shutdown();
+        assert!(matches!(
+            q.push(9),
+            Err(Rejected {
+                error: AdmissionError::Shutdown,
+                payload: 9,
+            })
+        ));
+        let mut seen = Vec::new();
+        let mut out = Vec::new();
+        while q.next_batch(&mut out) {
+            assert!(out.len() <= 2, "batch cap ignored during drain");
+            seen.extend(out.drain(..).map(|p| p.payload));
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 4], "requests lost across shutdown");
+    }
+
+    #[test]
+    fn retry_after_tracks_observed_service_time() {
+        let q = queue(AdmissionConfig {
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+            queue_capacity: 8,
+        });
+        q.note_batch(Duration::from_millis(10), 4);
+        for i in 0..8 {
+            q.push(i).unwrap();
+        }
+        match q.push(99) {
+            Err(Rejected {
+                error: AdmissionError::Overloaded { retry_after },
+                ..
+            }) => {
+                // 2 batches ahead on 1 replica at ~10 ms each.
+                assert!(retry_after >= Duration::from_millis(10), "{retry_after:?}");
+                assert!(retry_after <= Duration::from_secs(2));
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+    }
+}

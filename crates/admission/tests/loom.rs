@@ -1,0 +1,175 @@
+//! Loom models for the batch-former handoff. Compiled only under
+//! `RUSTFLAGS="--cfg loom"`.
+//!
+//! The admission queue is a bounded FIFO behind one mutex and one condvar.
+//! Producers (`push`) race against flushers (`next_batch`) and shutdown,
+//! and three invariants must hold under every interleaving:
+//!
+//! 1. **No lost request** — every `Ok` push is eventually drained by some
+//!    flusher, even when shutdown lands between the enqueue and the drain.
+//! 2. **No double-score** — a request is handed to exactly one flusher;
+//!    two workers draining concurrently must partition the queue, never
+//!    overlap.
+//! 3. **No lost wakeup / stuck flusher** — a flusher parked on the condvar
+//!    must observe both new work and shutdown. loom condvars never time
+//!    out, so a design leaning on `wait_timeout` as its only wakeup path
+//!    deadlocks here and fails the model — exactly the discipline the
+//!    `crayfish-sync` shim documents.
+//!
+//! Participant counts stay at 2–3 threads to keep loom's state space
+//! tractable.
+#![cfg(loom)]
+
+use crayfish_admission::{AdmissionConfig, AdmissionError, AdmissionMetrics, BatchQueue};
+use crayfish_obs::ObsHandle;
+use crayfish_sync::{model, thread, Arc, Mutex};
+use std::time::Duration;
+
+fn queue(max_batch: usize, capacity: usize) -> BatchQueue<u64> {
+    BatchQueue::new(
+        AdmissionConfig {
+            max_batch,
+            // Irrelevant under loom: wait_timeout never times out there.
+            max_wait: Duration::from_millis(1),
+            queue_capacity: capacity,
+        },
+        1,
+        AdmissionMetrics::new(&ObsHandle::disabled()),
+    )
+}
+
+/// Invariants 1 + 2: two producers race one flusher; every successfully
+/// admitted request is drained exactly once after shutdown.
+#[test]
+fn no_request_lost_or_double_scored() {
+    model(|| {
+        let q = queue(2, 8);
+        let producers: Vec<_> = [10u64, 20u64]
+            .into_iter()
+            .map(|base| {
+                let q = q.clone();
+                thread::spawn(move || q.push(base).is_ok())
+            })
+            .collect();
+
+        let drained = Arc::new(Mutex::new(Vec::new()));
+        let flusher = {
+            let q = q.clone();
+            let drained = Arc::clone(&drained);
+            thread::spawn(move || {
+                let mut out = Vec::new();
+                while q.next_batch(&mut out) {
+                    drained.lock().extend(out.drain(..).map(|p| p.payload));
+                }
+            })
+        };
+
+        let admitted: Vec<u64> = producers
+            .into_iter()
+            .zip([10u64, 20u64])
+            .filter_map(|(h, base)| h.join().unwrap().then_some(base))
+            .collect();
+        q.shutdown();
+        flusher.join().unwrap();
+
+        let mut seen = drained.lock().clone();
+        seen.sort_unstable();
+        assert_eq!(seen, admitted, "lost or double-scored request");
+    });
+}
+
+/// Invariant 2 across workers: two flushers drain four pre-queued requests
+/// in batches of two; their unions must partition the queue exactly.
+#[test]
+fn concurrent_flushers_partition_the_queue() {
+    model(|| {
+        let q = queue(2, 8);
+        for i in 0..4u64 {
+            q.push(i).unwrap();
+        }
+        q.shutdown();
+        let flushers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = q.clone();
+                thread::spawn(move || {
+                    let mut mine = Vec::new();
+                    let mut out = Vec::new();
+                    while q.next_batch(&mut out) {
+                        assert!(out.len() <= 2, "batch cap violated");
+                        mine.extend(out.drain(..).map(|p| p.payload));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        let mut seen: Vec<u64> = flushers
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3], "queue not partitioned");
+    });
+}
+
+/// Invariant 3: a flusher parked on an empty queue must observe shutdown
+/// from another thread. A lost shutdown wakeup deadlocks the model.
+#[test]
+fn shutdown_wakes_a_parked_flusher() {
+    model(|| {
+        let q = queue(2, 4);
+        let flusher = {
+            let q = q.clone();
+            thread::spawn(move || {
+                let mut out = Vec::new();
+                let mut total = 0usize;
+                while q.next_batch(&mut out) {
+                    total += out.len();
+                    out.clear();
+                }
+                total
+            })
+        };
+        let stopper = {
+            let q = q.clone();
+            thread::spawn(move || q.shutdown())
+        };
+        stopper.join().unwrap();
+        flusher.join().unwrap();
+    });
+}
+
+/// Push-after-shutdown is always refused, whatever the interleaving: a
+/// producer racing shutdown either gets admitted (and drained) or sees
+/// `Shutdown` — never a silent drop.
+#[test]
+fn racing_push_and_shutdown_never_drops_silently() {
+    model(|| {
+        let q = queue(1, 4);
+        let producer = {
+            let q = q.clone();
+            thread::spawn(move || q.push(7))
+        };
+        let stopper = {
+            let q = q.clone();
+            thread::spawn(move || q.shutdown())
+        };
+        stopper.join().unwrap();
+        let result = producer.join().unwrap();
+
+        let mut drained = Vec::new();
+        let mut out = Vec::new();
+        while q.next_batch(&mut out) {
+            drained.extend(out.drain(..).map(|p| p.payload));
+        }
+        match result {
+            Ok(()) => assert_eq!(drained, vec![7], "admitted request lost"),
+            Err(rejected) => match rejected.error {
+                AdmissionError::Shutdown => {
+                    assert_eq!(rejected.payload, 7, "rejected payload not handed back");
+                    assert!(drained.is_empty());
+                }
+                other => panic!("unexpected admission error: {other:?}"),
+            },
+        }
+    });
+}

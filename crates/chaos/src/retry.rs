@@ -87,6 +87,22 @@ impl RetryPolicy {
     pub fn run<T, E>(
         &self,
         is_transient: impl Fn(&E) -> bool,
+        on_retry: impl FnMut(u32),
+        op: impl FnMut() -> Result<T, E>,
+    ) -> Result<T, E> {
+        self.run_hinted(is_transient, |_| None, on_retry, op)
+    }
+
+    /// Like [`run`](RetryPolicy::run), but lets the error suggest how long
+    /// to wait: when `hint` returns `Some(d)` (a server's typed
+    /// `Overloaded { retry_after }`, say), the sleep before that retry is
+    /// at least `d`. The exponential schedule still applies underneath, so
+    /// repeated overloads keep backing off past the server's estimate
+    /// rather than hammering it on a fixed cadence.
+    pub fn run_hinted<T, E>(
+        &self,
+        is_transient: impl Fn(&E) -> bool,
+        hint: impl Fn(&E) -> Option<Duration>,
         mut on_retry: impl FnMut(u32),
         mut op: impl FnMut() -> Result<T, E>,
     ) -> Result<T, E> {
@@ -96,7 +112,11 @@ impl RetryPolicy {
                 Ok(v) => return Ok(v),
                 Err(e) if attempt < self.max_retries && is_transient(&e) => {
                     on_retry(attempt);
-                    thread::sleep(self.backoff(attempt));
+                    let wait = match hint(&e) {
+                        Some(h) => self.backoff(attempt).max(h),
+                        None => self.backoff(attempt),
+                    };
+                    thread::sleep(wait);
                     attempt += 1;
                 }
                 Err(e) => return Err(e),
@@ -159,6 +179,62 @@ mod tests {
         assert_eq!(out, Ok(7));
         assert_eq!(calls, 3);
         assert_eq!(retries, 2);
+    }
+
+    #[test]
+    fn hint_raises_the_backoff_floor() {
+        let p = RetryPolicy {
+            max_retries: 2,
+            base: Duration::from_micros(50),
+            jitter: 0.0,
+            ..Default::default()
+        };
+        let sw = std::time::Instant::now();
+        let mut calls = 0;
+        let out: Result<(), &str> = p.run_hinted(
+            |_| true,
+            |_| Some(Duration::from_millis(20)),
+            |_| {},
+            || {
+                calls += 1;
+                if calls < 2 {
+                    Err("overloaded")
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        assert!(out.is_ok());
+        assert!(
+            sw.elapsed() >= Duration::from_millis(15),
+            "hint not honoured: slept only {:?}",
+            sw.elapsed()
+        );
+
+        // A hint below the scheduled backoff never shortens the sleep.
+        let p = RetryPolicy {
+            max_retries: 1,
+            base: Duration::from_millis(30),
+            jitter: 0.0,
+            ..Default::default()
+        };
+        let sw = std::time::Instant::now();
+        let mut first = true;
+        let out: Result<(), &str> = p.run_hinted(
+            |_| true,
+            |_| Some(Duration::from_micros(1)),
+            |_| {},
+            || {
+                if first {
+                    first = false;
+                    Err("overloaded")
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        assert!(out.is_ok());
+        assert!(sw.elapsed() >= Duration::from_millis(25));
     }
 
     #[test]

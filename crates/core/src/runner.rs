@@ -210,7 +210,7 @@ pub fn run_experiment_with_graph(
         ),
         ServingChoice::External { kind, device } => {
             let config = ServingConfig {
-                workers: spec.mp,
+                replicas: spec.mp,
                 device,
                 obs: spec.obs.clone(),
                 ..Default::default()

@@ -426,7 +426,7 @@ mod tests {
         let server = crayfish_serving::tf_serving::start(
             &graph,
             crayfish_serving::ServingConfig {
-                workers: 4,
+                replicas: 4,
                 ..Default::default()
             },
         )

@@ -25,6 +25,7 @@ pub const BASELINED: &[&str] = &[CLOCK_AUTHORITY, UNWRAP_IN_PIPELINE, HOT_PATH_A
 /// Crates whose non-test code must not unwrap: everything on the record
 /// path, where a panic kills a supervised worker and poisons the run.
 const PIPELINE_CRATES: &[&str] = &[
+    "crates/admission/",
     "crates/broker/",
     "crates/engine-kernel/",
     "crates/serving/",
@@ -243,20 +244,42 @@ fn let_binding_before(body: &str, pos: usize) -> Option<String> {
     }
 }
 
-/// Heap allocation inside a compute-kernel body. The packed GEMM path
-/// promises a zero-allocation steady state: every kernel takes an `_into`
-/// output slice or a reusable scratch (`GemmScratch`, the executor arena),
-/// so a `Vec::new` / `vec![` / `.to_vec(` / `.collect(` in
-/// `crates/tensor/src/kernels/` is either a compat wrapper (baselined,
-/// ratcheted down) or a regression. Test modules are already blanked by
-/// the source cleaner.
+/// Name of the function declared at `fn_pos` in cleaned text.
+fn fn_name(clean: &str, fn_pos: usize) -> &str {
+    let after = &clean[fn_pos + "fn ".len()..];
+    let end = after
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .unwrap_or(after.len());
+    &after[..end]
+}
+
+/// Heap allocation inside a hot-loop body. Two trees make this promise:
+///
+/// * `crates/tensor/src/kernels/` — the packed GEMM path's zero-allocation
+///   steady state: every kernel takes an `_into` output slice or a
+///   reusable scratch (`GemmScratch`, the executor arena); every function
+///   is covered.
+/// * `crates/serving/src/reactor.rs` — the reactor's per-connection poll
+///   helpers (`poll_*`), which run for every connection on every loop
+///   iteration and must reuse the connection's own buffers. Only the
+///   `poll_*`-prefixed functions are covered: dispatch callbacks invoked
+///   *from* the loop (decode, admission push) allocate legitimately.
+///
+/// A `Vec::new` / `vec![` / `.to_vec(` / `.collect(` there is either a
+/// compat wrapper (baselined, ratcheted down) or a regression. Test
+/// modules are already blanked by the source cleaner.
 pub fn hot_path_alloc(file: &SourceFile) -> Vec<Violation> {
-    if !file.rel.starts_with("crates/tensor/src/kernels/") {
+    let kernels = file.rel.starts_with("crates/tensor/src/kernels/");
+    let reactor = file.rel == "crates/serving/src/reactor.rs";
+    if !kernels && !reactor {
         return Vec::new();
     }
     let mut out = Vec::new();
     let clean = &file.clean;
-    for (_, body_start, body_end) in function_bodies(clean) {
+    for (fn_pos, body_start, body_end) in function_bodies(clean) {
+        if reactor && !fn_name(clean, fn_pos).starts_with("poll_") {
+            continue;
+        }
         let body = &clean[body_start..=body_end];
         for needle in ["Vec::new", "vec![", ".to_vec(", ".collect("] {
             for pos in find_all(body, needle) {
@@ -265,7 +288,7 @@ pub fn hot_path_alloc(file: &SourceFile) -> Vec<Violation> {
                     rel: file.rel.clone(),
                     line: file.line_of(body_start + pos),
                     msg: format!(
-                        "{needle} in a kernel body; use an `_into` variant or scratch buffer"
+                        "{needle} in a hot-path body; use an `_into` variant or reuse a buffer"
                     ),
                 });
             }

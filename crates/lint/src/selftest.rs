@@ -113,6 +113,28 @@ const CASES: &[Case] = &[
         expect: 0,
     },
     Case {
+        rule: rules::HOT_PATH_ALLOC,
+        rel: "crates/serving/src/reactor.rs",
+        // Reactor poll helpers must reuse connection buffers.
+        code: "fn poll_read(c: &mut Conn) -> bool { let tmp = c.buf.to_vec(); tmp.len() > 0 }",
+        expect: 1,
+    },
+    Case {
+        rule: rules::HOT_PATH_ALLOC,
+        rel: "crates/serving/src/reactor.rs",
+        // Non-poll functions in the reactor (dispatch, setup) may allocate.
+        code: "fn spawn_reactor() { let v = Vec::new(); } \
+               fn poll_write(c: &mut Conn) { c.out.clear(); }",
+        expect: 0,
+    },
+    Case {
+        rule: rules::UNWRAP_IN_PIPELINE,
+        rel: "crates/admission/src/seeded.rs",
+        // The admission crate is on the record path.
+        code: "fn f() { g().unwrap(); }",
+        expect: 1,
+    },
+    Case {
         rule: rules::FORBID_UNSAFE,
         rel: "crates/broker/src/lib.rs",
         code: "//! Docs.\npub mod topic;\n",

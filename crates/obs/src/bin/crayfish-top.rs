@@ -167,9 +167,14 @@ fn render(samples: &[Sample], prev_counters: &HashMap<String, f64>, elapsed: Dur
     }
 
     render_resilience(samples);
+    render_admission(samples);
 
     let mut scalar_lines = Vec::new();
     for s in samples {
+        // Admission metrics get their own section above.
+        if s.name.starts_with("crayfish_admission_") {
+            continue;
+        }
         if let Some(base) = s.name.strip_suffix("_total") {
             let key = render_key(s);
             let rate = prev_counters
@@ -232,6 +237,47 @@ fn render_resilience(samples: &[Sample]) {
     }
     if !lines.is_empty() {
         println!("\nRESILIENCE  {}", lines.join("  |  "));
+    }
+}
+
+/// Continuous-batching instruments (populated by `crayfish-admission` in
+/// reactor-mode serving): queue depth, shed count, requests per scored
+/// batch, and time spent queued before a worker drained the request.
+///
+/// `admission_batch_size` reuses the nanosecond histogram machinery to
+/// store dimensionless batch sizes, so its exported "seconds" are counts
+/// scaled by 1e-9 — undo that here.
+fn render_admission(samples: &[Sample]) {
+    let mut lines = Vec::new();
+    for s in samples {
+        match s.name.as_str() {
+            "crayfish_admission_queue_depth" => {
+                lines.push(format!("queue_depth: {}", s.value as i64));
+            }
+            "crayfish_admission_shed_total" => {
+                lines.push(format!("shed: {}", s.value as u64));
+            }
+            _ => {}
+        }
+    }
+    let batch = series(samples, "crayfish_admission_batch_size_seconds", None);
+    if batch.count > 0.0 {
+        lines.push(format!(
+            "batch mean/p50: {:.1}/{:.1}",
+            batch.mean() * 1e9,
+            batch.quantile(0.50) * 1e9
+        ));
+    }
+    let wait = series(samples, "crayfish_admission_wait_seconds", None);
+    if wait.count > 0.0 {
+        lines.push(format!(
+            "wait p50/p99 ms: {:.3}/{:.3}",
+            ms(wait.quantile(0.50)),
+            ms(wait.quantile(0.99))
+        ));
+    }
+    if !lines.is_empty() {
+        println!("\nADMISSION   {}", lines.join("  |  "));
     }
 }
 

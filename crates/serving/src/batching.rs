@@ -1,0 +1,240 @@
+//! Cross-request tensor batching for the scoring workers.
+//!
+//! The whole point of continuous batching: requests that arrived on
+//! different connections but target the same model with the same
+//! per-record shape are stacked along dim 0 into one tensor, scored with a
+//! *single* model invocation (amortising per-call plan overhead and weight
+//! traffic across the batch), and the output rows are split back per
+//! request. Requests that cannot stack — different models, mismatched
+//! feature shapes, scalar inputs — fall back to individual scoring, so
+//! batching is purely an optimisation, never a semantics change.
+
+use crayfish_tensor::Tensor;
+
+use crate::{Result, ServingError};
+
+/// One decoded request ready for scoring: the target model (multi-model
+/// servers) and the input tensor. `R` is the transport's completion token.
+pub(crate) struct ScoreJob<R> {
+    pub model: Option<String>,
+    pub input: Tensor,
+    pub responder: R,
+}
+
+/// Score a batch with cross-request stacking. Consecutive jobs that agree
+/// on (model, per-record dims) are stacked and scored in one `apply`
+/// call; every job's responder receives exactly one encoded reply via
+/// `respond`.
+///
+/// `apply(model, input)` must return a tensor whose dim 0 matches the
+/// input's (the row-batched contract every model in this repo satisfies);
+/// if a stacked apply fails or violates that, the group falls back to
+/// per-request scoring so a shape-sensitive model still serves correctly.
+pub(crate) fn score_stacked<R>(
+    jobs: Vec<ScoreJob<R>>,
+    mut apply: impl FnMut(Option<&str>, &Tensor) -> Result<Tensor>,
+    mut respond: impl FnMut(R, Result<Tensor>),
+) {
+    let mut jobs = jobs.into_iter().peekable();
+    let mut group: Vec<ScoreJob<R>> = Vec::new();
+    while let Some(first) = jobs.next() {
+        group.push(first);
+        while let Some(next) = jobs.next_if(|next| stackable(&group[0], next)) {
+            group.push(next);
+        }
+        score_group(&mut group, &mut apply, &mut respond);
+    }
+}
+
+/// Whether `b` can join a group keyed by `a`: same target model, same
+/// per-record dims, and a real (non-scalar) leading batch dim.
+fn stackable<R>(a: &ScoreJob<R>, b: &ScoreJob<R>) -> bool {
+    let (da, db) = (a.input.shape().dims(), b.input.shape().dims());
+    a.model == b.model && !da.is_empty() && !db.is_empty() && da[1..] == db[1..]
+}
+
+fn score_group<R>(
+    group: &mut Vec<ScoreJob<R>>,
+    apply: &mut impl FnMut(Option<&str>, &Tensor) -> Result<Tensor>,
+    respond: &mut impl FnMut(R, Result<Tensor>),
+) {
+    if group.len() == 1 {
+        if let Some(job) = group.pop() {
+            let out = apply(job.model.as_deref(), &job.input);
+            respond(job.responder, out);
+        }
+        return;
+    }
+    let rows: Vec<usize> = group.iter().map(|j| j.input.shape().dims()[0]).collect();
+    let stacked = stack_rows(group.iter().map(|j| &j.input));
+    let split = stacked.and_then(|input| {
+        let out = apply(group[0].model.as_deref(), &input)?;
+        split_rows(&out, &rows).ok_or_else(|| {
+            ServingError::Protocol("model output rows do not match batched input".into())
+        })
+    });
+    match split {
+        Ok(outputs) => {
+            for (job, out) in group.drain(..).zip(outputs) {
+                respond(job.responder, Ok(out));
+            }
+        }
+        // The stacked attempt failed (model rejected the batched shape, or
+        // broke the row contract): score each request alone so one odd
+        // model never takes down its whole batch.
+        Err(_) => {
+            for job in group.drain(..) {
+                let out = apply(job.model.as_deref(), &job.input);
+                respond(job.responder, out);
+            }
+        }
+    }
+}
+
+/// Concatenate tensors along dim 0. Callers guarantee matching per-record
+/// dims (see [`stackable`]).
+fn stack_rows<'a>(inputs: impl Iterator<Item = &'a Tensor> + Clone) -> Result<Tensor> {
+    let mut dims: Vec<usize> = Vec::new();
+    let mut total = 0usize;
+    let mut len = 0usize;
+    for t in inputs.clone() {
+        let d = t.shape().dims();
+        if dims.is_empty() {
+            dims = d.to_vec();
+        }
+        total += d[0];
+        len += t.numel();
+    }
+    dims[0] = total;
+    let mut data = Vec::with_capacity(len);
+    for t in inputs {
+        data.extend_from_slice(t.data());
+    }
+    Tensor::from_vec(dims, data).map_err(|e| ServingError::Protocol(format!("bad stack: {e}")))
+}
+
+/// Split `out` back into row groups of `rows[i]` leading rows each.
+/// Returns `None` if the output's dim 0 does not equal the row total.
+fn split_rows(out: &Tensor, rows: &[usize]) -> Option<Vec<Tensor>> {
+    let dims = out.shape().dims();
+    let total: usize = rows.iter().sum();
+    if dims.is_empty() || dims[0] != total {
+        return None;
+    }
+    let per_row: usize = dims[1..].iter().product();
+    let mut outputs = Vec::with_capacity(rows.len());
+    let mut offset = 0usize;
+    for &r in rows {
+        let mut d = dims.to_vec();
+        d[0] = r;
+        let chunk = out.data()[offset..offset + r * per_row].to_vec();
+        outputs.push(Tensor::from_vec(d, chunk).ok()?);
+        offset += r * per_row;
+    }
+    Some(outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(id: u32, model: Option<&str>, dims: &[usize]) -> ScoreJob<u32> {
+        ScoreJob {
+            model: model.map(str::to_string),
+            input: Tensor::seeded_uniform(dims.to_vec(), u64::from(id), 0.0, 1.0),
+            responder: id,
+        }
+    }
+
+    /// Identity "model": output = input, rows preserved.
+    fn identity(_m: Option<&str>, t: &Tensor) -> Result<Tensor> {
+        Ok(t.clone())
+    }
+
+    #[test]
+    fn compatible_jobs_stack_into_one_apply() {
+        let jobs = vec![
+            job(0, None, &[1, 4]),
+            job(1, None, &[2, 4]),
+            job(2, None, &[1, 4]),
+        ];
+        let expected: Vec<Tensor> = jobs.iter().map(|j| j.input.clone()).collect();
+        let mut applies = 0usize;
+        let mut replies: Vec<(u32, Tensor)> = Vec::new();
+        score_stacked(
+            jobs,
+            |m, t| {
+                applies += 1;
+                identity(m, t)
+            },
+            |id, out| replies.push((id, out.unwrap())),
+        );
+        assert_eq!(applies, 1, "three compatible jobs should score once");
+        assert_eq!(replies.len(), 3);
+        for (i, (id, out)) in replies.iter().enumerate() {
+            assert_eq!(*id as usize, i, "reply order broken");
+            assert_eq!(out, &expected[i], "rows not split back per request");
+        }
+    }
+
+    #[test]
+    fn incompatible_jobs_split_groups() {
+        let jobs = vec![
+            job(0, Some("a"), &[1, 4]),
+            job(1, Some("b"), &[1, 4]), // different model
+            job(2, Some("b"), &[1, 8]), // different feature dims
+        ];
+        let mut applies = 0usize;
+        let mut replies = 0usize;
+        score_stacked(
+            jobs,
+            |m, t| {
+                applies += 1;
+                identity(m, t)
+            },
+            |_, out| {
+                out.unwrap();
+                replies += 1;
+            },
+        );
+        assert_eq!(applies, 3);
+        assert_eq!(replies, 3);
+    }
+
+    #[test]
+    fn stacked_failure_falls_back_to_individual_scoring() {
+        let jobs = vec![job(0, None, &[1, 4]), job(1, None, &[1, 4])];
+        let mut replies: Vec<Result<Tensor>> = Vec::new();
+        score_stacked(
+            jobs,
+            |_, t| {
+                // Reject the stacked shape, accept singles.
+                if t.shape().dims()[0] > 1 {
+                    Err(ServingError::Remote("batch unsupported".into()))
+                } else {
+                    Ok(t.clone())
+                }
+            },
+            |_, out| replies.push(out),
+        );
+        assert_eq!(replies.len(), 2);
+        assert!(replies.iter().all(|r| r.is_ok()), "fallback did not rescue");
+    }
+
+    #[test]
+    fn scalar_inputs_never_stack() {
+        let jobs = vec![job(0, None, &[]), job(1, None, &[])];
+        let mut applies = 0usize;
+        score_stacked(
+            jobs,
+            |m, t| {
+                applies += 1;
+                identity(m, t)
+            },
+            |_, out| {
+                out.unwrap();
+            },
+        );
+        assert_eq!(applies, 2);
+    }
+}

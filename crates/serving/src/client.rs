@@ -133,6 +133,12 @@ impl ScoringClient for HttpClient {
         self.writer.flush()?;
         let msg = read_http_message(&mut self.reader)?.ok_or(ServingError::Closed)?;
         self.network.transfer(msg.body.len() + 64);
+        if msg.is_overloaded() {
+            // 503 + Retry-After: typed backpressure, not a remote fault.
+            return Err(ServingError::Overloaded {
+                retry_after: msg.retry_after.unwrap_or_default(),
+            });
+        }
         if !msg.is_ok_response() {
             return Err(ServingError::Remote(
                 String::from_utf8_lossy(&msg.body).into_owned(),

@@ -1,6 +1,7 @@
 //! Serving error type.
 
 use std::fmt;
+use std::time::Duration;
 
 /// Errors from servers, clients, and wire protocols.
 #[derive(Debug)]
@@ -20,17 +21,39 @@ pub enum ServingError {
     /// The client's circuit breaker is open: the call failed fast without
     /// touching the network. Retrying after the cooldown may succeed.
     CircuitOpen,
+    /// The server shed the request at admission: its queue is full. The
+    /// request was never scored; retrying after roughly `retry_after`
+    /// (the server's drain-time estimate) may succeed. Unlike `Io`, the
+    /// connection and the server are healthy — this is backpressure, not
+    /// failure.
+    Overloaded {
+        /// Server-supplied hint: estimated time until its admission queue
+        /// has drained enough to accept new work.
+        retry_after: Duration,
+    },
 }
 
 impl ServingError {
     /// Whether a retry can plausibly succeed. Connection-level failures —
-    /// including fail-fast breaker rejections — are transient; protocol,
-    /// remote-inference, runtime, and config errors are terminal.
+    /// including fail-fast breaker rejections — and admission-control
+    /// sheds are transient; protocol, remote-inference, runtime, and
+    /// config errors are terminal.
     pub fn is_transient(&self) -> bool {
         matches!(
             self,
-            ServingError::Io(_) | ServingError::Closed | ServingError::CircuitOpen
+            ServingError::Io(_)
+                | ServingError::Closed
+                | ServingError::CircuitOpen
+                | ServingError::Overloaded { .. }
         )
+    }
+
+    /// The server's retry-after hint, if this error carries one.
+    pub fn retry_hint(&self) -> Option<Duration> {
+        match self {
+            ServingError::Overloaded { retry_after } => Some(*retry_after),
+            _ => None,
+        }
     }
 }
 
@@ -44,6 +67,9 @@ impl fmt::Display for ServingError {
             ServingError::Config(msg) => write!(f, "config error: {msg}"),
             ServingError::Closed => write!(f, "server closed"),
             ServingError::CircuitOpen => write!(f, "circuit breaker open"),
+            ServingError::Overloaded { retry_after } => {
+                write!(f, "server overloaded; retry after {retry_after:?}")
+            }
         }
     }
 }
@@ -85,6 +111,18 @@ mod tests {
     fn transient_covers_connection_failures_only() {
         assert!(ServingError::Closed.is_transient());
         assert!(ServingError::CircuitOpen.is_transient());
+        assert!(ServingError::Overloaded {
+            retry_after: Duration::from_millis(5)
+        }
+        .is_transient());
+        assert_eq!(
+            ServingError::Overloaded {
+                retry_after: Duration::from_millis(5)
+            }
+            .retry_hint(),
+            Some(Duration::from_millis(5))
+        );
+        assert_eq!(ServingError::Closed.retry_hint(), None);
         assert!(ServingError::Io(std::io::Error::new(
             std::io::ErrorKind::ConnectionReset,
             "reset"

@@ -15,15 +15,26 @@
 //!
 //! Scaling knob per server matches the paper's §3.4.3: TF-Serving caps
 //! concurrent processing threads, TorchServe sets worker processes, and
-//! Ray Serve sets replica counts — all expressed as `workers` in
+//! Ray Serve sets replica counts — all expressed as `replicas` in
 //! [`ServingConfig`].
+//!
+//! By default every server runs a readiness-driven **reactor**
+//! ([`server::IoModel::Reactor`]): one poll thread multiplexes all
+//! connections and feeds decoded requests into a `crayfish-admission`
+//! continuous-batching queue, where `replicas` scoring workers drain them
+//! as cross-connection batches. A full queue sheds new work with a typed
+//! `Overloaded { retry_after }` response instead of queueing unboundedly.
+//! The paper-original blocking thread-per-connection shape remains
+//! available as [`server::IoModel::ThreadPerConnection`].
 
 #![forbid(unsafe_code)]
 
+mod batching;
 pub mod client;
 pub mod error;
 pub mod protocol;
 pub mod ray_serve;
+mod reactor;
 pub mod registry;
 pub mod resilient;
 pub mod restart;
@@ -32,11 +43,12 @@ pub mod tf_serving;
 pub mod torch_serve;
 
 pub use client::{GrpcClient, HttpClient, ScoringClient};
+pub use crayfish_admission::AdmissionConfig;
 pub use error::ServingError;
 pub use registry::ModelRegistry;
 pub use resilient::{ResilienceConfig, ResilientClient};
 pub use restart::RestartableServer;
-pub use server::{ServerHandle, ServingConfig};
+pub use server::{IoModel, ServerHandle, ServingConfig};
 
 use serde::{Deserialize, Serialize};
 

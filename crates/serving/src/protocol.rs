@@ -10,6 +10,7 @@
 //!   the reasons the paper's Ray Serve numbers trail the gRPC servers.
 
 use std::io::{BufRead, BufReader, Read, Write};
+use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
@@ -48,6 +49,20 @@ pub fn encode_error_binary(msg: &str) -> Vec<u8> {
     out
 }
 
+/// Status byte for an admission-control shed (gRPC-style RESOURCE_EXHAUSTED).
+const OVERLOADED: u8 = 3;
+
+/// Encode an overload payload: the request was shed at admission and may
+/// be retried after `retry_after`. The hint travels as whole milliseconds
+/// (u32 LE), saturating at ~49 days.
+pub fn encode_overloaded_binary(retry_after: Duration) -> Vec<u8> {
+    let ms = u32::try_from(retry_after.as_millis()).unwrap_or(u32::MAX);
+    let mut out = Vec::with_capacity(5);
+    out.push(OVERLOADED);
+    out.extend_from_slice(&ms.to_le_bytes());
+    out
+}
+
 /// Decode a binary payload into a tensor, or surface the remote error.
 pub fn decode_tensor_binary(payload: &[u8]) -> Result<Tensor> {
     let (&status, rest) = payload
@@ -57,6 +72,15 @@ pub fn decode_tensor_binary(payload: &[u8]) -> Result<Tensor> {
         return Err(ServingError::Remote(
             String::from_utf8_lossy(rest).into_owned(),
         ));
+    }
+    if status == OVERLOADED {
+        let ms = rest
+            .first_chunk::<4>()
+            .map(|b| u32::from_le_bytes(*b))
+            .ok_or_else(|| ServingError::Protocol("truncated overload hint".into()))?;
+        return Err(ServingError::Overloaded {
+            retry_after: Duration::from_millis(u64::from(ms)),
+        });
     }
     if status != 0 {
         return Err(ServingError::Protocol(format!("bad status byte {status}")));
@@ -141,6 +165,22 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<()> {
     w.write_all(payload)?;
     w.flush()?;
     Ok(())
+}
+
+/// Build one length-prefixed frame as a byte vector — what `write_frame`
+/// puts on the wire, for transports (the reactor) that queue response
+/// bytes instead of writing them inline.
+pub fn frame_bytes(payload: &[u8]) -> Result<Vec<u8>> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(ServingError::Protocol(format!(
+            "frame of {} bytes exceeds cap",
+            payload.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(out)
 }
 
 /// Read one length-prefixed frame. Returns `None` on clean EOF at a frame
@@ -237,6 +277,26 @@ pub fn write_http_response(
     Ok(())
 }
 
+/// Build the raw bytes of a `503 Service Unavailable` response for an
+/// admission-control shed. Carries the drain-time hint twice: the
+/// standard `Retry-After` header in whole seconds (rounded up, as the RFC
+/// only allows integral seconds) and a `Retry-After-Ms` extension header
+/// with millisecond precision, which our client prefers.
+pub fn http_overloaded_bytes(retry_after: Duration) -> Vec<u8> {
+    let ms = u64::try_from(retry_after.as_millis()).unwrap_or(u64::MAX);
+    let secs = ms.div_ceil(1000);
+    let body = b"overloaded";
+    let mut out = Vec::with_capacity(160);
+    // The Vec writer is infallible; an Err here is unreachable.
+    let _ = write!(
+        out,
+        "HTTP/1.1 503 Service Unavailable\r\nContent-Type: text/plain\r\nRetry-After: {secs}\r\nRetry-After-Ms: {ms}\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    out.extend_from_slice(body);
+    out
+}
+
 /// A parsed HTTP message: the start line and the raw body.
 #[derive(Debug)]
 pub struct HttpMessage {
@@ -244,16 +304,30 @@ pub struct HttpMessage {
     pub start_line: String,
     /// Message body.
     pub body: Vec<u8>,
+    /// Parsed `Retry-After-Ms` (preferred) or `Retry-After` header, when
+    /// present.
+    pub retry_after: Option<Duration>,
 }
 
 impl HttpMessage {
     /// True for `2xx` status lines.
     pub fn is_ok_response(&self) -> bool {
+        self.status_code()
+            .map(|c| (200..300).contains(&c))
+            .unwrap_or(false)
+    }
+
+    /// True for `503 Service Unavailable` — the admission-control shed.
+    pub fn is_overloaded(&self) -> bool {
+        self.status_code() == Some(503)
+    }
+
+    /// The numeric status code of a response line, if parseable.
+    pub fn status_code(&self) -> Option<u16> {
         self.start_line
             .split_whitespace()
             .nth(1)
-            .map(|code| code.starts_with('2'))
-            .unwrap_or(false)
+            .and_then(|code| code.parse().ok())
     }
 }
 
@@ -266,6 +340,8 @@ pub fn read_http_message(r: &mut BufReader<impl Read>) -> Result<Option<HttpMess
     }
     let start_line = start_line.trim_end().to_string();
     let mut content_length: Option<usize> = None;
+    let mut retry_after_secs: Option<u64> = None;
+    let mut retry_after_ms: Option<u64> = None;
     loop {
         let mut line = String::new();
         if r.read_line(&mut line)? == 0 {
@@ -275,17 +351,26 @@ pub fn read_http_message(r: &mut BufReader<impl Read>) -> Result<Option<HttpMess
         if line.is_empty() {
             break;
         }
-        if let Some(v) = line
-            .split_once(':')
-            .filter(|(k, _)| k.eq_ignore_ascii_case("content-length"))
-            .map(|(_, v)| v.trim())
-        {
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim();
+        if key.eq_ignore_ascii_case("content-length") {
             content_length = Some(
-                v.parse()
-                    .map_err(|_| ServingError::Protocol(format!("bad content-length: {v}")))?,
+                value
+                    .parse()
+                    .map_err(|_| ServingError::Protocol(format!("bad content-length: {value}")))?,
             );
+        } else if key.eq_ignore_ascii_case("retry-after") {
+            retry_after_secs = value.parse().ok();
+        } else if key.eq_ignore_ascii_case("retry-after-ms") {
+            retry_after_ms = value.parse().ok();
         }
     }
+    // Millisecond extension header wins over the coarse RFC seconds.
+    let retry_after = retry_after_ms
+        .map(Duration::from_millis)
+        .or(retry_after_secs.map(Duration::from_secs));
     let len =
         content_length.ok_or_else(|| ServingError::Protocol("missing content-length".into()))?;
     if len > MAX_FRAME_BYTES {
@@ -295,7 +380,11 @@ pub fn read_http_message(r: &mut BufReader<impl Read>) -> Result<Option<HttpMess
     }
     let mut body = vec![0u8; len];
     r.read_exact(&mut body)?;
-    Ok(Some(HttpMessage { start_line, body }))
+    Ok(Some(HttpMessage {
+        start_line,
+        body,
+        retry_after,
+    }))
 }
 
 #[cfg(test)]
@@ -318,6 +407,51 @@ mod tests {
             Err(ServingError::Remote(msg)) => assert_eq!(msg, "model exploded"),
             other => panic!("unexpected: {other:?}"),
         }
+    }
+
+    #[test]
+    fn binary_overloaded_roundtrip() {
+        let enc = encode_overloaded_binary(Duration::from_millis(37));
+        match decode_tensor_binary(&enc) {
+            Err(ServingError::Overloaded { retry_after }) => {
+                assert_eq!(retry_after, Duration::from_millis(37));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        // A truncated hint is a protocol error, not a silent zero.
+        assert!(matches!(
+            decode_tensor_binary(&enc[..3]),
+            Err(ServingError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn frame_bytes_matches_write_frame() {
+        let mut written = Vec::new();
+        write_frame(&mut written, b"payload").unwrap();
+        assert_eq!(frame_bytes(b"payload").unwrap(), written);
+        assert!(frame_bytes(&vec![0u8; MAX_FRAME_BYTES + 1]).is_err());
+    }
+
+    #[test]
+    fn http_overloaded_parses_with_ms_precision() {
+        let bytes = http_overloaded_bytes(Duration::from_millis(1500));
+        let mut r = BufReader::new(std::io::Cursor::new(bytes));
+        let msg = read_http_message(&mut r).unwrap().unwrap();
+        assert!(msg.is_overloaded());
+        assert!(!msg.is_ok_response());
+        assert_eq!(msg.status_code(), Some(503));
+        // Retry-After-Ms (1500) beats the rounded-up Retry-After (2 s).
+        assert_eq!(msg.retry_after, Some(Duration::from_millis(1500)));
+    }
+
+    #[test]
+    fn http_retry_after_seconds_fallback() {
+        let raw =
+            b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 3\r\nContent-Length: 0\r\n\r\n";
+        let mut r = BufReader::new(std::io::Cursor::new(raw.to_vec()));
+        let msg = read_http_message(&mut r).unwrap().unwrap();
+        assert_eq!(msg.retry_after, Some(Duration::from_secs(3)));
     }
 
     #[test]

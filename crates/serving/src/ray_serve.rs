@@ -5,11 +5,23 @@
 //! ceiling (§5.3.3): "a single HTTP Proxy can be deployed per physical node
 //! … it can potentially hinder the prospects of vertical scalability."
 //!
-//! Connection threads only do socket I/O; every request *and every
-//! response* passes through the one proxy thread, which parses/encodes the
-//! JSON bodies (real work) and pays the calibrated HTTP-stack cost.
-//! Replicas execute in parallel, each paying the per-call actor-dispatch
-//! cost of a Python deployment.
+//! Under the default [`IoModel::Reactor`] the reactor's poll thread *is*
+//! the single proxy: it does all socket I/O **and** pays the HTTP-stack
+//! cost and the JSON request parse for every request before admission —
+//! one serialized task per node, exactly the ceiling the paper describes.
+//! Replica workers drain the admission queue, each request paying the
+//! per-call actor-dispatch cost of a Python deployment (no cross-request
+//! stacking: actor method dispatch is per-request, so batching here bounds
+//! queueing, not kernel launches). One approximation: response JSON
+//! encoding happens on the replica rather than back on the proxy, keeping
+//! the `Responder` completion path one-way; the modelled egress HTTP-stack
+//! cost is still paid per response.
+//!
+//! Under [`IoModel::ThreadPerConnection`], connection threads only do
+//! socket I/O; every request *and every response* passes through one
+//! dedicated proxy thread, which parses/encodes the JSON bodies (real
+//! work) and pays the calibrated HTTP-stack cost. Replicas execute in
+//! parallel, each paying the per-call actor-dispatch cost.
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream};
@@ -19,12 +31,14 @@ use std::time::Duration;
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 
+use crayfish_admission::{AdmissionError, AdmissionMetrics, BatchQueue, Dispatcher, Pending};
 use crayfish_runtime::{EmbeddedRuntime, OnnxRuntime};
 use crayfish_sim::Cost;
 use crayfish_tensor::{NnGraph, Tensor};
 
-use crate::protocol::{read_http_message, write_http_response, JsonTensor};
-use crate::server::{spawn_listener_on, ModelPool, ServerHandle, ServingConfig};
+use crate::protocol::{http_overloaded_bytes, read_http_message, write_http_response, JsonTensor};
+use crate::reactor::{spawn_reactor_on, Responder, Wire};
+use crate::server::{spawn_listener_on, IoModel, ModelPool, ServerHandle, ServingConfig};
 use crate::Result;
 
 enum ProxyMsg {
@@ -45,7 +59,14 @@ struct ReplicaJob {
     reply: Sender<Vec<u8>>,
 }
 
-/// Start a Ray Serve analog for `graph` with `config.workers` replicas.
+/// One admitted request on the reactor path: the parsed input plus its
+/// completion token.
+struct RayJob {
+    input: Tensor,
+    responder: Responder,
+}
+
+/// Start a Ray Serve analog for `graph` with `config.replicas` replicas.
 pub fn start(graph: &NnGraph, config: ServingConfig) -> Result<ServerHandle> {
     start_at(graph, config, SocketAddr::from(([127, 0, 0, 1], 0)))
 }
@@ -55,12 +76,97 @@ pub fn start(graph: &NnGraph, config: ServingConfig) -> Result<ServerHandle> {
 pub fn start_at(graph: &NnGraph, config: ServingConfig, addr: SocketAddr) -> Result<ServerHandle> {
     let loader = OnnxRuntime::new();
     let graph = graph.clone();
-    // Replicas share a model pool sized to the replica count; replica
-    // threads pull jobs and return results through the proxy.
-    let pool = ModelPool::new(config.workers, &config.obs, || {
+    // Replicas share a model pool sized to the replica count.
+    let pool = ModelPool::new(config.replicas, &config.obs, || {
         loader.load_graph(&graph, config.device)
     })?;
+    match config.io {
+        IoModel::Reactor => start_reactor(pool, config, addr),
+        IoModel::ThreadPerConnection => start_thread_per_connection(pool, config, addr),
+    }
+}
 
+/// The reactor path: the poll thread plays the single HTTP proxy (stack
+/// cost + JSON parse serialized there), the admission queue bounds the
+/// backlog, and replica workers score one request at a time.
+fn start_reactor(pool: ModelPool, config: ServingConfig, addr: SocketAddr) -> Result<ServerHandle> {
+    let http_cost = config.overheads.http_stack;
+    let actor_cost = config.overheads.actor_dispatch;
+    let queue: BatchQueue<RayJob> = BatchQueue::new(
+        config.admission,
+        config.replicas,
+        AdmissionMetrics::new(&config.obs),
+    );
+    let dispatcher = Dispatcher::spawn("ray-serve", queue.clone(), config.replicas, |_i| {
+        let pool = pool.clone();
+        move |batch: &mut Vec<Pending<RayJob>>| {
+            // A batch here only bounds queueing; each request is still its
+            // own actor method dispatch.
+            for p in batch.drain(..) {
+                let job = p.payload;
+                let result = score_one(&pool, &job.input, actor_cost);
+                let bytes = match &result {
+                    Ok(t) => response_bytes(Ok(t)),
+                    Err(e) => response_bytes(Err(e)),
+                };
+                http_cost.spend(bytes.len());
+                job.responder.send(bytes);
+            }
+        }
+    })?;
+    let mut handle = spawn_reactor_on("ray-serve", addr, Wire::Http, move |body, responder| {
+        // Single-proxy serialization: ingress HTTP-stack traversal and the
+        // JSON parse both happen on this one thread.
+        http_cost.spend(body.len());
+        match serde_json::from_slice::<JsonTensor>(body)
+            .map_err(|e| e.to_string())
+            .and_then(|jt| jt.into_tensor().map_err(|e| e.to_string()))
+        {
+            Ok(input) => {
+                if let Err(rejected) = queue.push(RayJob { input, responder }) {
+                    let responder = rejected.payload.responder;
+                    let bytes = match rejected.error {
+                        AdmissionError::Overloaded { retry_after } => {
+                            http_overloaded_bytes(retry_after)
+                        }
+                        AdmissionError::Shutdown => response_bytes(Err("server shutting down")),
+                    };
+                    responder.send(bytes);
+                }
+            }
+            Err(e) => responder.send(response_bytes(Err(&e))),
+        }
+    })?;
+    handle.add_teardown(move || drop(dispatcher));
+    Ok(handle)
+}
+
+/// Actor method dispatch: object-store copy (real) plus the calibrated
+/// Python dispatch cost, then the model apply.
+fn score_one(
+    pool: &ModelPool,
+    input: &Tensor,
+    actor_cost: Cost,
+) -> std::result::Result<Tensor, String> {
+    match Tensor::from_vec(input.shape().clone(), input.data().to_vec()) {
+        Ok(staged) => {
+            actor_cost.spend(staged.numel() * 4);
+            match pool.with_model(|m| m.apply(&staged)) {
+                Ok(applied) => applied.map_err(|e| e.to_string()),
+                Err(e) => Err(e.to_string()),
+            }
+        }
+        Err(e) => Err(format!("object-store copy: {e}")),
+    }
+}
+
+/// The paper-original blocking shape: connection threads, one proxy
+/// thread, replica threads on channels.
+fn start_thread_per_connection(
+    pool: ModelPool,
+    config: ServingConfig,
+    addr: SocketAddr,
+) -> Result<ServerHandle> {
     let (proxy_tx, proxy_rx) = unbounded::<ProxyMsg>();
     let (replica_tx, replica_rx) = unbounded::<ReplicaJob>();
 
@@ -76,7 +182,7 @@ pub fn start_at(graph: &NnGraph, config: ServingConfig, addr: SocketAddr) -> Res
         stop.clone(),
         config.overheads.http_stack,
     )?;
-    for i in 0..config.workers.max(1) {
+    for i in 0..config.replicas.max(1) {
         spawn_replica(
             i,
             replica_rx.clone(),
@@ -191,19 +297,7 @@ fn spawn_replica(
                     Err(_) => return,
                 };
 
-                // Actor method dispatch: object-store copy (real) plus the
-                // calibrated Python dispatch cost.
-                let result =
-                    match Tensor::from_vec(job.input.shape().clone(), job.input.data().to_vec()) {
-                        Ok(staged) => {
-                            actor_cost.spend(staged.numel() * 4);
-                            match pool.with_model(|m| m.apply(&staged)) {
-                                Ok(applied) => applied.map_err(|e| e.to_string()),
-                                Err(e) => Err(e.to_string()),
-                            }
-                        }
-                        Err(e) => Err(format!("object-store copy: {e}")),
-                    };
+                let result = score_one(&pool, &job.input, actor_cost);
                 if proxy_tx
                     .send(ProxyMsg::Response {
                         result,
@@ -261,7 +355,7 @@ mod tests {
         let server = start(
             &tiny::tiny_mlp(1),
             ServingConfig {
-                workers: 3,
+                replicas: 3,
                 ..Default::default()
             },
         )

@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use crayfish_runtime::{EmbeddedRuntime, OnnxRuntime};
+use crayfish_runtime::{EmbeddedRuntime, LoadedModel, OnnxRuntime};
 use crayfish_tensor::NnGraph;
 
 use crate::server::{ModelPool, ServingConfig};
@@ -39,7 +39,7 @@ pub struct ModelRegistry {
 }
 
 impl ModelRegistry {
-    /// An empty registry whose deployments use `config` (worker count and
+    /// An empty registry whose deployments use `config` (replica count and
     /// device per model).
     pub fn new(config: ServingConfig) -> ModelRegistry {
         ModelRegistry {
@@ -48,17 +48,34 @@ impl ModelRegistry {
         }
     }
 
+    /// The registry's serving configuration (shared by every deployment
+    /// and by the server fronting this registry).
+    pub(crate) fn config(&self) -> &ServingConfig {
+        &self.config
+    }
+
     /// Deploy (or hot-replace) `name` with `graph`. Returns the new version
     /// number (1 for a first deployment). In-flight requests against the
     /// old version finish on the old pool; new requests see the new one.
     pub fn deploy(&self, name: &str, graph: &NnGraph) -> Result<u32> {
-        // Load outside the lock: model loading is expensive.
         let loader = OnnxRuntime::new();
         let graph = graph.clone();
-        let config = self.config.clone();
-        let pool = ModelPool::new(config.workers, &config.obs, || {
-            loader.load_graph(&graph, config.device)
-        })?;
+        let device = self.config.device;
+        self.deploy_with(name, move || loader.load_graph(&graph, device))
+    }
+
+    /// Deploy (or hot-replace) `name` from a custom loader, called once per
+    /// replica. This is the hook for serving models the stock ONNX executor
+    /// cannot produce — a foreign runtime, or a wrapper around a loaded
+    /// model (the saturation bench uses it to attach a modelled
+    /// service-time cost to each scoring invocation).
+    pub fn deploy_with(
+        &self,
+        name: &str,
+        load: impl FnMut() -> crayfish_runtime::Result<Box<dyn LoadedModel>>,
+    ) -> Result<u32> {
+        // Load outside the lock: model loading is expensive.
+        let pool = ModelPool::new(self.config.replicas, &self.config.obs, load)?;
         let mut models = self.inner.write();
         let version = models.get(name).map(|d| d.version + 1).unwrap_or(1);
         models.insert(name.to_string(), Deployment { pool, version });

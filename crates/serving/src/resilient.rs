@@ -146,6 +146,11 @@ impl ResilientClient {
                     // but a remote inference error is the application's
                     // problem, not the connection's.
                     ServingError::Protocol(_) => self.inner = None,
+                    // Overloaded is deliberate backpressure from a healthy
+                    // server: keep the connection, don't count it against
+                    // the breaker, and let the retry schedule honour the
+                    // server's retry_after hint.
+                    ServingError::Overloaded { .. } => {}
                     _ => {}
                 }
                 self.errors.inc();
@@ -172,8 +177,9 @@ impl ScoringClient for ResilientClient {
     fn infer(&mut self, input: &Tensor) -> Result<Tensor> {
         let retries = self.retries.clone();
         let policy = self.config.retry;
-        policy.run(
+        policy.run_hinted(
             ServingError::is_transient,
+            ServingError::retry_hint,
             |_| retries.inc(),
             || self.try_once(input),
         )
@@ -274,6 +280,60 @@ mod tests {
         client.infer(&input()).unwrap();
         assert_eq!(client.circuit_state(), CircuitState::Closed);
         srv.crash();
+    }
+
+    #[test]
+    fn overload_retries_on_the_same_connection_after_the_hint() {
+        use crate::protocol::{
+            encode_overloaded_binary, encode_tensor_binary, read_frame, write_frame,
+        };
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        // A server that sheds the first request with a 30 ms hint, then
+        // serves. Counts connections so we can prove no reconnect happened.
+        let conns = Arc::new(AtomicUsize::new(0));
+        let conns_seen = Arc::clone(&conns);
+        let server = spawn_listener("shed-once", move |stream| {
+            conns_seen.fetch_add(1, Ordering::SeqCst);
+            let mut writer = stream.try_clone().unwrap();
+            let mut reader = std::io::BufReader::new(stream);
+            let mut first = true;
+            while let Ok(Some(payload)) = read_frame(&mut reader) {
+                let reply = if first {
+                    first = false;
+                    encode_overloaded_binary(Duration::from_millis(30))
+                } else {
+                    let t = crate::protocol::decode_tensor_binary(&payload).unwrap();
+                    encode_tensor_binary(&t)
+                };
+                if write_frame(&mut writer, &reply).is_err() {
+                    break;
+                }
+            }
+        })
+        .unwrap();
+        let mut client = ResilientClient::connect(
+            ExternalKind::TfServing,
+            server.addr(),
+            NetworkModel::zero(),
+            ResilienceConfig::default(),
+        )
+        .unwrap();
+        let start = std::time::Instant::now();
+        client.infer(&input()).unwrap();
+        assert!(
+            start.elapsed() >= Duration::from_millis(25),
+            "retry_after hint ignored: {:?}",
+            start.elapsed()
+        );
+        assert_eq!(
+            conns.load(Ordering::SeqCst),
+            1,
+            "overload must not poison the connection"
+        );
+        assert_eq!(client.circuit_state(), CircuitState::Closed);
+        server.shutdown();
     }
 
     #[test]

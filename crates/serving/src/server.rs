@@ -11,50 +11,90 @@ use parking_lot::Mutex;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 
+use crayfish_admission::AdmissionConfig;
 use crayfish_runtime::{Device, LoadedModel};
 use crayfish_sim::OverheadModel;
 
 use crate::{Result, ServingError};
 
+/// How a server turns sockets into requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoModel {
+    /// Readiness-driven reactor: one poll thread multiplexes every
+    /// connection and feeds decoded requests into the admission queue,
+    /// where scoring replicas drain them as cross-connection batches.
+    /// The default, and what every production inference server does.
+    #[default]
+    Reactor,
+    /// One blocking thread per connection, scoring requests one at a time
+    /// against the shared model pool. The paper's original serving-tier
+    /// shape, kept as the saturation bench's baseline rung.
+    ThreadPerConnection,
+}
+
 /// Configuration of an external serving deployment.
 #[derive(Debug, Clone)]
 pub struct ServingConfig {
-    /// Degree of parallelism: concurrent processing threads (TF-Serving),
-    /// worker processes (TorchServe), or replicas (Ray Serve). The paper's
-    /// `mp` knob for external servers.
-    pub workers: usize,
-    /// Inference device for every worker.
+    /// Scoring replica count: how many model instances score concurrently.
+    /// Under [`IoModel::Reactor`] these are the admission dispatcher's
+    /// scoring workers; under [`IoModel::ThreadPerConnection`] they bound
+    /// the shared model pool. One knob, one meaning, for every engine
+    /// personality — concurrent processing threads (TF-Serving), worker
+    /// processes (TorchServe), or replicas (Ray Serve). The paper's `mp`
+    /// knob for external servers.
+    pub replicas: usize,
+    /// Inference device for every replica.
     pub device: Device,
     /// Calibrated overhead model (Python handlers, actor dispatch, …).
     pub overheads: OverheadModel,
     /// Observability recorder the server's worker pools report into
-    /// (server-side `inference` spans, queue-depth and in-flight gauges).
-    /// Disabled by default.
+    /// (server-side `inference` spans, queue-depth and in-flight gauges,
+    /// admission metrics). Disabled by default.
     pub obs: crayfish_obs::ObsHandle,
+    /// Connection I/O model.
+    pub io: IoModel,
+    /// Continuous-batching and backpressure knobs, used by the
+    /// [`IoModel::Reactor`] path.
+    pub admission: AdmissionConfig,
 }
 
 impl Default for ServingConfig {
     fn default() -> Self {
         ServingConfig {
-            workers: 1,
+            replicas: 1,
             device: Device::Cpu,
             overheads: OverheadModel::calibrated(),
             obs: crayfish_obs::ObsHandle::disabled(),
+            io: IoModel::default(),
+            admission: AdmissionConfig::default(),
         }
     }
 }
 
 /// A running server. Dropping the handle (or calling
 /// [`shutdown`](ServerHandle::shutdown)) stops the listener, joins the
-/// accept loop, and severs every live connection with `Shutdown::Both`, so
-/// clients blocked mid-read observe EOF promptly instead of hanging.
-#[derive(Debug)]
+/// accept loop, severs every live connection with `Shutdown::Both` — so
+/// clients blocked mid-read observe EOF promptly instead of hanging — and
+/// then runs any registered teardown hooks (reactor join, admission
+/// dispatcher drain).
 pub struct ServerHandle {
     name: &'static str,
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
     connections: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    /// Run once, in order, at the end of `stop` — after the accept loop
+    /// has joined and connections are severed.
+    teardown: Vec<Box<dyn FnOnce() + Send>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("name", &self.name)
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
 }
 
 impl ServerHandle {
@@ -84,6 +124,13 @@ impl ServerHandle {
         self.connections.lock().len()
     }
 
+    /// Register a hook to run at the end of `stop`, after the accept loop
+    /// joins and connections are severed. The reactor path uses this to
+    /// join the poll thread and drain the admission dispatcher.
+    pub(crate) fn add_teardown(&mut self, hook: impl FnOnce() + Send + 'static) {
+        self.teardown.push(Box::new(hook));
+    }
+
     fn stop(&mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         // Unblock the accept loop with a throwaway connection.
@@ -95,6 +142,9 @@ impl ServerHandle {
         // blocked on reads get EOF.
         for (_, conn) in self.connections.lock().drain() {
             let _ = conn.shutdown(Shutdown::Both);
+        }
+        for hook in self.teardown.drain(..) {
+            hook();
         }
     }
 }
@@ -230,7 +280,28 @@ pub(crate) fn spawn_listener_on(
         shutdown,
         accept_thread: Some(accept_thread),
         connections,
+        teardown: Vec::new(),
     })
+}
+
+/// Assemble a handle from parts — used by the reactor, whose accept loop
+/// injects connections into the poll thread instead of spawning handler
+/// threads.
+pub(crate) fn assemble_handle(
+    name: &'static str,
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: JoinHandle<()>,
+    connections: Arc<Mutex<HashMap<u64, TcpStream>>>,
+) -> ServerHandle {
+    ServerHandle {
+        name,
+        addr,
+        shutdown,
+        accept_thread: Some(accept_thread),
+        connections,
+        teardown: Vec::new(),
+    }
 }
 
 #[cfg(test)]

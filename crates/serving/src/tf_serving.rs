@@ -2,21 +2,32 @@
 //!
 //! The paper's "highly optimised external server": fused kernels (the
 //! off-the-shelf CPU optimisations §5.1.1 credits for TF-Serving beating
-//! TorchServe 3×), a gRPC-like binary protocol, and a thread pool whose size
-//! is the scaling knob ("setting the maximum number of threads that can be
-//! used to process events concurrently", §3.4.3).
+//! TorchServe 3×), a gRPC-like binary protocol, and a scoring-replica pool
+//! whose size is the scaling knob ("setting the maximum number of threads
+//! that can be used to process events concurrently", §3.4.3).
+//!
+//! Under the default [`crate::IoModel::Reactor`] the server batches
+//! continuously: the reactor decodes requests from every connection into
+//! one admission queue, and replica workers drain them as
+//! cross-connection batches, stacking compatible inputs into single model
+//! invocations (see [`crate::batching`]). A full queue sheds with a typed
+//! `Overloaded` frame carrying a retry hint.
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream};
 
+use crayfish_admission::{AdmissionMetrics, BatchQueue, Dispatcher, Pending};
 use crayfish_tensor::NnGraph;
 
+use crate::batching::{score_stacked, ScoreJob};
 use crate::protocol::{
-    decode_request_binary, encode_error_binary, encode_tensor_binary, read_frame, write_frame,
+    decode_request_binary, encode_error_binary, encode_overloaded_binary, encode_tensor_binary,
+    frame_bytes, read_frame, write_frame,
 };
+use crate::reactor::{spawn_reactor_on, Responder, Wire};
 use crate::registry::ModelRegistry;
-use crate::server::{spawn_listener_on, ServerHandle, ServingConfig};
-use crate::Result;
+use crate::server::{spawn_listener_on, IoModel, ServerHandle, ServingConfig};
+use crate::{Result, ServingError};
 
 /// Start a TF-Serving analog hosting a single model.
 ///
@@ -46,9 +57,105 @@ pub fn start_with_registry(registry: ModelRegistry) -> Result<ServerHandle> {
 
 /// [`start_with_registry`] bound to a fixed address.
 pub fn start_with_registry_at(registry: ModelRegistry, addr: SocketAddr) -> Result<ServerHandle> {
-    spawn_listener_on("tf-serving", addr, move |stream| {
-        handle_connection(stream, &registry);
-    })
+    match registry.config().io {
+        IoModel::Reactor => start_reactor(registry, addr),
+        IoModel::ThreadPerConnection => spawn_listener_on("tf-serving", addr, move |stream| {
+            handle_connection(stream, &registry);
+        }),
+    }
+}
+
+/// The reactor path: connection I/O on one poll thread, admission-queued
+/// requests scored in cross-connection batches by `replicas` workers.
+fn start_reactor(registry: ModelRegistry, addr: SocketAddr) -> Result<ServerHandle> {
+    let config = registry.config().clone();
+    let queue: BatchQueue<ScoreJob<Responder>> = BatchQueue::new(
+        config.admission,
+        config.replicas,
+        AdmissionMetrics::new(&config.obs),
+    );
+    let dispatcher = Dispatcher::spawn("tf-serving", queue.clone(), config.replicas, |_i| {
+        let registry = registry.clone();
+        move |batch: &mut Vec<Pending<ScoreJob<Responder>>>| {
+            score_grpc_batch(batch, |model, input| {
+                registry
+                    .resolve(model)
+                    .and_then(|pool| pool.with_model(|m| m.apply(input)))
+                    .and_then(|applied| applied.map_err(Into::into))
+            });
+        }
+    })?;
+    let mut handle =
+        spawn_reactor_on("tf-serving", addr, Wire::Grpc, move |payload, responder| {
+            dispatch_grpc(&queue, payload, responder);
+        })?;
+    handle.add_teardown(move || drop(dispatcher));
+    Ok(handle)
+}
+
+/// Decode one gRPC-framed request on the reactor thread and admit it —
+/// or answer immediately (decode error, shed, shutdown) so no responder
+/// is ever dropped silently.
+pub(crate) fn dispatch_grpc(
+    queue: &BatchQueue<ScoreJob<Responder>>,
+    payload: &[u8],
+    responder: Responder,
+) {
+    let job = match decode_request_binary(payload) {
+        Ok((model, input)) => ScoreJob {
+            model,
+            input,
+            responder,
+        },
+        Err(e) => {
+            send_grpc(responder, &Err(e));
+            return;
+        }
+    };
+    if let Err(rejected) = queue.push(job) {
+        use crayfish_admission::AdmissionError;
+        let responder = rejected.payload.responder;
+        let reply = match rejected.error {
+            AdmissionError::Overloaded { retry_after } => encode_overloaded_binary(retry_after),
+            AdmissionError::Shutdown => encode_error_binary(&ServingError::Closed.to_string()),
+        };
+        send_frame(responder, &reply);
+    }
+}
+
+/// Frame and send a control payload (shed notice, error). Control payloads
+/// are a handful of bytes, far under the frame cap, so the framing error
+/// branch cannot trigger.
+fn send_frame(responder: Responder, payload: &[u8]) {
+    if let Ok(frame) = frame_bytes(payload) {
+        responder.send(frame);
+    }
+}
+
+/// Score one drained batch with cross-request stacking and answer every
+/// responder with an encoded gRPC frame.
+pub(crate) fn score_grpc_batch(
+    batch: &mut Vec<Pending<ScoreJob<Responder>>>,
+    apply: impl FnMut(Option<&str>, &crayfish_tensor::Tensor) -> Result<crayfish_tensor::Tensor>,
+) {
+    let jobs: Vec<ScoreJob<Responder>> = batch.drain(..).map(|p| p.payload).collect();
+    score_stacked(jobs, apply, |responder, out| send_grpc(responder, &out));
+}
+
+fn send_grpc(responder: Responder, out: &Result<crayfish_tensor::Tensor>) {
+    let payload = match out {
+        Ok(t) => encode_tensor_binary(t),
+        Err(e) => encode_error_binary(&e.to_string()),
+    };
+    // An oversized response degrades to an error frame rather than
+    // dropping the responder (which would hang the client).
+    match frame_bytes(&payload) {
+        Ok(frame) => responder.send(frame),
+        Err(_) => send_frame(
+            responder,
+            &encode_error_binary("response exceeds frame cap"),
+        ),
+    }
 }
 
 fn handle_connection(stream: TcpStream, registry: &ModelRegistry) {
@@ -153,11 +260,122 @@ mod tests {
     }
 
     #[test]
+    fn thread_per_connection_path_still_serves() {
+        let server = start(
+            &tiny::tiny_mlp(1),
+            ServingConfig {
+                io: crate::IoModel::ThreadPerConnection,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut client = GrpcClient::connect(server.addr(), NetworkModel::zero()).unwrap();
+        let out = client
+            .infer(&Tensor::seeded_uniform([1, 8, 8], 1, 0.0, 1.0))
+            .unwrap();
+        assert_eq!(out.shape().dims(), &[1, 4]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn batches_form_across_connections() {
+        // Many clients hammering a single replica with a generous batch
+        // window must produce at least one multi-request batch.
+        let obs = crayfish_obs::ObsHandle::enabled();
+        let server = start(
+            &tiny::tiny_mlp(1),
+            ServingConfig {
+                replicas: 1,
+                obs: obs.clone(),
+                admission: crayfish_admission::AdmissionConfig {
+                    max_batch: 8,
+                    max_wait: std::time::Duration::from_millis(5),
+                    queue_capacity: 256,
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            handles.push(std::thread::spawn(move || {
+                let mut c = GrpcClient::connect(addr, NetworkModel::zero()).unwrap();
+                for i in 0..20u64 {
+                    let input = Tensor::seeded_uniform([1, 8, 8], t * 1000 + i, 0.0, 1.0);
+                    let out = c.infer(&input).unwrap();
+                    assert_eq!(out.shape().dims(), &[1, 4]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let metrics = crayfish_admission::AdmissionMetrics::new(&obs);
+        let sizes = metrics.batch_size_snapshot();
+        assert_eq!(sizes.sum(), 160, "every request must be scored once");
+        assert!(
+            sizes.max() > 1,
+            "no cross-connection batch ever formed (max batch {})",
+            sizes.max()
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn full_queue_sheds_with_overloaded() {
+        // Capacity 1 with a slow-to-drain batch window: concurrent pushes
+        // must shed, and the shed must surface as a typed Overloaded error
+        // with a positive hint — never a hang or a dropped connection.
+        let server = start(
+            &tiny::tiny_mlp(1),
+            ServingConfig {
+                replicas: 1,
+                admission: crayfish_admission::AdmissionConfig {
+                    max_batch: 1,
+                    max_wait: std::time::Duration::from_millis(1),
+                    queue_capacity: 1,
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let addr = server.addr();
+        let shed = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let shed = shed.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut c = GrpcClient::connect(addr, NetworkModel::zero()).unwrap();
+                for i in 0..30u64 {
+                    let input = Tensor::seeded_uniform([1, 8, 8], t * 997 + i, 0.0, 1.0);
+                    match c.infer(&input) {
+                        Ok(out) => assert_eq!(out.shape().dims(), &[1, 4]),
+                        Err(crate::ServingError::Overloaded { retry_after }) => {
+                            assert!(retry_after > std::time::Duration::ZERO);
+                            shed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("unexpected error under overload: {e}"),
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(
+            shed.load(std::sync::atomic::Ordering::Relaxed) > 0,
+            "a capacity-1 queue under 8 hammering clients must shed"
+        );
+        server.shutdown();
+    }
+
+    #[test]
     fn concurrent_clients_are_served() {
         let server = start(
             &tiny::tiny_mlp(1),
             ServingConfig {
-                workers: 4,
+                replicas: 4,
                 ..Default::default()
             },
         )

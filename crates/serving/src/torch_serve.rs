@@ -13,15 +13,19 @@
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpStream};
 
+use crayfish_admission::{AdmissionMetrics, BatchQueue, Dispatcher, Pending};
 use crayfish_runtime::{EmbeddedRuntime, TorchRuntime};
 use crayfish_sim::Cost;
 use crayfish_tensor::{NnGraph, Tensor};
 
+use crate::batching::ScoreJob;
 use crate::protocol::{
     decode_tensor_binary, encode_error_binary, encode_tensor_binary, read_frame, write_frame,
     JsonTensor,
 };
-use crate::server::{spawn_listener_on, ModelPool, ServerHandle, ServingConfig};
+use crate::reactor::{spawn_reactor_on, Responder, Wire};
+use crate::server::{spawn_listener_on, IoModel, ModelPool, ServerHandle, ServingConfig};
+use crate::tf_serving::score_grpc_batch;
 use crate::{Result, ServingError};
 
 /// Start a TorchServe analog for `graph`.
@@ -35,13 +39,65 @@ pub fn start_at(graph: &NnGraph, config: ServingConfig, addr: SocketAddr) -> Res
     // Native eager-mode kernels, no graph optimiser.
     let loader = TorchRuntime::new();
     let graph = graph.clone();
-    let pool = ModelPool::new(config.workers, &config.obs, || {
+    let pool = ModelPool::new(config.replicas, &config.obs, || {
         loader.load_graph(&graph, config.device)
     })?;
     let py_cost = config.overheads.py_handler;
-    spawn_listener_on("torch-serve", addr, move |stream| {
-        handle_connection(stream, &pool, py_cost);
-    })
+    match config.io {
+        IoModel::Reactor => start_reactor(pool, config, py_cost, addr),
+        IoModel::ThreadPerConnection => spawn_listener_on("torch-serve", addr, move |stream| {
+            handle_connection(stream, &pool, py_cost);
+        }),
+    }
+}
+
+/// The reactor path. The Python handler stays a *per-request* cost even
+/// inside a batch — TorchServe handlers shuttle each payload through the
+/// interpreter individually — so continuous batching amortises only the
+/// native scoring, which is exactly why the paper's TorchServe trails
+/// TF-Serving under load.
+fn start_reactor(
+    pool: ModelPool,
+    config: ServingConfig,
+    py_cost: Cost,
+    addr: SocketAddr,
+) -> Result<ServerHandle> {
+    let queue: BatchQueue<ScoreJob<Responder>> = BatchQueue::new(
+        config.admission,
+        config.replicas,
+        AdmissionMetrics::new(&config.obs),
+    );
+    let dispatcher = Dispatcher::spawn("torch-serve", queue.clone(), config.replicas, |_i| {
+        let pool = pool.clone();
+        move |batch: &mut Vec<Pending<ScoreJob<Responder>>>| {
+            // Per-request Python handler pass, then stacked native scoring.
+            for p in batch.iter_mut() {
+                match python_handler(&p.payload.input, py_cost) {
+                    Ok(handled) => p.payload.input = handled,
+                    Err(_) => {
+                        // Leave the input as-is; the apply below will
+                        // surface the model's own error for it. (The
+                        // handler only fails on non-finite JSON, which the
+                        // decode layer already rejects.)
+                    }
+                }
+            }
+            score_grpc_batch(batch, |_model, input| {
+                pool.with_model(|m| m.apply(input))
+                    .and_then(|applied| applied.map_err(Into::into))
+            });
+        }
+    })?;
+    let mut handle = spawn_reactor_on(
+        "torch-serve",
+        addr,
+        Wire::Grpc,
+        move |payload, responder| {
+            crate::tf_serving::dispatch_grpc(&queue, payload, responder);
+        },
+    )?;
+    handle.add_teardown(move || drop(dispatcher));
+    Ok(handle)
 }
 
 /// The simulated Python handler: JSON round-trip plus interpreter cost.

@@ -1,0 +1,158 @@
+//! Wire-framing robustness of the reactor servers.
+//!
+//! The reactor parses messages out of whatever byte fragments the kernel
+//! delivers, so these tests drive the real servers with adversarially
+//! fragmented writes — every possible split boundary of a frame — and
+//! with byte-at-a-time reads of the responses. A server that assumed
+//! "one read = one message" (the luxury the old blocking `BufReader`
+//! loops had) fails these immediately.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crayfish_models::tiny;
+use crayfish_serving::protocol::{
+    encode_tensor_binary, frame_bytes, read_frame, read_http_message, write_frame,
+};
+use crayfish_serving::{ray_serve, tf_serving, ServingConfig};
+use crayfish_tensor::Tensor;
+
+fn small_frame() -> Vec<u8> {
+    // A deliberately wrong-shaped tensor keeps the frame tiny; the server
+    // answers with an error frame, which is all a framing test needs.
+    frame_bytes(&encode_tensor_binary(
+        &Tensor::from_vec([2], vec![1.0, 2.0]).unwrap(),
+    ))
+    .unwrap()
+}
+
+#[test]
+fn grpc_reactor_parses_across_every_split_boundary() {
+    let server = tf_serving::start(&tiny::tiny_mlp(1), ServingConfig::default()).unwrap();
+    let frame = small_frame();
+    for cut in 1..frame.len() {
+        let mut c = TcpStream::connect(server.addr()).unwrap();
+        c.set_nodelay(true).unwrap();
+        c.write_all(&frame[..cut]).unwrap();
+        c.flush().unwrap();
+        // Give the reactor a poll cycle to observe the partial frame.
+        std::thread::sleep(Duration::from_micros(300));
+        c.write_all(&frame[cut..]).unwrap();
+        c.flush().unwrap();
+        let reply = read_frame(&mut c).unwrap();
+        assert!(reply.is_some(), "no reply for frame split at byte {cut}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn grpc_reactor_survives_byte_at_a_time_writes() {
+    let server = tf_serving::start(&tiny::tiny_mlp(1), ServingConfig::default()).unwrap();
+    let mut c = TcpStream::connect(server.addr()).unwrap();
+    c.set_nodelay(true).unwrap();
+    let frame = small_frame();
+    for &b in &frame {
+        c.write_all(&[b]).unwrap();
+        c.flush().unwrap();
+    }
+    assert!(read_frame(&mut c).unwrap().is_some());
+    server.shutdown();
+}
+
+#[test]
+fn grpc_responses_survive_byte_at_a_time_reads() {
+    let server = tf_serving::start(&tiny::tiny_mlp(1), ServingConfig::default()).unwrap();
+    let mut c = TcpStream::connect(server.addr()).unwrap();
+    write_frame(
+        &mut c,
+        &encode_tensor_binary(&Tensor::seeded_uniform([1, 8, 8], 1, 0.0, 1.0)),
+    )
+    .unwrap();
+    // Read the length prefix, then the payload, one byte per syscall.
+    let mut len = [0u8; 4];
+    for i in 0..4 {
+        c.read_exact(&mut len[i..i + 1]).unwrap();
+    }
+    let n = u32::from_le_bytes(len) as usize;
+    let mut payload = vec![0u8; n];
+    for i in 0..n {
+        c.read_exact(&mut payload[i..i + 1]).unwrap();
+    }
+    assert_eq!(payload[0], 0, "expected an ok status byte");
+    server.shutdown();
+}
+
+#[test]
+fn grpc_pipelined_burst_with_trailing_partial_frame() {
+    let server = tf_serving::start(&tiny::tiny_mlp(1), ServingConfig::default()).unwrap();
+    let mut c = TcpStream::connect(server.addr()).unwrap();
+    c.set_nodelay(true).unwrap();
+    let frame = small_frame();
+    // Three complete frames plus the first half of a fourth, in one write.
+    let mut burst = Vec::new();
+    for _ in 0..3 {
+        burst.extend_from_slice(&frame);
+    }
+    let half = frame.len() / 2;
+    burst.extend_from_slice(&frame[..half]);
+    c.write_all(&burst).unwrap();
+    c.flush().unwrap();
+    for i in 0..3 {
+        assert!(
+            read_frame(&mut c).unwrap().is_some(),
+            "pipelined reply {i} missing"
+        );
+    }
+    // Completing the fourth frame later still yields its reply.
+    c.write_all(&frame[half..]).unwrap();
+    c.flush().unwrap();
+    assert!(read_frame(&mut c).unwrap().is_some());
+    server.shutdown();
+}
+
+#[test]
+fn http_reactor_parses_across_every_split_boundary() {
+    let server = ray_serve::start(&tiny::tiny_mlp(1), ServingConfig::default()).unwrap();
+    let body = br#"{"dims":[2],"data":[1.0,2.0]}"#;
+    let mut req = format!(
+        "POST /infer HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    req.extend_from_slice(body);
+    for cut in 1..req.len() {
+        let mut c = TcpStream::connect(server.addr()).unwrap();
+        c.set_nodelay(true).unwrap();
+        c.write_all(&req[..cut]).unwrap();
+        c.flush().unwrap();
+        std::thread::sleep(Duration::from_micros(300));
+        c.write_all(&req[cut..]).unwrap();
+        c.flush().unwrap();
+        let mut r = std::io::BufReader::new(c);
+        let msg = read_http_message(&mut r).unwrap();
+        assert!(msg.is_some(), "no response for request split at byte {cut}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn http_reactor_survives_byte_at_a_time_writes() {
+    let server = ray_serve::start(&tiny::tiny_mlp(1), ServingConfig::default()).unwrap();
+    let body = br#"{"dims":[2],"data":[1.0,2.0]}"#;
+    let mut req = format!(
+        "POST /infer HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    req.extend_from_slice(body);
+    let mut c = TcpStream::connect(server.addr()).unwrap();
+    c.set_nodelay(true).unwrap();
+    for &b in &req {
+        c.write_all(&[b]).unwrap();
+        c.flush().unwrap();
+    }
+    let mut r = std::io::BufReader::new(c);
+    assert!(read_http_message(&mut r).unwrap().is_some());
+    server.shutdown();
+}

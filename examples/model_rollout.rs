@@ -17,7 +17,7 @@ use crayfish::tensor::Tensor;
 fn main() {
     // A registry-backed server with one model deployed.
     let registry = ModelRegistry::new(ServingConfig {
-        workers: 2,
+        replicas: 2,
         ..Default::default()
     });
     registry
