@@ -1,5 +1,11 @@
-//! The broker "cluster": topic registry, direct append/read, committed
-//! offsets.
+//! The broker cluster: topic registry, direct append/read, committed
+//! offsets, and the consumer-group coordinator.
+//!
+//! One `Broker` models a whole cluster: its [`ClusterConfig`] says how many
+//! nodes it has and how topics replicate across them (see
+//! [`crate::replication`] for the per-partition protocol). The default
+//! config is a single node with replication factor 1, which behaves exactly
+//! like the original unreplicated broker.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -9,11 +15,21 @@ use crayfish_sync::RwLock;
 
 use crayfish_sim::NetworkModel;
 
+use crate::cluster::ClusterConfig;
 use crate::error::BrokerError;
-use crate::topic::{FetchedRecord, Topic};
+use crate::replication::{ReplError, ReplicationStatus};
+use crate::topic::{FetchedRecord, ReplGauges, Topic};
 use crate::Result;
 
-/// The in-process broker. Shared between all clients via [`Arc`].
+/// Consumer-group coordinator state: a generation counter bumped on every
+/// membership change, plus the sorted member list assignments derive from.
+#[derive(Debug, Default)]
+struct GroupState {
+    generation: u64,
+    members: Vec<String>,
+}
+
+/// The in-process broker cluster. Shared between all clients via [`Arc`].
 ///
 /// Methods on `Broker` itself are *broker-side* and carry no network cost;
 /// the client abstractions ([`crate::Producer`],
@@ -22,11 +38,14 @@ use crate::Result;
 #[derive(Debug)]
 pub struct Broker {
     topics: RwLock<HashMap<String, Arc<Topic>>>,
+    /// Consumer-group membership and generations.
+    groups: RwLock<HashMap<String, GroupState>>,
     /// Committed offsets: (group, topic, partition) → next offset to read.
     offsets: RwLock<HashMap<(String, String, u32), u64>>,
     network: NetworkModel,
     obs: crayfish_obs::ObsHandle,
     chaos: crayfish_chaos::ChaosHandle,
+    cluster: ClusterConfig,
 }
 
 impl Broker {
@@ -42,22 +61,43 @@ impl Broker {
         Broker::with_parts(network, obs, crayfish_chaos::ChaosHandle::disabled())
     }
 
-    /// Full constructor: observability plus a chaos handle. A broker built
-    /// with a live chaos handle honours partition-outage and lost-ack fault
-    /// windows, and its clients (producer/consumer) honour stalls; with the
-    /// default disabled handle every chaos check is a single branch.
+    /// Observability plus a chaos handle, on the default single-node
+    /// cluster. A broker built with a live chaos handle honours
+    /// partition-outage, lost-ack, and node-liveness fault windows; with
+    /// the default disabled handle every chaos check is a single branch.
     pub fn with_parts(
         network: NetworkModel,
         obs: crayfish_obs::ObsHandle,
         chaos: crayfish_chaos::ChaosHandle,
     ) -> Arc<Broker> {
-        Arc::new(Broker {
+        // The default layout is always valid; unwrap-free by construction.
+        match Broker::with_cluster(network, obs, chaos, ClusterConfig::default()) {
+            Ok(b) => b,
+            Err(_) => unreachable!("default cluster config is valid"),
+        }
+    }
+
+    /// Full constructor: a replicated cluster. Topics created on this
+    /// broker are laid out per `cluster` (replica placement, ISR minimum);
+    /// chaos `LeaderKill`/`PartitionIsolate` windows then exercise
+    /// failover. Fails on an impossible layout (e.g. replication factor
+    /// above the node count).
+    pub fn with_cluster(
+        network: NetworkModel,
+        obs: crayfish_obs::ObsHandle,
+        chaos: crayfish_chaos::ChaosHandle,
+        cluster: ClusterConfig,
+    ) -> Result<Arc<Broker>> {
+        let cluster = cluster.validated()?;
+        Ok(Arc::new(Broker {
             topics: RwLock::new(HashMap::new()),
+            groups: RwLock::new(HashMap::new()),
             offsets: RwLock::new(HashMap::new()),
             network,
             obs,
             chaos,
-        })
+            cluster,
+        }))
     }
 
     /// The observability handle clients of this broker record into.
@@ -73,6 +113,11 @@ impl Broker {
     /// The network model clients of this broker should apply.
     pub fn network(&self) -> NetworkModel {
         self.network
+    }
+
+    /// The cluster layout topics are created with.
+    pub fn cluster(&self) -> &ClusterConfig {
+        &self.cluster
     }
 
     /// Create a topic with `partitions` partitions and default retention.
@@ -107,14 +152,30 @@ impl Broker {
                 partition: 0,
             });
         }
+        let mut topic = Topic::with_cluster(partitions, retention_bytes, &self.cluster);
+        if self.obs.is_enabled() {
+            topic.gauges = (0..partitions)
+                .map(|p| {
+                    let key = format!("{name}/{p}");
+                    ReplGauges {
+                        isr: self.obs.gauge_with("replication_isr_size", "partition", &key),
+                        hw_lag: self.obs.gauge_with("replication_hw_lag", "partition", &key),
+                        epoch: self
+                            .obs
+                            .gauge_with("replication_leader_epoch", "partition", &key),
+                        leader: self.obs.gauge_with("replication_leader", "partition", &key),
+                    }
+                })
+                .collect();
+            for (p, g) in topic.gauges.iter().enumerate() {
+                g.update(&topic.partitions[p].status());
+            }
+        }
         let mut topics = self.topics.write();
         if topics.contains_key(name) {
             return Err(BrokerError::TopicExists(name.to_string()));
         }
-        topics.insert(
-            name.to_string(),
-            Arc::new(Topic::with_retention(partitions, retention_bytes)),
-        );
+        topics.insert(name.to_string(), Arc::new(topic));
         Ok(())
     }
 
@@ -141,6 +202,26 @@ impl Broker {
         Ok(self.topic(name)?.partitions.len() as u32)
     }
 
+    fn map_repl(topic: &str, partition: u32, e: ReplError) -> BrokerError {
+        match e {
+            ReplError::NoLeader => BrokerError::Unavailable {
+                topic: topic.to_string(),
+                partition,
+            },
+            ReplError::Fenced { current } => BrokerError::FencedLeaderEpoch {
+                topic: topic.to_string(),
+                partition,
+                current,
+            },
+            ReplError::NotEnoughReplicas { isr, min_isr } => BrokerError::NotEnoughReplicas {
+                topic: topic.to_string(),
+                partition,
+                isr,
+                min_isr,
+            },
+        }
+    }
+
     /// Broker-side append (no client network cost). Returns the first
     /// assigned offset and the `LogAppendTime` stamp.
     pub fn append(
@@ -163,9 +244,10 @@ impl Broker {
                 partition,
             });
         }
-        let out = t.append(p, values);
-        self.chaos.note_success(crayfish_chaos::Domain::Broker);
-        Ok(out)
+        let (offset, stamp, _) = t
+            .append(&self.chaos, p, None, None, values)
+            .map_err(|e| Self::map_repl(topic, partition, e))?;
+        Ok((offset, stamp))
     }
 
     /// Idempotent append: like [`append`](Self::append) with a producer id
@@ -174,7 +256,14 @@ impl Broker {
     /// deduplicated instead of appended twice. During a network-degrade
     /// fault window the broker may deliberately "lose" the ack of a
     /// successful append and return `Unavailable` — the retry then lands in
-    /// the dedup window.
+    /// the dedup window, which is replicated and therefore holds across
+    /// leader failover too.
+    ///
+    /// The append is leader-epoch fenced: metadata (leader, epoch) is
+    /// fetched first and the append rejected with `FencedLeaderEpoch` if an
+    /// election slips in between — a demoted leader can never take a late
+    /// write. Producers treat the rejection as transient and retry against
+    /// the new leader.
     pub fn append_dedup(
         &self,
         topic: &str,
@@ -197,7 +286,18 @@ impl Broker {
                 partition,
             });
         }
-        let (offset, stamp, duplicates) = t.append_dedup(p, producer_id, first_seq, values);
+        let (_leader, epoch) = t.partitions[p]
+            .leader(&self.chaos)
+            .map_err(|e| Self::map_repl(topic, partition, e))?;
+        let (offset, stamp, duplicates) = t
+            .append(
+                &self.chaos,
+                p,
+                Some(epoch),
+                Some((producer_id, first_seq)),
+                values,
+            )
+            .map_err(|e| Self::map_repl(topic, partition, e))?;
         if duplicates > 0 {
             self.chaos.note_duplicates(duplicates);
             self.obs.counter("duplicates_dropped").add(duplicates);
@@ -210,11 +310,11 @@ impl Broker {
                 partition,
             });
         }
-        self.chaos.note_success(crayfish_chaos::Domain::Broker);
         Ok((offset, stamp))
     }
 
-    /// Broker-side read (no client network cost).
+    /// Broker-side read (no client network cost). Only committed records —
+    /// those below the partition's high watermark — are returned.
     pub fn read(
         &self,
         topic: &str,
@@ -237,14 +337,10 @@ impl Broker {
                 partition,
             });
         }
-        let out = t.read(p, offset, max_records, max_bytes);
-        if !out.is_empty() {
-            self.chaos.note_success(crayfish_chaos::Domain::Broker);
-        }
-        Ok(out)
+        Ok(t.read(&self.chaos, p, offset, max_records, max_bytes))
     }
 
-    /// Log-end offset of one partition.
+    /// Visible (committed) end offset of one partition: its high watermark.
     pub fn end_offset(&self, topic: &str, partition: u32) -> Result<u64> {
         let t = self.topic(topic)?;
         let p = partition as usize;
@@ -257,18 +353,30 @@ impl Broker {
         Ok(t.end_offset(p))
     }
 
-    /// Sum of log-end offsets across all partitions — total records in the
-    /// topic.
+    /// Sum of committed end offsets across all partitions — total records
+    /// in the topic.
     pub fn total_records(&self, topic: &str) -> Result<u64> {
         let t = self.topic(topic)?;
         Ok((0..t.partitions.len()).map(|p| t.end_offset(p)).sum())
     }
 
-    /// Commit a consumer group's next-offset for a partition.
+    /// Replication status of every partition of a topic, in partition
+    /// order (an observer snapshot; never triggers elections).
+    pub fn replication_status(&self, topic: &str) -> Result<Vec<ReplicationStatus>> {
+        let t = self.topic(topic)?;
+        Ok(t.partitions.iter().map(|p| p.status()).collect())
+    }
+
+    /// Commit a consumer group's next-offset for a partition. Commits are
+    /// monotonic: an attempt to move a committed offset backwards (a replay
+    /// racing a failover, or a rebalanced consumer that started behind) is
+    /// ignored, so committed progress never regresses.
     pub fn commit_offset(&self, group: &str, topic: &str, partition: u32, next: u64) {
-        self.offsets
-            .write()
-            .insert((group.to_string(), topic.to_string(), partition), next);
+        let mut offsets = self.offsets.write();
+        let slot = offsets
+            .entry((group.to_string(), topic.to_string(), partition))
+            .or_insert(0);
+        *slot = (*slot).max(next);
     }
 
     /// The committed next-offset for a group/partition (0 if none).
@@ -280,8 +388,8 @@ impl Broker {
             .unwrap_or(0)
     }
 
-    /// Total consumer lag of a group over a topic: log end minus committed,
-    /// summed over partitions.
+    /// Total consumer lag of a group over a topic: committed log end minus
+    /// committed consumer offset, summed over partitions.
     pub fn group_lag(&self, group: &str, topic: &str) -> Result<u64> {
         let partitions = self.partitions(topic)?;
         let mut lag = 0u64;
@@ -293,8 +401,108 @@ impl Broker {
         Ok(lag)
     }
 
+    // --- consumer-group coordinator --------------------------------------
+
+    /// Join (or re-confirm membership in) a consumer group. A new member
+    /// bumps the group generation, invalidating every other member's
+    /// assignment; returns the generation the member joined at.
+    pub fn join_group(&self, group: &str, member: &str) -> u64 {
+        let mut groups = self.groups.write();
+        let st = groups.entry(group.to_string()).or_default();
+        if !st.members.iter().any(|m| m == member) {
+            st.members.push(member.to_string());
+            st.members.sort();
+            st.generation += 1;
+            self.obs.counter("group_rebalances").inc();
+        }
+        st.generation
+    }
+
+    /// Leave a consumer group, bumping the generation so the remaining
+    /// members rebalance over the freed partitions.
+    pub fn leave_group(&self, group: &str, member: &str) {
+        let mut groups = self.groups.write();
+        if let Some(st) = groups.get_mut(group) {
+            if let Some(i) = st.members.iter().position(|m| m == member) {
+                st.members.remove(i);
+                st.generation += 1;
+                self.obs.counter("group_rebalances").inc();
+            }
+        }
+    }
+
+    /// Current generation of a group (0 if it has never had a member).
+    pub fn group_generation(&self, group: &str) -> u64 {
+        self.groups
+            .read()
+            .get(group)
+            .map(|st| st.generation)
+            .unwrap_or(0)
+    }
+
+    /// The partitions of `topic` assigned to `member` under the group's
+    /// current generation: a range assignment over the sorted member list,
+    /// recomputed deterministically by every member on every generation.
+    pub fn group_assignment(&self, group: &str, topic: &str, member: &str) -> Result<Vec<u32>> {
+        let partitions = self.partitions(topic)?;
+        let groups = self.groups.read();
+        let st = groups.get(group).ok_or_else(|| BrokerError::NotGroupMember {
+            group: group.to_string(),
+            member: member.to_string(),
+        })?;
+        let idx = st
+            .members
+            .iter()
+            .position(|m| m == member)
+            .ok_or_else(|| BrokerError::NotGroupMember {
+                group: group.to_string(),
+                member: member.to_string(),
+            })?;
+        let mut assignment = Self::range_assignment(partitions, st.members.len());
+        Ok(assignment.swap_remove(idx))
+    }
+
+    /// Commit a member's offsets, fenced by the generation it holds: a
+    /// commit from a stale generation is rejected with
+    /// `RebalanceInProgress`, so a consumer that lost partitions in a
+    /// rebalance cannot clobber the new owner's progress. (Combined with
+    /// monotonic [`commit_offset`](Self::commit_offset), committed offsets
+    /// never regress.)
+    pub fn commit_offsets_fenced(
+        &self,
+        group: &str,
+        topic: &str,
+        member: &str,
+        generation: u64,
+        offsets: &HashMap<u32, u64>,
+    ) -> Result<()> {
+        {
+            let groups = self.groups.read();
+            let st = groups.get(group).ok_or_else(|| BrokerError::NotGroupMember {
+                group: group.to_string(),
+                member: member.to_string(),
+            })?;
+            if !st.members.iter().any(|m| m == member) {
+                return Err(BrokerError::NotGroupMember {
+                    group: group.to_string(),
+                    member: member.to_string(),
+                });
+            }
+            if st.generation != generation {
+                return Err(BrokerError::RebalanceInProgress {
+                    group: group.to_string(),
+                });
+            }
+        }
+        for (&p, &next) in offsets {
+            self.commit_offset(group, topic, p, next);
+        }
+        Ok(())
+    }
+
     /// Static range assignment of `partitions` to `members` (the paper's
-    /// engines assign partitions to parallel tasks this way).
+    /// engines assign partitions to parallel tasks this way; the group
+    /// coordinator reuses it per generation).
     pub fn range_assignment(partitions: u32, members: usize) -> Vec<Vec<u32>> {
         let mut out = vec![Vec::new(); members.max(1)];
         for p in 0..partitions {
@@ -310,6 +518,16 @@ mod tests {
 
     fn broker() -> Arc<Broker> {
         Broker::new(NetworkModel::zero())
+    }
+
+    fn replicated_broker(chaos: crayfish_chaos::ChaosHandle) -> Arc<Broker> {
+        Broker::with_cluster(
+            NetworkModel::zero(),
+            crayfish_obs::ObsHandle::disabled(),
+            chaos,
+            ClusterConfig::replicated(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -346,6 +564,23 @@ mod tests {
     }
 
     #[test]
+    fn invalid_cluster_is_rejected() {
+        assert!(matches!(
+            Broker::with_cluster(
+                NetworkModel::zero(),
+                crayfish_obs::ObsHandle::disabled(),
+                crayfish_chaos::ChaosHandle::disabled(),
+                ClusterConfig {
+                    brokers: 2,
+                    replication_factor: 3,
+                    min_insync_replicas: 1
+                }
+            ),
+            Err(BrokerError::InvalidCluster(_))
+        ));
+    }
+
+    #[test]
     fn delete_topic_breaks_clients() {
         let b = broker();
         b.create_topic("t", 1).unwrap();
@@ -374,6 +609,18 @@ mod tests {
         assert_eq!(b.group_lag("g", "t").unwrap(), 1);
         assert_eq!(b.committed_offset("g", "t", 0), 2);
         assert_eq!(b.committed_offset("g", "t", 1), 0);
+    }
+
+    #[test]
+    fn commits_are_monotonic() {
+        let b = broker();
+        b.create_topic("t", 1).unwrap();
+        b.commit_offset("g", "t", 0, 5);
+        // A late commit from a demoted consumer cannot rewind progress.
+        b.commit_offset("g", "t", 0, 3);
+        assert_eq!(b.committed_offset("g", "t", 0), 5);
+        b.commit_offset("g", "t", 0, 8);
+        assert_eq!(b.committed_offset("g", "t", 0), 8);
     }
 
     #[test]
@@ -450,5 +697,108 @@ mod tests {
                 .unwrap();
         }
         assert_eq!(b.total_records("t").unwrap(), 3);
+    }
+
+    #[test]
+    fn replicated_topic_survives_leader_kill() {
+        let chaos = crayfish_chaos::ChaosHandle::enabled();
+        let b = replicated_broker(chaos.clone());
+        b.create_topic("t", 3).unwrap();
+        for p in 0..3 {
+            b.append_dedup("t", p, 1, 0, vec![(Bytes::from_static(b"a"), 0.0)])
+                .unwrap();
+        }
+        // Node 0 leads partition 0 (and follows the others).
+        chaos.set_broker_dead(0, true);
+        for p in 0..3 {
+            b.append_dedup("t", p, 1, 1, vec![(Bytes::from_static(b"b"), 0.0)])
+                .unwrap();
+            assert_eq!(b.read("t", p, 0, 10, usize::MAX).unwrap().len(), 2);
+        }
+        let status = b.replication_status("t").unwrap();
+        assert_eq!(status[0].leader, 1, "partition 0 failed over to node 1");
+        assert_eq!(status[0].epoch, 1);
+        assert_eq!(status[1].leader, 1, "partition 1 kept its leader");
+        assert_eq!(status[1].epoch, 0);
+        assert!(status.iter().all(|s| s.isr == 2));
+        chaos.set_broker_dead(0, false);
+        for p in 0..3 {
+            b.append_dedup("t", p, 1, 2, vec![(Bytes::from_static(b"c"), 0.0)])
+                .unwrap();
+        }
+        let status = b.replication_status("t").unwrap();
+        assert!(status.iter().all(|s| s.isr == 3), "node 0 rejoined ISRs");
+        assert_eq!(b.total_records("t").unwrap(), 9);
+    }
+
+    #[test]
+    fn replication_gauges_export_isr_and_epoch() {
+        let chaos = crayfish_chaos::ChaosHandle::enabled();
+        let obs = crayfish_obs::ObsHandle::enabled();
+        let b = Broker::with_cluster(
+            NetworkModel::zero(),
+            obs.clone(),
+            chaos.clone(),
+            ClusterConfig::replicated(),
+        )
+        .unwrap();
+        b.create_topic("t", 1).unwrap();
+        assert_eq!(obs.gauge_with("replication_isr_size", "partition", "t/0").get(), 3);
+        chaos.set_broker_dead(0, true);
+        b.append("t", 0, vec![(Bytes::from_static(b"a"), 0.0)])
+            .unwrap();
+        assert_eq!(obs.gauge_with("replication_isr_size", "partition", "t/0").get(), 2);
+        assert_eq!(obs.gauge_with("replication_leader_epoch", "partition", "t/0").get(), 1);
+        assert_eq!(obs.gauge_with("replication_leader", "partition", "t/0").get(), 1);
+        assert_eq!(obs.gauge_with("replication_hw_lag", "partition", "t/0").get(), 1);
+    }
+
+    #[test]
+    fn group_membership_drives_generation_and_assignment() {
+        let b = broker();
+        b.create_topic("t", 4).unwrap();
+        let g1 = b.join_group("g", "a");
+        assert_eq!(g1, 1);
+        assert_eq!(b.group_assignment("g", "t", "a").unwrap(), vec![0, 1, 2, 3]);
+        let g2 = b.join_group("g", "b");
+        assert_eq!(g2, 2);
+        assert_eq!(b.group_generation("g"), 2);
+        let a = b.group_assignment("g", "t", "a").unwrap();
+        let bb = b.group_assignment("g", "t", "b").unwrap();
+        let mut all: Vec<u32> = a.iter().chain(bb.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3], "disjoint cover of all partitions");
+        // Rejoining is idempotent: no spurious rebalance.
+        assert_eq!(b.join_group("g", "a"), 2);
+        b.leave_group("g", "a");
+        assert_eq!(b.group_generation("g"), 3);
+        assert_eq!(b.group_assignment("g", "t", "b").unwrap(), vec![0, 1, 2, 3]);
+        assert!(matches!(
+            b.group_assignment("g", "t", "a"),
+            Err(BrokerError::NotGroupMember { .. })
+        ));
+    }
+
+    #[test]
+    fn stale_generation_commits_are_fenced() {
+        let b = broker();
+        b.create_topic("t", 2).unwrap();
+        let gen_a = b.join_group("g", "a");
+        let offsets: HashMap<u32, u64> = [(0u32, 4u64)].into_iter().collect();
+        b.commit_offsets_fenced("g", "t", "a", gen_a, &offsets).unwrap();
+        assert_eq!(b.committed_offset("g", "t", 0), 4);
+        // A new member bumps the generation; the old one's commit bounces.
+        b.join_group("g", "b");
+        let late: HashMap<u32, u64> = [(0u32, 9u64)].into_iter().collect();
+        assert!(matches!(
+            b.commit_offsets_fenced("g", "t", "a", gen_a, &late),
+            Err(BrokerError::RebalanceInProgress { .. })
+        ));
+        assert_eq!(b.committed_offset("g", "t", 0), 4);
+        // Non-members cannot commit at all.
+        assert!(matches!(
+            b.commit_offsets_fenced("g", "t", "zz", 99, &late),
+            Err(BrokerError::NotGroupMember { .. })
+        ));
     }
 }

@@ -1,0 +1,139 @@
+//! Cluster topology: broker node ids and the replication configuration a
+//! topic's partitions are laid out with.
+//!
+//! The reproduction keeps the whole "cluster" in one process — nodes are a
+//! modelling construct, not OS processes — but the replication protocol
+//! between them is real: per-partition replicated logs, ISR tracking, a
+//! high watermark, leader-epoch fencing, and deterministic elections (see
+//! [`crate::replication`]). Chaos can kill or isolate any node id and the
+//! protocol must keep every committed record readable.
+
+use crate::error::BrokerError;
+use crate::Result;
+
+/// Identifier of one broker node in the modelled cluster.
+pub type BrokerId = u32;
+
+/// Replication configuration for a broker and the topics created on it.
+///
+/// The default (`brokers: 1, replication_factor: 1, min_insync_replicas: 1`)
+/// reproduces the original single-node broker exactly: every partition's
+/// ISR is just its leader and the high watermark equals the log end, so
+/// nothing changes for callers that never ask for replication.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Number of broker nodes records can be placed on.
+    pub brokers: u32,
+    /// Replicas (leader included) per partition. Kafka's
+    /// `replication.factor`; clamped to `brokers` at validation.
+    pub replication_factor: u32,
+    /// How many ISR members (leader included) must hold a record before it
+    /// is committed. Kafka's `min.insync.replicas` under `acks=all`: with
+    /// fewer in-sync replicas, appends fail with
+    /// [`BrokerError::NotEnoughReplicas`] instead of risking loss.
+    pub min_insync_replicas: u32,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            brokers: 1,
+            replication_factor: 1,
+            min_insync_replicas: 1,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// The fault-tolerant layout the chaos drills run on: 3 nodes,
+    /// replication factor 3, `min.insync.replicas = 2` — the classic Kafka
+    /// production setting that survives one dead node with zero loss.
+    pub fn replicated() -> Self {
+        ClusterConfig {
+            brokers: 3,
+            replication_factor: 3,
+            min_insync_replicas: 2,
+        }
+    }
+
+    /// Validate and normalise: at least one broker, replication factor in
+    /// `1..=brokers`, `min_insync_replicas` in `1..=replication_factor`.
+    pub fn validated(self) -> Result<ClusterConfig> {
+        if self.brokers == 0 || self.replication_factor == 0 || self.min_insync_replicas == 0 {
+            return Err(BrokerError::InvalidCluster(format!(
+                "cluster sizes must be non-zero: {self:?}"
+            )));
+        }
+        if self.replication_factor > self.brokers {
+            return Err(BrokerError::InvalidCluster(format!(
+                "replication factor {} exceeds broker count {}",
+                self.replication_factor, self.brokers
+            )));
+        }
+        if self.min_insync_replicas > self.replication_factor {
+            return Err(BrokerError::InvalidCluster(format!(
+                "min.insync.replicas {} exceeds replication factor {}",
+                self.min_insync_replicas, self.replication_factor
+            )));
+        }
+        Ok(self)
+    }
+
+    /// Replica placement for one partition: `replication_factor` distinct
+    /// nodes starting at `partition % brokers`, leader first. This is
+    /// Kafka's default round-robin assignment — consecutive partitions lead
+    /// on consecutive nodes, so load (and the blast radius of one dead
+    /// node) spreads across the cluster.
+    pub fn replica_set(&self, partition: u32) -> Vec<BrokerId> {
+        (0..self.replication_factor)
+            .map(|k| (partition + k) % self.brokers)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_single_node_layout() {
+        let c = ClusterConfig::default().validated().unwrap();
+        assert_eq!((c.brokers, c.replication_factor, c.min_insync_replicas), (1, 1, 1));
+        assert_eq!(c.replica_set(0), vec![0]);
+        assert_eq!(c.replica_set(7), vec![0]);
+    }
+
+    #[test]
+    fn replicated_layout_spreads_leaders() {
+        let c = ClusterConfig::replicated().validated().unwrap();
+        assert_eq!(c.replica_set(0), vec![0, 1, 2]);
+        assert_eq!(c.replica_set(1), vec![1, 2, 0]);
+        assert_eq!(c.replica_set(2), vec![2, 0, 1]);
+        assert_eq!(c.replica_set(3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn validation_rejects_impossible_layouts() {
+        assert!(ClusterConfig {
+            brokers: 2,
+            replication_factor: 3,
+            min_insync_replicas: 1
+        }
+        .validated()
+        .is_err());
+        assert!(ClusterConfig {
+            brokers: 3,
+            replication_factor: 2,
+            min_insync_replicas: 3
+        }
+        .validated()
+        .is_err());
+        assert!(ClusterConfig {
+            brokers: 0,
+            replication_factor: 1,
+            min_insync_replicas: 1
+        }
+        .validated()
+        .is_err());
+    }
+}

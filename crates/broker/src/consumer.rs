@@ -110,6 +110,7 @@ impl PartitionConsumer {
                 let p = self.assigned[(self.next_idx + k) % self.assigned.len()];
                 let offset = self.positions[&p];
                 let recs = topic.read(
+                    &self.chaos,
                     p as usize,
                     offset,
                     self.max_poll_records - out.len(),
@@ -131,17 +132,30 @@ impl PartitionConsumer {
                 self.broker.network().transfer(bytes);
                 self.fetch_requests.inc();
                 span.stop();
-                self.chaos.note_success(crayfish_chaos::Domain::Broker);
+                self.probe_recovery();
                 return Ok(out);
             }
             span.cancel();
             let now = crayfish_sim::now();
             if now >= deadline {
+                self.probe_recovery();
                 return Ok(Vec::new());
             }
             let waited = self.poll_wait.start();
             topic.wait_for_data(seen, deadline - now);
             self.poll_wait.observe_since(waited);
+        }
+    }
+
+    /// Broker-domain recovery probe: an incident opened by a broker fault
+    /// (outage, leader kill, partition isolation) counts as *recovered*
+    /// only once this consumer has fully caught up — committed lag back to
+    /// zero — not at the first successful poll after the fault window
+    /// lifts. MTTR therefore measures time-to-drained-backlog, matching
+    /// the paper's recovery definition.
+    fn probe_recovery(&self) {
+        if self.chaos.recovery_pending() && matches!(self.lag(), Ok(0)) {
+            self.chaos.note_success(crayfish_chaos::Domain::Broker);
         }
     }
 
@@ -169,6 +183,128 @@ impl PartitionConsumer {
             lag += self.broker.end_offset(&self.topic, p)?.saturating_sub(pos);
         }
         Ok(lag)
+    }
+}
+
+/// A consumer that participates in a broker-coordinated group: partitions
+/// are assigned by the group coordinator rather than statically, and every
+/// membership change (join/leave) triggers a rebalance.
+///
+/// On rebalance the consumer drops back to the group's *committed* offsets
+/// — uncommitted progress on partitions it loses is re-read by the new
+/// owner, preserving the at-least-once resume-from-committed contract. Its
+/// commits are generation-fenced: after losing partitions in a rebalance it
+/// can no longer clobber the new owner's progress.
+#[derive(Debug)]
+pub struct GroupConsumer {
+    inner: PartitionConsumer,
+    broker: Arc<Broker>,
+    topic: String,
+    group: String,
+    member: String,
+    generation: u64,
+    rebalances: crayfish_obs::Counter,
+}
+
+impl GroupConsumer {
+    /// Join `group` as `member` and take the coordinator's partition
+    /// assignment for `topic`, resuming from committed offsets. Joining
+    /// bumps the group generation, so existing members rebalance on their
+    /// next poll.
+    pub fn join(
+        broker: Arc<Broker>,
+        topic: &str,
+        group: &str,
+        member: &str,
+    ) -> Result<GroupConsumer> {
+        let generation = broker.join_group(group, member);
+        let assigned = broker.group_assignment(group, topic, member)?;
+        let inner = PartitionConsumer::new(broker.clone(), topic, group, assigned)?;
+        let rebalances = broker.obs().counter("consumer_rebalances");
+        Ok(GroupConsumer {
+            inner,
+            broker,
+            topic: topic.to_string(),
+            group: group.to_string(),
+            member: member.to_string(),
+            generation,
+            rebalances,
+        })
+    }
+
+    /// The generation this member's current assignment belongs to.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The currently assigned partitions.
+    pub fn assignment(&self) -> &[u32] {
+        self.inner.assignment()
+    }
+
+    /// Re-fetch the assignment if the group generation moved on. Returns
+    /// whether a rebalance happened.
+    fn rebalance_if_needed(&mut self) -> Result<bool> {
+        let current = self.broker.group_generation(&self.group);
+        if current == self.generation {
+            return Ok(false);
+        }
+        // Membership changed under us: rebuild from committed offsets. If
+        // another membership change slips in between these two calls the
+        // next poll simply rebalances again.
+        let assigned = self
+            .broker
+            .group_assignment(&self.group, &self.topic, &self.member)?;
+        self.inner = PartitionConsumer::new(self.broker.clone(), &self.topic, &self.group, assigned)?;
+        self.generation = self.broker.group_generation(&self.group);
+        self.rebalances.inc();
+        Ok(true)
+    }
+
+    /// Fetch available records, rebalancing first if the group membership
+    /// changed since the last call.
+    pub fn poll(&mut self, max_wait: Duration) -> Result<Vec<FetchedRecord>> {
+        self.rebalance_if_needed()?;
+        self.inner.poll(max_wait)
+    }
+
+    /// Commit current positions, fenced by this member's generation.
+    /// Returns `false` (after rebalancing locally) if the commit was
+    /// rejected because a rebalance intervened — the caller should re-poll;
+    /// the records it had in flight will be re-read from the committed
+    /// offsets by whoever now owns those partitions.
+    pub fn commit(&mut self) -> Result<bool> {
+        let mut offsets = HashMap::new();
+        for &p in self.inner.assignment() {
+            if let Some(pos) = self.inner.position(p) {
+                offsets.insert(p, pos);
+            }
+        }
+        match self.broker.commit_offsets_fenced(
+            &self.group,
+            &self.topic,
+            &self.member,
+            self.generation,
+            &offsets,
+        ) {
+            Ok(()) => Ok(true),
+            Err(crate::BrokerError::RebalanceInProgress { .. }) => {
+                self.rebalance_if_needed()?;
+                Ok(false)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Lag over the currently assigned partitions.
+    pub fn lag(&self) -> Result<u64> {
+        self.inner.lag()
+    }
+
+    /// Leave the group, bumping the generation so remaining members pick up
+    /// the freed partitions.
+    pub fn leave(self) {
+        self.broker.leave_group(&self.group, &self.member);
     }
 }
 
@@ -322,6 +458,113 @@ mod tests {
         chaos.set_consumer_stall(false);
         let recs = c.poll(Duration::from_millis(500)).unwrap();
         assert_eq!(recs.len(), 1, "records must survive the stall");
+    }
+
+    #[test]
+    fn catch_up_poll_closes_broker_incident() {
+        let (b, mut c, chaos) = chaos_setup();
+        for _ in 0..3 {
+            b.append("t", 0, vec![(Bytes::from_static(b"a"), 0.0)])
+                .unwrap();
+        }
+        let id = chaos.open_incident(crayfish_chaos::FaultKind::LeaderKill);
+        chaos.end_fault(id);
+        assert!(chaos.recovery_pending());
+        // First poll drains only part of the backlog: incident stays open.
+        c.max_poll_records = 1;
+        assert_eq!(c.poll(Duration::from_millis(50)).unwrap().len(), 1);
+        assert!(
+            chaos.recovery_pending(),
+            "MTTR must run to lag zero, not first successful poll"
+        );
+        c.max_poll_records = 500;
+        while !c.poll(Duration::from_millis(50)).unwrap().is_empty() {}
+        assert!(!chaos.recovery_pending(), "lag hit zero: incident closed");
+        let report = chaos.report();
+        assert_eq!(report.incidents.len(), 1);
+        assert!(report.incidents[0].mttr_ms.is_some());
+    }
+
+    #[test]
+    fn group_consumers_rebalance_and_resume_from_committed() {
+        let b = broker_with_topic(4);
+        let mut a = GroupConsumer::join(b.clone(), "t", "g", "a").unwrap();
+        assert_eq!(a.assignment(), &[0, 1, 2, 3]);
+        for p in 0..4 {
+            b.append("t", p, vec![(Bytes::from(vec![p as u8]), 0.0)])
+                .unwrap();
+        }
+        let mut got = 0;
+        while got < 4 {
+            got += a.poll(Duration::from_millis(100)).unwrap().len();
+        }
+        assert!(a.commit().unwrap());
+        // A second member joins: both rebalance, cover disjoint halves, and
+        // resume from the committed offsets (nothing is re-read).
+        let mut b2 = GroupConsumer::join(b.clone(), "t", "g", "b").unwrap();
+        assert!(a.poll(Duration::from_millis(20)).unwrap().is_empty());
+        assert_eq!(a.generation(), 2);
+        let mut all: Vec<u32> = a
+            .assignment()
+            .iter()
+            .chain(b2.assignment().iter())
+            .copied()
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+        assert!(b2.poll(Duration::from_millis(20)).unwrap().is_empty());
+        // New records flow to whichever member owns the partition.
+        for p in 0..4 {
+            b.append("t", p, vec![(Bytes::from(vec![p as u8]), 0.0)])
+                .unwrap();
+        }
+        let mut seen = 0;
+        while seen < 4 {
+            seen += a.poll(Duration::from_millis(50)).unwrap().len();
+            seen += b2.poll(Duration::from_millis(50)).unwrap().len();
+        }
+        assert!(a.commit().unwrap());
+        assert!(b2.commit().unwrap());
+        assert_eq!(b.group_lag("g", "t").unwrap(), 0);
+    }
+
+    #[test]
+    fn stale_member_commit_is_fenced_not_lost() {
+        let b = broker_with_topic(2);
+        let mut a = GroupConsumer::join(b.clone(), "t", "g", "a").unwrap();
+        for p in 0..2 {
+            b.append("t", p, vec![(Bytes::from_static(b"x"), 0.0)])
+                .unwrap();
+        }
+        let mut got = 0;
+        while got < 2 {
+            got += a.poll(Duration::from_millis(50)).unwrap().len();
+        }
+        // Membership changes before the commit: the stale-generation commit
+        // is fenced (returns false), committed offsets stay put, and the
+        // records are re-readable by the new assignment.
+        let _b2 = GroupConsumer::join(b.clone(), "t", "g", "b").unwrap();
+        assert!(!a.commit().unwrap());
+        assert_eq!(b.committed_offset("g", "t", 0), 0);
+        assert_eq!(b.group_lag("g", "t").unwrap(), 2);
+    }
+
+    #[test]
+    fn leaving_member_frees_partitions() {
+        let b = broker_with_topic(4);
+        let mut a = GroupConsumer::join(b.clone(), "t", "g", "a").unwrap();
+        let b2 = GroupConsumer::join(b.clone(), "t", "g", "b").unwrap();
+        a.poll(Duration::from_millis(10)).unwrap();
+        assert_eq!(a.assignment().len(), 2);
+        b2.leave();
+        a.poll(Duration::from_millis(10)).unwrap();
+        assert_eq!(a.assignment(), &[0, 1, 2, 3], "sole member takes all");
+    }
+
+    fn broker_with_topic(partitions: u32) -> Arc<Broker> {
+        let b = Broker::new(NetworkModel::zero());
+        b.create_topic("t", partitions).unwrap();
+        b
     }
 
     #[test]

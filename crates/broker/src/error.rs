@@ -42,13 +42,58 @@ pub enum BrokerError {
     /// A client-side fabric failure: a producer sender thread could not be
     /// spawned or panicked. Terminal for the client that hit it.
     Fabric(String),
+    /// The append carried a stale leader epoch: an election happened after
+    /// the producer fetched metadata. Transient — refresh and retry lands
+    /// on the new leader (where the replicated dedup window still applies).
+    FencedLeaderEpoch {
+        /// Topic name.
+        topic: String,
+        /// Partition.
+        partition: u32,
+        /// The epoch currently in force.
+        current: u64,
+    },
+    /// Fewer in-sync replicas than `min.insync.replicas`: the append was
+    /// refused rather than risk losing it on the next failover. Transient —
+    /// retried once a replica node returns and catches up.
+    NotEnoughReplicas {
+        /// Topic name.
+        topic: String,
+        /// Partition.
+        partition: u32,
+        /// Current ISR size.
+        isr: u32,
+        /// Required minimum.
+        min_isr: u32,
+    },
+    /// A replication configuration that cannot be laid out (for example a
+    /// replication factor above the broker count).
+    InvalidCluster(String),
+    /// A group operation raced a membership change: the caller's generation
+    /// is stale. Rejoin/re-fetch the assignment and retry.
+    RebalanceInProgress {
+        /// Consumer group.
+        group: String,
+    },
+    /// The caller is not (or no longer) a member of the consumer group.
+    NotGroupMember {
+        /// Consumer group.
+        group: String,
+        /// Member id.
+        member: String,
+    },
 }
 
 impl BrokerError {
     /// Whether retrying the operation can succeed. Producers retry
     /// transient errors with backoff; everything else is terminal.
     pub fn is_transient(&self) -> bool {
-        matches!(self, BrokerError::Unavailable { .. })
+        matches!(
+            self,
+            BrokerError::Unavailable { .. }
+                | BrokerError::FencedLeaderEpoch { .. }
+                | BrokerError::NotEnoughReplicas { .. }
+        )
     }
 }
 
@@ -74,6 +119,30 @@ impl fmt::Display for BrokerError {
                 write!(f, "partition {partition} of topic {topic} unavailable")
             }
             BrokerError::Fabric(msg) => write!(f, "client fabric failure: {msg}"),
+            BrokerError::FencedLeaderEpoch {
+                topic,
+                partition,
+                current,
+            } => write!(
+                f,
+                "stale leader epoch for {topic}/{partition} (current epoch {current})"
+            ),
+            BrokerError::NotEnoughReplicas {
+                topic,
+                partition,
+                isr,
+                min_isr,
+            } => write!(
+                f,
+                "{topic}/{partition} has {isr} in-sync replicas, {min_isr} required"
+            ),
+            BrokerError::InvalidCluster(msg) => write!(f, "invalid cluster config: {msg}"),
+            BrokerError::RebalanceInProgress { group } => {
+                write!(f, "group {group} is rebalancing; generation is stale")
+            }
+            BrokerError::NotGroupMember { group, member } => {
+                write!(f, "{member} is not a member of group {group}")
+            }
         }
     }
 }
@@ -92,13 +161,32 @@ mod tests {
     }
 
     #[test]
-    fn only_unavailable_is_transient() {
+    fn replication_rejections_are_transient_membership_is_not() {
         assert!(BrokerError::Unavailable {
             topic: "in".into(),
             partition: 0
         }
         .is_transient());
+        assert!(BrokerError::FencedLeaderEpoch {
+            topic: "in".into(),
+            partition: 0,
+            current: 3
+        }
+        .is_transient());
+        assert!(BrokerError::NotEnoughReplicas {
+            topic: "in".into(),
+            partition: 0,
+            isr: 1,
+            min_isr: 2
+        }
+        .is_transient());
         assert!(!BrokerError::UnknownTopic("in".into()).is_transient());
         assert!(!BrokerError::ProducerClosed.is_transient());
+        assert!(!BrokerError::RebalanceInProgress { group: "g".into() }.is_transient());
+        assert!(!BrokerError::NotGroupMember {
+            group: "g".into(),
+            member: "m".into()
+        }
+        .is_transient());
     }
 }

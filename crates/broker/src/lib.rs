@@ -16,7 +16,13 @@
 //!   whatever accumulated meanwhile), paying one modelled network hop per
 //!   request;
 //! * a [`consumer::PartitionConsumer`] with long-poll fetches, fetch-size
-//!   limits, and committed offsets per consumer group.
+//!   limits, and committed offsets per consumer group;
+//! * per-partition **replicated logs** across a modelled node cluster —
+//!   leader/follower replicas, ISR tracking, a high watermark gating
+//!   visibility, leader-epoch fencing, and deterministic failover (see
+//!   [`replication`] and [`cluster`]);
+//! * a broker-side consumer-group coordinator with generation-fenced
+//!   commits and rebalancing ([`consumer::GroupConsumer`]).
 //!
 //! The network between clients and the broker is the calibrated
 //! [`crayfish_sim::NetworkModel`] (the paper's 1 Gbps GCP LAN); pass
@@ -26,15 +32,19 @@
 #![forbid(unsafe_code)]
 
 pub mod broker;
+pub mod cluster;
 pub mod consumer;
 pub mod error;
 pub mod producer;
+pub mod replication;
 pub mod topic;
 
 pub use broker::Broker;
-pub use consumer::PartitionConsumer;
+pub use cluster::{BrokerId, ClusterConfig};
+pub use consumer::{GroupConsumer, PartitionConsumer};
 pub use error::BrokerError;
 pub use producer::{Producer, ProducerConfig};
+pub use replication::{ReplicatedPartition, ReplicationStatus};
 pub use topic::FetchedRecord;
 
 /// Crate-wide result alias.

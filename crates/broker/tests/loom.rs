@@ -50,3 +50,64 @@ fn committed_offsets_are_visible_after_the_commit() {
         assert_eq!(broker.committed_offset("g", "t", 0), 1);
     });
 }
+
+/// Two clients race to discover that the recorded leader's node is dead.
+/// Election must be idempotent under any interleaving: exactly one epoch
+/// bump, one election, and both observers agree on the same new leader.
+///
+/// The chaos switch is flipped *before* the threads spawn — the chaos crate
+/// uses raw parking_lot internally (invisible to loom's scheduler), so only
+/// the broker's own locks are part of the model.
+#[test]
+fn concurrent_election_elects_exactly_one_leader_per_epoch() {
+    use crayfish_broker::replication::ReplicatedPartition;
+
+    model(|| {
+        let chaos = crayfish_chaos::ChaosHandle::enabled();
+        chaos.set_broker_dead(0, true);
+        let p = std::sync::Arc::new(ReplicatedPartition::new(&[0, 1, 2], 1, usize::MAX));
+        let p2 = p.clone();
+        let c2 = chaos.clone();
+        let racer = thread::spawn(move || p2.leader(&c2).unwrap());
+        let here = p.leader(&chaos).unwrap();
+        let there = racer.join().unwrap();
+        assert_eq!(here, (1, 1), "lowest live ISR member at epoch 1");
+        assert_eq!(there, here, "both racers must agree on leader and epoch");
+        assert_eq!(p.status().elections, 1, "the election must happen once");
+    });
+}
+
+/// A fenced ex-leader's in-flight append can never land: an append carrying
+/// the pre-election epoch is rejected whether it runs before, during, or
+/// after the racing election — and the log gains no record from it.
+#[test]
+fn fenced_stale_epoch_append_never_lands() {
+    use crayfish_broker::replication::{ReplError, ReplicatedPartition};
+
+    model(|| {
+        let chaos = crayfish_chaos::ChaosHandle::enabled();
+        let p = std::sync::Arc::new(ReplicatedPartition::new(&[0, 1, 2], 1, usize::MAX));
+        // The soon-to-be-demoted leader captures epoch 0, then its node
+        // dies before the write reaches the log.
+        let (_, stale_epoch) = p.leader(&chaos).unwrap();
+        chaos.set_broker_dead(0, true);
+        let p2 = p.clone();
+        let c2 = chaos.clone();
+        let electing = thread::spawn(move || {
+            // Another client notices and triggers the election.
+            p2.leader(&c2).unwrap()
+        });
+        let write = p.append(
+            &chaos,
+            Some(stale_epoch),
+            None,
+            vec![(Bytes::from_static(b"late"), 0.0)],
+        );
+        assert!(
+            matches!(write, Err(ReplError::Fenced { current: 1 })),
+            "stale-epoch write must be fenced, got {write:?}"
+        );
+        electing.join().unwrap();
+        assert_eq!(p.high_watermark(), 0, "no record may land from a fenced write");
+    });
+}

@@ -51,6 +51,10 @@ pub struct ChaosCore {
     ack_loss_counter: AtomicU32,
     stalled: AtomicBool,
     pending_worker_crashes: AtomicU32,
+    any_broker_dead: AtomicBool,
+    dead_brokers: RwLock<HashSet<u32>>,
+    any_broker_isolated: AtomicBool,
+    isolated_brokers: RwLock<HashSet<u32>>,
     // --- incident bookkeeping for MTTR -----------------------------------
     /// Number of incidents whose window has ended but which have not yet
     /// seen a success in their domain. Gates the `note_success` fast path.
@@ -72,6 +76,10 @@ impl ChaosCore {
             ack_loss_counter: AtomicU32::new(0),
             stalled: AtomicBool::new(false),
             pending_worker_crashes: AtomicU32::new(0),
+            any_broker_dead: AtomicBool::new(false),
+            dead_brokers: RwLock::new(HashSet::new()),
+            any_broker_isolated: AtomicBool::new(false),
+            isolated_brokers: RwLock::new(HashSet::new()),
             closable: AtomicU32::new(0),
             incidents: Mutex::new(Vec::new()),
             duplicates_dropped: AtomicU64::new(0),
@@ -173,6 +181,42 @@ impl ChaosHandle {
         }
     }
 
+    /// Is this broker node currently killed (a `LeaderKill` window)? A dead
+    /// node cannot lead, follow, or be elected; its log survives (the analog
+    /// of a crashed Kafka broker whose disk persists).
+    pub fn broker_dead(&self, broker: u32) -> bool {
+        match &self.0 {
+            None => false,
+            Some(c) => {
+                c.any_broker_dead.load(Ordering::Relaxed) && c.dead_brokers.read().contains(&broker)
+            }
+        }
+    }
+
+    /// Is this broker node currently network-isolated from the cluster (a
+    /// `PartitionIsolate` window)? An isolated node drops out of every ISR
+    /// and cannot be elected; on heal it catches up and rejoins.
+    pub fn broker_isolated(&self, broker: u32) -> bool {
+        match &self.0 {
+            None => false,
+            Some(c) => {
+                c.any_broker_isolated.load(Ordering::Relaxed)
+                    && c.isolated_brokers.read().contains(&broker)
+            }
+        }
+    }
+
+    /// Whether any ended fault window is still waiting for its first
+    /// post-fault success. Consumers use this to gate the (lock-taking)
+    /// lag-zero recovery probe: when nothing is closable the probe is one
+    /// atomic load.
+    pub fn recovery_pending(&self) -> bool {
+        match &self.0 {
+            None => false,
+            Some(c) => c.closable.load(Ordering::Relaxed) > 0,
+        }
+    }
+
     // --- fault switches (called by the injector and by tests) -------------
 
     /// Put a topic into (or take it out of) partition outage.
@@ -219,6 +263,33 @@ impl ChaosHandle {
         }
     }
 
+    /// Kill (or revive) a broker node.
+    pub fn set_broker_dead(&self, broker: u32, on: bool) {
+        if let Some(c) = &self.0 {
+            let mut dead = c.dead_brokers.write();
+            if on {
+                dead.insert(broker);
+            } else {
+                dead.remove(&broker);
+            }
+            c.any_broker_dead.store(!dead.is_empty(), Ordering::Relaxed);
+        }
+    }
+
+    /// Isolate (or heal) a broker node's network link to the cluster.
+    pub fn set_broker_isolated(&self, broker: u32, on: bool) {
+        if let Some(c) = &self.0 {
+            let mut isolated = c.isolated_brokers.write();
+            if on {
+                isolated.insert(broker);
+            } else {
+                isolated.remove(&broker);
+            }
+            c.any_broker_isolated
+                .store(!isolated.is_empty(), Ordering::Relaxed);
+        }
+    }
+
     // --- incident bookkeeping ---------------------------------------------
 
     /// Record the start of a fault window. Returns an incident id for
@@ -256,6 +327,12 @@ impl ChaosHandle {
     /// unrecovered incident of that domain; MTTR is measured from fault
     /// start to this first post-fault success. No-op (one atomic load)
     /// when nothing is closable.
+    ///
+    /// What counts as "success" is the caller's contract. For the broker
+    /// domain it is *consumer lag reaching zero* (the consumer-side probe in
+    /// `PartitionConsumer::poll`), not the first successful append or fetch:
+    /// a fetch can succeed while a failover backlog is still draining, and
+    /// MTTR should cover the drain.
     pub fn note_success(&self, domain: Domain) {
         let Some(c) = &self.0 else { return };
         if c.closable.load(Ordering::Relaxed) == 0 {
@@ -369,6 +446,40 @@ mod tests {
         h.clear_net_degrade();
         assert!(h.extra_net_delay().is_none());
         assert!(!h.connection_reset_due());
+    }
+
+    #[test]
+    fn broker_death_and_isolation_toggle_independently() {
+        let h = ChaosHandle::enabled();
+        assert!(!h.broker_dead(0));
+        assert!(!h.broker_isolated(0));
+        h.set_broker_dead(0, true);
+        h.set_broker_isolated(2, true);
+        assert!(h.broker_dead(0));
+        assert!(!h.broker_dead(2));
+        assert!(h.broker_isolated(2));
+        assert!(!h.broker_isolated(0));
+        h.set_broker_dead(0, false);
+        h.set_broker_isolated(2, false);
+        assert!(!h.broker_dead(0));
+        assert!(!h.broker_isolated(2));
+        // Disabled handles never report a dead node.
+        let d = ChaosHandle::disabled();
+        d.set_broker_dead(1, true);
+        assert!(!d.broker_dead(1));
+    }
+
+    #[test]
+    fn recovery_pending_tracks_closable_incidents() {
+        let h = ChaosHandle::enabled();
+        assert!(!h.recovery_pending());
+        let id = h.open_incident(FaultKind::LeaderKill);
+        // Still inside the window: nothing closable yet.
+        assert!(!h.recovery_pending());
+        h.end_fault(id);
+        assert!(h.recovery_pending());
+        h.note_success(Domain::Broker);
+        assert!(!h.recovery_pending());
     }
 
     #[test]

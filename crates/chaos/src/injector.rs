@@ -35,6 +35,15 @@ pub struct InjectorConfig {
     pub ack_loss_every: u32,
     /// Worker-crash tokens armed at each `WorkerCrash` window start.
     pub crashes_per_window: u32,
+    /// Broker node killed during `LeaderKill` windows. Node 0 leads the
+    /// first partition of every topic under the default replica layout, so
+    /// killing it always forces at least one election on a replicated
+    /// cluster (and a full outage on a single-node one).
+    pub kill_broker: u32,
+    /// Broker node isolated during `PartitionIsolate` windows. Defaults to
+    /// node 2, a follower for most partitions of a replication-factor-3
+    /// layout (a no-op on clusters too small to have it).
+    pub isolate_broker: u32,
 }
 
 impl Default for InjectorConfig {
@@ -45,6 +54,8 @@ impl Default for InjectorConfig {
             reset_every: 4,
             ack_loss_every: 3,
             crashes_per_window: 1,
+            kill_broker: 0,
+            isolate_broker: 2,
         }
     }
 }
@@ -134,6 +145,12 @@ impl FaultInjector {
                                 FaultKind::WorkerCrash => {
                                     h.inject_worker_crashes(config.crashes_per_window)
                                 }
+                                FaultKind::LeaderKill => {
+                                    h.set_broker_dead(config.kill_broker, true)
+                                }
+                                FaultKind::PartitionIsolate => {
+                                    h.set_broker_isolated(config.isolate_broker, true)
+                                }
                             }
                         }
                         EventAction::End(i) => {
@@ -150,6 +167,12 @@ impl FaultInjector {
                                 FaultKind::NetworkDegrade => h.clear_net_degrade(),
                                 FaultKind::ConsumerStall => h.set_consumer_stall(false),
                                 FaultKind::WorkerCrash => {}
+                                FaultKind::LeaderKill => {
+                                    h.set_broker_dead(config.kill_broker, false)
+                                }
+                                FaultKind::PartitionIsolate => {
+                                    h.set_broker_isolated(config.isolate_broker, false)
+                                }
                             }
                             h.end_fault(incident_ids[i]);
                         }
@@ -160,6 +183,8 @@ impl FaultInjector {
                 h.set_topic_outage(&config.target_topic, false);
                 h.clear_net_degrade();
                 h.set_consumer_stall(false);
+                h.set_broker_dead(config.kill_broker, false);
+                h.set_broker_isolated(config.isolate_broker, false);
                 if stop2.load(Ordering::Relaxed) {
                     if let Some(f) = actions.on_serving_restore.as_mut() {
                         f();

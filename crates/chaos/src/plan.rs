@@ -29,16 +29,26 @@ pub enum FaultKind {
     /// An engine worker thread is crashed once at window start; the
     /// supervisor must restart it.
     WorkerCrash,
+    /// A broker node is killed for the window: partitions it led elect a
+    /// new leader from the ISR (replication factor permitting); on a
+    /// single-node cluster this is a total outage until the node returns.
+    LeaderKill,
+    /// A broker node is network-partitioned from the rest of the cluster
+    /// for the window: it drops out of every ISR and cannot be elected;
+    /// on heal it catches up and rejoins.
+    PartitionIsolate,
 }
 
 impl FaultKind {
     /// Every fault kind, in a fixed order.
-    pub const ALL: [FaultKind; 5] = [
+    pub const ALL: [FaultKind; 7] = [
         FaultKind::PartitionOutage,
         FaultKind::ServingCrash,
         FaultKind::NetworkDegrade,
         FaultKind::ConsumerStall,
         FaultKind::WorkerCrash,
+        FaultKind::LeaderKill,
+        FaultKind::PartitionIsolate,
     ];
 
     /// Stable lowercase name (used in reports and metric labels).
@@ -49,6 +59,8 @@ impl FaultKind {
             FaultKind::NetworkDegrade => "network_degrade",
             FaultKind::ConsumerStall => "consumer_stall",
             FaultKind::WorkerCrash => "worker_crash",
+            FaultKind::LeaderKill => "leader_kill",
+            FaultKind::PartitionIsolate => "partition_isolate",
         }
     }
 
@@ -57,7 +69,10 @@ impl FaultKind {
     /// the fault recovered.
     pub fn domain(&self) -> crate::handle::Domain {
         match self {
-            FaultKind::PartitionOutage | FaultKind::ConsumerStall => crate::handle::Domain::Broker,
+            FaultKind::PartitionOutage
+            | FaultKind::ConsumerStall
+            | FaultKind::LeaderKill
+            | FaultKind::PartitionIsolate => crate::handle::Domain::Broker,
             FaultKind::ServingCrash | FaultKind::NetworkDegrade => crate::handle::Domain::Serving,
             FaultKind::WorkerCrash => crate::handle::Domain::Engine,
         }

@@ -13,8 +13,11 @@ pub struct IncidentReport {
     pub start_ms: f64,
     /// When the fault window ended, if it did.
     pub end_ms: Option<f64>,
-    /// Mean time to recovery: fault start → first post-fault success in
-    /// the fault's domain. `None` if the fabric never proved recovery.
+    /// Mean time to recovery: fault start → the fault domain's recovery
+    /// criterion. For serving and engine faults that is the first
+    /// post-fault success; for broker faults it is the consumer's lag
+    /// returning to zero (backlog fully drained), not merely the first
+    /// successful poll. `None` if the fabric never proved recovery.
     pub mttr_ms: Option<f64>,
 }
 

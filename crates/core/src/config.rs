@@ -230,6 +230,10 @@ impl ExperimentConfig {
             obs: crate::obs::ObsHandle::disabled(),
             chaos: crate::chaos::ChaosHandle::disabled(),
             chaos_plan: crate::chaos::FaultPlan::empty(),
+            // Like the chaos handles, the cluster layout is programmatic:
+            // chaos drills opt into `ClusterConfig::replicated()` on the
+            // spec after `to_spec()`.
+            cluster: crayfish_broker::ClusterConfig::default(),
         })
     }
 }

@@ -54,6 +54,7 @@ pub use config::ExperimentConfig;
 pub use crayfish_obs::{ObsHandle, Stage};
 pub use error::CoreError;
 pub use processor::{DataProcessor, ProcessorContext, RunningJob};
+pub use crayfish_broker::ClusterConfig;
 pub use runner::{run_experiment, ExperimentResult, ExperimentSpec, ServingChoice};
 pub use scoring::{Scorer, ScorerSpec};
 pub use workload::Workload;

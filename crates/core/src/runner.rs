@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crayfish_broker::Broker;
+use crayfish_broker::{Broker, ClusterConfig};
 use crayfish_models::ModelSpec;
 use crayfish_runtime::{Device, EmbeddedLib};
 use crayfish_serving::{ExternalKind, ServingConfig};
@@ -96,6 +96,11 @@ pub struct ExperimentSpec {
     /// measurement window runs. Empty by default (no injector thread is
     /// spawned); ignored when `chaos` is disabled.
     pub chaos_plan: crate::chaos::FaultPlan,
+    /// Broker cluster layout. The default is a single node with
+    /// replication factor 1 (the unreplicated broker); chaos drills use
+    /// [`ClusterConfig::replicated`] so `LeaderKill` windows exercise
+    /// failover instead of a total outage.
+    pub cluster: ClusterConfig,
 }
 
 impl ExperimentSpec {
@@ -115,6 +120,7 @@ impl ExperimentSpec {
             obs: crate::obs::ObsHandle::disabled(),
             chaos: crate::chaos::ChaosHandle::disabled(),
             chaos_plan: crate::chaos::FaultPlan::empty(),
+            cluster: ClusterConfig::default(),
         }
     }
 }
@@ -187,7 +193,13 @@ pub fn run_experiment_with_graph(
     let input_topic = format!("crayfish-in-{run}");
     let output_topic = format!("crayfish-out-{run}");
 
-    let broker = Broker::with_parts(spec.network, spec.obs.clone(), spec.chaos.clone());
+    let broker = Broker::with_cluster(
+        spec.network,
+        spec.obs.clone(),
+        spec.chaos.clone(),
+        spec.cluster.clone(),
+    )
+    .map_err(|e| crate::CoreError::Config(format!("broker cluster: {e}")))?;
     broker.create_topic(&input_topic, spec.partitions)?;
     broker.create_topic(&output_topic, spec.partitions)?;
 

@@ -94,15 +94,17 @@ pub fn unwrap_in_pipeline(file: &SourceFile) -> Vec<Violation> {
 
 /// Lock-rank table. Rank = acquisition order: a lock may only be taken
 /// while every held lock has a *smaller* rank (outermost first). Broker:
-/// topic registry (10) → group offsets (20) → partition log (30) → topic
-/// version (40). Flink exchange: channel state (10) → (worker-set
-/// structures, unranked today, would slot above).
+/// topic registry (10) → group coordinator (15) → committed offsets (20) →
+/// replicated partition state (30) → topic version (40). Flink exchange:
+/// channel state (10) → (worker-set structures, unranked today, would slot
+/// above).
 fn lock_rank_of(rel: &str, receiver: &str) -> Option<(u32, &'static str)> {
     if rel.starts_with("crates/broker/") {
         match receiver {
             "topics" => Some((10, "broker topic registry")),
-            "offsets" => Some((20, "consumer group offsets")),
-            "partitions" => Some((30, "partition log")),
+            "groups" => Some((15, "consumer group coordinator")),
+            "offsets" => Some((20, "committed consumer offsets")),
+            "repl" => Some((30, "replicated partition state")),
             "version" => Some((40, "topic version")),
             _ => None,
         }

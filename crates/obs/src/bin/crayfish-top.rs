@@ -168,11 +168,14 @@ fn render(samples: &[Sample], prev_counters: &HashMap<String, f64>, elapsed: Dur
 
     render_resilience(samples);
     render_admission(samples);
+    render_replication(samples);
 
     let mut scalar_lines = Vec::new();
     for s in samples {
-        // Admission metrics get their own section above.
-        if s.name.starts_with("crayfish_admission_") {
+        // Admission and replication metrics get their own sections above.
+        if s.name.starts_with("crayfish_admission_")
+            || s.name.starts_with("crayfish_replication_")
+        {
             continue;
         }
         if let Some(base) = s.name.strip_suffix("_total") {
@@ -278,6 +281,44 @@ fn render_admission(samples: &[Sample]) {
     }
     if !lines.is_empty() {
         println!("\nADMISSION   {}", lines.join("  |  "));
+    }
+}
+
+/// Broker replication instruments (populated when topics live on a
+/// replicated cluster): one row per partition with its current leader node,
+/// leader epoch, ISR size out of the replica total, and how far the
+/// most-behind replica trails the high watermark. A shrunken ISR or nonzero
+/// lag flags a partition still recovering from a node fault.
+fn render_replication(samples: &[Sample]) {
+    // partition key -> (leader, epoch, isr, hw_lag)
+    let mut rows: HashMap<&str, (i64, i64, i64, i64)> = HashMap::new();
+    for s in samples {
+        let Some(partition) = s.label("partition") else {
+            continue;
+        };
+        let row = rows.entry(partition).or_insert((-1, 0, 0, 0));
+        match s.name.as_str() {
+            "crayfish_replication_leader" => row.0 = s.value as i64,
+            "crayfish_replication_leader_epoch" => row.1 = s.value as i64,
+            "crayfish_replication_isr_size" => row.2 = s.value as i64,
+            "crayfish_replication_hw_lag" => row.3 = s.value as i64,
+            _ => {}
+        }
+    }
+    if rows.is_empty() {
+        return;
+    }
+    let mut rows: Vec<_> = rows.into_iter().collect();
+    rows.sort_by_key(|(partition, _)| partition.to_string());
+    println!(
+        "\nREPLICATION {:<18} {:>7} {:>6} {:>4} {:>7}",
+        "PARTITION", "LEADER", "EPOCH", "ISR", "HW-LAG"
+    );
+    for (partition, (leader, epoch, isr, hw_lag)) in rows {
+        println!(
+            "            {:<18} {:>7} {:>6} {:>4} {:>7}",
+            partition, leader, epoch, isr, hw_lag
+        );
     }
 }
 

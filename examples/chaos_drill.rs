@@ -1,11 +1,12 @@
 //! Chaos drill: crash the fabric on purpose and read the recovery report.
 //!
-//! Runs one experiment with the full resilience layer on — restartable
-//! external serving behind the resilient client, idempotent producer,
-//! supervised engine workers — while a seeded fault plan injects a broker
-//! partition outage, a serving crash/restart, a network-degradation window,
-//! and a worker crash. The run must finish and the report must show every
-//! incident recovered.
+//! Runs one experiment with the full resilience layer on — a replicated
+//! 3-node broker cluster, restartable external serving behind the
+//! resilient client, idempotent producer, supervised engine workers —
+//! while a seeded fault plan injects a broker partition outage, a serving
+//! crash/restart, a network-degradation window, a worker crash, a leader
+//! kill (forcing per-partition failover), and a partition isolation. The
+//! run must finish and the report must show every incident recovered.
 //!
 //! ```sh
 //! cargo run --release --example chaos_drill [seed]
@@ -29,6 +30,8 @@ fn main() {
         FaultKind::ServingCrash,
         FaultKind::NetworkDegrade,
         FaultKind::WorkerCrash,
+        FaultKind::LeaderKill,
+        FaultKind::PartitionIsolate,
     ];
 
     let obs = ObsHandle::enabled();
@@ -45,6 +48,8 @@ fn main() {
     spec.obs = obs.clone();
     spec.chaos = ChaosHandle::enabled();
     spec.chaos_plan = FaultPlan::generate(seed, duration.mul_f64(0.8), &kinds);
+    // Node-level faults need somewhere to fail over to.
+    spec.cluster = ClusterConfig::replicated();
 
     println!(
         "chaos drill: seed {seed}, {} fault windows over {duration:?}",

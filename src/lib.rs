@@ -51,6 +51,7 @@ pub mod registry;
 /// The most common imports for writing experiments.
 pub mod prelude {
     pub use crate::registry;
+    pub use crayfish_broker::ClusterConfig;
     pub use crayfish_chaos::{ChaosHandle, FaultKind, FaultPlan, RecoveryReport, RetryPolicy};
     pub use crayfish_core::{
         run_experiment, DataProcessor, ExperimentResult, ExperimentSpec, ServingChoice, Workload,

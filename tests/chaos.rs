@@ -64,8 +64,17 @@ fn distinct(ids: &[u64]) -> HashSet<u64> {
 /// One matrix cell: run `proc` through a single `kind` window and assert
 /// no loss, bounded duplication, and a recovered incident.
 fn run_case(engine: &str, proc: &dyn DataProcessor, kind: FaultKind) {
+    run_case_on(engine, proc, kind, ClusterConfig::default());
+}
+
+/// [`run_case`] on an explicit broker cluster layout. Node-level faults
+/// (`LeaderKill`, `PartitionIsolate`) run on `ClusterConfig::replicated()`
+/// so the window forces failover instead of a total single-node outage.
+fn run_case_on(engine: &str, proc: &dyn DataProcessor, kind: FaultKind, cluster: ClusterConfig) {
     let chaos = ChaosHandle::enabled();
-    let broker = Broker::with_parts(NetworkModel::zero(), ObsHandle::disabled(), chaos.clone());
+    let broker =
+        Broker::with_cluster(NetworkModel::zero(), ObsHandle::disabled(), chaos.clone(), cluster)
+            .unwrap();
     broker.create_topic("in", 4).unwrap();
     broker.create_topic("out", 4).unwrap();
 
@@ -228,6 +237,153 @@ fn worker_crashes_are_survived_by_every_engine() {
     for (name, proc) in registry::all_processors() {
         run_case(name, proc.as_ref(), FaultKind::WorkerCrash);
     }
+}
+
+#[test]
+fn leader_kills_fail_over_on_every_engine() {
+    for (name, proc) in registry::all_processors() {
+        run_case_on(
+            name,
+            proc.as_ref(),
+            FaultKind::LeaderKill,
+            ClusterConfig::replicated(),
+        );
+    }
+}
+
+#[test]
+fn partition_isolation_is_survived_by_every_engine() {
+    for (name, proc) in registry::all_processors() {
+        run_case_on(
+            name,
+            proc.as_ref(),
+            FaultKind::PartitionIsolate,
+            ClusterConfig::replicated(),
+        );
+    }
+}
+
+/// The acceptance drill: kill the leader node of a replicated topic while a
+/// producer streams and a consumer group consumes; a second member joins
+/// mid-outage. Every record must arrive exactly once past the dedup layer,
+/// committed offsets must never regress, the group must rebalance, and the
+/// incident must report a finite MTTR. Deterministic for a fixed seed.
+#[test]
+fn leader_failover_drill_loses_nothing_and_rebalances() {
+    use crayfish::broker::GroupConsumer;
+
+    let seed = chaos_seed();
+    let chaos = ChaosHandle::enabled();
+    let broker = Broker::with_cluster(
+        NetworkModel::zero(),
+        ObsHandle::disabled(),
+        chaos.clone(),
+        ClusterConfig::replicated(),
+    )
+    .unwrap();
+    broker.create_topic("t", 4).unwrap();
+
+    const TOTAL: u64 = 120;
+    let mut producer = Producer::new(
+        broker.clone(),
+        "t",
+        ProducerConfig {
+            retry: RetryPolicy::patient(),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    let mut first = GroupConsumer::join(broker.clone(), "t", "drill", "a").unwrap();
+    let mut seen: Vec<u64> = Vec::new();
+    let mut committed_floor = [0u64; 4];
+
+    let drain = |c: &mut GroupConsumer, seen: &mut Vec<u64>| {
+        for r in c.poll(Duration::from_millis(20)).unwrap_or_default() {
+            seen.push(u64::from_le_bytes(r.value[..8].try_into().unwrap()));
+        }
+        let _ = c.commit();
+    };
+
+    let mut second: Option<GroupConsumer> = None;
+    let mut incident = None;
+    for id in 0..TOTAL {
+        producer.send(None, id.to_le_bytes().to_vec().into()).unwrap();
+        if id % 8 == seed % 8 {
+            producer.flush();
+        }
+        if id == TOTAL / 3 {
+            // Kill partition 0's leader (node 0) mid-stream.
+            incident = chaos.open_incident(FaultKind::LeaderKill);
+            chaos.set_broker_dead(0, true);
+        }
+        if id == TOTAL / 2 {
+            // Rebalance while the cluster is degraded.
+            second = Some(GroupConsumer::join(broker.clone(), "t", "drill", "b").unwrap());
+        }
+        if id == 2 * TOTAL / 3 {
+            // Node 0 returns; the incident window ends.
+            chaos.set_broker_dead(0, false);
+            chaos.end_fault(incident.take());
+        }
+        drain(&mut first, &mut seen);
+        if let Some(c) = second.as_mut() {
+            drain(c, &mut seen);
+        }
+        // Commits observed broker-side never move backwards.
+        for p in 0..4u32 {
+            let c = broker.committed_offset("drill", "t", p);
+            assert!(
+                c >= committed_floor[p as usize],
+                "partition {p}: committed offset regressed {} -> {c}",
+                committed_floor[p as usize]
+            );
+            committed_floor[p as usize] = c;
+        }
+    }
+    producer.flush();
+    drop(producer);
+
+    let drained = poll_until(Duration::from_secs(20), || {
+        // Keep draining both members until every id has been delivered.
+        drain(&mut first, &mut seen);
+        if let Some(c) = second.as_mut() {
+            drain(c, &mut seen);
+        }
+        distinct(&seen).len() as u64 >= TOTAL
+    });
+    assert!(drained, "only {} of {TOTAL} ids arrived", distinct(&seen).len());
+    assert_eq!(
+        seen.len() as u64,
+        TOTAL,
+        "duplicate deliveries past the dedup layer"
+    );
+
+    // The group really rebalanced: both members hold disjoint, non-empty
+    // assignments covering all four partitions.
+    let second = second.unwrap();
+    let mut parts: Vec<u32> = first
+        .assignment()
+        .iter()
+        .chain(second.assignment().iter())
+        .copied()
+        .collect();
+    parts.sort_unstable();
+    assert_eq!(parts, vec![0, 1, 2, 3]);
+    assert!(!first.assignment().is_empty() && !second.assignment().is_empty());
+
+    // Failover really happened: partition 0 moved off node 0 and back into
+    // a full ISR after the node returned.
+    let status = broker.replication_status("t").unwrap();
+    assert_eq!(status[0].leader, 1, "partition 0 must have failed over");
+    assert!(status[0].epoch >= 1);
+
+    let report = chaos.report();
+    assert_eq!(report.incidents.len(), 1, "{report}");
+    assert!(
+        report.incidents[0].mttr_ms.unwrap_or(-1.0) > 0.0,
+        "MTTR must be measured to lag-zero: {report}"
+    );
 }
 
 #[test]
