@@ -158,7 +158,9 @@ impl Broker {
                 .map(|p| {
                     let key = format!("{name}/{p}");
                     ReplGauges {
-                        isr: self.obs.gauge_with("replication_isr_size", "partition", &key),
+                        isr: self
+                            .obs
+                            .gauge_with("replication_isr_size", "partition", &key),
                         hw_lag: self.obs.gauge_with("replication_hw_lag", "partition", &key),
                         epoch: self
                             .obs
@@ -195,6 +197,14 @@ impl Broker {
             .get(name)
             .cloned()
             .ok_or_else(|| BrokerError::UnknownTopic(name.to_string()))
+    }
+
+    /// Names of every topic on this broker, sorted (a node-status snapshot
+    /// for multi-process failover decisions).
+    pub fn topic_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.topics.read().keys().cloned().collect();
+        names.sort();
+        names
     }
 
     /// Number of partitions of a topic.
@@ -446,18 +456,18 @@ impl Broker {
     pub fn group_assignment(&self, group: &str, topic: &str, member: &str) -> Result<Vec<u32>> {
         let partitions = self.partitions(topic)?;
         let groups = self.groups.read();
-        let st = groups.get(group).ok_or_else(|| BrokerError::NotGroupMember {
-            group: group.to_string(),
-            member: member.to_string(),
-        })?;
-        let idx = st
-            .members
-            .iter()
-            .position(|m| m == member)
+        let st = groups
+            .get(group)
             .ok_or_else(|| BrokerError::NotGroupMember {
                 group: group.to_string(),
                 member: member.to_string(),
             })?;
+        let idx = st.members.iter().position(|m| m == member).ok_or_else(|| {
+            BrokerError::NotGroupMember {
+                group: group.to_string(),
+                member: member.to_string(),
+            }
+        })?;
         let mut assignment = Self::range_assignment(partitions, st.members.len());
         Ok(assignment.swap_remove(idx))
     }
@@ -478,10 +488,12 @@ impl Broker {
     ) -> Result<()> {
         {
             let groups = self.groups.read();
-            let st = groups.get(group).ok_or_else(|| BrokerError::NotGroupMember {
-                group: group.to_string(),
-                member: member.to_string(),
-            })?;
+            let st = groups
+                .get(group)
+                .ok_or_else(|| BrokerError::NotGroupMember {
+                    group: group.to_string(),
+                    member: member.to_string(),
+                })?;
             if !st.members.iter().any(|m| m == member) {
                 return Err(BrokerError::NotGroupMember {
                     group: group.to_string(),
@@ -743,14 +755,34 @@ mod tests {
         )
         .unwrap();
         b.create_topic("t", 1).unwrap();
-        assert_eq!(obs.gauge_with("replication_isr_size", "partition", "t/0").get(), 3);
+        assert_eq!(
+            obs.gauge_with("replication_isr_size", "partition", "t/0")
+                .get(),
+            3
+        );
         chaos.set_broker_dead(0, true);
         b.append("t", 0, vec![(Bytes::from_static(b"a"), 0.0)])
             .unwrap();
-        assert_eq!(obs.gauge_with("replication_isr_size", "partition", "t/0").get(), 2);
-        assert_eq!(obs.gauge_with("replication_leader_epoch", "partition", "t/0").get(), 1);
-        assert_eq!(obs.gauge_with("replication_leader", "partition", "t/0").get(), 1);
-        assert_eq!(obs.gauge_with("replication_hw_lag", "partition", "t/0").get(), 1);
+        assert_eq!(
+            obs.gauge_with("replication_isr_size", "partition", "t/0")
+                .get(),
+            2
+        );
+        assert_eq!(
+            obs.gauge_with("replication_leader_epoch", "partition", "t/0")
+                .get(),
+            1
+        );
+        assert_eq!(
+            obs.gauge_with("replication_leader", "partition", "t/0")
+                .get(),
+            1
+        );
+        assert_eq!(
+            obs.gauge_with("replication_hw_lag", "partition", "t/0")
+                .get(),
+            1
+        );
     }
 
     #[test]
@@ -785,7 +817,8 @@ mod tests {
         b.create_topic("t", 2).unwrap();
         let gen_a = b.join_group("g", "a");
         let offsets: HashMap<u32, u64> = [(0u32, 4u64)].into_iter().collect();
-        b.commit_offsets_fenced("g", "t", "a", gen_a, &offsets).unwrap();
+        b.commit_offsets_fenced("g", "t", "a", gen_a, &offsets)
+            .unwrap();
         assert_eq!(b.committed_offset("g", "t", 0), 4);
         // A new member bumps the generation; the old one's commit bounces.
         b.join_group("g", "b");

@@ -98,7 +98,10 @@ mod tests {
     #[test]
     fn default_is_the_single_node_layout() {
         let c = ClusterConfig::default().validated().unwrap();
-        assert_eq!((c.brokers, c.replication_factor, c.min_insync_replicas), (1, 1, 1));
+        assert_eq!(
+            (c.brokers, c.replication_factor, c.min_insync_replicas),
+            (1, 1, 1)
+        );
         assert_eq!(c.replica_set(0), vec![0]);
         assert_eq!(c.replica_set(7), vec![0]);
     }

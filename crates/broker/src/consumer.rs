@@ -4,17 +4,20 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-use crate::broker::Broker;
+use crate::api::BrokerApi;
 use crate::topic::FetchedRecord;
 use crate::Result;
 
 /// A consumer with a static partition assignment (the engines assign
 /// partitions to parallel tasks themselves, see
-/// [`Broker::range_assignment`]). Fetches long-poll: a `poll` with no data
-/// available blocks on the topic's notifier until the deadline.
+/// [`crate::Broker::range_assignment`]). Fetches long-poll: a `poll` with
+/// no data available blocks on the topic's notifier until the deadline.
+///
+/// The consumer is written against [`BrokerApi`], so the same code fetches
+/// from an in-process broker or a remote one over TCP.
 #[derive(Debug)]
 pub struct PartitionConsumer {
-    broker: Arc<Broker>,
+    broker: Arc<dyn BrokerApi>,
     topic: String,
     group: String,
     assigned: Vec<u32>,
@@ -36,7 +39,7 @@ impl PartitionConsumer {
     /// Create a consumer over `assigned` partitions of `topic`, starting
     /// from the group's committed offsets (0 if none).
     pub fn new(
-        broker: Arc<Broker>,
+        broker: Arc<dyn BrokerApi>,
         topic: &str,
         group: &str,
         assigned: Vec<u32>,
@@ -50,7 +53,7 @@ impl PartitionConsumer {
                     partition: p,
                 });
             }
-            positions.insert(p, broker.committed_offset(group, topic, p));
+            positions.insert(p, broker.committed_offset(group, topic, p)?);
         }
         let obs = broker.obs().clone();
         let poll_wait = obs.histogram_ns("broker_poll_wait");
@@ -94,8 +97,7 @@ impl PartitionConsumer {
                 std::thread::sleep(Duration::from_millis(5).min(max_wait));
                 continue;
             }
-            let topic = self.broker.topic(&self.topic)?;
-            let seen = topic.current_version();
+            let seen = self.broker.topic_version(&self.topic)?;
             // Speculatively time the fetch; cancelled below if it turns out
             // to be an idle scan (no data), so `broker_fetch` only measures
             // work actually done on behalf of records.
@@ -109,13 +111,23 @@ impl PartitionConsumer {
                 }
                 let p = self.assigned[(self.next_idx + k) % self.assigned.len()];
                 let offset = self.positions[&p];
-                let recs = topic.read(
-                    &self.chaos,
-                    p as usize,
+                // A transient failure on one partition (outage window, a
+                // dropped remote connection) reads as "no data yet" there;
+                // the other partitions still serve.
+                let recs = match self.broker.read(
+                    &self.topic,
+                    p,
                     offset,
                     self.max_poll_records - out.len(),
                     self.max_fetch_bytes - bytes,
-                );
+                ) {
+                    Ok(recs) => recs,
+                    Err(e) if e.is_transient() => Vec::new(),
+                    Err(e) => {
+                        span.cancel();
+                        return Err(e);
+                    }
+                };
                 if let Some(last) = recs.last() {
                     self.positions.insert(p, last.offset + 1);
                 }
@@ -142,7 +154,15 @@ impl PartitionConsumer {
                 return Ok(Vec::new());
             }
             let waited = self.poll_wait.start();
-            topic.wait_for_data(seen, deadline - now);
+            match self.broker.wait_for_data(&self.topic, seen, deadline - now) {
+                Ok(_) => {}
+                // A transport drop mid-long-poll reads as an empty wait;
+                // back off briefly so a dead link does not spin the loop.
+                Err(e) if e.is_transient() => {
+                    std::thread::sleep(Duration::from_millis(5).min(max_wait))
+                }
+                Err(e) => return Err(e),
+            }
             self.poll_wait.observe_since(waited);
         }
     }
@@ -159,10 +179,13 @@ impl PartitionConsumer {
         }
     }
 
-    /// Commit current positions for this consumer's group.
+    /// Commit current positions for this consumer's group. Best-effort
+    /// under a failed transport: a commit the broker never saw just means
+    /// the committed offset lags and the records are re-read after a
+    /// restart — the at-least-once contract holds either way.
     pub fn commit(&self) {
         for (&p, &next) in &self.positions {
-            self.broker.commit_offset(&self.group, &self.topic, p, next);
+            let _ = self.broker.commit_offset(&self.group, &self.topic, p, next);
         }
     }
 
@@ -198,7 +221,7 @@ impl PartitionConsumer {
 #[derive(Debug)]
 pub struct GroupConsumer {
     inner: PartitionConsumer,
-    broker: Arc<Broker>,
+    broker: Arc<dyn BrokerApi>,
     topic: String,
     group: String,
     member: String,
@@ -212,12 +235,12 @@ impl GroupConsumer {
     /// bumps the group generation, so existing members rebalance on their
     /// next poll.
     pub fn join(
-        broker: Arc<Broker>,
+        broker: Arc<dyn BrokerApi>,
         topic: &str,
         group: &str,
         member: &str,
     ) -> Result<GroupConsumer> {
-        let generation = broker.join_group(group, member);
+        let generation = broker.join_group(group, member)?;
         let assigned = broker.group_assignment(group, topic, member)?;
         let inner = PartitionConsumer::new(broker.clone(), topic, group, assigned)?;
         let rebalances = broker.obs().counter("consumer_rebalances");
@@ -245,7 +268,7 @@ impl GroupConsumer {
     /// Re-fetch the assignment if the group generation moved on. Returns
     /// whether a rebalance happened.
     fn rebalance_if_needed(&mut self) -> Result<bool> {
-        let current = self.broker.group_generation(&self.group);
+        let current = self.broker.group_generation(&self.group)?;
         if current == self.generation {
             return Ok(false);
         }
@@ -255,8 +278,9 @@ impl GroupConsumer {
         let assigned = self
             .broker
             .group_assignment(&self.group, &self.topic, &self.member)?;
-        self.inner = PartitionConsumer::new(self.broker.clone(), &self.topic, &self.group, assigned)?;
-        self.generation = self.broker.group_generation(&self.group);
+        self.inner =
+            PartitionConsumer::new(self.broker.clone(), &self.topic, &self.group, assigned)?;
+        self.generation = self.broker.group_generation(&self.group)?;
         self.rebalances.inc();
         Ok(true)
     }
@@ -302,15 +326,17 @@ impl GroupConsumer {
     }
 
     /// Leave the group, bumping the generation so remaining members pick up
-    /// the freed partitions.
+    /// the freed partitions. Best-effort over a failed transport — a member
+    /// that cannot reach the coordinator is rebalanced away regardless.
     pub fn leave(self) {
-        self.broker.leave_group(&self.group, &self.member);
+        let _ = self.broker.leave_group(&self.group, &self.member);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::broker::Broker;
     use bytes::Bytes;
     use crayfish_sim::NetworkModel;
 

@@ -3,7 +3,13 @@
 use std::fmt;
 
 /// Errors returned by broker operations.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The enum derives `Serialize`/`Deserialize` so a broker-side failure
+/// round-trips *typed* through the RPC layer: a remote client matching on
+/// [`BrokerError::FencedLeaderEpoch`] or [`BrokerError::NotEnoughReplicas`]
+/// sees exactly the variant (and fields) the broker produced, never a
+/// stringified copy.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum BrokerError {
     /// The topic does not exist.
     UnknownTopic(String),
@@ -82,6 +88,18 @@ pub enum BrokerError {
         /// Member id.
         member: String,
     },
+    /// The node that received the request is not the cluster leader
+    /// (multi-process deployment). Transient — the client re-discovers the
+    /// leader and retries.
+    NotLeader {
+        /// The epoch the node last observed.
+        epoch: u64,
+    },
+    /// The RPC transport failed before a broker-side answer arrived
+    /// (connection refused/reset, malformed frame). Transient — clients
+    /// retry, and the broker's dedup window absorbs any append whose first
+    /// attempt actually landed.
+    Transport(String),
 }
 
 impl BrokerError {
@@ -93,6 +111,8 @@ impl BrokerError {
             BrokerError::Unavailable { .. }
                 | BrokerError::FencedLeaderEpoch { .. }
                 | BrokerError::NotEnoughReplicas { .. }
+                | BrokerError::NotLeader { .. }
+                | BrokerError::Transport(_)
         )
     }
 }
@@ -143,6 +163,10 @@ impl fmt::Display for BrokerError {
             BrokerError::NotGroupMember { group, member } => {
                 write!(f, "{member} is not a member of group {group}")
             }
+            BrokerError::NotLeader { epoch } => {
+                write!(f, "node is not the cluster leader (epoch {epoch})")
+            }
+            BrokerError::Transport(msg) => write!(f, "broker transport failure: {msg}"),
         }
     }
 }
@@ -180,6 +204,8 @@ mod tests {
             min_isr: 2
         }
         .is_transient());
+        assert!(BrokerError::NotLeader { epoch: 1 }.is_transient());
+        assert!(BrokerError::Transport("reset".into()).is_transient());
         assert!(!BrokerError::UnknownTopic("in".into()).is_transient());
         assert!(!BrokerError::ProducerClosed.is_transient());
         assert!(!BrokerError::RebalanceInProgress { group: "g".into() }.is_transient());

@@ -31,20 +31,28 @@
 
 #![forbid(unsafe_code)]
 
+pub mod api;
 pub mod broker;
 pub mod cluster;
 pub mod consumer;
 pub mod error;
+pub mod node;
 pub mod producer;
 pub mod replication;
+pub mod rpc;
 pub mod topic;
 
+pub use api::BrokerApi;
 pub use broker::Broker;
 pub use cluster::{BrokerId, ClusterConfig};
 pub use consumer::{GroupConsumer, PartitionConsumer};
 pub use error::BrokerError;
+pub use node::{
+    connect_cluster, probe_node, BrokerNode, ClusterTransport, NodeReply, NodeRequest, NodeStatus,
+};
 pub use producer::{Producer, ProducerConfig};
 pub use replication::{ReplicatedPartition, ReplicationStatus};
+pub use rpc::{BrokerReply, BrokerRequest, BrokerResponse, RemoteBroker};
 pub use topic::FetchedRecord;
 
 /// Crate-wide result alias.

@@ -1,0 +1,1180 @@
+//! Multi-process broker nodes: the replication protocol over a real wire.
+//!
+//! [`crate::replication`] models a replicated partition *inside* one
+//! process. This module puts each replica in its own process: a
+//! [`BrokerNode`] owns a plain local [`Broker`] (its log) and talks to its
+//! peers over [`Transport`]s, so leader-epoch fencing, `acks=all`
+//! replication, and producer dedup windows travel as wire frames instead
+//! of method calls.
+//!
+//! The protocol keeps the single invariant the in-process model proves:
+//! **the committed log is a prefix of every in-sync follower's log.** The
+//! leader replicates a batch to its followers *before* appending locally,
+//! and only acknowledges once `min_insync_replicas` copies (itself
+//! included) exist. A leader that cannot reach quorum fails the append
+//! with [`BrokerError::NotEnoughReplicas`] *without* appending locally —
+//! any follower that did take the batch holds a superset, and the
+//! producer's dedup window (replicated with the batch) makes the retry
+//! idempotent everywhere.
+//!
+//! Failover is client-driven and deterministic: [`ClusterTransport`]
+//! status-polls every node, picks the reachable replica with the longest
+//! log (ties to the lowest node id), and promotes it with a fresh epoch.
+//! Replication requests carry the leader's epoch; a node that has seen a
+//! higher one answers [`NodeReply::Fenced`], which demotes the stale
+//! leader — the split-brain story is the same as the in-process
+//! [`crate::replication::ReplicatedPartition`], just over TCP.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crayfish_net::{spawn_rpc_server, NetError, RpcHandler, ServerHandle, TcpTransport, Transport};
+use crayfish_sim::NetworkModel;
+use crayfish_sync::Mutex;
+
+use crate::broker::Broker;
+use crate::error::BrokerError;
+use crate::rpc::{self, BrokerReply, BrokerRequest, RemoteBroker, WireValue};
+use crate::Result;
+
+/// Upper bound on catch-up rounds per follower per append: each round
+/// moves the follower's log end forward, so this only trips on a
+/// pathologically diverged replica (which is then dropped from the ack
+/// count, not retried forever).
+const MAX_CATCH_UP_ROUNDS: u32 = 64;
+
+/// One node's view of itself, as answered to a `Status` probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeStatus {
+    /// Node id.
+    pub id: u32,
+    /// Highest leader epoch this node has observed.
+    pub epoch: u64,
+    /// Whether this node currently believes it is the leader.
+    pub is_leader: bool,
+    /// Sum of log-end offsets across all topic partitions — the
+    /// "caught-up-ness" metric failover elects on.
+    pub log_end_total: u64,
+}
+
+/// Inter-node (and client-to-node) wire messages.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum NodeRequest {
+    /// A client operation: an encoded [`BrokerRequest`], answered with an
+    /// encoded [`BrokerReply`]. Only the leader serves these.
+    Client {
+        /// Encoded [`BrokerRequest`].
+        payload: Vec<u8>,
+    },
+    /// Leader → follower: append `records` at `base`. Carries the
+    /// producer's dedup-window identity so retries stay idempotent on
+    /// every replica.
+    Replicate {
+        /// Leader epoch of the sender.
+        epoch: u64,
+        /// Topic name.
+        topic: String,
+        /// Topic partition count (lets a follower that missed the
+        /// `CreateTopic` materialise the topic before appending).
+        partitions: u32,
+        /// Partition.
+        partition: u32,
+        /// Leader's log end before this batch — the offset the first
+        /// record must land at.
+        base: u64,
+        /// Producer dedup-window id; `None` for non-idempotent appends
+        /// and catch-up traffic.
+        producer_id: Option<u64>,
+        /// Sequence of the first record in the producer's stream.
+        first_seq: u64,
+        /// The batch.
+        records: Vec<WireValue>,
+    },
+    /// Leader → follower: replicated topic creation.
+    CreateTopic {
+        /// Leader epoch of the sender.
+        epoch: u64,
+        /// Topic name.
+        name: String,
+        /// Partition count.
+        partitions: u32,
+        /// Retention override.
+        retention_bytes: Option<u64>,
+    },
+    /// Leader → follower: replicated topic deletion.
+    DeleteTopic {
+        /// Leader epoch of the sender.
+        epoch: u64,
+        /// Topic name.
+        name: String,
+    },
+    /// Leader → follower: replicated consumer-group commit positions
+    /// (best-effort — a missed commit re-reads, never loses).
+    CommitOffsets {
+        /// Leader epoch of the sender.
+        epoch: u64,
+        /// Consumer group.
+        group: String,
+        /// Topic name.
+        topic: String,
+        /// `(partition, next_offset)` pairs.
+        offsets: Vec<(u32, u64)>,
+    },
+    /// Failover: become leader at `epoch` (must exceed every epoch the
+    /// node has seen).
+    Promote {
+        /// The new epoch.
+        epoch: u64,
+    },
+    /// Liveness + election probe.
+    Status,
+}
+
+/// Replies to [`NodeRequest`]s.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum NodeReply {
+    /// Answer to a `Client` request: an encoded [`BrokerReply`].
+    Client {
+        /// Encoded [`BrokerReply`].
+        payload: Vec<u8>,
+    },
+    /// Replication (or replicated admin/commit) applied; the follower's
+    /// new log end for the partition.
+    Ack {
+        /// Follower log end after applying.
+        end: u64,
+    },
+    /// The follower's log does not line up with `base`; its actual end.
+    /// The leader responds with catch-up traffic.
+    Mismatch {
+        /// Follower's current log end.
+        end: u64,
+    },
+    /// The sender's epoch is stale; the receiver has seen `current`.
+    Fenced {
+        /// Highest epoch the receiver has observed.
+        current: u64,
+    },
+    /// The node accepted leadership at `epoch`.
+    Promoted {
+        /// The adopted epoch.
+        epoch: u64,
+    },
+    /// Status-probe answer.
+    Status(NodeStatus),
+    /// A node-level failure (malformed frame, local log error).
+    Error(BrokerError),
+}
+
+#[derive(Debug)]
+struct LeaderState {
+    epoch: u64,
+    is_leader: bool,
+}
+
+/// One broker process in a replicated cluster: a local log plus the
+/// replication protocol against its peers.
+pub struct BrokerNode {
+    id: u32,
+    min_isr: u32,
+    local: Arc<Broker>,
+    peers: Vec<(u32, Box<dyn Transport>)>,
+    state: Mutex<LeaderState>,
+    /// Serialises replicate-then-append so concurrent producers cannot
+    /// interleave between quorum and local apply.
+    append_gate: Mutex<()>,
+    obs: crayfish_obs::ObsHandle,
+    replications: crayfish_obs::Counter,
+    fencings: crayfish_obs::Counter,
+}
+
+impl std::fmt::Debug for BrokerNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BrokerNode")
+            .field("id", &self.id)
+            .field("min_isr", &self.min_isr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl BrokerNode {
+    /// A node with an empty local log and no peers. Node 0 conventionally
+    /// starts as leader at epoch 0 (see [`BrokerNode::make_leader`]).
+    pub fn new(
+        id: u32,
+        min_isr: u32,
+        obs: crayfish_obs::ObsHandle,
+        chaos: crayfish_chaos::ChaosHandle,
+    ) -> BrokerNode {
+        let local = Broker::with_parts(NetworkModel::zero(), obs.clone(), chaos);
+        BrokerNode {
+            id,
+            min_isr: min_isr.max(1),
+            local,
+            peers: Vec::new(),
+            state: Mutex::new(LeaderState {
+                epoch: 0,
+                is_leader: false,
+            }),
+            append_gate: Mutex::new(()),
+            replications: obs.counter("node_replications"),
+            fencings: obs.counter("node_fencings"),
+            obs,
+        }
+    }
+
+    /// Register a peer replica this node replicates to when leading.
+    pub fn add_peer(&mut self, id: u32, transport: Box<dyn Transport>) {
+        self.peers.push((id, transport));
+    }
+
+    /// Convenience: a TCP peer, tagged for chaos dead/isolated windows.
+    pub fn add_tcp_peer(&mut self, id: u32, addr: SocketAddr, chaos: crayfish_chaos::ChaosHandle) {
+        let transport = TcpTransport::with_instruments(addr, &self.obs, chaos)
+            .with_peer(id)
+            .with_read_timeout(Duration::from_secs(2));
+        self.add_peer(id, Box::new(transport));
+    }
+
+    /// Assume leadership at `epoch` without an election (bootstrap).
+    pub fn make_leader(&self, epoch: u64) {
+        let mut st = self.state.lock();
+        st.epoch = st.epoch.max(epoch);
+        st.is_leader = true;
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The node's local broker (its replica log). Tests and the node
+    /// binary use it for direct inspection; clients go through the wire.
+    pub fn local(&self) -> &Arc<Broker> {
+        &self.local
+    }
+
+    /// Current status snapshot.
+    pub fn status(&self) -> NodeStatus {
+        let (epoch, is_leader) = {
+            let st = self.state.lock();
+            (st.epoch, st.is_leader)
+        };
+        let mut total = 0u64;
+        for topic in self.local.topic_names() {
+            if let Ok(parts) = self.local.partitions(&topic) {
+                for p in 0..parts {
+                    total += self.local.end_offset(&topic, p).unwrap_or(0);
+                }
+            }
+        }
+        NodeStatus {
+            id: self.id,
+            epoch,
+            is_leader,
+            log_end_total: total,
+        }
+    }
+
+    /// Serve this node's protocol endpoint. Long-polls and replication
+    /// fan-out both park worker threads, so `workers` should comfortably
+    /// exceed the expected concurrent client count.
+    pub fn serve(self: Arc<Self>, addr: SocketAddr, workers: usize) -> Result<ServerHandle> {
+        let node = self.clone();
+        let handler: RpcHandler = Arc::new(move |frame: &[u8]| node.handle(frame));
+        spawn_rpc_server("broker-node", addr, workers, handler)
+            .map_err(|e| BrokerError::Transport(format!("node serve: {e}")))
+    }
+
+    /// Decode one request frame, run it, encode the reply.
+    pub fn handle(&self, frame: &[u8]) -> Vec<u8> {
+        let reply = match serde_json::from_slice::<NodeRequest>(frame) {
+            Ok(req) => self.dispatch(req),
+            Err(e) => NodeReply::Error(BrokerError::Transport(format!("bad node request: {e}"))),
+        };
+        serde_json::to_vec(&reply).unwrap_or_default()
+    }
+
+    fn dispatch(&self, req: NodeRequest) -> NodeReply {
+        match req {
+            NodeRequest::Client { payload } => {
+                let reply = self.client(&payload);
+                NodeReply::Client {
+                    payload: serde_json::to_vec(&reply).unwrap_or_default(),
+                }
+            }
+            NodeRequest::Replicate {
+                epoch,
+                topic,
+                partitions,
+                partition,
+                base,
+                producer_id,
+                first_seq,
+                records,
+            } => self.apply_replicate(
+                epoch,
+                &topic,
+                partitions,
+                partition,
+                base,
+                producer_id,
+                first_seq,
+                records,
+            ),
+            NodeRequest::CreateTopic {
+                epoch,
+                name,
+                partitions,
+                retention_bytes,
+            } => self.fenced(epoch, |node| {
+                let created = match retention_bytes {
+                    Some(bytes) => {
+                        node.local
+                            .create_topic_with_retention(&name, partitions, bytes as usize)
+                    }
+                    None => node.local.create_topic(&name, partitions),
+                };
+                match created {
+                    Ok(()) | Err(BrokerError::TopicExists(_)) => NodeReply::Ack { end: 0 },
+                    Err(e) => NodeReply::Error(e),
+                }
+            }),
+            NodeRequest::DeleteTopic { epoch, name } => {
+                self.fenced(epoch, |node| match node.local.delete_topic(&name) {
+                    Ok(()) | Err(BrokerError::UnknownTopic(_)) => NodeReply::Ack { end: 0 },
+                    Err(e) => NodeReply::Error(e),
+                })
+            }
+            NodeRequest::CommitOffsets {
+                epoch,
+                group,
+                topic,
+                offsets,
+            } => self.fenced(epoch, |node| {
+                // Best-effort by design: a missed group commit means a
+                // re-read after failover, never a lost record.
+                for (partition, next) in offsets {
+                    node.local.commit_offset(&group, &topic, partition, next);
+                }
+                NodeReply::Ack { end: 0 }
+            }),
+            NodeRequest::Promote { epoch } => self.promote(epoch),
+            NodeRequest::Status => NodeReply::Status(self.status()),
+        }
+    }
+
+    /// Epoch-gate a replicated mutation: adopt newer epochs (demoting
+    /// ourselves if we led), fence older ones.
+    fn fenced(&self, epoch: u64, apply: impl FnOnce(&BrokerNode) -> NodeReply) -> NodeReply {
+        {
+            let mut st = self.state.lock();
+            if epoch < st.epoch {
+                self.fencings.inc();
+                return NodeReply::Fenced { current: st.epoch };
+            }
+            if epoch > st.epoch {
+                st.epoch = epoch;
+                st.is_leader = false;
+            } else if st.is_leader {
+                // Same epoch from another claimed leader: split brain.
+                // Refuse — one of us will be promoted past the other.
+                self.fencings.inc();
+                return NodeReply::Fenced { current: st.epoch };
+            }
+        }
+        apply(self)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn apply_replicate(
+        &self,
+        epoch: u64,
+        topic: &str,
+        partitions: u32,
+        partition: u32,
+        base: u64,
+        producer_id: Option<u64>,
+        first_seq: u64,
+        records: Vec<WireValue>,
+    ) -> NodeReply {
+        self.fenced(epoch, |node| {
+            // A follower that missed the CreateTopic materialises it now;
+            // its log starts empty and the Mismatch path backfills.
+            if node.local.partitions(topic).is_err() {
+                let _ = node.local.create_topic(topic, partitions);
+            }
+            let end = match node.local.end_offset(topic, partition) {
+                Ok(end) => end,
+                Err(e) => return NodeReply::Error(e),
+            };
+            let values = rpc::unwire_values(records);
+            let appended = match producer_id {
+                Some(pid) => {
+                    if base > end {
+                        return NodeReply::Mismatch { end };
+                    }
+                    // base <= end: the dedup window decides. A batch this
+                    // replica already holds (it acked one the leader then
+                    // failed) dedups to its original offsets; a genuinely
+                    // new batch lands at `end`, which equals `base` once
+                    // the in-order producer has replayed the gap.
+                    node.local
+                        .append_dedup(topic, partition, pid, first_seq, values)
+                }
+                None => {
+                    if base != end {
+                        return NodeReply::Mismatch { end };
+                    }
+                    node.local.append(topic, partition, values)
+                }
+            };
+            match appended {
+                Ok(_) => match node.local.end_offset(topic, partition) {
+                    Ok(end) => NodeReply::Ack { end },
+                    Err(e) => NodeReply::Error(e),
+                },
+                Err(e) => NodeReply::Error(e),
+            }
+        })
+    }
+
+    fn promote(&self, epoch: u64) -> NodeReply {
+        let mut st = self.state.lock();
+        if epoch <= st.epoch {
+            self.fencings.inc();
+            return NodeReply::Fenced { current: st.epoch };
+        }
+        st.epoch = epoch;
+        st.is_leader = true;
+        NodeReply::Promoted { epoch }
+    }
+
+    /// Serve one client operation. Leader-only: every other node answers
+    /// [`BrokerError::NotLeader`] so clients fail over.
+    fn client(&self, payload: &[u8]) -> BrokerReply {
+        let epoch = {
+            let st = self.state.lock();
+            if !st.is_leader {
+                return BrokerReply::Err(BrokerError::NotLeader { epoch: st.epoch });
+            }
+            st.epoch
+        };
+        let req = match serde_json::from_slice::<BrokerRequest>(payload) {
+            Ok(req) => req,
+            Err(e) => return BrokerReply::Err(BrokerError::Transport(format!("bad request: {e}"))),
+        };
+        match req {
+            BrokerRequest::Append {
+                topic,
+                partition,
+                values,
+            } => self
+                .leader_append(epoch, &topic, partition, None, 0, values)
+                .into(),
+            BrokerRequest::AppendDedup {
+                topic,
+                partition,
+                producer_id,
+                first_seq,
+                values,
+            } => self
+                .leader_append(
+                    epoch,
+                    &topic,
+                    partition,
+                    Some(producer_id),
+                    first_seq,
+                    values,
+                )
+                .into(),
+            BrokerRequest::CreateTopic {
+                name,
+                partitions,
+                retention_bytes,
+            } => {
+                let reply = rpc::dispatch(
+                    self.local.as_ref(),
+                    BrokerRequest::CreateTopic {
+                        name: name.clone(),
+                        partitions,
+                        retention_bytes,
+                    },
+                );
+                if matches!(reply, BrokerReply::Ok(_)) {
+                    self.broadcast(&NodeRequest::CreateTopic {
+                        epoch,
+                        name,
+                        partitions,
+                        retention_bytes,
+                    });
+                }
+                reply
+            }
+            BrokerRequest::DeleteTopic { name } => {
+                let reply = rpc::dispatch(
+                    self.local.as_ref(),
+                    BrokerRequest::DeleteTopic { name: name.clone() },
+                );
+                if matches!(reply, BrokerReply::Ok(_)) {
+                    self.broadcast(&NodeRequest::DeleteTopic { epoch, name });
+                }
+                reply
+            }
+            BrokerRequest::CommitOffset {
+                group,
+                topic,
+                partition,
+                next,
+            } => {
+                let reply = rpc::dispatch(
+                    self.local.as_ref(),
+                    BrokerRequest::CommitOffset {
+                        group: group.clone(),
+                        topic: topic.clone(),
+                        partition,
+                        next,
+                    },
+                );
+                if matches!(reply, BrokerReply::Ok(_)) {
+                    self.broadcast(&NodeRequest::CommitOffsets {
+                        epoch,
+                        group,
+                        topic,
+                        offsets: vec![(partition, next)],
+                    });
+                }
+                reply
+            }
+            BrokerRequest::CommitOffsetsFenced {
+                group,
+                topic,
+                member,
+                generation,
+                offsets,
+            } => {
+                let reply = rpc::dispatch(
+                    self.local.as_ref(),
+                    BrokerRequest::CommitOffsetsFenced {
+                        group: group.clone(),
+                        topic: topic.clone(),
+                        member,
+                        generation,
+                        offsets: offsets.clone(),
+                    },
+                );
+                if matches!(reply, BrokerReply::Ok(_)) {
+                    self.broadcast(&NodeRequest::CommitOffsets {
+                        epoch,
+                        group,
+                        topic,
+                        offsets,
+                    });
+                }
+                reply
+            }
+            other => rpc::dispatch(self.local.as_ref(), other),
+        }
+    }
+
+    /// Best-effort fan-out of a replicated admin/commit mutation.
+    fn broadcast(&self, msg: &NodeRequest) {
+        for (_, transport) in &self.peers {
+            let _ = self.send_peer(transport.as_ref(), msg);
+        }
+    }
+
+    fn send_peer(&self, transport: &dyn Transport, msg: &NodeRequest) -> Result<NodeReply> {
+        let bytes = serde_json::to_vec(msg)
+            .map_err(|e| BrokerError::Transport(format!("encode node request: {e}")))?;
+        let raw = transport
+            .call(&bytes)
+            .map_err(|e| BrokerError::Transport(e.to_string()))?;
+        serde_json::from_slice::<NodeReply>(&raw)
+            .map_err(|e| BrokerError::Transport(format!("decode node reply: {e}")))
+    }
+
+    /// The quorum append: replicate to every reachable follower first,
+    /// then apply locally, then acknowledge. Failing quorum leaves the
+    /// local log untouched.
+    fn leader_append(
+        &self,
+        epoch: u64,
+        topic: &str,
+        partition: u32,
+        producer_id: Option<u64>,
+        first_seq: u64,
+        records: Vec<WireValue>,
+    ) -> Result<crate::rpc::BrokerResponse> {
+        let _gate = self.append_gate.lock();
+        let partitions = self.local.partitions(topic)?;
+        if partition >= partitions {
+            return Err(BrokerError::UnknownPartition {
+                topic: topic.to_string(),
+                partition,
+            });
+        }
+        let base = self.local.end_offset(topic, partition)?;
+        let mut acks = 1u32; // self
+        for (_, transport) in &self.peers {
+            match self.replicate_one(
+                transport.as_ref(),
+                epoch,
+                topic,
+                partitions,
+                partition,
+                base,
+                producer_id,
+                first_seq,
+                &records,
+            ) {
+                Ok(true) => acks += 1,
+                Ok(false) => {} // unreachable or diverged: out of the ack set
+                Err(e) => return Err(e), // fenced: we are not the leader
+            }
+        }
+        if acks < self.min_isr {
+            return Err(BrokerError::NotEnoughReplicas {
+                topic: topic.to_string(),
+                partition,
+                isr: acks,
+                min_isr: self.min_isr,
+            });
+        }
+        let values = rpc::unwire_values(records);
+        let (offset, append_time_ms) = match producer_id {
+            Some(pid) => self
+                .local
+                .append_dedup(topic, partition, pid, first_seq, values)?,
+            None => self.local.append(topic, partition, values)?,
+        };
+        Ok(crate::rpc::BrokerResponse::Appended {
+            offset,
+            append_time_ms,
+        })
+    }
+
+    /// Replicate one batch to one follower, backfilling any gap between
+    /// its log and ours. `Ok(true)` = acked, `Ok(false)` = unreachable or
+    /// unrecoverable (excluded from quorum), `Err` = we were fenced.
+    #[allow(clippy::too_many_arguments)]
+    fn replicate_one(
+        &self,
+        transport: &dyn Transport,
+        epoch: u64,
+        topic: &str,
+        partitions: u32,
+        partition: u32,
+        base: u64,
+        producer_id: Option<u64>,
+        first_seq: u64,
+        records: &[WireValue],
+    ) -> Result<bool> {
+        let mut rounds = 0u32;
+        loop {
+            self.replications.inc();
+            let msg = NodeRequest::Replicate {
+                epoch,
+                topic: topic.to_string(),
+                partitions,
+                partition,
+                base,
+                producer_id,
+                first_seq,
+                records: records.to_vec(),
+            };
+            let reply = match self.send_peer(transport, &msg) {
+                Ok(reply) => reply,
+                Err(_) => return Ok(false),
+            };
+            match reply {
+                NodeReply::Ack { .. } => return Ok(true),
+                NodeReply::Fenced { current } => return Err(self.fence(topic, partition, current)),
+                NodeReply::Mismatch { end } if end < base && rounds < MAX_CATCH_UP_ROUNDS => {
+                    rounds += 1;
+                    // Backfill [end, base) from our own log (all of it is
+                    // below `base`, hence already durable locally), then
+                    // retry the original batch.
+                    let missing = self.local.read(
+                        topic,
+                        partition,
+                        end,
+                        (base - end) as usize,
+                        usize::MAX,
+                    )?;
+                    if missing.is_empty() {
+                        // Retention already dropped the gap; the follower
+                        // cannot be made contiguous. Exclude it.
+                        return Ok(false);
+                    }
+                    let backfill_base = missing[0].offset;
+                    if backfill_base != end {
+                        return Ok(false);
+                    }
+                    let catch_up = NodeRequest::Replicate {
+                        epoch,
+                        topic: topic.to_string(),
+                        partitions,
+                        partition,
+                        base: backfill_base,
+                        producer_id: None,
+                        first_seq: 0,
+                        records: missing
+                            .into_iter()
+                            .map(|r| WireValue {
+                                value: r.value.to_vec(),
+                                produce_time_ms: r.produce_time_ms,
+                            })
+                            .collect(),
+                    };
+                    match self.send_peer(transport, &catch_up) {
+                        Ok(NodeReply::Ack { .. }) => continue,
+                        Ok(NodeReply::Fenced { current }) => {
+                            return Err(self.fence(topic, partition, current))
+                        }
+                        _ => return Ok(false),
+                    }
+                }
+                _ => return Ok(false),
+            }
+        }
+    }
+
+    /// A follower told us our epoch is stale: demote and surface the
+    /// fencing error (transient — the producer retries against the new
+    /// leader via client failover).
+    fn fence(&self, topic: &str, partition: u32, current: u64) -> BrokerError {
+        self.fencings.inc();
+        let mut st = self.state.lock();
+        st.epoch = st.epoch.max(current);
+        st.is_leader = false;
+        BrokerError::FencedLeaderEpoch {
+            topic: topic.to_string(),
+            partition,
+            current,
+        }
+    }
+}
+
+/// A [`Transport`] that fronts a whole node cluster: routes to the
+/// current leader, and on transport failure or a
+/// `NotLeader`/`FencedLeaderEpoch` answer performs the election — poll
+/// every node's status, pick the most caught-up reachable replica (ties
+/// to the lowest id), promote it with a fresh epoch, retry.
+///
+/// Wrapping it in a [`RemoteBroker`] (see [`connect_cluster`]) gives
+/// producers and consumers transparent leader failover.
+pub struct ClusterTransport {
+    nodes: Vec<(u32, Box<dyn Transport>)>,
+    leader: Mutex<usize>,
+    failovers: crayfish_obs::Counter,
+}
+
+impl std::fmt::Debug for ClusterTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterTransport")
+            .field("nodes", &self.nodes.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClusterTransport {
+    /// Front a set of `(node_id, transport)` endpoints. The first entry is
+    /// tried as leader until the cluster says otherwise.
+    pub fn new(
+        nodes: Vec<(u32, Box<dyn Transport>)>,
+        obs: &crayfish_obs::ObsHandle,
+    ) -> ClusterTransport {
+        ClusterTransport {
+            nodes,
+            leader: Mutex::new(0),
+            failovers: obs.counter("net_failovers"),
+        }
+    }
+
+    fn encode(msg: &NodeRequest) -> crayfish_net::Result<Vec<u8>> {
+        serde_json::to_vec(msg).map_err(|e| NetError::Frame(format!("encode: {e}")))
+    }
+
+    /// Synthesise an encoded `BrokerReply::Err` so the wrapping
+    /// [`RemoteBroker`] surfaces a typed broker error.
+    fn error_reply(e: BrokerError) -> crayfish_net::Result<Vec<u8>> {
+        serde_json::to_vec(&BrokerReply::Err(e))
+            .map_err(|e| NetError::Frame(format!("encode: {e}")))
+    }
+
+    /// Elect: status-poll everyone, adopt an existing max-epoch leader if
+    /// one answers, otherwise promote the longest log. Returns false if no
+    /// node was reachable.
+    fn failover(&self) -> bool {
+        self.failovers.inc();
+        let probe = match Self::encode(&NodeRequest::Status) {
+            Ok(bytes) => bytes,
+            Err(_) => return false,
+        };
+        let mut statuses: Vec<(usize, NodeStatus)> = Vec::new();
+        for (idx, (_, transport)) in self.nodes.iter().enumerate() {
+            if let Ok(raw) = transport.call(&probe) {
+                if let Ok(NodeReply::Status(status)) = serde_json::from_slice::<NodeReply>(&raw) {
+                    statuses.push((idx, status));
+                }
+            }
+        }
+        let Some(max_epoch) = statuses.iter().map(|(_, s)| s.epoch).max() else {
+            return false;
+        };
+        // An incumbent at the max epoch wins without an election (our
+        // failure may have been a blip, or another client already
+        // promoted).
+        if let Some(&(idx, _)) = statuses
+            .iter()
+            .filter(|(_, s)| s.is_leader && s.epoch == max_epoch)
+            .min_by_key(|(_, s)| s.id)
+        {
+            *self.leader.lock() = idx;
+            return true;
+        }
+        // Otherwise promote the most caught-up replica, ties to the
+        // lowest id — deterministic across racing clients.
+        let Some(&(idx, _)) = statuses
+            .iter()
+            .max_by_key(|(_, s)| (s.log_end_total, std::cmp::Reverse(s.id)))
+        else {
+            return false;
+        };
+        let promote = match Self::encode(&NodeRequest::Promote {
+            epoch: max_epoch + 1,
+        }) {
+            Ok(bytes) => bytes,
+            Err(_) => return false,
+        };
+        if let Ok(raw) = self.nodes[idx].1.call(&promote) {
+            // Any other reply is a fence: someone promoted past us
+            // mid-election; the next attempt's status poll adopts them.
+            if let Ok(NodeReply::Promoted { .. }) = serde_json::from_slice::<NodeReply>(&raw) {
+                *self.leader.lock() = idx;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl Transport for ClusterTransport {
+    fn call(&self, request: &[u8]) -> crayfish_net::Result<Vec<u8>> {
+        let wrapped = Self::encode(&NodeRequest::Client {
+            payload: request.to_vec(),
+        })?;
+        let attempts = self.nodes.len().max(1) * 2;
+        for attempt in 0..attempts {
+            let idx = *self.leader.lock();
+            let raw = match self.nodes[idx].1.call(&wrapped) {
+                Ok(raw) => raw,
+                Err(e) if e.is_transient() => {
+                    if !self.failover() && attempt + 1 == attempts {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            match serde_json::from_slice::<NodeReply>(&raw) {
+                Ok(NodeReply::Client { payload }) => {
+                    // Leadership errors trigger the election; everything
+                    // else flows through to the caller typed.
+                    if let Ok(BrokerReply::Err(e)) = serde_json::from_slice::<BrokerReply>(&payload)
+                    {
+                        if matches!(
+                            e,
+                            BrokerError::NotLeader { .. } | BrokerError::FencedLeaderEpoch { .. }
+                        ) {
+                            self.failover();
+                            std::thread::sleep(Duration::from_millis(20));
+                            continue;
+                        }
+                    }
+                    return Ok(payload);
+                }
+                Ok(NodeReply::Error(e)) => return Self::error_reply(e),
+                Ok(other) => {
+                    return Self::error_reply(BrokerError::Transport(format!(
+                        "unexpected node reply: {other:?}"
+                    )))
+                }
+                Err(e) => return Err(NetError::Frame(format!("decode node reply: {e}"))),
+            }
+        }
+        Self::error_reply(BrokerError::Transport(
+            "no leader reachable after failover attempts".to_string(),
+        ))
+    }
+}
+
+/// One-shot liveness/status probe of a node endpoint. `None` until the
+/// node's listener is up and answering the protocol — deployment code
+/// polls this before letting an experiment proceed.
+pub fn probe_node(addr: SocketAddr) -> Option<NodeStatus> {
+    let transport = TcpTransport::new(addr).with_read_timeout(Duration::from_secs(1));
+    let frame = serde_json::to_vec(&NodeRequest::Status).ok()?;
+    let raw = transport.call(&frame).ok()?;
+    match serde_json::from_slice::<NodeReply>(&raw) {
+        Ok(NodeReply::Status(status)) => Some(status),
+        _ => None,
+    }
+}
+
+/// A failover-aware [`BrokerApi`] client over TCP to a node cluster.
+pub fn connect_cluster(
+    addrs: &[(u32, SocketAddr)],
+    obs: crayfish_obs::ObsHandle,
+    chaos: crayfish_chaos::ChaosHandle,
+) -> Arc<RemoteBroker> {
+    let nodes: Vec<(u32, Box<dyn Transport>)> = addrs
+        .iter()
+        .map(|&(id, addr)| {
+            let t = TcpTransport::with_instruments(addr, &obs, chaos.clone())
+                .with_peer(id)
+                .with_read_timeout(Duration::from_secs(3));
+            (id, Box::new(t) as Box<dyn Transport>)
+        })
+        .collect();
+    let transport = ClusterTransport::new(nodes, &obs);
+    RemoteBroker::with_parts(Box::new(transport), obs, chaos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::BrokerApi;
+    use bytes::Bytes;
+
+    /// Shared node registry: transports resolve their peer at call time,
+    /// so a slot set to `None` behaves exactly like a SIGKILLed process
+    /// (connection refused) without any sockets.
+    type Registry = Arc<Mutex<Vec<Option<Arc<BrokerNode>>>>>;
+
+    struct RegistryTransport {
+        registry: Registry,
+        peer: u32,
+    }
+
+    impl Transport for RegistryTransport {
+        fn call(&self, request: &[u8]) -> crayfish_net::Result<Vec<u8>> {
+            let node = self.registry.lock()[self.peer as usize].clone();
+            match node {
+                Some(node) => Ok(node.handle(request)),
+                None => Err(NetError::Closed),
+            }
+        }
+    }
+
+    /// A 3-node cluster (min_isr = 2) with node 0 leading, plus a
+    /// failover-aware client — the full protocol, no sockets.
+    fn cluster() -> (Registry, Arc<RemoteBroker>) {
+        let obs = crayfish_obs::ObsHandle::disabled();
+        let chaos = crayfish_chaos::ChaosHandle::disabled();
+        let registry: Registry = Arc::new(Mutex::new(vec![None, None, None]));
+        for id in 0..3u32 {
+            let mut node = BrokerNode::new(id, 2, obs.clone(), chaos.clone());
+            for peer in 0..3u32 {
+                if peer != id {
+                    node.add_peer(
+                        peer,
+                        Box::new(RegistryTransport {
+                            registry: registry.clone(),
+                            peer,
+                        }),
+                    );
+                }
+            }
+            registry.lock()[id as usize] = Some(Arc::new(node));
+        }
+        node_at(&registry, 0).make_leader(0);
+        let fronts: Vec<(u32, Box<dyn Transport>)> = (0..3u32)
+            .map(|id| {
+                (
+                    id,
+                    Box::new(RegistryTransport {
+                        registry: registry.clone(),
+                        peer: id,
+                    }) as Box<dyn Transport>,
+                )
+            })
+            .collect();
+        let client =
+            RemoteBroker::with_parts(Box::new(ClusterTransport::new(fronts, &obs)), obs, chaos);
+        (registry, client)
+    }
+
+    fn node_at(registry: &Registry, id: u32) -> Arc<BrokerNode> {
+        registry.lock()[id as usize].clone().expect("node offline")
+    }
+
+    fn value(i: u8) -> Vec<(Bytes, f64)> {
+        vec![(Bytes::from(vec![i]), f64::from(i))]
+    }
+
+    #[test]
+    fn leader_replicates_before_acking() {
+        let (registry, client) = cluster();
+        client.create_topic("t", 1).expect("create");
+        client.append("t", 0, value(1)).expect("append");
+        // All three replicas hold the record — replication happened
+        // before the ack, not after.
+        for id in 0..3u32 {
+            let node = node_at(&registry, id);
+            assert_eq!(
+                node.local().end_offset("t", 0).expect("end"),
+                1,
+                "node {id} missing the committed record"
+            );
+        }
+    }
+
+    #[test]
+    fn quorum_failure_leaves_leader_log_untouched() {
+        let (registry, client) = cluster();
+        client.create_topic("t", 1).expect("create");
+        // Kill both followers: quorum (2) is unreachable.
+        registry.lock()[1] = None;
+        registry.lock()[2] = None;
+        match client.append("t", 0, value(1)) {
+            Err(BrokerError::NotEnoughReplicas { isr, min_isr, .. }) => {
+                assert_eq!((isr, min_isr), (1, 2));
+            }
+            other => panic!("expected NotEnoughReplicas, got {other:?}"),
+        }
+        // Nothing landed locally: a failed acks=all append is all-or-
+        // nothing on the leader.
+        assert_eq!(
+            node_at(&registry, 0)
+                .local()
+                .end_offset("t", 0)
+                .expect("end"),
+            0
+        );
+    }
+
+    #[test]
+    fn failover_promotes_a_caught_up_replica_with_zero_loss() {
+        let (registry, client) = cluster();
+        client.create_topic("t", 1).expect("create");
+        for i in 0..5u8 {
+            client
+                .append_dedup("t", 0, 7, u64::from(i), value(i))
+                .expect("append before failover");
+        }
+        // SIGKILL the leader.
+        registry.lock()[0] = None;
+        // The next append elects a new leader and lands there.
+        for i in 5..10u8 {
+            client
+                .append_dedup("t", 0, 7, u64::from(i), value(i))
+                .expect("append after failover");
+        }
+        let records =
+            BrokerApi::read(client.as_ref(), "t", 0, 0, 100, usize::MAX).expect("read back");
+        let ids: Vec<u8> = records.iter().map(|r| r.value[0]).collect();
+        assert_eq!(
+            ids,
+            (0..10u8).collect::<Vec<_>>(),
+            "loss or duplication across failover"
+        );
+        // Exactly one survivor claims leadership, at a bumped epoch.
+        let statuses: Vec<NodeStatus> = (1..3).map(|id| node_at(&registry, id).status()).collect();
+        assert_eq!(statuses.iter().filter(|s| s.is_leader).count(), 1);
+        assert!(statuses.iter().all(|s| s.epoch >= 1));
+    }
+
+    #[test]
+    fn retried_batch_dedups_across_failover() {
+        let (registry, client) = cluster();
+        client.create_topic("t", 1).expect("create");
+        client.append_dedup("t", 0, 9, 0, value(1)).expect("first");
+        // Leader dies; the producer (never having seen the ack, say)
+        // retries the same (producer_id, seq) batch against the new
+        // leader — which already holds it via replication.
+        registry.lock()[0] = None;
+        client.append_dedup("t", 0, 9, 0, value(1)).expect("retry");
+        let records =
+            BrokerApi::read(client.as_ref(), "t", 0, 0, 100, usize::MAX).expect("read back");
+        assert_eq!(records.len(), 1, "dedup window lost across failover");
+    }
+
+    #[test]
+    fn stale_leader_is_fenced_and_demotes() {
+        let (registry, client) = cluster();
+        client.create_topic("t", 1).expect("create");
+        client.append("t", 0, value(1)).expect("seed");
+        let old_leader = node_at(&registry, 0);
+        // Fail over while the old leader is merely unreachable, not dead.
+        registry.lock()[0] = None;
+        client
+            .append("t", 0, value(2))
+            .expect("append via new leader");
+        // The old leader comes back, still believing it leads at epoch 0.
+        registry.lock()[0] = Some(old_leader.clone());
+        assert!(old_leader.status().is_leader);
+        let req = serde_json::to_vec(&BrokerRequest::Append {
+            topic: "t".into(),
+            partition: 0,
+            values: vec![WireValue {
+                value: vec![9],
+                produce_time_ms: 0.0,
+            }],
+        })
+        .expect("encode");
+        let reply = old_leader.client(&req);
+        match reply {
+            BrokerReply::Err(BrokerError::FencedLeaderEpoch { current, .. }) => {
+                assert!(current >= 1);
+            }
+            other => panic!("expected fencing, got {other:?}"),
+        }
+        // Fencing demoted it; its zombie write never landed anywhere.
+        assert!(!old_leader.status().is_leader);
+        let records =
+            BrokerApi::read(client.as_ref(), "t", 0, 0, 100, usize::MAX).expect("read back");
+        assert_eq!(records.len(), 2);
+    }
+
+    #[test]
+    fn rejoining_follower_is_backfilled_on_next_append() {
+        let (registry, client) = cluster();
+        client.create_topic("t", 1).expect("create");
+        client.append("t", 0, value(0)).expect("seed");
+        // Follower 2 misses a batch...
+        let away = node_at(&registry, 2);
+        registry.lock()[2] = None;
+        client.append("t", 0, value(1)).expect("append while away");
+        assert_eq!(away.local().end_offset("t", 0).expect("end"), 1);
+        // ...rejoins, and the next replicated append backfills the gap.
+        registry.lock()[2] = Some(away.clone());
+        client
+            .append("t", 0, value(2))
+            .expect("append after rejoin");
+        assert_eq!(away.local().end_offset("t", 0).expect("end"), 3);
+        let caught_up = away
+            .local()
+            .read("t", 0, 0, 100, usize::MAX)
+            .expect("follower read");
+        let ids: Vec<u8> = caught_up.iter().map(|r| r.value[0]).collect();
+        assert_eq!(ids, vec![0, 1, 2], "backfill out of order");
+    }
+
+    #[test]
+    fn status_reports_caught_up_ness() {
+        let (registry, client) = cluster();
+        client.create_topic("t", 2).expect("create");
+        client.append("t", 0, value(1)).expect("a");
+        client.append("t", 1, value(2)).expect("b");
+        let status = node_at(&registry, 0).status();
+        assert_eq!(status.log_end_total, 2);
+        assert!(status.is_leader);
+        assert_eq!(status.id, 0);
+    }
+}

@@ -18,7 +18,7 @@ use crayfish_sync::{Arc, Condvar, Mutex};
 use crayfish_chaos::RetryPolicy;
 use crayfish_sim::{now_millis_f64, precise_sleep};
 
-use crate::broker::Broker;
+use crate::api::BrokerApi;
 use crate::error::BrokerError;
 use crate::Result;
 
@@ -63,7 +63,7 @@ struct AccState {
 
 #[derive(Debug)]
 struct Inner {
-    broker: Arc<Broker>,
+    broker: Arc<dyn BrokerApi>,
     topic: String,
     partitions: u32,
     config: ProducerConfig,
@@ -82,8 +82,14 @@ pub struct Producer {
 }
 
 impl Producer {
-    /// Create a producer for `topic`, spawning its sender thread.
-    pub fn new(broker: Arc<Broker>, topic: &str, config: ProducerConfig) -> Result<Producer> {
+    /// Create a producer for `topic`, spawning its sender thread. The
+    /// broker may be in-process or remote ([`crate::rpc::RemoteBroker`]);
+    /// the batching, retry, and dedup behaviour is identical either way.
+    pub fn new(
+        broker: Arc<dyn BrokerApi>,
+        topic: &str,
+        config: ProducerConfig,
+    ) -> Result<Producer> {
         let partitions = broker.partitions(topic)?;
         let inner = Arc::new(Inner {
             broker,
@@ -266,6 +272,7 @@ fn sender_loop(inner: &Inner) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::broker::Broker;
     use crayfish_sim::NetworkModel;
 
     fn setup(partitions: u32) -> (Arc<Broker>, Producer) {

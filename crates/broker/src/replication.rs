@@ -101,8 +101,10 @@ struct ReplState {
     replicas: Vec<ReplicaLog>,
 }
 
-/// Observer snapshot of one partition's replication state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Observer snapshot of one partition's replication state. Serializable so
+/// a remote client's `replication_status` sees the same typed snapshot an
+/// in-process observer gets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ReplicationStatus {
     /// Broker id of the current leader (which may be unreachable if no
     /// election has been triggered since it died).

@@ -79,7 +79,11 @@ impl Topic {
     /// broker always passes an explicit retention and cluster).
     #[cfg(test)]
     pub fn new(partitions: u32) -> Self {
-        Self::with_cluster(partitions, DEFAULT_RETENTION_BYTES, &ClusterConfig::default())
+        Self::with_cluster(
+            partitions,
+            DEFAULT_RETENTION_BYTES,
+            &ClusterConfig::default(),
+        )
     }
 
     pub fn with_cluster(partitions: u32, retention_bytes: usize, cluster: &ClusterConfig) -> Self {
@@ -210,7 +214,13 @@ mod tests {
         .unwrap()
     }
 
-    fn read(t: &Topic, partition: usize, offset: u64, max_r: usize, max_b: usize) -> Vec<FetchedRecord> {
+    fn read(
+        t: &Topic,
+        partition: usize,
+        offset: u64,
+        max_r: usize,
+        max_b: usize,
+    ) -> Vec<FetchedRecord> {
         t.read(&ChaosHandle::disabled(), partition, offset, max_r, max_b)
     }
 
@@ -244,7 +254,11 @@ mod tests {
     fn read_respects_limits_but_always_progresses() {
         let t = Topic::new(1);
         let big = Bytes::from(vec![0u8; 1000]);
-        append(&t, 0, vec![(big.clone(), 0.0), (big.clone(), 0.0), (big, 0.0)]);
+        append(
+            &t,
+            0,
+            vec![(big.clone(), 0.0), (big.clone(), 0.0), (big, 0.0)],
+        );
         // max_bytes smaller than one record: still returns one.
         let r = read(&t, 0, 0, 10, 10);
         assert_eq!(r.len(), 1);

@@ -108,6 +108,10 @@ fn fenced_stale_epoch_append_never_lands() {
             "stale-epoch write must be fenced, got {write:?}"
         );
         electing.join().unwrap();
-        assert_eq!(p.high_watermark(), 0, "no record may land from a fenced write");
+        assert_eq!(
+            p.high_watermark(),
+            0,
+            "no record may land from a fenced write"
+        );
     });
 }

@@ -10,6 +10,9 @@ use crayfish_broker::Broker;
 use crayfish_sim::NetworkModel;
 use proptest::prelude::*;
 
+/// Per-partition list of `(first_offset, batch_len)` observed by appenders.
+type SeenOffsets = Arc<Mutex<Vec<Vec<(u64, usize)>>>>;
+
 proptest! {
     // Each case spins up real threads; keep the case count bounded.
     #![proptest_config(ProptestConfig::with_cases(16))]
@@ -24,8 +27,7 @@ proptest! {
         let broker = Broker::new(NetworkModel::zero());
         broker.create_topic("t", partitions).unwrap();
         // (partition -> first offsets observed by appenders)
-        let seen: Arc<Mutex<Vec<Vec<(u64, usize)>>>> =
-            Arc::new(Mutex::new(vec![Vec::new(); partitions as usize]));
+        let seen: SeenOffsets = Arc::new(Mutex::new(vec![Vec::new(); partitions as usize]));
         let mut handles = Vec::new();
         for p in 0..producers {
             let broker = broker.clone();

@@ -155,7 +155,7 @@ pub mod testkit {
 
     use bytes::Bytes;
 
-    use crayfish_broker::Broker;
+    use crayfish_broker::BrokerApi;
     use crayfish_models::tiny;
     use crayfish_runtime::{Device, EmbeddedLib};
     use crayfish_sim::now_millis_f64;
@@ -168,7 +168,7 @@ pub mod testkit {
     /// The standard engine-test cell: fresh `partitions`-way `in`/`out`
     /// topics on `broker` and a context scoring with the embedded ONNX tiny
     /// MLP. Tests that need a different scorer overwrite `ctx.scorer`.
-    pub fn onnx_ctx(broker: Arc<Broker>, partitions: u32, mp: usize) -> ProcessorContext {
+    pub fn onnx_ctx(broker: Arc<dyn BrokerApi>, partitions: u32, mp: usize) -> ProcessorContext {
         broker.create_topic("in", partitions).unwrap();
         broker.create_topic("out", partitions).unwrap();
         ProcessorContext {
@@ -195,7 +195,7 @@ pub mod testkit {
 
     /// Append seeded payloads with ids `from..to`, spread round-robin over
     /// `topic`'s `partitions`.
-    pub fn feed_range(broker: &Broker, topic: &str, partitions: u32, from: u64, to: u64) {
+    pub fn feed_range(broker: &dyn BrokerApi, topic: &str, partitions: u32, from: u64, to: u64) {
         for id in from..to {
             broker
                 .append(
@@ -208,14 +208,14 @@ pub mod testkit {
     }
 
     /// [`feed_range`] from 0.
-    pub fn feed(broker: &Broker, topic: &str, partitions: u32, n: u64) {
+    pub fn feed(broker: &dyn BrokerApi, topic: &str, partitions: u32, n: u64) {
         feed_range(broker, topic, partitions, 0, n);
     }
 
     /// Read `topic` from the beginning until `done` says the batches read
     /// so far suffice (or `timeout` elapses) and return them in read order.
     fn drain_until(
-        broker: &Broker,
+        broker: &dyn BrokerApi,
         topic: &str,
         partitions: u32,
         timeout: Duration,
@@ -244,7 +244,7 @@ pub mod testkit {
     /// Drain until `expect` scored batches have appeared; duplicates —
     /// legal under at-least-once delivery — are included and counted.
     pub fn drain_scored(
-        broker: &Broker,
+        broker: &dyn BrokerApi,
         topic: &str,
         partitions: u32,
         expect: usize,
@@ -263,7 +263,7 @@ pub mod testkit {
     /// Drain until `expect` *distinct* ids have appeared, tolerant of the
     /// duplicates a crash-recovery replay produces.
     pub fn drain_distinct(
-        broker: &Broker,
+        broker: &dyn BrokerApi,
         topic: &str,
         partitions: u32,
         expect: usize,

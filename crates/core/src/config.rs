@@ -234,6 +234,7 @@ impl ExperimentConfig {
             // chaos drills opt into `ClusterConfig::replicated()` on the
             // spec after `to_spec()`.
             cluster: crayfish_broker::ClusterConfig::default(),
+            deployment: crate::deploy::DeploymentTopology::InProcess,
         })
     }
 }

@@ -8,7 +8,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use crayfish_broker::{Broker, PartitionConsumer};
+use crayfish_broker::{BrokerApi, PartitionConsumer};
 
 use crate::batch::ScoredBatch;
 use crate::Result;
@@ -32,7 +32,7 @@ pub struct OutputConsumer {
 
 impl OutputConsumer {
     /// Subscribe to every partition of `topic` under a metrics-only group.
-    pub fn new(broker: Arc<Broker>, topic: &str) -> Result<OutputConsumer> {
+    pub fn new(broker: Arc<dyn BrokerApi>, topic: &str) -> Result<OutputConsumer> {
         let partitions = broker.partitions(topic)?;
         let consumer =
             PartitionConsumer::new(broker, topic, "crayfish-metrics", (0..partitions).collect())?;
@@ -66,6 +66,7 @@ impl OutputConsumer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crayfish_broker::Broker;
     use crayfish_sim::{now_millis_f64, NetworkModel};
     use crayfish_tensor::Tensor;
 

@@ -1,0 +1,377 @@
+//! Deployment topologies: in-process (the default) or real child
+//! processes wired over TCP.
+//!
+//! The paper benchmarks clusters — brokers and engine workers on separate
+//! machines — while everything else in this repo runs inside one process
+//! for determinism. This module is the bridge: `MultiProcess` experiments
+//! spawn the `crayfish-node` broker binary per node and (optionally) the
+//! `crayfish-worker` engine binary per worker, then talk to them through
+//! the same [`BrokerApi`] seam the in-process broker implements. Workers
+//! that die are respawned and resume from their group's committed offsets,
+//! so a SIGKILL mid-stream costs recovery time, never data.
+
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crayfish_broker::{connect_cluster, RemoteBroker};
+
+use crate::processor::RunningJob;
+use crate::{CoreError, Result};
+
+/// Where an experiment's broker cluster and engine workers live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeploymentTopology {
+    /// Everything in this process (the deterministic default).
+    #[default]
+    InProcess,
+    /// Real child processes over TCP: `broker_nodes` replicated broker
+    /// processes (RF = nodes, quorum = majority), and `engine_workers`
+    /// scoring processes. With `engine_workers == 0` the engine under test
+    /// still runs in-process but speaks to the broker cluster over the
+    /// wire.
+    MultiProcess {
+        /// Broker node processes (node 0 bootstraps as leader).
+        broker_nodes: u32,
+        /// Engine worker processes; 0 keeps the engine in-process.
+        engine_workers: u32,
+    },
+}
+
+/// Environment variable naming the broker-node binary (tests set it from
+/// `CARGO_BIN_EXE_crayfish-node`).
+pub const NODE_BIN_ENV: &str = "CRAYFISH_NODE_BIN";
+/// Environment variable naming the engine-worker binary.
+pub const WORKER_BIN_ENV: &str = "CRAYFISH_WORKER_BIN";
+
+/// Find a companion binary: the env override first, then siblings of the
+/// current executable (`target/<profile>/` for binaries, one level up for
+/// test executables living in `deps/`).
+fn locate_bin(env_var: &str, name: &str) -> Result<PathBuf> {
+    if let Ok(p) = std::env::var(env_var) {
+        let p = PathBuf::from(p);
+        if p.is_file() {
+            return Ok(p);
+        }
+        return Err(CoreError::Config(format!(
+            "{env_var} points at {p:?}, which does not exist"
+        )));
+    }
+    let exe =
+        std::env::current_exe().map_err(|e| CoreError::Config(format!("current_exe: {e}")))?;
+    let file = format!("{name}{}", std::env::consts::EXE_SUFFIX);
+    let mut dir = exe.parent();
+    for _ in 0..2 {
+        if let Some(d) = dir {
+            let candidate = d.join(&file);
+            if candidate.is_file() {
+                return Ok(candidate);
+            }
+            dir = d.parent();
+        }
+    }
+    Err(CoreError::Config(format!(
+        "cannot locate the {name} binary; build it (cargo build --bins) or set {env_var}"
+    )))
+}
+
+/// Reserve `n` distinct loopback ports by binding then releasing them.
+/// Marginally racy, but child processes bind within milliseconds.
+fn free_addrs(n: u32) -> Result<Vec<SocketAddr>> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| {
+            TcpListener::bind("127.0.0.1:0")
+                .map_err(|e| CoreError::Config(format!("reserve port: {e}")))
+        })
+        .collect::<Result<_>>()?;
+    listeners
+        .iter()
+        .map(|l| {
+            l.local_addr()
+                .map_err(|e| CoreError::Config(format!("local_addr: {e}")))
+        })
+        .collect()
+}
+
+/// A running cluster of `crayfish-node` child processes.
+///
+/// Children are killed on [`BrokerCluster::shutdown`] or drop, so a
+/// panicking test never leaks broker processes.
+#[derive(Debug)]
+pub struct BrokerCluster {
+    children: Vec<(u32, Option<Child>)>,
+    addrs: Vec<(u32, SocketAddr)>,
+}
+
+impl BrokerCluster {
+    /// The node id → address table clients connect with.
+    pub fn addrs(&self) -> &[(u32, SocketAddr)] {
+        &self.addrs
+    }
+
+    /// A failover-aware client for this cluster.
+    pub fn client(
+        &self,
+        obs: crate::obs::ObsHandle,
+        chaos: crate::chaos::ChaosHandle,
+    ) -> Arc<RemoteBroker> {
+        connect_cluster(&self.addrs, obs, chaos)
+    }
+
+    /// SIGKILL one node (no graceful shutdown — this is the crash drill).
+    /// Returns false if the node is unknown or already dead.
+    pub fn kill_node(&mut self, id: u32) -> bool {
+        for (nid, child) in self.children.iter_mut() {
+            if *nid == id {
+                if let Some(mut c) = child.take() {
+                    let _ = c.kill();
+                    let _ = c.wait();
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Kill and reap every remaining node.
+    pub fn shutdown(&mut self) {
+        for (_, child) in self.children.iter_mut() {
+            if let Some(mut c) = child.take() {
+                let _ = c.kill();
+                let _ = c.wait();
+            }
+        }
+    }
+}
+
+impl Drop for BrokerCluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Spawn `nodes` broker processes on free loopback ports, fully meshed,
+/// node 0 bootstrapped as leader at epoch 0, and wait until every node
+/// answers a ping.
+pub fn spawn_broker_cluster(nodes: u32, min_isr: u32) -> Result<BrokerCluster> {
+    if nodes == 0 {
+        return Err(CoreError::Config("broker_nodes must be >= 1".into()));
+    }
+    let bin = locate_bin(NODE_BIN_ENV, "crayfish-node")?;
+    let ports = free_addrs(nodes)?;
+    let addrs: Vec<(u32, SocketAddr)> = (0..nodes).map(|i| (i, ports[i as usize])).collect();
+
+    let mut cluster = BrokerCluster {
+        children: Vec::new(),
+        addrs: addrs.clone(),
+    };
+    for &(id, addr) in &addrs {
+        let mut cmd = Command::new(&bin);
+        cmd.arg("--id")
+            .arg(id.to_string())
+            .arg("--listen")
+            .arg(addr.to_string())
+            .arg("--min-isr")
+            .arg(min_isr.to_string())
+            .stdin(Stdio::null());
+        if id == 0 {
+            cmd.arg("--leader");
+        }
+        for &(pid, paddr) in &addrs {
+            if pid != id {
+                cmd.arg("--peer").arg(format!("{pid}={paddr}"));
+            }
+        }
+        let child = cmd
+            .spawn()
+            .map_err(|e| CoreError::Config(format!("spawn {bin:?}: {e}")))?;
+        cluster.children.push((id, Some(child)));
+    }
+
+    // Readiness: every node must answer a status probe before the
+    // experiment starts, or topic creation races the listeners coming up.
+    let deadline = crayfish_sim::now() + Duration::from_secs(10);
+    for &(id, addr) in &addrs {
+        loop {
+            if crayfish_broker::probe_node(addr).is_some() {
+                break;
+            }
+            if crayfish_sim::now() >= deadline {
+                return Err(CoreError::Config(format!(
+                    "broker node {id} at {addr} did not become ready"
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+    }
+    Ok(cluster)
+}
+
+/// Everything a `crayfish-worker` child needs on its command line.
+#[derive(Debug, Clone)]
+pub struct WorkerFleetSpec {
+    /// The broker cluster the workers connect to.
+    pub nodes: Vec<(u32, SocketAddr)>,
+    /// Input topic (scored from committed offsets).
+    pub input_topic: String,
+    /// Output topic.
+    pub output_topic: String,
+    /// Consumer group (shared by all workers of the fleet).
+    pub group: String,
+    /// Partition count of the input topic (split round-robin).
+    pub partitions: u32,
+    /// Model name (`crayfish_models::ModelSpec::by_name`).
+    pub model: String,
+    /// Weight seed.
+    pub seed: u64,
+    /// Worker process count.
+    pub workers: u32,
+}
+
+struct WorkerProc {
+    args: Vec<String>,
+    child: Option<Child>,
+}
+
+/// Spawn the worker fleet and return the supervised job handle. A worker
+/// that exits while the job runs (crash, SIGKILL) is respawned with the
+/// same arguments and resumes from committed offsets; each respawn
+/// increments the `worker_process_restarts` counter.
+pub fn spawn_workers(
+    spec: &WorkerFleetSpec,
+    obs: &crate::obs::ObsHandle,
+) -> Result<Box<dyn RunningJob>> {
+    if spec.workers == 0 {
+        return Err(CoreError::Config("engine_workers must be >= 1".into()));
+    }
+    let bin = locate_bin(WORKER_BIN_ENV, "crayfish-worker")?;
+    let nodes_arg = spec
+        .nodes
+        .iter()
+        .map(|(id, addr)| format!("{id}={addr}"))
+        .collect::<Vec<_>>()
+        .join(",");
+    let mut procs = Vec::new();
+    for w in 0..spec.workers {
+        let mine: Vec<String> = (0..spec.partitions)
+            .filter(|p| p % spec.workers == w)
+            .map(|p| p.to_string())
+            .collect();
+        if mine.is_empty() {
+            continue; // more workers than partitions
+        }
+        let args = vec![
+            "--nodes".into(),
+            nodes_arg.clone(),
+            "--input".into(),
+            spec.input_topic.clone(),
+            "--output".into(),
+            spec.output_topic.clone(),
+            "--group".into(),
+            spec.group.clone(),
+            "--partitions".into(),
+            mine.join(","),
+            "--model".into(),
+            spec.model.clone(),
+            "--seed".into(),
+            spec.seed.to_string(),
+        ];
+        let child = Command::new(&bin)
+            .args(&args)
+            .stdin(Stdio::null())
+            .spawn()
+            .map_err(|e| CoreError::Config(format!("spawn {bin:?}: {e}")))?;
+        procs.push(WorkerProc {
+            args,
+            child: Some(child),
+        });
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = stop.clone();
+    let restarts = obs.counter("worker_process_restarts");
+    let supervisor = std::thread::Builder::new()
+        .name("worker-fleet".into())
+        .spawn(move || {
+            while !flag.load(Ordering::SeqCst) {
+                for p in procs.iter_mut() {
+                    let exited = match p.child.as_mut().map(|c| c.try_wait()) {
+                        Some(Ok(Some(_))) => true,
+                        Some(Ok(None)) => false,
+                        Some(Err(_)) | None => true,
+                    };
+                    if exited && !flag.load(Ordering::SeqCst) {
+                        p.child = Command::new(&bin)
+                            .args(&p.args)
+                            .stdin(Stdio::null())
+                            .spawn()
+                            .ok();
+                        restarts.inc();
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            for p in procs.iter_mut() {
+                if let Some(mut c) = p.child.take() {
+                    let _ = c.kill();
+                    let _ = c.wait();
+                }
+            }
+        })
+        .map_err(|e| CoreError::Config(format!("spawn worker-fleet supervisor: {e}")))?;
+
+    Ok(Box::new(WorkerFleetJob {
+        stop,
+        supervisor: Some(supervisor),
+    }))
+}
+
+struct WorkerFleetJob {
+    stop: Arc<AtomicBool>,
+    supervisor: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RunningJob for WorkerFleetJob {
+    fn stop(mut self: Box<Self>) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.supervisor.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_topology_is_in_process() {
+        assert_eq!(DeploymentTopology::default(), DeploymentTopology::InProcess);
+    }
+
+    #[test]
+    fn zero_nodes_is_rejected() {
+        assert!(spawn_broker_cluster(0, 1).is_err());
+    }
+
+    #[test]
+    fn missing_env_binary_is_a_config_error() {
+        std::env::set_var(NODE_BIN_ENV, "/nonexistent/crayfish-node");
+        let err = locate_bin(NODE_BIN_ENV, "crayfish-node").unwrap_err();
+        std::env::remove_var(NODE_BIN_ENV);
+        assert!(err.to_string().contains("does not exist"), "{err}");
+    }
+
+    #[test]
+    fn free_addrs_are_distinct() {
+        let addrs = free_addrs(4).unwrap();
+        for (i, a) in addrs.iter().enumerate() {
+            for b in &addrs[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

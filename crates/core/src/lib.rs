@@ -28,6 +28,7 @@ pub mod batch;
 pub mod config;
 pub mod consumer;
 pub mod dataset;
+pub mod deploy;
 pub mod error;
 pub mod metrics;
 pub mod processor;
@@ -51,10 +52,11 @@ pub use crayfish_sync as sync;
 
 pub use batch::{CrayfishDataBatch, ScoredBatch};
 pub use config::ExperimentConfig;
+pub use crayfish_broker::ClusterConfig;
 pub use crayfish_obs::{ObsHandle, Stage};
+pub use deploy::DeploymentTopology;
 pub use error::CoreError;
 pub use processor::{DataProcessor, ProcessorContext, RunningJob};
-pub use crayfish_broker::ClusterConfig;
 pub use runner::{run_experiment, ExperimentResult, ExperimentSpec, ServingChoice};
 pub use scoring::{Scorer, ScorerSpec};
 pub use workload::Workload;

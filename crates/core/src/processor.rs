@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use crayfish_broker::Broker;
+use crayfish_broker::BrokerApi;
 
 use crate::scoring::ScorerSpec;
 use crate::Result;
@@ -16,8 +16,11 @@ use crate::Result;
 /// Everything an engine needs to run the Crayfish pipeline.
 #[derive(Debug, Clone)]
 pub struct ProcessorContext {
-    /// The shared broker "cluster".
-    pub broker: Arc<Broker>,
+    /// The shared broker "cluster" — in-process, or a remote client when
+    /// the experiment deploys brokers as separate processes. Engines only
+    /// see the [`BrokerApi`] seam, so the same pipeline code runs in both
+    /// topologies.
+    pub broker: Arc<dyn BrokerApi>,
     /// Topic carrying `CrayfishDataBatch` payloads.
     pub input_topic: String,
     /// Topic receiving `ScoredBatch` payloads.
@@ -92,12 +95,13 @@ pub trait DataProcessor: Send + Sync {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crayfish_broker::Broker;
     use crayfish_models::tiny;
     use crayfish_runtime::{Device, EmbeddedLib};
     use crayfish_sim::NetworkModel;
 
     fn ctx(mp: usize) -> ProcessorContext {
-        let broker = Broker::new(NetworkModel::zero());
+        let broker: Arc<dyn BrokerApi> = Broker::new(NetworkModel::zero());
         broker.create_topic("in", 4).unwrap();
         broker.create_topic("out", 4).unwrap();
         ProcessorContext {

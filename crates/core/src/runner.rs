@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crayfish_broker::{Broker, ClusterConfig};
+use crayfish_broker::{Broker, BrokerApi, ClusterConfig};
 use crayfish_models::ModelSpec;
 use crayfish_runtime::{Device, EmbeddedLib};
 use crayfish_serving::{ExternalKind, ServingConfig};
@@ -14,6 +14,7 @@ use crayfish_sim::NetworkModel;
 use crayfish_tensor::NnGraph;
 
 use crate::consumer::{LatencySample, OutputConsumer};
+use crate::deploy::DeploymentTopology;
 use crate::metrics::LagSample;
 use crate::metrics::{summarize, Summary};
 use crate::processor::{DataProcessor, ProcessorContext};
@@ -101,6 +102,11 @@ pub struct ExperimentSpec {
     /// [`ClusterConfig::replicated`] so `LeaderKill` windows exercise
     /// failover instead of a total outage.
     pub cluster: ClusterConfig,
+    /// Where the broker and engine workers live. `InProcess` (the
+    /// default) keeps everything in this process; `MultiProcess` spawns
+    /// real broker-node children over TCP (and optionally engine-worker
+    /// children), exercising the same pipeline across process boundaries.
+    pub deployment: DeploymentTopology,
 }
 
 impl ExperimentSpec {
@@ -121,6 +127,7 @@ impl ExperimentSpec {
             chaos: crate::chaos::ChaosHandle::disabled(),
             chaos_plan: crate::chaos::FaultPlan::empty(),
             cluster: ClusterConfig::default(),
+            deployment: DeploymentTopology::InProcess,
         }
     }
 }
@@ -193,13 +200,26 @@ pub fn run_experiment_with_graph(
     let input_topic = format!("crayfish-in-{run}");
     let output_topic = format!("crayfish-out-{run}");
 
-    let broker = Broker::with_cluster(
-        spec.network,
-        spec.obs.clone(),
-        spec.chaos.clone(),
-        spec.cluster.clone(),
-    )
-    .map_err(|e| crate::CoreError::Config(format!("broker cluster: {e}")))?;
+    // The broker "cluster": in-process replicas by default, or real
+    // `crayfish-node` child processes reached through a failover-aware
+    // RPC client. Either way the rest of the runner only sees `BrokerApi`.
+    let mut node_procs: Option<crate::deploy::BrokerCluster> = None;
+    let broker: Arc<dyn BrokerApi> = match spec.deployment {
+        DeploymentTopology::InProcess => Broker::with_cluster(
+            spec.network,
+            spec.obs.clone(),
+            spec.chaos.clone(),
+            spec.cluster.clone(),
+        )
+        .map_err(|e| crate::CoreError::Config(format!("broker cluster: {e}")))?,
+        DeploymentTopology::MultiProcess { broker_nodes, .. } => {
+            let min_isr = broker_nodes / 2 + 1;
+            let cluster = crate::deploy::spawn_broker_cluster(broker_nodes, min_isr)?;
+            let client = cluster.client(spec.obs.clone(), spec.chaos.clone());
+            node_procs = Some(cluster);
+            client
+        }
+    };
     broker.create_topic(&input_topic, spec.partitions)?;
     broker.create_topic(&output_topic, spec.partitions)?;
 
@@ -262,7 +282,28 @@ pub fn run_experiment_with_graph(
         mp: spec.mp,
     };
     ctx.validate()?;
-    let job = processor.start(ctx)?;
+    let job = match spec.deployment {
+        DeploymentTopology::MultiProcess { engine_workers, .. } if engine_workers > 0 => {
+            // Engine workers as child processes: the generic scoring
+            // worker binary replaces the in-process engine personality.
+            let fleet = crate::deploy::WorkerFleetSpec {
+                nodes: node_procs
+                    .as_ref()
+                    .expect("MultiProcess built a cluster")
+                    .addrs()
+                    .to_vec(),
+                input_topic: input_topic.clone(),
+                output_topic: output_topic.clone(),
+                group: "crayfish-sut".into(),
+                partitions: spec.partitions,
+                model: spec.model.name().into(),
+                seed: spec.seed,
+                workers: engine_workers,
+            };
+            crate::deploy::spawn_workers(&fleet, &spec.obs)?
+        }
+        _ => processor.start(ctx)?,
+    };
 
     // With a live handle and a non-empty plan, walk the fault schedule in
     // real time against this run's broker/serving/engine components.
@@ -342,6 +383,9 @@ pub fn run_experiment_with_graph(
         Some(RunServer::Plain(h)) => h.shutdown(),
         Some(RunServer::Restartable(rs)) => rs.crash(),
         None => {}
+    }
+    if let Some(mut procs) = node_procs {
+        procs.shutdown();
     }
 
     let mut result = reduce(spec, produced, samples);

@@ -19,7 +19,7 @@ use std::thread::JoinHandle;
 
 use bytes::Bytes;
 
-use crayfish_broker::{Broker, Producer, ProducerConfig};
+use crayfish_broker::{BrokerApi, Producer, ProducerConfig};
 use crayfish_sim::{now_millis_f64, RatePacer, Stopwatch};
 use crayfish_tensor::Shape;
 
@@ -182,7 +182,7 @@ fn render_dataset_bodies(ds: &Dataset, bsz: usize, variants: usize) -> Result<Ve
 /// Start the input producer: generates batches of `bsz` items of
 /// `item_shape` at the rate `workload` dictates, into `topic`.
 pub fn start_producer(
-    broker: Arc<Broker>,
+    broker: Arc<dyn BrokerApi>,
     topic: &str,
     item_shape: Shape,
     bsz: usize,
@@ -202,7 +202,7 @@ pub fn start_producer(
 /// [`start_producer`] with an explicit input source (synthetic or a real
 /// dataset).
 pub fn start_producer_with_source(
-    broker: Arc<Broker>,
+    broker: Arc<dyn BrokerApi>,
     topic: &str,
     item_shape: Shape,
     bsz: usize,
@@ -279,6 +279,7 @@ pub fn start_producer_with_source(
 mod tests {
     use super::*;
     use crate::batch::CrayfishDataBatch;
+    use crayfish_broker::Broker;
     use crayfish_sim::NetworkModel;
     use std::time::Duration;
 

@@ -161,7 +161,7 @@ mod tests {
         onnx_ctx(Broker::new(NetworkModel::zero()), 4, mp)
     }
 
-    fn feed(broker: &Broker, n: u64) {
+    fn feed(broker: &dyn crayfish_broker::BrokerApi, n: u64) {
         crayfish_core::batch::testkit::feed(broker, "in", 4, n);
     }
 
@@ -172,7 +172,7 @@ mod tests {
         let mut set = WorkerSet::new();
         pipeline_workers(&mut set, &ctx, "pipe", PipelineSettings::default()).unwrap();
         let job = set.into_job();
-        feed(&broker, 30);
+        feed(broker.as_ref(), 30);
         assert!(poll_until(Duration::from_secs(10), || {
             broker.total_records("out").unwrap() >= 30
         }));
@@ -211,7 +211,7 @@ mod tests {
         broker
             .append("in", 0, vec![(Bytes::from_static(b"not json"), 0.0)])
             .unwrap();
-        feed(&broker, 3);
+        feed(broker.as_ref(), 3);
         assert!(poll_until(Duration::from_secs(10), || {
             broker.total_records("out").unwrap() >= 3
         }));

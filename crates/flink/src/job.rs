@@ -395,8 +395,8 @@ mod tests {
             ..FlinkOptions::operator_level(4, 3)
         };
         let job = FlinkProcessor::with_options(options).start(ctx).unwrap();
-        feed(&broker, "in", 8, 60);
-        let scored = drain_scored(&broker, "out", 8, 60, Duration::from_secs(10));
+        feed(broker.as_ref(), "in", 8, 60);
+        let scored = drain_scored(broker.as_ref(), "out", 8, 60, Duration::from_secs(10));
         assert_eq!(distinct_ids(&scored).len(), 60);
         assert!(obs.counter("flink_exchange_buffers").get() > 0);
         job.stop();
@@ -411,8 +411,8 @@ mod tests {
             ..bare_options()
         };
         let job = FlinkProcessor::with_options(options).start(ctx).unwrap();
-        feed(&broker, "in", 8, 50);
-        let scored = drain_scored(&broker, "out", 8, 50, Duration::from_secs(10));
+        feed(broker.as_ref(), "in", 8, 50);
+        let scored = drain_scored(broker.as_ref(), "out", 8, 50, Duration::from_secs(10));
         assert_eq!(distinct_ids(&scored).len(), 50);
         job.stop();
     }
@@ -451,8 +451,8 @@ mod tests {
             };
             let job = FlinkProcessor::with_options(options).start(ctx).unwrap();
             let sw = crayfish_sim::Stopwatch::start();
-            feed(&broker, "in", 8, 40);
-            let scored = drain_scored(&broker, "out", 8, 40, Duration::from_secs(10));
+            feed(broker.as_ref(), "in", 8, 40);
+            let scored = drain_scored(broker.as_ref(), "out", 8, 40, Duration::from_secs(10));
             assert_eq!(scored.len(), 40, "async_io={async_io}");
             elapsed.push(sw.elapsed_millis());
             job.stop();
@@ -479,8 +479,8 @@ mod tests {
         };
         let job = FlinkProcessor::with_options(options).start(ctx).unwrap();
         let start = now_millis_f64();
-        feed(&broker, "in", 8, 1);
-        let scored = drain_scored(&broker, "out", 8, 1, Duration::from_secs(10));
+        feed(broker.as_ref(), "in", 8, 1);
+        let scored = drain_scored(broker.as_ref(), "out", 8, 1, Duration::from_secs(10));
         let elapsed = now_millis_f64() - start;
         assert_eq!(scored.len(), 1);
         assert!(elapsed >= 100.0, "buffered latency only {elapsed} ms");

@@ -131,8 +131,8 @@ mod tests {
         let broker = Broker::with_parts(NetworkModel::zero(), obs.clone(), ChaosHandle::disabled());
         let ctx = onnx_ctx(broker.clone(), 8, 2);
         let job = bare().start(ctx).unwrap();
-        feed(&broker, "in", 8, 20);
-        let scored = drain_scored(&broker, "out", 8, 20, Duration::from_secs(10));
+        feed(broker.as_ref(), "in", 8, 20);
+        let scored = drain_scored(broker.as_ref(), "out", 8, 20, Duration::from_secs(10));
         assert_eq!(scored.len(), 20);
         assert!(poll_until(Duration::from_secs(5), || {
             broker.group_lag("sut", "in").unwrap() == 0
@@ -146,7 +146,7 @@ mod tests {
         let broker = Broker::new(NetworkModel::zero());
         let ctx = onnx_ctx(broker.clone(), 2, 6);
         let job = bare().start(ctx).unwrap();
-        feed(&broker, "in", 2, 10);
+        feed(broker.as_ref(), "in", 2, 10);
         assert!(poll_until(Duration::from_secs(5), || {
             broker.total_records("out").unwrap() >= 10
         }));

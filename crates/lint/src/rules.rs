@@ -28,6 +28,7 @@ const PIPELINE_CRATES: &[&str] = &[
     "crates/admission/",
     "crates/broker/",
     "crates/engine-kernel/",
+    "crates/net/",
     "crates/serving/",
     "crates/flink/",
     "crates/kstreams/",
@@ -94,18 +95,33 @@ pub fn unwrap_in_pipeline(file: &SourceFile) -> Vec<Violation> {
 
 /// Lock-rank table. Rank = acquisition order: a lock may only be taken
 /// while every held lock has a *smaller* rank (outermost first). Broker:
-/// topic registry (10) → group coordinator (15) → committed offsets (20) →
-/// replicated partition state (30) → topic version (40). Flink exchange:
+/// node append gate (3) → node leader state (5) → cluster client leader
+/// index (8) → topic registry (10) → group coordinator (15) → committed
+/// offsets (20) → replicated partition state (30) → topic version (40).
+/// Net: TCP connection slot (5) → reactor injector (10) → ready queue
+/// (15) → connection registry (20) → waker signal (30). Flink exchange:
 /// channel state (10) → (worker-set structures, unranked today, would slot
 /// above).
 fn lock_rank_of(rel: &str, receiver: &str) -> Option<(u32, &'static str)> {
     if rel.starts_with("crates/broker/") {
         match receiver {
+            "append_gate" => Some((3, "node append gate")),
+            "state" => Some((5, "node leader state")),
+            "leader" => Some((8, "cluster client leader index")),
             "topics" => Some((10, "broker topic registry")),
             "groups" => Some((15, "consumer group coordinator")),
             "offsets" => Some((20, "committed consumer offsets")),
             "repl" => Some((30, "replicated partition state")),
             "version" => Some((40, "topic version")),
+            _ => None,
+        }
+    } else if rel.starts_with("crates/net/") {
+        match receiver {
+            "conn" => Some((5, "TCP connection slot")),
+            "injector" => Some((10, "reactor injector")),
+            "ready" => Some((15, "reactor ready queue")),
+            "registry" | "connections" => Some((20, "connection registry")),
+            "signal" => Some((30, "waker signal")),
             _ => None,
         }
     } else if rel.starts_with("crates/flink/") {
@@ -261,18 +277,19 @@ fn fn_name(clean: &str, fn_pos: usize) -> &str {
 ///   steady state: every kernel takes an `_into` output slice or a
 ///   reusable scratch (`GemmScratch`, the executor arena); every function
 ///   is covered.
-/// * `crates/serving/src/reactor.rs` — the reactor's per-connection poll
-///   helpers (`poll_*`), which run for every connection on every loop
-///   iteration and must reuse the connection's own buffers. Only the
-///   `poll_*`-prefixed functions are covered: dispatch callbacks invoked
-///   *from* the loop (decode, admission push) allocate legitimately.
+/// * `crates/net/src/reactor.rs` and `crates/net/src/codec.rs` — the
+///   shared reactor's per-connection poll helpers (`poll_*`), which run
+///   for every connection on every loop iteration and must reuse the
+///   connection's own buffers. Only the `poll_*`-prefixed functions are
+///   covered: dispatch callbacks invoked *from* the loop (decode,
+///   admission push) allocate legitimately.
 ///
 /// A `Vec::new` / `vec![` / `.to_vec(` / `.collect(` there is either a
 /// compat wrapper (baselined, ratcheted down) or a regression. Test
 /// modules are already blanked by the source cleaner.
 pub fn hot_path_alloc(file: &SourceFile) -> Vec<Violation> {
     let kernels = file.rel.starts_with("crates/tensor/src/kernels/");
-    let reactor = file.rel == "crates/serving/src/reactor.rs";
+    let reactor = file.rel == "crates/net/src/reactor.rs" || file.rel == "crates/net/src/codec.rs";
     if !kernels && !reactor {
         return Vec::new();
     }

@@ -114,14 +114,14 @@ const CASES: &[Case] = &[
     },
     Case {
         rule: rules::HOT_PATH_ALLOC,
-        rel: "crates/serving/src/reactor.rs",
+        rel: "crates/net/src/reactor.rs",
         // Reactor poll helpers must reuse connection buffers.
         code: "fn poll_read(c: &mut Conn) -> bool { let tmp = c.buf.to_vec(); tmp.len() > 0 }",
         expect: 1,
     },
     Case {
         rule: rules::HOT_PATH_ALLOC,
-        rel: "crates/serving/src/reactor.rs",
+        rel: "crates/net/src/reactor.rs",
         // Non-poll functions in the reactor (dispatch, setup) may allocate.
         code: "fn spawn_reactor() { let v = Vec::new(); } \
                fn poll_write(c: &mut Conn) { c.out.clear(); }",

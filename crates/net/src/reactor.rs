@@ -2,40 +2,42 @@
 //!
 //! One poll thread owns every connection of a server: it reads whatever
 //! bytes are available, carves complete wire messages out of per-connection
-//! buffers, and hands each decoded request to the serving layer's dispatch
-//! callback together with a [`Responder`] completion token. Scoring
-//! happens elsewhere (the admission dispatcher's replica workers); when a
+//! buffers, and hands each decoded request to the dispatch callback
+//! together with a [`Responder`] completion token. Request handling
+//! happens elsewhere (serving replica workers, broker RPC workers); when a
 //! response is ready the worker calls [`Responder::send`], which queues the
-//! encoded bytes back to the reactor and unparks it. The reactor writes
+//! encoded bytes back to the reactor and wakes it. The reactor writes
 //! responses strictly in per-connection request order, so pipelined clients
 //! written against the blocking one-thread-per-connection servers keep
 //! working unchanged.
 //!
 //! There is no OS readiness API in this stack (no epoll wrapper available
 //! offline), so the reactor approximates readiness with non-blocking
-//! sockets plus a short `park_timeout`: any completed batch or newly
-//! accepted connection unparks it immediately; otherwise it wakes every
-//! `PARK` to poll for client bytes. That keeps the idle cost bounded while
-//! the hot path — under load the loop always finds work and never parks —
-//! stays allocation-free: the `poll_*` functions reuse per-connection
-//! buffers and are covered by the `HOT_PATH_ALLOC` lint.
+//! sockets plus a short timed wait on a [`Waker`]: any completed response
+//! or newly accepted connection wakes it immediately; otherwise it wakes
+//! every `PARK` to poll for client bytes. That keeps the idle cost bounded
+//! while the hot path — under load the loop always finds work and never
+//! sleeps — stays allocation-free: the `poll_*` functions reuse
+//! per-connection buffers and are covered by the `HOT_PATH_ALLOC` lint.
+//! The `Waker` (rather than raw `thread::park`) exists so the
+//! producer/consumer handoff is loom-modelable; see `tests/loom.rs`.
 
 use std::collections::{BTreeMap, HashMap};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::Mutex;
 
-use crate::protocol::MAX_FRAME_BYTES;
+use crate::codec::{poll_parse, ParseStep, MAX_FRAME_BYTES};
 use crate::server::{assemble_handle, ServerHandle};
+use crate::waker::Waker;
 use crate::Result;
 
 /// Idle poll interval. An upper bound on wakeup latency, never the only
-/// wakeup path: completions and new connections unpark the reactor
-/// directly.
+/// wakeup path: completions and new connections wake the reactor directly.
 const PARK: Duration = Duration::from_micros(100);
 
 /// Cap on unparsed buffered bytes before a connection is declared
@@ -47,20 +49,20 @@ const READ_CHUNK: usize = 16 * 1024;
 
 /// The wire format a reactor server speaks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum Wire {
-    /// Length-prefixed binary frames (TF-Serving / TorchServe analogs).
+pub enum Wire {
+    /// Length-prefixed binary frames (TF-Serving / TorchServe analogs,
+    /// broker RPC).
     Grpc,
     /// HTTP/1.1 with `Content-Length` bodies (Ray Serve analog).
     Http,
 }
 
-/// Completed responses travelling from scoring workers back to the poll
+/// Completed responses travelling from handler workers back to the poll
 /// thread: `(connection id, request seq, encoded wire bytes)`.
 struct Completions {
     ready: Mutex<Vec<(u64, u64, Vec<u8>)>>,
-    /// The reactor thread, registered once at startup so workers can
-    /// unpark it the moment a response is queued.
-    reactor: OnceLock<std::thread::Thread>,
+    /// Wakes the poll thread the moment a response is queued.
+    waker: Arc<Waker>,
 }
 
 /// Completion token for one in-flight request. Consumed by sending the
@@ -79,9 +81,7 @@ impl Responder {
             .ready
             .lock()
             .push((self.conn, self.seq, bytes));
-        if let Some(t) = self.completions.reactor.get() {
-            t.unpark();
-        }
+        self.completions.waker.notify();
     }
 }
 
@@ -143,7 +143,7 @@ impl Conn {
     }
 }
 
-/// State shared between the accept thread, the scoring workers, and the
+/// State shared between the accept thread, the handler workers, and the
 /// poll thread.
 struct ReactorShared {
     stop: Arc<AtomicBool>,
@@ -155,28 +155,12 @@ struct ReactorShared {
     registry: Arc<Mutex<HashMap<u64, TcpStream>>>,
 }
 
-/// One step of wire parsing over `buf` (the unparsed tail of a
-/// connection's input buffer). Indices are relative to `buf`.
-enum ParseStep {
-    /// A complete message: payload at `[start..end)`, `consumed` bytes
-    /// total (framing included).
-    Msg {
-        start: usize,
-        end: usize,
-        consumed: usize,
-    },
-    /// Need more bytes.
-    Incomplete,
-    /// Unrecoverable framing violation; kill the connection.
-    Bad,
-}
-
 /// Spawn a reactor server: an accept thread feeding connections to a poll
 /// thread which invokes `on_request(payload, responder)` for every
 /// complete wire message. The callback must eventually resolve every
 /// responder (admission sheds included) or the client hangs until
 /// shutdown.
-pub(crate) fn spawn_reactor_on(
+pub fn spawn_reactor_on(
     name: &'static str,
     addr: SocketAddr,
     wire: Wire,
@@ -186,12 +170,13 @@ pub(crate) fn spawn_reactor_on(
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let registry: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+    let waker = Arc::new(Waker::new());
     let shared = Arc::new(ReactorShared {
         stop: stop.clone(),
         injector: Mutex::new(Vec::new()),
         completions: Arc::new(Completions {
             ready: Mutex::new(Vec::new()),
-            reactor: OnceLock::new(),
+            waker: waker.clone(),
         }),
         registry: registry.clone(),
     });
@@ -218,9 +203,7 @@ pub(crate) fn spawn_reactor_on(
                     accept_shared.registry.lock().insert(id, clone);
                 }
                 accept_shared.injector.lock().push((id, stream));
-                if let Some(t) = accept_shared.completions.reactor.get() {
-                    t.unpark();
-                }
+                accept_shared.completions.waker.notify();
             }
         })?;
 
@@ -228,7 +211,7 @@ pub(crate) fn spawn_reactor_on(
     let mut join = Some(poll_thread);
     handle.add_teardown(move || {
         if let Some(h) = join.take() {
-            h.thread().unpark();
+            waker.notify();
             let _ = h.join();
         }
     });
@@ -241,7 +224,6 @@ fn run_reactor(
     wire: Wire,
     on_request: &mut (impl FnMut(&[u8], Responder) + Send),
 ) {
-    let _ = shared.completions.reactor.set(std::thread::current());
     let mut conns: HashMap<u64, Conn> = HashMap::new();
     let mut scratch = [0u8; READ_CHUNK];
     loop {
@@ -286,7 +268,7 @@ fn run_reactor(
 
             // Carve complete messages out of the input buffer and hand
             // them to the dispatch callback (which allocates freely — the
-            // decode and the admission push live there, not here).
+            // decode and the handler push live there, not here).
             loop {
                 match poll_parse(wire, &c.inbuf[c.parsed..]) {
                     ParseStep::Msg {
@@ -333,7 +315,7 @@ fn run_reactor(
         }
 
         if !progress {
-            std::thread::park_timeout(PARK);
+            shared.completions.waker.wait_timeout(PARK);
         }
     }
 }
@@ -417,94 +399,10 @@ fn poll_compact(c: &mut Conn) {
     }
 }
 
-/// Try to carve one complete wire message out of `buf`.
-fn poll_parse(wire: Wire, buf: &[u8]) -> ParseStep {
-    match wire {
-        Wire::Grpc => poll_parse_grpc(buf),
-        Wire::Http => poll_parse_http(buf),
-    }
-}
-
-/// Length-prefixed frame: `u32 LE length ++ payload`.
-fn poll_parse_grpc(buf: &[u8]) -> ParseStep {
-    let Some(len_bytes) = buf.first_chunk::<4>() else {
-        return ParseStep::Incomplete;
-    };
-    let len = u32::from_le_bytes(*len_bytes) as usize;
-    if len > MAX_FRAME_BYTES {
-        return ParseStep::Bad;
-    }
-    if buf.len() < 4 + len {
-        return ParseStep::Incomplete;
-    }
-    ParseStep::Msg {
-        start: 4,
-        end: 4 + len,
-        consumed: 4 + len,
-    }
-}
-
-/// HTTP/1.1 message with a `Content-Length` body. The payload handed to
-/// dispatch is the body; the request line and headers are framing (every
-/// request hits the one `/infer` route).
-fn poll_parse_http(buf: &[u8]) -> ParseStep {
-    let Some(head_end) = find_double_crlf(buf) else {
-        return ParseStep::Incomplete;
-    };
-    let Some(len) = http_content_length(&buf[..head_end]) else {
-        return ParseStep::Bad;
-    };
-    if len > MAX_FRAME_BYTES {
-        return ParseStep::Bad;
-    }
-    let body_start = head_end + 4;
-    if buf.len() < body_start + len {
-        return ParseStep::Incomplete;
-    }
-    ParseStep::Msg {
-        start: body_start,
-        end: body_start + len,
-        consumed: body_start + len,
-    }
-}
-
-/// Offset of the first `\r\n\r\n` in `buf`, if any.
-fn find_double_crlf(buf: &[u8]) -> Option<usize> {
-    buf.windows(4).position(|w| w == b"\r\n\r\n")
-}
-
-/// Parse the `Content-Length` header out of a raw header block without
-/// allocating.
-fn http_content_length(head: &[u8]) -> Option<usize> {
-    const KEY: &[u8] = b"content-length:";
-    for line in head.split(|&b| b == b'\n') {
-        if line.len() < KEY.len() {
-            continue;
-        }
-        if !line[..KEY.len()].eq_ignore_ascii_case(KEY) {
-            continue;
-        }
-        let mut value: usize = 0;
-        let mut seen = false;
-        for &b in &line[KEY.len()..] {
-            match b {
-                b' ' | b'\t' if !seen => {}
-                b'\r' => break,
-                b'0'..=b'9' => {
-                    seen = true;
-                    value = value.checked_mul(10)?.checked_add((b - b'0') as usize)?;
-                }
-                _ => return None,
-            }
-        }
-        return seen.then_some(value);
-    }
-    None
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::codec::{frame_bytes, poll_parse_grpc, poll_parse_http, read_frame, write_frame};
     use std::io::{BufRead, BufReader};
 
     fn echo_server(wire: Wire) -> ServerHandle {
@@ -514,7 +412,7 @@ mod tests {
             wire,
             move |payload, responder| {
                 let bytes = match wire {
-                    Wire::Grpc => crate::protocol::frame_bytes(payload).unwrap(),
+                    Wire::Grpc => frame_bytes(payload).unwrap(),
                     Wire::Http => {
                         let mut out = Vec::new();
                         write!(
@@ -537,8 +435,8 @@ mod tests {
     fn grpc_echo_roundtrip() {
         let server = echo_server(Wire::Grpc);
         let mut c = TcpStream::connect(server.addr()).unwrap();
-        crate::protocol::write_frame(&mut c, b"hello reactor").unwrap();
-        let got = crate::protocol::read_frame(&mut c).unwrap().unwrap();
+        write_frame(&mut c, b"hello reactor").unwrap();
+        let got = read_frame(&mut c).unwrap().unwrap();
         assert_eq!(got, b"hello reactor");
         server.shutdown();
     }
@@ -549,10 +447,10 @@ mod tests {
         let mut c = TcpStream::connect(server.addr()).unwrap();
         // Write a burst of frames before reading anything back.
         for i in 0..32u32 {
-            crate::protocol::write_frame(&mut c, &i.to_le_bytes()).unwrap();
+            write_frame(&mut c, &i.to_le_bytes()).unwrap();
         }
         for i in 0..32u32 {
-            let got = crate::protocol::read_frame(&mut c).unwrap().unwrap();
+            let got = read_frame(&mut c).unwrap().unwrap();
             assert_eq!(got, i.to_le_bytes(), "response order violated");
         }
         server.shutdown();
@@ -600,7 +498,7 @@ mod tests {
 
     #[test]
     fn parse_helpers_handle_every_split() {
-        let frame = crate::protocol::frame_bytes(b"abcdef").unwrap();
+        let frame = frame_bytes(b"abcdef").unwrap();
         for cut in 0..frame.len() {
             match poll_parse_grpc(&frame[..cut]) {
                 ParseStep::Incomplete => {}

@@ -1,0 +1,112 @@
+//! The reactor's wakeup primitive: a tiny event-count.
+//!
+//! The reactor used to park with `thread::park_timeout` and be unparked by
+//! whoever produced work (a completion, a new connection, shutdown).
+//! `park`/`unpark` cannot be modelled by loom, so the handoff it protects —
+//! *did the producer's wakeup happen-before the consumer went to sleep?* —
+//! was unverifiable. This flag-under-a-mutex event-count has the same
+//! semantics (a notification before or during a wait always ends that
+//! wait; notifications never accumulate beyond one) and is built on
+//! `crayfish-sync`, so the loom model in `tests/loom.rs` can prove the
+//! register/shutdown handshake lost-wakeup-free.
+
+use std::time::Duration;
+
+use crayfish_sync::{Condvar, Mutex};
+
+/// A one-slot wakeup flag. `notify` from any thread makes the next (or a
+/// concurrent) `wait_timeout` return promptly; a wait with no pending
+/// notification blocks until one arrives or the timeout passes.
+#[derive(Debug)]
+pub struct Waker {
+    signal: Mutex<bool>,
+    cond: Condvar,
+}
+
+impl Default for Waker {
+    fn default() -> Self {
+        Waker::new()
+    }
+}
+
+impl Waker {
+    /// A waker with no pending notification.
+    pub fn new() -> Waker {
+        Waker {
+            signal: Mutex::new(false),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Wake the (single) waiter. Setting the flag under the mutex is what
+    /// makes the handoff race-free: a waiter that checked the flag and is
+    /// between "saw false" and "blocked on the condvar" still holds the
+    /// mutex, so this notify cannot slip into that window.
+    pub fn notify(&self) {
+        let mut signal = self.signal.lock();
+        *signal = true;
+        self.cond.notify_one();
+    }
+
+    /// Block until notified or `timeout` passes, consuming at most one
+    /// pending notification. Under loom the timeout never fires (loom
+    /// condvars do not time out), which is exactly what makes a lost
+    /// wakeup show up as a deadlock in the model.
+    pub fn wait_timeout(&self, timeout: Duration) {
+        let mut signal = self.signal.lock();
+        if !*signal {
+            let (guard, _timed_out) = self.cond.wait_timeout(signal, timeout);
+            signal = guard;
+        }
+        *signal = false;
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn notify_before_wait_returns_immediately() {
+        let w = Waker::new();
+        w.notify();
+        let sw = crayfish_sim::Stopwatch::start();
+        w.wait_timeout(Duration::from_secs(5));
+        assert!(sw.elapsed_millis() < 1000.0, "pending notify was lost");
+    }
+
+    #[test]
+    fn wait_times_out_without_notification() {
+        let w = Waker::new();
+        let sw = crayfish_sim::Stopwatch::start();
+        w.wait_timeout(Duration::from_millis(30));
+        assert!(sw.elapsed_millis() >= 25.0);
+    }
+
+    #[test]
+    fn notification_is_consumed_once() {
+        let w = Waker::new();
+        w.notify();
+        w.notify();
+        w.wait_timeout(Duration::from_secs(1));
+        // Both notifies collapsed into one; the next wait must block.
+        let sw = crayfish_sim::Stopwatch::start();
+        w.wait_timeout(Duration::from_millis(30));
+        assert!(sw.elapsed_millis() >= 25.0, "stale notification leaked");
+    }
+
+    #[test]
+    fn concurrent_notify_wakes_a_waiting_thread() {
+        let w = Arc::new(Waker::new());
+        let w2 = w.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            w2.notify();
+        });
+        let sw = crayfish_sim::Stopwatch::start();
+        w.wait_timeout(Duration::from_secs(10));
+        assert!(sw.elapsed_millis() < 5000.0, "wakeup lost");
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,224 @@
+//! Property tests for the incremental frame codec.
+//!
+//! The reactor feeds `poll_parse` whatever byte fragments the kernel
+//! delivers, so the codec must decode the same message stream no matter
+//! how the bytes are sliced: byte-at-a-time, at every possible split
+//! boundary, or as pipelined bursts with trailing partial frames. These
+//! tests run the codec through a harness that mirrors the reactor's
+//! buffer management (append, parse loop, compact) and check that every
+//! chunking of a frame stream yields exactly the original payloads.
+
+use proptest::prelude::*;
+
+use crayfish_net::codec::{poll_parse, poll_parse_grpc, ParseStep};
+use crayfish_net::{frame_bytes, Wire};
+
+/// The reactor's per-connection decode state, minus the socket: buffered
+/// bytes, a parsed watermark, and the same compaction policy.
+struct IncrementalDecoder {
+    wire: Wire,
+    inbuf: Vec<u8>,
+    parsed: usize,
+    messages: Vec<Vec<u8>>,
+    bad: bool,
+}
+
+impl IncrementalDecoder {
+    fn new(wire: Wire) -> IncrementalDecoder {
+        IncrementalDecoder {
+            wire,
+            inbuf: Vec::new(),
+            parsed: 0,
+            messages: Vec::new(),
+            bad: false,
+        }
+    }
+
+    /// Feed one read's worth of bytes and decode whatever completes.
+    fn push(&mut self, chunk: &[u8]) {
+        assert!(!self.bad, "decoder fed after a framing violation");
+        self.inbuf.extend_from_slice(chunk);
+        loop {
+            match poll_parse(self.wire, &self.inbuf[self.parsed..]) {
+                ParseStep::Msg {
+                    start,
+                    end,
+                    consumed,
+                } => {
+                    let (abs_start, abs_end) = (self.parsed + start, self.parsed + end);
+                    self.messages.push(self.inbuf[abs_start..abs_end].to_vec());
+                    self.parsed += consumed;
+                }
+                ParseStep::Incomplete => break,
+                ParseStep::Bad => {
+                    self.bad = true;
+                    break;
+                }
+            }
+        }
+        // The reactor's steady-state compaction: reclaim the buffer once
+        // everything parsed so indices stay small across long streams.
+        if self.parsed == self.inbuf.len() {
+            self.inbuf.clear();
+            self.parsed = 0;
+        }
+    }
+}
+
+/// Deterministic payload of `len` bytes derived from `seed`.
+fn payload(seed: u64, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| (seed.wrapping_mul(31).wrapping_add(i as u64) % 251) as u8)
+        .collect()
+}
+
+fn grpc_stream(payloads: &[Vec<u8>]) -> Vec<u8> {
+    let mut stream = Vec::new();
+    for p in payloads {
+        stream.extend_from_slice(&frame_bytes(p).expect("payload under cap"));
+    }
+    stream
+}
+
+fn http_stream(payloads: &[Vec<u8>]) -> Vec<u8> {
+    let mut stream = Vec::new();
+    for p in payloads {
+        stream.extend_from_slice(
+            format!(
+                "POST /infer HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                p.len()
+            )
+            .as_bytes(),
+        );
+        stream.extend_from_slice(p);
+    }
+    stream
+}
+
+/// Feed `stream` to a fresh decoder in chunks whose sizes cycle through
+/// `chunk_sizes`, then assert the decoded messages equal `payloads`.
+fn check_chunking(
+    wire: Wire,
+    stream: &[u8],
+    chunk_sizes: &[usize],
+    payloads: &[Vec<u8>],
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let mut dec = IncrementalDecoder::new(wire);
+    let mut fed = 0;
+    let mut i = 0;
+    while fed < stream.len() {
+        let size = chunk_sizes[i % chunk_sizes.len()].max(1);
+        let end = (fed + size).min(stream.len());
+        dec.push(&stream[fed..end]);
+        fed = end;
+        i += 1;
+        prop_assert!(!dec.bad, "well-formed stream flagged bad at byte {fed}");
+    }
+    prop_assert_eq!(
+        dec.messages.len(),
+        payloads.len(),
+        "decoded {} of {} messages",
+        dec.messages.len(),
+        payloads.len()
+    );
+    for (got, want) in dec.messages.iter().zip(payloads) {
+        prop_assert_eq!(got, want);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Any chunking of any gRPC frame stream decodes to the original
+    /// payloads — pipelined bursts (large chunks spanning several frames)
+    /// and trickles (chunks splitting frames mid-prefix) alike.
+    #[test]
+    fn grpc_stream_decodes_under_any_chunking(
+        seed in proptest::arbitrary::any::<u64>(),
+        lens in proptest::collection::vec(0usize..200, 1..8),
+        chunks in proptest::collection::vec(1usize..64, 1..12),
+    ) {
+        let payloads: Vec<Vec<u8>> =
+            lens.iter().enumerate().map(|(i, &l)| payload(seed.wrapping_add(i as u64), l)).collect();
+        let stream = grpc_stream(&payloads);
+        check_chunking(Wire::Grpc, &stream, &chunks, &payloads)?;
+    }
+
+    /// Same property for the HTTP wire: header/body splits at arbitrary
+    /// positions never lose or corrupt a message body.
+    #[test]
+    fn http_stream_decodes_under_any_chunking(
+        seed in proptest::arbitrary::any::<u64>(),
+        lens in proptest::collection::vec(0usize..200, 1..6),
+        chunks in proptest::collection::vec(1usize..48, 1..12),
+    ) {
+        let payloads: Vec<Vec<u8>> =
+            lens.iter().enumerate().map(|(i, &l)| payload(seed.wrapping_add(i as u64), l)).collect();
+        let stream = http_stream(&payloads);
+        check_chunking(Wire::Http, &stream, &chunks, &payloads)?;
+    }
+
+    /// frame_bytes/poll_parse round-trip: a framed payload parses back to
+    /// itself with nothing left over, and every strict prefix is
+    /// `Incomplete` — never `Bad`, never a phantom message.
+    #[test]
+    fn grpc_frame_roundtrips_and_every_prefix_is_incomplete(
+        seed in proptest::arbitrary::any::<u64>(),
+        len in 0usize..300,
+    ) {
+        let p = payload(seed, len);
+        let frame = frame_bytes(&p).expect("payload under cap");
+        for cut in 0..frame.len() {
+            prop_assert!(
+                matches!(poll_parse_grpc(&frame[..cut]), ParseStep::Incomplete),
+                "prefix of {} bytes not Incomplete", cut
+            );
+        }
+        match poll_parse_grpc(&frame) {
+            ParseStep::Msg { start, end, consumed } => {
+                prop_assert_eq!(&frame[start..end], &p[..]);
+                prop_assert_eq!(consumed, frame.len());
+            }
+            _ => prop_assert!(false, "complete frame did not parse"),
+        }
+    }
+}
+
+/// Exhaustive (non-random) split coverage in the style the reactor tests
+/// use: a three-frame stream cut at every boundary, fed as two pushes.
+#[test]
+fn every_split_boundary_of_a_multi_frame_stream() {
+    for wire in [Wire::Grpc, Wire::Http] {
+        let payloads = vec![b"alpha".to_vec(), Vec::new(), b"gamma-longer".to_vec()];
+        let stream = match wire {
+            Wire::Grpc => grpc_stream(&payloads),
+            Wire::Http => http_stream(&payloads),
+        };
+        for cut in 0..=stream.len() {
+            let mut dec = IncrementalDecoder::new(wire);
+            dec.push(&stream[..cut]);
+            dec.push(&stream[cut..]);
+            assert!(!dec.bad, "{wire:?} stream flagged bad at split {cut}");
+            assert_eq!(dec.messages, payloads, "{wire:?} split at {cut}");
+        }
+    }
+}
+
+/// Byte-at-a-time delivery — the harshest chunking — decodes losslessly.
+#[test]
+fn byte_at_a_time_delivery_decodes_losslessly() {
+    for wire in [Wire::Grpc, Wire::Http] {
+        let payloads = vec![payload(7, 33), payload(8, 0), payload(9, 129)];
+        let stream = match wire {
+            Wire::Grpc => grpc_stream(&payloads),
+            Wire::Http => http_stream(&payloads),
+        };
+        let mut dec = IncrementalDecoder::new(wire);
+        for &b in &stream {
+            dec.push(&[b]);
+        }
+        assert!(!dec.bad);
+        assert_eq!(dec.messages, payloads, "{wire:?} byte-at-a-time");
+    }
+}

@@ -169,12 +169,16 @@ fn render(samples: &[Sample], prev_counters: &HashMap<String, f64>, elapsed: Dur
     render_resilience(samples);
     render_admission(samples);
     render_replication(samples);
+    render_network(samples, prev_counters, elapsed);
 
     let mut scalar_lines = Vec::new();
     for s in samples {
-        // Admission and replication metrics get their own sections above.
+        // Admission, replication, and network metrics get their own
+        // sections above.
         if s.name.starts_with("crayfish_admission_")
             || s.name.starts_with("crayfish_replication_")
+            || s.name.starts_with("crayfish_net_")
+            || s.name.starts_with("crayfish_rpc_")
         {
             continue;
         }
@@ -319,6 +323,51 @@ fn render_replication(samples: &[Sample]) {
             "            {:<18} {:>7} {:>6} {:>4} {:>7}",
             partition, leader, epoch, isr, hw_lag
         );
+    }
+}
+
+/// Transport instruments (populated by `crayfish-net` clients and servers
+/// in TCP deployments): bytes on the wire with live throughput, reconnect
+/// and leader-failover counts, and per-RPC round-trip percentiles. The
+/// histograms are recorded in nanoseconds and exported through the seconds
+/// machinery, so the usual `ms()` conversion applies unchanged.
+fn render_network(samples: &[Sample], prev_counters: &HashMap<String, f64>, elapsed: Duration) {
+    let mut lines = Vec::new();
+    for s in samples {
+        let short = match s.name.as_str() {
+            "crayfish_net_bytes_in_total" => "bytes_in",
+            "crayfish_net_bytes_out_total" => "bytes_out",
+            "crayfish_net_reconnects_total" => "reconnects",
+            "crayfish_net_failovers_total" => "failovers",
+            _ => continue,
+        };
+        let rate = prev_counters
+            .get(&render_key(s))
+            .map(|prev| (s.value - prev) / elapsed.as_secs_f64().max(1e-9));
+        match (short, rate) {
+            ("bytes_in" | "bytes_out", Some(r)) => {
+                lines.push(format!("{short}: {} ({r:.0} B/s)", s.value as u64))
+            }
+            _ => lines.push(format!("{short}: {}", s.value as u64)),
+        }
+    }
+    let mut rpc_rows = Vec::new();
+    for rpc in ["append", "read", "poll", "commit", "admin"] {
+        let h = series(samples, &format!("crayfish_rpc_{rpc}_ns_seconds"), None);
+        if h.count > 0.0 {
+            rpc_rows.push(format!(
+                "{rpc} p50/p99 ms: {:.3}/{:.3}",
+                ms(h.quantile(0.50)),
+                ms(h.quantile(0.99))
+            ));
+        }
+    }
+    if lines.is_empty() && rpc_rows.is_empty() {
+        return;
+    }
+    println!("\nNETWORK     {}", lines.join("  |  "));
+    if !rpc_rows.is_empty() {
+        println!("            {}", rpc_rows.join("  |  "));
     }
 }
 

@@ -194,8 +194,8 @@ mod tests {
         let (ctx, proc) = make_ctx(2, OverheadModel::zero());
         let broker = ctx.broker.clone();
         let job = proc.start(ctx).unwrap();
-        feed(&broker, "in", 8, 60);
-        let scored = drain_scored(&broker, "out", 8, 60, Duration::from_secs(10));
+        feed(broker.as_ref(), "in", 8, 60);
+        let scored = drain_scored(broker.as_ref(), "out", 8, 60, Duration::from_secs(10));
         assert_eq!(distinct_ids(&scored).len(), 60);
         job.stop();
     }
@@ -208,8 +208,8 @@ mod tests {
         let broker = ctx.broker.clone();
         let job = proc.start(ctx).unwrap();
         let sw = crayfish_sim::Stopwatch::start();
-        feed(&broker, "in", 8, 1);
-        drain_scored(&broker, "out", 8, 1, Duration::from_secs(10));
+        feed(broker.as_ref(), "in", 8, 1);
+        drain_scored(broker.as_ref(), "out", 8, 1, Duration::from_secs(10));
         // Two dispatches at >= 180 µs each, plus pipeline time.
         assert!(sw.elapsed_millis() >= 0.36, "{} ms", sw.elapsed_millis());
         job.stop();
@@ -220,10 +220,10 @@ mod tests {
         let (ctx, proc) = make_ctx(3, OverheadModel::zero());
         let broker = ctx.broker.clone();
         let job = proc.start(ctx).unwrap();
-        feed(&broker, "in", 8, 10);
-        drain_scored(&broker, "out", 8, 10, Duration::from_secs(10));
+        feed(broker.as_ref(), "in", 8, 10);
+        drain_scored(broker.as_ref(), "out", 8, 10, Duration::from_secs(10));
         job.stop();
-        feed(&broker, "in", 8, 5);
+        feed(broker.as_ref(), "in", 8, 5);
         std::thread::sleep(Duration::from_millis(150));
         assert_eq!(broker.total_records("out").unwrap(), 10);
     }

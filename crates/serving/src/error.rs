@@ -96,6 +96,16 @@ impl From<crayfish_runtime::RuntimeError> for ServingError {
     }
 }
 
+impl From<crayfish_net::NetError> for ServingError {
+    fn from(e: crayfish_net::NetError) -> Self {
+        match e {
+            crayfish_net::NetError::Io(e) => ServingError::Io(e),
+            crayfish_net::NetError::Frame(msg) => ServingError::Protocol(msg),
+            crayfish_net::NetError::Closed => ServingError::Closed,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,5 +140,22 @@ mod tests {
         .is_transient());
         assert!(!ServingError::Remote("bad shape".into()).is_transient());
         assert!(!ServingError::Protocol("bad magic".into()).is_transient());
+    }
+
+    #[test]
+    fn net_errors_map_onto_serving_taxonomy() {
+        assert!(matches!(
+            ServingError::from(crayfish_net::NetError::Closed),
+            ServingError::Closed
+        ));
+        assert!(matches!(
+            ServingError::from(crayfish_net::NetError::Frame("oversized".into())),
+            ServingError::Protocol(_)
+        ));
+        let io = crayfish_net::NetError::Io(std::io::Error::new(
+            std::io::ErrorKind::ConnectionReset,
+            "reset",
+        ));
+        assert!(matches!(ServingError::from(io), ServingError::Io(_)));
     }
 }

@@ -34,7 +34,6 @@ pub mod client;
 pub mod error;
 pub mod protocol;
 pub mod ray_serve;
-mod reactor;
 pub mod registry;
 pub mod resilient;
 pub mod restart;

@@ -19,8 +19,7 @@ use crayfish_tensor::Tensor;
 use crate::error::ServingError;
 use crate::Result;
 
-/// Maximum accepted frame/body size (mirrors the paper's 50 MB Kafka cap).
-pub const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
+pub use crayfish_net::MAX_FRAME_BYTES;
 
 // ---------------------------------------------------------------------------
 // gRPC-like binary frames
@@ -153,54 +152,23 @@ pub fn decode_request_binary(payload: &[u8]) -> Result<(Option<String>, Tensor)>
     }
 }
 
-/// Write one length-prefixed frame.
+/// Write one length-prefixed frame. Delegates to the shared
+/// `crayfish-net` codec; the error surfaces in serving's taxonomy.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<()> {
-    if payload.len() > MAX_FRAME_BYTES {
-        return Err(ServingError::Protocol(format!(
-            "frame of {} bytes exceeds cap",
-            payload.len()
-        )));
-    }
-    w.write_all(&(payload.len() as u32).to_le_bytes())?;
-    w.write_all(payload)?;
-    w.flush()?;
-    Ok(())
+    Ok(crayfish_net::write_frame(w, payload)?)
 }
 
 /// Build one length-prefixed frame as a byte vector — what `write_frame`
 /// puts on the wire, for transports (the reactor) that queue response
 /// bytes instead of writing them inline.
 pub fn frame_bytes(payload: &[u8]) -> Result<Vec<u8>> {
-    if payload.len() > MAX_FRAME_BYTES {
-        return Err(ServingError::Protocol(format!(
-            "frame of {} bytes exceeds cap",
-            payload.len()
-        )));
-    }
-    let mut out = Vec::with_capacity(4 + payload.len());
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(payload);
-    Ok(out)
+    Ok(crayfish_net::frame_bytes(payload)?)
 }
 
 /// Read one length-prefixed frame. Returns `None` on clean EOF at a frame
 /// boundary.
 pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
-    let mut len_buf = [0u8; 4];
-    match r.read_exact(&mut len_buf) {
-        Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e.into()),
-    }
-    let len = u32::from_le_bytes(len_buf) as usize;
-    if len > MAX_FRAME_BYTES {
-        return Err(ServingError::Protocol(format!(
-            "frame of {len} bytes exceeds cap"
-        )));
-    }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
-    Ok(Some(payload))
+    Ok(crayfish_net::read_frame(r)?)
 }
 
 // ---------------------------------------------------------------------------

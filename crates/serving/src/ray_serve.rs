@@ -36,8 +36,9 @@ use crayfish_runtime::{EmbeddedRuntime, OnnxRuntime};
 use crayfish_sim::Cost;
 use crayfish_tensor::{NnGraph, Tensor};
 
+use crayfish_net::{spawn_reactor_on, Responder, Wire};
+
 use crate::protocol::{http_overloaded_bytes, read_http_message, write_http_response, JsonTensor};
-use crate::reactor::{spawn_reactor_on, Responder, Wire};
 use crate::server::{spawn_listener_on, IoModel, ModelPool, ServerHandle, ServingConfig};
 use crate::Result;
 

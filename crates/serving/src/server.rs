@@ -1,19 +1,15 @@
-//! Shared server machinery: configuration, lifecycle handle, accept loop,
-//! and the worker-instance pool.
+//! Shared server machinery: configuration, lifecycle handle (re-exported
+//! from `crayfish-net`), accept loop, and the worker-instance pool.
 
-use std::collections::HashMap;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
-
-use parking_lot::Mutex;
+use std::net::SocketAddr;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
 
 use crayfish_admission::AdmissionConfig;
 use crayfish_runtime::{Device, LoadedModel};
 use crayfish_sim::OverheadModel;
+
+pub use crayfish_net::ServerHandle;
 
 use crate::{Result, ServingError};
 
@@ -68,90 +64,6 @@ impl Default for ServingConfig {
             io: IoModel::default(),
             admission: AdmissionConfig::default(),
         }
-    }
-}
-
-/// A running server. Dropping the handle (or calling
-/// [`shutdown`](ServerHandle::shutdown)) stops the listener, joins the
-/// accept loop, severs every live connection with `Shutdown::Both` — so
-/// clients blocked mid-read observe EOF promptly instead of hanging — and
-/// then runs any registered teardown hooks (reactor join, admission
-/// dispatcher drain).
-pub struct ServerHandle {
-    name: &'static str,
-    addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
-    connections: Arc<Mutex<HashMap<u64, TcpStream>>>,
-    /// Run once, in order, at the end of `stop` — after the accept loop
-    /// has joined and connections are severed.
-    teardown: Vec<Box<dyn FnOnce() + Send>>,
-}
-
-impl std::fmt::Debug for ServerHandle {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ServerHandle")
-            .field("name", &self.name)
-            .field("addr", &self.addr)
-            .finish_non_exhaustive()
-    }
-}
-
-impl ServerHandle {
-    /// The bound address (always a localhost ephemeral port).
-    pub fn addr(&self) -> SocketAddr {
-        self.addr
-    }
-
-    /// Server kind name.
-    pub fn name(&self) -> &'static str {
-        self.name
-    }
-
-    /// Stop accepting connections and join the accept loop.
-    pub fn shutdown(mut self) {
-        self.stop();
-    }
-
-    /// The shutdown flag, observed by auxiliary server threads (e.g. the
-    /// Ray Serve proxy and replicas) so they exit when the handle drops.
-    pub(crate) fn shutdown_flag(&self) -> Arc<AtomicBool> {
-        self.shutdown.clone()
-    }
-
-    /// Number of live connections currently tracked.
-    pub fn connection_count(&self) -> usize {
-        self.connections.lock().len()
-    }
-
-    /// Register a hook to run at the end of `stop`, after the accept loop
-    /// joins and connections are severed. The reactor path uses this to
-    /// join the poll thread and drain the admission dispatcher.
-    pub(crate) fn add_teardown(&mut self, hook: impl FnOnce() + Send + 'static) {
-        self.teardown.push(Box::new(hook));
-    }
-
-    fn stop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.accept_thread.take() {
-            let _ = h.join();
-        }
-        // Tear down live connections so handler threads exit and clients
-        // blocked on reads get EOF.
-        for (_, conn) in self.connections.lock().drain() {
-            let _ = conn.shutdown(Shutdown::Both);
-        }
-        for hook in self.teardown.drain(..) {
-            hook();
-        }
-    }
-}
-
-impl Drop for ServerHandle {
-    fn drop(&mut self) {
-        self.stop();
     }
 }
 
@@ -219,89 +131,21 @@ impl ModelPool {
 #[cfg(test)]
 pub(crate) fn spawn_listener(
     name: &'static str,
-    on_connection: impl Fn(TcpStream) + Send + Sync + 'static,
+    on_connection: impl Fn(std::net::TcpStream) + Send + Sync + 'static,
 ) -> Result<ServerHandle> {
     spawn_listener_on(name, SocketAddr::from(([127, 0, 0, 1], 0)), on_connection)
 }
 
 /// Spawn a TCP server bound to a specific address — used to restart a
 /// crashed server on the endpoint its clients already hold (see
-/// `crate::restart`).
+/// `crate::restart`). A thin wrapper over the shared `crayfish-net`
+/// listener that surfaces failures in serving's error taxonomy.
 pub(crate) fn spawn_listener_on(
     name: &'static str,
     addr: SocketAddr,
-    on_connection: impl Fn(TcpStream) + Send + Sync + 'static,
+    on_connection: impl Fn(std::net::TcpStream) + Send + Sync + 'static,
 ) -> Result<ServerHandle> {
-    let listener = TcpListener::bind(addr)?;
-    let addr = listener.local_addr()?;
-    let shutdown = Arc::new(AtomicBool::new(false));
-    let connections: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
-    let flag = shutdown.clone();
-    let conns = connections.clone();
-    let handler = Arc::new(on_connection);
-    let accept_thread = std::thread::Builder::new()
-        .name(format!("{name}-accept"))
-        .spawn(move || {
-            let mut next_conn_id = 0u64;
-            for stream in listener.incoming() {
-                if flag.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(stream) = stream else { continue };
-                stream.set_nodelay(true).ok();
-                let id = next_conn_id;
-                next_conn_id += 1;
-                if let Ok(clone) = stream.try_clone() {
-                    conns.lock().insert(id, clone);
-                }
-                let h = handler.clone();
-                let registry = conns.clone();
-                let spawned = std::thread::Builder::new()
-                    .name(format!("{name}-conn"))
-                    .spawn(move || {
-                        h(stream);
-                        // Drop the registry entry once the handler is done
-                        // so a long-lived server does not accumulate dead
-                        // sockets.
-                        registry.lock().remove(&id);
-                    });
-                if spawned.is_err() {
-                    // Out of threads: drop this connection (the client sees
-                    // EOF and retries) instead of killing the accept loop.
-                    if let Some(conn) = conns.lock().remove(&id) {
-                        let _ = conn.shutdown(Shutdown::Both);
-                    }
-                }
-            }
-        })?;
-    Ok(ServerHandle {
-        name,
-        addr,
-        shutdown,
-        accept_thread: Some(accept_thread),
-        connections,
-        teardown: Vec::new(),
-    })
-}
-
-/// Assemble a handle from parts — used by the reactor, whose accept loop
-/// injects connections into the poll thread instead of spawning handler
-/// threads.
-pub(crate) fn assemble_handle(
-    name: &'static str,
-    addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    accept_thread: JoinHandle<()>,
-    connections: Arc<Mutex<HashMap<u64, TcpStream>>>,
-) -> ServerHandle {
-    ServerHandle {
-        name,
-        addr,
-        shutdown,
-        accept_thread: Some(accept_thread),
-        connections,
-        teardown: Vec::new(),
-    }
+    Ok(crayfish_net::spawn_listener_on(name, addr, on_connection)?)
 }
 
 #[cfg(test)]
@@ -310,6 +154,9 @@ mod tests {
     use crayfish_models::tiny;
     use crayfish_runtime::{EmbeddedRuntime, OnnxRuntime};
     use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
 
     #[test]
     fn pool_bounds_concurrency() {

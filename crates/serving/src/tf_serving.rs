@@ -24,7 +24,8 @@ use crate::protocol::{
     decode_request_binary, encode_error_binary, encode_overloaded_binary, encode_tensor_binary,
     frame_bytes, read_frame, write_frame,
 };
-use crate::reactor::{spawn_reactor_on, Responder, Wire};
+use crayfish_net::{spawn_reactor_on, Responder, Wire};
+
 use crate::registry::ModelRegistry;
 use crate::server::{spawn_listener_on, IoModel, ServerHandle, ServingConfig};
 use crate::{Result, ServingError};

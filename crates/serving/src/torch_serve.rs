@@ -23,7 +23,8 @@ use crate::protocol::{
     decode_tensor_binary, encode_error_binary, encode_tensor_binary, read_frame, write_frame,
     JsonTensor,
 };
-use crate::reactor::{spawn_reactor_on, Responder, Wire};
+use crayfish_net::{spawn_reactor_on, Responder, Wire};
+
 use crate::server::{spawn_listener_on, IoModel, ModelPool, ServerHandle, ServingConfig};
 use crate::tf_serving::score_grpc_batch;
 use crate::{Result, ServingError};

@@ -278,8 +278,8 @@ mod tests {
         let broker = ctx.broker.clone();
         let job = SparkProcessor::new().start(ctx).unwrap();
         let start = std::time::Instant::now();
-        feed(&broker, "in", 8, 1);
-        drain_scored(&broker, "out", 8, 1, Duration::from_secs(10));
+        feed(broker.as_ref(), "in", 8, 1);
+        drain_scored(broker.as_ref(), "out", 8, 1, Duration::from_secs(10));
         let ms = start.elapsed().as_secs_f64() * 1e3;
         assert!(ms >= 10.0, "micro-batch completed in {ms} ms");
         job.stop();
@@ -293,8 +293,8 @@ mod tests {
         let broker = Broker::with_parts(NetworkModel::zero(), obs.clone(), ChaosHandle::disabled());
         let ctx = onnx_ctx(broker.clone(), 8, 2);
         let job = quick().start(ctx).unwrap();
-        feed(&broker, "in", 8, 30);
-        drain_scored(&broker, "out", 8, 30, Duration::from_secs(10));
+        feed(broker.as_ref(), "in", 8, 30);
+        drain_scored(broker.as_ref(), "out", 8, 30, Duration::from_secs(10));
         assert!(poll_until(Duration::from_secs(5), || {
             broker.group_lag("sut", "in").unwrap() == 0
         }));
@@ -307,10 +307,10 @@ mod tests {
         let ctx = onnx_ctx(Broker::new(NetworkModel::zero()), 8, 3);
         let broker = ctx.broker.clone();
         let job = quick().start(ctx).unwrap();
-        feed(&broker, "in", 8, 10);
-        drain_scored(&broker, "out", 8, 10, Duration::from_secs(10));
+        feed(broker.as_ref(), "in", 8, 10);
+        drain_scored(broker.as_ref(), "out", 8, 10, Duration::from_secs(10));
         job.stop();
-        feed(&broker, "in", 8, 5);
+        feed(broker.as_ref(), "in", 8, 5);
         std::thread::sleep(Duration::from_millis(100));
         assert_eq!(broker.total_records("out").unwrap(), 10);
     }

@@ -1,0 +1,105 @@
+//! `crayfish-node` — one broker node as a standalone process.
+//!
+//! Speaks the [`crayfish_broker::BrokerNode`] replication protocol on
+//! `--listen`, replicating to every `--peer id=addr` before acking
+//! client appends. Node 0 of a fresh cluster is started with `--leader`
+//! (bootstrap leadership at epoch 0); later leaders are promoted by
+//! failover-aware clients. The process runs until killed — the parent
+//! experiment owns its lifetime.
+//!
+//! ```text
+//! crayfish-node --id 0 --listen 127.0.0.1:4100 --min-isr 2 --leader \
+//!               --peer 1=127.0.0.1:4101 --peer 2=127.0.0.1:4102
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crayfish_broker::BrokerNode;
+use crayfish_chaos::ChaosHandle;
+use crayfish_obs::ObsHandle;
+
+struct Args {
+    id: u32,
+    listen: SocketAddr,
+    min_isr: u32,
+    leader: bool,
+    peers: Vec<(u32, SocketAddr)>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: crayfish-node --id N --listen ADDR [--min-isr N] [--leader] [--peer ID=ADDR]..."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut id = None;
+    let mut listen = None;
+    let mut min_isr = 1u32;
+    let mut leader = false;
+    let mut peers = Vec::new();
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--id" => id = value("--id").parse().ok(),
+            "--listen" => listen = value("--listen").parse().ok(),
+            "--min-isr" => min_isr = value("--min-isr").parse().unwrap_or(1),
+            "--leader" => leader = true,
+            "--peer" => {
+                let v = value("--peer");
+                let Some((pid, paddr)) = v.split_once('=') else {
+                    usage()
+                };
+                match (pid.parse(), paddr.parse()) {
+                    (Ok(p), Ok(a)) => peers.push((p, a)),
+                    _ => usage(),
+                }
+            }
+            _ => usage(),
+        }
+    }
+    let (Some(id), Some(listen)) = (id, listen) else {
+        usage()
+    };
+    Args {
+        id,
+        listen,
+        min_isr,
+        leader,
+        peers,
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let chaos = ChaosHandle::disabled();
+    let mut node = BrokerNode::new(args.id, args.min_isr, ObsHandle::disabled(), chaos.clone());
+    for &(pid, paddr) in &args.peers {
+        node.add_tcp_peer(pid, paddr, chaos.clone());
+    }
+    if args.leader {
+        node.make_leader(0);
+    }
+    let node = Arc::new(node);
+    // Long-polls park a worker per waiting client; size the pool for a
+    // handful of producers/consumers plus replication traffic.
+    let _server = match node.serve(args.listen, 16) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("crayfish-node {}: serve {}: {e}", args.id, args.listen);
+            std::process::exit(1);
+        }
+    };
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,177 @@
+//! `crayfish-worker` — one engine worker as a standalone process.
+//!
+//! Connects to a `crayfish-node` cluster through the failover-aware
+//! client, consumes its assigned input partitions, scores every batch
+//! with the embedded ONNX runtime, and produces `ScoredBatch` records to
+//! the output topic. Offsets are committed only after the scored output
+//! is flushed, so a SIGKILL anywhere in the loop replays uncommitted
+//! batches on the next incarnation (at-least-once; the broker's
+//! idempotence window drops producer-side retries). The process runs
+//! until killed — the parent experiment supervises and respawns it.
+//!
+//! ```text
+//! crayfish-worker --nodes 0=127.0.0.1:4100,1=127.0.0.1:4101 \
+//!                 --input crayfish-in-0 --output crayfish-out-0 \
+//!                 --group crayfish-sut --partitions 0,2,4 \
+//!                 --model tiny-mlp --seed 42
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crayfish_broker::{BrokerApi, PartitionConsumer, Producer, ProducerConfig};
+use crayfish_chaos::ChaosHandle;
+use crayfish_core::scoring::{score_payload, ScorerSpec};
+use crayfish_models::ModelSpec;
+use crayfish_obs::ObsHandle;
+use crayfish_runtime::{Device, EmbeddedLib};
+
+struct Args {
+    nodes: Vec<(u32, SocketAddr)>,
+    input: String,
+    output: String,
+    group: String,
+    partitions: Vec<u32>,
+    model: String,
+    seed: u64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: crayfish-worker --nodes ID=ADDR[,ID=ADDR]... --input TOPIC --output TOPIC \
+         --group GROUP --partitions P[,P]... --model NAME [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut nodes = Vec::new();
+    let mut input = None;
+    let mut output = None;
+    let mut group = None;
+    let mut partitions = Vec::new();
+    let mut model = None;
+    let mut seed = 42u64;
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let Some(v) = argv.next() else { usage() };
+        match flag.as_str() {
+            "--nodes" => {
+                for part in v.split(',') {
+                    let Some((id, addr)) = part.split_once('=') else {
+                        usage()
+                    };
+                    match (id.parse(), addr.parse()) {
+                        (Ok(i), Ok(a)) => nodes.push((i, a)),
+                        _ => usage(),
+                    }
+                }
+            }
+            "--input" => input = Some(v),
+            "--output" => output = Some(v),
+            "--group" => group = Some(v),
+            "--partitions" => {
+                for p in v.split(',') {
+                    match p.parse() {
+                        Ok(p) => partitions.push(p),
+                        Err(_) => usage(),
+                    }
+                }
+            }
+            "--model" => model = Some(v),
+            "--seed" => seed = v.parse().unwrap_or(42),
+            _ => usage(),
+        }
+    }
+    let (Some(input), Some(output), Some(group), Some(model)) = (input, output, group, model)
+    else {
+        usage()
+    };
+    if nodes.is_empty() || partitions.is_empty() {
+        usage();
+    }
+    Args {
+        nodes,
+        input,
+        output,
+        group,
+        partitions,
+        model,
+        seed,
+    }
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let broker: Arc<dyn BrokerApi> = crayfish_broker::connect_cluster(
+        &args.nodes,
+        ObsHandle::disabled(),
+        ChaosHandle::disabled(),
+    );
+    // The parent creates the topics after spawning us; wait for them.
+    let deadline = crayfish_sim::now() + Duration::from_secs(10);
+    while broker.partitions(&args.input).is_err() || broker.partitions(&args.output).is_err() {
+        if crayfish_sim::now() >= deadline {
+            return Err(format!(
+                "topics {}/{} never appeared",
+                args.input, args.output
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    let spec = ModelSpec::by_name(&args.model).map_err(|e| e.to_string())?;
+    let graph = Arc::new(spec.build(args.seed));
+    let mut scorer = ScorerSpec::Embedded {
+        lib: EmbeddedLib::Onnx,
+        graph,
+        device: Device::Cpu,
+    }
+    .build()
+    .map_err(|e| e.to_string())?;
+
+    let mut consumer = PartitionConsumer::new(
+        broker.clone(),
+        &args.input,
+        &args.group,
+        args.partitions.clone(),
+    )
+    .map_err(|e| e.to_string())?;
+    let mut producer = Producer::new(broker.clone(), &args.output, ProducerConfig::default())
+        .map_err(|e| e.to_string())?;
+
+    loop {
+        let records = match consumer.poll(Duration::from_millis(100)) {
+            Ok(r) => r,
+            Err(e) if e.is_transient() => {
+                // Broker failover in progress; the cluster client retries,
+                // and anything unacked replays from committed offsets.
+                std::thread::sleep(Duration::from_millis(50));
+                continue;
+            }
+            Err(e) => return Err(format!("poll: {e}")),
+        };
+        if records.is_empty() {
+            continue;
+        }
+        for rec in records {
+            if let Ok(out) = score_payload(scorer.as_mut(), &rec.value) {
+                let _ = producer.send(None, out);
+            }
+        }
+        // Flush the scored output before committing input offsets:
+        // crash-at-any-point then replays, never drops.
+        producer.flush();
+        consumer.commit();
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    if let Err(e) = run(&args) {
+        eprintln!("crayfish-worker: {e}");
+        std::process::exit(1);
+    }
+}

@@ -38,6 +38,7 @@ pub use crayfish_engine_kernel as kernel;
 pub use crayfish_flink as flink;
 pub use crayfish_kstreams as kstreams;
 pub use crayfish_models as models;
+pub use crayfish_net as net;
 pub use crayfish_obs as obs;
 pub use crayfish_ray as ray;
 pub use crayfish_runtime as runtime;

@@ -72,9 +72,13 @@ fn run_case(engine: &str, proc: &dyn DataProcessor, kind: FaultKind) {
 /// so the window forces failover instead of a total single-node outage.
 fn run_case_on(engine: &str, proc: &dyn DataProcessor, kind: FaultKind, cluster: ClusterConfig) {
     let chaos = ChaosHandle::enabled();
-    let broker =
-        Broker::with_cluster(NetworkModel::zero(), ObsHandle::disabled(), chaos.clone(), cluster)
-            .unwrap();
+    let broker = Broker::with_cluster(
+        NetworkModel::zero(),
+        ObsHandle::disabled(),
+        chaos.clone(),
+        cluster,
+    )
+    .unwrap();
     broker.create_topic("in", 4).unwrap();
     broker.create_topic("out", 4).unwrap();
 
@@ -308,7 +312,9 @@ fn leader_failover_drill_loses_nothing_and_rebalances() {
     let mut second: Option<GroupConsumer> = None;
     let mut incident = None;
     for id in 0..TOTAL {
-        producer.send(None, id.to_le_bytes().to_vec().into()).unwrap();
+        producer
+            .send(None, id.to_le_bytes().to_vec().into())
+            .unwrap();
         if id % 8 == seed % 8 {
             producer.flush();
         }
@@ -352,7 +358,11 @@ fn leader_failover_drill_loses_nothing_and_rebalances() {
         }
         distinct(&seen).len() as u64 >= TOTAL
     });
-    assert!(drained, "only {} of {TOTAL} ids arrived", distinct(&seen).len());
+    assert!(
+        drained,
+        "only {} of {TOTAL} ids arrived",
+        distinct(&seen).len()
+    );
     assert_eq!(
         seen.len() as u64,
         TOTAL,

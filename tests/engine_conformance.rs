@@ -73,16 +73,16 @@ fn conform(name: &str, processor: &dyn DataProcessor, scorer: ScorerSpec, marker
     // Half the load, then crash every supervised worker once, then the
     // rest: restarts must resume from the committed offsets with nothing
     // lost (at-least-once — duplicates are legal, gaps are not).
-    feed_range(&broker, "in", 8, 0, 25);
-    let first = drain_distinct(&broker, "out", 8, 25, Duration::from_secs(15));
+    feed_range(broker.as_ref(), "in", 8, 0, 25);
+    let first = drain_distinct(broker.as_ref(), "out", 8, 25, Duration::from_secs(15));
     assert_eq!(
         distinct_ids(&first).len(),
         25,
         "{name}: records lost before any fault"
     );
     chaos.inject_worker_crashes(2);
-    feed_range(&broker, "in", 8, 25, 50);
-    let scored = drain_distinct(&broker, "out", 8, 50, Duration::from_secs(20));
+    feed_range(broker.as_ref(), "in", 8, 25, 50);
+    let scored = drain_distinct(broker.as_ref(), "out", 8, 50, Duration::from_secs(20));
     assert_eq!(
         distinct_ids(&scored).len(),
         50,
@@ -116,7 +116,7 @@ fn conform(name: &str, processor: &dyn DataProcessor, scorer: ScorerSpec, marker
     // Graceful stop: joins promptly, and nothing is fetched afterwards.
     job.stop();
     let settled = broker.total_records("out").unwrap();
-    feed_range(&broker, "in", 8, 50, 55);
+    feed_range(broker.as_ref(), "in", 8, 50, 55);
     std::thread::sleep(Duration::from_millis(150));
     assert_eq!(
         broker.total_records("out").unwrap(),
