@@ -6,7 +6,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crate::handle::ChaosHandle;
 use crate::plan::{FaultKind, FaultPlan};
@@ -107,7 +107,7 @@ impl FaultInjector {
                 events.sort_by_key(|(t, e)| (*t, matches!(e, EventAction::End(_))));
 
                 let mut incident_ids: Vec<Option<usize>> = vec![None; windows.len()];
-                let t0 = Instant::now();
+                let t0 = crayfish_sim::now();
                 for (at, action) in events {
                     // Sleep in short slices so stop() stays responsive.
                     loop {

@@ -3,7 +3,7 @@
 //! anything else that would otherwise guess at timings).
 
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Poll `cond` every 5 ms until it returns `true` or `timeout` elapses.
 /// Returns whether the condition was met.
@@ -19,12 +19,12 @@ pub fn poll_until_every(
     interval: Duration,
     mut cond: impl FnMut() -> bool,
 ) -> bool {
-    let deadline = Instant::now() + timeout;
+    let deadline = crayfish_sim::now() + timeout;
     loop {
         if cond() {
             return true;
         }
-        let now = Instant::now();
+        let now = crayfish_sim::now();
         if now >= deadline {
             return cond();
         }
@@ -37,6 +37,7 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
+    use std::time::Instant;
 
     #[test]
     fn returns_immediately_when_already_true() {

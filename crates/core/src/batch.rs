@@ -151,7 +151,7 @@ pub fn encode_output_obs(
 pub mod testkit {
     use std::collections::BTreeSet;
     use std::sync::Arc;
-    use std::time::{Duration, Instant};
+    use std::time::Duration;
 
     use bytes::Bytes;
 
@@ -221,10 +221,10 @@ pub mod testkit {
         timeout: Duration,
         done: impl Fn(&[ScoredBatch]) -> bool,
     ) -> Vec<ScoredBatch> {
-        let deadline = Instant::now() + timeout;
+        let deadline = crayfish_sim::now() + timeout;
         let mut out = Vec::new();
         let mut offsets = vec![0u64; partitions as usize];
-        while !done(&out) && Instant::now() < deadline {
+        while !done(&out) && crayfish_sim::now() < deadline {
             for p in 0..partitions {
                 let recs = broker
                     .read(topic, p, offsets[p as usize], 10_000, usize::MAX)

@@ -1,0 +1,661 @@
+//! Project-wide call graph over the extracted items.
+//!
+//! Calls are resolved *intra-crate* by name/receiver heuristics:
+//!
+//! * `self.name(..)` prefers methods of the enclosing `impl` owner, then
+//!   any same-crate method of that name (all of them, when ambiguous —
+//!   an over-approximation, which keeps the reachability analyses sound).
+//! * `recv.name(..)` resolves to every same-crate method of that name.
+//! * `name(..)` resolves to free fns: same module first, then crate-wide.
+//! * `Type::name(..)` / `Self::name(..)` resolve through the owner index;
+//!   longer paths (`a::b::name(..)`) match fns whose module path ends
+//!   with the written segments.
+//!
+//! Every call site that matches no project item is *recorded* as an
+//! unresolved edge (std/external calls land here too) — never silently
+//! dropped — so the JSON report can account for the analyses' blind spots.
+
+use std::collections::HashMap;
+
+use crate::items::FnItem;
+
+/// How a call site resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Resolution {
+    /// Resolved to exactly one project fn.
+    Unique(usize),
+    /// Name matched several candidates; the edge fans out to all of them.
+    Ambiguous(Vec<usize>),
+    /// No project fn matched (std, external crate, closure, macro-hidden).
+    Unresolved,
+}
+
+/// One textual call site inside a fn body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Byte offset of the callee name in cleaned text (file-absolute).
+    pub pos: usize,
+    /// The callee path as written, `::`-joined (`self.` receivers reduced
+    /// to the method name; `a::b::f` kept whole).
+    pub path: String,
+    /// True for `recv.name(..)` method syntax.
+    pub is_method: bool,
+    pub resolution: Resolution,
+}
+
+/// The graph: per-fn call sites plus resolution accounting.
+pub struct CallGraph {
+    pub fns: Vec<FnItem>,
+    /// `calls[i]` — call sites found in `fns[i]`'s body.
+    pub calls: Vec<Vec<CallSite>>,
+    pub resolved_edges: usize,
+    pub ambiguous_edges: usize,
+    pub unresolved_edges: usize,
+}
+
+impl CallGraph {
+    /// Indices of every callee `site` may reach.
+    pub fn targets<'a>(&self, site: &'a CallSite) -> &'a [usize] {
+        match &site.resolution {
+            Resolution::Unique(id) => std::slice::from_ref(id),
+            Resolution::Ambiguous(ids) => ids,
+            Resolution::Unresolved => &[],
+        }
+    }
+
+    /// Fn ids whose item satisfies `pred`.
+    pub fn find(&self, pred: impl Fn(&FnItem) -> bool) -> Vec<usize> {
+        (0..self.fns.len())
+            .filter(|&i| pred(&self.fns[i]))
+            .collect()
+    }
+
+    /// Breadth-first reachability from `entries` through resolved edges.
+    /// Returns `parent[i] = Some(caller)` for every reached fn (entries
+    /// map to themselves), usable to reconstruct a call chain.
+    pub fn reach(&self, entries: &[usize]) -> HashMap<usize, usize> {
+        let mut parent: HashMap<usize, usize> = HashMap::new();
+        let mut queue: Vec<usize> = Vec::new();
+        for &e in entries {
+            if parent.insert(e, e).is_none() {
+                queue.push(e);
+            }
+        }
+        let mut head = 0;
+        while head < queue.len() {
+            let cur = queue[head];
+            head += 1;
+            for site in &self.calls[cur] {
+                for &t in self.targets(site) {
+                    // First discovery wins: re-inserting would repoint the
+                    // parent of an already-visited node and could knot the
+                    // parent map into a cycle (mutual recursion), which
+                    // `chain` would then follow forever.
+                    if let std::collections::hash_map::Entry::Vacant(e) = parent.entry(t) {
+                        e.insert(cur);
+                        queue.push(t);
+                    }
+                }
+            }
+        }
+        parent
+    }
+
+    /// `entry->..->target` qualified-name chain from a `reach` parent map.
+    pub fn chain(&self, parent: &HashMap<usize, usize>, target: usize) -> String {
+        let mut ids = vec![target];
+        let mut cur = target;
+        while let Some(&p) = parent.get(&cur) {
+            if p == cur {
+                break;
+            }
+            ids.push(p);
+            cur = p;
+        }
+        ids.reverse();
+        ids.iter()
+            .map(|&i| self.fns[i].qualified())
+            .collect::<Vec<_>>()
+            .join("->")
+    }
+}
+
+const KEYWORDS: &[&str] = &[
+    "if", "else", "match", "while", "for", "loop", "return", "let", "in", "as", "move", "ref",
+    "mut", "where", "unsafe", "dyn", "impl", "pub", "use", "mod", "type", "struct", "enum",
+    "trait", "const", "static", "break", "continue", "fn", "await", "async", "crate", "super",
+];
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Scan one fn body (cleaned text slice) for call sites. `base` is the
+/// slice's offset within the file, so positions come out file-absolute.
+pub fn call_sites_in(body: &str, base: usize) -> Vec<RawCall> {
+    let bytes = body.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if !is_ident(bytes[i]) || bytes[i].is_ascii_digit() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < bytes.len() && is_ident(bytes[i]) {
+            i += 1;
+        }
+        let name = &body[start..i];
+        // Opening paren (allowing whitespace), with no `!` (macro) and no
+        // `::<..>` turbofish — handle the turbofish by skipping it.
+        let mut j = i;
+        if body[j..].starts_with("::<") {
+            let mut depth = 0usize;
+            let mut k = j + 2;
+            while k < bytes.len() {
+                match bytes[k] {
+                    b'<' => depth += 1,
+                    b'>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            k += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            j = k;
+        }
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if j >= bytes.len() || bytes[j] != b'(' {
+            continue;
+        }
+        if KEYWORDS.contains(&name) {
+            continue;
+        }
+        // Declaration, not a call: `fn name(`.
+        let before_name = body[..start].trim_end();
+        if before_name.ends_with("fn")
+            && !before_name.as_bytes()[..before_name.len() - 2]
+                .last()
+                .copied()
+                .is_some_and(is_ident)
+        {
+            continue;
+        }
+        // Walk the prefix: `.` makes it a method call; `::` chains build a
+        // path. `a.b.c(` reduces to method `c`; `a::b::c(` keeps the path.
+        let mut segments = vec![name.to_string()];
+        let mut is_method = false;
+        let mut p = start;
+        loop {
+            if p >= 2 && &body[p - 2..p] == "::" {
+                let seg_end = p - 2;
+                let mut s = seg_end;
+                while s > 0 && is_ident(bytes[s - 1]) {
+                    s -= 1;
+                }
+                if s == seg_end {
+                    break; // `<T>::name(` or similar — stop at the gap.
+                }
+                segments.insert(0, body[s..seg_end].to_string());
+                p = s;
+            } else if p >= 1 && bytes[p - 1] == b'.' {
+                is_method = true;
+                break;
+            } else {
+                break;
+            }
+        }
+        out.push(RawCall {
+            pos: base + start,
+            segments,
+            is_method,
+        });
+    }
+    out
+}
+
+/// A call site before resolution.
+#[derive(Debug)]
+pub struct RawCall {
+    pub pos: usize,
+    pub segments: Vec<String>,
+    pub is_method: bool,
+}
+
+/// `self.` receiver root of a method call at `pos` (absolute), if the
+/// dotted chain starts at `self`.
+fn receiver_is_self(clean: &str, name_start: usize) -> bool {
+    let bytes = clean.as_bytes();
+    let mut p = name_start;
+    // Walk back over `.field`, `[..]`, `(..)` groups to the chain root.
+    loop {
+        if p >= 1 && bytes[p - 1] == b'.' {
+            p -= 1;
+            let c = if p > 0 { bytes[p - 1] } else { b' ' };
+            if c == b']' || c == b')' {
+                let open = if c == b']' { b'[' } else { b'(' };
+                let close = c;
+                let mut depth = 0usize;
+                while p > 0 {
+                    let d = bytes[p - 1];
+                    p -= 1;
+                    if d == close {
+                        depth += 1;
+                    } else if d == open {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                }
+            } else if is_ident(c) {
+                let end = p;
+                while p > 0 && is_ident(bytes[p - 1]) {
+                    p -= 1;
+                }
+                if &clean[p..end] == "self" {
+                    return true;
+                }
+            } else {
+                return false;
+            }
+        } else {
+            return false;
+        }
+    }
+}
+
+/// Build the call graph for a set of items over their files' cleaned text.
+/// `texts[rel]` must hold the cleaned text of every file items came from.
+/// Method names shared with the std collections/iterator/sync vocabulary.
+/// On a non-`self` receiver these stay unresolved rather than fanning out
+/// to every same-named project method (self-receivers still resolve, and
+/// `Type::name(..)` paths are unaffected).
+const STD_METHOD_NAMES: &[&str] = &[
+    "append",
+    "insert",
+    "remove",
+    "get",
+    "get_mut",
+    "push",
+    "pop",
+    "drain",
+    "clear",
+    "len",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "next",
+    "read",
+    "write",
+    "lock",
+    "send",
+    "recv",
+    "take",
+    "clone",
+    "extend",
+    "retain",
+    "contains",
+    "contains_key",
+    "entry",
+    "keys",
+    "values",
+    "join",
+    "wait",
+    "get_or_insert_with",
+    "split_off",
+    "map",
+    "and_then",
+    "unwrap_or",
+    "unwrap_or_else",
+    "ok",
+    "err",
+    "into",
+    "from",
+    "new",
+    "flush",
+    "start",
+    "finish",
+    "shutdown",
+];
+
+pub fn build(fns: Vec<FnItem>, texts: &HashMap<String, String>) -> CallGraph {
+    // Per-crate indices.
+    struct Index {
+        methods: HashMap<String, Vec<usize>>,
+        owner_methods: HashMap<(String, String), Vec<usize>>,
+        free: HashMap<String, Vec<usize>>,
+    }
+    let mut by_crate: HashMap<String, Index> = HashMap::new();
+    for (id, f) in fns.iter().enumerate() {
+        let idx = by_crate
+            .entry(f.crate_name.clone())
+            .or_insert_with(|| Index {
+                methods: HashMap::new(),
+                owner_methods: HashMap::new(),
+                free: HashMap::new(),
+            });
+        match &f.owner {
+            Some(t) => {
+                idx.methods.entry(f.name.clone()).or_default().push(id);
+                idx.owner_methods
+                    .entry((t.clone(), f.name.clone()))
+                    .or_default()
+                    .push(id);
+            }
+            None => idx.free.entry(f.name.clone()).or_default().push(id),
+        }
+    }
+
+    let mut calls: Vec<Vec<CallSite>> = Vec::with_capacity(fns.len());
+    let (mut resolved, mut ambiguous, mut unresolved) = (0usize, 0usize, 0usize);
+    for f in &fns {
+        let Some(clean) = texts.get(&f.rel) else {
+            calls.push(Vec::new());
+            continue;
+        };
+        let (open, close) = f.body;
+        let raw = call_sites_in(&clean[open..=close], open);
+        let idx = &by_crate[&f.crate_name];
+        let mut sites = Vec::with_capacity(raw.len());
+        for rc in raw {
+            let name = rc.segments.last().cloned().unwrap_or_default();
+            // Exclude self-recursion-only resolution noise: a call site
+            // inside fn X matching only X itself is still a real edge.
+            let candidates: Vec<usize> = if rc.is_method {
+                let self_recv = receiver_is_self(clean, rc.pos);
+                let owned = f
+                    .owner
+                    .as_ref()
+                    .and_then(|t| idx.owner_methods.get(&(t.clone(), name.clone())));
+                match (self_recv, owned) {
+                    (true, Some(ids)) => ids.clone(),
+                    // A method on a non-`self` receiver whose name
+                    // collides with the std collection/sync vocabulary
+                    // (`v.append(..)`, `map.insert(..)`) is far more
+                    // likely std than project code: fanning out to every
+                    // same-named project method would flood the graph
+                    // with false edges. Recorded as unresolved instead.
+                    (false, _) if STD_METHOD_NAMES.contains(&name.as_str()) => Vec::new(),
+                    _ => idx.methods.get(&name).cloned().unwrap_or_default(),
+                }
+            } else if rc.segments.len() >= 2 {
+                let qualifier = &rc.segments[rc.segments.len() - 2];
+                let is_type =
+                    qualifier.chars().next().is_some_and(char::is_uppercase) || qualifier == "Self";
+                if is_type {
+                    let owner = if qualifier == "Self" {
+                        f.owner.clone().unwrap_or_default()
+                    } else {
+                        qualifier.clone()
+                    };
+                    idx.owner_methods
+                        .get(&(owner, name.clone()))
+                        .cloned()
+                        .unwrap_or_default()
+                } else {
+                    // Module path: match free fns whose module path ends
+                    // with the written prefix (ignoring crate/self/super).
+                    let prefix: Vec<&String> = rc.segments[..rc.segments.len() - 1]
+                        .iter()
+                        .filter(|s| !matches!(s.as_str(), "crate" | "self" | "super"))
+                        .collect();
+                    idx.free
+                        .get(&name)
+                        .map(|ids| {
+                            ids.iter()
+                                .copied()
+                                .filter(|&id| {
+                                    let m = &fns[id].module;
+                                    m.len() >= prefix.len()
+                                        && m[m.len() - prefix.len()..]
+                                            .iter()
+                                            .zip(&prefix)
+                                            .all(|(a, b)| a == *b)
+                                })
+                                .collect()
+                        })
+                        .unwrap_or_default()
+                }
+            } else {
+                // Bare `name(` — free fns, same module preferred.
+                match idx.free.get(&name) {
+                    Some(ids) => {
+                        let same_module: Vec<usize> = ids
+                            .iter()
+                            .copied()
+                            .filter(|&id| fns[id].module == f.module)
+                            .collect();
+                        if same_module.is_empty() {
+                            ids.clone()
+                        } else {
+                            same_module
+                        }
+                    }
+                    None => Vec::new(),
+                }
+            };
+            let resolution = match candidates.len() {
+                0 => {
+                    unresolved += 1;
+                    Resolution::Unresolved
+                }
+                1 => {
+                    resolved += 1;
+                    Resolution::Unique(candidates[0])
+                }
+                _ => {
+                    ambiguous += 1;
+                    Resolution::Ambiguous(candidates)
+                }
+            };
+            sites.push(CallSite {
+                pos: rc.pos,
+                path: rc.segments.join("::"),
+                is_method: rc.is_method,
+                resolution,
+            });
+        }
+        calls.push(sites);
+    }
+    CallGraph {
+        fns,
+        calls,
+        resolved_edges: resolved,
+        ambiguous_edges: ambiguous,
+        unresolved_edges: unresolved,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::file_fns;
+    use crate::source::SourceFile;
+
+    fn graph(files: &[(&str, &str)]) -> CallGraph {
+        let sources: Vec<SourceFile> = files
+            .iter()
+            .map(|(rel, code)| SourceFile::synthetic(rel, code))
+            .collect();
+        let mut fns = Vec::new();
+        let mut texts = HashMap::new();
+        for s in &sources {
+            fns.extend(file_fns(s));
+            texts.insert(s.rel.clone(), s.clean.clone());
+        }
+        build(fns, &texts)
+    }
+
+    fn id(g: &CallGraph, q: &str) -> usize {
+        g.find(|f| f.qualified() == q)
+            .first()
+            .copied()
+            .unwrap_or_else(|| panic!("no fn {q}"))
+    }
+
+    fn callees(g: &CallGraph, q: &str) -> Vec<String> {
+        let i = id(g, q);
+        let mut out = Vec::new();
+        for site in &g.calls[i] {
+            for &t in g.targets(site) {
+                out.push(g.fns[t].qualified());
+            }
+        }
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn free_fn_call_resolves_in_same_file() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "fn caller() { helper(); }\nfn helper() {}\n",
+        )]);
+        assert_eq!(callees(&g, "a::caller"), vec!["a::helper"]);
+        assert_eq!(g.resolved_edges, 1);
+    }
+
+    #[test]
+    fn shadowed_names_prefer_the_same_module() {
+        let g = graph(&[
+            (
+                "crates/a/src/x.rs",
+                "pub fn helper() {}\nfn caller() { helper(); }\n",
+            ),
+            ("crates/a/src/y.rs", "pub fn helper() {}\n"),
+        ]);
+        // Bare call in x resolves to x::helper only, not y::helper.
+        assert_eq!(callees(&g, "a::x::caller"), vec!["a::x::helper"]);
+    }
+
+    #[test]
+    fn cross_module_path_call_resolves_by_suffix() {
+        let g = graph(&[
+            (
+                "crates/a/src/x.rs",
+                "fn caller() { crate::y::helper(); y::helper(); }\n",
+            ),
+            ("crates/a/src/y.rs", "pub fn helper() {}\n"),
+        ]);
+        assert_eq!(
+            callees(&g, "a::x::caller"),
+            vec!["a::y::helper", "a::y::helper"]
+        );
+    }
+
+    #[test]
+    fn method_call_on_self_prefers_the_owner_impl() {
+        let code = "struct A;\nstruct B;\n\
+            impl A { fn go(&self) { self.step(); }\n fn step(&self) {} }\n\
+            impl B { fn step(&self) {} }\n";
+        let g = graph(&[("crates/a/src/m.rs", code)]);
+        assert_eq!(callees(&g, "a::m::A::go"), vec!["a::m::A::step"]);
+        assert_eq!(g.ambiguous_edges, 0);
+    }
+
+    #[test]
+    fn method_call_on_other_receiver_fans_out_to_all_candidates() {
+        let code = "struct A;\nstruct B;\n\
+            fn free(x: &A) { x.step(); }\n\
+            impl A { fn step(&self) {} }\n\
+            impl B { fn step(&self) {} }\n";
+        let g = graph(&[("crates/a/src/m.rs", code)]);
+        assert_eq!(
+            callees(&g, "a::m::free"),
+            vec!["a::m::A::step", "a::m::B::step"]
+        );
+        assert_eq!(g.ambiguous_edges, 1);
+    }
+
+    #[test]
+    fn associated_fn_path_resolves_via_owner() {
+        let code = "struct A;\nimpl A { fn new() -> A { A }\n fn fresh() -> A { Self::new() } }\n\
+                    fn make() -> A { A::new() }\n";
+        let g = graph(&[("crates/a/src/m.rs", code)]);
+        assert_eq!(callees(&g, "a::m::make"), vec!["a::m::A::new"]);
+        assert_eq!(callees(&g, "a::m::A::fresh"), vec!["a::m::A::new"]);
+    }
+
+    #[test]
+    fn method_vs_free_fn_with_same_name_do_not_cross() {
+        let code = "struct A;\nimpl A { fn run(&self) {} }\n\
+                    fn run() {}\nfn caller(a: &A) { run(); a.run(); }\n";
+        let g = graph(&[("crates/a/src/m.rs", code)]);
+        let i = id(&g, "a::m::caller");
+        let resolved: Vec<(bool, Vec<String>)> = g.calls[i]
+            .iter()
+            .map(|s| {
+                (
+                    s.is_method,
+                    g.targets(s).iter().map(|&t| g.fns[t].qualified()).collect(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            resolved,
+            vec![
+                (false, vec!["a::m::run".to_string()]),
+                (true, vec!["a::m::A::run".to_string()]),
+            ]
+        );
+    }
+
+    #[test]
+    fn external_calls_are_recorded_as_unresolved() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "fn f() { std::thread::sleep(d); x.len(); Vec::new(); }\n",
+        )]);
+        assert_eq!(g.unresolved_edges, 3);
+        assert_eq!(g.resolved_edges, 0);
+    }
+
+    #[test]
+    fn macros_and_keywords_are_not_calls() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "fn f() { if (a) { panic!(\"x\"); } while (b) {} vec![1]; }\n",
+        )]);
+        assert_eq!(g.unresolved_edges, 0);
+        assert!(g.calls[id(&g, "a::f")].is_empty());
+    }
+
+    #[test]
+    fn calls_across_crates_stay_unresolved() {
+        let g = graph(&[
+            ("crates/a/src/lib.rs", "pub fn helper() {}\n"),
+            ("crates/b/src/lib.rs", "fn caller() { helper(); }\n"),
+        ]);
+        assert_eq!(g.unresolved_edges, 1);
+        assert!(callees(&g, "b::caller").is_empty());
+    }
+
+    #[test]
+    fn reach_and_chain_reconstruct_paths() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "fn entry() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}\n",
+        )]);
+        let e = id(&g, "a::entry");
+        let l = id(&g, "a::leaf");
+        let parents = g.reach(&[e]);
+        assert!(parents.contains_key(&l));
+        assert_eq!(g.chain(&parents, l), "a::entry->a::mid->a::leaf");
+    }
+
+    #[test]
+    fn turbofish_calls_still_parse() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "fn f() { helper::<u32>(); }\nfn helper<T>() {}\n",
+        )]);
+        assert_eq!(callees(&g, "a::f"), vec!["a::helper"]);
+    }
+}

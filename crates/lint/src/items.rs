@@ -1,0 +1,415 @@
+//! Item extraction: every `fn` in the project, with enough of its
+//! surrounding context (crate, module path, `impl`/`trait` owner) to give
+//! it a stable qualified name and to resolve calls against it.
+//!
+//! This is not a parser. It is the same deliberately small token-level
+//! model as `source.rs`: it walks *cleaned* text (comments, strings, and
+//! test items already blanked) and recovers item structure from `mod X {`,
+//! `impl .. {`, `trait X {`, and `fn name` tokens plus brace matching.
+//! That is exact for the shapes this repo actually writes and degrades
+//! to "fewer resolved edges" — never to wrong line numbers — elsewhere.
+
+use crate::source::{matching, SourceFile};
+
+/// One function item with a body.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Repo-relative file path.
+    pub rel: String,
+    /// Crate key: `broker` for `crates/broker/src/..`, `crayfish` for the
+    /// root `src/` tree.
+    pub crate_name: String,
+    /// Module path inside the crate: file-derived segments plus inline
+    /// `mod` blocks, e.g. `["kernels", "gemm"]`.
+    pub module: Vec<String>,
+    /// `impl`/`trait` owner type, if the fn is an associated item
+    /// (`impl Broker { fn append .. }` → `Some("Broker")`).
+    pub owner: Option<String>,
+    pub name: String,
+    /// 1-based declaration line in the original file.
+    pub line: usize,
+    /// Byte offset of the `fn` keyword in cleaned text.
+    pub fn_pos: usize,
+    /// Body byte range in cleaned text, inclusive of both braces.
+    pub body: (usize, usize),
+}
+
+impl FnItem {
+    /// Stable whitespace-free qualified name used in fingerprints:
+    /// `crate::module::Owner::name`. Survives line churn by construction.
+    pub fn qualified(&self) -> String {
+        let mut q = self.crate_name.clone();
+        for m in &self.module {
+            q.push_str("::");
+            q.push_str(m);
+        }
+        if let Some(t) = &self.owner {
+            q.push_str("::");
+            q.push_str(t);
+        }
+        q.push_str("::");
+        q.push_str(&self.name);
+        q
+    }
+}
+
+/// Crate key for a repo-relative path.
+pub fn crate_of(rel: &str) -> String {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        rest.split('/').next().unwrap_or("unknown").to_string()
+    } else {
+        "crayfish".to_string()
+    }
+}
+
+/// File-derived module path: `crates/broker/src/rpc.rs` → `["rpc"]`,
+/// `src/bin/crayfish-node.rs` → `["bin", "crayfish-node"]`,
+/// `crates/tensor/src/kernels/mod.rs` → `["kernels"]`, crate roots → `[]`.
+fn file_modules(rel: &str) -> Vec<String> {
+    let after_src = match rel.find("src/") {
+        Some(i) => &rel[i + 4..],
+        None => rel,
+    };
+    let mut mods: Vec<String> = after_src
+        .trim_end_matches(".rs")
+        .split('/')
+        .map(str::to_string)
+        .collect();
+    if matches!(
+        mods.last().map(String::as_str),
+        Some("lib" | "main" | "mod")
+    ) {
+        mods.pop();
+    }
+    mods
+}
+
+/// A `mod`/`impl`/`trait` block span in cleaned text.
+#[derive(Debug)]
+struct Scope {
+    start: usize,
+    end: usize,
+    /// `Some(name)` for `mod name { .. }`, `None` for impl/trait scopes.
+    module: Option<String>,
+    /// `Some(type)` for impl/trait scopes.
+    owner: Option<String>,
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Previous non-whitespace byte before `pos`, if any.
+fn prev_nonspace(bytes: &[u8], pos: usize) -> Option<u8> {
+    bytes[..pos]
+        .iter()
+        .rev()
+        .copied()
+        .find(|b| !b.is_ascii_whitespace())
+}
+
+/// Does the keyword at `pos` (already matched textually) sit at item
+/// position? True when preceded by nothing or by `;`, `{`, `}`, or `]`
+/// (the close of an attribute) — which excludes `-> impl Trait`,
+/// `&impl`, `(impl ..)` argument positions, and expression contexts.
+fn at_item_position(bytes: &[u8], pos: usize) -> bool {
+    match prev_nonspace(bytes, pos) {
+        None => true,
+        Some(b) => matches!(b, b';' | b'{' | b'}' | b']'),
+    }
+}
+
+/// Occurrences of keyword `kw` as a whole word in `clean`. The character
+/// after may be whitespace or `<` (`impl<T: Clone> ..` has no space).
+fn keyword_positions(clean: &str, kw: &str) -> Vec<usize> {
+    let bytes = clean.as_bytes();
+    let mut out = Vec::new();
+    let mut search = 0;
+    while let Some(found) = clean[search..].find(kw) {
+        let pos = search + found;
+        search = pos + kw.len();
+        if pos > 0 && is_ident(bytes[pos - 1]) {
+            continue;
+        }
+        if bytes
+            .get(pos + kw.len())
+            .is_some_and(|&b| is_ident(b) || !(b.is_ascii_whitespace() || b == b'<'))
+        {
+            continue;
+        }
+        out.push(pos);
+    }
+    out
+}
+
+/// Strip balanced `<..>` generic groups from a header snippet.
+fn strip_generics(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut depth = 0usize;
+    for c in s.chars() {
+        match c {
+            '<' => depth += 1,
+            '>' if depth > 0 => depth -= 1,
+            _ if depth == 0 => out.push(c),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// The owner type named by an `impl`/`trait` header (text between the
+/// keyword and the `{`): `impl<T> fmt::Debug for Conn<T> where ..` → `Conn`.
+fn owner_of_header(header: &str) -> Option<String> {
+    let flat = strip_generics(header);
+    let flat = flat.split(" where ").next().unwrap_or(&flat);
+    let target = match flat.rfind(" for ") {
+        Some(i) => &flat[i + 5..],
+        None => flat,
+    };
+    let target = target.trim().trim_start_matches('&');
+    // Last path segment of the leading path: `fmt::Debug` → `Debug`.
+    let first_token: String = target
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_' || *c == ':')
+        .collect();
+    let seg = first_token.rsplit("::").next().unwrap_or("").to_string();
+    if seg.is_empty() {
+        None
+    } else {
+        Some(seg)
+    }
+}
+
+/// All mod/impl/trait scopes in cleaned text.
+fn scopes(clean: &str) -> Vec<Scope> {
+    let bytes = clean.as_bytes();
+    let mut out = Vec::new();
+    for pos in keyword_positions(clean, "mod") {
+        let after = &clean[pos + 3..];
+        let name: String = after
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        // `mod name;` declares an out-of-line module — no scope here.
+        let Some(brace_rel) = after.find(['{', ';']) else {
+            continue;
+        };
+        let brace = pos + 3 + brace_rel;
+        if bytes[brace] != b'{' || name.is_empty() {
+            continue;
+        }
+        if let Some(end) = matching(bytes, brace, b'{', b'}') {
+            out.push(Scope {
+                start: brace,
+                end,
+                module: Some(name),
+                owner: None,
+            });
+        }
+    }
+    for kw in ["impl", "trait"] {
+        for pos in keyword_positions(clean, kw) {
+            if !at_item_position(bytes, pos) {
+                continue;
+            }
+            let Some(brace_rel) = clean[pos..].find(['{', ';']) else {
+                continue;
+            };
+            let brace = pos + brace_rel;
+            if bytes[brace] != b'{' {
+                continue;
+            }
+            let header = &clean[pos + kw.len()..brace];
+            let Some(owner) = owner_of_header(header) else {
+                continue;
+            };
+            if let Some(end) = matching(bytes, brace, b'{', b'}') {
+                out.push(Scope {
+                    start: brace,
+                    end,
+                    module: None,
+                    owner: Some(owner),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Extract every bodied `fn` of one file.
+pub fn file_fns(file: &SourceFile) -> Vec<FnItem> {
+    let clean = &file.clean;
+    let bytes = clean.as_bytes();
+    let scopes = scopes(clean);
+    let crate_name = crate_of(&file.rel);
+    let base_modules = file_modules(&file.rel);
+    let mut out = Vec::new();
+    for pos in keyword_positions(clean, "fn") {
+        let after = &clean[pos + 3..];
+        let name: String = after
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if name.is_empty() {
+            continue;
+        }
+        // Find the body opener; a `;` first means a bodiless signature.
+        let mut j = pos + 3;
+        let mut paren_depth = 0usize;
+        let open = loop {
+            if j >= bytes.len() {
+                break None;
+            }
+            match bytes[j] {
+                b'(' | b'[' => paren_depth += 1,
+                b')' | b']' => paren_depth = paren_depth.saturating_sub(1),
+                b';' if paren_depth == 0 => break None,
+                b'{' if paren_depth == 0 => break Some(j),
+                _ => {}
+            }
+            j += 1;
+        };
+        let Some(open) = open else { continue };
+        let Some(close) = matching(bytes, open, b'{', b'}') else {
+            continue;
+        };
+        // Enclosing scopes, innermost last. The innermost impl/trait scope
+        // containing the fn (but not another fn in between — nested fns in
+        // this repo are free) names the owner; every enclosing named mod
+        // extends the module path.
+        let mut module = base_modules.clone();
+        let mut owner = None;
+        let mut enclosing: Vec<&Scope> = scopes
+            .iter()
+            .filter(|s| s.start < pos && pos < s.end)
+            .collect();
+        enclosing.sort_by_key(|s| s.start);
+        for s in enclosing {
+            if let Some(m) = &s.module {
+                module.push(m.clone());
+            }
+            if let Some(t) = &s.owner {
+                owner = Some(t.clone());
+            }
+        }
+        out.push(FnItem {
+            rel: file.rel.clone(),
+            crate_name: crate_name.clone(),
+            module,
+            owner,
+            name,
+            line: file.line_of(pos),
+            fn_pos: pos,
+            body: (open, close),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn fns(rel: &str, code: &str) -> Vec<FnItem> {
+        file_fns(&SourceFile::synthetic(rel, code))
+    }
+
+    #[test]
+    fn free_fn_gets_file_module_path() {
+        let f = fns("crates/broker/src/rpc.rs", "pub fn dispatch() { x(); }");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].qualified(), "broker::rpc::dispatch");
+        assert_eq!(f[0].owner, None);
+    }
+
+    #[test]
+    fn crate_roots_and_mod_rs_collapse() {
+        assert_eq!(
+            fns("crates/net/src/lib.rs", "fn init() {}")[0].qualified(),
+            "net::init"
+        );
+        assert_eq!(
+            fns("crates/tensor/src/kernels/mod.rs", "fn helper() {}")[0].qualified(),
+            "tensor::kernels::helper"
+        );
+        assert_eq!(
+            fns("src/bin/crayfish-node.rs", "fn main() {}")[0].qualified(),
+            "crayfish::bin::crayfish-node::main"
+        );
+    }
+
+    #[test]
+    fn impl_methods_get_their_owner() {
+        let code = "struct Broker;\nimpl Broker {\n    pub fn append(&self) { self.push(); }\n}\n";
+        let f = fns("crates/broker/src/broker.rs", code);
+        assert_eq!(f[0].qualified(), "broker::broker::Broker::append");
+        assert_eq!(f[0].owner.as_deref(), Some("Broker"));
+    }
+
+    #[test]
+    fn trait_impls_name_the_implementing_type() {
+        let code = "impl fmt::Debug for Responder {\n    fn fmt(&self) {}\n}\n\
+                    impl<T: Clone> Iterator for Cursor<T> {\n    fn next(&mut self) {}\n}\n";
+        let f = fns("crates/net/src/reactor.rs", code);
+        assert_eq!(f[0].owner.as_deref(), Some("Responder"));
+        assert_eq!(f[1].owner.as_deref(), Some("Cursor"));
+    }
+
+    #[test]
+    fn trait_default_bodies_are_items_but_signatures_are_not() {
+        let code =
+            "trait Api {\n    fn must_impl(&self);\n    fn defaulted(&self) { helper() }\n}\n";
+        let f = fns("crates/broker/src/api.rs", code);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].qualified(), "broker::api::Api::defaulted");
+    }
+
+    #[test]
+    fn inline_mods_extend_the_module_path() {
+        let code =
+            "mod outer {\n    mod inner {\n        fn deep() {}\n    }\n    fn shallow() {}\n}\n";
+        let f = fns("crates/core/src/config.rs", code);
+        let q: Vec<String> = f.iter().map(FnItem::qualified).collect();
+        assert!(q.contains(&"core::config::outer::inner::deep".to_string()));
+        assert!(q.contains(&"core::config::outer::shallow".to_string()));
+    }
+
+    #[test]
+    fn return_position_impl_is_not_a_scope() {
+        let code = "fn make() -> impl Iterator<Item = u32> { (0..4).into_iter() }\nfn after() {}\n";
+        let f = fns("crates/core/src/lib.rs", code);
+        assert_eq!(f[0].owner, None);
+        assert_eq!(f[1].owner, None);
+        assert_eq!(f[1].qualified(), "core::after");
+    }
+
+    #[test]
+    fn where_clauses_and_generics_do_not_confuse_owners() {
+        let code = "impl<R: Read + Send> Transport<R> for TcpTransport<R> where R: 'static {\n\
+                    fn send(&self) {}\n}\n";
+        let f = fns("crates/net/src/transport.rs", code);
+        assert_eq!(f[0].owner.as_deref(), Some("TcpTransport"));
+    }
+
+    #[test]
+    fn test_items_are_already_blanked() {
+        let code = "#[cfg(test)]\nmod tests {\n    fn hidden() {}\n}\nfn visible() {}\n";
+        let f = fns("crates/core/src/lib.rs", code);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].name, "visible");
+    }
+
+    #[test]
+    fn fn_with_default_arg_brace_in_signature_types() {
+        // Braces inside the parameter list (array types) must not be taken
+        // for the body opener.
+        let code = "fn f(x: [u8; 4]) -> u8 { x[0] }";
+        let f = fns("crates/core/src/lib.rs", code);
+        assert_eq!(f.len(), 1);
+        let (open, close) = f[0].body;
+        assert_eq!(&code[open..=close], "{ x[0] }");
+    }
+}

@@ -1,0 +1,93 @@
+//! Machine-readable findings report. The lint crate is deliberately
+//! dependency-free, so this is a small hand-rolled JSON writer — the
+//! report shape is flat enough that escaping strings is the only hard
+//! part.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use crate::LintOutput;
+
+fn esc(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Serialize the full lint output: every finding (with suppression
+/// state), call-graph resolution stats, and the empirical lock-order
+/// edges.
+pub fn render(out: &LintOutput) -> String {
+    let mut s = String::from("{\n  \"findings\": [\n");
+    for (i, f) in out.findings.iter().enumerate() {
+        s.push_str("    {\"rule\": ");
+        esc(&mut s, f.v.rule);
+        s.push_str(", \"file\": ");
+        esc(&mut s, &f.v.rel);
+        let _ = write!(s, ", \"line\": {}", f.v.line);
+        s.push_str(", \"fingerprint\": ");
+        esc(&mut s, &f.v.fingerprint);
+        s.push_str(", \"message\": ");
+        esc(&mut s, &f.v.msg);
+        match &f.suppressed {
+            Some(reason) => {
+                s.push_str(", \"suppressed\": ");
+                esc(&mut s, reason);
+            }
+            None => s.push_str(", \"suppressed\": null"),
+        }
+        s.push('}');
+        if i + 1 < out.findings.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ],\n");
+
+    let g = &out.project.graph;
+    let _ = writeln!(
+        s,
+        "  \"call_graph\": {{\"functions\": {}, \"resolved_edges\": {}, \
+         \"ambiguous_edges\": {}, \"unresolved_edges\": {}}},",
+        g.fns.len(),
+        g.resolved_edges,
+        g.ambiguous_edges,
+        g.unresolved_edges
+    );
+
+    s.push_str("  \"lock_order_edges\": [\n");
+    for (i, e) in out.project.lock_edges.iter().enumerate() {
+        s.push_str("    {\"crate\": ");
+        esc(&mut s, &e.from.0);
+        s.push_str(", \"from\": ");
+        esc(&mut s, &e.from.1);
+        s.push_str(", \"to\": ");
+        esc(&mut s, &e.to.1);
+        s.push_str(", \"observed_in\": ");
+        esc(&mut s, &e.observed_in);
+        s.push('}');
+        if i + 1 < out.project.lock_edges.len() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+pub fn write_report(path: &Path, out: &LintOutput) -> Result<(), String> {
+    fs::write(path, render(out)).map_err(|e| format!("write {}: {e}", path.display()))
+}

@@ -1,46 +1,44 @@
-//! The repo-specific rules. Each rule returns the violations it found in
-//! one file; `main` aggregates, applies baselines, and reports.
+//! The per-file rules. Each rule returns the violations it found in one
+//! file; `main` aggregates, applies suppressions and baselines, and
+//! reports. Project-wide interprocedural rules live in `analysis`.
 
 use crate::source::{function_bodies, SourceFile};
 
 /// One finding, pointing at a line of the original file.
+///
+/// `fingerprint` is the stable baseline identity: for per-file rules it is
+/// simply the file path (line churn within a file doesn't move the
+/// ratchet); interprocedural rules use the qualified call chain plus the
+/// offending token, which survives both line churn and file reshuffles.
+#[derive(Debug, Clone)]
 pub struct Violation {
     pub rule: &'static str,
     pub rel: String,
     pub line: usize,
+    pub fingerprint: String,
     pub msg: String,
 }
 
 pub const CLOCK_AUTHORITY: &str = "clock-authority";
-pub const UNWRAP_IN_PIPELINE: &str = "unwrap-in-pipeline";
-pub const LOCK_RANK: &str = "lock-rank";
 pub const SPAN_COVERAGE: &str = "span-coverage";
 pub const FORBID_UNSAFE: &str = "forbid-unsafe";
 pub const HOT_PATH_ALLOC: &str = "hot-path-alloc";
 
 /// Rules whose findings are ratcheted through `lint-baseline.txt` instead
-/// of failing outright.
-pub const BASELINED: &[&str] = &[CLOCK_AUTHORITY, UNWRAP_IN_PIPELINE, HOT_PATH_ALLOC];
-
-/// Crates whose non-test code must not unwrap: everything on the record
-/// path, where a panic kills a supervised worker and poisons the run.
-const PIPELINE_CRATES: &[&str] = &[
-    "crates/admission/",
-    "crates/broker/",
-    "crates/engine-kernel/",
-    "crates/net/",
-    "crates/serving/",
-    "crates/flink/",
-    "crates/kstreams/",
-    "crates/sparkss/",
-    "crates/ray/",
+/// of failing outright. The rest are hard failures.
+pub const BASELINED: &[&str] = &[
+    CLOCK_AUTHORITY,
+    HOT_PATH_ALLOC,
+    crate::analysis::HOT_PATH_ALLOC_TRANSITIVE,
+    crate::analysis::PANIC_REACHABILITY,
+    crate::analysis::LOCK_RANK_CHAIN,
 ];
 
 fn in_any(rel: &str, prefixes: &[&str]) -> bool {
     prefixes.iter().any(|p| rel.starts_with(p))
 }
 
-fn find_all(hay: &str, needle: &str) -> Vec<usize> {
+pub fn find_all(hay: &str, needle: &str) -> Vec<usize> {
     let mut out = Vec::new();
     let mut search = 0;
     while let Some(found) = hay[search..].find(needle) {
@@ -65,201 +63,12 @@ pub fn clock_authority(file: &SourceFile) -> Vec<Violation> {
                 rule: CLOCK_AUTHORITY,
                 rel: file.rel.clone(),
                 line: file.line_of(pos),
+                fingerprint: file.rel.clone(),
                 msg: format!("{needle} outside crayfish-sim; use crayfish_sim::now()"),
             });
         }
     }
     out
-}
-
-/// `.unwrap()` / `.expect(` in non-test pipeline code. A panic in a
-/// supervised worker reads as an injected crash to the resilience layer,
-/// corrupting fault-tolerance measurements.
-pub fn unwrap_in_pipeline(file: &SourceFile) -> Vec<Violation> {
-    if !in_any(&file.rel, PIPELINE_CRATES) {
-        return Vec::new();
-    }
-    let mut out = Vec::new();
-    for needle in [".unwrap()", ".expect("] {
-        for pos in find_all(&file.clean, needle) {
-            out.push(Violation {
-                rule: UNWRAP_IN_PIPELINE,
-                rel: file.rel.clone(),
-                line: file.line_of(pos),
-                msg: format!("{needle} in pipeline code; propagate the error"),
-            });
-        }
-    }
-    out
-}
-
-/// Lock-rank table. Rank = acquisition order: a lock may only be taken
-/// while every held lock has a *smaller* rank (outermost first). Broker:
-/// node append gate (3) → node leader state (5) → cluster client leader
-/// index (8) → topic registry (10) → group coordinator (15) → committed
-/// offsets (20) → replicated partition state (30) → topic version (40).
-/// Net: TCP connection slot (5) → reactor injector (10) → ready queue
-/// (15) → connection registry (20) → waker signal (30). Flink exchange:
-/// channel state (10) → (worker-set structures, unranked today, would slot
-/// above).
-fn lock_rank_of(rel: &str, receiver: &str) -> Option<(u32, &'static str)> {
-    if rel.starts_with("crates/broker/") {
-        match receiver {
-            "append_gate" => Some((3, "node append gate")),
-            "state" => Some((5, "node leader state")),
-            "leader" => Some((8, "cluster client leader index")),
-            "topics" => Some((10, "broker topic registry")),
-            "groups" => Some((15, "consumer group coordinator")),
-            "offsets" => Some((20, "committed consumer offsets")),
-            "repl" => Some((30, "replicated partition state")),
-            "version" => Some((40, "topic version")),
-            _ => None,
-        }
-    } else if rel.starts_with("crates/net/") {
-        match receiver {
-            "conn" => Some((5, "TCP connection slot")),
-            "injector" => Some((10, "reactor injector")),
-            "ready" => Some((15, "reactor ready queue")),
-            "registry" | "connections" => Some((20, "connection registry")),
-            "signal" => Some((30, "waker signal")),
-            _ => None,
-        }
-    } else if rel.starts_with("crates/flink/") {
-        match receiver {
-            "state" => Some((10, "exchange channel state")),
-            _ => None,
-        }
-    } else {
-        None
-    }
-}
-
-/// Walk back from a `.lock()` call, skipping index/call bracket groups,
-/// and return the nearest identifier in the receiver chain
-/// (`self.partitions[p].lock()` → `partitions`).
-fn receiver_of(clean: &str, dot: usize) -> Option<&str> {
-    let bytes = clean.as_bytes();
-    let mut i = dot;
-    while i > 0 {
-        let c = bytes[i - 1];
-        if c == b']' || c == b')' {
-            let open = if c == b']' { b'[' } else { b'(' };
-            let mut depth = 0usize;
-            while i > 0 {
-                let d = bytes[i - 1];
-                i -= 1;
-                if d == c {
-                    depth += 1;
-                } else if d == open {
-                    depth -= 1;
-                    if depth == 0 {
-                        break;
-                    }
-                }
-            }
-        } else if c.is_ascii_alphanumeric() || c == b'_' {
-            let end = i;
-            while i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
-                i -= 1;
-            }
-            return Some(&clean[i..end]);
-        } else if c == b'.' {
-            i -= 1;
-        } else {
-            break;
-        }
-    }
-    None
-}
-
-/// Detect out-of-rank acquisitions within each function: taking a ranked
-/// lock while holding one of greater rank inverts the global acquisition
-/// order and is a deadlock seed with any thread doing it the right way
-/// round.
-pub fn lock_rank(file: &SourceFile) -> Vec<Violation> {
-    let mut out = Vec::new();
-    let clean = &file.clean;
-    for (_, body_start, body_end) in function_bodies(clean) {
-        let body = &clean[body_start..=body_end];
-        // Held guards: (binding name if `let`-bound, rank, label).
-        let mut held: Vec<(Option<String>, u32, &'static str)> = Vec::new();
-        let mut events: Vec<(usize, Event)> = Vec::new();
-        for needle in [".lock()", ".read()", ".write()"] {
-            for pos in find_all(body, needle) {
-                events.push((pos, Event::Acquire));
-            }
-        }
-        for pos in find_all(body, "drop(") {
-            events.push((pos, Event::Drop));
-        }
-        events.sort_by_key(|&(p, _)| p);
-        for (pos, ev) in events {
-            match ev {
-                Event::Drop => {
-                    let args_start = pos + "drop(".len();
-                    let arg: String = body[args_start..]
-                        .chars()
-                        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-                        .collect();
-                    held.retain(|(name, _, _)| name.as_deref() != Some(arg.as_str()));
-                }
-                Event::Acquire => {
-                    let Some(recv) = receiver_of(body, pos) else {
-                        continue;
-                    };
-                    let Some((rank, label)) = lock_rank_of(&file.rel, recv) else {
-                        continue;
-                    };
-                    if let Some((_, _, held_label)) = held.iter().find(|&&(_, r, _)| r > rank) {
-                        out.push(Violation {
-                            rule: LOCK_RANK,
-                            rel: file.rel.clone(),
-                            line: file.line_of(body_start + pos),
-                            msg: format!(
-                                "acquires {label} (rank {rank}) while holding {held_label}; \
-                                 acquisition order is rank-ascending"
-                            ),
-                        });
-                    }
-                    // `let g = x.lock()` holds to end of scope (or drop);
-                    // an unbound guard is a temporary, released at the end
-                    // of the statement — still checked above, not tracked.
-                    let binding = let_binding_before(body, pos);
-                    if binding.is_some() {
-                        held.push((binding, rank, label));
-                    }
-                }
-            }
-        }
-    }
-    out
-}
-
-enum Event {
-    Acquire,
-    Drop,
-}
-
-/// If the statement containing `pos` starts with `let <ident> =`, return
-/// the identifier.
-fn let_binding_before(body: &str, pos: usize) -> Option<String> {
-    let stmt_start = body[..pos].rfind([';', '{', '}']).map_or(0, |p| p + 1);
-    let stmt = body[stmt_start..pos].trim_start();
-    let rest = stmt.strip_prefix("let ")?;
-    let rest = rest
-        .trim_start()
-        .strip_prefix("mut ")
-        .unwrap_or(rest)
-        .trim_start();
-    let name: String = rest
-        .chars()
-        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-        .collect();
-    if name.is_empty() {
-        None
-    } else {
-        Some(name)
-    }
 }
 
 /// Name of the function declared at `fn_pos` in cleaned text.
@@ -286,7 +95,9 @@ fn fn_name(clean: &str, fn_pos: usize) -> &str {
 ///
 /// A `Vec::new` / `vec![` / `.to_vec(` / `.collect(` there is either a
 /// compat wrapper (baselined, ratcheted down) or a regression. Test
-/// modules are already blanked by the source cleaner.
+/// modules are already blanked by the source cleaner. The same promise is
+/// extended through transitive callees by
+/// `analysis::HOT_PATH_ALLOC_TRANSITIVE`.
 pub fn hot_path_alloc(file: &SourceFile) -> Vec<Violation> {
     let kernels = file.rel.starts_with("crates/tensor/src/kernels/");
     let reactor = file.rel == "crates/net/src/reactor.rs" || file.rel == "crates/net/src/codec.rs";
@@ -306,6 +117,7 @@ pub fn hot_path_alloc(file: &SourceFile) -> Vec<Violation> {
                     rule: HOT_PATH_ALLOC,
                     rel: file.rel.clone(),
                     line: file.line_of(body_start + pos),
+                    fingerprint: file.rel.clone(),
                     msg: format!(
                         "{needle} in a hot-path body; use an `_into` variant or reuse a buffer"
                     ),
@@ -343,6 +155,7 @@ pub fn span_coverage(file: &SourceFile) -> Vec<Violation> {
                 rule: SPAN_COVERAGE,
                 rel: file.rel.clone(),
                 line: file.line_of(fn_pos),
+                fingerprint: file.rel.clone(),
                 msg: format!("polling worker body lacks {}", missing.join(" and ")),
             });
         }
@@ -368,16 +181,15 @@ pub fn forbid_unsafe(file: &SourceFile) -> Vec<Violation> {
         rule: FORBID_UNSAFE,
         rel: file.rel.clone(),
         line: 1,
+        fingerprint: file.rel.clone(),
         msg: "crate root lacks #![forbid(unsafe_code)]".into(),
     }]
 }
 
-/// Run every rule over one file.
+/// Run every per-file rule over one file.
 pub fn all_rules(file: &SourceFile) -> Vec<Violation> {
     let mut out = Vec::new();
     out.extend(clock_authority(file));
-    out.extend(unwrap_in_pipeline(file));
-    out.extend(lock_rank(file));
     out.extend(hot_path_alloc(file));
     out.extend(span_coverage(file));
     out.extend(forbid_unsafe(file));

@@ -1,166 +1,377 @@
 //! `--self-test`: seeded violations each rule must flag, plus clean
 //! snippets it must not. A lint that cannot catch a planted bug is worse
 //! than no lint — CI runs this before trusting the real pass.
+//!
+//! Every case runs through `lint_files` — the same engine as the real
+//! scan, per-file rules, interprocedural analyses, and suppressions
+//! included — over a small synthetic project (one or more files).
 
+use crate::analysis;
 use crate::rules;
 use crate::source::SourceFile;
 
 struct Case {
     rule: &'static str,
-    rel: &'static str,
-    code: &'static str,
-    /// Expected number of findings.
+    /// `(rel, code)` pairs forming a synthetic project.
+    files: &'static [(&'static str, &'static str)],
+    /// Expected number of *active* findings of `rule`.
     expect: usize,
 }
 
 const CASES: &[Case] = &[
     Case {
         rule: rules::CLOCK_AUTHORITY,
-        rel: "crates/core/src/seeded.rs",
-        code: "fn f() { let t = std::time::Instant::now(); }",
+        files: &[(
+            "crates/core/src/seeded.rs",
+            "fn f() { let t = std::time::Instant::now(); }",
+        )],
         expect: 1,
     },
     Case {
         rule: rules::CLOCK_AUTHORITY,
-        rel: "crates/core/src/seeded.rs",
-        // Test code and comments are exempt.
-        code: "// Instant::now()\n#[cfg(test)]\nmod tests { fn f() { Instant::now(); } }\n",
+        files: &[(
+            "crates/core/src/seeded.rs",
+            // Test code and comments are exempt.
+            "// Instant::now()\n#[cfg(test)]\nmod tests { fn f() { Instant::now(); } }\n",
+        )],
         expect: 0,
     },
     Case {
         rule: rules::CLOCK_AUTHORITY,
-        rel: "crates/sim/src/time.rs",
-        // The clock authority itself is exempt.
-        code: "pub fn now() -> Instant { Instant::now() }",
+        files: &[(
+            "crates/sim/src/time.rs",
+            // The clock authority itself is exempt.
+            "pub fn now() -> Instant { Instant::now() }",
+        )],
         expect: 0,
     },
     Case {
-        rule: rules::UNWRAP_IN_PIPELINE,
-        rel: "crates/broker/src/seeded.rs",
-        code: "fn f() { g().unwrap(); h().expect(\"x\"); }",
-        expect: 2,
-    },
-    Case {
-        rule: rules::UNWRAP_IN_PIPELINE,
-        rel: "crates/broker/src/seeded.rs",
-        code: "#[cfg(test)]\nmod tests { fn f() { g().unwrap(); } }\nfn ok() -> R { g()? }",
-        expect: 0,
-    },
-    Case {
-        rule: rules::UNWRAP_IN_PIPELINE,
-        rel: "crates/obs/src/seeded.rs",
-        // Non-pipeline crates may unwrap.
-        code: "fn f() { g().unwrap(); }",
-        expect: 0,
-    },
-    Case {
-        rule: rules::LOCK_RANK,
-        rel: "crates/broker/src/seeded.rs",
-        // Version (rank 40) held, then registry (rank 10): inverted.
-        code: "fn f(&self) { let v = self.version.lock(); let t = self.topics.read(); }",
+        rule: analysis::LOCK_RANK,
+        files: &[(
+            "crates/broker/src/seeded.rs",
+            // Version (rank 40) held, then registry (rank 10): inverted.
+            "struct B; impl B { fn f(&self) { let v = self.version.lock(); \
+             let t = self.topics.read(); } }",
+        )],
         expect: 1,
     },
     Case {
-        rule: rules::LOCK_RANK,
-        rel: "crates/broker/src/seeded.rs",
-        // Rank-ascending, and re-acquisition after drop: both fine.
-        code: "fn f(&self) { let t = self.topics.read(); let v = self.version.lock(); \
-               drop(v); drop(t); let o = self.offsets.write(); }",
+        rule: analysis::LOCK_RANK,
+        files: &[(
+            "crates/broker/src/seeded.rs",
+            // Rank-ascending, and re-acquisition after drop: both fine.
+            "struct B; impl B { fn f(&self) { let t = self.topics.read(); \
+             let v = self.version.lock(); drop(v); drop(t); \
+             let o = self.offsets.write(); } }",
+        )],
         expect: 0,
     },
     Case {
-        rule: rules::LOCK_RANK,
-        rel: "crates/broker/src/seeded.rs",
-        // Dropping the inner guard re-legalises the outer acquisition.
-        code: "fn f(&self) { let v = self.version.lock(); drop(v); let t = self.topics.read(); }",
+        rule: analysis::LOCK_RANK,
+        files: &[(
+            "crates/broker/src/seeded.rs",
+            // `if let`-bound guards are held too (old parser missed this).
+            "struct B; impl B { fn f(&self) { \
+             if let Some(v) = self.version.lock().as_ref() { \
+             let t = self.topics.read(); } } }",
+        )],
+        expect: 1,
+    },
+    Case {
+        rule: analysis::LOCK_RANK,
+        files: &[(
+            "crates/broker/src/seeded.rs",
+            // Destructured guards bind positionally.
+            "struct B; impl B { fn f(&self) { \
+             let (v, n) = (self.version.lock(), 0); \
+             let t = self.topics.read(); } }",
+        )],
+        expect: 1,
+    },
+    Case {
+        rule: analysis::LOCK_RANK,
+        files: &[(
+            "crates/broker/src/seeded.rs",
+            // `std::mem::drop(g)` releases like bare `drop(g)`.
+            "struct B; impl B { fn f(&self) { let g = self.version.lock(); \
+             std::mem::drop(g); let t = self.topics.read(); } }",
+        )],
+        expect: 0,
+    },
+    Case {
+        rule: analysis::LOCK_RANK_CHAIN,
+        files: &[(
+            "crates/broker/src/seeded.rs",
+            // The inversion hides behind a call edge: f holds version
+            // (rank 40) and calls helper, which takes topics (rank 10).
+            "struct B; impl B { \
+             fn f(&self) { let v = self.version.lock(); self.helper(); } \
+             fn helper(&self) { let t = self.topics.read(); } }",
+        )],
+        expect: 1,
+    },
+    Case {
+        rule: analysis::LOCK_RANK_CHAIN,
+        files: &[(
+            "crates/broker/src/seeded.rs",
+            // Two hops: f -> mid -> leaf.
+            "struct B; impl B { \
+             fn f(&self) { let v = self.repl.lock(); self.mid(); } \
+             fn mid(&self) { self.leaf(); } \
+             fn leaf(&self) { let g = self.groups.lock(); } }",
+        )],
+        expect: 1,
+    },
+    Case {
+        rule: analysis::LOCK_RANK_CHAIN,
+        files: &[(
+            "crates/broker/src/seeded.rs",
+            // Rank-ascending through the call edge: clean.
+            "struct B; impl B { \
+             fn f(&self) { let t = self.topics.read(); self.helper(); } \
+             fn helper(&self) { let v = self.version.lock(); } }",
+        )],
+        expect: 0,
+    },
+    Case {
+        rule: analysis::LOCK_ORDER_CYCLE,
+        files: &[(
+            "crates/broker/src/seeded.rs",
+            // Two unranked locks taken in both orders: no rank table
+            // catches this, the empirical graph does.
+            "struct B; impl B { \
+             fn f(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); } \
+             fn g(&self) { let b = self.beta.lock(); let a = self.alpha.lock(); } }",
+        )],
+        expect: 1,
+    },
+    Case {
+        rule: analysis::LOCK_ORDER_CYCLE,
+        files: &[(
+            "crates/broker/src/seeded.rs",
+            // Same order in both fns: consistent, acyclic.
+            "struct B; impl B { \
+             fn f(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); } \
+             fn g(&self) { let a = self.alpha.lock(); let b = self.beta.lock(); } }",
+        )],
         expect: 0,
     },
     Case {
         rule: rules::SPAN_COVERAGE,
-        rel: "crates/engine-kernel/src/seeded.rs",
-        code: "fn run(&mut self) { loop { let r = self.consumer.poll(t); emit(r); } }",
+        files: &[(
+            "crates/engine-kernel/src/seeded.rs",
+            "fn run(&mut self) { loop { let r = self.consumer.poll(t); emit(r); } }",
+        )],
         expect: 1,
     },
     Case {
         rule: rules::SPAN_COVERAGE,
-        rel: "crates/engine-kernel/src/seeded.rs",
-        code:
-            "fn run(&mut self, ctl: &Ctl) { loop { if let Some(e) = ctl.checkpoint() { return e; } \
-               let r = self.consumer.poll(t); charge_ingest(obs, c, r.len()); } }",
+        files: &[(
+            "crates/engine-kernel/src/seeded.rs",
+            "fn run(&mut self, ctl: &Ctl) { loop { \
+             if let Some(e) = ctl.checkpoint() { return e; } \
+             let r = self.consumer.poll(t); charge_ingest(obs, c, r.len()); } }",
+        )],
         expect: 0,
     },
     Case {
         rule: rules::HOT_PATH_ALLOC,
-        rel: "crates/tensor/src/kernels/seeded.rs",
-        // Four distinct allocation spellings in one kernel body.
-        code: "fn k(x: &[f32]) -> Vec<f32> { let s = Vec::new(); let t = vec![0.0; 4]; \
-               let u = x.to_vec(); let v: Vec<f32> = x.iter().map(|a| a + 1.0).collect(); v }",
+        files: &[(
+            "crates/tensor/src/kernels/seeded.rs",
+            // Four distinct allocation spellings in one kernel body.
+            "fn k(x: &[f32]) -> Vec<f32> { let s = Vec::new(); let t = vec![0.0; 4]; \
+             let u = x.to_vec(); let v: Vec<f32> = x.iter().map(|a| a + 1.0).collect(); v }",
+        )],
         expect: 4,
     },
     Case {
         rule: rules::HOT_PATH_ALLOC,
-        rel: "crates/tensor/src/kernels/seeded.rs",
-        // `_into` style with caller-owned output, and test code, are fine.
-        code: "fn k_into(x: &[f32], out: &mut [f32]) { out.copy_from_slice(x); }\n\
-               #[cfg(test)]\nmod tests { fn t() { let v = vec![0.0; 4]; } }\n",
+        files: &[(
+            "crates/tensor/src/kernels/seeded.rs",
+            // `_into` style with caller-owned output, and test code, are fine.
+            "fn k_into(x: &[f32], out: &mut [f32]) { out.copy_from_slice(x); }\n\
+             #[cfg(test)]\nmod tests { fn t() { let v = vec![0.0; 4]; } }\n",
+        )],
         expect: 0,
     },
     Case {
         rule: rules::HOT_PATH_ALLOC,
-        rel: "crates/tensor/src/tensor.rs",
-        // Outside the kernels tree, allocation is unrestricted.
-        code: "fn f() -> Vec<f32> { vec![0.0; 4] }",
-        expect: 0,
-    },
-    Case {
-        rule: rules::HOT_PATH_ALLOC,
-        rel: "crates/net/src/reactor.rs",
-        // Reactor poll helpers must reuse connection buffers.
-        code: "fn poll_read(c: &mut Conn) -> bool { let tmp = c.buf.to_vec(); tmp.len() > 0 }",
+        files: &[(
+            "crates/net/src/reactor.rs",
+            // Reactor poll helpers must reuse connection buffers.
+            "fn poll_read(c: &mut Conn) -> bool { let tmp = c.buf.to_vec(); tmp.len() > 0 }",
+        )],
         expect: 1,
     },
     Case {
-        rule: rules::HOT_PATH_ALLOC,
-        rel: "crates/net/src/reactor.rs",
-        // Non-poll functions in the reactor (dispatch, setup) may allocate.
-        code: "fn spawn_reactor() { let v = Vec::new(); } \
-               fn poll_write(c: &mut Conn) { c.out.clear(); }",
+        rule: analysis::HOT_PATH_ALLOC_TRANSITIVE,
+        files: &[
+            (
+                "crates/tensor/src/kernels/seeded.rs",
+                // The kernel itself is clean; its helper two crates-files
+                // away allocates.
+                "pub fn k(x: &[f32], out: &mut [f32]) { pack_panel(x, out); }",
+            ),
+            (
+                "crates/tensor/src/packed.rs",
+                "pub fn pack_panel(x: &[f32], out: &mut [f32]) { \
+                 let tmp = x.to_vec(); out.copy_from_slice(&tmp); }",
+            ),
+        ],
+        expect: 1,
+    },
+    Case {
+        rule: analysis::HOT_PATH_ALLOC_TRANSITIVE,
+        files: &[
+            (
+                "crates/tensor/src/kernels/seeded.rs",
+                "pub fn k(x: &[f32], out: &mut [f32]) { pack_panel(x, out); }",
+            ),
+            (
+                "crates/tensor/src/packed.rs",
+                // Allocation-free helper: clean. The allocating fn is not
+                // reachable from any kernel.
+                "pub fn pack_panel(x: &[f32], out: &mut [f32]) { out.copy_from_slice(x); }\n\
+                 pub fn debug_dump(x: &[f32]) -> Vec<f32> { x.to_vec() }",
+            ),
+        ],
         expect: 0,
     },
     Case {
-        rule: rules::UNWRAP_IN_PIPELINE,
-        rel: "crates/admission/src/seeded.rs",
-        // The admission crate is on the record path.
-        code: "fn f() { g().unwrap(); }",
+        rule: analysis::BLOCKING_IN_REACTOR,
+        files: &[(
+            "crates/net/src/reactor.rs",
+            // Blocking sleep hidden one call deep under the poll thread.
+            "pub fn run_reactor(s: &Shared) { loop { tick(s); } }\n\
+             fn tick(s: &Shared) { std::thread::sleep(BACKOFF); }",
+        )],
+        expect: 1,
+    },
+    Case {
+        rule: analysis::BLOCKING_IN_REACTOR,
+        files: &[(
+            "crates/net/src/reactor.rs",
+            // Bounded waits are the sanctioned idle strategy.
+            "pub fn run_reactor(s: &Shared) { loop { s.waker.wait_timeout(PARK); } }",
+        )],
+        expect: 0,
+    },
+    Case {
+        rule: analysis::PANIC_REACHABILITY,
+        files: &[(
+            "crates/broker/src/rpc.rs",
+            // unwrap reachable from an RPC handler, two hops down.
+            "pub fn dispatch(b: &Broker, req: Request) -> Response { route(b, req) }\n\
+             fn route(b: &Broker, req: Request) -> Response { decode(req) }\n\
+             fn decode(req: Request) -> Response { req.payload.unwrap() }",
+        )],
+        expect: 1,
+    },
+    Case {
+        rule: analysis::PANIC_REACHABILITY,
+        files: &[(
+            "crates/broker/src/rpc.rs",
+            // The unwrap sits in a fn no handler reaches: clean.
+            "pub fn dispatch(b: &Broker, req: Request) -> Response { route(b, req) }\n\
+             fn route(b: &Broker, req: Request) -> Response { Response::ok() }\n\
+             fn offline_tool(req: Request) -> Response { req.payload.unwrap() }",
+        )],
+        expect: 0,
+    },
+    Case {
+        rule: analysis::PANIC_REACHABILITY,
+        files: &[(
+            "crates/engine-kernel/src/seeded.rs",
+            // Worker entry point reaches a panic! through a helper.
+            "struct PipelineWorker; impl PipelineWorker { \
+             pub fn run(&mut self) { step(self) } }\n\
+             fn step(w: &mut PipelineWorker) { panic!(\"boom\") }",
+        )],
+        expect: 1,
+    },
+    Case {
+        rule: analysis::PANIC_REACHABILITY,
+        files: &[(
+            "crates/broker/src/rpc.rs",
+            // A reasoned suppression silences the finding.
+            "pub fn dispatch(b: &Broker, req: Request) -> Response { decode(req) }\n\
+             fn decode(req: Request) -> Response {\n\
+             // crayfish-lint: allow(panic-reachability) -- seeded self-test case\n\
+             req.payload.unwrap()\n\
+             }",
+        )],
+        expect: 0,
+    },
+    Case {
+        rule: rules::FORBID_UNSAFE,
+        files: &[("crates/broker/src/lib.rs", "//! Docs.\npub mod topic;\n")],
         expect: 1,
     },
     Case {
         rule: rules::FORBID_UNSAFE,
-        rel: "crates/broker/src/lib.rs",
-        code: "//! Docs.\npub mod topic;\n",
-        expect: 1,
-    },
-    Case {
-        rule: rules::FORBID_UNSAFE,
-        rel: "crates/broker/src/lib.rs",
-        code: "//! Docs.\n#![forbid(unsafe_code)]\npub mod topic;\n",
+        files: &[(
+            "crates/broker/src/lib.rs",
+            "//! Docs.\n#![forbid(unsafe_code)]\npub mod topic;\n",
+        )],
         expect: 0,
     },
+];
+
+/// Suppression misuse must fail: a reasonless allow, and an allow that
+/// matches nothing.
+const SUPPRESSION_ERROR_CASES: &[(&str, &str)] = &[
+    (
+        "crates/broker/src/rpc.rs",
+        "pub fn dispatch(req: Request) -> Response {\n\
+         // crayfish-lint: allow(panic-reachability)\n\
+         req.payload.unwrap()\n\
+         }",
+    ),
+    (
+        "crates/core/src/seeded.rs",
+        "// crayfish-lint: allow(clock-authority) -- stale, nothing here\n\
+         fn f() {}\n",
+    ),
 ];
 
 /// Run every case; returns failure descriptions (empty = pass).
 pub fn run() -> Vec<String> {
     let mut failures = Vec::new();
     for (i, case) in CASES.iter().enumerate() {
-        let file = SourceFile::synthetic(case.rel, case.code);
-        let found = rules::all_rules(&file)
-            .into_iter()
-            .filter(|v| v.rule == case.rule)
+        let files: Vec<SourceFile> = case
+            .files
+            .iter()
+            .map(|(rel, code)| SourceFile::synthetic(rel, code))
+            .collect();
+        let out = crate::lint_files(&files);
+        let active = out
+            .findings
+            .iter()
+            .filter(|f| f.suppressed.is_none() && f.v.rule == case.rule)
             .count();
-        if found != case.expect {
+        if active != case.expect {
             failures.push(format!(
-                "self-test case {i} ({}): expected {} finding(s), got {found} in {:?}",
-                case.rule, case.expect, case.code
+                "self-test case {i} ({}): expected {} finding(s), got {active} in {:?}",
+                case.rule, case.expect, case.files
+            ));
+        }
+        if !out.suppression_errors.is_empty() {
+            failures.push(format!(
+                "self-test case {i} ({}): unexpected suppression errors: {:?}",
+                case.rule,
+                out.suppression_errors
+                    .iter()
+                    .map(|f| f.text.as_str())
+                    .collect::<Vec<_>>()
+            ));
+        }
+    }
+    for (i, (rel, code)) in SUPPRESSION_ERROR_CASES.iter().enumerate() {
+        let files = vec![SourceFile::synthetic(rel, code)];
+        let out = crate::lint_files(&files);
+        if out.suppression_errors.is_empty() {
+            failures.push(format!(
+                "self-test suppression case {i}: expected a suppression error, got none in {code:?}"
             ));
         }
     }

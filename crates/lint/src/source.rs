@@ -298,6 +298,53 @@ pub fn function_bodies(clean: &str) -> Vec<(usize, usize, usize)> {
     out
 }
 
+/// An in-source lint suppression:
+/// `// crayfish-lint: allow(<rule>) -- <reason>`.
+///
+/// The suppression applies to findings on its own line or the line below
+/// (so it can sit above the offending statement). A missing `-- <reason>`
+/// is itself a hard lint failure: unexplained suppressions are how
+/// ratchets rot.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    /// 1-based line the comment sits on.
+    pub line: usize,
+    pub rule: String,
+    pub reason: Option<String>,
+}
+
+const SUPPRESS_MARK: &str = "crayfish-lint: allow(";
+
+/// Parse every suppression comment in the raw text.
+pub fn suppressions(raw: &str) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for (idx, line) in raw.lines().enumerate() {
+        let Some(comment) = line.find("//").map(|p| &line[p..]) else {
+            continue;
+        };
+        let Some(mark) = comment.find(SUPPRESS_MARK) else {
+            continue;
+        };
+        let after = &comment[mark + SUPPRESS_MARK.len()..];
+        let Some(close) = after.find(')') else {
+            continue;
+        };
+        let rule = after[..close].trim().to_string();
+        let rest = after[close + 1..].trim();
+        let reason = rest
+            .strip_prefix("--")
+            .map(str::trim)
+            .filter(|r| !r.is_empty())
+            .map(str::to_string);
+        out.push(Suppression {
+            line: idx + 1,
+            rule,
+            reason,
+        });
+    }
+    out
+}
+
 /// Recursively collect `.rs` files under `dir`.
 pub fn collect_rs(dir: &Path, into: &mut Vec<PathBuf>) -> io::Result<()> {
     if !dir.is_dir() {

@@ -168,6 +168,7 @@ impl ThreadPool {
                 shutdown: false,
             }),
             cv: Condvar::new(),
+            // crayfish-lint: allow(hot-path-alloc-transitive) -- one-time pool construction (first gemm call), not steady-state kernel work
             panels: (0..wanted).map(|_| Mutex::new(Vec::new())).collect(),
         });
         let mut workers = Vec::with_capacity(wanted);

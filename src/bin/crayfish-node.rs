@@ -46,8 +46,10 @@ fn parse_args() -> Args {
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| {
-            argv.next()
-                .unwrap_or_else(|| panic!("{name} needs a value"))
+            argv.next().unwrap_or_else(|| {
+                eprintln!("crayfish-node: {name} needs a value");
+                usage()
+            })
         };
         match flag.as_str() {
             "--id" => id = value("--id").parse().ok(),

@@ -120,10 +120,10 @@ fn main() -> ExitCode {
                 }))
                 .collect::<Vec<_>>(),
         });
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&out).expect("result to json")
-        );
+        match serde_json::to_string_pretty(&out) {
+            Ok(s) => println!("{s}"),
+            Err(e) => eprintln!("crayfish-run: serialize result: {e}"),
+        }
     } else {
         println!("produced      : {}", result.produced);
         println!("scored        : {}", result.consumed);
