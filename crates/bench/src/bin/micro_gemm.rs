@@ -14,6 +14,11 @@
 //!   packed at plan-compile time and only the activations pack per call.
 //! * `tiled_packed_mt2` / `mt4` — the packed path on a persistent worker
 //!   pool with 2 / 4 participants.
+//! * `q8_prepacked`  — `gemm_prepacked_qb`: weights per-channel int8 at
+//!   pack time, activations quantized per call, i8×i8→i32 microkernel with
+//!   dequant-on-store. Eighth the weight bytes of f32.
+//! * `f16_prepacked` — `gemm_prepacked_b16`: f16 weight storage expanded to
+//!   f32 panels per block, f32 arithmetic. Half the weight bytes.
 //!
 //! Shapes cover dense cubes plus the GEMMs behind the paper's two models:
 //! ResNet50 conv layers after im2col (stem, layer2, layer4, the final FC)
@@ -34,9 +39,10 @@ use std::path::Path;
 
 use crayfish_sim::Stopwatch;
 use crayfish_tensor::kernels::gemm::{
-    gemm_ipj, gemm_prepacked_b, gemm_st, gemm_tiled_unpacked, gemm_with_pool, matmul_naive,
+    gemm_ipj, gemm_prepacked_b, gemm_prepacked_b16, gemm_prepacked_qb, gemm_st,
+    gemm_tiled_unpacked, gemm_with_pool, matmul_naive,
 };
-use crayfish_tensor::{GemmScratch, PackedB, Tensor, ThreadPool};
+use crayfish_tensor::{GemmScratch, PackedB, PackedB16, QuantizedB, Tensor, ThreadPool};
 
 struct Shape {
     label: &'static str,
@@ -162,10 +168,64 @@ fn json_escape_free(s: &str) -> &str {
     s
 }
 
+/// The checked-out git revision, read straight from `.git` (no `git`
+/// subprocess): `HEAD` either holds a hash or points at a ref file.
+fn git_revision() -> String {
+    let find_git = || {
+        let mut dir = std::env::current_dir().ok()?;
+        loop {
+            let git = dir.join(".git");
+            if git.is_dir() {
+                return Some(git);
+            }
+            if !dir.pop() {
+                return None;
+            }
+        }
+    };
+    let Some(git) = find_git() else {
+        return "unknown".into();
+    };
+    let Ok(head) = std::fs::read_to_string(git.join("HEAD")) else {
+        return "unknown".into();
+    };
+    let head = head.trim();
+    if let Some(refname) = head.strip_prefix("ref: ") {
+        if let Ok(hash) = std::fs::read_to_string(git.join(refname)) {
+            return hash.trim().to_string();
+        }
+        // Packed refs: scan for the ref name.
+        if let Ok(packed) = std::fs::read_to_string(git.join("packed-refs")) {
+            for line in packed.lines() {
+                if let Some(hash) = line.strip_suffix(refname) {
+                    return hash.trim().to_string();
+                }
+            }
+        }
+        return "unknown".into();
+    }
+    head.to_string()
+}
+
+/// `rustc -V`, or "unknown" when the toolchain is not on PATH.
+fn rustc_version() -> String {
+    std::process::Command::new("rustc")
+        .arg("-V")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|v| v.trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let window = if quick { 0.05 } else { 0.5 };
     let threads_available = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let crayfish_threads = std::env::var("CRAYFISH_THREADS").unwrap_or_else(|_| "unset".into());
+    let git_rev = git_revision();
+    let rustc = rustc_version();
     let cpu = std::fs::read_to_string("/proc/cpuinfo")
         .ok()
         .and_then(|s| {
@@ -247,6 +307,26 @@ fn main() {
         });
         push("prepacked_weights", ms, err);
 
+        let qb = QuantizedB::from_f32(b, k, n);
+        c.fill(0.0);
+        gemm_prepacked_qb(a, &qb, &mut c, m, &mut scratch);
+        let err = max_abs_err(&c, &oracle);
+        let ms = time_variant(window, || {
+            c.fill(0.0);
+            gemm_prepacked_qb(a, std::hint::black_box(&qb), &mut c, m, &mut scratch);
+        });
+        push("q8_prepacked", ms, err);
+
+        let pb16 = PackedB16::pack(b, k, n);
+        c.fill(0.0);
+        gemm_prepacked_b16(a, &pb16, &mut c, m, &mut scratch);
+        let err = max_abs_err(&c, &oracle);
+        let ms = time_variant(window, || {
+            c.fill(0.0);
+            gemm_prepacked_b16(a, std::hint::black_box(&pb16), &mut c, m, &mut scratch);
+        });
+        push("f16_prepacked", ms, err);
+
         for (variant, pool) in [("tiled_packed_mt2", &pool2), ("tiled_packed_mt4", &pool4)] {
             c.fill(0.0);
             gemm_with_pool(a, b, &mut c, m, k, n, &mut scratch, pool);
@@ -288,8 +368,8 @@ fn main() {
     json.push_str("{\n");
     let _ = writeln!(
         json,
-        "  \"bench\": \"micro_gemm\",\n  \"quick\": {quick},\n  \"host\": {{\n    \"cpu\": {:?},\n    \"threads_available\": {threads_available},\n    \"note\": \"timings are best-of-batches means; mt variants share one core when threads_available < pool size, so their speedups reflect pool overhead, not scaling\"\n  }},",
-        cpu
+        "  \"bench\": \"micro_gemm\",\n  \"quick\": {quick},\n  \"host\": {{\n    \"cpu\": {:?},\n    \"threads_available\": {threads_available},\n    \"crayfish_threads\": {:?},\n    \"git_revision\": {:?},\n    \"rustc\": {:?},\n    \"note\": \"timings are best-of-batches means; mt variants share one core when threads_available < pool size, so their speedups reflect pool overhead, not scaling\"\n  }},",
+        cpu, crayfish_threads, git_rev, rustc
     );
     json.push_str("  \"results\": [\n");
     for (i, (shape, measured)) in rows.iter().enumerate() {

@@ -1,0 +1,199 @@
+//! `quant_accuracy` — the accuracy side of the low-precision ledger: how
+//! much prediction fidelity int8/f16 plans give up relative to the f32
+//! plan, measured per model and per layer.
+//!
+//! For FFNN and ResNet50, the fused executor is compiled at `Precision::Int8`
+//! and `Precision::F16` and scored on seeded synthetic inputs against the
+//! f32 plan's output (the oracle — these are seeded random weights, so f32
+//! *is* ground truth here, not a labelled test set). Reported per
+//! (model, precision):
+//!
+//! * **top-1 agreement** — fraction of items whose argmax class matches the
+//!   f32 plan's argmax (the metric that decides whether quantization is
+//!   deployable);
+//! * **max-abs-error** of the output scores vs the f32 plan;
+//! * the per-layer calibration report from plan compilation: each layer's
+//!   relative error and whether the calibration gate kept it quantized or
+//!   sent it back to f32.
+//!
+//! ```sh
+//! cargo run --release -p crayfish-bench --bin quant_accuracy            # full
+//! cargo run --release -p crayfish-bench --bin quant_accuracy -- --quick # CI
+//! ```
+//!
+//! Writes `bench_results/quant_accuracy.json` (full mode only; `--quick`
+//! prints but never clobbers the committed run).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crayfish_models::zoo::ModelSpec;
+use crayfish_runtime::exec::FusedExec;
+use crayfish_runtime::{Precision, QuantConfig};
+use crayfish_tensor::{Shape, Tensor};
+
+/// Argmax of each `classes`-wide row.
+fn top1(scores: &Tensor, classes: usize) -> Vec<usize> {
+    scores
+        .data()
+        .chunks_exact(classes)
+        .map(|row| {
+            row.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+fn max_abs_err(got: &[f32], want: &[f32]) -> f64 {
+    got.iter()
+        .zip(want)
+        .map(|(g, w)| (g - w).abs() as f64)
+        .fold(0.0, f64::max)
+}
+
+struct ModelResult {
+    model: &'static str,
+    precision: &'static str,
+    items: usize,
+    top1_agreement: f64,
+    out_max_abs_err: f64,
+    quantized_layers: usize,
+    fallback_layers: usize,
+    worst_layer_rel_err: f64,
+    layers: Vec<(String, &'static str, &'static str, f64, f64)>,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    // ResNet50 forward passes are expensive on one core; quick mode keeps
+    // CI latency bounded while still touching both models end to end.
+    let (ffnn_items, resnet_items, batch) = if quick { (32, 2, 2) } else { (256, 16, 4) };
+
+    let mut results: Vec<ModelResult> = Vec::new();
+    for (spec, items) in [
+        (ModelSpec::Ffnn, ffnn_items),
+        (ModelSpec::Resnet50, resnet_items),
+    ] {
+        let graph = spec.build(42);
+        let classes = spec.classes();
+        let mut f32_exec = FusedExec::new(&graph).expect("f32 plan");
+
+        for precision in [Precision::Int8, Precision::F16] {
+            let cfg = QuantConfig::with_precision(precision);
+            let mut exec = FusedExec::with_precision(&graph, cfg).expect("quantized plan");
+            let report = exec.precision_report().clone();
+
+            let mut agree = 0usize;
+            let mut total = 0usize;
+            let mut out_err = 0.0f64;
+            let mut done = 0usize;
+            let mut batch_idx = 0u64;
+            while done < items {
+                let this = batch.min(items - done);
+                let mut dims = vec![this];
+                dims.extend_from_slice(spec.input_shape().dims());
+                let input =
+                    Tensor::seeded_uniform(Shape::new(dims), 1000 + batch_idx, -1.0, 1.0);
+                let oracle = f32_exec.run(&input).expect("f32 run");
+                let got = exec.run(&input).expect("quantized run");
+                out_err = out_err.max(max_abs_err(got.data(), oracle.data()));
+                for (a, b) in top1(&got, classes).iter().zip(top1(&oracle, classes)) {
+                    agree += usize::from(*a == b);
+                    total += 1;
+                }
+                done += this;
+                batch_idx += 1;
+            }
+
+            let layers: Vec<(String, &'static str, &'static str, f64, f64)> = report
+                .layers
+                .iter()
+                .map(|l| {
+                    (
+                        l.name.clone(),
+                        l.kind,
+                        l.chosen,
+                        l.rel_err as f64,
+                        l.max_abs_err as f64,
+                    )
+                })
+                .collect();
+            let r = ModelResult {
+                model: spec.name(),
+                precision: precision.name(),
+                items: total,
+                top1_agreement: agree as f64 / total.max(1) as f64,
+                out_max_abs_err: out_err,
+                quantized_layers: report.quantized_count(),
+                fallback_layers: report.fallback_count(),
+                worst_layer_rel_err: report.worst_rel_err() as f64,
+                layers,
+            };
+            println!(
+                "{:<9} {:<5} top-1 agreement {:>6.2}% over {} items, out max-abs-err {:.3e}, \
+                 {}/{} layers quantized (worst layer rel err {:.3e})",
+                r.model,
+                r.precision,
+                r.top1_agreement * 100.0,
+                r.items,
+                r.out_max_abs_err,
+                r.quantized_layers,
+                r.quantized_layers + r.fallback_layers,
+                r.worst_layer_rel_err,
+            );
+            results.push(r);
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"quant_accuracy\",\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\n      \"model\": \"{}\", \"precision\": \"{}\", \"items\": {},",
+            r.model, r.precision, r.items
+        );
+        let _ = writeln!(
+            json,
+            "      \"top1_agreement\": {:.4}, \"out_max_abs_err\": {:.4e},",
+            r.top1_agreement, r.out_max_abs_err
+        );
+        let _ = writeln!(
+            json,
+            "      \"quantized_layers\": {}, \"fallback_layers\": {}, \"worst_layer_rel_err\": {:.4e},",
+            r.quantized_layers, r.fallback_layers, r.worst_layer_rel_err
+        );
+        json.push_str("      \"layers\": [\n");
+        for (j, (name, kind, chosen, rel, abs)) in r.layers.iter().enumerate() {
+            let comma = if j + 1 == r.layers.len() { "" } else { "," };
+            let _ = writeln!(
+                json,
+                "        {{ \"name\": {name:?}, \"kind\": \"{kind}\", \"chosen\": \"{chosen}\", \
+                 \"rel_err\": {rel:.4e}, \"max_abs_err\": {abs:.4e} }}{comma}"
+            );
+        }
+        json.push_str("      ]\n");
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(json, "    }}{comma}");
+    }
+    json.push_str("  ]\n}\n");
+
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../bench_results");
+    // CI's quick run writes its own file so the committed full run is
+    // never clobbered by a short smoke sweep.
+    let path = dir.join(if quick {
+        "quant_accuracy_quick.json"
+    } else {
+        "quant_accuracy.json"
+    });
+    std::fs::create_dir_all(&dir).expect("create bench_results/");
+    std::fs::write(&path, json).expect("write quant_accuracy report");
+    println!("wrote {}", path.display());
+}

@@ -238,6 +238,56 @@ const CASES: &[Case] = &[
         expect: 0,
     },
     Case {
+        rule: rules::HOT_PATH_ALLOC,
+        files: &[(
+            // The quantize pack helpers live under `kernels/` and are
+            // hot-path roots like every other kernel: allocating a staging
+            // buffer inside one is flagged directly.
+            "crates/tensor/src/kernels/pack.rs",
+            "pub fn quantize_a_into(a: &[f32], out: &mut [f32]) { \
+             let staging = a.to_vec(); out.copy_from_slice(&staging); }",
+        )],
+        expect: 1,
+    },
+    Case {
+        rule: analysis::HOT_PATH_ALLOC_TRANSITIVE,
+        files: &[
+            (
+                // A quantized GEMM driver is a hot-path root; an allocation
+                // in the scratch accessor it calls (outside `kernels/`) must
+                // surface transitively.
+                "crates/tensor/src/kernels/gemm.rs",
+                "pub fn gemm_prepacked_qb(a: &[f32], s: &mut GemmScratch) { \
+                 let (qa, qs) = qa_qs_mut(s, a.len(), 4); }",
+            ),
+            (
+                "crates/tensor/src/packed.rs",
+                "pub fn qa_qs_mut(s: &mut GemmScratch, qa_len: usize, qs_len: usize) \
+                 -> (Vec<i16>, Vec<f32>) { (s.qa.to_vec(), s.qs.to_vec()) }",
+            ),
+        ],
+        expect: 2,
+    },
+    Case {
+        rule: analysis::HOT_PATH_ALLOC_TRANSITIVE,
+        files: &[
+            (
+                // The sanctioned shape: quantize into caller-owned scratch
+                // (`.resize`/`.fill` on a reusable buffer are not
+                // allocations in steady state).
+                "crates/tensor/src/kernels/pack.rs",
+                "pub fn quantize_b_into(b: &[f32], qs: &mut Vec<i16>) { \
+                 qs.resize(b.len(), 0); for (o, &v) in qs.iter_mut().zip(b) { *o = v as i16; } }",
+            ),
+            (
+                "crates/tensor/src/kernels/gemm.rs",
+                "pub fn gemm_prepacked_qb(a: &[f32], qs: &mut Vec<i16>) { \
+                 quantize_b_into(a, qs); }",
+            ),
+        ],
+        expect: 0,
+    },
+    Case {
         rule: analysis::BLOCKING_IN_REACTOR,
         files: &[(
             "crates/net/src/reactor.rs",

@@ -19,14 +19,18 @@
 //! These are the real optimisations ONNX Runtime's graph optimiser performs,
 //! and they are why the paper measures ONNX as the fastest embedded option.
 
-use crayfish_tensor::kernels::conv::{conv2d_prepacked_into, Conv2dParams};
-use crayfish_tensor::kernels::gemm::{gemm_ipj, gemm_prepacked_b};
-use crayfish_tensor::kernels::microkernel::MR;
+use crayfish_tensor::kernels::conv::{conv2d_dispatch_into, Conv2dParams};
+use crayfish_tensor::kernels::gemm::dense_dispatch_into;
+use crayfish_tensor::kernels::quant::amax;
 use crayfish_tensor::kernels::{activation, add_inplace, pool};
-use crayfish_tensor::{GemmScratch, NnGraph, Op, PackedA, PackedB, Shape, Tensor};
+use crayfish_tensor::{
+    ConvWeights, DenseWeights, GemmScratch, NnGraph, Op, PackedA, PackedA16, PackedB, PackedB16,
+    QuantizedA, QuantizedB, Shape, Tensor,
+};
 
 use crate::error::RuntimeError;
 use crate::exec::check_batched_input;
+use crate::precision::{LayerReport, Precision, PrecisionReport, QuantConfig};
 use crate::Result;
 
 /// A compiled step's operation.
@@ -34,20 +38,18 @@ use crate::Result;
 enum FusedOp {
     Input,
     Conv {
-        /// `[out_c, in_c*k*k]` weight, packed at plan-compile time.
-        w: PackedA,
+        /// `[out_c, in_c*k*k]` weight, packed (and possibly quantized) at
+        /// plan-compile time.
+        w: ConvWeights,
         bias: Vec<f32>,
         params: Conv2dParams,
         relu: bool,
     },
     Dense {
-        /// Raw `[inf, outf]` weight, kept for the skinny-batch path where
-        /// packing the activation rows would waste most of each panel.
-        w: Vec<f32>,
-        /// The same weight packed at plan-compile time for `batch >= MR`.
-        pw: PackedB,
+        /// `[inf, outf]` weight, packed (and possibly quantized) at
+        /// plan-compile time.
+        w: DenseWeights,
         bias: Vec<f32>,
-        inf: usize,
         outf: usize,
         relu: bool,
     },
@@ -77,6 +79,13 @@ impl FusedOp {
     }
 }
 
+/// A candidate weight operand produced by the quantization post-pass,
+/// tagged by the step kind it replaces.
+enum StepWeights {
+    Conv(ConvWeights),
+    Dense(DenseWeights),
+}
+
 #[derive(Debug, Clone)]
 struct Step {
     name: String,
@@ -96,11 +105,30 @@ pub struct FusedExec {
     buffers: Vec<Vec<f32>>,
     col_scratch: Vec<f32>,
     gemm_scratch: GemmScratch,
+    report: PrecisionReport,
 }
 
 impl FusedExec {
-    /// Compile `graph` into a fused plan.
+    /// Compile `graph` into a fused plan at full (f32) precision.
     pub fn new(graph: &NnGraph) -> Result<Self> {
+        Self::with_precision(graph, QuantConfig::default())
+    }
+
+    /// Compile `graph` at the requested precision: the f32 plan is built
+    /// first (so Conv+BN folding happens *before* quantization), then each
+    /// conv/dense layer is re-compiled at `cfg.precision` and adopted only
+    /// if its calibration error passes `cfg.max_rel_err` (see
+    /// [`crate::precision`]).
+    pub fn with_precision(graph: &NnGraph, cfg: QuantConfig) -> Result<Self> {
+        let mut exec = Self::build_f32(graph)?;
+        if cfg.precision != Precision::F32 {
+            exec.report = exec.quantize_plan(&cfg)?;
+        }
+        Ok(exec)
+    }
+
+    /// Compile the full-precision plan.
+    fn build_f32(graph: &NnGraph) -> Result<Self> {
         let shapes = graph.infer_shapes(1)?;
         let input_shape = graph.input_shape()?;
         let per_item_flops = graph.flops(1)?;
@@ -136,7 +164,7 @@ impl FusedExec {
                     let bias = b.as_ref().map(|t| t.data().to_vec()).unwrap_or_default();
                     let krows = params.in_c * params.kernel * params.kernel;
                     let op = FusedOp::Conv {
-                        w: PackedA::pack(w.data(), params.out_c, krows),
+                        w: ConvWeights::F32(PackedA::pack(w.data(), params.out_c, krows)),
                         bias,
                         params: *params,
                         relu: false,
@@ -152,10 +180,8 @@ impl FusedExec {
                 Op::Dense { w, b } => {
                     let (inf, outf) = (w.shape().dim(0), w.shape().dim(1));
                     let op = FusedOp::Dense {
-                        w: w.data().to_vec(),
-                        pw: PackedB::pack(w.data(), inf, outf),
+                        w: DenseWeights::F32(PackedB::pack(w.data(), inf, outf)),
                         bias: b.data().to_vec(),
-                        inf,
                         outf,
                         relu: false,
                     };
@@ -174,8 +200,15 @@ impl FusedExec {
                     let foldable = consumers[producer] == 1
                         && matches!(steps[target].op, FusedOp::Conv { .. });
                     if foldable {
-                        // Fold into the convolution's weights and bias.
-                        if let FusedOp::Conv { w, bias, .. } = &mut steps[target].op {
+                        // Fold into the convolution's weights and bias. The
+                        // plan is always built at f32 first (quantization is
+                        // a post-pass), so the weights are still `F32` here.
+                        if let FusedOp::Conv {
+                            w: ConvWeights::F32(w),
+                            bias,
+                            ..
+                        } = &mut steps[target].op
+                        {
                             // Each output channel is one row of the GEMM's
                             // A operand; rescale it inside the packed panels.
                             for (oc, &s) in scale.iter().enumerate() {
@@ -299,7 +332,124 @@ impl FusedExec {
             buffers: (0..n).map(|_| Vec::new()).collect(),
             col_scratch: Vec::new(),
             gemm_scratch: GemmScratch::new(),
+            report: PrecisionReport::default(),
         })
+    }
+
+    /// The quantization post-pass: run a seeded calibration batch through
+    /// the (already built, BN-folded) f32 plan, then re-compute each
+    /// conv/dense step with candidate quantized weights against the same
+    /// exact f32 inputs and adopt the candidate only when its error passes
+    /// the gate. Runs once at plan-compile time; allocation here is fine.
+    fn quantize_plan(&mut self, cfg: &QuantConfig) -> Result<PrecisionReport> {
+        let mut report = PrecisionReport {
+            requested: cfg.precision,
+            layers: Vec::new(),
+        };
+        let batch = cfg.calib_batch.max(1);
+        let mut dims = vec![batch];
+        dims.extend_from_slice(self.input_shape.dims());
+        let calib = Tensor::seeded_uniform(Shape::new(dims), cfg.calib_seed, -1.0, 1.0);
+        // Fills self.buffers with every step's f32 output.
+        self.run(&calib)?;
+
+        for si in 0..self.steps.len() {
+            let step = &self.steps[si];
+            let oracle = &self.buffers[si];
+            let out_len = batch * step.item_shape.numel();
+            let mut candidate = vec![0.0f32; out_len];
+            let (kind, name, replacement) = match &step.op {
+                FusedOp::Conv {
+                    w: ConvWeights::F32(pa),
+                    bias,
+                    params,
+                    relu,
+                } => {
+                    let raw = pa.unpack();
+                    let cand = match cfg.precision {
+                        Precision::Int8 => {
+                            ConvWeights::Int8(QuantizedA::from_f32(&raw, pa.m(), pa.k()))
+                        }
+                        Precision::F16 => ConvWeights::F16(PackedA16::pack(&raw, pa.m(), pa.k())),
+                        Precision::F32 => unreachable!("quantize_plan is gated on != F32"),
+                    };
+                    let in_shape = &self.steps[step.inputs[0]].item_shape;
+                    conv2d_dispatch_into(
+                        &self.buffers[step.inputs[0]],
+                        batch,
+                        in_shape.dim(1),
+                        in_shape.dim(2),
+                        &cand,
+                        bias,
+                        params,
+                        &mut self.col_scratch,
+                        &mut candidate,
+                        &mut self.gemm_scratch,
+                    );
+                    if *relu {
+                        activation::relu_inplace(&mut candidate);
+                    }
+                    ("conv", step.name.clone(), StepWeights::Conv(cand))
+                }
+                FusedOp::Dense {
+                    w: DenseWeights::F32(pb),
+                    bias,
+                    relu,
+                    ..
+                } => {
+                    let raw = pb.unpack();
+                    let cand = match cfg.precision {
+                        Precision::Int8 => {
+                            DenseWeights::Int8(QuantizedB::from_f32(&raw, pb.k(), pb.n()))
+                        }
+                        Precision::F16 => DenseWeights::F16(PackedB16::pack(&raw, pb.k(), pb.n())),
+                        Precision::F32 => unreachable!("quantize_plan is gated on != F32"),
+                    };
+                    dense_dispatch_into(
+                        &self.buffers[step.inputs[0]],
+                        &cand,
+                        bias,
+                        batch,
+                        &mut candidate,
+                        &mut self.gemm_scratch,
+                    );
+                    if *relu {
+                        activation::relu_inplace(&mut candidate);
+                    }
+                    ("dense", step.name.clone(), StepWeights::Dense(cand))
+                }
+                _ => continue,
+            };
+
+            let max_abs_err = candidate
+                .iter()
+                .zip(oracle)
+                .fold(0.0f32, |m, (&c, &o)| m.max((c - o).abs()));
+            let rel_err = max_abs_err / amax(oracle).max(1e-12);
+            let adopt = rel_err <= cfg.max_rel_err;
+            if adopt {
+                match (&mut self.steps[si].op, replacement) {
+                    (FusedOp::Conv { w, .. }, StepWeights::Conv(cand)) => *w = cand,
+                    (FusedOp::Dense { w, .. }, StepWeights::Dense(cand)) => *w = cand,
+                    _ => unreachable!("replacement kind matches the step it came from"),
+                }
+            }
+            report.layers.push(LayerReport {
+                name,
+                kind,
+                requested: cfg.precision.name(),
+                chosen: if adopt { cfg.precision.name() } else { "f32" },
+                rel_err,
+                max_abs_err,
+            });
+        }
+        Ok(report)
+    }
+
+    /// Per-layer accuracy accounting from plan compilation (empty for f32
+    /// plans).
+    pub fn precision_report(&self) -> &PrecisionReport {
+        &self.report
     }
 
     /// `(ptr, capacity)` of every arena buffer and scratch — lets tests
@@ -372,7 +522,7 @@ impl FusedExec {
                     let s = in_item(0);
                     let (h, wd) = (s.dim(1), s.dim(2));
                     out.resize(out_numel, 0.0);
-                    conv2d_prepacked_into(
+                    conv2d_dispatch_into(
                         in_buf(0),
                         batch,
                         h,
@@ -390,24 +540,13 @@ impl FusedExec {
                 }
                 FusedOp::Dense {
                     w,
-                    pw,
                     bias,
-                    inf,
                     outf,
                     relu,
+                    ..
                 } => {
                     out.resize(batch * outf, 0.0);
-                    for row in out.chunks_exact_mut(*outf) {
-                        row.copy_from_slice(bias);
-                    }
-                    if batch < MR {
-                        // Skinny batch: the streaming kernel reads the raw
-                        // weight once; packing activations would waste most
-                        // of each MR-row panel.
-                        gemm_ipj(in_buf(0), w, out, batch, *inf, *outf);
-                    } else {
-                        gemm_prepacked_b(in_buf(0), pw, out, batch, &mut self.gemm_scratch);
-                    }
+                    dense_dispatch_into(in_buf(0), w, bias, batch, out, &mut self.gemm_scratch);
                     if *relu {
                         activation::relu_inplace(out);
                     }
@@ -577,5 +716,61 @@ mod tests {
         assert_eq!(exec.input_shape().dims(), &[28, 28]);
         assert_eq!(exec.output_item_shape().dims(), &[10]);
         assert_eq!(exec.per_item_flops(), g.flops(1).unwrap());
+    }
+
+    #[test]
+    fn quantized_plans_track_the_f32_plan() {
+        let g = tiny::tiny_cnn(7);
+        let input = Tensor::seeded_uniform([2, 3, 8, 8], 11, -1.0, 1.0);
+        let mut f32_exec = FusedExec::new(&g).unwrap();
+        let oracle = f32_exec.run(&input).unwrap();
+        for precision in [Precision::Int8, Precision::F16] {
+            let cfg = QuantConfig::with_precision(precision);
+            let mut exec = FusedExec::with_precision(&g, cfg).unwrap();
+            let report = exec.precision_report();
+            assert_eq!(report.requested, precision);
+            assert!(!report.layers.is_empty(), "conv+dense layers reported");
+            for l in &report.layers {
+                assert_eq!(l.requested, precision.name());
+                assert!(l.rel_err >= 0.0 && l.max_abs_err >= 0.0);
+            }
+            let out = exec.run(&input).unwrap();
+            // Softmax outputs live in [0,1]; quantized plans should stay
+            // close enough that the distributions barely move.
+            assert!(
+                oracle.max_abs_diff(&out).unwrap() < 0.05,
+                "{} plan drifted",
+                precision.name()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_threshold_falls_back_to_exact_f32() {
+        let g = tiny::tiny_cnn(3);
+        let input = Tensor::seeded_uniform([2, 3, 8, 8], 5, -1.0, 1.0);
+        let mut f32_exec = FusedExec::new(&g).unwrap();
+        let mut cfg = QuantConfig::with_precision(Precision::Int8);
+        cfg.max_rel_err = 0.0;
+        let mut exec = FusedExec::with_precision(&g, cfg).unwrap();
+        let report = exec.precision_report();
+        assert_eq!(report.quantized_count(), 0, "gate rejects every layer");
+        assert_eq!(report.fallback_count(), report.layers.len());
+        // With every layer back at f32 the plans are bit-identical.
+        assert_eq!(f32_exec.run(&input).unwrap(), exec.run(&input).unwrap());
+    }
+
+    #[test]
+    fn quantized_steady_state_reuses_the_arena() {
+        let g = tiny::tiny_cnn(2);
+        let cfg = QuantConfig::with_precision(Precision::Int8);
+        let mut exec = FusedExec::with_precision(&g, cfg).unwrap();
+        let input = Tensor::seeded_uniform([2, 3, 8, 8], 1, -1.0, 1.0);
+        exec.run(&input).unwrap();
+        let fp = exec.arena_fingerprint();
+        for _ in 0..3 {
+            exec.run(&input).unwrap();
+        }
+        assert_eq!(fp, exec.arena_fingerprint(), "int8 steady state reallocated");
     }
 }

@@ -3,17 +3,21 @@
 use std::time::Duration;
 
 use crayfish_sim::Cost;
+use crayfish_tensor::kernels::quant::amax;
 use crayfish_tensor::kernels::{
     activation, add_inplace,
-    conv::{conv2d_direct, conv2d_prepacked_into},
-    gemm::{gemm_ipj, gemm_prepacked_b},
-    microkernel::MR,
+    conv::{conv2d_direct, conv2d_dispatch_into},
+    gemm::dense_dispatch_into,
     norm, pool,
 };
-use crayfish_tensor::{GemmScratch, NnGraph, Op, PackedA, PackedB, Shape, Tensor};
+use crayfish_tensor::{
+    ConvWeights, DenseWeights, GemmScratch, NnGraph, Op, PackedA, PackedA16, PackedB, PackedB16,
+    QuantizedA, QuantizedB, Shape, Tensor,
+};
 
 use crate::error::RuntimeError;
 use crate::exec::check_batched_input;
+use crate::precision::{LayerReport, Precision, PrecisionReport, QuantConfig};
 use crate::Result;
 
 /// Simulated foreign-function boundary configuration for DL4J-style
@@ -32,10 +36,19 @@ pub struct JniBoundary {
 #[derive(Debug)]
 enum NodePack {
     None,
-    /// Dense weight as the GEMM's right operand.
-    Dense(PackedB),
-    /// Conv weight (`[out_c, in_c*k*k]`) as the GEMM's left operand.
-    Conv(PackedA),
+    /// Dense weight as the GEMM's right operand, at the plan's precision.
+    Dense(DenseWeights),
+    /// Conv weight (`[out_c, in_c*k*k]`) as the GEMM's left operand, at the
+    /// plan's precision.
+    Conv(ConvWeights),
+}
+
+/// A candidate reduced-precision weight plus its calibration output,
+/// carried between the compute and the adopt/reject decision in
+/// [`UnfusedExec::quantize_plan`].
+enum CandPack {
+    Dense(DenseWeights, Vec<f32>),
+    Conv(ConvWeights, Vec<f32>),
 }
 
 /// Executes the graph node by node with no cross-op optimisation.
@@ -61,6 +74,7 @@ pub struct UnfusedExec {
     /// Per-node pre-packed weights (indexed by node id).
     packs: Vec<NodePack>,
     gemm_scratch: GemmScratch,
+    report: PrecisionReport,
 }
 
 impl UnfusedExec {
@@ -73,14 +87,16 @@ impl UnfusedExec {
             .nodes()
             .iter()
             .map(|node| match &node.op {
-                Op::Dense { w, .. } => {
-                    NodePack::Dense(PackedB::pack(w.data(), w.shape().dim(0), w.shape().dim(1)))
-                }
-                Op::Conv2d { w, params, .. } => NodePack::Conv(PackedA::pack(
+                Op::Dense { w, .. } => NodePack::Dense(DenseWeights::F32(PackedB::pack(
+                    w.data(),
+                    w.shape().dim(0),
+                    w.shape().dim(1),
+                ))),
+                Op::Conv2d { w, params, .. } => NodePack::Conv(ConvWeights::F32(PackedA::pack(
                     w.data(),
                     params.out_c,
                     params.in_c * params.kernel * params.kernel,
-                )),
+                ))),
                 _ => NodePack::None,
             })
             .collect();
@@ -95,7 +111,133 @@ impl UnfusedExec {
             col_scratch: Vec::new(),
             packs,
             gemm_scratch: GemmScratch::new(),
+            report: PrecisionReport::default(),
         })
+    }
+
+    /// Build an executor whose conv/dense weights are compiled at
+    /// `cfg.precision`, with the same per-layer calibration gate as
+    /// [`crate::exec::FusedExec::with_precision`]. Unlike the fused plan
+    /// there is no BN folding here (batch-norm stays its own node), so the
+    /// raw node weights are what gets quantized.
+    pub fn with_precision(
+        graph: NnGraph,
+        reuse_buffers: bool,
+        jni: Option<JniBoundary>,
+        cfg: QuantConfig,
+    ) -> Result<Self> {
+        let mut exec = Self::new(graph, reuse_buffers, jni)?;
+        if cfg.precision != Precision::F32 {
+            exec.report = exec.quantize_plan(&cfg)?;
+        }
+        Ok(exec)
+    }
+
+    /// Per-layer accuracy accounting from plan compilation (empty for f32
+    /// plans).
+    pub fn precision_report(&self) -> &PrecisionReport {
+        &self.report
+    }
+
+    /// Node-level quantization post-pass: run a seeded calibration batch at
+    /// f32, then re-compute each conv/dense node with candidate quantized
+    /// weights against its exact f32 inputs, adopting the candidate only
+    /// when the error passes the gate. The naive-conv path ignores packed
+    /// weights entirely, so quantization only affects the GEMM-backed path.
+    fn quantize_plan(&mut self, cfg: &QuantConfig) -> Result<PrecisionReport> {
+        let mut report = PrecisionReport {
+            requested: cfg.precision,
+            layers: Vec::new(),
+        };
+        let batch = cfg.calib_batch.max(1);
+        let mut dims = vec![batch];
+        dims.extend_from_slice(self.input_shape.dims());
+        let calib = Tensor::seeded_uniform(Shape::new(dims), cfg.calib_seed, -1.0, 1.0);
+        // Fills self.buffers with every node's f32 output (buffers are only
+        // cleared at the *start* of a non-reusing run).
+        self.run(&calib)?;
+        let shapes = &self.shapes.as_ref().expect("shapes cached by run").1;
+
+        for id in 0..self.graph.nodes().len() {
+            let node = &self.graph.nodes()[id];
+            let oracle = &self.buffers[id];
+            let (kind, replacement) = match &node.op {
+                Op::Dense { w, b } => {
+                    let (inf, outf) = (w.shape().dim(0), w.shape().dim(1));
+                    let cand = match cfg.precision {
+                        Precision::Int8 => {
+                            DenseWeights::Int8(QuantizedB::from_f32(w.data(), inf, outf))
+                        }
+                        Precision::F16 => DenseWeights::F16(PackedB16::pack(w.data(), inf, outf)),
+                        Precision::F32 => unreachable!("quantize_plan is gated on != F32"),
+                    };
+                    let mut tmp = vec![0.0f32; batch * outf];
+                    dense_dispatch_into(
+                        &self.buffers[node.inputs[0]],
+                        &cand,
+                        b.data(),
+                        batch,
+                        &mut tmp,
+                        &mut self.gemm_scratch,
+                    );
+                    ("dense", CandPack::Dense(cand, tmp))
+                }
+                Op::Conv2d { w, b, params } => {
+                    let krows = params.in_c * params.kernel * params.kernel;
+                    let cand = match cfg.precision {
+                        Precision::Int8 => {
+                            ConvWeights::Int8(QuantizedA::from_f32(w.data(), params.out_c, krows))
+                        }
+                        Precision::F16 => {
+                            ConvWeights::F16(PackedA16::pack(w.data(), params.out_c, krows))
+                        }
+                        Precision::F32 => unreachable!("quantize_plan is gated on != F32"),
+                    };
+                    let s = &shapes[node.inputs[0]];
+                    let bias: &[f32] = b.as_ref().map(|t| t.data()).unwrap_or(&[]);
+                    let mut tmp = vec![0.0f32; shapes[id].numel()];
+                    conv2d_dispatch_into(
+                        &self.buffers[node.inputs[0]],
+                        batch,
+                        s.dim(2),
+                        s.dim(3),
+                        &cand,
+                        bias,
+                        params,
+                        &mut self.col_scratch,
+                        &mut tmp,
+                        &mut self.gemm_scratch,
+                    );
+                    ("conv", CandPack::Conv(cand, tmp))
+                }
+                _ => continue,
+            };
+
+            let candidate = match &replacement {
+                CandPack::Dense(_, tmp) | CandPack::Conv(_, tmp) => tmp,
+            };
+            let max_abs_err = candidate
+                .iter()
+                .zip(oracle)
+                .fold(0.0f32, |m, (&c, &o)| m.max((c - o).abs()));
+            let rel_err = max_abs_err / amax(oracle).max(1e-12);
+            let adopt = rel_err <= cfg.max_rel_err;
+            if adopt {
+                self.packs[id] = match replacement {
+                    CandPack::Dense(cand, _) => NodePack::Dense(cand),
+                    CandPack::Conv(cand, _) => NodePack::Conv(cand),
+                };
+            }
+            report.layers.push(LayerReport {
+                name: node.name.clone(),
+                kind,
+                requested: cfg.precision.name(),
+                chosen: if adopt { cfg.precision.name() } else { "f32" },
+                rel_err,
+                max_abs_err,
+            });
+        }
+        Ok(report)
     }
 
     /// `(ptr, capacity)` of every arena buffer and scratch — lets tests
@@ -176,21 +318,12 @@ impl UnfusedExec {
                     out.extend_from_slice(input.data());
                 }
                 Op::Dense { w, b } => {
-                    let (inf, outf) = (w.shape().dim(0), w.shape().dim(1));
+                    let outf = w.shape().dim(1);
                     out.resize(batch * outf, 0.0);
-                    for row in out.chunks_exact_mut(outf) {
-                        row.copy_from_slice(b.data());
-                    }
-                    if batch < MR {
-                        // Skinny batch: stream the raw weight once instead
-                        // of packing mostly-padding activation panels.
-                        gemm_ipj(in_buf(0), w.data(), out, batch, inf, outf);
-                    } else {
-                        let NodePack::Dense(pw) = &self.packs[node.id] else {
-                            unreachable!("dense node packed at build time");
-                        };
-                        gemm_prepacked_b(in_buf(0), pw, out, batch, &mut self.gemm_scratch);
-                    }
+                    let NodePack::Dense(pw) = &self.packs[node.id] else {
+                        unreachable!("dense node packed at build time");
+                    };
+                    dense_dispatch_into(in_buf(0), pw, b.data(), batch, out, &mut self.gemm_scratch);
                 }
                 Op::Conv2d { w, b, params } => {
                     let s = in_shape(0);
@@ -210,7 +343,7 @@ impl UnfusedExec {
                             unreachable!("conv node packed at build time");
                         };
                         out.resize(out_numel, 0.0);
-                        conv2d_prepacked_into(
+                        conv2d_dispatch_into(
                             in_buf(0),
                             batch,
                             s.dim(2),
@@ -364,6 +497,40 @@ mod tests {
         let a = fast.run(&input).unwrap();
         let b = slow.run(&input).unwrap();
         assert!(a.max_abs_diff(&b).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn quantized_plans_track_the_f32_plan() {
+        let g = tiny::tiny_cnn(7);
+        let input = Tensor::seeded_uniform([2, 3, 8, 8], 11, -1.0, 1.0);
+        let mut f32_exec = UnfusedExec::new(g.clone(), true, None).unwrap();
+        let oracle = f32_exec.run(&input).unwrap();
+        for precision in [Precision::Int8, Precision::F16] {
+            let cfg = QuantConfig::with_precision(precision);
+            let mut exec = UnfusedExec::with_precision(g.clone(), true, None, cfg).unwrap();
+            let report = exec.precision_report();
+            assert_eq!(report.requested, precision);
+            assert!(!report.layers.is_empty(), "conv+dense layers reported");
+            let out = exec.run(&input).unwrap();
+            assert!(
+                oracle.max_abs_diff(&out).unwrap() < 0.05,
+                "{} plan drifted",
+                precision.name()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_threshold_falls_back_to_exact_f32() {
+        let g = tiny::tiny_cnn(3);
+        let input = Tensor::seeded_uniform([2, 3, 8, 8], 5, -1.0, 1.0);
+        let mut f32_exec = UnfusedExec::new(g.clone(), true, None).unwrap();
+        let mut cfg = QuantConfig::with_precision(Precision::F16);
+        cfg.max_rel_err = 0.0;
+        let mut exec = UnfusedExec::with_precision(g, true, None, cfg).unwrap();
+        let report = exec.precision_report();
+        assert_eq!(report.quantized_count(), 0, "gate rejects every layer");
+        assert_eq!(f32_exec.run(&input).unwrap(), exec.run(&input).unwrap());
     }
 
     #[test]

@@ -23,10 +23,12 @@
 pub mod device;
 pub mod error;
 pub mod exec;
+pub mod precision;
 pub mod runtimes;
 
 pub use device::{Device, GpuSpec};
 pub use error::RuntimeError;
+pub use precision::{LayerReport, Precision, PrecisionReport, QuantConfig};
 pub use runtimes::{
     embedded_by_name, Dl4jRuntime, EmbeddedLib, EmbeddedRuntime, LoadedModel, OnnxRuntime,
     SavedModelRuntime, TorchRuntime,

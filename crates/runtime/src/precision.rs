@@ -1,0 +1,184 @@
+//! The precision knob on plan compilation and its accuracy accounting.
+//!
+//! Both executors compile their plans at a requested [`Precision`]. For
+//! int8/f16 the conv/dense weight operands are quantized at plan-compile
+//! time (after Conv+BN folding in the fused plan, so the folded scales are
+//! what gets quantized) and steady-state inference runs the matching
+//! reduced-precision kernels in `crayfish_tensor`.
+//!
+//! Quantization is *guarded*: plan compilation runs a small seeded
+//! calibration batch through the f32 plan, re-computes every candidate
+//! layer with its quantized weights against the same (exact f32) inputs,
+//! and only adopts the quantized operand when the layer's relative error
+//! stays under [`QuantConfig::max_rel_err`] — otherwise that layer falls
+//! back to f32. The per-layer decisions and errors are recorded in a
+//! [`PrecisionReport`] so accuracy is accounted for, not assumed
+//! (DESIGN.md §3l).
+
+use serde::{Deserialize, Serialize};
+
+/// Numeric precision of the weight operands in a compiled plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum Precision {
+    /// Full precision — the packed f32 panels (the default).
+    #[default]
+    F32,
+    /// Per-channel symmetric int8 weights, int8 activations, `i32`
+    /// accumulation, dequantized on store.
+    Int8,
+    /// f16 weight storage, f32 arithmetic — halves weight bandwidth and
+    /// footprint at ~2⁻¹¹ relative weight error.
+    F16,
+}
+
+impl Precision {
+    /// Configuration / report name ("f32", "int8", "f16").
+    pub fn name(&self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::Int8 => "int8",
+            Precision::F16 => "f16",
+        }
+    }
+}
+
+fn default_max_rel_err() -> f32 {
+    0.05
+}
+
+fn default_calib_batch() -> usize {
+    2
+}
+
+/// How a plan is compiled at reduced precision.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct QuantConfig {
+    /// Requested weight precision for conv/dense layers.
+    #[serde(default)]
+    pub precision: Precision,
+    /// Per-layer calibration gate: a layer whose max absolute error on the
+    /// calibration batch exceeds this fraction of the layer's output range
+    /// falls back to f32.
+    #[serde(default = "default_max_rel_err")]
+    pub max_rel_err: f32,
+    /// Calibration batch size (seeded synthetic inputs).
+    #[serde(default = "default_calib_batch")]
+    pub calib_batch: usize,
+    /// Seed for the calibration inputs — fixed so plan compilation is
+    /// deterministic.
+    #[serde(default)]
+    pub calib_seed: u64,
+}
+
+impl Default for QuantConfig {
+    fn default() -> Self {
+        QuantConfig {
+            precision: Precision::F32,
+            max_rel_err: default_max_rel_err(),
+            calib_batch: default_calib_batch(),
+            calib_seed: 0,
+        }
+    }
+}
+
+impl QuantConfig {
+    /// A config requesting `precision` with the default calibration gate.
+    pub fn with_precision(precision: Precision) -> QuantConfig {
+        QuantConfig {
+            precision,
+            ..QuantConfig::default()
+        }
+    }
+}
+
+/// One layer's calibration outcome.
+#[derive(Debug, Clone)]
+pub struct LayerReport {
+    /// Graph node / step name.
+    pub name: String,
+    /// "conv" or "dense".
+    pub kind: &'static str,
+    /// Precision the config asked for.
+    pub requested: &'static str,
+    /// Precision the layer actually compiled to (falls back to "f32" when
+    /// the calibration gate rejects the quantized candidate).
+    pub chosen: &'static str,
+    /// Max absolute error of the candidate on the calibration batch,
+    /// relative to the layer's f32 output amax.
+    pub rel_err: f32,
+    /// Max absolute error of the candidate on the calibration batch.
+    pub max_abs_err: f32,
+}
+
+/// Per-layer accuracy accounting produced by plan compilation at reduced
+/// precision. Empty for f32 plans.
+#[derive(Debug, Clone, Default)]
+pub struct PrecisionReport {
+    /// Requested precision for the whole plan.
+    pub requested: Precision,
+    /// One entry per conv/dense layer, in execution order.
+    pub layers: Vec<LayerReport>,
+}
+
+impl PrecisionReport {
+    /// Layers that adopted the reduced precision.
+    pub fn quantized_count(&self) -> usize {
+        self.layers
+            .iter()
+            .filter(|l| l.chosen == l.requested)
+            .count()
+    }
+
+    /// Layers the calibration gate sent back to f32.
+    pub fn fallback_count(&self) -> usize {
+        self.layers.len() - self.quantized_count()
+    }
+
+    /// Largest per-layer relative error across the plan.
+    pub fn worst_rel_err(&self) -> f32 {
+        self.layers.iter().fold(0.0f32, |m, l| m.max(l.rel_err))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_names_and_default() {
+        assert_eq!(Precision::default(), Precision::F32);
+        assert_eq!(Precision::Int8.name(), "int8");
+        assert_eq!(Precision::F16.name(), "f16");
+    }
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let cfg = QuantConfig::default();
+        assert_eq!(cfg.precision, Precision::F32);
+        assert!(cfg.max_rel_err > 0.0 && cfg.max_rel_err < 1.0);
+        assert!(cfg.calib_batch >= 1);
+        let cfg = QuantConfig::with_precision(Precision::Int8);
+        assert_eq!(cfg.precision, Precision::Int8);
+        assert_eq!(cfg.max_rel_err, QuantConfig::default().max_rel_err);
+    }
+
+    #[test]
+    fn report_counts_fallbacks() {
+        let mk = |chosen: &'static str, rel: f32| LayerReport {
+            name: "l".into(),
+            kind: "dense",
+            requested: "int8",
+            chosen,
+            rel_err: rel,
+            max_abs_err: rel,
+        };
+        let report = PrecisionReport {
+            requested: Precision::Int8,
+            layers: vec![mk("int8", 0.01), mk("f32", 0.4), mk("int8", 0.02)],
+        };
+        assert_eq!(report.quantized_count(), 2);
+        assert_eq!(report.fallback_count(), 1);
+        assert!((report.worst_rel_err() - 0.4).abs() < 1e-6);
+    }
+}

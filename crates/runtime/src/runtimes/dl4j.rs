@@ -7,6 +7,7 @@ use crayfish_tensor::NnGraph;
 use crate::device::Device;
 use crate::exec::unfused::JniBoundary;
 use crate::exec::{GpuExec, UnfusedExec};
+use crate::precision::{Precision, QuantConfig};
 use crate::runtimes::{EmbeddedRuntime, GpuModel, LoadedModel, UnfusedModel};
 use crate::Result;
 
@@ -21,6 +22,7 @@ use crate::Result;
 #[derive(Debug, Clone, Copy)]
 pub struct Dl4jRuntime {
     overheads: OverheadModel,
+    quant: QuantConfig,
 }
 
 impl Dl4jRuntime {
@@ -28,13 +30,26 @@ impl Dl4jRuntime {
     pub fn new() -> Self {
         Dl4jRuntime {
             overheads: OverheadModel::calibrated(),
+            quant: QuantConfig::default(),
         }
     }
 
     /// Create with explicit overheads (ablation benchmarks pass
     /// [`OverheadModel::zero`] to isolate the real marshalling cost).
     pub fn with_overheads(overheads: OverheadModel) -> Self {
-        Dl4jRuntime { overheads }
+        Dl4jRuntime {
+            overheads,
+            quant: QuantConfig::default(),
+        }
+    }
+
+    /// Compile CPU plans at `precision` with the default calibration gate
+    /// (the GPU path always stays f32).
+    pub fn with_precision(precision: Precision) -> Self {
+        Dl4jRuntime {
+            overheads: OverheadModel::calibrated(),
+            quant: QuantConfig::with_precision(precision),
+        }
     }
 }
 
@@ -58,12 +73,13 @@ impl EmbeddedRuntime for Dl4jRuntime {
         match device {
             Device::Cpu => Ok(Box::new(UnfusedModel {
                 name: self.name(),
-                exec: UnfusedExec::new(
+                exec: UnfusedExec::with_precision(
                     graph.clone(),
                     false,
                     Some(JniBoundary {
                         cost: self.overheads.ffi_call,
                     }),
+                    self.quant,
                 )?,
             })),
             Device::Gpu(spec) => Ok(Box::new(GpuModel {

@@ -203,6 +203,29 @@ mod tests {
     }
 
     #[test]
+    fn runtimes_agree_at_reduced_precision() {
+        use crate::precision::Precision;
+        let g = tiny::tiny_cnn(5);
+        let input = Tensor::seeded_uniform([2, 3, 8, 8], 2, -1.0, 1.0);
+        let mut oracle = OnnxRuntime::new().load_graph(&g, Device::Cpu).unwrap();
+        let f32_out = oracle.apply(&input).unwrap();
+        for precision in [Precision::Int8, Precision::F16] {
+            let mut fused = OnnxRuntime::with_precision(precision)
+                .load_graph(&g, Device::Cpu)
+                .unwrap();
+            let mut unfused = SavedModelRuntime::with_precision(precision)
+                .load_graph(&g, Device::Cpu)
+                .unwrap();
+            let a = fused.apply(&input).unwrap();
+            let b = unfused.apply(&input).unwrap();
+            // The two executors quantize different weights (fused folds BN
+            // first) but both must stay near the f32 oracle.
+            assert!(a.max_abs_diff(&f32_out).unwrap() < 0.05, "{precision:?}");
+            assert!(b.max_abs_diff(&f32_out).unwrap() < 0.05, "{precision:?}");
+        }
+    }
+
+    #[test]
     fn gpu_device_loads_everywhere() {
         let g = tiny::tiny_mlp(5);
         let input = Tensor::seeded_uniform([1, 8, 8], 1, 0.0, 1.0);

@@ -5,6 +5,7 @@ use crayfish_tensor::NnGraph;
 
 use crate::device::Device;
 use crate::exec::{FusedExec, GpuExec};
+use crate::precision::{Precision, QuantConfig};
 use crate::runtimes::{EmbeddedRuntime, FusedModel, GpuModel, LoadedModel};
 use crate::Result;
 
@@ -15,12 +16,25 @@ use crate::Result;
 /// [`crate::exec::fused`]); `apply` executes the compiled plan. This is the
 /// paper's fastest embedded option because of exactly these optimisations.
 #[derive(Debug, Default, Clone, Copy)]
-pub struct OnnxRuntime;
+pub struct OnnxRuntime {
+    quant: QuantConfig,
+}
 
 impl OnnxRuntime {
-    /// Create the runtime.
+    /// Create the runtime (f32 plans).
     pub fn new() -> Self {
-        OnnxRuntime
+        OnnxRuntime::default()
+    }
+
+    /// Compile CPU plans at `precision` with the default calibration gate
+    /// (the GPU path always stays f32).
+    pub fn with_precision(precision: Precision) -> Self {
+        Self::with_quant(QuantConfig::with_precision(precision))
+    }
+
+    /// Compile CPU plans with an explicit quantization config.
+    pub fn with_quant(quant: QuantConfig) -> Self {
+        OnnxRuntime { quant }
     }
 }
 
@@ -37,7 +51,7 @@ impl EmbeddedRuntime for OnnxRuntime {
         match device {
             Device::Cpu => Ok(Box::new(FusedModel {
                 name: self.name(),
-                exec: FusedExec::new(graph)?,
+                exec: FusedExec::with_precision(graph, self.quant)?,
             })),
             Device::Gpu(spec) => Ok(Box::new(GpuModel {
                 name: self.name(),

@@ -6,6 +6,7 @@ use crayfish_tensor::{NnGraph, Tensor};
 
 use crate::device::Device;
 use crate::exec::{GpuExec, UnfusedExec};
+use crate::precision::{Precision, QuantConfig};
 use crate::runtimes::{EmbeddedRuntime, GpuModel, LoadedModel};
 use crate::Result;
 
@@ -18,12 +19,25 @@ use crate::Result;
 /// marshalling-bound DL4J analog — the ordering the paper measures in
 /// Table 4.
 #[derive(Debug, Default, Clone, Copy)]
-pub struct SavedModelRuntime;
+pub struct SavedModelRuntime {
+    quant: QuantConfig,
+}
 
 impl SavedModelRuntime {
-    /// Create the runtime.
+    /// Create the runtime (f32 plans).
     pub fn new() -> Self {
-        SavedModelRuntime
+        SavedModelRuntime::default()
+    }
+
+    /// Compile CPU plans at `precision` with the default calibration gate
+    /// (the GPU path always stays f32).
+    pub fn with_precision(precision: Precision) -> Self {
+        Self::with_quant(QuantConfig::with_precision(precision))
+    }
+
+    /// Compile CPU plans with an explicit quantization config.
+    pub fn with_quant(quant: QuantConfig) -> Self {
+        SavedModelRuntime { quant }
     }
 }
 
@@ -39,7 +53,7 @@ impl EmbeddedRuntime for SavedModelRuntime {
     fn load_graph(&self, graph: &NnGraph, device: Device) -> Result<Box<dyn LoadedModel>> {
         match device {
             Device::Cpu => Ok(Box::new(SessionModel {
-                exec: UnfusedExec::new(graph.clone(), true, None)?,
+                exec: UnfusedExec::with_precision(graph.clone(), true, None, self.quant)?,
             })),
             Device::Gpu(spec) => Ok(Box::new(GpuModel {
                 name: self.name(),

@@ -11,17 +11,31 @@ use crayfish_tensor::NnGraph;
 
 use crate::device::Device;
 use crate::exec::{GpuExec, UnfusedExec};
+use crate::precision::{Precision, QuantConfig};
 use crate::runtimes::{EmbeddedRuntime, GpuModel, LoadedModel, UnfusedModel};
 use crate::Result;
 
 /// The PyTorch-eager-style runtime.
 #[derive(Debug, Default, Clone, Copy)]
-pub struct TorchRuntime;
+pub struct TorchRuntime {
+    quant: QuantConfig,
+}
 
 impl TorchRuntime {
-    /// Create the runtime.
+    /// Create the runtime (f32 plans).
     pub fn new() -> Self {
-        TorchRuntime
+        TorchRuntime::default()
+    }
+
+    /// Compile CPU plans at `precision`. Only dense layers are affected:
+    /// the naive sliding-window conv reads the raw f32 weights.
+    pub fn with_precision(precision: Precision) -> Self {
+        Self::with_quant(QuantConfig::with_precision(precision))
+    }
+
+    /// Compile CPU plans with an explicit quantization config.
+    pub fn with_quant(quant: QuantConfig) -> Self {
+        TorchRuntime { quant }
     }
 }
 
@@ -38,7 +52,8 @@ impl EmbeddedRuntime for TorchRuntime {
         match device {
             Device::Cpu => Ok(Box::new(UnfusedModel {
                 name: self.name(),
-                exec: UnfusedExec::new(graph.clone(), true, None)?.with_naive_conv(),
+                exec: UnfusedExec::with_precision(graph.clone(), true, None, self.quant)?
+                    .with_naive_conv(),
             })),
             Device::Gpu(spec) => Ok(Box::new(GpuModel {
                 name: self.name(),

@@ -1,8 +1,8 @@
 //! 2-D convolution: the production `im2col + GEMM` path and a direct
 //! reference implementation.
 
-use crate::kernels::gemm::{gemm, gemm_prepacked_a};
-use crate::packed::{GemmScratch, PackedA};
+use crate::kernels::gemm::{gemm, gemm_prepacked_a, gemm_prepacked_a16, gemm_prepacked_qa};
+use crate::packed::{ConvWeights, GemmScratch, PackedA, PackedA16, QuantizedA};
 
 /// Static parameters of a conv2d op.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -162,6 +162,132 @@ pub fn conv2d_prepacked_into(
             }
         }
         gemm_prepacked_a(weight, col_scratch, out_img, cols, gemm_scratch);
+    }
+}
+
+/// [`conv2d_prepacked_into`] against weights int8-quantized at plan-compile
+/// time (per-output-channel scales). Each image's `im2col` matrix is
+/// quantized per call with one per-tensor scale inside
+/// [`gemm_prepacked_qa`]; accumulation is `i32`, dequantized on store.
+#[allow(clippy::too_many_arguments)] // a BLAS-style kernel signature: dims are positional by convention
+pub fn conv2d_q8_prepacked_into(
+    input: &[f32],
+    batch: usize,
+    h: usize,
+    w: usize,
+    weight: &QuantizedA,
+    bias: &[f32],
+    p: &Conv2dParams,
+    col_scratch: &mut Vec<f32>,
+    out: &mut [f32],
+    gemm_scratch: &mut GemmScratch,
+) {
+    let (oh, ow) = p.out_hw(h, w);
+    let cols = oh * ow;
+    let krows = p.in_c * p.kernel * p.kernel;
+    assert_eq!(weight.m(), p.out_c, "conv2d: quantized weight rows");
+    assert_eq!(weight.k(), krows, "conv2d: quantized weight depth");
+    assert_eq!(out.len(), batch * p.out_c * cols, "conv2d: out length");
+    col_scratch.resize(krows * cols, 0.0);
+    for b in 0..batch {
+        let img = &input[b * p.in_c * h * w..(b + 1) * p.in_c * h * w];
+        im2col(img, h, w, p, col_scratch);
+        let out_img = &mut out[b * p.out_c * cols..(b + 1) * p.out_c * cols];
+        fill_bias(out_img, bias, p.out_c, cols);
+        gemm_prepacked_qa(weight, col_scratch, out_img, cols, gemm_scratch);
+    }
+}
+
+/// [`conv2d_prepacked_into`] against weights stored as f16 panels: half the
+/// weight footprint, expanded to f32 in scratch per call, f32 accumulation.
+#[allow(clippy::too_many_arguments)] // a BLAS-style kernel signature: dims are positional by convention
+pub fn conv2d_f16_prepacked_into(
+    input: &[f32],
+    batch: usize,
+    h: usize,
+    w: usize,
+    weight: &PackedA16,
+    bias: &[f32],
+    p: &Conv2dParams,
+    col_scratch: &mut Vec<f32>,
+    out: &mut [f32],
+    gemm_scratch: &mut GemmScratch,
+) {
+    let (oh, ow) = p.out_hw(h, w);
+    let cols = oh * ow;
+    let krows = p.in_c * p.kernel * p.kernel;
+    assert_eq!(weight.m(), p.out_c, "conv2d: f16 weight rows");
+    assert_eq!(weight.k(), krows, "conv2d: f16 weight depth");
+    assert_eq!(out.len(), batch * p.out_c * cols, "conv2d: out length");
+    col_scratch.resize(krows * cols, 0.0);
+    for b in 0..batch {
+        let img = &input[b * p.in_c * h * w..(b + 1) * p.in_c * h * w];
+        im2col(img, h, w, p, col_scratch);
+        let out_img = &mut out[b * p.out_c * cols..(b + 1) * p.out_c * cols];
+        fill_bias(out_img, bias, p.out_c, cols);
+        gemm_prepacked_a16(weight, col_scratch, out_img, cols, gemm_scratch);
+    }
+}
+
+/// The precision-dispatched convolution: the executors' single conv entry
+/// point, routing to the kernel matching the weight operand's precision
+/// (chosen per layer at plan-compile time — see the dense counterpart
+/// [`crate::kernels::gemm::dense_dispatch_into`]). All arms share the
+/// `im2col` + prepacked-GEMM structure and allocate nothing past the first
+/// call's scratch growth.
+#[allow(clippy::too_many_arguments)] // a BLAS-style kernel signature: dims are positional by convention
+pub fn conv2d_dispatch_into(
+    input: &[f32],
+    batch: usize,
+    h: usize,
+    w: usize,
+    weight: &ConvWeights,
+    bias: &[f32],
+    p: &Conv2dParams,
+    col_scratch: &mut Vec<f32>,
+    out: &mut [f32],
+    gemm_scratch: &mut GemmScratch,
+) {
+    match weight {
+        ConvWeights::F32(pa) => {
+            conv2d_prepacked_into(input, batch, h, w, pa, bias, p, col_scratch, out, gemm_scratch)
+        }
+        ConvWeights::Int8(qa) => conv2d_q8_prepacked_into(
+            input,
+            batch,
+            h,
+            w,
+            qa,
+            bias,
+            p,
+            col_scratch,
+            out,
+            gemm_scratch,
+        ),
+        ConvWeights::F16(pa16) => conv2d_f16_prepacked_into(
+            input,
+            batch,
+            h,
+            w,
+            pa16,
+            bias,
+            p,
+            col_scratch,
+            out,
+            gemm_scratch,
+        ),
+    }
+}
+
+/// Bias-fill (or zero) one image's output plane, one value per channel.
+fn fill_bias(out_img: &mut [f32], bias: &[f32], out_c: usize, cols: usize) {
+    if bias.is_empty() {
+        out_img.fill(0.0);
+    } else {
+        assert_eq!(bias.len(), out_c, "conv2d: bias length");
+        for (oc, &bv) in bias.iter().enumerate() {
+            out_img[oc * cols..(oc + 1) * cols].fill(bv);
+        }
     }
 }
 
@@ -377,6 +503,91 @@ mod tests {
         );
         for (a, b) in out.iter().zip(&expect) {
             assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn quantized_and_f16_conv_track_the_f32_path() {
+        let p = Conv2dParams {
+            in_c: 3,
+            out_c: 5,
+            kernel: 3,
+            stride: 2,
+            pad: 1,
+        };
+        let input = Tensor::seeded_uniform([2, 3, 9, 9], 41, -1.0, 1.0);
+        let weight = Tensor::seeded_uniform([5, 3, 3, 3], 42, -1.0, 1.0);
+        let bias = vec![0.1, -0.2, 0.3, 0.0, 1.5];
+        let mut col = Vec::new();
+        let expect = conv2d_im2col(input.data(), 2, 9, 9, weight.data(), &bias, &p, &mut col);
+        let mut gs = GemmScratch::new();
+
+        // int8: k = 27 rounding steps bound the absolute error.
+        let qw = QuantizedA::from_f32(weight.data(), 5, 27);
+        let mut out = vec![f32::NAN; expect.len()];
+        conv2d_q8_prepacked_into(
+            input.data(),
+            2,
+            9,
+            9,
+            &qw,
+            &bias,
+            &p,
+            &mut col,
+            &mut out,
+            &mut gs,
+        );
+        let bound = 27.0 / 127.0 * 1.2;
+        for (a, b) in out.iter().zip(&expect) {
+            assert!((a - b).abs() < bound, "int8 {a} vs {b}");
+        }
+
+        // f16: much tighter.
+        let hw = PackedA16::pack(weight.data(), 5, 27);
+        let mut out = vec![f32::NAN; expect.len()];
+        conv2d_f16_prepacked_into(
+            input.data(),
+            2,
+            9,
+            9,
+            &hw,
+            &bias,
+            &p,
+            &mut col,
+            &mut out,
+            &mut gs,
+        );
+        for (a, b) in out.iter().zip(&expect) {
+            assert!((a - b).abs() < 27.0 / 2048.0 + 1e-4, "f16 {a} vs {b}");
+        }
+
+        // The dispatcher routes each variant to the same kernels.
+        let variants = [
+            ConvWeights::F32(PackedA::pack(weight.data(), 5, 27)),
+            ConvWeights::Int8(qw.clone()),
+            ConvWeights::F16(hw.clone()),
+        ];
+        for cw in &variants {
+            let mut out = vec![f32::NAN; expect.len()];
+            conv2d_dispatch_into(
+                input.data(),
+                2,
+                9,
+                9,
+                cw,
+                &bias,
+                &p,
+                &mut col,
+                &mut out,
+                &mut gs,
+            );
+            for (a, b) in out.iter().zip(&expect) {
+                assert!(
+                    (a - b).abs() < bound,
+                    "{} dispatch {a} vs {b}",
+                    cw.precision_name()
+                );
+            }
         }
     }
 

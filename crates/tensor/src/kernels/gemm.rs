@@ -18,11 +18,19 @@
 //! [`GemmScratch`] and weight operands are packed once at plan-compile
 //! time.
 
-use crate::kernels::microkernel::{microkernel, store_tile_add, KC, MC_STRIPS, MR, NC_STRIPS, NR};
-use crate::kernels::pack::{
-    a_strips, b_strips, pack_a_into, pack_b_into, packed_a_len, packed_b_len,
+use crate::kernels::microkernel::{
+    microkernel, padded_qk, q8_microkernel, store_tile_add, store_tile_dequant, KC, MC_STRIPS, MR,
+    NC_STRIPS, NR, QMR, QNR,
 };
-use crate::packed::{with_tls_scratch, GemmScratch, PackedA, PackedB};
+use crate::kernels::pack::{
+    a_strips, b_strips, pack_a_into, pack_b_into, packed_a_len, packed_b_len, q_cols, q_rows,
+    quant_a_len, quant_b_len, quantize_a_into, quantize_patches_into,
+};
+use crate::kernels::quant::{amax, expand_f16_into, f16_bits_to_f32, quant_scales};
+use crate::packed::{
+    with_tls_scratch, DenseWeights, GemmScratch, PackedA, PackedA16, PackedB, PackedB16,
+    QuantizedA, QuantizedB,
+};
 use crate::par::ThreadPool;
 
 /// Below this `m·k·n` the packed path's pack+store overhead outweighs its
@@ -273,6 +281,218 @@ pub fn gemm_prepacked_b(
     gemm_packed_region(scratch.pa_arc(), pb.data(), c, m, k, n, 0, a_strips(m), 0);
 }
 
+/// Column tiles of quantized `B` processed per block of the int8 driver:
+/// 16 tiles = 64 columns, so a `64 × padded_qk(k)` i16 slab (≤ ~0.6 MB at
+/// ResNet's deepest `k`) stays L2-resident while every `A` row tile streams
+/// over it once.
+const QNC_TILES: usize = 16;
+
+/// The int8 GEMM driver: `C += dequant(Aq · Bq)` over quantized panels.
+///
+/// Both operands are stored as contiguous full-K channel vectors (see
+/// [`q8_microkernel`] for the layout contract), so unlike the f32 path
+/// there is no `KC` blocking — an `i32` accumulator holds a full-K int8 dot
+/// exactly. Panels are padded to whole `QMR`/`QNR` tiles at quantize time,
+/// which keeps this loop nest edge-free; [`store_tile_dequant`] clips the
+/// store to the real `m×n` corner and applies the per-row (`sa`) and
+/// per-column (`sb`) scales.
+#[allow(clippy::too_many_arguments)] // a GEMM driver's natural signature
+pub(crate) fn gemm_q8_region(
+    qa: &[i16],
+    sa: &[f32],
+    qb: &[i16],
+    sb: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let kp = padded_qk(k);
+    let row_tiles = q_rows(m) / QMR;
+    let col_tiles = q_cols(n) / QNR;
+    for jcb in (0..col_tiles).step_by(QNC_TILES) {
+        let jc_end = (jcb + QNC_TILES).min(col_tiles);
+        for it in 0..row_tiles {
+            let a_panel = &qa[it * QMR * kp..(it + 1) * QMR * kp];
+            let row0 = it * QMR;
+            let mr_eff = QMR.min(m - row0);
+            for jt in jcb..jc_end {
+                let b_panel = &qb[jt * QNR * kp..(jt + 1) * QNR * kp];
+                let col0 = jt * QNR;
+                let nr_eff = QNR.min(n - col0);
+                let acc = q8_microkernel(a_panel, b_panel, kp);
+                store_tile_dequant(&acc, c, n, row0, col0, mr_eff, nr_eff, sa, sb);
+            }
+        }
+    }
+}
+
+/// `C += A * B` with `A` int8-quantized at plan-compile time (conv weights,
+/// per-output-channel scales) and `B` — an `im2col` activation matrix —
+/// quantized here per call with a single per-tensor scale, into the
+/// caller's scratch. Single-threaded: the int8 path targets the
+/// latency-per-core regime, and the full-K panel layout has no `KC` seams
+/// to split across workers.
+pub fn gemm_prepacked_qa(
+    qa: &QuantizedA,
+    b: &[f32],
+    c: &mut [f32],
+    n: usize,
+    scratch: &mut GemmScratch,
+) {
+    let (m, k) = (qa.m(), qa.k());
+    assert_eq!(b.len(), k * n, "gemm: B length");
+    assert_eq!(c.len(), m * n, "gemm: C length");
+    let (qbuf, sbuf) = scratch.qa_qs_mut(quant_b_len(k, n), n);
+    let (scale, inv) = quant_scales(amax(b));
+    quantize_patches_into(b, k, n, inv, qbuf);
+    sbuf.fill(scale);
+    gemm_q8_region(qa.data(), qa.scales(), scratch.qa(), scratch.qs(), c, m, k, n);
+}
+
+/// `C += A * B` with `B` int8-quantized at plan-compile time (dense
+/// weights, per-output-feature scales) and `A` — the activation rows —
+/// quantized here per call, one scale per batch row, into the caller's
+/// scratch.
+pub fn gemm_prepacked_qb(
+    a: &[f32],
+    qb: &QuantizedB,
+    c: &mut [f32],
+    m: usize,
+    scratch: &mut GemmScratch,
+) {
+    let (k, n) = (qb.k(), qb.n());
+    assert_eq!(a.len(), m * k, "gemm: A length");
+    assert_eq!(c.len(), m * n, "gemm: C length");
+    let (qbuf, sbuf) = scratch.qa_qs_mut(quant_a_len(m, k), m);
+    quantize_a_into(a, m, k, qbuf, sbuf);
+    gemm_q8_region(scratch.qa(), scratch.qs(), qb.data(), qb.scales(), c, m, k, n);
+}
+
+/// `C += A * B` with `A` stored as f16 panels: the panels are block-expanded
+/// to f32 in the caller's scratch — one conversion amortised over the whole
+/// GEMM — and driven through the unchanged f32 blocked path, so accumulation
+/// is f32 throughout.
+pub fn gemm_prepacked_a16(
+    pa: &PackedA16,
+    b: &[f32],
+    c: &mut [f32],
+    n: usize,
+    scratch: &mut GemmScratch,
+) {
+    let (m, k) = (pa.m(), pa.k());
+    assert_eq!(b.len(), k * n, "gemm: B length");
+    assert_eq!(c.len(), m * n, "gemm: C length");
+    expand_f16_into(pa.data(), scratch.pa_mut(packed_a_len(m, k)));
+    pack_b_into(b, k, n, scratch.pb_mut(packed_b_len(k, n)));
+    if m * k * n >= MT_MIN_WORK {
+        if let Some(pool) = crate::par::global() {
+            pool.gemm(scratch.pa_arc(), scratch.pb_arc(), c, m, k, n);
+            return;
+        }
+    }
+    gemm_packed_region(
+        scratch.pa_arc(),
+        scratch.pb_arc(),
+        c,
+        m,
+        k,
+        n,
+        0,
+        a_strips(m),
+        0,
+    );
+}
+
+/// `C += A * B` with `B` stored as f16 panels (see [`gemm_prepacked_a16`]).
+pub fn gemm_prepacked_b16(
+    a: &[f32],
+    pb: &PackedB16,
+    c: &mut [f32],
+    m: usize,
+    scratch: &mut GemmScratch,
+) {
+    let (k, n) = (pb.k(), pb.n());
+    assert_eq!(a.len(), m * k, "gemm: A length");
+    assert_eq!(c.len(), m * n, "gemm: C length");
+    pack_a_into(a, m, k, scratch.pa_mut(packed_a_len(m, k)));
+    expand_f16_into(pb.data(), scratch.pb_mut(packed_b_len(k, n)));
+    if m * k * n >= MT_MIN_WORK {
+        if let Some(pool) = crate::par::global() {
+            pool.gemm(scratch.pa_arc(), scratch.pb_arc(), c, m, k, n);
+            return;
+        }
+    }
+    gemm_packed_region(
+        scratch.pa_arc(),
+        scratch.pb_arc(),
+        c,
+        m,
+        k,
+        n,
+        0,
+        a_strips(m),
+        0,
+    );
+}
+
+/// Skinny-batch streaming kernel over f32 `B` panels: [`gemm_ipj`]'s access
+/// pattern re-expressed over the strip layout, so executors can serve
+/// batch < [`MR`] dense layers straight from the packed weights instead of
+/// keeping a second row-major copy. Each `B` element is read exactly once;
+/// the inner loop is a contiguous `NR`-wide span.
+pub fn gemm_prepacked_b_ipj(a: &[f32], pb: &PackedB, c: &mut [f32], m: usize) {
+    let (k, n) = (pb.k(), pb.n());
+    assert_eq!(a.len(), m * k, "gemm: A length");
+    assert_eq!(c.len(), m * n, "gemm: C length");
+    let data = pb.data();
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for s in 0..b_strips(n) {
+            let col0 = s * NR;
+            let cols = NR.min(n - col0);
+            let strip = &data[s * k * NR..];
+            let c_seg = &mut c_row[col0..col0 + cols];
+            for (p, &av) in a_row.iter().enumerate() {
+                let b_row = &strip[p * NR..p * NR + cols];
+                for (cv, &bv) in c_seg.iter_mut().zip(b_row) {
+                    *cv += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// Skinny-batch streaming kernel over f16 `B` panels: each strip of `B` is
+/// read exactly once and converted in-register, so a memory-bound GEMM
+/// (batch < [`MR`], huge `k×n` — e.g. the ResNet fc layer at batch 1) moves
+/// half the bytes of its f32 counterpart with no expansion buffer at all.
+/// The strip-inner loop is `NR` wide and the f16 decode is branch-free, so
+/// both vectorise.
+pub fn gemm_prepacked_b16_ipj(a: &[f32], pb: &PackedB16, c: &mut [f32], m: usize) {
+    let (k, n) = (pb.k(), pb.n());
+    assert_eq!(a.len(), m * k, "gemm: A length");
+    assert_eq!(c.len(), m * n, "gemm: C length");
+    let data = pb.data();
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        for s in 0..b_strips(n) {
+            let col0 = s * NR;
+            let cols = NR.min(n - col0);
+            let strip = &data[s * k * NR..];
+            let c_seg = &mut c_row[col0..col0 + cols];
+            for (p, &av) in a_row.iter().enumerate() {
+                let b_row = &strip[p * NR..p * NR + cols];
+                for (cv, &bits) in c_seg.iter_mut().zip(b_row) {
+                    *cv += av * f16_bits_to_f32(bits);
+                }
+            }
+        }
+    }
+}
+
 /// Textbook triple-loop matmul returning a fresh buffer. Used only as the
 /// reference implementation in tests and property checks.
 pub fn matmul_naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
@@ -353,6 +573,55 @@ pub fn dense_prepacked_into(
         row.copy_from_slice(bias);
     }
     gemm_prepacked_b(x, w, out, batch, scratch);
+}
+
+/// The precision-dispatched dense layer: `out = x · w + bias` against
+/// weights prepacked at plan-compile time in any supported precision. The
+/// executors' single dense entry point — the per-layer precision decision
+/// is data (`DenseWeights`), made once at plan compile, and this function
+/// routes each call to the matching kernel:
+///
+/// * f32 → the packed-panel path, or the strip-streaming `ipj` kernel when
+///   the batch is too skinny to fill an `A` panel;
+/// * int8 → per-row activation quantization + the `vpmaddwd` driver with a
+///   dequantizing store;
+/// * f16 → half-width weight panels expanded on the fly (skinny batch) or
+///   block-expanded into scratch (full batch), f32 accumulation either way.
+///
+/// All paths write `bias` then accumulate, allocate nothing, and agree with
+/// [`dense_into`] up to the respective precision's error.
+#[allow(clippy::too_many_arguments)]
+pub fn dense_dispatch_into(
+    x: &[f32],
+    w: &DenseWeights,
+    bias: &[f32],
+    batch: usize,
+    out: &mut [f32],
+    scratch: &mut GemmScratch,
+) {
+    let outf = w.outf();
+    assert_eq!(bias.len(), outf, "dense: bias length");
+    assert_eq!(out.len(), batch * outf, "dense: out length");
+    for row in out.chunks_exact_mut(outf) {
+        row.copy_from_slice(bias);
+    }
+    match w {
+        DenseWeights::F32(pb) => {
+            if batch < MR {
+                gemm_prepacked_b_ipj(x, pb, out, batch);
+            } else {
+                gemm_prepacked_b(x, pb, out, batch, scratch);
+            }
+        }
+        DenseWeights::Int8(qb) => gemm_prepacked_qb(x, qb, out, batch, scratch),
+        DenseWeights::F16(pb16) => {
+            if batch < MR {
+                gemm_prepacked_b16_ipj(x, pb16, out, batch);
+            } else {
+                gemm_prepacked_b16(x, pb16, out, batch, scratch);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -454,6 +723,167 @@ mod tests {
                 (via_dense[i] - via_packed[i]).abs() < 1e-4,
                 "dense prepacked [{i}]"
             );
+        }
+    }
+
+    #[test]
+    fn q8_prepacked_variants_match_naive_within_quant_error() {
+        let mut scratch = GemmScratch::new();
+        for &(m, k, n) in &[(1usize, 19usize, 21usize), (7, 40, 9), (12, 64, 33)] {
+            let a = crate::Tensor::seeded_uniform([m, k], 5, -1.0, 1.0);
+            let b = crate::Tensor::seeded_uniform([k, n], 6, -1.0, 1.0);
+            let reference = matmul_naive(a.data(), b.data(), m, k, n);
+            // Worst-case dequant error per output: k rounding steps of at
+            // most scale_a/2 · amax_b + scale_b/2 · amax_a ≈ k · amax²/127.
+            let bound = k as f32 / 127.0 * 1.2;
+
+            let qa = QuantizedA::from_f32(a.data(), m, k);
+            let mut c1 = vec![0.0f32; m * n];
+            gemm_prepacked_qa(&qa, b.data(), &mut c1, n, &mut scratch);
+
+            let qb = QuantizedB::from_f32(b.data(), k, n);
+            let mut c2 = vec![0.0f32; m * n];
+            gemm_prepacked_qb(a.data(), &qb, &mut c2, m, &mut scratch);
+
+            for i in 0..m * n {
+                assert!(
+                    (c1[i] - reference[i]).abs() < bound,
+                    "qa ({m},{k},{n})[{i}]: {} vs {}",
+                    c1[i],
+                    reference[i]
+                );
+                assert!(
+                    (c2[i] - reference[i]).abs() < bound,
+                    "qb ({m},{k},{n})[{i}]: {} vs {}",
+                    c2[i],
+                    reference[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn q8_is_exact_when_inputs_are_scaled_integers() {
+        // Rows/columns whose amax is 127 · 2⁻ᵉ and whose entries are
+        // multiples of the scale quantize losslessly, so the int8 path must
+        // reproduce the f32 result exactly.
+        let (m, k, n) = (5usize, 24usize, 10usize);
+        let a: Vec<f32> = (0..m * k).map(|v| (v * 41 % 255) as f32 - 127.0).collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|v| ((v * 29 % 255) as f32 - 127.0) * 0.5)
+            .collect();
+        // Force every channel to contain ±amax so scales are exact.
+        let mut a = a;
+        let mut b = b;
+        for r in 0..m {
+            a[r * k] = 127.0;
+        }
+        for v in b.iter_mut().take(n) {
+            *v = 63.5;
+        }
+        let reference = matmul_naive(&a, &b, m, k, n);
+        let qa = QuantizedA::from_f32(&a, m, k);
+        let qb = QuantizedB::from_f32(&b, k, n);
+        let mut scratch = GemmScratch::new();
+        let mut c = vec![0.0f32; m * n];
+        gemm_prepacked_qb(&a, &qb, &mut c, m, &mut scratch);
+        // The activation side (A) quantizes itself per call; its entries are
+        // integers in [-127, 127] with amax 127, so it is lossless too.
+        for i in 0..m * n {
+            assert_eq!(c[i], reference[i], "qb exact [{i}]");
+        }
+        let mut c = vec![0.0f32; m * n];
+        gemm_prepacked_qa(&qa, &b, &mut c, n, &mut scratch);
+        // B side uses one per-tensor scale; entries are multiples of 0.5
+        // and amax = 63.5 = 127 · 0.5, so it is lossless as well.
+        for i in 0..m * n {
+            assert_eq!(c[i], reference[i], "qa exact [{i}]");
+        }
+    }
+
+    #[test]
+    fn f16_prepacked_variants_match_naive_within_half_precision() {
+        let mut scratch = GemmScratch::new();
+        for &(m, k, n) in &[(1usize, 19, 40), (4, 33, 21), (10, 64, 33)] {
+            let a = crate::Tensor::seeded_uniform([m, k], 8, -1.0, 1.0);
+            let b = crate::Tensor::seeded_uniform([k, n], 9, -1.0, 1.0);
+            let reference = matmul_naive(a.data(), b.data(), m, k, n);
+            // Each product has relative error ≤ 2⁻¹¹ from rounding B (A and
+            // the accumulation stay f32); k of them sum.
+            let bound = k as f32 * (1.0 / 2048.0) + 1e-4;
+
+            let pa16 = PackedA16::pack(a.data(), m, k);
+            let mut c1 = vec![0.0f32; m * n];
+            gemm_prepacked_a16(&pa16, b.data(), &mut c1, n, &mut scratch);
+
+            let pb16 = PackedB16::pack(b.data(), k, n);
+            let mut c2 = vec![0.0f32; m * n];
+            gemm_prepacked_b16(a.data(), &pb16, &mut c2, m, &mut scratch);
+
+            let mut c3 = vec![0.0f32; m * n];
+            gemm_prepacked_b16_ipj(a.data(), &pb16, &mut c3, m);
+
+            for i in 0..m * n {
+                assert!((c1[i] - reference[i]).abs() < bound, "a16 ({m},{k},{n})[{i}]");
+                assert!((c2[i] - reference[i]).abs() < bound, "b16 ({m},{k},{n})[{i}]");
+                // ipj and the blocked driver sum in different orders.
+                assert!((c2[i] - c3[i]).abs() < 1e-4, "b16 ipj vs blocked [{i}]");
+            }
+        }
+    }
+
+    #[test]
+    fn prepacked_b_ipj_matches_blocked_path() {
+        let mut scratch = GemmScratch::new();
+        for &(m, k, n) in &[(1usize, 17, 45), (MR - 1, 30, NR + 1), (9, 12, 7)] {
+            let a = crate::Tensor::seeded_uniform([m, k], 14, -1.0, 1.0);
+            let b = crate::Tensor::seeded_uniform([k, n], 15, -1.0, 1.0);
+            let pb = crate::packed::PackedB::pack(b.data(), k, n);
+            let mut c1 = vec![0.0f32; m * n];
+            gemm_prepacked_b_ipj(a.data(), &pb, &mut c1, m);
+            let mut c2 = vec![0.0f32; m * n];
+            gemm_prepacked_b(a.data(), &pb, &mut c2, m, &mut scratch);
+            for i in 0..m * n {
+                assert!(
+                    (c1[i] - c2[i]).abs() < 1e-4,
+                    "ipj vs blocked ({m},{k},{n})[{i}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_dispatch_routes_all_precisions() {
+        let mut scratch = GemmScratch::new();
+        // Cover both the skinny (batch < MR) and full-panel arms.
+        for &(batch, inf, outf) in &[(1usize, 20usize, 33usize), (8, 20, 33)] {
+            let x = crate::Tensor::seeded_uniform([batch, inf], 21, -1.0, 1.0);
+            let w = crate::Tensor::seeded_uniform([inf, outf], 22, -1.0, 1.0);
+            let bias: Vec<f32> = (0..outf).map(|v| v as f32 / 9.0).collect();
+            let oracle = dense(x.data(), w.data(), &bias, batch, inf, outf);
+
+            let weights = [
+                DenseWeights::F32(PackedB::pack(w.data(), inf, outf)),
+                DenseWeights::Int8(QuantizedB::from_f32(w.data(), inf, outf)),
+                DenseWeights::F16(PackedB16::pack(w.data(), inf, outf)),
+            ];
+            for dw in &weights {
+                let mut out = vec![0.0f32; batch * outf];
+                dense_dispatch_into(x.data(), dw, &bias, batch, &mut out, &mut scratch);
+                let bound = match dw.precision_name() {
+                    "f32" => 1e-4,
+                    _ => inf as f32 / 127.0 * 1.2,
+                };
+                for i in 0..batch * outf {
+                    assert!(
+                        (out[i] - oracle[i]).abs() < bound,
+                        "{} b{batch} [{i}]: {} vs {}",
+                        dw.precision_name(),
+                        out[i],
+                        oracle[i]
+                    );
+                }
+            }
         }
     }
 

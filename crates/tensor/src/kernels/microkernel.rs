@@ -126,6 +126,95 @@ pub fn store_tile_add(
     }
 }
 
+/// Rows per int8 microkernel tile (see [`q8_microkernel`]).
+pub const QMR: usize = 4;
+
+/// Columns per int8 microkernel tile.
+pub const QNR: usize = 4;
+
+/// K-padding multiple for quantized panels: 32 `i16` lanes = one 64-byte
+/// ZMM load, so every dot product below runs over whole vectors with the
+/// tail absorbed by zero padding at pack time.
+pub const QK_ALIGN: usize = 32;
+
+/// `k` rounded up to the quantized panel's K-padding.
+#[inline]
+pub fn padded_qk(k: usize) -> usize {
+    k.div_ceil(QK_ALIGN) * QK_ALIGN
+}
+
+/// Compute one `QMR×QNR` tile of `i8×i8 → i32` dot products.
+///
+/// Layout contract (established by `quantize_*_into` in
+/// [`crate::kernels::pack`]): `a_panel` holds `QMR` consecutive rows, each
+/// `kp` `i16`s long; `b_panel` holds `QNR` consecutive *columns*, each `kp`
+/// long — i.e. both operands are stored as contiguous full-K vectors, the
+/// degenerate strip layout with one row (column) per strip. The values are
+/// int8-range (`[-127, 127]`) but stored as `i16`.
+///
+/// Shape notes, established by experiment on the AVX-512 host:
+///
+/// * LLVM's X86PartialReduction pass only forms `vpmaddwd` (two 16-bit
+///   MACs per 32-bit lane) when a plain scalar accumulator feeds a single
+///   visible vector reduce — hence the textbook `s += x[k] * y[k]` dot
+///   below. Interleaved multi-accumulator loops, manual even/odd pairing,
+///   or returning raw vector accumulators all degrade to
+///   `vpmovsxwd`+`vpmulld` at a fraction of the throughput.
+/// * `i16` storage (not `i8`) because the `i8` load + sign-extend on the
+///   critical path halved measured throughput; `i16` still halves the
+///   memory traffic of `f32`.
+/// * Accumulating a full-K dot in `i32` is safe for any practical `k`:
+///   `k · 127²` stays below `2³¹` for `k` up to ~133 000.
+///
+/// `#[inline(never)]`: the reduce-pattern match above is fragile under
+/// inlining into larger loop nests; keeping the function a codegen unit
+/// pins the measured-good shape. At ≥ 512 MACs per call the call cost is
+/// noise.
+#[inline(never)]
+pub fn q8_microkernel(a_panel: &[i16], b_panel: &[i16], kp: usize) -> [[i32; QNR]; QMR] {
+    let mut out = [[0i32; QNR]; QMR];
+    for (r, row) in out.iter_mut().enumerate() {
+        let x = &a_panel[r * kp..(r + 1) * kp];
+        for (c, slot) in row.iter_mut().enumerate() {
+            let y = &b_panel[c * kp..(c + 1) * kp];
+            let mut s = 0i32;
+            // Codegen-sensitive: see the shape notes above.
+            #[allow(clippy::needless_range_loop)]
+            for k in 0..kp {
+                s += x[k] as i32 * y[k] as i32;
+            }
+            *slot = s;
+        }
+    }
+    out
+}
+
+/// Dequantize-on-store epilogue for the int8 path: add the valid
+/// `mr_eff × nr_eff` corner of an `i32` tile into `C`, rescaling each
+/// element by its row scale (`sa`, per output channel) and column scale
+/// (`sb`, per activation row / per tensor).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)] // mirrors store_tile_add plus the two scale vectors
+pub fn store_tile_dequant(
+    acc: &[[i32; QNR]; QMR],
+    c: &mut [f32],
+    ldc: usize,
+    row0: usize,
+    col0: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+    sa: &[f32],
+    sb: &[f32],
+) {
+    for (i, row) in acc.iter().enumerate().take(mr_eff) {
+        let si = sa[row0 + i];
+        let base = (row0 + i) * ldc + col0;
+        for (j, (slot, &v)) in c[base..base + nr_eff].iter_mut().zip(row.iter()).enumerate() {
+            *slot += v as f32 * si * sb[col0 + j];
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +236,59 @@ mod tests {
                 assert_eq!(got, expect, "tile ({i},{j})");
             }
         }
+    }
+
+    #[test]
+    fn q8_microkernel_matches_scalar_dots() {
+        let kp = QK_ALIGN;
+        let mut a = vec![0i16; QMR * kp];
+        let mut b = vec![0i16; QNR * kp];
+        for (i, v) in a.iter_mut().enumerate() {
+            *v = ((i as i64 * 37 + 11) % 255 - 127) as i16;
+        }
+        for (i, v) in b.iter_mut().enumerate() {
+            *v = ((i as i64 * 53 + 7) % 255 - 127) as i16;
+        }
+        let acc = q8_microkernel(&a, &b, kp);
+        for r in 0..QMR {
+            for c in 0..QNR {
+                let want: i32 = (0..kp)
+                    .map(|k| a[r * kp + k] as i32 * b[c * kp + k] as i32)
+                    .sum();
+                assert_eq!(acc[r][c], want, "tile ({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn store_tile_dequant_applies_row_and_col_scales() {
+        let mut acc = [[0i32; QNR]; QMR];
+        for (r, row) in acc.iter_mut().enumerate() {
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = (r * 10 + c) as i32;
+            }
+        }
+        let sa = [2.0f32, 0.5, 1.0, 4.0];
+        let sb = [1.0f32, 10.0, 0.1, 3.0];
+        let mut c = vec![1.0f32; QMR * QNR];
+        store_tile_dequant(&acc, &mut c, QNR, 0, 0, 3, 2, &sa, &sb);
+        for r in 0..QMR {
+            for j in 0..QNR {
+                let expect = if r < 3 && j < 2 {
+                    1.0 + (r * 10 + j) as f32 * sa[r] * sb[j]
+                } else {
+                    1.0
+                };
+                assert_eq!(c[r * QNR + j], expect, "({r},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn padded_qk_rounds_up() {
+        assert_eq!(padded_qk(1), QK_ALIGN);
+        assert_eq!(padded_qk(QK_ALIGN), QK_ALIGN);
+        assert_eq!(padded_qk(QK_ALIGN + 1), 2 * QK_ALIGN);
     }
 
     #[test]

@@ -17,12 +17,18 @@ pub mod microkernel;
 pub mod norm;
 pub mod pack;
 pub mod pool;
+pub mod quant;
 
 pub use activation::{relu_inplace, softmax_rows};
-pub use conv::{conv2d_direct, conv2d_im2col, conv2d_prepacked_into, im2col, Conv2dParams};
+pub use conv::{
+    conv2d_direct, conv2d_dispatch_into, conv2d_f16_prepacked_into, conv2d_im2col,
+    conv2d_prepacked_into, conv2d_q8_prepacked_into, im2col, Conv2dParams,
+};
 pub use gemm::{
-    dense, dense_into, dense_prepacked_into, gemm, gemm_ipj, gemm_prepacked_a, gemm_prepacked_b,
-    gemm_scratch, gemm_st, gemm_tiled_unpacked, gemm_with_pool, matmul_naive,
+    dense, dense_dispatch_into, dense_into, dense_prepacked_into, gemm, gemm_ipj, gemm_prepacked_a,
+    gemm_prepacked_a16, gemm_prepacked_b, gemm_prepacked_b16, gemm_prepacked_b16_ipj,
+    gemm_prepacked_b_ipj, gemm_prepacked_qa, gemm_prepacked_qb, gemm_scratch, gemm_st,
+    gemm_tiled_unpacked, gemm_with_pool, matmul_naive,
 };
 pub use norm::{batchnorm_inference, BnParams};
 pub use pool::{avgpool_global, avgpool_global_into, maxpool2d, maxpool2d_into};

@@ -12,7 +12,8 @@
 //! or from weights packed once at executor plan-compile time
 //! ([`crate::packed::PackedA`] / [`crate::packed::PackedB`]).
 
-use crate::kernels::microkernel::{MR, NR};
+use crate::kernels::microkernel::{padded_qk, MR, NR, QMR, QNR};
+use crate::kernels::quant::{amax, f32_to_f16_bits, quant_scales, quantize1, quantize_channel_into};
 
 /// Number of `MR`-row strips covering `m` rows.
 #[inline]
@@ -86,9 +87,233 @@ pub fn pack_b_into(b: &[f32], k: usize, n: usize, out: &mut [f32]) {
     }
 }
 
+/// Rows of a quantized `A` panel: `m` rounded up to whole `QMR` tiles so
+/// the int8 driver never needs a row-edge microkernel (padding rows are
+/// zero and clipped on store).
+#[inline]
+pub fn q_rows(m: usize) -> usize {
+    m.div_ceil(QMR) * QMR
+}
+
+/// Columns of a quantized `B` panel, rounded up to whole `QNR` tiles.
+#[inline]
+pub fn q_cols(n: usize) -> usize {
+    n.div_ceil(QNR) * QNR
+}
+
+/// Length (in `i16`s) of the quantized form of an `m×k` `A` operand.
+#[inline]
+pub fn quant_a_len(m: usize, k: usize) -> usize {
+    q_rows(m) * padded_qk(k)
+}
+
+/// Length (in `i16`s) of the quantized form of a `k×n` `B` operand.
+#[inline]
+pub fn quant_b_len(k: usize, n: usize) -> usize {
+    q_cols(n) * padded_qk(k)
+}
+
+/// Quantize a row-major `m×k` `A` operand (conv weights per output
+/// channel, or dense activations per batch row) into the int8 panel
+/// layout: row `r` occupies `out[r * padded_qk(k) ..][.. padded_qk(k)]`
+/// contiguously, K-padded with zeros; rows past `m` (up to [`q_rows`]) are
+/// zero. `scales[r]` receives the per-row symmetric scale (`amax / 127`).
+///
+/// This is the per-call activation quantizer on the int8 dense path, so it
+/// allocates nothing.
+pub fn quantize_a_into(a: &[f32], m: usize, k: usize, out: &mut [i16], scales: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "quantize_a: A length");
+    assert_eq!(out.len(), quant_a_len(m, k), "quantize_a: out length");
+    assert_eq!(scales.len(), m, "quantize_a: scales length");
+    let kp = padded_qk(k);
+    for r in 0..m {
+        let row = &a[r * k..(r + 1) * k];
+        let (scale, inv) = quant_scales(amax(row));
+        scales[r] = scale;
+        quantize_channel_into(row, inv, &mut out[r * kp..(r + 1) * kp]);
+    }
+    out[m * kp..].fill(0);
+}
+
+/// Quantize a row-major `k×n` `B` operand (dense weights, per output
+/// feature) into the int8 panel layout: *column* `j` occupies
+/// `out[j * padded_qk(k) ..][.. padded_qk(k)]` contiguously — the
+/// column-major-by-channel mirror of [`quantize_a_into`] — with
+/// `scales[j]` the per-column scale. Columns past `n` are zero.
+pub fn quantize_b_into(b: &[f32], k: usize, n: usize, out: &mut [i16], scales: &mut [f32]) {
+    assert_eq!(b.len(), k * n, "quantize_b: B length");
+    assert_eq!(out.len(), quant_b_len(k, n), "quantize_b: out length");
+    assert_eq!(scales.len(), n, "quantize_b: scales length");
+    let kp = padded_qk(k);
+    for j in 0..n {
+        let mut am = 0.0f32;
+        for p in 0..k {
+            am = am.max(b[p * n + j].abs());
+        }
+        let (scale, inv) = quant_scales(am);
+        scales[j] = scale;
+        let col = &mut out[j * kp..(j + 1) * kp];
+        for (p, o) in col.iter_mut().enumerate().take(k) {
+            *o = quantize1(b[p * n + j], inv);
+        }
+        col[k..].fill(0);
+    }
+    out[n * kp..].fill(0);
+}
+
+/// Quantize an `im2col` matrix (`krows×cols`, row-major by kernel row — the
+/// layout [`crate::kernels::conv::im2col`] writes) into the int8 `B` panel
+/// layout with a single per-tensor `inv_scale`: patch `j` becomes the
+/// contiguous K-padded column `out[j * padded_qk(krows) ..]`.
+///
+/// The transpose is blocked over 64 patches so the strided panel writes
+/// touch a bounded set of cache lines while the source streams once. Runs
+/// per conv call on the int8 path; allocates nothing.
+pub fn quantize_patches_into(
+    col: &[f32],
+    krows: usize,
+    cols: usize,
+    inv_scale: f32,
+    out: &mut [i16],
+) {
+    assert_eq!(col.len(), krows * cols, "quantize_patches: col length");
+    assert_eq!(
+        out.len(),
+        quant_b_len(krows, cols),
+        "quantize_patches: out length"
+    );
+    let kp = padded_qk(krows);
+    const JB: usize = 64;
+    for j0 in (0..cols).step_by(JB) {
+        let jn = JB.min(cols - j0);
+        for p in 0..krows {
+            let src = &col[p * cols + j0..p * cols + j0 + jn];
+            for (dj, &v) in src.iter().enumerate() {
+                out[(j0 + dj) * kp + p] = quantize1(v, inv_scale);
+            }
+        }
+    }
+    // Zero the K padding of every real column and all padding columns.
+    for j in 0..cols {
+        out[j * kp + krows..(j + 1) * kp].fill(0);
+    }
+    out[cols * kp..].fill(0);
+}
+
+/// [`pack_a_into`] storing f16 bits: identical strip geometry, so the f16
+/// panels can be block-expanded back into the f32 packed layout and fed to
+/// the unchanged f32 microkernel.
+pub fn pack_a16_into(a: &[f32], m: usize, k: usize, out: &mut [u16]) {
+    assert_eq!(a.len(), m * k, "pack_a16: A length");
+    assert_eq!(out.len(), packed_a_len(m, k), "pack_a16: out length");
+    for s in 0..a_strips(m) {
+        let strip = &mut out[s * k * MR..(s + 1) * k * MR];
+        let rows = MR.min(m - s * MR);
+        for r in 0..MR {
+            if r < rows {
+                let row = &a[(s * MR + r) * k..(s * MR + r + 1) * k];
+                for (p, &v) in row.iter().enumerate() {
+                    strip[p * MR + r] = f32_to_f16_bits(v);
+                }
+            } else {
+                for p in 0..k {
+                    strip[p * MR + r] = 0;
+                }
+            }
+        }
+    }
+}
+
+/// [`pack_b_into`] storing f16 bits (same geometry notes as
+/// [`pack_a16_into`]).
+pub fn pack_b16_into(b: &[f32], k: usize, n: usize, out: &mut [u16]) {
+    assert_eq!(b.len(), k * n, "pack_b16: B length");
+    assert_eq!(out.len(), packed_b_len(k, n), "pack_b16: out length");
+    let strips = b_strips(n);
+    for p in 0..k {
+        let row = &b[p * n..(p + 1) * n];
+        for s in 0..strips {
+            let cols = NR.min(n - s * NR);
+            let dst = &mut out[s * k * NR + p * NR..s * k * NR + (p + 1) * NR];
+            for (o, &v) in dst[..cols].iter_mut().zip(&row[s * NR..s * NR + cols]) {
+                *o = f32_to_f16_bits(v);
+            }
+            dst[cols..].fill(0);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernels::quant::f16_bits_to_f32;
+
+    #[test]
+    fn quantize_a_per_row_scales_and_pads() {
+        // Two rows with different dynamic ranges; m=2 pads to q_rows(2)=4.
+        let k = 3;
+        let a = [1.0f32, -2.0, 0.5, 100.0, 50.0, -25.0];
+        let mut out = vec![7i16; quant_a_len(2, k)];
+        let mut scales = vec![0.0f32; 2];
+        quantize_a_into(&a, 2, k, &mut out, &mut scales);
+        let kp = padded_qk(k);
+        assert_eq!(scales[0], 2.0 / 127.0);
+        assert_eq!(scales[1], 100.0 / 127.0);
+        assert_eq!(&out[..3], &[64, -127, 32]);
+        assert_eq!(&out[kp..kp + 3], &[127, 64, -32]);
+        assert!(out[2 * kp..].iter().all(|&v| v == 0), "padding rows zero");
+        assert!(out[3..kp].iter().all(|&v| v == 0), "K padding zero");
+    }
+
+    #[test]
+    fn quantize_b_is_column_major_per_column() {
+        // B = [[1, 10], [-2, 20]] (k=2, n=2): col 0 amax 2, col 1 amax 20.
+        let b = [1.0f32, 10.0, -2.0, 20.0];
+        let mut out = vec![7i16; quant_b_len(2, 2)];
+        let mut scales = vec![0.0f32; 2];
+        quantize_b_into(&b, 2, 2, &mut out, &mut scales);
+        let kp = padded_qk(2);
+        assert_eq!(scales, vec![2.0 / 127.0, 20.0 / 127.0]);
+        assert_eq!(&out[..2], &[64, -127]);
+        assert_eq!(&out[kp..kp + 2], &[64, 127]);
+    }
+
+    #[test]
+    fn quantize_patches_transposes_im2col_layout() {
+        // col (krows=2, cols=3): rows [1 2 3] / [4 5 6]; patch j must
+        // become the contiguous column [col[0][j], col[1][j]].
+        let col = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mut out = vec![7i16; quant_b_len(2, 3)];
+        quantize_patches_into(&col, 2, 3, 1.0, &mut out);
+        let kp = padded_qk(2);
+        for j in 0..3 {
+            assert_eq!(out[j * kp], (j + 1) as i16, "patch {j} row 0");
+            assert_eq!(out[j * kp + 1], (j + 4) as i16, "patch {j} row 1");
+            assert!(out[j * kp + 2..(j + 1) * kp].iter().all(|&v| v == 0));
+        }
+        assert!(out[3 * kp..].iter().all(|&v| v == 0), "padding cols zero");
+    }
+
+    #[test]
+    fn pack16_mirrors_f32_geometry() {
+        let (m, k, n) = (MR + 1, 3, NR + 2);
+        let a: Vec<f32> = (0..m * k).map(|v| v as f32 * 0.25).collect();
+        let b: Vec<f32> = (0..k * n).map(|v| v as f32 * 0.5).collect();
+        let mut pf = vec![0.0f32; packed_a_len(m, k)];
+        let mut p16 = vec![0u16; packed_a_len(m, k)];
+        pack_a_into(&a, m, k, &mut pf);
+        pack_a16_into(&a, m, k, &mut p16);
+        for (i, (&f, &h)) in pf.iter().zip(&p16).enumerate() {
+            assert_eq!(f, f16_bits_to_f32(h), "A offset {i}");
+        }
+        let mut pf = vec![0.0f32; packed_b_len(k, n)];
+        let mut p16 = vec![0u16; packed_b_len(k, n)];
+        pack_b_into(&b, k, n, &mut pf);
+        pack_b16_into(&b, k, n, &mut p16);
+        for (i, (&f, &h)) in pf.iter().zip(&p16).enumerate() {
+            assert_eq!(f, f16_bits_to_f32(h), "B offset {i}");
+        }
+    }
 
     #[test]
     fn pack_a_interleaves_rows_and_pads() {

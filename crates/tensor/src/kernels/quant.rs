@@ -1,0 +1,178 @@
+//! Low-precision numeric primitives: per-channel symmetric int8
+//! quantization and f16 (IEEE binary16) storage conversion.
+//!
+//! Two reduced-precision paths share these helpers (DESIGN.md §3l):
+//!
+//! * **int8**: values are mapped to `[-127, 127]` with one scale per
+//!   channel (`scale = amax / 127`, zero point 0). Quantized panels store
+//!   the int8-range values as `i16` — the [`q8_microkernel`] reduce idiom
+//!   compiles to `vpmaddwd`, which consumes 16-bit lanes, and an `i8` load
+//!   with sign-extend on the critical path measured ~2× slower; `i16`
+//!   still halves the weight traffic of f32.
+//! * **f16**: storage-only — bits are expanded back to f32 before (or
+//!   while) the f32 microkernel consumes them, so accumulation stays f32.
+//!   The converters are branch-poor integer bit manipulation shaped to
+//!   auto-vectorize; subnormal f16 magnitudes (< 2⁻¹⁴ ≈ 6.1e-5) are
+//!   flushed to zero on encode so decode never needs the subnormal path.
+//!
+//! Everything here takes caller-provided slices and never allocates — this
+//! file sits inside the hot-path-alloc lint scope with the other kernels.
+//!
+//! [`q8_microkernel`]: crate::kernels::microkernel::q8_microkernel
+
+/// Largest absolute value in `xs` (0.0 for an empty slice; NaN-free inputs
+/// assumed, as everywhere in the kernels).
+pub fn amax(xs: &[f32]) -> f32 {
+    xs.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+}
+
+/// Symmetric int8 scale pair for a channel with the given `amax`:
+/// `(scale, inv_scale)` with `scale = amax / 127` and
+/// `inv_scale = 127 / amax` (both 0 for an all-zero channel, which
+/// quantizes to all zeros and dequantizes back to exact zeros).
+#[inline]
+pub fn quant_scales(amax: f32) -> (f32, f32) {
+    if amax > 0.0 {
+        (amax / 127.0, 127.0 / amax)
+    } else {
+        (0.0, 0.0)
+    }
+}
+
+/// Quantize one value: round-to-nearest, clamped to the int8 range.
+#[inline(always)]
+pub fn quantize1(v: f32, inv_scale: f32) -> i16 {
+    (v * inv_scale).round().clamp(-127.0, 127.0) as i16
+}
+
+/// Quantize a channel into `out[..src.len()]`, zero-filling the rest
+/// (the K padding the [`q8_microkernel`] dot runs over).
+///
+/// [`q8_microkernel`]: crate::kernels::microkernel::q8_microkernel
+pub fn quantize_channel_into(src: &[f32], inv_scale: f32, out: &mut [i16]) {
+    let (body, pad) = out.split_at_mut(src.len());
+    for (o, &v) in body.iter_mut().zip(src) {
+        *o = quantize1(v, inv_scale);
+    }
+    pad.fill(0);
+}
+
+/// Convert one f32 to f16 bits: round-to-nearest-even, overflow clamped to
+/// ±65504 (the largest finite f16), subnormal magnitudes flushed to ±0.
+/// The clamp also maps NaN to the max finite value — acceptable here
+/// because quantized weights are finite by construction.
+#[inline(always)]
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let b = x.to_bits();
+    let sign = ((b >> 16) & 0x8000) as u16;
+    let em = b & 0x7FFF_FFFF;
+    if em >= 0x477F_F000 {
+        // ≥ 65520 would round to f16 infinity; saturate instead.
+        return sign | 0x7BFF;
+    }
+    if em < 0x3880_0000 {
+        // Below the smallest normal f16 (2⁻¹⁴): flush to zero.
+        return sign;
+    }
+    // Re-bias the exponent by -112 and shift the mantissa down 13 bits,
+    // with round-to-nearest-even carried by integer addition (a mantissa
+    // carry naturally increments the exponent field).
+    let rounded = em + 0xFFF + ((em >> 13) & 1);
+    sign | ((rounded - 0x3800_0000) >> 13) as u16
+}
+
+/// Convert f16 bits produced by [`f32_to_f16_bits`] back to f32. Only
+/// zeros and normal numbers can have been stored, so the subnormal /
+/// infinity / NaN decode paths are unnecessary and the body lowers to
+/// branch-free selects that auto-vectorize.
+#[inline(always)]
+pub fn f16_bits_to_f32(bits: u16) -> f32 {
+    let sign = ((bits as u32) & 0x8000) << 16;
+    let em = (bits as u32) & 0x7FFF;
+    let mag = if em == 0 { 0 } else { (em << 13) + 0x3800_0000 };
+    f32::from_bits(sign | mag)
+}
+
+/// Expand a slice of f16 bits into f32 (`out.len() == bits.len()`): the
+/// block converter the f16 GEMM paths use to reuse the f32 packed-panel
+/// microkernel unchanged.
+pub fn expand_f16_into(bits: &[u16], out: &mut [f32]) {
+    assert_eq!(bits.len(), out.len(), "expand_f16: length mismatch");
+    for (o, &b) in out.iter_mut().zip(bits) {
+        *o = f16_bits_to_f32(b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amax_and_scales() {
+        assert_eq!(amax(&[]), 0.0);
+        assert_eq!(amax(&[-3.0, 2.0, 0.5]), 3.0);
+        let (s, inv) = quant_scales(254.0);
+        assert_eq!(s, 2.0);
+        assert_eq!(inv, 0.5);
+        assert_eq!(quant_scales(0.0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn quantize_channel_rounds_clamps_and_pads() {
+        let src = [1.0f32, -1.0, 0.4, -0.6, 0.0];
+        let mut out = [99i16; 8];
+        // amax 1.0 → inv_scale 127.
+        quantize_channel_into(&src, 127.0, &mut out);
+        assert_eq!(&out[..5], &[127, -127, 51, -76, 0]);
+        assert_eq!(&out[5..], &[0, 0, 0]);
+        // Values above amax (possible only through misuse) clamp.
+        let mut out2 = [0i16; 1];
+        quantize_channel_into(&[10.0], 127.0, &mut out2);
+        assert_eq!(out2[0], 127);
+    }
+
+    #[test]
+    fn f16_roundtrip_exact_values() {
+        // Values exactly representable in f16 survive the round trip.
+        for v in [0.0f32, -0.0, 1.0, -1.0, 0.5, 65504.0, -65504.0, 0.099976] {
+            let back = f16_bits_to_f32(f32_to_f16_bits(v));
+            let rel = if v == 0.0 {
+                back.abs()
+            } else {
+                ((back - v) / v).abs()
+            };
+            assert!(rel <= 1.0 / 1024.0, "{v} -> {back}");
+        }
+    }
+
+    #[test]
+    fn f16_rounds_to_nearest_even() {
+        // 1 + 2⁻¹¹ is exactly between 1.0 and the next f16 (1 + 2⁻¹⁰):
+        // nearest-even picks 1.0 (even mantissa).
+        let x = 1.0 + f32::powi(2.0, -11);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(x)), 1.0);
+        // Just above the midpoint rounds up.
+        let x = 1.0 + f32::powi(2.0, -11) + f32::powi(2.0, -13);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(x)), 1.0 + f32::powi(2.0, -10));
+    }
+
+    #[test]
+    fn f16_overflow_saturates_and_subnormals_flush() {
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1e9)), 65504.0);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(-1e9)), -65504.0);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1e-6)), 0.0);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(-1e-6)), -0.0);
+        // The smallest normal f16 survives.
+        let tiny = f32::powi(2.0, -14);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(tiny)), tiny);
+    }
+
+    #[test]
+    fn expand_matches_scalar_convert() {
+        let vals = [3.25f32, -0.125, 100.0, 0.0, -7.5];
+        let bits: Vec<u16> = vals.iter().map(|&v| f32_to_f16_bits(v)).collect();
+        let mut out = vec![0.0f32; bits.len()];
+        expand_f16_into(&bits, &mut out);
+        assert_eq!(out, vals);
+    }
+}

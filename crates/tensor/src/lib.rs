@@ -35,7 +35,10 @@ pub mod tensor;
 
 pub use error::TensorError;
 pub use graph::{NnGraph, Node, NodeId, Op};
-pub use packed::{GemmScratch, PackedA, PackedB};
+pub use packed::{
+    ConvWeights, DenseWeights, GemmScratch, PackedA, PackedA16, PackedB, PackedB16, QuantizedA,
+    QuantizedB,
+};
 pub use par::ThreadPool;
 pub use shape::Shape;
 pub use tensor::Tensor;

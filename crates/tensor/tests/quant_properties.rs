@@ -1,0 +1,176 @@
+//! Property-based checks of the reduced-precision kernels: quantize →
+//! dequantize round-trip bounds, and the int8 / f16 GEMM paths against the
+//! naive f32 oracle across edge dimensions.
+
+use proptest::prelude::*;
+
+use crayfish_tensor::kernels::gemm::{
+    gemm_prepacked_a16, gemm_prepacked_b16, gemm_prepacked_b16_ipj, gemm_prepacked_qa,
+    gemm_prepacked_qb, matmul_naive,
+};
+use crayfish_tensor::kernels::quant::{
+    amax, f16_bits_to_f32, f32_to_f16_bits, quant_scales, quantize_channel_into,
+};
+use crayfish_tensor::{
+    GemmScratch, PackedA16, PackedB16, QuantizedA, QuantizedB, Tensor,
+};
+
+proptest! {
+    /// Per-channel symmetric quantization round-trips every value to within
+    /// half a quantization step of the channel's scale.
+    #[test]
+    fn quantize_dequantize_is_within_half_step(
+        xs in proptest::collection::vec(-100.0f32..100.0, 1..64),
+    ) {
+        let (scale, inv) = quant_scales(amax(&xs));
+        let mut q = vec![0i16; xs.len()];
+        quantize_channel_into(&xs, inv, &mut q);
+        for (&x, &qi) in xs.iter().zip(&q) {
+            prop_assert!((-127..=127).contains(&qi), "clamped to int8 range");
+            let back = qi as f32 * scale;
+            prop_assert!(
+                (x - back).abs() <= scale * 0.5 + 1e-6,
+                "x={x} back={back} scale={scale}"
+            );
+        }
+    }
+
+    /// An all-zero (or empty-range) channel quantizes to exact zeros: both
+    /// scales are zero, so dequantization reproduces 0.0 exactly.
+    #[test]
+    fn zero_channel_round_trips_exactly(len in 1usize..32) {
+        let xs = vec![0.0f32; len];
+        let (scale, inv) = quant_scales(amax(&xs));
+        prop_assert_eq!(scale, 0.0);
+        prop_assert_eq!(inv, 0.0);
+        let mut q = vec![1i16; len];
+        quantize_channel_into(&xs, inv, &mut q);
+        prop_assert!(q.iter().all(|&v| v == 0));
+    }
+
+    /// f16 storage round-trips finite values to within 2⁻¹¹ relative error
+    /// (half-precision has a 10-bit mantissa; round-to-nearest halves the
+    /// ulp), with values past the f16 normal range saturating to ±65504.
+    #[test]
+    fn f16_round_trip_is_half_precision(x in -60000.0f32..60000.0) {
+        let back = f16_bits_to_f32(f32_to_f16_bits(x));
+        let tol = x.abs() * (1.0 / 2048.0) + 6e-5; // + subnormal ulp
+        prop_assert!((x - back).abs() <= tol, "x={x} back={back}");
+    }
+}
+
+/// Shared driver: check one int8 GEMM result against the f32 oracle.
+///
+/// With `a` and `b` drawn from `[-1, 1]`, each of the `k` products carries
+/// at most `~(step_a/2 + step_b/2) ≤ 1/127` absolute error, so `1.2 · k/127`
+/// bounds the sum with margin.
+fn assert_q8_close(got: &[f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize, label: &str) {
+    let oracle = matmul_naive(a, b, m, k, n);
+    let bound = k as f32 / 127.0 * 1.2;
+    for i in 0..m * n {
+        assert!(
+            (got[i] - oracle[i]).abs() <= bound,
+            "{label} ({m},{k},{n})[{i}]: {} vs {} (bound {bound})",
+            got[i],
+            oracle[i]
+        );
+    }
+}
+
+/// Deterministic edge-dimension sweep of both int8 prepacked drivers
+/// (weights-as-A for conv, weights-as-B for dense) over every tile
+/// remainder in 1..=13 plus shapes past the 128 boundary, against the naive
+/// f32 oracle.
+#[test]
+fn q8_gemm_edge_remainder_sweep() {
+    let mut scratch = GemmScratch::new();
+    let dims: Vec<usize> = (1..=13).chain([32, 97, 130]).collect();
+    let ks = [1usize, 3, 64, 130];
+    for &m in &dims {
+        for &n in &dims {
+            for &k in &ks {
+                let seed = (m * 1_000_000 + n * 1000 + k) as u64;
+                let a = Tensor::seeded_uniform([m, k], seed, -1.0, 1.0);
+                let b = Tensor::seeded_uniform([k, n], seed ^ 1, -1.0, 1.0);
+
+                let qa = QuantizedA::from_f32(a.data(), m, k);
+                let mut c = vec![0.0f32; m * n];
+                gemm_prepacked_qa(&qa, b.data(), &mut c, n, &mut scratch);
+                assert_q8_close(&c, a.data(), b.data(), m, k, n, "qa");
+
+                let qb = QuantizedB::from_f32(b.data(), k, n);
+                let mut c = vec![0.0f32; m * n];
+                gemm_prepacked_qb(a.data(), &qb, &mut c, m, &mut scratch);
+                assert_q8_close(&c, a.data(), b.data(), m, k, n, "qb");
+            }
+        }
+    }
+}
+
+/// Same sweep for the f16-storage path (both the blocked driver and the
+/// skinny-batch strip-streaming variant), at half-precision tolerance.
+#[test]
+fn f16_gemm_edge_remainder_sweep() {
+    let mut scratch = GemmScratch::new();
+    let dims: Vec<usize> = (1..=9).chain([32, 130]).collect();
+    let ks = [1usize, 3, 64, 130];
+    for &m in &dims {
+        for &n in &dims {
+            for &k in &ks {
+                let seed = (m * 1_000_000 + n * 1000 + k) as u64;
+                let a = Tensor::seeded_uniform([m, k], seed, -1.0, 1.0);
+                let b = Tensor::seeded_uniform([k, n], seed ^ 1, -1.0, 1.0);
+                let oracle = matmul_naive(a.data(), b.data(), m, k, n);
+                let bound = k as f32 / 2048.0 + 1e-4;
+
+                let pa = PackedA16::pack(a.data(), m, k);
+                let mut c = vec![0.0f32; m * n];
+                gemm_prepacked_a16(&pa, b.data(), &mut c, n, &mut scratch);
+                for i in 0..m * n {
+                    assert!((c[i] - oracle[i]).abs() <= bound, "a16 ({m},{k},{n})[{i}]");
+                }
+
+                let pb = PackedB16::pack(b.data(), k, n);
+                let mut c = vec![0.0f32; m * n];
+                gemm_prepacked_b16(a.data(), &pb, &mut c, m, &mut scratch);
+                for i in 0..m * n {
+                    assert!((c[i] - oracle[i]).abs() <= bound, "b16 ({m},{k},{n})[{i}]");
+                }
+
+                let mut c = vec![0.0f32; m * n];
+                gemm_prepacked_b16_ipj(a.data(), &pb, &mut c, m);
+                for i in 0..m * n {
+                    assert!((c[i] - oracle[i]).abs() <= bound, "b16_ipj ({m},{k},{n})[{i}]");
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Randomised int8 GEMM property at arbitrary (small) shapes, including
+    /// non-uniform value ranges per run.
+    #[test]
+    fn q8_gemm_matches_oracle_on_random_shapes(
+        m in 1usize..20,
+        k in 1usize..40,
+        n in 1usize..20,
+        scale in 0.1f32..8.0,
+        seed in 0u64..1000,
+    ) {
+        let a = Tensor::seeded_uniform([m, k], seed, -scale, scale);
+        let b = Tensor::seeded_uniform([k, n], seed ^ 7, -scale, scale);
+        let oracle = matmul_naive(a.data(), b.data(), m, k, n);
+        // Error per product scales with both operands' quantization steps:
+        // |da·b + a·db| ≤ scale/127 · scale · 2, summed over k, with margin.
+        let bound = 2.4 * k as f32 * scale * scale / 127.0;
+
+        let mut scratch = GemmScratch::new();
+        let qa = QuantizedA::from_f32(a.data(), m, k);
+        let mut c = vec![0.0f32; m * n];
+        gemm_prepacked_qa(&qa, b.data(), &mut c, n, &mut scratch);
+        for i in 0..m * n {
+            prop_assert!((c[i] - oracle[i]).abs() <= bound, "qa [{i}]");
+        }
+    }
+}
